@@ -1,0 +1,12 @@
+"""Ablation bench: opcode-hint offload of the address router
+(Section 4.2 — hints filter non-candidates before routing)."""
+
+from benchmarks.conftest import run_and_print
+from repro.experiments import ablations
+
+
+def test_abl_hints(benchmark, bench_length):
+    result = run_and_print(benchmark, ablations.run_hints,
+                           trace_length=bench_length)
+    for row in result.rows:
+        assert int(row[2]) <= int(row[1])  # hints never add requests

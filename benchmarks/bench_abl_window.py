@@ -1,0 +1,11 @@
+"""Ablation bench: instruction-window size at fetch rate 16."""
+
+from benchmarks.conftest import run_and_print
+from repro.experiments import ablations
+
+
+def test_abl_window(benchmark, bench_length):
+    result = run_and_print(benchmark, ablations.run_window,
+                           trace_length=bench_length)
+    ipcs = [float(row[1]) for row in result.rows]
+    assert ipcs == sorted(ipcs)  # bigger window, more base IPC

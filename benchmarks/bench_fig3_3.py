@@ -1,0 +1,12 @@
+"""Bench: regenerate Figure 3.3 — average Dynamic Instruction Distance
+per benchmark. Paper headline: every benchmark averages above 4."""
+
+from benchmarks.conftest import run_and_print
+from repro.experiments import fig3_3
+
+
+def test_fig3_3(benchmark, bench_length):
+    result = run_and_print(benchmark, fig3_3.run, trace_length=bench_length)
+    for row in result.rows:
+        if row[0] != "avg":
+            assert float(row[2]) > 4.0

@@ -1,0 +1,11 @@
+"""Bench: regenerate Figure 3.4 — DID distribution histograms.
+Paper headline: ~60% of arcs (avg) have DID >= 4; we measure lower but
+still a clear majority-share of long arcs (see EXPERIMENTS.md)."""
+
+from benchmarks.conftest import run_and_print
+from repro.experiments import fig3_4
+
+
+def test_fig3_4(benchmark, bench_length):
+    result = run_and_print(benchmark, fig3_4.run, trace_length=bench_length)
+    assert float(result.cell("avg", "DID>=4").rstrip('%')) > 25.0

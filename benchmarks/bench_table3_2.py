@@ -1,0 +1,10 @@
+"""Bench: regenerate Table 3.2 — the pipeline walkthrough of the
+Figure 3.2 dataflow-graph example on a 4-wide machine."""
+
+from benchmarks.conftest import run_and_print
+from repro.experiments import table3_2
+
+
+def test_table3_2(benchmark):
+    result = run_and_print(benchmark, table3_2.run)
+    assert result.cell("3", "execute") == "1, 2, 3, 4"

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Bring your own workload: assembly text in, paper-style analysis out.
+
+Demonstrates the text assembler on a hand-written kernel (a histogram
+over a pseudo-random byte stream), then answers the practical question a
+microarchitect would ask: *how much would value prediction buy this code
+at each fetch bandwidth, and with which predictor?*
+
+Run:  python examples/custom_workload.py
+"""
+
+from repro.analysis import render_table
+from repro.core import IdealConfig, plan_value_predictions, simulate_ideal, speedup
+from repro.funcsim import run_program
+from repro.isa import assemble
+from repro.vpred import make_predictor, profile_hints
+
+SOURCE = """
+# Histogram of an input byte stream held in memory (data values are
+# unpredictable, but the walk over them is pure strides).
+.data
+input:  .word 3, 14, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3, 2
+        .word 3, 8, 4, 6, 2, 6, 4, 3, 3, 8, 3, 2, 7, 9, 5, 0
+hist:   .space 16          # 16 buckets
+count:  .word 0
+
+.text
+main:   li   s1, hist
+        li   s2, 0         # processed counter
+        li   s3, input
+era:    li   s0, 0         # input cursor
+loop:   andi t0, s0, 31    # wrap the 32-word input
+        slli t0, t0, 2
+        add  t0, t0, s3
+        ld   t1, 0(t0)     # input byte (data-dependent value)
+        addi s0, s0, 1     # cursor: perfect stride
+        slli t1, t1, 2
+        add  t1, t1, s1
+        ld   t2, 0(t1)     # bucket count (strides per bucket)
+        addi t2, t2, 1
+        st   t2, 0(t1)
+        addi s2, s2, 1     # stride-predictable bookkeeping
+        li   t3, count
+        st   s2, 0(t3)
+        slti at, s0, 512
+        bne  at, zero, loop
+        j    era
+"""
+
+
+def main() -> None:
+    program = assemble(SOURCE, "histogram")
+    trace = run_program(program, max_instructions=20_000)
+    print(f"assembled {len(program)} static instructions; "
+          f"traced {len(trace)} dynamic instructions")
+    print()
+
+    kinds = ("last", "stride", "two-delta", "hybrid")
+    rows = []
+    for rate in (4, 8, 16, 32):
+        base = simulate_ideal(trace, IdealConfig(fetch_rate=rate))
+        cells = [str(rate)]
+        for kind in kinds:
+            hints = profile_hints(trace) if kind == "hybrid" else None
+            predictor = make_predictor(kind=kind, hints=hints)
+            vp_plan = plan_value_predictions(trace, predictor)
+            with_vp = simulate_ideal(trace, IdealConfig(fetch_rate=rate),
+                                     vp_plan=vp_plan)
+            cells.append(f"{speedup(with_vp, base):.1%}")
+        rows.append(cells)
+    print("VP speedup by fetch rate and predictor (ideal machine):")
+    print(render_table(["fetch rate"] + list(kinds), rows))
+    print()
+    print("The loaded input bytes are unpredictable, but the cursor, the")
+    print("bucket counters and the bookkeeping stride — and their")
+    print("contribution only materializes once fetch bandwidth exceeds")
+    print("their dependence distance (last-value prediction alone catches")
+    print("none of it: every hot value strides).")
+
+
+if __name__ == "__main__":
+    main()

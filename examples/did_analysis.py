@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Dynamic Instruction Distance analysis of a workload (Section 3).
+
+Walks one benchmark through the paper's Section 3 pipeline:
+
+1. build the full-trace dataflow graph,
+2. measure the average DID (Figure 3.3) and its histogram (Figure 3.4),
+3. classify arcs by value predictability x DID (Figure 3.5),
+4. print the Table 3.2 pipeline walkthrough of the Figure 3.2 example.
+
+Run:  python examples/did_analysis.py [workload] [length]
+"""
+
+import sys
+
+from repro.analysis import render_table
+from repro.dfg import (
+    ArcClass,
+    DIDHistogram,
+    average_did,
+    build_dfg,
+    classify_arcs,
+)
+from repro.experiments.table3_2 import run as table3_2
+from repro.workloads import WORKLOAD_NAMES, generate_trace
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "vortex"
+    length = int(sys.argv[2]) if len(sys.argv) > 2 else 20_000
+    if name not in WORKLOAD_NAMES:
+        raise SystemExit(f"unknown workload {name!r}; pick from {WORKLOAD_NAMES}")
+
+    trace = generate_trace(name, length=length)
+    graph = build_dfg(trace)
+    print(f"{name}: {len(trace)} instructions, {graph.n_arcs} true-data arcs")
+    print(f"average DID: {average_did(graph):.2f} "
+          f"(fetch bandwidth of 1998-era processors: 4)")
+    print()
+
+    histogram = DIDHistogram.from_graph(graph)
+    rows = [
+        [label, str(count), f"{fraction:.1%}"]
+        for label, count, fraction in zip(
+            histogram.labels(), histogram.counts, histogram.fractions()
+        )
+    ]
+    print(render_table(["DID", "arcs", "fraction"], rows))
+    print(f"\narcs with DID >= 4: {histogram.fraction_at_least(4):.1%} — these "
+          "cannot benefit from value prediction on a 4-wide machine")
+    print()
+
+    breakdown = classify_arcs(trace, graph)
+    print("value predictability x DID (Figure 3.5 classes):")
+    for klass in ArcClass:
+        print(f"  {klass.value:<22} {breakdown.fraction(klass):6.1%}")
+    print()
+
+    print(table3_2().format())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's headline effect in ~60 lines.
+
+Builds a small program with the ISA builder, executes it to get a trace,
+and measures value-prediction speedup on the ideal machine at several
+instruction-fetch rates — reproducing the Figure 3.1 effect on a toy:
+value prediction is nearly useless at fetch rate 4 and potent at 16+.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import IdealConfig, plan_value_predictions, simulate_ideal, speedup
+from repro.funcsim import run_program
+from repro.isa import ProgramBuilder
+from repro.vpred import make_predictor
+from repro.workloads import workload_specs
+
+
+def build_accumulator() -> "ProgramBuilder":
+    """A loop whose recurrence (t0 += 3) is perfectly stride-predictable."""
+    b = ProgramBuilder("accumulator")
+    table = b.alloc(64, "table")
+    b.li("t0", 0)
+    b.li("t1", table)
+    b.label("loop")
+    b.addi("t0", "t0", 3)            # the value-predictable recurrence
+    b.andi("t2", "t0", 63)
+    b.slli("t2", "t2", 2)
+    b.add("t2", "t2", "t1")
+    b.ld("t3", "t2", 0)
+    b.add("t3", "t3", "t0")
+    b.st("t3", "t2", 0)
+    b.j("loop")
+    return b
+
+
+def main() -> None:
+    print("The SPEC95 integer roster this repo mirrors (Table 3.1):")
+    for spec in workload_specs():
+        print(f"  {spec.name:10} {spec.description}")
+    print()
+
+    program = build_accumulator().build()
+    trace = run_program(program, max_instructions=20_000)
+    print(f"traced {len(trace)} instructions of {program.name!r}")
+
+    predictor = make_predictor()                    # stride + 2-bit classifier
+    vp_plan = plan_value_predictions(trace, predictor)
+    print(
+        f"stride predictor: coverage {predictor.stats.coverage:.0%}, "
+        f"accuracy {predictor.stats.accuracy:.0%}"
+    )
+    print()
+    print("fetch rate   base IPC   VP IPC    VP speedup")
+    for rate in (4, 8, 16, 32, 40):
+        base = simulate_ideal(trace, IdealConfig(fetch_rate=rate))
+        with_vp = simulate_ideal(trace, IdealConfig(fetch_rate=rate),
+                                 vp_plan=vp_plan)
+        print(
+            f"{rate:10}   {base.ipc:8.2f}  {with_vp.ipc:7.2f}"
+            f"    {speedup(with_vp, base):9.1%}"
+        )
+    print()
+    print("The wider the fetch engine, the more the eliminated dependence")
+    print("matters — the paper's central observation.")
+
+
+if __name__ == "__main__":
+    main()

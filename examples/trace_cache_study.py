@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Trace-cache + banked-predictor study (Sections 4 and 5.3).
+
+Shows the pieces the paper adds for wide-fetch machines:
+
+* the trace cache's effective fetch bandwidth vs sequential fetch,
+* how often multiple copies of one instruction land in a fetch block
+  (the Figure 4.1/4.2 problem) and how the router's merging handles it,
+* the bank-count sweep of the interleaved prediction table.
+
+Run:  python examples/trace_cache_study.py [workload] [length]
+"""
+
+import sys
+
+from repro.analysis import render_table
+from repro.bpred import TwoLevelBTB
+from repro.core import RealisticConfig, simulate_realistic, speedup
+from repro.fetch import SequentialFetchEngine, TraceCacheFetchEngine
+from repro.vphw import AddressRouter, BankedVPUnit
+from repro.vpred import SaturatingClassifier, StridePredictor
+from repro.workloads import WORKLOAD_NAMES, generate_trace
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "compress"
+    length = int(sys.argv[2]) if len(sys.argv) > 2 else 20_000
+    if name not in WORKLOAD_NAMES:
+        raise SystemExit(f"unknown workload {name!r}; pick from {WORKLOAD_NAMES}")
+    trace = generate_trace(name, length=length)
+    config = RealisticConfig()
+
+    # -- fetch bandwidth: sequential vs trace cache ------------------------
+    rows = []
+    for label, engine in (
+        ("sequential, 1 taken/cycle", SequentialFetchEngine(width=40, max_taken=1)),
+        ("sequential, 4 taken/cycle", SequentialFetchEngine(width=40, max_taken=4)),
+        ("trace cache (64x32/6)", TraceCacheFetchEngine()),
+    ):
+        bpred = TwoLevelBTB()
+        plan = engine.plan(trace, bpred)
+        result = simulate_realistic(trace, engine, bpred, None, config, plan)
+        extra = ""
+        if isinstance(engine, TraceCacheFetchEngine):
+            extra = f"hit rate {engine.stats.hit_rate:.0%}"
+        rows.append([label, f"{plan.mean_block_size():.1f}",
+                     f"{result.ipc:.2f}", extra])
+    print(f"{name}: fetch engines compared")
+    print(render_table(["engine", "instrs/cycle fetched", "base IPC", ""], rows))
+    print()
+
+    # -- the duplicate-copies problem and merging --------------------------
+    engine = TraceCacheFetchEngine()
+    bpred = TwoLevelBTB()
+    plan = engine.plan(trace, bpred)
+    rows = []
+    base = simulate_realistic(trace, engine, bpred, None, config, plan)
+    for merge in (True, False):
+        unit = BankedVPUnit(
+            StridePredictor(),
+            router=AddressRouter(n_banks=16),
+            classifier=SaturatingClassifier(),
+            merge_requests=merge,
+        )
+        result = simulate_realistic(trace, engine, bpred, unit, config, plan)
+        rows.append([
+            "merging on" if merge else "merging off",
+            str(unit.stats.merged),
+            str(unit.stats.denied),
+            f"{speedup(result, base):.1%}",
+        ])
+    print("router merging (same-PC copies in one fetch block):")
+    print(render_table(["router", "merged slots", "denied slots", "VP speedup"], rows))
+    print()
+
+    # -- bank sweep --------------------------------------------------------
+    rows = []
+    for n_banks in (1, 2, 4, 8, 16, 32):
+        unit = BankedVPUnit(
+            StridePredictor(),
+            router=AddressRouter(n_banks=n_banks),
+            classifier=SaturatingClassifier(),
+        )
+        result = simulate_realistic(trace, engine, bpred, unit, config, plan)
+        rows.append([
+            str(n_banks),
+            f"{unit.stats.denial_rate:.1%}",
+            f"{speedup(result, base):.1%}",
+        ])
+    print("prediction-table interleaving:")
+    print(render_table(["banks", "requests denied", "VP speedup"], rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept alongside pyproject.toml so `python setup.py develop` works in
+fully-offline environments where pip cannot build an editable wheel
+(no `wheel` package and no network to fetch one).
+"""
+
+from setuptools import setup
+
+setup()

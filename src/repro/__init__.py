@@ -1,0 +1,40 @@
+"""repro — reproduction of Gabbay & Mendelson, *The Effect of
+Instruction Fetch Bandwidth on Value Prediction* (ISCA 1998).
+
+Top-level conveniences re-export the objects most sessions start from;
+the subpackages hold the full system (see DESIGN.md for the map):
+
+>>> import repro
+>>> trace = repro.generate_trace("vortex", length=10_000)
+>>> base = repro.simulate_ideal(trace, repro.IdealConfig(fetch_rate=16))
+"""
+
+from repro.core import (
+    IdealConfig,
+    RealisticConfig,
+    SimulationResult,
+    plan_value_predictions,
+    simulate_ideal,
+    simulate_realistic,
+    speedup,
+)
+from repro.trace import Trace
+from repro.vpred import make_predictor
+from repro.workloads import WORKLOAD_NAMES, generate_trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "IdealConfig",
+    "RealisticConfig",
+    "SimulationResult",
+    "Trace",
+    "WORKLOAD_NAMES",
+    "generate_trace",
+    "make_predictor",
+    "plan_value_predictions",
+    "simulate_ideal",
+    "simulate_realistic",
+    "speedup",
+    "__version__",
+]

@@ -1,0 +1,16 @@
+"""Result formatting shared by experiments, examples and benches."""
+
+from repro.analysis.report import (
+    ExperimentResult,
+    format_percent,
+    render_table,
+)
+from repro.analysis.usefulness import UsefulnessStats, useless_prediction_stats
+
+__all__ = [
+    "ExperimentResult",
+    "format_percent",
+    "render_table",
+    "UsefulnessStats",
+    "useless_prediction_stats",
+]

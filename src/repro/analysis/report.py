@@ -1,0 +1,64 @@
+"""Plain-text tables for experiment output.
+
+Every experiment returns an :class:`ExperimentResult`; the benches print
+``result.format()`` so each bench regenerates its paper artifact as the
+same rows/series the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+
+def format_percent(value: float, digits: int = 1) -> str:
+    """0.335 -> '33.5%'."""
+    return f"{value * 100:.{digits}f}%"
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Render an aligned ASCII table (first column left, rest right)."""
+    columns = len(headers)
+    widths = [len(h) for h in headers]
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError(
+                f"row has {len(row)} cells, expected {columns}: {row!r}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(cells: Sequence[str]) -> str:
+        parts = [f"{cells[0]:<{widths[0]}}"]
+        parts.extend(f"{cell:>{widths[i]}}" for i, cell in enumerate(cells) if i)
+        return "  ".join(parts)
+
+    lines = [fmt(headers), "-" * (sum(widths) + 2 * (columns - 1))]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated paper artifact."""
+
+    experiment_id: str
+    title: str
+    headers: List[str]
+    rows: List[List[str]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def format(self) -> str:
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        lines.append(render_table(self.headers, self.rows))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def cell(self, row_label: str, header: str) -> str:
+        """Look up a cell by row label and column header (for tests)."""
+        column = self.headers.index(header)
+        for row in self.rows:
+            if row[0] == row_label:
+                return row[column]
+        raise KeyError(f"no row labelled {row_label!r}")

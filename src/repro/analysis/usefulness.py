@@ -1,0 +1,91 @@
+"""Correct-but-useless predictions — the paper's novel observation,
+made a first-class metric.
+
+    "There are a significant number of cases where the dependent
+    instructions are fetched too late to the processor and all their
+    input values become ready [...]. In all these cases, even though
+    the predictor yields a correct prediction, the prediction becomes
+    useless."
+
+A correct prediction of producer *p* is **useful** when at least one of
+its consumers *c* could not have had the real value at its earliest
+issue opportunity: ``exec_done(p) > fetch(c) + 2`` in the baseline
+(no-VP) schedule. Otherwise the machine's fetch bandwidth already
+serialized the pair and the prediction is *useless*. The fraction of
+useless correct predictions falls as the fetch rate grows — this is
+the mechanism behind Figure 3.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.config import IdealConfig
+from repro.core.ideal import ScheduleDetail, simulate_ideal
+from repro.trace.trace import Trace
+
+
+@dataclass
+class UsefulnessStats:
+    """Outcome of :func:`useless_prediction_stats` at one fetch rate."""
+
+    fetch_rate: int
+    correct_predictions: int
+    useful: int
+
+    @property
+    def useless(self) -> int:
+        return self.correct_predictions - self.useful
+
+    @property
+    def useless_fraction(self) -> float:
+        if self.correct_predictions == 0:
+            return 0.0
+        return self.useless / self.correct_predictions
+
+
+def useless_prediction_stats(
+    trace: Trace,
+    vp_plan: Tuple[List[bool], List[bool]],
+    fetch_rate: int,
+    window: int = 40,
+) -> UsefulnessStats:
+    """Classify each correct prediction as useful or useless at this rate.
+
+    The baseline (no-VP) schedule decides: a correct prediction helps
+    only if some consumer is fetched early enough that the true value
+    would not have arrived by its earliest issue.
+    """
+    detail = ScheduleDetail()
+    simulate_ideal(
+        trace,
+        IdealConfig(fetch_rate=fetch_rate, window=window),
+        detail=detail,
+    )
+    attempted, correct = vp_plan
+
+    last_write: Dict[int, int] = {}
+    useful = [False] * len(trace)
+    correct_producers = 0
+    seen = [False] * len(trace)
+    for record in trace:
+        for src in record.srcs:
+            producer = last_write.get(src)
+            if producer is None:
+                continue
+            if not (attempted[producer] and correct[producer]):
+                continue
+            if detail.exec_done[producer] > detail.fetch[record.seq] + 2:
+                useful[producer] = True
+        if record.dest is not None:
+            if attempted[record.seq] and correct[record.seq] and not seen[record.seq]:
+                seen[record.seq] = True
+                correct_producers += 1
+            last_write[record.dest] = record.seq
+
+    return UsefulnessStats(
+        fetch_rate=fetch_rate,
+        correct_predictions=correct_producers,
+        useful=sum(1 for p, flag in enumerate(useful) if flag and seen[p]),
+    )

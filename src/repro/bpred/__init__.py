@@ -1,0 +1,16 @@
+"""Branch prediction: perfect predictor and the 2-level PAp BTB of
+Section 5 (2K-entry, 2-way set-associative first level, 4-bit local
+history registers, per-address pattern tables), with multiple-branch-
+per-cycle prediction as the paper assumes for its fetch engines.
+"""
+
+from repro.bpred.base import BranchPredictor, BranchPredictorStats
+from repro.bpred.perfect import PerfectBranchPredictor
+from repro.bpred.two_level import TwoLevelBTB
+
+__all__ = [
+    "BranchPredictor",
+    "BranchPredictorStats",
+    "PerfectBranchPredictor",
+    "TwoLevelBTB",
+]

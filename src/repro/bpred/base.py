@@ -1,0 +1,91 @@
+"""Branch predictor interface for trace-driven timing simulation.
+
+The timing cores walk the correct-path trace, so the only question a
+predictor must answer per control instruction is *was it predicted
+correctly* — a wrong answer costs the machine the misprediction penalty.
+Direct unconditional jumps (J/JAL) are always handled correctly: their
+targets are available to the fetch engine from the instruction bits, as
+in the multiple-block fetch units the paper builds on; the predictor is
+consulted for conditional branches and register-indirect jumps.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.isa.opcodes import OpClass, Opcode
+from repro.trace.record import DynInstr
+
+
+@dataclass
+class BranchPredictorStats:
+    """Outcome counts for predicted control instructions."""
+
+    conditional: int = 0
+    conditional_correct: int = 0
+    indirect: int = 0
+    indirect_correct: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.conditional + self.indirect
+
+    @property
+    def correct(self) -> int:
+        return self.conditional_correct + self.indirect_correct
+
+    @property
+    def accuracy(self) -> float:
+        return self.correct / self.lookups if self.lookups else 1.0
+
+    @property
+    def conditional_accuracy(self) -> float:
+        if not self.conditional:
+            return 1.0
+        return self.conditional_correct / self.conditional
+
+
+class BranchPredictor(abc.ABC):
+    """Predicts control-flow outcomes along the correct path."""
+
+    def __init__(self):
+        self.stats = BranchPredictorStats()
+
+    def needs_prediction(self, record: DynInstr) -> bool:
+        """Controls whether this dynamic instruction consults the BTB."""
+        if record.op_class is OpClass.BRANCH:
+            return True
+        return record.op in (Opcode.JR, Opcode.JALR)
+
+    def predict_and_update(self, record: DynInstr) -> bool:
+        """Predict this control instruction, train, return correctness."""
+        if not self.needs_prediction(record):
+            return True
+        correct = self._predict(record)
+        if record.op_class is OpClass.BRANCH:
+            self.stats.conditional += 1
+            if correct:
+                self.stats.conditional_correct += 1
+        else:
+            self.stats.indirect += 1
+            if correct:
+                self.stats.indirect_correct += 1
+        self._update(record)
+        return correct
+
+    @abc.abstractmethod
+    def _predict(self, record: DynInstr) -> bool:
+        """Would the hardware have predicted ``record`` correctly?"""
+
+    @abc.abstractmethod
+    def _update(self, record: DynInstr) -> None:
+        """Train on the actual outcome."""
+
+    def reset(self) -> None:
+        self.stats = BranchPredictorStats()
+        self._reset_state()
+
+    @abc.abstractmethod
+    def _reset_state(self) -> None:
+        """Clear table state."""

@@ -1,0 +1,19 @@
+"""The ideal branch predictor of the first Section 5 experiment set."""
+
+from __future__ import annotations
+
+from repro.bpred.base import BranchPredictor
+from repro.trace.record import DynInstr
+
+
+class PerfectBranchPredictor(BranchPredictor):
+    """Always right — isolates value prediction from control speculation."""
+
+    def _predict(self, record: DynInstr) -> bool:
+        return True
+
+    def _update(self, record: DynInstr) -> None:
+        pass
+
+    def _reset_state(self) -> None:
+        pass

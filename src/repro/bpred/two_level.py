@@ -1,0 +1,165 @@
+"""2-level adaptive BTB in PAp configuration (Yeh & Patt [27]).
+
+Section 5's realistic predictor: the first level is a 2K-entry, 2-way
+set-associative BTB whose entries hold a 4-bit per-branch history
+register plus the branch target; the second level is a per-address
+pattern table of 2-bit saturating counters indexed by the history.
+Multiple branches may be predicted per cycle, as the paper assumes
+(after [18]) — the predictor itself is stateless across slots within a
+cycle, so the fetch engines simply query it repeatedly.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+from repro.bpred.base import BranchPredictor
+from repro.errors import ConfigError
+from repro.isa.opcodes import OpClass, Opcode
+from repro.trace.record import DynInstr
+
+
+class _BTBEntry:
+    __slots__ = ("history", "target")
+
+    def __init__(self, history: int = 0, target: Optional[int] = None):
+        self.history = history
+        self.target = target
+
+
+class TwoLevelBTB(BranchPredictor):
+    """First-level BTB + per-address (PAp) second-level pattern tables."""
+
+    def __init__(
+        self,
+        n_entries: int = 2048,
+        assoc: int = 2,
+        history_bits: int = 4,
+        counter_bits: int = 2,
+        ras_entries: int = 8,
+    ):
+        super().__init__()
+        if n_entries < assoc or n_entries % assoc:
+            raise ConfigError("n_entries must be a multiple of assoc")
+        n_sets = n_entries // assoc
+        if n_sets & (n_sets - 1):
+            raise ConfigError("number of BTB sets must be a power of two")
+        if history_bits < 1 or counter_bits < 1:
+            raise ConfigError("history/counter bits must be positive")
+        self.n_sets = n_sets
+        self.assoc = assoc
+        self.history_bits = history_bits
+        self.history_mask = (1 << history_bits) - 1
+        self.counter_max = (1 << counter_bits) - 1
+        self.counter_threshold = 1 << (counter_bits - 1)
+        # set index -> OrderedDict[pc, _BTBEntry] in LRU order.
+        self._sets: Dict[int, "OrderedDict[int, _BTBEntry]"] = {}
+        # (pc, history) -> saturating counter (PAp second level).
+        self._patterns: Dict[Tuple[int, int], int] = {}
+        self.misses = 0
+        # Return-address stack: calls push their link value, returns pop.
+        self.ras_entries = ras_entries
+        self._ras: list = []
+
+    # -- return-address stack ------------------------------------------
+
+    def _push_return(self, address: Optional[int]) -> None:
+        if address is None:
+            return
+        if len(self._ras) >= self.ras_entries:
+            del self._ras[0]
+        self._ras.append(address)
+
+    @staticmethod
+    def _is_return(record: DynInstr) -> bool:
+        # ABI convention: `jr ra` is a function return.
+        return record.op is Opcode.JR and record.srcs == (1,)
+
+    def predict_and_update(self, record: DynInstr) -> bool:
+        # Direct calls are always fetched correctly (target in the
+        # instruction bits) but must still push the return address.
+        if record.op is Opcode.JAL:
+            self._push_return(record.value)
+            return True
+        return super().predict_and_update(record)
+
+    # -- lookup ---------------------------------------------------------
+
+    def _find(self, pc: int) -> Optional[_BTBEntry]:
+        index = (pc >> 2) & (self.n_sets - 1)
+        residents = self._sets.get(index)
+        if residents is None or pc not in residents:
+            return None
+        residents.move_to_end(pc)
+        return residents[pc]
+
+    def _predict(self, record: DynInstr) -> bool:
+        entry = self._find(record.pc)
+        if record.op_class is OpClass.BRANCH:
+            if entry is None:
+                # BTB miss: fall through (predict not-taken).
+                self.misses += 1
+                return not record.taken
+            counter = self._patterns.get(
+                (record.pc, entry.history), self.counter_threshold
+            )
+            predict_taken = counter >= self.counter_threshold
+            if predict_taken != record.taken:
+                return False
+            if record.taken:
+                # Direction right; the stored target must also be right.
+                return entry.target == record.next_pc
+            return True
+        # Returns predict through the return-address stack.
+        if self._is_return(record) and self._ras:
+            return self._ras[-1] == record.next_pc
+        # Other indirect jumps: correct only if the stored target matches.
+        if entry is None or entry.target is None:
+            self.misses += 1
+            return False
+        return entry.target == record.next_pc
+
+    # -- training -----------------------------------------------------------
+
+    def _update(self, record: DynInstr) -> None:
+        if self._is_return(record):
+            if self._ras:
+                self._ras.pop()
+            return
+        if record.op is Opcode.JALR:
+            self._push_return(record.value)
+        index = (record.pc >> 2) & (self.n_sets - 1)
+        residents = self._sets.setdefault(index, OrderedDict())
+        entry = residents.get(record.pc)
+        if entry is None:
+            if len(residents) >= self.assoc:
+                victim_pc, _entry = residents.popitem(last=False)
+                # PAp second level: the victim's pattern table goes too.
+                for history in range(self.history_mask + 1):
+                    self._patterns.pop((victim_pc, history), None)
+            entry = _BTBEntry()
+            residents[record.pc] = entry
+        else:
+            residents.move_to_end(record.pc)
+
+        if record.op_class is OpClass.BRANCH:
+            key = (record.pc, entry.history)
+            counter = self._patterns.get(key, self.counter_threshold)
+            if record.taken:
+                counter = min(counter + 1, self.counter_max)
+            else:
+                counter = max(counter - 1, 0)
+            self._patterns[key] = counter
+            entry.history = (
+                (entry.history << 1) | int(record.taken)
+            ) & self.history_mask
+            if record.taken:
+                entry.target = record.next_pc
+        else:
+            entry.target = record.next_pc
+
+    def _reset_state(self) -> None:
+        self._sets.clear()
+        self._patterns.clear()
+        self.misses = 0

@@ -1,0 +1,28 @@
+"""Timing models: the paper's two machines.
+
+* :func:`simulate_ideal` — the Section 3 limit-study machine: only
+  true-data dependencies, a finite instruction window and an artificial
+  fetch/issue rate constrain execution.
+* :func:`simulate_realistic` — the Section 5 machine: 4-stage pipeline,
+  40-entry window, 40 execution units, register renaming, pluggable
+  fetch engine and branch predictor, 3-cycle branch misprediction
+  penalty and 1-cycle value misprediction penalty with selective
+  reissue.
+"""
+
+from repro.core.config import IdealConfig, RealisticConfig
+from repro.core.results import SimulationResult, speedup
+from repro.core.vp_plan import plan_value_predictions
+from repro.core.ideal import simulate_ideal, pipeline_table
+from repro.core.realistic import simulate_realistic
+
+__all__ = [
+    "IdealConfig",
+    "RealisticConfig",
+    "SimulationResult",
+    "speedup",
+    "plan_value_predictions",
+    "simulate_ideal",
+    "pipeline_table",
+    "simulate_realistic",
+]

@@ -1,0 +1,61 @@
+"""Machine configurations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class IdealConfig:
+    """The Section 3 machine.
+
+    ``fetch_rate`` is the artificial fetch/issue cap (4/8/16/32/40 in
+    Figure 3.1); the window is 40 as throughout the paper; taken
+    branches per cycle are unlimited; there are no control / name /
+    structural hazards. ``value_penalty`` is 0 — Section 3 measures the
+    dependence-structure limit, not recovery costs.
+
+    ``memory_dependencies`` extends "true data dependencies" with
+    store→load arcs through the same address (a load's *consumers*
+    escape that serialization when the load's value is predicted —
+    load value prediction in the sense of Lipasti et al. [13]).
+    """
+
+    fetch_rate: int = 4
+    window: int = 40
+    value_penalty: int = 0
+    memory_dependencies: bool = True
+
+    def validate(self) -> None:
+        if self.fetch_rate < 1:
+            raise ConfigError("fetch_rate must be >= 1")
+        if self.window < 1:
+            raise ConfigError("window must be >= 1")
+        if self.value_penalty < 0:
+            raise ConfigError("value_penalty must be >= 0")
+
+
+@dataclass(frozen=True)
+class RealisticConfig:
+    """The Section 5 machine (fetch engine and predictors passed separately)."""
+
+    window: int = 40
+    issue_width: int = 40
+    n_fus: int = 40
+    branch_penalty: int = 3
+    value_penalty: int = 1
+    memory_dependencies: bool = True
+
+    def validate(self) -> None:
+        if min(self.window, self.issue_width, self.n_fus) < 1:
+            raise ConfigError("window/issue_width/n_fus must be >= 1")
+        if self.branch_penalty < 0 or self.value_penalty < 0:
+            raise ConfigError("penalties must be >= 0")
+        if self.n_fus < self.window:
+            # The paper sizes FUs = window so structural hazards vanish;
+            # the analytic core relies on that.
+            raise ConfigError(
+                "this model requires n_fus >= window (the paper uses 40/40)"
+            )

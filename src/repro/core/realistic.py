@@ -1,0 +1,140 @@
+"""The Section 5 realistic machine.
+
+Trace-driven, analytic (one pass after planning): the fetch engine and
+branch predictor produce the per-cycle fetch blocks, the VP unit
+produces per-slot predictions block by block, and the timing pass then
+resolves dependence, window, misprediction-stall and reissue timing.
+
+Model summary (per the paper's Section 5 description):
+
+* 4 stages — Fetch, Decode/Issue, Execute, Commit — 1 cycle each.
+* Window of 40 with in-order allocation and commit; 40 execution units
+  and decode/issue width 40, so with ≤40 in flight there are never
+  structural conflicts; register renaming removes name hazards.
+* One fetch block per cycle (blocks are bounded by the engine's width
+  and taken-branch caps). A window-full condition simply delays the
+  remainder of the block to later cycles.
+* A mispredicted control transfer stalls fetch until the branch
+  executes, plus the 3-cycle branch misprediction penalty.
+* A consumer of a correctly predicted value ignores that dependence; a
+  consumer that used a wrong prediction is selectively reissued and
+  executes ``value_penalty`` (1) cycles after the producer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.bpred.base import BranchPredictor
+from repro.core.config import RealisticConfig
+from repro.core.results import SimulationResult
+from repro.fetch.base import FetchEngine, FetchPlan
+from repro.trace.trace import Trace
+
+
+def simulate_realistic(
+    trace: Trace,
+    fetch_engine: FetchEngine,
+    bpred: BranchPredictor,
+    vp_unit=None,
+    config: RealisticConfig = RealisticConfig(),
+    plan: Optional[FetchPlan] = None,
+) -> SimulationResult:
+    """Simulate ``trace`` on the realistic machine.
+
+    ``vp_unit`` is an object with ``predict_block``/``train_block``
+    (:class:`~repro.vphw.AbstractVPUnit` or
+    :class:`~repro.vphw.BankedVPUnit`); None disables value prediction.
+    A precomputed fetch ``plan`` may be supplied to share one
+    plan/predictor pass between the VP and no-VP runs of a speedup pair.
+    """
+    config.validate()
+    records = trace.records
+    n = len(records)
+    if plan is None:
+        plan = fetch_engine.plan(trace, bpred)
+    plan.validate(n)
+
+    # -- value-prediction planning, block by block ---------------------
+    attempted = [False] * n
+    correct = [False] * n
+    if vp_unit is not None:
+        for block in plan:
+            block_records = records[block.start:block.end]
+            predictions = vp_unit.predict_block(block_records)
+            for seq, value in predictions.items():
+                attempted[seq] = True
+                correct[seq] = value == records[seq].value
+            vp_unit.train_block(block_records)
+
+    # -- timing pass -------------------------------------------------------
+    window = config.window
+    value_penalty = config.value_penalty
+    branch_penalty = config.branch_penalty
+
+    memdeps = config.memory_dependencies
+    exec_done = [0] * n
+    commit = [0] * n
+    last_write: Dict[int, int] = {}
+    last_store: Dict[int, int] = {}
+    prev_commit = 0
+    prev_fetch = -1
+    redirect_ready = 0
+
+    for block in plan:
+        f = prev_fetch + 1
+        if redirect_ready > f:
+            f = redirect_ready
+        for i in range(block.start, block.end):
+            record = records[i]
+            if i >= window:
+                # Scheduling-window slot frees when its occupant
+                # completes execution (see core.ideal for rationale).
+                slot_free = exec_done[i - window]
+                if slot_free > f:
+                    f = slot_free          # window stall splits the block
+            start = f + 2                  # decode at f+1, execute at f+2
+            for src in record.srcs:
+                producer = last_write.get(src)
+                if producer is None:
+                    continue
+                if attempted[producer]:
+                    if correct[producer]:
+                        continue
+                    ready = exec_done[producer] + value_penalty
+                else:
+                    ready = exec_done[producer]
+                if ready > start:
+                    start = ready
+            if memdeps and record.mem_addr is not None and record.is_load:
+                producer = last_store.get(record.mem_addr)
+                if producer is not None and exec_done[producer] > start:
+                    start = exec_done[producer]
+            exec_done[i] = start + 1
+            prev_commit = max(exec_done[i], prev_commit)
+            commit[i] = prev_commit
+            if record.dest is not None:
+                last_write[record.dest] = i
+            if memdeps and record.is_store and record.mem_addr is not None:
+                last_store[record.mem_addr] = i
+        prev_fetch = f
+        if block.mispredict_seq is not None:
+            resume = exec_done[block.mispredict_seq] + branch_penalty
+            if resume > redirect_ready:
+                redirect_ready = resume
+
+    cycles = commit[-1] if n else 0
+    extra = {
+        "fetch_blocks": float(len(plan)),
+        "mean_block_size": plan.mean_block_size(),
+        "branch_accuracy": bpred.stats.accuracy,
+    }
+    if vp_unit is not None:
+        extra["vp_predictions"] = float(vp_unit.stats.predictions)
+        extra["vp_accuracy"] = vp_unit.stats.accuracy
+    return SimulationResult(
+        name=f"realistic({'vp' if vp_unit is not None else 'base'})",
+        n_instructions=n,
+        cycles=cycles,
+        extra=extra,
+    )

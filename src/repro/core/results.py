@@ -1,0 +1,43 @@
+"""Simulation results and speedup arithmetic."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.errors import SimulationError
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one timing-simulation run.
+
+    ``cycles`` is the commit cycle of the last instruction; ``extra``
+    carries model-specific statistics (branch accuracy, VP unit
+    counters, fetch-plan shape...) for reporting.
+    """
+
+    name: str
+    n_instructions: int
+    cycles: int
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        if self.cycles <= 0:
+            raise SimulationError(f"{self.name}: non-positive cycle count")
+        return self.n_instructions / self.cycles
+
+
+def speedup(with_vp: SimulationResult, without_vp: SimulationResult) -> float:
+    """The paper's speedup metric: IPC gain of value prediction.
+
+    Both runs must be the same workload on the same machine apart from
+    value prediction; the result is e.g. 0.33 for "33% speedup".
+    """
+    if with_vp.n_instructions != without_vp.n_instructions:
+        raise SimulationError(
+            "speedup compares runs of the same trace: "
+            f"{with_vp.n_instructions} vs {without_vp.n_instructions} instructions"
+        )
+    return with_vp.ipc / without_vp.ipc - 1.0

@@ -1,0 +1,37 @@
+"""Pre-pass that decides, per dynamic instruction, how value prediction
+went — the timing cores then consume plain boolean arrays.
+
+Predictor state evolves in trace (fetch) order, which matches the
+paper's speculative-update-at-lookup discipline on a correct-path
+trace, so the plan is timing-independent.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.trace.trace import Trace
+from repro.vpred.base import ValuePredictor
+
+
+def plan_value_predictions(
+    trace: Trace, predictor: ValuePredictor
+) -> Tuple[List[bool], List[bool]]:
+    """Run ``predictor`` along the trace.
+
+    Returns ``(attempted, correct)`` per sequence number: ``attempted``
+    means a prediction was actually offered (table hit and classifier
+    confident); ``correct`` means it matched the outcome. Non-producers
+    are False/False.
+    """
+    n = len(trace)
+    attempted = [False] * n
+    correct = [False] * n
+    for record in trace:
+        if record.dest is None:
+            continue
+        predicted = predictor.lookup_and_update(record.pc, record.value)
+        if predicted is not None:
+            attempted[record.seq] = True
+            correct[record.seq] = predicted == record.value
+    return attempted, correct

@@ -1,0 +1,29 @@
+"""Dataflow-graph analysis over dynamic traces (Section 3 of the paper).
+
+The dataflow graph is built from the *entire execution trace*, regardless
+of basic-block boundaries, so loop-carried and inter-block dependencies
+are included — exactly the construction the paper describes for its
+Dynamic Instruction Distance (DID) measurements.
+"""
+
+from repro.dfg.graph import DependenceGraph, build_dfg
+from repro.dfg.did import DIDHistogram, average_did, did_values, DEFAULT_BINS
+from repro.dfg.predictability import (
+    ArcClass,
+    PredictabilityBreakdown,
+    classify_arcs,
+    mark_predictable_producers,
+)
+
+__all__ = [
+    "DependenceGraph",
+    "build_dfg",
+    "DIDHistogram",
+    "average_did",
+    "did_values",
+    "DEFAULT_BINS",
+    "ArcClass",
+    "PredictabilityBreakdown",
+    "classify_arcs",
+    "mark_predictable_producers",
+]

@@ -1,0 +1,84 @@
+"""Dynamic Instruction Distance statistics (Figures 3.3 and 3.4)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.dfg.graph import DependenceGraph
+
+# Bin lower edges: [1], [2], [3], [4..7], [8..15], [16..31], [32..inf).
+DEFAULT_BINS: Tuple[int, ...] = (1, 2, 3, 4, 8, 16, 32)
+
+
+def did_values(graph: DependenceGraph) -> List[int]:
+    """DID of every arc, in arc order."""
+    return [c - p for p, c in graph.arcs()]
+
+
+def average_did(graph: DependenceGraph) -> float:
+    """Arithmetic mean DID over all arcs (the Figure 3.3 metric)."""
+    if graph.n_arcs == 0:
+        return 0.0
+    return sum(did_values(graph)) / graph.n_arcs
+
+
+@dataclass
+class DIDHistogram:
+    """Distribution of arcs over DID bins (the Figure 3.4 histogram)."""
+
+    bin_edges: Tuple[int, ...]
+    counts: List[int]
+    total: int
+
+    @classmethod
+    def from_graph(
+        cls, graph: DependenceGraph, bin_edges: Sequence[int] = DEFAULT_BINS
+    ) -> "DIDHistogram":
+        edges = tuple(bin_edges)
+        if not edges or list(edges) != sorted(set(edges)) or edges[0] < 1:
+            raise ValueError("bin edges must be unique, ascending, and >= 1")
+        counts = [0] * len(edges)
+        for did in did_values(graph):
+            counts[_bin_index(did, edges)] += 1
+        return cls(bin_edges=edges, counts=counts, total=graph.n_arcs)
+
+    def labels(self) -> List[str]:
+        """Human-readable bin labels ("1", "4-7", ">=32"...)."""
+        labels = []
+        for i, low in enumerate(self.bin_edges):
+            if i + 1 < len(self.bin_edges):
+                high = self.bin_edges[i + 1] - 1
+                labels.append(str(low) if high == low else f"{low}-{high}")
+            else:
+                labels.append(f">={low}")
+        return labels
+
+    def fractions(self) -> List[float]:
+        """Per-bin fraction of all arcs."""
+        if self.total == 0:
+            return [0.0] * len(self.counts)
+        return [count / self.total for count in self.counts]
+
+    def fraction_at_least(self, did: int) -> float:
+        """Fraction of arcs with DID >= ``did``.
+
+        ``did`` must be a bin edge; the paper's headline statistic is
+        ``fraction_at_least(4)`` ≈ 60 % on average.
+        """
+        if did not in self.bin_edges:
+            raise ValueError(f"{did} is not a bin edge of this histogram")
+        if self.total == 0:
+            return 0.0
+        start = self.bin_edges.index(did)
+        return sum(self.counts[start:]) / self.total
+
+
+def _bin_index(did: int, edges: Tuple[int, ...]) -> int:
+    index = 0
+    for i, low in enumerate(edges):
+        if did >= low:
+            index = i
+        else:
+            break
+    return index

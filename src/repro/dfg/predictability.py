@@ -1,0 +1,110 @@
+"""Arc classification by value predictability and DID (Figure 3.5)."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.dfg.did import DEFAULT_BINS
+from repro.dfg.graph import DependenceGraph, build_dfg
+from repro.trace.trace import Trace
+from repro.vpred.base import ValuePredictor
+from repro.vpred.stride import StridePredictor
+
+
+class ArcClass(enum.Enum):
+    """The Figure 3.5 categories."""
+
+    UNPREDICTABLE = "unpredictable"
+    PREDICTABLE_SHORT = "predictable, DID < 4"
+    PREDICTABLE_LONG = "predictable, DID >= 4"
+
+
+def mark_predictable_producers(
+    trace: Trace, predictor: Optional[ValuePredictor] = None
+) -> List[bool]:
+    """Per dynamic instruction: was its result correctly value-predicted?
+
+    Uses an infinite stride predictor by default, as the paper does when
+    marking value-predictable arcs. Non-producers are marked False.
+    """
+    predictor = predictor or StridePredictor()
+    marks = [False] * len(trace)
+    for record in trace:
+        if record.dest is None:
+            continue
+        predicted = predictor.lookup_and_update(record.pc, record.value)
+        marks[record.seq] = predicted is not None and predicted == record.value
+    return marks
+
+
+@dataclass
+class PredictabilityBreakdown:
+    """Fractions of dependence arcs per Figure 3.5 class, plus a DID
+    histogram restricted to the predictable arcs."""
+
+    total_arcs: int
+    counts: Dict[ArcClass, int]
+    predictable_did_counts: List[int]     # per DEFAULT-style bin
+    bin_edges: Sequence[int]
+
+    def fraction(self, klass: ArcClass) -> float:
+        if self.total_arcs == 0:
+            return 0.0
+        return self.counts.get(klass, 0) / self.total_arcs
+
+    @property
+    def fraction_predictable(self) -> float:
+        return self.fraction(ArcClass.PREDICTABLE_SHORT) + self.fraction(
+            ArcClass.PREDICTABLE_LONG
+        )
+
+    def predictable_did_fractions(self) -> List[float]:
+        """Per-bin fraction (of *all* arcs) for predictable arcs by DID."""
+        if self.total_arcs == 0:
+            return [0.0] * len(self.predictable_did_counts)
+        return [c / self.total_arcs for c in self.predictable_did_counts]
+
+
+def classify_arcs(
+    trace: Trace,
+    graph: Optional[DependenceGraph] = None,
+    predictor: Optional[ValuePredictor] = None,
+    short_did: int = 4,
+    bin_edges: Sequence[int] = DEFAULT_BINS,
+) -> PredictabilityBreakdown:
+    """Scan all arcs and classify them, as described under Figure 3.5.
+
+    An arc is *value predictable* when the stride predictor correctly
+    predicted its producer's result for that dynamic instance; the
+    predictable arcs are then split at DID ``short_did`` (the current
+    4-wide fetch bandwidth) and additionally histogrammed by DID bin.
+    """
+    graph = graph or build_dfg(trace)
+    marks = mark_predictable_producers(trace, predictor)
+    edges = tuple(bin_edges)
+
+    counts: Dict[ArcClass, int] = {klass: 0 for klass in ArcClass}
+    did_counts = [0] * len(edges)
+    for producer, consumer in graph.arcs():
+        did = consumer - producer
+        if not marks[producer]:
+            counts[ArcClass.UNPREDICTABLE] += 1
+            continue
+        if did < short_did:
+            counts[ArcClass.PREDICTABLE_SHORT] += 1
+        else:
+            counts[ArcClass.PREDICTABLE_LONG] += 1
+        index = 0
+        for i, low in enumerate(edges):
+            if did >= low:
+                index = i
+        did_counts[index] += 1
+
+    return PredictabilityBreakdown(
+        total_arcs=graph.n_arcs,
+        counts=counts,
+        predictable_did_counts=did_counts,
+        bin_edges=edges,
+    )

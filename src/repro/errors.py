@@ -1,0 +1,47 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch a single base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class AssemblyError(ReproError):
+    """A program could not be assembled (bad mnemonic, operand, or label)."""
+
+    def __init__(self, message: str, line_number: int | None = None):
+        if line_number is not None:
+            message = f"line {line_number}: {message}"
+        super().__init__(message)
+        self.line_number = line_number
+
+
+class ProgramError(ReproError):
+    """A program is structurally invalid (dangling label, bad register...)."""
+
+
+class ExecutionError(ReproError):
+    """The functional simulator hit a runtime fault."""
+
+    def __init__(self, message: str, pc: int | None = None):
+        if pc is not None:
+            message = f"pc={pc:#x}: {message}"
+        super().__init__(message)
+        self.pc = pc
+
+
+class TraceError(ReproError):
+    """A trace file or trace stream is malformed."""
+
+
+class ConfigError(ReproError):
+    """A machine / predictor / fetch configuration is invalid."""
+
+
+class SimulationError(ReproError):
+    """A timing simulation reached an inconsistent state."""

@@ -1,0 +1,47 @@
+"""One module per paper artifact (table / figure), plus ablations.
+
+Every experiment exposes ``run(...) -> ExperimentResult`` taking a trace
+length and seed, so tests run them small and benches run them at the
+default scale. ``repro-experiments`` (see :mod:`repro.experiments.runner`)
+is the command-line entry point.
+"""
+
+from repro.experiments.common import (
+    DEFAULT_TRACE_LENGTH,
+    workload_traces,
+)
+from repro.experiments import (  # noqa: F401  (re-exported experiment modules)
+    fig3_1,
+    fig3_3,
+    fig3_4,
+    fig3_5,
+    fig5_1,
+    fig5_2,
+    fig5_3,
+    table3_2,
+    ablations,
+)
+
+ALL_EXPERIMENTS = {
+    "fig3.1": fig3_1.run,
+    "table3.2": table3_2.run,
+    "fig3.3": fig3_3.run,
+    "fig3.4": fig3_4.run,
+    "fig3.5": fig3_5.run,
+    "fig5.1": fig5_1.run,
+    "fig5.2": fig5_2.run,
+    "fig5.3": fig5_3.run,
+    "abl.banks": ablations.run_banks,
+    "abl.merge": ablations.run_merge,
+    "abl.predictor": ablations.run_predictor,
+    "abl.classifier": ablations.run_classifier,
+    "abl.window": ablations.run_window,
+    "abl.tc": ablations.run_trace_cache,
+    "abl.hints": ablations.run_hints,
+    "abl.stability": ablations.run_stability,
+    "abl.fetch": ablations.run_fetch_mechanisms,
+    "abl.seeds": ablations.run_seeds,
+    "abl.useless": ablations.run_useless,
+}
+
+__all__ = ["ALL_EXPERIMENTS", "DEFAULT_TRACE_LENGTH", "workload_traces"]

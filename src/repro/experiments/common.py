@@ -1,0 +1,31 @@
+"""Shared plumbing for the experiment modules."""
+
+from __future__ import annotations
+
+import functools
+from typing import Dict, List, Optional, Sequence
+
+from repro.trace.trace import Trace
+from repro.workloads import WORKLOAD_NAMES, generate_trace
+
+DEFAULT_TRACE_LENGTH = 30_000
+
+
+@functools.lru_cache(maxsize=64)
+def _cached_trace(name: str, length: int, seed: int) -> Trace:
+    return generate_trace(name, length=length, seed=seed)
+
+
+def workload_traces(
+    length: int = DEFAULT_TRACE_LENGTH,
+    seed: int = 0,
+    workloads: Optional[Sequence[str]] = None,
+) -> Dict[str, Trace]:
+    """Traces for the requested workloads (all eight by default), cached
+    so a bench session re-running several experiments shares them."""
+    names: List[str] = list(workloads) if workloads else list(WORKLOAD_NAMES)
+    return {name: _cached_trace(name, length, seed) for name in names}
+
+
+def mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values) if values else 0.0

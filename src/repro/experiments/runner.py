@@ -1,0 +1,74 @@
+"""Command-line entry point: regenerate paper artifacts.
+
+Usage::
+
+    repro-experiments                      # everything, default scale
+    repro-experiments fig3.1 fig5.3        # selected experiments
+    repro-experiments --length 10000       # smaller traces (faster)
+    repro-experiments --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.experiments import ALL_EXPERIMENTS
+from repro.experiments.common import DEFAULT_TRACE_LENGTH
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the tables and figures of Gabbay & "
+        "Mendelson, 'The Effect of Instruction Fetch Bandwidth on Value "
+        "Prediction' (ISCA 1998).",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="EXPERIMENT",
+        help="experiment ids (default: all); see --list",
+    )
+    parser.add_argument(
+        "--length",
+        type=int,
+        default=DEFAULT_TRACE_LENGTH,
+        help=f"trace length per workload (default {DEFAULT_TRACE_LENGTH})",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="workload seed")
+    parser.add_argument(
+        "--list", action="store_true", help="list experiment ids and exit"
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list:
+        for experiment_id in ALL_EXPERIMENTS:
+            print(experiment_id)
+        return 0
+
+    selected = args.experiments or list(ALL_EXPERIMENTS)
+    unknown = [e for e in selected if e not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(ALL_EXPERIMENTS)}", file=sys.stderr)
+        return 2
+
+    for experiment_id in selected:
+        run = ALL_EXPERIMENTS[experiment_id]
+        started = time.time()
+        result = run(trace_length=args.length, seed=args.seed)
+        elapsed = time.time() - started
+        print(result.format())
+        print(f"({elapsed:.1f}s)")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

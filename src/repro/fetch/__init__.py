@@ -1,0 +1,24 @@
+"""Instruction-fetch engines.
+
+A fetch engine turns the correct-path trace plus a branch predictor into
+a :class:`FetchPlan`: the sequence of per-cycle fetch blocks the timing
+core consumes. Two engines are provided — conventional sequential fetch
+with width / taken-branch caps (Sections 5.1–5.2) and a trace cache with
+a fill unit (Section 5.3, after Rotenberg et al. [18]).
+"""
+
+from repro.fetch.base import FetchBlock, FetchEngine, FetchPlan
+from repro.fetch.sequential import SequentialFetchEngine
+from repro.fetch.collapsing import CollapsingBufferFetchEngine
+from repro.fetch.trace_cache import TraceCache, TraceCacheFetchEngine, TraceCacheStats
+
+__all__ = [
+    "FetchBlock",
+    "FetchEngine",
+    "FetchPlan",
+    "SequentialFetchEngine",
+    "CollapsingBufferFetchEngine",
+    "TraceCache",
+    "TraceCacheFetchEngine",
+    "TraceCacheStats",
+]

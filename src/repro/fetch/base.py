@@ -1,0 +1,79 @@
+"""Fetch-engine interface and the fetch-plan data model."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.bpred.base import BranchPredictor
+from repro.trace.trace import Trace
+
+
+@dataclass
+class FetchBlock:
+    """One cycle's worth of fetched instructions.
+
+    ``start`` and ``length`` index into the trace. ``mispredict_seq`` is
+    the sequence number of a mispredicted control instruction ending the
+    block (fetch then stalls until that branch resolves plus the branch
+    penalty). ``source`` tags where the block came from ("seq",
+    "tc_hit", "tc_miss") for statistics.
+    """
+
+    start: int
+    length: int
+    mispredict_seq: Optional[int] = None
+    source: str = "seq"
+
+    @property
+    def end(self) -> int:
+        return self.start + self.length
+
+
+@dataclass
+class FetchPlan:
+    """The per-cycle fetch schedule for a whole trace."""
+
+    blocks: List[FetchBlock] = field(default_factory=list)
+
+    def __iter__(self):
+        return iter(self.blocks)
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    def validate(self, n_records: int) -> None:
+        """Blocks must tile the trace contiguously — an internal check."""
+        cursor = 0
+        for block in self.blocks:
+            if block.start != cursor or block.length < 1:
+                raise ValueError(
+                    f"fetch plan is not contiguous at seq {cursor} "
+                    f"(block start {block.start}, length {block.length})"
+                )
+            cursor = block.end
+        if cursor != n_records:
+            raise ValueError(
+                f"fetch plan covers {cursor} of {n_records} records"
+            )
+
+    def mean_block_size(self) -> float:
+        if not self.blocks:
+            return 0.0
+        total = sum(block.length for block in self.blocks)
+        return total / len(self.blocks)
+
+
+class FetchEngine(abc.ABC):
+    """Builds the fetch plan for a trace under a branch predictor.
+
+    Planning is timing-independent: predictor training and (for the
+    trace cache) fill-unit contents depend only on the correct-path
+    instruction order, so the plan can be computed in a single pre-pass
+    and consumed by the timing core.
+    """
+
+    @abc.abstractmethod
+    def plan(self, trace: Trace, bpred: BranchPredictor) -> FetchPlan:
+        """Chunk ``trace`` into per-cycle fetch blocks."""

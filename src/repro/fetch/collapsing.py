@@ -1,0 +1,82 @@
+"""Branch-address-cache + collapsing-buffer fetch (Yeh/Marr/Patt [28],
+Conte et al. [1]).
+
+The Section 2.2 alternative to the trace cache: a multiple-branch
+predictor produces the next basic-block addresses, a 2-way interleaved
+instruction cache supplies two (possibly noncontiguous) cache lines per
+cycle, and a collapsing buffer removes the instructions between a short
+forward branch and its target within a line. The paper notes its
+Section 4 prediction hardware applies to this engine as well — loop
+bodies fetched twice per cycle still duplicate PCs.
+
+Model (trace-driven, correct path): per cycle up to ``max_lines``
+noncontiguous runs are fetched. A run ends at a line boundary
+(``line_size`` instructions from its start address, aligned) or at a
+taken control transfer; starting a new run consumes one of the cycle's
+line slots. In-line collapsing means not-taken branches do not end a
+run. The cycle also ends at a mispredicted branch or when ``width``
+instructions are buffered.
+"""
+
+from __future__ import annotations
+
+from repro.bpred.base import BranchPredictor
+from repro.errors import ConfigError
+from repro.fetch.base import FetchBlock, FetchEngine, FetchPlan
+from repro.trace.trace import Trace
+
+
+class CollapsingBufferFetchEngine(FetchEngine):
+    """Two-line interleaved-cache fetch with a collapsing buffer."""
+
+    def __init__(self, line_size: int = 16, max_lines: int = 2, width: int = 32):
+        if line_size < 1 or max_lines < 1 or width < 1:
+            raise ConfigError("line_size, max_lines and width must be >= 1")
+        self.line_size = line_size
+        self.max_lines = max_lines
+        self.width = width
+
+    def plan(self, trace: Trace, bpred: BranchPredictor) -> FetchPlan:
+        plan = FetchPlan()
+        records = trace.records
+        n = len(records)
+        cursor = 0
+        while cursor < n:
+            start = cursor
+            mispredict_seq = None
+            lines_used = 1
+            line_start_pc = records[cursor].pc
+            line_base = line_start_pc - (line_start_pc % (4 * self.line_size))
+            while cursor < n and cursor - start < self.width:
+                record = records[cursor]
+                # Crossing into a new cache line (sequentially) consumes
+                # a line slot too.
+                record_base = record.pc - (record.pc % (4 * self.line_size))
+                if record_base != line_base:
+                    if lines_used >= self.max_lines:
+                        break
+                    lines_used += 1
+                    line_base = record_base
+                cursor += 1
+                if record.is_control:
+                    if not bpred.predict_and_update(record):
+                        mispredict_seq = record.seq
+                        break
+                if record.redirects_fetch:
+                    # Taken transfer: the target needs a fresh line slot.
+                    if cursor < n:
+                        target = records[cursor].pc
+                        target_base = target - (target % (4 * self.line_size))
+                        if lines_used >= self.max_lines:
+                            break
+                        lines_used += 1
+                        line_base = target_base
+            plan.blocks.append(
+                FetchBlock(
+                    start=start,
+                    length=cursor - start,
+                    mispredict_seq=mispredict_seq,
+                    source="cb",
+                )
+            )
+        return plan

@@ -1,0 +1,61 @@
+"""Conventional sequential fetch with width and taken-branch caps.
+
+This is the Section 5.1/5.2 fetch mechanism: up to ``width``
+instructions per cycle, crossing at most ``max_taken`` taken control
+transfers (``None`` = unlimited, the paper's "unlimited" series). Fetch
+runs through not-taken conditionals — multiple branch predictions per
+cycle are assumed, as in the paper — and a mispredicted control
+instruction always ends the block.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.bpred.base import BranchPredictor
+from repro.errors import ConfigError
+from repro.fetch.base import FetchBlock, FetchEngine, FetchPlan
+from repro.trace.trace import Trace
+
+
+class SequentialFetchEngine(FetchEngine):
+    """Width- and taken-branch-limited contiguous fetch."""
+
+    def __init__(self, width: int = 40, max_taken: Optional[int] = 1):
+        if width < 1:
+            raise ConfigError("fetch width must be >= 1")
+        if max_taken is not None and max_taken < 1:
+            raise ConfigError("max_taken must be >= 1 or None")
+        self.width = width
+        self.max_taken = max_taken
+
+    def plan(self, trace: Trace, bpred: BranchPredictor) -> FetchPlan:
+        plan = FetchPlan()
+        records = trace.records
+        n = len(records)
+        cursor = 0
+        while cursor < n:
+            start = cursor
+            taken = 0
+            mispredict_seq = None
+            while cursor < n and cursor - start < self.width:
+                record = records[cursor]
+                cursor += 1
+                if record.is_control:
+                    correct = bpred.predict_and_update(record)
+                    if not correct:
+                        mispredict_seq = record.seq
+                        break
+                if record.redirects_fetch:
+                    taken += 1
+                    if self.max_taken is not None and taken >= self.max_taken:
+                        break
+            plan.blocks.append(
+                FetchBlock(
+                    start=start,
+                    length=cursor - start,
+                    mispredict_seq=mispredict_seq,
+                    source="seq",
+                )
+            )
+        return plan

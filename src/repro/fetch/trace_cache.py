@@ -1,0 +1,194 @@
+"""Trace cache fetch engine (Rotenberg, Bennett & Smith [18]).
+
+Configuration used by the paper's Section 5.3: 64 entries, direct
+mapped, each line holding up to 32 instructions from up to 6 basic
+blocks. A fill unit assembles lines from the fetched correct-path
+stream; lines end early at indirect jumps (their targets cannot be
+embedded in the line). On a miss, fetch falls back to the conventional
+instruction cache, which supplies one contiguous run up to the first
+taken branch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.bpred.base import BranchPredictor
+from repro.errors import ConfigError
+from repro.fetch.base import FetchBlock, FetchEngine, FetchPlan
+from repro.trace.record import DynInstr
+from repro.trace.trace import Trace
+
+
+@dataclass
+class _TCLine:
+    """One trace-cache line: the recorded path from ``tag``."""
+
+    tag: int
+    pcs: List[int]
+
+
+@dataclass
+class TraceCacheStats:
+    """Lookup/usefulness counters for one planning run."""
+
+    lookups: int = 0
+    hits: int = 0
+    supplied_from_tc: int = 0     # instructions delivered by TC hits
+    supplied_from_ic: int = 0     # instructions delivered by miss fallback
+    fills: int = 0
+    divergences: int = 0          # hits truncated by path divergence
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class TraceCache:
+    """The line store plus its fill unit."""
+
+    def __init__(
+        self,
+        n_entries: int = 64,
+        line_size: int = 32,
+        max_blocks: int = 6,
+    ):
+        if n_entries < 1 or line_size < 1 or max_blocks < 1:
+            raise ConfigError("trace cache parameters must be positive")
+        self.n_entries = n_entries
+        self.line_size = line_size
+        self.max_blocks = max_blocks
+        self._lines: Dict[int, _TCLine] = {}
+        # Fill unit state.
+        self._pending_pcs: List[int] = []
+        self._pending_blocks = 0
+        self.fills = 0
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) % self.n_entries
+
+    def lookup(self, pc: int) -> Optional[List[int]]:
+        """The recorded path starting at ``pc``, if a line matches."""
+        line = self._lines.get(self._index(pc))
+        if line is None or line.tag != pc:
+            return None
+        return line.pcs
+
+    # -- fill unit ------------------------------------------------------
+
+    def fill(self, record: DynInstr) -> None:
+        """Feed one fetched correct-path instruction to the fill unit."""
+        self._pending_pcs.append(record.pc)
+        finalize = False
+        if record.is_control:
+            self._pending_blocks += 1
+            if record.op.value in ("jr", "jalr"):
+                finalize = True       # indirect target: line must end
+            elif self._pending_blocks >= self.max_blocks:
+                finalize = True
+        if len(self._pending_pcs) >= self.line_size:
+            finalize = True
+        if finalize:
+            self._finalize()
+
+    def _finalize(self) -> None:
+        if not self._pending_pcs:
+            return
+        tag = self._pending_pcs[0]
+        self._lines[self._index(tag)] = _TCLine(tag, self._pending_pcs)
+        self.fills += 1
+        self._pending_pcs = []
+        self._pending_blocks = 0
+
+    def reset(self) -> None:
+        self._lines.clear()
+        self._pending_pcs = []
+        self._pending_blocks = 0
+        self.fills = 0
+
+
+class TraceCacheFetchEngine(FetchEngine):
+    """Fetch through a trace cache with sequential-fetch fallback."""
+
+    def __init__(
+        self,
+        n_entries: int = 64,
+        line_size: int = 32,
+        max_blocks: int = 6,
+        fallback_width: int = 16,
+    ):
+        self.cache = TraceCache(n_entries, line_size, max_blocks)
+        if fallback_width < 1:
+            raise ConfigError("fallback width must be >= 1")
+        self.fallback_width = fallback_width
+        self.stats = TraceCacheStats()
+
+    def plan(self, trace: Trace, bpred: BranchPredictor) -> FetchPlan:
+        self.cache.reset()
+        self.stats = TraceCacheStats()
+        plan = FetchPlan()
+        records = trace.records
+        n = len(records)
+        cursor = 0
+        while cursor < n:
+            start = cursor
+            record = records[cursor]
+            self.stats.lookups += 1
+            line_pcs = self.cache.lookup(record.pc)
+            mispredict_seq = None
+            if line_pcs is not None:
+                self.stats.hits += 1
+                source = "tc_hit"
+                # Supply the line up to path divergence, a misprediction,
+                # or the end of the trace.
+                limit = min(len(line_pcs), n - cursor)
+                matched = 0
+                while matched < limit:
+                    rec = records[cursor]
+                    if rec.pc != line_pcs[matched]:
+                        self.stats.divergences += 1
+                        break
+                    cursor += 1
+                    matched += 1
+                    self.cache.fill(rec)
+                    if rec.is_control:
+                        if not bpred.predict_and_update(rec):
+                            mispredict_seq = rec.seq
+                            break
+                if matched == 0:
+                    # Divergence on the very first slot: treat as an IC
+                    # fetch of that one instruction so fetch progresses.
+                    rec = records[cursor]
+                    cursor += 1
+                    self.cache.fill(rec)
+                    source = "tc_miss"
+                    if rec.is_control and not bpred.predict_and_update(rec):
+                        mispredict_seq = rec.seq
+                    self.stats.supplied_from_ic += 1
+                else:
+                    self.stats.supplied_from_tc += matched
+            else:
+                # Miss: conventional fetch of one contiguous run.
+                source = "tc_miss"
+                while cursor < n and cursor - start < self.fallback_width:
+                    rec = records[cursor]
+                    cursor += 1
+                    self.cache.fill(rec)
+                    if rec.is_control:
+                        if not bpred.predict_and_update(rec):
+                            mispredict_seq = rec.seq
+                            break
+                    if rec.redirects_fetch:
+                        break
+                self.stats.supplied_from_ic += cursor - start
+            plan.blocks.append(
+                FetchBlock(
+                    start=start,
+                    length=cursor - start,
+                    mispredict_seq=mispredict_seq,
+                    source=source,
+                )
+            )
+        self.stats.fills = self.cache.fills
+        return plan

@@ -1,0 +1,11 @@
+"""Functional (architectural) simulator.
+
+Executes :class:`~repro.isa.Program` objects instruction by instruction
+and captures the dynamic stream as a :class:`~repro.trace.Trace`. This is
+the stand-in for the paper's Shade tracing tool on SPARC.
+"""
+
+from repro.funcsim.memory import Memory
+from repro.funcsim.machine import Machine, run_program
+
+__all__ = ["Memory", "Machine", "run_program"]

@@ -1,0 +1,206 @@
+"""Architectural interpreter for the repro ISA."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import ExecutionError
+from repro.funcsim.memory import Memory
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.program import STACK_BASE, WORD_SIZE, Program
+from repro.isa.registers import NUM_REGS, register_number
+from repro.trace.record import DynInstr
+from repro.trace.trace import Trace
+
+_MASK64 = (1 << 64) - 1
+_SIGN64 = 1 << 63
+
+
+def _signed(value: int) -> int:
+    """Interpret a masked 64-bit value as two's-complement."""
+    return value - (1 << 64) if value & _SIGN64 else value
+
+
+class Machine:
+    """Architectural state plus a fetch-decode-execute loop.
+
+    Division by zero yields 0 (REM yields the dividend), documented ISA
+    behaviour chosen so kernels need no trap plumbing. The stack pointer
+    is initialized to :data:`STACK_BASE`.
+    """
+
+    def __init__(self, program: Program):
+        self.program = program
+        self.regs: List[int] = [0] * NUM_REGS
+        self.regs[register_number("sp")] = STACK_BASE
+        self.memory = Memory(program.data)
+        self.pc = program.entry
+        self.halted = False
+        self.instret = 0  # dynamic instructions retired
+
+    # -- single step -------------------------------------------------------
+
+    def step(self) -> Optional[DynInstr]:
+        """Execute one instruction; return its trace record (None if halted)."""
+        if self.halted:
+            return None
+        pc = self.pc
+        try:
+            instr = self.program.fetch(pc)
+        except Exception as exc:
+            raise ExecutionError("fetch outside code segment", pc=pc) from exc
+
+        record = self._execute(instr, pc)
+        self.instret += 1
+        self.pc = record.next_pc
+        return record
+
+    def _execute(self, instr: Instruction, pc: int) -> DynInstr:
+        regs = self.regs
+        op = instr.op
+        seq = self.instret
+        next_pc = pc + WORD_SIZE
+        dest: Optional[int] = None
+        value: Optional[int] = None
+        taken = False
+        mem_addr: Optional[int] = None
+
+        if op is Opcode.ADD:
+            value = (regs[instr.rs1] + regs[instr.rs2]) & _MASK64
+        elif op is Opcode.SUB:
+            value = (regs[instr.rs1] - regs[instr.rs2]) & _MASK64
+        elif op is Opcode.MUL:
+            value = (regs[instr.rs1] * regs[instr.rs2]) & _MASK64
+        elif op is Opcode.DIV:
+            divisor = _signed(regs[instr.rs2])
+            if divisor == 0:
+                value = 0
+            else:
+                quotient = int(_signed(regs[instr.rs1]) / divisor)
+                value = quotient & _MASK64
+        elif op is Opcode.REM:
+            divisor = _signed(regs[instr.rs2])
+            if divisor == 0:
+                value = regs[instr.rs1]
+            else:
+                dividend = _signed(regs[instr.rs1])
+                value = (dividend - int(dividend / divisor) * divisor) & _MASK64
+        elif op is Opcode.AND:
+            value = regs[instr.rs1] & regs[instr.rs2]
+        elif op is Opcode.OR:
+            value = regs[instr.rs1] | regs[instr.rs2]
+        elif op is Opcode.XOR:
+            value = regs[instr.rs1] ^ regs[instr.rs2]
+        elif op is Opcode.SLL:
+            value = (regs[instr.rs1] << (regs[instr.rs2] & 63)) & _MASK64
+        elif op is Opcode.SRL:
+            value = regs[instr.rs1] >> (regs[instr.rs2] & 63)
+        elif op is Opcode.SRA:
+            value = (_signed(regs[instr.rs1]) >> (regs[instr.rs2] & 63)) & _MASK64
+        elif op is Opcode.SLT:
+            value = int(_signed(regs[instr.rs1]) < _signed(regs[instr.rs2]))
+        elif op is Opcode.SLTU:
+            value = int(regs[instr.rs1] < regs[instr.rs2])
+        elif op is Opcode.SEQ:
+            value = int(regs[instr.rs1] == regs[instr.rs2])
+        elif op is Opcode.ADDI:
+            value = (regs[instr.rs1] + instr.imm) & _MASK64
+        elif op is Opcode.ANDI:
+            value = regs[instr.rs1] & (instr.imm & _MASK64)
+        elif op is Opcode.ORI:
+            value = regs[instr.rs1] | (instr.imm & _MASK64)
+        elif op is Opcode.XORI:
+            value = regs[instr.rs1] ^ (instr.imm & _MASK64)
+        elif op is Opcode.SLLI:
+            value = (regs[instr.rs1] << (instr.imm & 63)) & _MASK64
+        elif op is Opcode.SRLI:
+            value = regs[instr.rs1] >> (instr.imm & 63)
+        elif op is Opcode.SRAI:
+            value = (_signed(regs[instr.rs1]) >> (instr.imm & 63)) & _MASK64
+        elif op is Opcode.SLTI:
+            value = int(_signed(regs[instr.rs1]) < instr.imm)
+        elif op is Opcode.MULI:
+            value = (regs[instr.rs1] * instr.imm) & _MASK64
+        elif op is Opcode.LI:
+            value = instr.imm & _MASK64
+        elif op is Opcode.MOV:
+            value = regs[instr.rs1]
+        elif op is Opcode.LD:
+            mem_addr = (regs[instr.rs1] + instr.imm) & _MASK64
+            value = self.memory.load(mem_addr)
+        elif op is Opcode.ST:
+            mem_addr = (regs[instr.rs1] + instr.imm) & _MASK64
+            self.memory.store(mem_addr, regs[instr.rs2])
+        elif op is Opcode.BEQ:
+            taken = regs[instr.rs1] == regs[instr.rs2]
+        elif op is Opcode.BNE:
+            taken = regs[instr.rs1] != regs[instr.rs2]
+        elif op is Opcode.BLT:
+            taken = _signed(regs[instr.rs1]) < _signed(regs[instr.rs2])
+        elif op is Opcode.BGE:
+            taken = _signed(regs[instr.rs1]) >= _signed(regs[instr.rs2])
+        elif op is Opcode.BLTU:
+            taken = regs[instr.rs1] < regs[instr.rs2]
+        elif op is Opcode.BGEU:
+            taken = regs[instr.rs1] >= regs[instr.rs2]
+        elif op is Opcode.J:
+            taken = True
+            next_pc = instr.imm
+        elif op is Opcode.JAL:
+            taken = True
+            value = pc + WORD_SIZE
+            next_pc = instr.imm
+        elif op is Opcode.JR:
+            taken = True
+            next_pc = regs[instr.rs1]
+        elif op is Opcode.JALR:
+            taken = True
+            value = pc + WORD_SIZE
+            next_pc = regs[instr.rs1]
+        elif op is Opcode.NOP:
+            pass
+        elif op is Opcode.HALT:
+            self.halted = True
+        else:  # pragma: no cover - exhaustive dispatch
+            raise ExecutionError(f"unimplemented opcode {op}", pc=pc)
+
+        if taken and instr.is_branch:
+            next_pc = instr.imm
+
+        if instr.writes_register and value is not None:
+            regs[instr.rd] = value
+            dest = instr.rd
+        else:
+            value = None
+
+        return DynInstr(
+            seq=seq,
+            pc=pc,
+            op=op,
+            dest=dest,
+            srcs=instr.source_registers(),
+            value=value,
+            taken=taken,
+            next_pc=next_pc,
+            mem_addr=mem_addr,
+        )
+
+    # -- whole-program runs ---------------------------------------------
+
+    def run(self, max_instructions: Optional[int] = None) -> Trace:
+        """Run until HALT or ``max_instructions``; return the trace."""
+        records = []
+        while not self.halted:
+            if max_instructions is not None and self.instret >= max_instructions:
+                break
+            record = self.step()
+            if record is None:
+                break
+            records.append(record)
+        return Trace(records, name=self.program.name)
+
+
+def run_program(program: Program, max_instructions: Optional[int] = None) -> Trace:
+    """Convenience wrapper: execute ``program`` and return its trace."""
+    return Machine(program).run(max_instructions=max_instructions)

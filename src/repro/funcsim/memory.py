@@ -1,0 +1,50 @@
+"""Sparse word-addressed data memory."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+from repro.errors import ExecutionError
+from repro.isa.program import WORD_SIZE
+
+_MASK64 = (1 << 64) - 1
+
+
+class Memory:
+    """Sparse memory of 64-bit words at 4-byte-aligned addresses.
+
+    Uninitialized words read as zero, which keeps kernels free of
+    boilerplate clearing loops (and matches zero-filled BSS semantics).
+    """
+
+    def __init__(self, image: Dict[int, int] | None = None):
+        self._words: Dict[int, int] = {}
+        if image:
+            for address, value in image.items():
+                self.store(address, value)
+
+    def load(self, address: int) -> int:
+        """Read the word at ``address`` (0 when never written)."""
+        self._check(address)
+        return self._words.get(address, 0)
+
+    def store(self, address: int, value: int) -> None:
+        """Write ``value`` (masked to 64 bits) at ``address``."""
+        self._check(address)
+        self._words[address] = value & _MASK64
+
+    def _check(self, address: int) -> None:
+        if address < 0:
+            raise ExecutionError(f"negative memory address {address:#x}")
+        if address % WORD_SIZE:
+            raise ExecutionError(f"misaligned memory access at {address:#x}")
+
+    def __len__(self) -> int:
+        return len(self._words)
+
+    def items(self) -> Iterable[Tuple[int, int]]:
+        return self._words.items()
+
+    def snapshot(self) -> Dict[int, int]:
+        """A copy of the current memory image."""
+        return dict(self._words)

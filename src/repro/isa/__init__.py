@@ -1,0 +1,38 @@
+"""A small load/store RISC ISA used to write the workload kernels.
+
+The ISA is deliberately simple — 32 integer registers, word-addressed
+load/store, direct and register-indirect control flow — but expressive
+enough to write real programs (compressors, interpreters, hash tables).
+Programs are built either programmatically with :class:`ProgramBuilder`
+or from assembly text with :func:`assemble`.
+"""
+
+from repro.isa.opcodes import Opcode, OpClass
+from repro.isa.registers import (
+    NUM_REGS,
+    ZERO_REG,
+    register_name,
+    register_number,
+)
+from repro.isa.instruction import Instruction
+from repro.isa.program import Program, CODE_BASE, DATA_BASE, WORD_SIZE
+from repro.isa.builder import ProgramBuilder
+from repro.isa.assembler import assemble, disassemble, disassemble_instruction
+
+__all__ = [
+    "Opcode",
+    "OpClass",
+    "NUM_REGS",
+    "ZERO_REG",
+    "register_name",
+    "register_number",
+    "Instruction",
+    "Program",
+    "ProgramBuilder",
+    "CODE_BASE",
+    "DATA_BASE",
+    "WORD_SIZE",
+    "assemble",
+    "disassemble",
+    "disassemble_instruction",
+]

@@ -1,0 +1,276 @@
+"""Two-pass text assembler and a disassembler for the repro ISA.
+
+Accepted syntax (one instruction per line, ``#`` or ``;`` comments)::
+
+    # data directives
+    .data
+    table:  .word 1, 2, 3
+    buffer: .space 16          # 16 zero words
+
+    .text
+    main:   li   t0, 0
+            li   t1, table     # labels are legal immediates
+    loop:   ld   t2, 0(t1)
+            addi t0, t0, 1
+            addi t1, t1, 4
+            blt  t0, t2, loop
+            halt
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import AssemblyError
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode, alu3_opcodes, alu_imm_opcodes
+from repro.isa.program import CODE_BASE, DATA_BASE, WORD_SIZE, Program
+from repro.isa.registers import register_name, register_number
+
+_MEM_OPERAND = re.compile(r"^(-?\w+)\((\w+)\)$")
+
+_ALU3_NAMES = {op.value: op for op in alu3_opcodes()}
+_ALU3_NAMES["and"] = Opcode.AND
+_ALU3_NAMES["or"] = Opcode.OR
+_ALU_IMM_NAMES = {op.value: op for op in alu_imm_opcodes()}
+_BRANCH_NAMES = {
+    op.value: op
+    for op in (Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE, Opcode.BLTU, Opcode.BGEU)
+}
+
+
+def _parse_int(token: str, line_number: int) -> int:
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblyError(f"bad integer {token!r}", line_number) from None
+
+
+def _split_operands(rest: str) -> List[str]:
+    rest = rest.strip()
+    if not rest:
+        return []
+    return [tok.strip() for tok in rest.split(",")]
+
+
+class _Line:
+    """One significant source line after pass 1."""
+
+    def __init__(self, number: int, mnemonic: str, operands: List[str]):
+        self.number = number
+        self.mnemonic = mnemonic
+        self.operands = operands
+
+
+def assemble(source: str, name: str = "program") -> Program:
+    """Assemble ``source`` text into a :class:`Program`."""
+    labels: Dict[str, int] = {}
+    data: Dict[int, int] = {}
+    code_lines: List[_Line] = []
+    segment = "text"
+    data_cursor = DATA_BASE
+    code_cursor = 0  # instruction index
+
+    pending_data: List[Tuple[int, _Line]] = []  # (base address, line)
+
+    for number, raw in enumerate(source.splitlines(), start=1):
+        line = raw.split("#", 1)[0].split(";", 1)[0].strip()
+        if not line:
+            continue
+        # Peel leading labels ("name:").
+        while True:
+            match = re.match(r"^([A-Za-z_]\w*):\s*(.*)$", line)
+            if not match:
+                break
+            label, line = match.groups()
+            if label in labels:
+                raise AssemblyError(f"duplicate label {label!r}", number)
+            if segment == "text":
+                labels[label] = CODE_BASE + code_cursor * WORD_SIZE
+            else:
+                labels[label] = data_cursor
+        if not line:
+            continue
+
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        rest = parts[1] if len(parts) > 1 else ""
+
+        if mnemonic == ".text":
+            segment = "text"
+        elif mnemonic == ".data":
+            segment = "data"
+        elif mnemonic == ".word":
+            if segment != "data":
+                raise AssemblyError(".word outside .data", number)
+            values = _split_operands(rest)
+            pending_data.append((data_cursor, _Line(number, ".word", values)))
+            data_cursor += len(values) * WORD_SIZE
+        elif mnemonic == ".space":
+            if segment != "data":
+                raise AssemblyError(".space outside .data", number)
+            count = _parse_int(rest.strip(), number)
+            if count < 0:
+                raise AssemblyError(".space with negative count", number)
+            for i in range(count):
+                data[data_cursor + i * WORD_SIZE] = 0
+            data_cursor += count * WORD_SIZE
+        elif mnemonic.startswith("."):
+            raise AssemblyError(f"unknown directive {mnemonic!r}", number)
+        else:
+            if segment != "text":
+                raise AssemblyError("instruction outside .text", number)
+            code_lines.append(_Line(number, mnemonic, _split_operands(rest)))
+            code_cursor += 1
+
+    # Pass 2a: data values (may reference labels).
+    def resolve(token: str, number: int) -> int:
+        if token in labels:
+            return labels[token]
+        return _parse_int(token, number)
+
+    for base, line in pending_data:
+        for i, token in enumerate(line.operands):
+            data[base + i * WORD_SIZE] = resolve(token, line.number)
+
+    # Pass 2b: instructions.
+    instructions = [_encode(line, labels) for line in code_lines]
+    if not instructions:
+        raise AssemblyError("program has no instructions")
+    return Program(name=name, instructions=instructions, labels=labels, data=data)
+
+
+def _encode(line: _Line, labels: Dict[str, int]) -> Instruction:
+    m, ops, number = line.mnemonic, line.operands, line.number
+
+    def reg(i: int) -> int:
+        try:
+            return register_number(ops[i])
+        except Exception:
+            raise AssemblyError(f"bad register {ops[i]!r}", number) from None
+
+    def imm(i: int) -> int:
+        token = ops[i]
+        if token in labels:
+            return labels[token]
+        return _parse_int(token, number)
+
+    def arity(n: int) -> None:
+        if len(ops) != n:
+            raise AssemblyError(
+                f"{m} expects {n} operands, got {len(ops)}", number
+            )
+
+    if m in _ALU3_NAMES:
+        arity(3)
+        return Instruction(_ALU3_NAMES[m], rd=reg(0), rs1=reg(1), rs2=reg(2))
+    if m in _ALU_IMM_NAMES:
+        arity(3)
+        return Instruction(_ALU_IMM_NAMES[m], rd=reg(0), rs1=reg(1), imm=imm(2))
+    if m in _BRANCH_NAMES:
+        arity(3)
+        return Instruction(_BRANCH_NAMES[m], rs1=reg(0), rs2=reg(1), imm=imm(2))
+    if m == "li":
+        arity(2)
+        return Instruction(Opcode.LI, rd=reg(0), imm=imm(1))
+    if m == "mov":
+        arity(2)
+        return Instruction(Opcode.MOV, rd=reg(0), rs1=reg(1))
+    if m in ("ld", "st"):
+        arity(2)
+        match = _MEM_OPERAND.match(ops[1].replace(" ", ""))
+        if not match:
+            raise AssemblyError(f"bad memory operand {ops[1]!r}", number)
+        offset_token, base_token = match.groups()
+        offset = (
+            labels[offset_token]
+            if offset_token in labels
+            else _parse_int(offset_token, number)
+        )
+        base = register_number(base_token)
+        if m == "ld":
+            return Instruction(Opcode.LD, rd=reg(0), rs1=base, imm=offset)
+        return Instruction(Opcode.ST, rs1=base, rs2=reg(0), imm=offset)
+    if m == "j":
+        arity(1)
+        return Instruction(Opcode.J, imm=imm(0))
+    if m == "jal":
+        arity(1)
+        return Instruction(Opcode.JAL, rd=register_number("ra"), imm=imm(0))
+    if m == "jr":
+        arity(1)
+        return Instruction(Opcode.JR, rs1=reg(0))
+    if m == "jalr":
+        arity(1)
+        return Instruction(Opcode.JALR, rd=register_number("ra"), rs1=reg(0))
+    if m == "ret":
+        arity(0)
+        return Instruction(Opcode.JR, rs1=register_number("ra"))
+    if m == "nop":
+        arity(0)
+        return Instruction(Opcode.NOP)
+    if m == "halt":
+        arity(0)
+        return Instruction(Opcode.HALT)
+    raise AssemblyError(f"unknown mnemonic {m!r}", number)
+
+
+# -- disassembly ------------------------------------------------------------
+
+
+def disassemble_instruction(
+    instr: Instruction, labels: Optional[Dict[int, str]] = None
+) -> str:
+    """Render one instruction back to assembly text."""
+    labels = labels or {}
+
+    def target(value: int) -> str:
+        return labels.get(value, f"{value:#x}")
+
+    op = instr.op
+    name = op.value
+    if op.value in _ALU3_NAMES or op in (Opcode.MOV,):
+        if op is Opcode.MOV:
+            return f"mov {register_name(instr.rd)}, {register_name(instr.rs1)}"
+        return (
+            f"{name} {register_name(instr.rd)}, "
+            f"{register_name(instr.rs1)}, {register_name(instr.rs2)}"
+        )
+    if op.value in _ALU_IMM_NAMES:
+        return (
+            f"{name} {register_name(instr.rd)}, "
+            f"{register_name(instr.rs1)}, {instr.imm}"
+        )
+    if op is Opcode.LI:
+        return f"li {register_name(instr.rd)}, {instr.imm}"
+    if op is Opcode.LD:
+        return f"ld {register_name(instr.rd)}, {instr.imm}({register_name(instr.rs1)})"
+    if op is Opcode.ST:
+        return f"st {register_name(instr.rs2)}, {instr.imm}({register_name(instr.rs1)})"
+    if op.value in _BRANCH_NAMES:
+        return (
+            f"{name} {register_name(instr.rs1)}, "
+            f"{register_name(instr.rs2)}, {target(instr.imm)}"
+        )
+    if op is Opcode.J:
+        return f"j {target(instr.imm)}"
+    if op is Opcode.JAL:
+        return f"jal {target(instr.imm)}"
+    if op is Opcode.JR:
+        return f"jr {register_name(instr.rs1)}"
+    if op is Opcode.JALR:
+        return f"jalr {register_name(instr.rs1)}"
+    return name
+
+
+def disassemble(program: Program) -> str:
+    """Render a whole program, annotating label addresses."""
+    by_address = {addr: label for label, addr in program.labels.items()}
+    lines = []
+    for i, instr in enumerate(program.instructions):
+        address = program.address_of(i)
+        if address in by_address:
+            lines.append(f"{by_address[address]}:")
+        lines.append(f"    {disassemble_instruction(instr, by_address)}")
+    return "\n".join(lines)

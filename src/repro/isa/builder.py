@@ -1,0 +1,284 @@
+"""Programmatic program construction with labels and data allocation.
+
+The workload kernels are written against this builder. Registers may be
+given as numbers or names (``"t0"``, ``"r7"``); branch targets are label
+strings resolved when :meth:`ProgramBuilder.build` is called, so forward
+references are fine.
+
+Example:
+    >>> b = ProgramBuilder("count")
+    >>> b.li("t0", 0)
+    >>> b.li("t1", 10)
+    >>> b.label("loop")
+    >>> b.addi("t0", "t0", 1)
+    >>> b.blt("t0", "t1", "loop")
+    >>> b.halt()
+    >>> program = b.build()
+    >>> len(program)
+    5
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.errors import ProgramError
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.program import CODE_BASE, DATA_BASE, WORD_SIZE, Program
+from repro.isa.registers import register_number
+
+Reg = Union[int, str]
+
+
+def _reg(value: Reg) -> int:
+    if isinstance(value, str):
+        return register_number(value)
+    return value
+
+
+class ProgramBuilder:
+    """Accumulates instructions, labels and data, then builds a Program."""
+
+    def __init__(self, name: str, data_base: int = DATA_BASE):
+        self.name = name
+        self._instructions: List[dict] = []
+        self._labels: Dict[str, int] = {}
+        self._data: Dict[int, int] = {}
+        self._data_cursor = data_base
+
+    # -- labels and layout -------------------------------------------------
+
+    def label(self, name: str) -> int:
+        """Bind ``name`` to the address of the next emitted instruction."""
+        if name in self._labels:
+            raise ProgramError(f"duplicate label {name!r}")
+        address = CODE_BASE + len(self._instructions) * WORD_SIZE
+        self._labels[name] = address
+        return address
+
+    def here(self) -> int:
+        """Address of the next instruction to be emitted."""
+        return CODE_BASE + len(self._instructions) * WORD_SIZE
+
+    # -- data segment -------------------------------------------------------
+
+    def word(self, value: int, label: Optional[str] = None) -> int:
+        """Place one initialized word in the data segment; return its address."""
+        return self.array([value], label)
+
+    def array(
+        self, values: Sequence[Union[int, str]], label: Optional[str] = None
+    ) -> int:
+        """Place a sequence of words; return the base address.
+
+        A string value stores the address of that label (resolved at
+        :meth:`build` time), which is how jump tables are laid down.
+        """
+        base = self._data_cursor
+        for i, value in enumerate(values):
+            self._data[base + i * WORD_SIZE] = (
+                value if isinstance(value, str) else int(value)
+            )
+        self._data_cursor = base + max(len(values), 1) * WORD_SIZE
+        if label is not None:
+            if label in self._labels:
+                raise ProgramError(f"duplicate label {label!r}")
+            self._labels[label] = base
+        return base
+
+    def alloc(self, n_words: int, label: Optional[str] = None) -> int:
+        """Reserve ``n_words`` zero-initialized words; return the base address."""
+        return self.array([0] * n_words, label)
+
+    # -- raw emission --------------------------------------------------------
+
+    def emit(
+        self,
+        op: Opcode,
+        rd: Optional[Reg] = None,
+        rs1: Optional[Reg] = None,
+        rs2: Optional[Reg] = None,
+        imm: Optional[Union[int, str]] = None,
+    ) -> int:
+        """Emit one instruction; string ``imm`` is a label patched at build."""
+        self._instructions.append(
+            {
+                "op": op,
+                "rd": None if rd is None else _reg(rd),
+                "rs1": None if rs1 is None else _reg(rs1),
+                "rs2": None if rs2 is None else _reg(rs2),
+                "imm": imm,
+            }
+        )
+        return len(self._instructions) - 1
+
+    # -- ALU ------------------------------------------------------------------
+
+    def add(self, rd: Reg, rs1: Reg, rs2: Reg) -> int:
+        return self.emit(Opcode.ADD, rd, rs1, rs2)
+
+    def sub(self, rd: Reg, rs1: Reg, rs2: Reg) -> int:
+        return self.emit(Opcode.SUB, rd, rs1, rs2)
+
+    def mul(self, rd: Reg, rs1: Reg, rs2: Reg) -> int:
+        return self.emit(Opcode.MUL, rd, rs1, rs2)
+
+    def div(self, rd: Reg, rs1: Reg, rs2: Reg) -> int:
+        return self.emit(Opcode.DIV, rd, rs1, rs2)
+
+    def rem(self, rd: Reg, rs1: Reg, rs2: Reg) -> int:
+        return self.emit(Opcode.REM, rd, rs1, rs2)
+
+    def and_(self, rd: Reg, rs1: Reg, rs2: Reg) -> int:
+        return self.emit(Opcode.AND, rd, rs1, rs2)
+
+    def or_(self, rd: Reg, rs1: Reg, rs2: Reg) -> int:
+        return self.emit(Opcode.OR, rd, rs1, rs2)
+
+    def xor(self, rd: Reg, rs1: Reg, rs2: Reg) -> int:
+        return self.emit(Opcode.XOR, rd, rs1, rs2)
+
+    def sll(self, rd: Reg, rs1: Reg, rs2: Reg) -> int:
+        return self.emit(Opcode.SLL, rd, rs1, rs2)
+
+    def srl(self, rd: Reg, rs1: Reg, rs2: Reg) -> int:
+        return self.emit(Opcode.SRL, rd, rs1, rs2)
+
+    def sra(self, rd: Reg, rs1: Reg, rs2: Reg) -> int:
+        return self.emit(Opcode.SRA, rd, rs1, rs2)
+
+    def slt(self, rd: Reg, rs1: Reg, rs2: Reg) -> int:
+        return self.emit(Opcode.SLT, rd, rs1, rs2)
+
+    def sltu(self, rd: Reg, rs1: Reg, rs2: Reg) -> int:
+        return self.emit(Opcode.SLTU, rd, rs1, rs2)
+
+    def seq(self, rd: Reg, rs1: Reg, rs2: Reg) -> int:
+        return self.emit(Opcode.SEQ, rd, rs1, rs2)
+
+    # -- immediate ALU -----------------------------------------------------
+
+    def addi(self, rd: Reg, rs1: Reg, imm: int) -> int:
+        return self.emit(Opcode.ADDI, rd, rs1, imm=imm)
+
+    def andi(self, rd: Reg, rs1: Reg, imm: int) -> int:
+        return self.emit(Opcode.ANDI, rd, rs1, imm=imm)
+
+    def ori(self, rd: Reg, rs1: Reg, imm: int) -> int:
+        return self.emit(Opcode.ORI, rd, rs1, imm=imm)
+
+    def xori(self, rd: Reg, rs1: Reg, imm: int) -> int:
+        return self.emit(Opcode.XORI, rd, rs1, imm=imm)
+
+    def slli(self, rd: Reg, rs1: Reg, imm: int) -> int:
+        return self.emit(Opcode.SLLI, rd, rs1, imm=imm)
+
+    def srli(self, rd: Reg, rs1: Reg, imm: int) -> int:
+        return self.emit(Opcode.SRLI, rd, rs1, imm=imm)
+
+    def srai(self, rd: Reg, rs1: Reg, imm: int) -> int:
+        return self.emit(Opcode.SRAI, rd, rs1, imm=imm)
+
+    def slti(self, rd: Reg, rs1: Reg, imm: int) -> int:
+        return self.emit(Opcode.SLTI, rd, rs1, imm=imm)
+
+    def muli(self, rd: Reg, rs1: Reg, imm: int) -> int:
+        return self.emit(Opcode.MULI, rd, rs1, imm=imm)
+
+    # -- constants, moves, memory -------------------------------------------
+
+    def li(self, rd: Reg, imm: Union[int, str]) -> int:
+        """Load an immediate; a string immediate loads a label's address."""
+        return self.emit(Opcode.LI, rd, imm=imm)
+
+    def mov(self, rd: Reg, rs1: Reg) -> int:
+        return self.emit(Opcode.MOV, rd, rs1)
+
+    def ld(self, rd: Reg, rs1: Reg, offset: int = 0) -> int:
+        return self.emit(Opcode.LD, rd, rs1, imm=offset)
+
+    def st(self, rs2: Reg, rs1: Reg, offset: int = 0) -> int:
+        """Store register ``rs2`` to ``offset(rs1)``."""
+        return self.emit(Opcode.ST, rs1=rs1, rs2=rs2, imm=offset)
+
+    # -- control flow ---------------------------------------------------------
+
+    def beq(self, rs1: Reg, rs2: Reg, target: Union[int, str]) -> int:
+        return self.emit(Opcode.BEQ, rs1=rs1, rs2=rs2, imm=target)
+
+    def bne(self, rs1: Reg, rs2: Reg, target: Union[int, str]) -> int:
+        return self.emit(Opcode.BNE, rs1=rs1, rs2=rs2, imm=target)
+
+    def blt(self, rs1: Reg, rs2: Reg, target: Union[int, str]) -> int:
+        return self.emit(Opcode.BLT, rs1=rs1, rs2=rs2, imm=target)
+
+    def bge(self, rs1: Reg, rs2: Reg, target: Union[int, str]) -> int:
+        return self.emit(Opcode.BGE, rs1=rs1, rs2=rs2, imm=target)
+
+    def bltu(self, rs1: Reg, rs2: Reg, target: Union[int, str]) -> int:
+        return self.emit(Opcode.BLTU, rs1=rs1, rs2=rs2, imm=target)
+
+    def bgeu(self, rs1: Reg, rs2: Reg, target: Union[int, str]) -> int:
+        return self.emit(Opcode.BGEU, rs1=rs1, rs2=rs2, imm=target)
+
+    def j(self, target: Union[int, str]) -> int:
+        return self.emit(Opcode.J, imm=target)
+
+    def jal(self, target: Union[int, str], rd: Reg = "ra") -> int:
+        return self.emit(Opcode.JAL, rd=rd, imm=target)
+
+    def jr(self, rs1: Reg) -> int:
+        return self.emit(Opcode.JR, rs1=rs1)
+
+    def jalr(self, rs1: Reg, rd: Reg = "ra") -> int:
+        return self.emit(Opcode.JALR, rd=rd, rs1=rs1)
+
+    def ret(self) -> int:
+        return self.jr("ra")
+
+    def nop(self) -> int:
+        return self.emit(Opcode.NOP)
+
+    def halt(self) -> int:
+        return self.emit(Opcode.HALT)
+
+    # -- finalize ----------------------------------------------------------
+
+    def build(self) -> Program:
+        """Resolve labels and return an immutable :class:`Program`."""
+        instructions = []
+        for i, raw in enumerate(self._instructions):
+            imm = raw["imm"]
+            if isinstance(imm, str):
+                if imm not in self._labels:
+                    raise ProgramError(
+                        f"{self.name}: instruction {i} references "
+                        f"undefined label {imm!r}"
+                    )
+                imm = self._labels[imm]
+            instructions.append(
+                Instruction(
+                    op=raw["op"],
+                    rd=raw["rd"],
+                    rs1=raw["rs1"],
+                    rs2=raw["rs2"],
+                    imm=imm,
+                )
+            )
+        data = {}
+        for address, value in self._data.items():
+            if isinstance(value, str):
+                if value not in self._labels:
+                    raise ProgramError(
+                        f"{self.name}: data word at {address:#x} references "
+                        f"undefined label {value!r}"
+                    )
+                value = self._labels[value]
+            data[address] = value
+        return Program(
+            name=self.name,
+            instructions=instructions,
+            labels=dict(self._labels),
+            data=data,
+        )

@@ -1,0 +1,115 @@
+"""The static :class:`Instruction` record."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.errors import ProgramError
+from repro.isa import opcodes
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import validate_register
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One static instruction.
+
+    ``rd``/``rs1``/``rs2`` are register numbers (or ``None`` where the
+    opcode has no such operand). ``imm`` holds immediates and resolved
+    direct branch/jump targets (as absolute byte addresses).
+    """
+
+    op: Opcode
+    rd: Optional[int] = None
+    rs1: Optional[int] = None
+    rs2: Optional[int] = None
+    imm: Optional[int] = None
+
+    def __post_init__(self):
+        for field in (self.rd, self.rs1, self.rs2):
+            if field is not None:
+                validate_register(field)
+
+    # -- static properties ------------------------------------------------
+
+    @property
+    def op_class(self) -> opcodes.OpClass:
+        """Coarse class (ALU / LOAD / STORE / BRANCH / JUMP / ...)."""
+        return opcodes.op_class(self.op)
+
+    @property
+    def writes_register(self) -> bool:
+        """True if this instruction produces a register value."""
+        return opcodes.writes_register(self.op) and self.rd not in (None, 0)
+
+    @property
+    def is_branch(self) -> bool:
+        return opcodes.is_branch(self.op)
+
+    @property
+    def is_jump(self) -> bool:
+        return opcodes.is_jump(self.op)
+
+    @property
+    def is_control(self) -> bool:
+        return opcodes.is_control(self.op)
+
+    @property
+    def is_indirect(self) -> bool:
+        return opcodes.is_indirect(self.op)
+
+    def source_registers(self) -> Tuple[int, ...]:
+        """Register numbers this instruction reads (r0 excluded).
+
+        r0 is architecturally constant so reading it creates no data
+        dependence; the dataflow and timing layers rely on that.
+        """
+        sources = []
+        if self.rs1 is not None and self.rs1 != 0:
+            sources.append(self.rs1)
+        if self.rs2 is not None and self.rs2 != 0:
+            sources.append(self.rs2)
+        return tuple(sources)
+
+    def destination_register(self) -> Optional[int]:
+        """The architectural destination, or None (writes to r0 discarded)."""
+        if self.writes_register:
+            return self.rd
+        return None
+
+    def validate(self) -> None:
+        """Check operand shape against the opcode; raise ProgramError."""
+        op = self.op
+        need = _OPERAND_SHAPE.get(op)
+        if need is None:
+            raise ProgramError(f"no operand shape known for {op}")
+        want_rd, want_rs1, want_rs2, want_imm = need
+        if want_rd != (self.rd is not None):
+            raise ProgramError(f"{op.value}: rd operand mismatch")
+        if want_rs1 != (self.rs1 is not None):
+            raise ProgramError(f"{op.value}: rs1 operand mismatch")
+        if want_rs2 != (self.rs2 is not None):
+            raise ProgramError(f"{op.value}: rs2 operand mismatch")
+        if want_imm != (self.imm is not None):
+            raise ProgramError(f"{op.value}: imm operand mismatch")
+
+
+# (rd, rs1, rs2, imm) presence per opcode.
+_OPERAND_SHAPE = {}
+for _op in opcodes.alu3_opcodes():
+    _OPERAND_SHAPE[_op] = (True, True, True, False)
+for _op in opcodes.alu_imm_opcodes():
+    _OPERAND_SHAPE[_op] = (True, True, False, True)
+_OPERAND_SHAPE[Opcode.LI] = (True, False, False, True)
+_OPERAND_SHAPE[Opcode.MOV] = (True, True, False, False)
+_OPERAND_SHAPE[Opcode.LD] = (True, True, False, True)
+_OPERAND_SHAPE[Opcode.ST] = (False, True, True, True)
+for _op in (Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE, Opcode.BLTU, Opcode.BGEU):
+    _OPERAND_SHAPE[_op] = (False, True, True, True)
+_OPERAND_SHAPE[Opcode.J] = (False, False, False, True)
+_OPERAND_SHAPE[Opcode.JAL] = (True, False, False, True)
+_OPERAND_SHAPE[Opcode.JR] = (False, True, False, False)
+_OPERAND_SHAPE[Opcode.JALR] = (True, True, False, False)
+_OPERAND_SHAPE[Opcode.NOP] = (False, False, False, False)
+_OPERAND_SHAPE[Opcode.HALT] = (False, False, False, False)

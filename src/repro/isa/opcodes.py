@@ -1,0 +1,171 @@
+"""Opcode definitions and static opcode properties."""
+
+from __future__ import annotations
+
+import enum
+
+
+class OpClass(enum.Enum):
+    """Coarse instruction class used by the trace and timing layers."""
+
+    ALU = "alu"
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"  # conditional, direct target
+    JUMP = "jump"      # unconditional (direct or indirect)
+    HALT = "halt"
+    NOP = "nop"
+
+
+class Opcode(enum.Enum):
+    """Every instruction mnemonic in the ISA."""
+
+    # Three-operand ALU (rd, rs1, rs2).
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"    # quotient; division by zero yields 0 (documented)
+    REM = "rem"    # remainder; by zero yields first operand
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SLL = "sll"    # shift left logical (by rs2 mod 64)
+    SRL = "srl"    # shift right logical
+    SRA = "sra"    # shift right arithmetic
+    SLT = "slt"    # rd = 1 if rs1 < rs2 (signed) else 0
+    SLTU = "sltu"  # unsigned compare
+    SEQ = "seq"    # rd = 1 if rs1 == rs2 else 0
+
+    # Immediate ALU (rd, rs1, imm).
+    ADDI = "addi"
+    ANDI = "andi"
+    ORI = "ori"
+    XORI = "xori"
+    SLLI = "slli"
+    SRLI = "srli"
+    SRAI = "srai"
+    SLTI = "slti"
+    MULI = "muli"
+
+    # Constants and moves.
+    LI = "li"      # rd = imm (full-width immediate)
+    MOV = "mov"    # rd = rs1
+
+    # Memory (word granularity): LD rd, imm(rs1); ST rs2, imm(rs1).
+    LD = "ld"
+    ST = "st"
+
+    # Control flow.
+    BEQ = "beq"    # branch if rs1 == rs2
+    BNE = "bne"
+    BLT = "blt"    # signed
+    BGE = "bge"    # signed
+    BLTU = "bltu"
+    BGEU = "bgeu"
+    J = "j"        # unconditional direct jump
+    JAL = "jal"    # rd = return address; jump to label
+    JR = "jr"      # jump to address in rs1 (indirect)
+    JALR = "jalr"  # rd = return address; jump to rs1 (indirect call)
+
+    # Misc.
+    NOP = "nop"
+    HALT = "halt"
+
+
+_ALU3 = frozenset(
+    {
+        Opcode.ADD,
+        Opcode.SUB,
+        Opcode.MUL,
+        Opcode.DIV,
+        Opcode.REM,
+        Opcode.AND,
+        Opcode.OR,
+        Opcode.XOR,
+        Opcode.SLL,
+        Opcode.SRL,
+        Opcode.SRA,
+        Opcode.SLT,
+        Opcode.SLTU,
+        Opcode.SEQ,
+    }
+)
+
+_ALU_IMM = frozenset(
+    {
+        Opcode.ADDI,
+        Opcode.ANDI,
+        Opcode.ORI,
+        Opcode.XORI,
+        Opcode.SLLI,
+        Opcode.SRLI,
+        Opcode.SRAI,
+        Opcode.SLTI,
+        Opcode.MULI,
+    }
+)
+
+_BRANCHES = frozenset(
+    {Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE, Opcode.BLTU, Opcode.BGEU}
+)
+
+_JUMPS = frozenset({Opcode.J, Opcode.JAL, Opcode.JR, Opcode.JALR})
+
+_INDIRECT = frozenset({Opcode.JR, Opcode.JALR})
+
+# Opcodes that write a destination register (value-prediction candidates).
+_WRITERS = _ALU3 | _ALU_IMM | frozenset(
+    {Opcode.LI, Opcode.MOV, Opcode.LD, Opcode.JAL, Opcode.JALR}
+)
+
+
+def op_class(op: Opcode) -> OpClass:
+    """Return the coarse :class:`OpClass` of ``op``."""
+    if op in _ALU3 or op in _ALU_IMM or op in (Opcode.LI, Opcode.MOV):
+        return OpClass.ALU
+    if op is Opcode.LD:
+        return OpClass.LOAD
+    if op is Opcode.ST:
+        return OpClass.STORE
+    if op in _BRANCHES:
+        return OpClass.BRANCH
+    if op in _JUMPS:
+        return OpClass.JUMP
+    if op is Opcode.HALT:
+        return OpClass.HALT
+    return OpClass.NOP
+
+
+def writes_register(op: Opcode) -> bool:
+    """True if the opcode produces a destination-register value."""
+    return op in _WRITERS
+
+
+def is_branch(op: Opcode) -> bool:
+    """True for conditional branches (direct target, may fall through)."""
+    return op in _BRANCHES
+
+
+def is_jump(op: Opcode) -> bool:
+    """True for unconditional control transfers."""
+    return op in _JUMPS
+
+
+def is_indirect(op: Opcode) -> bool:
+    """True when the target comes from a register."""
+    return op in _INDIRECT
+
+
+def is_control(op: Opcode) -> bool:
+    """True for any instruction that can redirect the PC."""
+    return op in _BRANCHES or op in _JUMPS or op is Opcode.HALT
+
+
+def alu3_opcodes() -> frozenset:
+    """The set of three-register ALU opcodes."""
+    return _ALU3
+
+
+def alu_imm_opcodes() -> frozenset:
+    """The set of register-immediate ALU opcodes."""
+    return _ALU_IMM

@@ -1,0 +1,67 @@
+"""The :class:`Program` container: code, labels and an initial data image."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import ProgramError
+from repro.isa.instruction import Instruction
+
+WORD_SIZE = 4
+CODE_BASE = 0x0000_1000
+DATA_BASE = 0x0010_0000
+STACK_BASE = 0x0080_0000  # stacks grow downward from here
+
+
+@dataclass
+class Program:
+    """An assembled program ready for the functional simulator.
+
+    Attributes:
+        name: Human-readable program name (benchmark id for workloads).
+        instructions: Static code, laid out from :data:`CODE_BASE`.
+        labels: label name -> absolute byte address.
+        data: initial memory image, absolute byte address -> word value.
+    """
+
+    name: str
+    instructions: List[Instruction]
+    labels: Dict[str, int] = field(default_factory=dict)
+    data: Dict[int, int] = field(default_factory=dict)
+    entry: Optional[int] = None
+
+    def __post_init__(self):
+        if not self.instructions:
+            raise ProgramError(f"program {self.name!r} has no instructions")
+        if self.entry is None:
+            self.entry = CODE_BASE
+        for instr in self.instructions:
+            instr.validate()
+        for addr in self.data:
+            if addr % WORD_SIZE:
+                raise ProgramError(f"misaligned data address {addr:#x}")
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def address_of(self, index: int) -> int:
+        """Byte address of the static instruction at ``index``."""
+        return CODE_BASE + index * WORD_SIZE
+
+    def index_of(self, address: int) -> int:
+        """Static index of the instruction at byte ``address``."""
+        offset = address - CODE_BASE
+        if offset % WORD_SIZE or not 0 <= offset < len(self.instructions) * WORD_SIZE:
+            raise ProgramError(f"address {address:#x} is not in the code segment")
+        return offset // WORD_SIZE
+
+    def fetch(self, address: int) -> Instruction:
+        """The static instruction at byte ``address``."""
+        return self.instructions[self.index_of(address)]
+
+    def label_address(self, label: str) -> int:
+        try:
+            return self.labels[label]
+        except KeyError:
+            raise ProgramError(f"unknown label {label!r}") from None

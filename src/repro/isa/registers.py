@@ -1,0 +1,77 @@
+"""Register-file conventions.
+
+32 general-purpose integer registers. ``r0`` is hardwired to zero, as on
+MIPS/RISC-V. A small ABI naming scheme makes hand-written kernels readable:
+
+========  ==========  =======================================
+Numbers   ABI names   Convention
+========  ==========  =======================================
+r0        zero        constant 0
+r1        ra          return address
+r2        sp          stack pointer
+r3        gp          global (data segment) pointer
+r4–r11    a0–a7       arguments / results
+r12–r19   t0–t7       caller-saved temporaries
+r20–r29   s0–s9       callee-saved
+r30       fp          frame pointer
+r31       at          assembler temporary
+========  ==========  =======================================
+"""
+
+from __future__ import annotations
+
+from repro.errors import ProgramError
+
+NUM_REGS = 32
+ZERO_REG = 0
+
+_ABI_NAMES = {
+    "zero": 0,
+    "ra": 1,
+    "sp": 2,
+    "gp": 3,
+    "fp": 30,
+    "at": 31,
+}
+for _i in range(8):
+    _ABI_NAMES[f"a{_i}"] = 4 + _i
+for _i in range(8):
+    _ABI_NAMES[f"t{_i}"] = 12 + _i
+for _i in range(10):
+    _ABI_NAMES[f"s{_i}"] = 20 + _i
+
+_NUMBER_TO_ABI = {}
+for _name, _num in _ABI_NAMES.items():
+    # Prefer the first (canonical) name for each number.
+    _NUMBER_TO_ABI.setdefault(_num, _name)
+
+
+def register_number(name: str) -> int:
+    """Map a register name (``r7``, ``t0``, ``sp``...) to its number.
+
+    Raises :class:`ProgramError` for unknown names or out-of-range numbers.
+    """
+    name = name.strip().lower()
+    if name in _ABI_NAMES:
+        return _ABI_NAMES[name]
+    if name.startswith("r") and name[1:].isdigit():
+        num = int(name[1:])
+        if 0 <= num < NUM_REGS:
+            return num
+    raise ProgramError(f"unknown register {name!r}")
+
+
+def register_name(num: int, abi: bool = True) -> str:
+    """Render a register number as a name (ABI alias when available)."""
+    if not 0 <= num < NUM_REGS:
+        raise ProgramError(f"register number out of range: {num}")
+    if abi and num in _NUMBER_TO_ABI:
+        return _NUMBER_TO_ABI[num]
+    return f"r{num}"
+
+
+def validate_register(num: int) -> int:
+    """Check that ``num`` is a legal register number and return it."""
+    if not isinstance(num, int) or not 0 <= num < NUM_REGS:
+        raise ProgramError(f"invalid register number: {num!r}")
+    return num

@@ -1,0 +1,77 @@
+"""``repro-trace`` — workload/trace inspection from the command line.
+
+Subcommands:
+
+* ``stats <workload>``   — trace statistics (mix, branch density...)
+* ``dump <workload>``    — write the trace to a file (or stdout)
+* ``disasm <workload>``  — disassemble the workload's static code
+* ``did <workload>``     — DID summary of the trace
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.dfg import DIDHistogram, average_did, build_dfg
+from repro.isa import disassemble
+from repro.trace import compute_stats, write_trace
+from repro.workloads import WORKLOAD_NAMES, build_workload, generate_trace
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-trace",
+        description="Inspect the repro workloads and their traces.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add(name: str, help_text: str) -> argparse.ArgumentParser:
+        command = sub.add_parser(name, help=help_text)
+        command.add_argument("workload", choices=WORKLOAD_NAMES)
+        command.add_argument("--length", type=int, default=10_000)
+        command.add_argument("--seed", type=int, default=0)
+        return command
+
+    add("stats", "print trace statistics")
+    dump = add("dump", "serialize the trace")
+    dump.add_argument("--output", "-o", default="-",
+                      help="output path ('-' = stdout)")
+    add("did", "print the DID summary")
+    disasm = sub.add_parser("disasm", help="disassemble the static code")
+    disasm.add_argument("workload", choices=WORKLOAD_NAMES)
+    disasm.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "disasm":
+        print(disassemble(build_workload(args.workload, seed=args.seed)))
+        return 0
+
+    trace = generate_trace(args.workload, length=args.length, seed=args.seed)
+    if args.command == "stats":
+        print(compute_stats(trace).format())
+    elif args.command == "dump":
+        if args.output == "-":
+            write_trace(trace, sys.stdout)
+        else:
+            write_trace(trace, args.output)
+            print(f"wrote {len(trace)} records to {args.output}",
+                  file=sys.stderr)
+    elif args.command == "did":
+        graph = build_dfg(trace)
+        histogram = DIDHistogram.from_graph(graph)
+        print(f"{args.workload}: {graph.n_arcs} arcs, "
+              f"average DID {average_did(graph):.2f}")
+        for label, fraction in zip(histogram.labels(), histogram.fractions()):
+            print(f"  DID {label:<6} {fraction:6.1%}")
+        print(f"  DID >= 4   {histogram.fraction_at_least(4):6.1%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,24 @@
+"""Dynamic instruction traces.
+
+A trace is the interface between the workload layer (functional execution
+of kernels) and everything above it: dataflow/DID analysis, the ideal
+machine of Section 3 and the realistic machine of Section 5 are all
+trace-driven, exactly like the paper's Shade-based methodology.
+"""
+
+from repro.trace.record import DynInstr
+from repro.trace.trace import Trace
+from repro.trace.io import read_trace, write_trace
+from repro.trace.stats import TraceStats, compute_stats
+from repro.trace.synthetic import SyntheticTraceConfig, generate_synthetic_trace
+
+__all__ = [
+    "DynInstr",
+    "Trace",
+    "read_trace",
+    "write_trace",
+    "TraceStats",
+    "compute_stats",
+    "SyntheticTraceConfig",
+    "generate_synthetic_trace",
+]

@@ -1,0 +1,95 @@
+"""Plain-text trace serialization.
+
+Format: one record per line, pipe-separated fields::
+
+    seq|pc|opcode|dest|value|srcs|taken|next_pc|mem_addr
+
+``dest``, ``value`` and ``mem_addr`` may be ``-`` (absent); ``srcs`` is a
+comma-joined list (may be empty). A header line carries the trace name.
+The format favours debuggability over density; traces in this repo are
+tens of thousands of records, not the paper's 100 M.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Union
+
+from repro.errors import TraceError
+from repro.isa.opcodes import Opcode
+from repro.trace.record import DynInstr
+from repro.trace.trace import Trace
+
+_HEADER_PREFIX = "#repro-trace:"
+
+
+def write_trace(trace: Trace, destination: Union[str, Path, io.TextIOBase]) -> None:
+    """Write ``trace`` to a path or text stream."""
+    if isinstance(destination, (str, Path)):
+        with open(destination, "w") as handle:
+            _write(trace, handle)
+    else:
+        _write(trace, destination)
+
+
+def _write(trace: Trace, handle) -> None:
+    handle.write(f"{_HEADER_PREFIX}{trace.name}\n")
+    for r in trace:
+        dest = "-" if r.dest is None else str(r.dest)
+        value = "-" if r.value is None else str(r.value)
+        mem = "-" if r.mem_addr is None else str(r.mem_addr)
+        srcs = ",".join(str(s) for s in r.srcs)
+        handle.write(
+            f"{r.seq}|{r.pc}|{r.op.value}|{dest}|{value}|{srcs}|"
+            f"{int(r.taken)}|{r.next_pc}|{mem}\n"
+        )
+
+
+def read_trace(source: Union[str, Path, io.TextIOBase]) -> Trace:
+    """Read a trace previously written by :func:`write_trace`."""
+    if isinstance(source, (str, Path)):
+        with open(source) as handle:
+            return _read(handle)
+    return _read(source)
+
+
+def _read(handle) -> Trace:
+    header = handle.readline()
+    if not header.startswith(_HEADER_PREFIX):
+        raise TraceError("missing trace header")
+    name = header[len(_HEADER_PREFIX):].strip()
+    records = []
+    for line_number, line in enumerate(handle, start=2):
+        line = line.strip()
+        if not line:
+            continue
+        fields = line.split("|")
+        if len(fields) != 9:
+            raise TraceError(f"line {line_number}: expected 9 fields")
+        try:
+            seq = int(fields[0])
+            pc = int(fields[1])
+            op = Opcode(fields[2])
+            dest = None if fields[3] == "-" else int(fields[3])
+            value = None if fields[4] == "-" else int(fields[4])
+            srcs = tuple(int(s) for s in fields[5].split(",") if s)
+            taken = bool(int(fields[6]))
+            next_pc = int(fields[7])
+            mem_addr = None if fields[8] == "-" else int(fields[8])
+        except (ValueError, KeyError) as exc:
+            raise TraceError(f"line {line_number}: {exc}") from exc
+        records.append(
+            DynInstr(
+                seq=seq,
+                pc=pc,
+                op=op,
+                dest=dest,
+                srcs=srcs,
+                value=value,
+                taken=taken,
+                next_pc=next_pc,
+                mem_addr=mem_addr,
+            )
+        )
+    return Trace(records, name=name)

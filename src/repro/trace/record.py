@@ -1,0 +1,107 @@
+"""The dynamic-instruction record every simulator consumes."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.isa.opcodes import OpClass, Opcode, op_class
+
+
+class DynInstr:
+    """One dynamic (executed) instruction.
+
+    Attributes:
+        seq: 0-based position in the dynamic trace (the node number the
+            paper assigns when defining the DID).
+        pc: byte address of the static instruction.
+        op: the :class:`Opcode` executed.
+        dest: destination register number, or None when the instruction
+            produces no register value (stores, branches, writes to r0).
+        srcs: source register numbers actually read (r0 excluded).
+        value: the produced destination value, or None.
+        taken: for control instructions, whether the PC was redirected;
+            always False otherwise.
+        next_pc: address of the next dynamic instruction.
+        mem_addr: effective address for loads/stores, else None.
+    """
+
+    __slots__ = ("seq", "pc", "op", "dest", "srcs", "value", "taken",
+                 "next_pc", "mem_addr")
+
+    def __init__(
+        self,
+        seq: int,
+        pc: int,
+        op: Opcode,
+        dest: Optional[int] = None,
+        srcs: Tuple[int, ...] = (),
+        value: Optional[int] = None,
+        taken: bool = False,
+        next_pc: int = 0,
+        mem_addr: Optional[int] = None,
+    ):
+        self.seq = seq
+        self.pc = pc
+        self.op = op
+        self.dest = dest
+        self.srcs = srcs
+        self.value = value
+        self.taken = taken
+        self.next_pc = next_pc
+        self.mem_addr = mem_addr
+
+    # -- derived properties --------------------------------------------------
+
+    @property
+    def op_class(self) -> OpClass:
+        return op_class(self.op)
+
+    @property
+    def is_conditional_branch(self) -> bool:
+        return op_class(self.op) is OpClass.BRANCH
+
+    @property
+    def is_control(self) -> bool:
+        return op_class(self.op) in (OpClass.BRANCH, OpClass.JUMP)
+
+    @property
+    def redirects_fetch(self) -> bool:
+        """True when the dynamic instruction broke sequential fetch.
+
+        This is the paper's notion of a "taken branch" for fetch-bandwidth
+        purposes: taken conditionals and all jumps count; not-taken
+        conditionals keep the fetch stream contiguous.
+        """
+        return self.taken
+
+    @property
+    def writes_register(self) -> bool:
+        return self.dest is not None
+
+    @property
+    def is_load(self) -> bool:
+        return op_class(self.op) is OpClass.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return op_class(self.op) is OpClass.STORE
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        parts = [f"#{self.seq}", f"pc={self.pc:#x}", self.op.value]
+        if self.dest is not None:
+            parts.append(f"r{self.dest}={self.value}")
+        if self.srcs:
+            parts.append("srcs=" + ",".join(f"r{s}" for s in self.srcs))
+        if self.is_control:
+            parts.append("taken" if self.taken else "not-taken")
+        return f"<DynInstr {' '.join(parts)}>"
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, DynInstr):
+            return NotImplemented
+        return all(
+            getattr(self, slot) == getattr(other, slot) for slot in self.__slots__
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.seq, self.pc, self.op))

@@ -1,0 +1,105 @@
+"""Descriptive statistics over a trace (mix, branch density, block sizes)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.isa.opcodes import OpClass
+from repro.trace.trace import Trace
+
+
+@dataclass
+class TraceStats:
+    """Summary statistics of a dynamic trace."""
+
+    name: str
+    length: int
+    mix: Dict[OpClass, int] = field(default_factory=dict)
+    taken_transfers: int = 0
+    conditional_branches: int = 0
+    taken_conditional_branches: int = 0
+    value_producers: int = 0
+    unique_pcs: int = 0
+    mean_block_size: float = 0.0
+    max_block_size: int = 0
+
+    @property
+    def taken_density(self) -> float:
+        """Taken control transfers per instruction."""
+        if self.length == 0:
+            return 0.0
+        return self.taken_transfers / self.length
+
+    @property
+    def conditional_taken_rate(self) -> float:
+        """Fraction of conditional branches that were taken."""
+        if self.conditional_branches == 0:
+            return 0.0
+        return self.taken_conditional_branches / self.conditional_branches
+
+    def format(self) -> str:
+        """Render a small human-readable report."""
+        lines = [
+            f"trace {self.name}: {self.length} instructions, "
+            f"{self.unique_pcs} unique PCs",
+            f"  value producers: {self.value_producers} "
+            f"({100.0 * self.value_producers / max(self.length, 1):.1f}%)",
+            f"  taken transfers/instr: {self.taken_density:.3f}",
+            f"  conditional taken rate: {self.conditional_taken_rate:.3f}",
+            f"  mean dynamic basic block: {self.mean_block_size:.2f} "
+            f"(max {self.max_block_size})",
+        ]
+        for klass in OpClass:
+            count = self.mix.get(klass, 0)
+            if count:
+                lines.append(
+                    f"  {klass.value:<7} {count:>8} "
+                    f"({100.0 * count / max(self.length, 1):5.1f}%)"
+                )
+        return "\n".join(lines)
+
+
+def compute_stats(trace: Trace) -> TraceStats:
+    """Compute :class:`TraceStats` in one pass over ``trace``."""
+    mix: Dict[OpClass, int] = {}
+    taken = 0
+    conditionals = 0
+    taken_conditionals = 0
+    producers = 0
+    pcs = set()
+    block_sizes: List[int] = []
+    current_block = 0
+
+    for record in trace:
+        klass = record.op_class
+        mix[klass] = mix.get(klass, 0) + 1
+        pcs.add(record.pc)
+        current_block += 1
+        if record.dest is not None:
+            producers += 1
+        if record.redirects_fetch:
+            taken += 1
+        if record.is_conditional_branch:
+            conditionals += 1
+            if record.taken:
+                taken_conditionals += 1
+        if record.is_control:
+            block_sizes.append(current_block)
+            current_block = 0
+    if current_block:
+        block_sizes.append(current_block)
+
+    mean_block = sum(block_sizes) / len(block_sizes) if block_sizes else 0.0
+    return TraceStats(
+        name=trace.name,
+        length=len(trace),
+        mix=mix,
+        taken_transfers=taken,
+        conditional_branches=conditionals,
+        taken_conditional_branches=taken_conditionals,
+        value_producers=producers,
+        unique_pcs=len(pcs),
+        mean_block_size=mean_block,
+        max_block_size=max(block_sizes) if block_sizes else 0,
+    )

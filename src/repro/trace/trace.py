@@ -1,0 +1,80 @@
+"""The :class:`Trace` container."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional
+
+from repro.errors import TraceError
+from repro.isa.opcodes import OpClass
+from repro.trace.record import DynInstr
+
+
+class Trace:
+    """An ordered sequence of :class:`DynInstr` records.
+
+    The container re-validates the sequence numbering on construction so
+    downstream array-indexed algorithms (DFG, timing models) can rely on
+    ``trace[i].seq == i``.
+    """
+
+    def __init__(self, records: Iterable[DynInstr], name: str = "trace"):
+        self.name = name
+        self._records: List[DynInstr] = list(records)
+        for i, record in enumerate(self._records):
+            if record.seq != i:
+                raise TraceError(
+                    f"trace {name!r}: record {i} has seq={record.seq}"
+                )
+
+    # -- sequence protocol -----------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[DynInstr]:
+        return iter(self._records)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return self._records[index]
+        return self._records[index]
+
+    # -- convenience -------------------------------------------------------
+
+    @property
+    def records(self) -> List[DynInstr]:
+        """The underlying list (treated as read-only by convention)."""
+        return self._records
+
+    def prefix(self, n: int, name: Optional[str] = None) -> "Trace":
+        """The first ``n`` records as a new trace."""
+        return Trace(self._records[:n], name=name or f"{self.name}[:{n}]")
+
+    def count_class(self, klass: OpClass) -> int:
+        """Number of records of the given :class:`OpClass`."""
+        return sum(1 for r in self._records if r.op_class is klass)
+
+    def count_taken(self) -> int:
+        """Number of dynamic control transfers that redirected fetch."""
+        return sum(1 for r in self._records if r.redirects_fetch)
+
+    def value_producers(self) -> Iterator[DynInstr]:
+        """Records that produce a register value (VP candidates)."""
+        return (r for r in self._records if r.dest is not None)
+
+    def basic_block_starts(self) -> List[int]:
+        """Sequence indices that begin a dynamic basic block.
+
+        A block begins at the start of the trace and after every control
+        instruction (taken or not — a conditional ends a block either way).
+        """
+        if not self._records:
+            return []
+        starts = [0]
+        for record in self._records[:-1]:
+            if record.is_control:
+                starts.append(record.seq + 1)
+        return starts
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Trace {self.name!r} n={len(self._records)}>"

@@ -1,0 +1,32 @@
+"""The Section 4 value-prediction hardware for wide-fetch processors.
+
+When fetch crosses multiple taken branches per cycle, several copies of
+the same instruction (loop iterations) can arrive together and an
+interleaved prediction table sees bank conflicts. The paper's solution:
+
+* a **trace addresses buffer** latches the PCs of the fetched trace,
+* an **address router** distributes them to the table banks, granting
+  the earliest instruction on a different-PC conflict and *merging*
+  same-PC requests into a single access,
+* a **value distributor** re-maps banked results onto trace slots,
+  expanding a merged stride access into last+Δ, last+2Δ, ... and raising
+  a valid bit only for slots whose request was actually served.
+
+:class:`AbstractVPUnit` models the conventional (conflict-free) lookup
+used in Sections 3/5.1/5.2; :class:`BankedVPUnit` is the proposed
+hardware and exposes its conflict statistics for the ablation benches.
+"""
+
+from repro.vphw.router import AddressRouter, RoutedAccess, RoutingOutcome
+from repro.vphw.distributor import ValueDistributor
+from repro.vphw.unit import AbstractVPUnit, BankedVPUnit, VPUnitStats
+
+__all__ = [
+    "AddressRouter",
+    "RoutedAccess",
+    "RoutingOutcome",
+    "ValueDistributor",
+    "AbstractVPUnit",
+    "BankedVPUnit",
+    "VPUnitStats",
+]

@@ -1,0 +1,49 @@
+"""The value distributor: banked table results -> per-slot predictions."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Protocol, Tuple
+
+from repro.vphw.router import RoutingOutcome
+
+_MASK64 = (1 << 64) - 1
+
+
+class _EntryReader(Protocol):
+    """What the distributor needs from the prediction table: the stored
+    (last value, stride) pair of a PC, or None when there is no usable
+    entry. Stride predictors expose this as ``entry``; for a pure
+    last-value table the stride is 0 and the distributor degenerates to
+    replicating the same value (the paper's argument for the hybrid)."""
+
+    def entry(self, pc: int) -> Optional[Tuple[int, int]]: ...
+
+
+class ValueDistributor:
+    """Expands routed accesses into per-trace-slot predicted values.
+
+    For an access serving slots s0 < s1 < ... (merged copies of one
+    instruction), the k-th copy receives ``last + (k+1) * stride`` —
+    the X, X+Δ, X+2Δ sequence of Figure 4.2/4.3. Slots denied by the
+    router simply receive no value (valid bit low). The distributor
+    counts its adder work so the hybrid-predictor saving is measurable.
+    """
+
+    def __init__(self):
+        self.sequence_computations = 0
+
+    def distribute(
+        self, outcome: RoutingOutcome, table: _EntryReader
+    ) -> Dict[int, int]:
+        """slot -> predicted value for one cycle's routing outcome."""
+        predictions: Dict[int, int] = {}
+        for access in outcome.accesses:
+            entry = table.entry(access.pc)
+            if entry is None:
+                continue
+            last, stride = entry
+            for k, slot in enumerate(access.slots):
+                predictions[slot] = (last + (k + 1) * stride) & _MASK64
+                if k > 0 and stride != 0:
+                    self.sequence_computations += 1
+        return predictions

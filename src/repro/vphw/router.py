@@ -1,0 +1,84 @@
+"""The address router: trace PCs -> prediction-table bank accesses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ConfigError
+
+
+@dataclass
+class RoutedAccess:
+    """One granted table access: a PC and the trace slots it serves.
+
+    Multiple slots mean same-PC requests were merged (the loop-copies
+    case of Figure 4.2); slot order is trace order, which the value
+    distributor relies on when expanding stride sequences.
+    """
+
+    pc: int
+    bank: int
+    slots: List[int]
+
+    @property
+    def merged(self) -> bool:
+        return len(self.slots) > 1
+
+
+@dataclass
+class RoutingOutcome:
+    """Result of routing one fetch block."""
+
+    accesses: List[RoutedAccess] = field(default_factory=list)
+    denied_slots: List[int] = field(default_factory=list)
+
+    @property
+    def n_merged_requests(self) -> int:
+        return sum(len(a.slots) - 1 for a in self.accesses if a.merged)
+
+
+class AddressRouter:
+    """Routes one cycle's instruction addresses to table banks.
+
+    Bank selection is a modulo on the word address (the paper's
+    "low-order bits"). Conflicts between *different* PCs mapping to the
+    same bank are resolved by priority: the earlier instruction in the
+    trace wins, later ones are denied (their valid bit will stay low).
+    Same-PC requests merge into a single access.
+    """
+
+    def __init__(self, n_banks: int = 16, ports_per_bank: int = 1):
+        if n_banks < 1 or n_banks & (n_banks - 1):
+            raise ConfigError("n_banks must be a positive power of two")
+        if ports_per_bank < 1:
+            raise ConfigError("ports_per_bank must be >= 1")
+        self.n_banks = n_banks
+        self.ports_per_bank = ports_per_bank
+
+    def bank_of(self, pc: int) -> int:
+        return (pc >> 2) & (self.n_banks - 1)
+
+    def route(self, requests: Sequence[Tuple[int, int]]) -> RoutingOutcome:
+        """Route ``(slot, pc)`` requests for one cycle.
+
+        Slots must be given in trace order; the outcome preserves that
+        order inside each merged access.
+        """
+        outcome = RoutingOutcome()
+        by_pc: Dict[int, RoutedAccess] = {}
+        bank_load: Dict[int, int] = {}
+        for slot, pc in requests:
+            access = by_pc.get(pc)
+            if access is not None:
+                access.slots.append(slot)     # merge same-PC request
+                continue
+            bank = self.bank_of(pc)
+            if bank_load.get(bank, 0) >= self.ports_per_bank:
+                outcome.denied_slots.append(slot)
+                continue
+            access = RoutedAccess(pc=pc, bank=bank, slots=[slot])
+            by_pc[pc] = access
+            bank_load[bank] = bank_load.get(bank, 0) + 1
+            outcome.accesses.append(access)
+        return outcome

@@ -1,0 +1,166 @@
+"""Assembled value-prediction units consumed by the timing cores.
+
+A VP unit sees each fetch block once, in trace order:
+
+* :meth:`predict_block` — what the hardware would predict for each slot
+  of the block (before any of the block's instructions execute),
+* :meth:`train_block` — table/classifier update with actual outcomes.
+
+The split keeps lookup strictly before update inside a cycle, which is
+what makes multiple copies of one instruction in a block interesting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.trace.record import DynInstr
+from repro.vpred.base import ValuePredictor
+from repro.vpred.classifier import SaturatingClassifier
+from repro.vphw.distributor import ValueDistributor
+from repro.vphw.router import AddressRouter
+
+
+@dataclass
+class VPUnitStats:
+    """Per-run counters of a VP unit."""
+
+    candidates: int = 0        # value-producing slots seen
+    requests: int = 0          # slots that issued a table request
+    denied: int = 0            # slots denied by bank conflicts
+    merged: int = 0            # slots served by a merged access
+    predictions: int = 0       # slots that received a (classified) value
+    correct: int = 0           # ... that matched the actual outcome
+
+    @property
+    def accuracy(self) -> float:
+        return self.correct / self.predictions if self.predictions else 0.0
+
+    @property
+    def denial_rate(self) -> float:
+        return self.denied / self.requests if self.requests else 0.0
+
+
+class AbstractVPUnit:
+    """Conventional conflict-free value prediction (Sections 3/5.1/5.2).
+
+    Wraps any :class:`ValuePredictor` (typically already classified).
+    Every value-producing slot gets a lookup with *speculative update
+    after the lookup* — the paper's stated discipline — so when a fetch
+    block carries several copies of one instruction, each copy sees the
+    previous copy's update (the idealization whose hardware realization
+    is Section 4's router/distributor, modelled by :class:`BankedVPUnit`).
+    """
+
+    def __init__(self, predictor: ValuePredictor):
+        self.predictor = predictor
+        self.stats = VPUnitStats()
+
+    def predict_block(self, records: Sequence[DynInstr]) -> Dict[int, int]:
+        predictions: Dict[int, int] = {}
+        for record in records:
+            if record.dest is None:
+                continue
+            self.stats.candidates += 1
+            self.stats.requests += 1
+            predicted = self.predictor.lookup_and_update(record.pc, record.value)
+            if predicted is None:
+                continue
+            predictions[record.seq] = predicted
+            self.stats.predictions += 1
+            if predicted == record.value:
+                self.stats.correct += 1
+        return predictions
+
+    def train_block(self, records: Sequence[DynInstr]) -> None:
+        """Training already happened speculatively during the lookups."""
+
+
+class BankedVPUnit:
+    """The Section 4 banked table + router + distributor assembly.
+
+    ``predictor`` must expose ``entry(pc) -> (last, stride)`` (stride or
+    hybrid predictors do). ``hints`` optionally filters candidates
+    before routing — the opcode-hint offload of Section 4.2. Slots
+    denied by bank conflicts receive no prediction, which is how the
+    hardware's limits feed back into the timing model.
+    """
+
+    def __init__(
+        self,
+        predictor,
+        router: Optional[AddressRouter] = None,
+        classifier: Optional[SaturatingClassifier] = None,
+        hints: Optional[Dict[int, str]] = None,
+        merge_requests: bool = True,
+    ):
+        self.predictor = predictor
+        self.router = router or AddressRouter()
+        self.distributor = ValueDistributor()
+        self.classifier = classifier or SaturatingClassifier()
+        self.hints = hints
+        self.merge_requests = merge_requests
+        self.stats = VPUnitStats()
+
+    def _is_candidate(self, record: DynInstr) -> bool:
+        if record.dest is None:
+            return False
+        if self.hints is not None and self.hints.get(record.pc) == "none":
+            return False
+        return True
+
+    def predict_block(self, records: Sequence[DynInstr]) -> Dict[int, int]:
+        requests = []
+        by_seq: Dict[int, DynInstr] = {}
+        for slot, record in enumerate(records):
+            if record.dest is None:
+                continue
+            self.stats.candidates += 1
+            if not self._is_candidate(record):
+                continue
+            self.stats.requests += 1
+            requests.append((slot, record.pc))
+            by_seq[slot] = record
+
+        if not self.merge_requests:
+            # Ablation: duplicate PCs are not merged; copies beyond the
+            # first fight for the same bank port and lose.
+            outcome = self.router.route([(s, pc) for s, pc in requests])
+            seen = {}
+            kept = []
+            for access in outcome.accesses:
+                first = access.slots[0]
+                for extra in access.slots[1:]:
+                    outcome.denied_slots.append(extra)
+                access.slots = [first]
+                kept.append(access)
+            outcome.accesses = kept
+        else:
+            outcome = self.router.route(requests)
+
+        self.stats.denied += len(outcome.denied_slots)
+        self.stats.merged += outcome.n_merged_requests
+        raw = self.distributor.distribute(outcome, self.predictor)
+
+        predictions: Dict[int, int] = {}
+        for slot, value in raw.items():
+            record = by_seq[slot]
+            if not self.classifier.allows(record.pc):
+                continue
+            predictions[record.seq] = value
+            self.stats.predictions += 1
+            if value == record.value:
+                self.stats.correct += 1
+        return predictions
+
+    def train_block(self, records: Sequence[DynInstr]) -> None:
+        for record in records:
+            if record.dest is None:
+                continue
+            if self.hints is not None and self.hints.get(record.pc) == "none":
+                continue
+            raw = self.predictor.peek(record.pc)
+            if raw is not None:
+                self.classifier.train(record.pc, raw == record.value)
+            self.predictor.update(record.pc, record.value)

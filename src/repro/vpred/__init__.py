@@ -1,0 +1,30 @@
+"""Value predictors: last-value, stride, 2-delta stride and hybrid, plus
+the saturating-counter classification unit and finite-table modelling.
+
+The paper's Section 3/5 configuration is an (infinite) stride predictor
+guarded by a 2-bit saturating-counter classifier; the hybrid predictor
+with profiling hints reproduces the design of reference [9] that
+Section 4 recommends for the banked hardware.
+"""
+
+from repro.vpred.base import ValuePredictor, PredictorStats
+from repro.vpred.last_value import LastValuePredictor
+from repro.vpred.stride import StridePredictor, TwoDeltaStridePredictor
+from repro.vpred.classifier import SaturatingClassifier, ClassifiedPredictor
+from repro.vpred.table import FiniteTablePredictor
+from repro.vpred.hybrid import HybridPredictor, profile_hints
+from repro.vpred.factory import make_predictor
+
+__all__ = [
+    "ValuePredictor",
+    "PredictorStats",
+    "LastValuePredictor",
+    "StridePredictor",
+    "TwoDeltaStridePredictor",
+    "SaturatingClassifier",
+    "ClassifiedPredictor",
+    "FiniteTablePredictor",
+    "HybridPredictor",
+    "profile_hints",
+    "make_predictor",
+]

@@ -1,0 +1,70 @@
+"""Predictor interface and accuracy bookkeeping."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class PredictorStats:
+    """Counts accumulated by :meth:`ValuePredictor.lookup_and_update`."""
+
+    lookups: int = 0
+    predictions: int = 0   # lookups that returned a value
+    correct: int = 0       # predictions matching the actual outcome
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of lookups for which a prediction was offered."""
+        return self.predictions / self.lookups if self.lookups else 0.0
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of offered predictions that were correct."""
+        return self.correct / self.predictions if self.predictions else 0.0
+
+
+class ValuePredictor(abc.ABC):
+    """A per-PC value predictor.
+
+    The trace-driven protocol is :meth:`lookup_and_update`: look the PC
+    up, then update the entry with the actual outcome — the paper's
+    "speculative update after lookup, corrected as soon as the value is
+    known" collapses to exactly this in a correct-path trace simulation.
+    :meth:`peek` is a side-effect-free lookup used by the Section 4
+    hardware model, which must read table state without consuming the
+    per-cycle update.
+    """
+
+    def __init__(self):
+        self.stats = PredictorStats()
+
+    @abc.abstractmethod
+    def peek(self, pc: int) -> Optional[int]:
+        """The value this predictor would predict for ``pc``, or None."""
+
+    @abc.abstractmethod
+    def update(self, pc: int, actual: int) -> None:
+        """Record the actual outcome of the instruction at ``pc``."""
+
+    def lookup_and_update(self, pc: int, actual: int) -> Optional[int]:
+        """Predict, record stats, then train on ``actual``."""
+        predicted = self.peek(pc)
+        self.stats.lookups += 1
+        if predicted is not None:
+            self.stats.predictions += 1
+            if predicted == actual:
+                self.stats.correct += 1
+        self.update(pc, actual)
+        return predicted
+
+    def reset(self) -> None:
+        """Clear all table state and statistics."""
+        self.stats = PredictorStats()
+        self._reset_state()
+
+    @abc.abstractmethod
+    def _reset_state(self) -> None:
+        """Clear table state (stats handled by :meth:`reset`)."""

@@ -1,0 +1,88 @@
+"""Saturating-counter classification of prediction confidence.
+
+The paper (after [14], [8]) guards every value prediction with a set of
+saturating counters: a prediction is only *used* when the counter for
+that instruction has enough confidence; the counter trains on the raw
+predictor's correctness whether or not the prediction was used.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import ConfigError
+from repro.vpred.base import PredictorStats, ValuePredictor
+
+
+class SaturatingClassifier:
+    """Per-PC n-bit saturating counters with a use threshold."""
+
+    def __init__(self, bits: int = 2, threshold: int = 2, initial: int = 0):
+        if bits < 1:
+            raise ConfigError("classifier needs at least 1 bit")
+        self.max_value = (1 << bits) - 1
+        if not 0 <= threshold <= self.max_value:
+            raise ConfigError(
+                f"threshold {threshold} outside [0, {self.max_value}]"
+            )
+        if not 0 <= initial <= self.max_value:
+            raise ConfigError("initial counter value out of range")
+        self.bits = bits
+        self.threshold = threshold
+        self.initial = initial
+        self._counters: Dict[int, int] = {}
+
+    def allows(self, pc: int) -> bool:
+        """Should the prediction for ``pc`` be used this time?"""
+        return self._counters.get(pc, self.initial) >= self.threshold
+
+    def counter(self, pc: int) -> int:
+        """Current counter value for ``pc``."""
+        return self._counters.get(pc, self.initial)
+
+    def train(self, pc: int, correct: bool) -> None:
+        """Saturating increment on correct, decrement on incorrect."""
+        value = self._counters.get(pc, self.initial)
+        if correct:
+            value = min(value + 1, self.max_value)
+        else:
+            value = max(value - 1, 0)
+        self._counters[pc] = value
+
+    def reset(self) -> None:
+        self._counters.clear()
+
+
+class ClassifiedPredictor(ValuePredictor):
+    """A raw predictor gated by a :class:`SaturatingClassifier`.
+
+    ``peek`` returns a value only when the classifier trusts the PC;
+    ``update`` trains both the table and the counter (against the raw
+    prediction, so confidence can rebuild while predictions are held
+    back).
+    """
+
+    def __init__(self, predictor: ValuePredictor, classifier: SaturatingClassifier):
+        super().__init__()
+        self.predictor = predictor
+        self.classifier = classifier
+
+    def peek(self, pc: int) -> Optional[int]:
+        if not self.classifier.allows(pc):
+            return None
+        return self.predictor.peek(pc)
+
+    def update(self, pc: int, actual: int) -> None:
+        raw = self.predictor.peek(pc)
+        if raw is not None:
+            self.classifier.train(pc, raw == actual)
+        self.predictor.update(pc, actual)
+
+    def _reset_state(self) -> None:
+        self.predictor.reset()
+        self.classifier.reset()
+
+    @property
+    def raw_stats(self) -> PredictorStats:
+        """Stats of the underlying (unclassified) predictor."""
+        return self.predictor.stats

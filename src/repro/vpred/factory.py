@@ -1,0 +1,52 @@
+"""Construction of the predictor configurations used by the experiments."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import ConfigError
+from repro.vpred.base import ValuePredictor
+from repro.vpred.classifier import ClassifiedPredictor, SaturatingClassifier
+from repro.vpred.hybrid import HybridPredictor
+from repro.vpred.last_value import LastValuePredictor
+from repro.vpred.stride import StridePredictor, TwoDeltaStridePredictor
+from repro.vpred.table import FiniteTablePredictor
+
+_KINDS = ("stride", "last", "two-delta", "hybrid")
+
+
+def make_predictor(
+    kind: str = "stride",
+    classified: bool = True,
+    classifier_bits: int = 2,
+    classifier_threshold: int = 2,
+    table_sets: Optional[int] = None,
+    table_assoc: int = 2,
+    hints: Optional[Dict[int, str]] = None,
+) -> ValuePredictor:
+    """Build a predictor stack.
+
+    The paper's default configuration — infinite stride predictor with a
+    2-bit saturating-counter classification unit — is ``make_predictor()``
+    with no arguments. ``table_sets`` bounds the table (None = infinite,
+    the Sections 3/5 assumption).
+    """
+    if kind == "stride":
+        predictor: ValuePredictor = StridePredictor()
+    elif kind == "two-delta":
+        predictor = TwoDeltaStridePredictor()
+    elif kind == "last":
+        predictor = LastValuePredictor()
+    elif kind == "hybrid":
+        predictor = HybridPredictor(hints=hints)
+    else:
+        raise ConfigError(f"unknown predictor kind {kind!r}; choose from {_KINDS}")
+
+    if table_sets is not None:
+        predictor = FiniteTablePredictor(predictor, table_sets, table_assoc)
+    if classified:
+        predictor = ClassifiedPredictor(
+            predictor,
+            SaturatingClassifier(bits=classifier_bits, threshold=classifier_threshold),
+        )
+    return predictor

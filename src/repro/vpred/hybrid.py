@@ -1,0 +1,129 @@
+"""Hybrid last-value + stride predictor with opcode hints (reference [9]).
+
+Section 4 recommends this organization for the banked hardware: a large
+last-value table, a small stride table, and compiler/profiling hints
+steering each static instruction to one of them (or to neither, which
+also unloads the address router by removing non-candidates).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.trace.trace import Trace
+from repro.vpred.base import ValuePredictor
+from repro.vpred.last_value import LastValuePredictor
+from repro.vpred.stride import StridePredictor
+
+Hint = str  # "stride" | "last" | "none"
+
+HINT_STRIDE = "stride"
+HINT_LAST = "last"
+HINT_NONE = "none"
+
+
+def profile_hints(
+    trace: Trace,
+    stride_threshold: float = 0.7,
+    last_threshold: float = 0.7,
+) -> Dict[int, Hint]:
+    """Profile a training trace into per-PC hints (the role of [9]).
+
+    For every static value-producing PC, measure how often an oracle
+    stride / last-value predictor would have been right, then classify:
+    ``stride`` beats ``last`` only when strictly better, mirroring the
+    paper's note that few instructions truly need the stride table.
+    """
+    last_value: Dict[int, int] = {}
+    stride_state: Dict[int, Tuple[int, Optional[int]]] = {}
+    hits_last: Dict[int, int] = {}
+    hits_stride: Dict[int, int] = {}
+    occurrences: Dict[int, int] = {}
+
+    for record in trace:
+        if record.dest is None:
+            continue
+        pc, actual = record.pc, record.value
+        occurrences[pc] = occurrences.get(pc, 0) + 1
+        if pc in last_value and last_value[pc] == actual:
+            hits_last[pc] = hits_last.get(pc, 0) + 1
+        if pc in stride_state:
+            last, stride = stride_state[pc]
+            predicted = last if stride is None else (last + stride) & ((1 << 64) - 1)
+            if predicted == actual:
+                hits_stride[pc] = hits_stride.get(pc, 0) + 1
+            stride_state[pc] = (actual, (actual - last) & ((1 << 64) - 1))
+        else:
+            stride_state[pc] = (actual, None)
+        last_value[pc] = actual
+
+    hints: Dict[int, Hint] = {}
+    for pc, count in occurrences.items():
+        if count < 2:
+            hints[pc] = HINT_NONE
+            continue
+        rate_last = hits_last.get(pc, 0) / count
+        rate_stride = hits_stride.get(pc, 0) / count
+        if rate_stride >= stride_threshold and rate_stride > rate_last:
+            hints[pc] = HINT_STRIDE
+        elif rate_last >= last_threshold:
+            hints[pc] = HINT_LAST
+        else:
+            hints[pc] = HINT_NONE
+    return hints
+
+
+class HybridPredictor(ValuePredictor):
+    """Last-value table + stride table, steered by per-PC hints.
+
+    A PC with no hint defaults to the last-value table (hardware would
+    classify it dynamically); a ``none`` hint suppresses prediction
+    entirely.
+    """
+
+    def __init__(self, hints: Optional[Dict[int, Hint]] = None):
+        super().__init__()
+        self.hints = hints or {}
+        self.last_table = LastValuePredictor()
+        self.stride_table = StridePredictor()
+
+    def hint_for(self, pc: int) -> Hint:
+        return self.hints.get(pc, HINT_LAST)
+
+    def peek(self, pc: int) -> Optional[int]:
+        hint = self.hint_for(pc)
+        if hint == HINT_NONE:
+            return None
+        if hint == HINT_STRIDE:
+            return self.stride_table.peek(pc)
+        return self.last_table.peek(pc)
+
+    def entry(self, pc: int) -> Optional[Tuple[int, int]]:
+        """(last, stride) when this PC lives in the stride table.
+
+        Last-value-steered PCs report stride 0: the value distributor
+        then replicates the same value to merged requests without any
+        adder work — the Section 4 argument for the hybrid organization.
+        """
+        hint = self.hint_for(pc)
+        if hint == HINT_NONE:
+            return None
+        if hint == HINT_STRIDE:
+            return self.stride_table.entry(pc)
+        last = self.last_table.peek(pc)
+        if last is None:
+            return None
+        return (last, 0)
+
+    def update(self, pc: int, actual: int) -> None:
+        hint = self.hint_for(pc)
+        if hint == HINT_NONE:
+            return
+        if hint == HINT_STRIDE:
+            self.stride_table.update(pc, actual)
+        else:
+            self.last_table.update(pc, actual)
+
+    def _reset_state(self) -> None:
+        self.last_table.reset()
+        self.stride_table.reset()

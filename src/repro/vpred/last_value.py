@@ -1,0 +1,27 @@
+"""Last-value prediction (Lipasti et al. [13], [14])."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.vpred.base import ValuePredictor
+
+
+class LastValuePredictor(ValuePredictor):
+    """Predicts that an instruction repeats its most recent result."""
+
+    def __init__(self):
+        super().__init__()
+        self._last: Dict[int, int] = {}
+
+    def peek(self, pc: int) -> Optional[int]:
+        return self._last.get(pc)
+
+    def update(self, pc: int, actual: int) -> None:
+        self._last[pc] = actual
+
+    def _reset_state(self) -> None:
+        self._last.clear()
+
+    def __len__(self) -> int:
+        return len(self._last)

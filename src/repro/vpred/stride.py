@@ -1,0 +1,112 @@
+"""Stride value prediction (Gabbay & Mendelson [7], [8]).
+
+The table entry keeps the most recent value and the delta between the
+two most recent values; the prediction is ``last + stride``. The
+:class:`TwoDeltaStridePredictor` variant only commits a new stride after
+seeing it twice in a row, which filters transient deltas.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.vpred.base import ValuePredictor
+
+_MASK64 = (1 << 64) - 1
+
+
+class StridePredictor(ValuePredictor):
+    """Classic stride predictor: entry = (last value, stride)."""
+
+    def __init__(self):
+        super().__init__()
+        # pc -> (last_value, stride); stride is None until 2nd sighting.
+        self._entries: Dict[int, Tuple[int, Optional[int]]] = {}
+
+    def peek(self, pc: int) -> Optional[int]:
+        entry = self._entries.get(pc)
+        if entry is None:
+            return None
+        last, stride = entry
+        if stride is None:
+            return last  # degenerate to last-value until a stride exists
+        return (last + stride) & _MASK64
+
+    def entry(self, pc: int) -> Optional[Tuple[int, int]]:
+        """(last value, stride) for the Section 4 value distributor.
+
+        The distributor expands a merged request into last+stride,
+        last+2*stride, ...; a missing or stride-less entry returns None.
+        """
+        entry = self._entries.get(pc)
+        if entry is None or entry[1] is None:
+            return None
+        return entry
+
+    def update(self, pc: int, actual: int) -> None:
+        entry = self._entries.get(pc)
+        if entry is None:
+            self._entries[pc] = (actual, None)
+        else:
+            last, _old = entry
+            self._entries[pc] = (actual, (actual - last) & _MASK64)
+
+    def _reset_state(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class TwoDeltaStridePredictor(ValuePredictor):
+    """Stride predictor that requires the same delta twice to retrain.
+
+    Entry: (last, committed stride, candidate stride). The committed
+    stride only changes when the candidate repeats, so a single
+    out-of-pattern value (a loop exit, a reload) does not destroy an
+    established stride.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self._entries: Dict[int, Tuple[int, Optional[int], Optional[int]]] = {}
+
+    def peek(self, pc: int) -> Optional[int]:
+        entry = self._entries.get(pc)
+        if entry is None:
+            return None
+        last, stride, _candidate = entry
+        if stride is None:
+            return last
+        return (last + stride) & _MASK64
+
+    def entry(self, pc: int) -> Optional[Tuple[int, int]]:
+        """(last, committed stride) or None — see StridePredictor.entry."""
+        entry = self._entries.get(pc)
+        if entry is None or entry[1] is None:
+            return None
+        return entry[0], entry[1]
+
+    def update(self, pc: int, actual: int) -> None:
+        entry = self._entries.get(pc)
+        if entry is None:
+            self._entries[pc] = (actual, None, None)
+            return
+        last, stride, candidate = entry
+        delta = (actual - last) & _MASK64
+        if stride is None:
+            # First delta commits immediately (matches StridePredictor
+            # warm-up so the two predictors differ only in re-training).
+            self._entries[pc] = (actual, delta, delta)
+        elif delta == stride:
+            self._entries[pc] = (actual, stride, stride)
+        elif candidate is not None and delta == candidate:
+            self._entries[pc] = (actual, delta, delta)
+        else:
+            self._entries[pc] = (actual, stride, delta)
+
+    def _reset_state(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,79 @@
+"""Finite prediction-table modelling.
+
+The paper's limit studies assume infinite tables; this wrapper restricts
+any predictor to a set-associative table budget (entries × ways with LRU
+replacement) so capacity ablations can quantify how far the infinite
+assumption matters.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional
+
+from repro.errors import ConfigError
+from repro.vpred.base import ValuePredictor
+
+
+class FiniteTablePredictor(ValuePredictor):
+    """Wraps a predictor with set-associative capacity + LRU replacement.
+
+    A PC may only hit/train in the wrapped predictor while it owns a tag
+    slot; allocating over a victim erases the victim's entry from the
+    wrapped predictor (its learned state is lost, as in real hardware).
+    """
+
+    def __init__(self, predictor: ValuePredictor, n_sets: int, assoc: int = 2):
+        super().__init__()
+        if n_sets < 1 or n_sets & (n_sets - 1):
+            raise ConfigError("n_sets must be a positive power of two")
+        if assoc < 1:
+            raise ConfigError("associativity must be >= 1")
+        self.predictor = predictor
+        self.n_sets = n_sets
+        self.assoc = assoc
+        # set index -> OrderedDict of resident pc -> None (LRU order).
+        self._sets: Dict[int, OrderedDict] = {}
+        self.evictions = 0
+
+    @property
+    def capacity(self) -> int:
+        return self.n_sets * self.assoc
+
+    def _set_index(self, pc: int) -> int:
+        return (pc >> 2) & (self.n_sets - 1)
+
+    def resident(self, pc: int) -> bool:
+        """Does ``pc`` currently own a table slot?"""
+        residents = self._sets.get(self._set_index(pc))
+        return residents is not None and pc in residents
+
+    def peek(self, pc: int) -> Optional[int]:
+        if not self.resident(pc):
+            return None
+        return self.predictor.peek(pc)
+
+    def update(self, pc: int, actual: int) -> None:
+        index = self._set_index(pc)
+        residents = self._sets.setdefault(index, OrderedDict())
+        if pc in residents:
+            residents.move_to_end(pc)
+        else:
+            if len(residents) >= self.assoc:
+                victim, _unused = residents.popitem(last=False)
+                self._erase(victim)
+                self.evictions += 1
+            residents[pc] = None
+        self.predictor.update(pc, actual)
+
+    def _erase(self, pc: int) -> None:
+        """Drop the wrapped predictor's learned state for an evicted PC."""
+        for attr in ("_entries", "_last"):
+            table = getattr(self.predictor, attr, None)
+            if table is not None:
+                table.pop(pc, None)
+
+    def _reset_state(self) -> None:
+        self.predictor.reset()
+        self._sets.clear()
+        self.evictions = 0

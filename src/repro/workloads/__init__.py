@@ -1,0 +1,25 @@
+"""Workload kernels standing in for the SPEC95 integer benchmarks.
+
+Each module builds a self-contained program for the repro ISA whose
+dynamic trace mirrors the character of its SPEC95 namesake (Table 3.1 of
+the paper): the interpreter-style kernels (`m88ksim`, `li`) are highly
+value-predictable with long dependence distances, the data-dependent
+kernels (`compress`, `go`) are not, and so on. Kernels loop forever over
+fresh work so a trace of any requested length can be captured.
+"""
+
+from repro.workloads.registry import (
+    WORKLOAD_NAMES,
+    WorkloadSpec,
+    build_workload,
+    generate_trace,
+    workload_specs,
+)
+
+__all__ = [
+    "WORKLOAD_NAMES",
+    "WorkloadSpec",
+    "build_workload",
+    "generate_trace",
+    "workload_specs",
+]

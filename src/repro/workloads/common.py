@@ -1,0 +1,56 @@
+"""Shared helpers for workload kernels."""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.isa.builder import ProgramBuilder, Reg
+
+# Constants of the classic numerical-recipes LCG, also used in-ISA.
+LCG_MUL = 1664525
+LCG_ADD = 1013904223
+LCG_MASK = (1 << 32) - 1
+
+
+def emit_lcg_step(b: ProgramBuilder, state: Reg, tmp: Reg) -> None:
+    """Advance the 32-bit LCG held in register ``state`` (clobbers ``tmp``).
+
+    Kernels use this for data-dependent, value-unpredictable streams.
+    """
+    b.muli(tmp, state, LCG_MUL)
+    b.addi(tmp, tmp, LCG_ADD)
+    b.li(state, LCG_MASK)
+    b.and_(state, tmp, state)
+
+
+def emit_lcg_step_masked(
+    b: ProgramBuilder, state: Reg, tmp: Reg, out: Reg, mask: int
+) -> None:
+    """LCG step, then ``out = (state >> 16) & mask`` (well-mixed bits)."""
+    emit_lcg_step(b, state, tmp)
+    b.srli(out, state, 16)
+    b.andi(out, out, mask)
+
+
+def build_time_stream(seed: int, length: int, limit: int) -> List[int]:
+    """Deterministic pseudo-random ints in ``[0, limit)`` for data images."""
+    rng = random.Random(seed)
+    return [rng.randrange(limit) for _ in range(length)]
+
+
+def build_time_text(seed: int, length: int, alphabet: int = 26) -> List[int]:
+    """A letter stream with word-like repetition (for compress/perl).
+
+    Draws from a small set of recurring "words" so dictionary-based
+    kernels actually find matches, the way English text does.
+    """
+    rng = random.Random(seed)
+    words = []
+    for _ in range(40):
+        n = rng.randrange(3, 9)
+        words.append([rng.randrange(alphabet) for _ in range(n)])
+    stream: List[int] = []
+    while len(stream) < length:
+        stream.extend(rng.choice(words))
+    return stream[:length]

@@ -1,0 +1,113 @@
+"""`compress95` stand-in: adaptive LZW over a repetitive symbol stream.
+
+Character (per the paper): data compression with data-dependent hashing —
+destination values are dominated by hash probes and dictionary codes, so
+value predictability is low and control flow is input-dependent.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.program import Program
+from repro.workloads.common import build_time_text
+
+TABLE_BITS = 10
+TABLE_SIZE = 1 << TABLE_BITS
+HASH_MUL = 2654435761
+
+
+def build_compress(seed: int = 0, input_length: int = 512) -> Program:
+    """Build the LZW kernel.
+
+    Layout: ``input`` symbol stream, open-addressed hash table split into
+    ``keys`` (0 = empty, else key+1) and ``codes``, and a wrapping output
+    ring. Each era clears the table and recompresses the stream.
+    """
+    b = ProgramBuilder("compress")
+    stream = build_time_text(seed, input_length)
+    input_base = b.array(stream, "input")
+    keys_base = b.alloc(TABLE_SIZE, "keys")
+    codes_base = b.alloc(TABLE_SIZE, "codes")
+    out_base = b.alloc(256, "out")
+
+    # Register plan:
+    # s0 input cursor, s1 input end, s2 current prefix code w,
+    # s3 next free dictionary code, s4 output ring cursor,
+    # t* temporaries.
+    b.label("era")
+
+    # Clear the hash-table key array.
+    b.li("t0", keys_base)
+    b.li("t1", keys_base + TABLE_SIZE * 4)
+    b.label("clear")
+    b.st("zero", "t0", 0)
+    b.addi("t0", "t0", 4)
+    b.blt("t0", "t1", "clear")
+
+    b.li("s3", 256)                      # first multi-symbol code
+    b.li("s4", 0)                        # output cursor
+    b.li("s0", input_base)
+    b.li("s1", input_base + input_length * 4)
+    b.ld("s2", "s0", 0)                  # w = first symbol
+    b.addi("s0", "s0", 4)
+
+    b.label("loop")
+    b.bge("s0", "s1", "flush")
+    b.ld("t0", "s0", 0)                  # k = next symbol
+    b.addi("s0", "s0", 4)
+
+    # key = w * 256 + k ; stored as key + 1 so 0 means empty.
+    b.slli("t1", "s2", 8)
+    b.add("t1", "t1", "t0")
+    b.addi("t1", "t1", 1)
+
+    # h = (key * HASH_MUL) >> 16, masked.
+    b.muli("t2", "t1", HASH_MUL)
+    b.srli("t2", "t2", 16)
+    b.andi("t2", "t2", TABLE_SIZE - 1)
+
+    b.label("probe")
+    b.slli("t3", "t2", 2)
+    b.li("t4", keys_base)
+    b.add("t3", "t3", "t4")              # &keys[h]
+    b.ld("t4", "t3", 0)
+    b.beq("t4", "zero", "miss")
+    b.beq("t4", "t1", "hit")
+    b.addi("t2", "t2", 1)
+    b.andi("t2", "t2", TABLE_SIZE - 1)
+    b.j("probe")
+
+    b.label("hit")                       # w = codes[h]
+    b.slli("t5", "t2", 2)
+    b.li("t6", codes_base)
+    b.add("t5", "t5", "t6")
+    b.ld("s2", "t5", 0)
+    b.j("loop")
+
+    b.label("miss")
+    # emit(w): out[s4 & 255] = w
+    b.andi("t5", "s4", 255)
+    b.slli("t5", "t5", 2)
+    b.li("t6", out_base)
+    b.add("t5", "t5", "t6")
+    b.st("s2", "t5", 0)
+    b.addi("s4", "s4", 1)
+    # keys[h] = key+1 ; codes[h] = next_code++
+    b.st("t1", "t3", 0)
+    b.slli("t5", "t2", 2)
+    b.li("t6", codes_base)
+    b.add("t5", "t5", "t6")
+    b.st("s3", "t5", 0)
+    b.addi("s3", "s3", 1)
+    b.mov("s2", "t0")                    # w = k
+    b.j("loop")
+
+    b.label("flush")                     # emit final w, start a new era
+    b.andi("t5", "s4", 255)
+    b.slli("t5", "t5", 2)
+    b.li("t6", out_base)
+    b.add("t5", "t5", "t6")
+    b.st("s2", "t5", 0)
+    b.j("era")
+
+    return b.build()

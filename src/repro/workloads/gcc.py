@@ -1,0 +1,110 @@
+"""`gcc` stand-in: symbol-table hashing plus IR-chain walks.
+
+Character: compiler-style pointer chasing and hashing — a mix of
+predictable bookkeeping (arena cursors, counters) and unpredictable
+hash/chain values, with irregular control flow.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.program import Program
+from repro.workloads.common import build_time_stream
+
+N_BUCKETS = 128
+ARENA_NODES = 512        # node = [key, count, next]; 3 words each
+VOCABULARY = 192         # distinct identifiers
+TOKENS = 384             # tokens interned per era
+HASH_MUL = 40503
+
+
+def build_gcc(seed: int = 0) -> Program:
+    """Build the symbol-table kernel.
+
+    Each era interns a fixed token stream into a chained hash table
+    (lookup walks the chain; miss allocates a node from a bump arena and
+    pushes it on the bucket), then sweeps every bucket chain summing
+    counts — the "IR walk". The era ends by resetting heads and arena.
+    """
+    b = ProgramBuilder("gcc")
+    tokens = build_time_stream(seed, TOKENS, VOCABULARY)
+    tokens_base = b.array([t + 1 for t in tokens], "tokens")  # keys are 1-based
+    heads_base = b.alloc(N_BUCKETS, "heads")
+    arena_base = b.alloc(ARENA_NODES * 3, "arena")
+    sums_base = b.alloc(2, "sums")
+
+    # s0 token cursor, s1 token end, s2 arena bump pointer,
+    # s3 heads base, s4 running checksum.
+    b.li("s3", heads_base)
+
+    b.label("era")
+    # Reset bucket heads.
+    b.li("t0", heads_base)
+    b.li("t1", heads_base + N_BUCKETS * 4)
+    b.label("clear")
+    b.st("zero", "t0", 0)
+    b.addi("t0", "t0", 4)
+    b.blt("t0", "t1", "clear")
+    b.li("s2", arena_base)
+    b.li("s0", tokens_base)
+    b.li("s1", tokens_base + TOKENS * 4)
+
+    b.label("intern_loop")
+    b.bge("s0", "s1", "sweep")
+    b.ld("t0", "s0", 0)              # key
+    b.addi("s0", "s0", 4)
+    # bucket = (key * HASH_MUL) >> 4 & mask
+    b.muli("t1", "t0", HASH_MUL)
+    b.srli("t1", "t1", 4)
+    b.andi("t1", "t1", N_BUCKETS - 1)
+    b.slli("t1", "t1", 2)
+    b.add("t1", "t1", "s3")          # &heads[bucket]
+    b.ld("t2", "t1", 0)              # node = heads[bucket]
+
+    b.label("chain")
+    b.beq("t2", "zero", "insert")
+    b.ld("t3", "t2", 0)              # node.key
+    b.beq("t3", "t0", "found")
+    b.ld("t2", "t2", 8)              # node = node.next
+    b.j("chain")
+
+    b.label("found")                 # node.count += 1
+    b.ld("t4", "t2", 4)
+    b.addi("t4", "t4", 1)
+    b.st("t4", "t2", 4)
+    b.j("intern_loop")
+
+    b.label("insert")                # new node at arena cursor
+    b.st("t0", "s2", 0)              # key
+    b.li("t4", 1)
+    b.st("t4", "s2", 4)              # count = 1
+    b.ld("t5", "t1", 0)
+    b.st("t5", "s2", 8)              # next = old head
+    b.st("s2", "t1", 0)              # head = node
+    b.addi("s2", "s2", 12)
+    b.j("intern_loop")
+
+    # Sweep: walk every chain, summing counts (IR walk).
+    b.label("sweep")
+    b.li("s4", 0)
+    b.li("t0", 0)                    # bucket index
+    b.label("sweep_bucket")
+    b.slli("t1", "t0", 2)
+    b.add("t1", "t1", "s3")
+    b.ld("t2", "t1", 0)
+    b.label("sweep_chain")
+    b.beq("t2", "zero", "sweep_next")
+    b.ld("t3", "t2", 4)
+    b.add("s4", "s4", "t3")
+    b.ld("t2", "t2", 8)
+    b.j("sweep_chain")
+    b.label("sweep_next")
+    b.addi("t0", "t0", 1)
+    b.li("t4", N_BUCKETS)
+    b.blt("t0", "t4", "sweep_bucket")
+
+    b.li("t0", sums_base)
+    b.st("s4", "t0", 0)
+    b.j("era")
+
+    return b.build()

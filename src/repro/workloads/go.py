@@ -1,0 +1,120 @@
+"""`go` stand-in: influence evaluation over a Go board.
+
+Character: game playing with heavily data-dependent control flow (branch
+on stone colours at every cell) and values derived from board contents —
+low value predictability, short basic blocks, branchy.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.program import Program
+from repro.workloads.common import emit_lcg_step
+
+BOARD_DIM = 19
+BOARD_CELLS = BOARD_DIM * BOARD_DIM
+
+
+def build_go(seed: int = 0, fill: float = 0.45) -> Program:
+    """Build the board-evaluation kernel.
+
+    Each era scans all cells: for every stone it counts same-colour and
+    enemy orthogonal neighbours, scoring +2 per friend and -1 per enemy
+    into a per-colour influence accumulator, then mutates one pseudo-random
+    cell so successive eras diverge.
+    """
+    b = ProgramBuilder("go")
+    rng = random.Random(seed)
+    board = [
+        (rng.randrange(1, 3) if rng.random() < fill else 0)
+        for _ in range(BOARD_CELLS)
+    ]
+    board_base = b.array(board, "board")
+    scores_base = b.alloc(4, "scores")  # [_, black, white, _]
+
+    # s0 row, s1 col, s2 &cell, s3 colour, s4 score acc,
+    # s5 LCG state, s6 board base, t* temporaries.
+    b.li("s5", seed * 2654435761 + 12345)
+    b.li("s6", board_base)
+
+    b.label("era")
+    b.li("s0", 0)                                 # row
+    b.label("row_loop")
+    b.li("s1", 0)                                 # col
+    b.label("col_loop")
+    # s2 = &board[row*19 + col]
+    b.muli("t0", "s0", BOARD_DIM)
+    b.add("t0", "t0", "s1")
+    b.slli("t0", "t0", 2)
+    b.add("s2", "t0", "s6")
+    b.ld("s3", "s2", 0)                           # colour
+    b.beq("s3", "zero", "next_cell")              # empty cell
+
+    b.li("s4", 0)                                 # neighbour score
+    # North neighbour.
+    b.beq("s0", "zero", "no_north")
+    b.ld("t1", "s2", -BOARD_DIM * 4)
+    b.jal("score_neighbor")
+    b.label("no_north")
+    # South neighbour.
+    b.li("t2", BOARD_DIM - 1)
+    b.beq("s0", "t2", "no_south")
+    b.ld("t1", "s2", BOARD_DIM * 4)
+    b.jal("score_neighbor")
+    b.label("no_south")
+    # West neighbour.
+    b.beq("s1", "zero", "no_west")
+    b.ld("t1", "s2", -4)
+    b.jal("score_neighbor")
+    b.label("no_west")
+    # East neighbour.
+    b.li("t2", BOARD_DIM - 1)
+    b.beq("s1", "t2", "no_east")
+    b.ld("t1", "s2", 4)
+    b.jal("score_neighbor")
+    b.label("no_east")
+
+    # scores[colour] += s4
+    b.slli("t0", "s3", 2)
+    b.li("t1", scores_base)
+    b.add("t0", "t0", "t1")
+    b.ld("t1", "t0", 0)
+    b.add("t1", "t1", "s4")
+    b.st("t1", "t0", 0)
+
+    b.label("next_cell")
+    b.addi("s1", "s1", 1)
+    b.li("t0", BOARD_DIM)
+    b.blt("s1", "t0", "col_loop")
+    b.addi("s0", "s0", 1)
+    b.li("t0", BOARD_DIM)
+    b.blt("s0", "t0", "row_loop")
+
+    # Mutate one pseudo-random cell: board[r] = (board[r] + 1) % 3.
+    emit_lcg_step(b, "s5", "t0")
+    b.srli("t0", "s5", 7)
+    b.li("t1", BOARD_CELLS)
+    b.rem("t0", "t0", "t1")
+    b.slli("t0", "t0", 2)
+    b.add("t0", "t0", "s6")
+    b.ld("t1", "t0", 0)
+    b.addi("t1", "t1", 1)
+    b.li("t2", 3)
+    b.rem("t1", "t1", "t2")
+    b.st("t1", "t0", 0)
+    b.j("era")
+
+    # score_neighbor: t1 = neighbour colour; s3 = own colour; updates s4.
+    b.label("score_neighbor")
+    b.beq("t1", "zero", "sn_done")
+    b.beq("t1", "s3", "sn_friend")
+    b.addi("s4", "s4", -1)                        # enemy
+    b.jr("ra")
+    b.label("sn_friend")
+    b.addi("s4", "s4", 2)
+    b.label("sn_done")
+    b.jr("ra")
+
+    return b.build()

@@ -1,0 +1,139 @@
+"""`ijpeg` stand-in: blocked 2-D transform with quantization.
+
+Character: image compression — regular nested loops over 8x8 blocks,
+butterfly add/sub/shift arithmetic and table-driven quantization.
+Addresses and induction variables stride perfectly; pixel-derived values
+are data-dependent.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.program import Program
+from repro.workloads.common import build_time_stream, emit_lcg_step
+
+IMAGE_DIM = 32           # pixels per side
+BLOCK = 8
+
+
+def build_ijpeg(seed: int = 0) -> Program:
+    """Build the block-transform kernel.
+
+    Each era processes the image block by block: every 8-pixel row gets a
+    4-stage butterfly (sums/differences with shifts), is quantized by a
+    per-column shift table, and its energy accumulates into a histogram.
+    Afterwards a short LCG loop perturbs one image row in place.
+    """
+    b = ProgramBuilder("ijpeg")
+    pixels = build_time_stream(seed, IMAGE_DIM * IMAGE_DIM, 256)
+    image_base = b.array(pixels, "image")
+    quant = [3, 2, 2, 1, 1, 2, 2, 3]
+    quant_base = b.array(quant, "quant")
+    hist_base = b.alloc(16, "hist")
+    row_buffer = b.alloc(BLOCK, "rowbuf")
+
+    # s0 block-row, s1 block-col, s2 row-in-block, s3 &row start,
+    # s4 energy accumulator, s5 LCG state, s6 image base.
+    b.li("s5", seed * 69069 + 7)
+    b.li("s6", image_base)
+
+    b.label("era")
+    b.li("s0", 0)
+    b.label("blockrow_loop")
+    b.li("s1", 0)
+    b.label("blockcol_loop")
+    b.li("s2", 0)
+    b.label("row_loop")
+    # s3 = &image[(s0*8 + s2) * DIM + s1*8]
+    b.slli("t0", "s0", 3)
+    b.add("t0", "t0", "s2")
+    b.muli("t0", "t0", IMAGE_DIM)
+    b.slli("t1", "s1", 3)
+    b.add("t0", "t0", "t1")
+    b.slli("t0", "t0", 2)
+    b.add("s3", "t0", "s6")
+
+    # Butterfly stage 1: rowbuf[i] = x[i] + x[7-i], rowbuf[i+4] = x[i] - x[7-i].
+    b.li("t0", 0)
+    b.label("bfly")
+    b.slli("t1", "t0", 2)
+    b.add("t1", "t1", "s3")
+    b.ld("t2", "t1", 0)              # x[i]
+    b.li("t3", 7)
+    b.sub("t3", "t3", "t0")
+    b.slli("t3", "t3", 2)
+    b.add("t3", "t3", "s3")
+    b.ld("t3", "t3", 0)              # x[7-i]
+    b.add("t4", "t2", "t3")          # sum
+    b.sub("t5", "t2", "t3")          # diff
+    b.slli("t6", "t0", 2)
+    b.li("t7", row_buffer)
+    b.add("t6", "t6", "t7")
+    b.st("t4", "t6", 0)
+    b.st("t5", "t6", 16)             # rowbuf[i+4]
+    b.addi("t0", "t0", 1)
+    b.li("t7", 4)
+    b.blt("t0", "t7", "bfly")
+
+    # Quantize and accumulate energy.
+    b.li("t0", 0)
+    b.li("s4", 0)
+    b.label("quantize")
+    b.slli("t1", "t0", 2)
+    b.li("t2", row_buffer)
+    b.add("t1", "t1", "t2")
+    b.ld("t3", "t1", 0)
+    b.slli("t4", "t0", 2)
+    b.li("t5", quant_base)
+    b.add("t4", "t4", "t5")
+    b.ld("t4", "t4", 0)              # shift amount
+    b.sra("t3", "t3", "t4")          # quantized coefficient
+    b.st("t3", "t1", 0)
+    # energy += |coef| approximated by coef^2 >> 4
+    b.mul("t6", "t3", "t3")
+    b.srli("t6", "t6", 4)
+    b.add("s4", "s4", "t6")
+    b.addi("t0", "t0", 1)
+    b.li("t7", BLOCK)
+    b.blt("t0", "t7", "quantize")
+
+    # hist[energy & 15] += 1
+    b.andi("t0", "s4", 15)
+    b.slli("t0", "t0", 2)
+    b.li("t1", hist_base)
+    b.add("t0", "t0", "t1")
+    b.ld("t1", "t0", 0)
+    b.addi("t1", "t1", 1)
+    b.st("t1", "t0", 0)
+
+    b.addi("s2", "s2", 1)
+    b.li("t0", BLOCK)
+    b.blt("s2", "t0", "row_loop")
+    b.addi("s1", "s1", 1)
+    b.li("t0", IMAGE_DIM // BLOCK)
+    b.blt("s1", "t0", "blockcol_loop")
+    b.addi("s0", "s0", 1)
+    b.li("t0", IMAGE_DIM // BLOCK)
+    b.blt("s0", "t0", "blockrow_loop")
+
+    # Perturb one pseudo-random image row so eras differ.
+    emit_lcg_step(b, "s5", "t0")
+    b.srli("t0", "s5", 9)
+    b.andi("t0", "t0", IMAGE_DIM - 1)    # row index
+    b.muli("t0", "t0", IMAGE_DIM)
+    b.slli("t0", "t0", 2)
+    b.add("t0", "t0", "s6")              # &image[row][0]
+    b.li("t1", 0)
+    b.label("perturb")
+    emit_lcg_step(b, "s5", "t2")
+    b.srli("t3", "s5", 11)
+    b.andi("t3", "t3", 255)
+    b.slli("t4", "t1", 2)
+    b.add("t4", "t4", "t0")
+    b.st("t3", "t4", 0)
+    b.addi("t1", "t1", 1)
+    b.li("t5", IMAGE_DIM)
+    b.blt("t1", "t5", "perturb")
+    b.j("era")
+
+    return b.build()

@@ -1,0 +1,204 @@
+"""`li` stand-in: a Lisp-style bytecode evaluator over boxed values.
+
+Character: xlisp's evaluator manipulates tagged, heap-allocated cells.
+The kernel mirrors that: every value on the operand stack is a pointer
+to a 4-word box ``[tag, value, _, _]`` allocated from a bump arena.
+Arithmetic pops two boxes, checks both tags, computes, allocates a
+result box and pushes its pointer. The pointers and tags the hot
+handlers load are bump-allocated addresses (near-perfect strides) and
+the constant NUMBER tag — exactly the deep-but-predictable dependence
+chains that make interpreters rewarding for value prediction once the
+fetch engine is wide enough. Dispatch is a compare tree, as gcc lowers
+a small switch.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.program import Program
+
+# Bytecode: op | operand<<8.
+OP_END, OP_PUSHI, OP_ADD, OP_SUB, OP_MUL, OP_DUP, OP_NEG = range(7)
+
+TAG_NUMBER = 1
+BOX_BYTES = 16
+ARENA_BYTES = 16384      # 1024 boxes, wrapped
+
+
+def _bc(op: int, operand: int = 0) -> int:
+    return op | (operand << 8)
+
+
+def random_expressions(seed: int, n_expressions: int = 10) -> List[int]:
+    """Generate well-formed bytecode expressions, END-terminated overall.
+
+    Most expressions are *folds* — ``(+ c (+ c (+ c v0)))`` — the
+    canonical Lisp list-reduction: a long serial chain through the boxed
+    stack whose accumulator strides by the fold constant, so the chain
+    is deep (limits a narrow machine) yet value-predictable (collapses
+    under value prediction on a wide one). A minority of expressions mix
+    SUB/MUL/NEG/DUP so the other handlers stay warm.
+    """
+    rng = random.Random(seed)
+    code: List[int] = []
+    for index in range(n_expressions):
+        if index % 4 != 3:
+            # Fold: v0, then {PUSHI c; ADD} * k with a fixed c.
+            constant = rng.randrange(1, 50)
+            code.append(_bc(OP_PUSHI, rng.randrange(1, 100)))
+            for _ in range(rng.randrange(12, 25)):
+                code.append(_bc(OP_PUSHI, constant))
+                code.append(_bc(OP_ADD))
+        else:
+            # Mixed expression exercising the full opcode set.
+            depth = 0
+            for _ in range(rng.randrange(12, 25)):
+                if depth < 2:
+                    code.append(_bc(OP_PUSHI, rng.randrange(1, 100)))
+                    depth += 1
+                    continue
+                op = rng.choice(
+                    [OP_PUSHI, OP_ADD, OP_SUB, OP_MUL, OP_DUP, OP_NEG, OP_NEG]
+                )
+                if op == OP_PUSHI:
+                    code.append(_bc(OP_PUSHI, rng.randrange(1, 100)))
+                    depth += 1
+                elif op == OP_DUP:
+                    code.append(_bc(OP_DUP))
+                    depth += 1
+                elif op == OP_NEG:
+                    code.append(_bc(OP_NEG))
+                else:
+                    code.append(_bc(op))
+                    depth -= 1
+            while depth > 1:
+                code.append(_bc(OP_ADD))
+                depth -= 1
+    code.append(_bc(OP_END))
+    return code
+
+
+def build_li(seed: int = 0) -> Program:
+    """Build the boxed-value evaluator kernel.
+
+    Register plan: s0 bytecode cursor, s1 operand-stack pointer,
+    s2 &arena, s3 results cursor, s4 stack base, s5 step counter,
+    s6 arena allocation offset (strides by 16, wraps at 16 KiB),
+    s7 cached NUMBER tag.
+    """
+    b = ProgramBuilder("li")
+    bytecode = random_expressions(seed)
+    code_base = b.array(bytecode, "bytecode")
+    stack_base = b.alloc(64, "stack")
+    results_base = b.alloc(64, "results")
+    arena_base = b.alloc(ARENA_BYTES // 4, "arena")
+
+    b.li("s2", arena_base)
+    b.li("s4", stack_base)
+    b.li("s3", 0)
+    b.li("s5", 0)
+    b.li("s6", 0)
+    b.li("s7", TAG_NUMBER)
+
+    # alloc_box: t6 <- &new box (tag pre-set to NUMBER); bumps s6.
+    def alloc_box() -> None:
+        b.add("t6", "s2", "s6")
+        b.addi("s6", "s6", BOX_BYTES)
+        b.andi("s6", "s6", ARENA_BYTES - 1)
+        b.st("s7", "t6", 0)              # tag = NUMBER
+
+    b.label("reset")
+    b.li("s0", code_base)
+    b.mov("s1", "s4")
+
+    b.label("dispatch")
+    b.ld("t0", "s0", 0)
+    b.addi("s0", "s0", 4)                # bytecode cursor: perfect stride
+    b.addi("s5", "s5", 1)                # step counter: perfect stride
+    b.andi("t1", "t0", 255)              # op
+    b.srli("t2", "t0", 8)                # operand
+
+    # Compare-tree dispatch (op in 0..6).
+    b.li("t3", 3)
+    b.blt("t1", "t3", "low_ops")
+    b.beq("t1", "t3", "h_sub")
+    b.li("t3", 5)
+    b.blt("t1", "t3", "h_mul")
+    b.beq("t1", "t3", "h_dup")
+    b.j("h_neg")
+    b.label("low_ops")
+    b.li("t3", 1)
+    b.blt("t1", "t3", "h_end")
+    b.beq("t1", "t3", "h_pushi")
+    b.j("h_add")
+
+    b.label("h_pushi")                   # push a fresh box holding imm
+    alloc_box()
+    b.st("t2", "t6", 4)
+    b.st("t6", "s1", 0)
+    b.addi("s1", "s1", 4)
+    b.j("dispatch")
+
+    def binary(op_name: str, emit) -> None:
+        """Pop two boxes, tag-check, compute, push a result box."""
+        b.label(op_name)
+        b.addi("s1", "s1", -4)
+        b.ld("t4", "s1", 0)              # right operand box ptr
+        b.ld("t5", "s1", -4)             # left operand box ptr
+        b.ld("t7", "t4", 0)              # right tag
+        b.bne("t7", "s7", f"{op_name}_coerce")
+        b.ld("t7", "t5", 0)              # left tag
+        b.bne("t7", "s7", f"{op_name}_coerce")
+        b.ld("t4", "t4", 4)              # right value
+        b.ld("t5", "t5", 4)              # left value
+        emit()                           # t5 <- t5 (op) t4
+        b.label(f"{op_name}_box")
+        alloc_box()
+        b.st("t5", "t6", 4)
+        b.st("t6", "s1", -4)
+        b.j("dispatch")
+        b.label(f"{op_name}_coerce")     # non-number: result is 0
+        b.li("t5", 0)
+        b.j(f"{op_name}_box")
+
+    binary("h_add", lambda: b.add("t5", "t5", "t4"))
+    binary("h_sub", lambda: b.sub("t5", "t5", "t4"))
+    binary("h_mul", lambda: (b.mul("t5", "t5", "t4"), b.andi("t5", "t5", 0xFFFFFF)))
+
+    b.label("h_dup")                     # share the box (no copy), as Lisp
+    b.ld("t4", "s1", -4)
+    b.st("t4", "s1", 0)
+    b.addi("s1", "s1", 4)
+    b.j("dispatch")
+
+    b.label("h_neg")
+    b.ld("t4", "s1", -4)                 # box ptr
+    b.ld("t7", "t4", 0)                  # tag
+    b.bne("t7", "s7", "neg_coerce")
+    b.ld("t5", "t4", 4)
+    b.sub("t5", "zero", "t5")
+    b.label("neg_box")
+    alloc_box()
+    b.st("t5", "t6", 4)
+    b.st("t6", "s1", -4)
+    b.j("dispatch")
+    b.label("neg_coerce")
+    b.li("t5", 0)
+    b.j("neg_box")
+
+    b.label("h_end")
+    # Unbox the stack bottom into the results ring, then restart.
+    b.ld("t4", "s4", 0)
+    b.ld("t4", "t4", 4)
+    b.andi("t5", "s3", 63)
+    b.slli("t5", "t5", 2)
+    b.li("t6", results_base)
+    b.add("t5", "t5", "t6")
+    b.st("t4", "t5", 0)
+    b.addi("s3", "s3", 1)
+    b.j("reset")
+
+    return b.build()

@@ -1,0 +1,200 @@
+"""`m88ksim` stand-in: an instruction-set interpreter for a guest CPU.
+
+Character: the SPEC version simulates an 88100; interpreters are the
+classic high-value-predictability workload. The interpreter's own
+recurrences — the guest PC walking long straight-line guest code, the
+retired-instruction counter, the trace-ring cursor — are near-perfect
+strides, yet they thread through the whole fetch/decode/dispatch/execute
+body, so only a wide fetch engine can expose them: the paper's stand-out
+benchmark (with `vortex`) for exactly this reason.
+
+Dispatch is a compare tree (how gcc 2.7.2 lowers a small switch), which
+also keeps the workload's control flow BTB-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.program import Program
+
+# Guest instruction encoding: op | rd<<4 | rs<<8 | imm<<16.
+G_HALT, G_LI, G_ADD, G_ADDI, G_BLT, G_MUL, G_ST, G_SUB = range(8)
+
+
+def g(op: int, rd: int = 0, rs: int = 0, imm: int = 0) -> int:
+    """Encode one guest instruction word."""
+    return op | (rd << 4) | (rs << 8) | (imm << 16)
+
+
+def default_guest_program() -> List[int]:
+    """The default guest: a hot loop using each opcode exactly once.
+
+    With one hot guest instruction per opcode, every host handler always
+    processes the *same* guest instruction, so the guest-register values
+    each handler loads form clean per-PC streams (the loop counter
+    strides, the LI operand repeats) — the structure that makes an
+    instruction-set simulator the most value-predictable SPEC member.
+    """
+    guest = [
+        g(G_LI, 1, 0, 0),        # i = 0        (cold preamble)
+        g(G_LI, 2, 0, 200),      # n = 200
+    ]
+    loop_start = len(guest)
+    guest += [
+        g(G_ADDI, 1, 0, 1),      # i += 1       (stride per h_addi visit)
+        g(G_ADD, 5, 1),          # sum += i
+        g(G_MUL, 6, 1),          # prod = prod * i (masked by the handler)
+        g(G_SUB, 7, 5),          # r7 -= sum
+        g(G_ST, 5, 1, 0),        # guest_mem[i & 63] = sum
+        g(G_LI, 8, 0, 42),       # r8 = 42      (constant per h_li visit)
+        g(G_BLT, 1, 2, loop_start),
+        g(G_HALT),               # restart
+    ]
+    return guest
+
+
+def build_m88ksim(seed: int = 0, guest_program: List[int] | None = None) -> Program:
+    """Build the interpreter kernel.
+
+    The host loop fetches a guest word, decodes the fields with
+    shifts/masks, walks a compare tree on the opcode and runs a handler
+    over the memory-resident guest register file. Bookkeeping mirrors
+    the real simulator: a retired-instruction counter and a guest-PC
+    trace ring. Guest HALT resets the guest PC, producing an endless
+    trace.
+    """
+    del seed  # the guest program is fixed; interpretation dominates
+    b = ProgramBuilder("m88ksim")
+    guest = guest_program or default_guest_program()
+    guest_base = b.array(guest, "guest_code")
+    gregs_base = b.alloc(16, "guest_regs")
+    gmem_base = b.alloc(64, "guest_mem")
+    ring_base = b.alloc(64, "pc_ring")
+
+    # s0 guest pc (word index), s1 &guest_code, s2 &guest_regs,
+    # s4 retired counter, s5 &guest_mem, s6 &pc_ring.
+    # Decode: t0 word, t1 op, t2 rd, t3 rs, t4 imm; t5-t7 scratch.
+    b.li("s1", guest_base)
+    b.li("s2", gregs_base)
+    b.li("s5", gmem_base)
+    b.li("s6", ring_base)
+    b.li("s4", 0)
+
+    b.label("reset")
+    b.li("s0", 0)
+
+    b.label("dispatch")
+    b.slli("t0", "s0", 2)
+    # Early induction update (classic scheduling): the new guest PC and
+    # retired counter are produced at the top of the loop, so their
+    # loop-carried — and stride-predictable — arcs span the whole body.
+    b.addi("s0", "s0", 1)
+    b.addi("s4", "s4", 1)
+    b.add("t0", "t0", "s1")
+    b.ld("t0", "t0", 0)            # fetch guest word
+    b.andi("t1", "t0", 15)         # op
+    b.srli("t2", "t0", 4)
+    b.andi("t2", "t2", 15)         # rd
+    b.srli("t3", "t0", 8)
+    b.andi("t3", "t3", 15)         # rs
+    b.srli("t4", "t0", 16)         # imm
+
+    # Guest-PC trace ring (rides on the strided s4).
+    b.andi("t5", "s4", 63)
+    b.slli("t5", "t5", 2)
+    b.add("t5", "t5", "s6")
+    b.st("s0", "t5", 0)            # pc_ring[retired & 63] = next gpc
+
+    # Compare-tree dispatch on the opcode (gcc-style switch lowering).
+    b.li("t5", 4)
+    b.blt("t1", "t5", "low_ops")
+    b.li("t5", 6)
+    b.blt("t1", "t5", "mid_ops")
+    b.li("t5", 6)
+    b.beq("t1", "t5", "h_st")
+    b.j("h_sub")
+    b.label("mid_ops")
+    b.li("t5", 4)
+    b.beq("t1", "t5", "h_blt")
+    b.j("h_mul")
+    b.label("low_ops")
+    b.li("t5", 1)
+    b.blt("t1", "t5", "h_halt")
+    b.beq("t1", "t5", "h_li")
+    b.li("t5", 2)
+    b.beq("t1", "t5", "h_add")
+    b.j("h_addi")
+
+    def greg_addr(dst: str, idx_reg: str) -> None:
+        b.slli(dst, idx_reg, 2)
+        b.add(dst, dst, "s2")
+
+    b.label("h_li")                # gregs[rd] = imm
+    greg_addr("t5", "t2")
+    b.st("t4", "t5", 0)
+    b.j("advance")
+
+    b.label("h_add")               # gregs[rd] += gregs[rs]
+    greg_addr("t5", "t2")
+    greg_addr("t6", "t3")
+    b.ld("t6", "t6", 0)
+    b.ld("t7", "t5", 0)
+    b.add("t7", "t7", "t6")
+    b.st("t7", "t5", 0)
+    b.j("advance")
+
+    b.label("h_sub")               # gregs[rd] -= gregs[rs]
+    greg_addr("t5", "t2")
+    greg_addr("t6", "t3")
+    b.ld("t6", "t6", 0)
+    b.ld("t7", "t5", 0)
+    b.sub("t7", "t7", "t6")
+    b.st("t7", "t5", 0)
+    b.j("advance")
+
+    b.label("h_addi")              # gregs[rd] += imm
+    greg_addr("t5", "t2")
+    b.ld("t7", "t5", 0)
+    b.add("t7", "t7", "t4")
+    b.st("t7", "t5", 0)
+    b.j("advance")
+
+    b.label("h_mul")               # gregs[rd] *= gregs[rs], masked
+    greg_addr("t5", "t2")
+    greg_addr("t6", "t3")
+    b.ld("t6", "t6", 0)
+    b.ld("t7", "t5", 0)
+    b.mul("t7", "t7", "t6")
+    b.andi("t7", "t7", 0xFFFFFF)
+    b.st("t7", "t5", 0)
+    b.j("advance")
+
+    b.label("h_blt")               # if gregs[rd] < gregs[rs]: gpc = imm
+    greg_addr("t5", "t2")
+    greg_addr("t6", "t3")
+    b.ld("t5", "t5", 0)
+    b.ld("t6", "t6", 0)
+    b.bge("t5", "t6", "advance")
+    b.mov("s0", "t4")
+    b.j("dispatch")
+
+    b.label("h_st")                # guest_mem[gregs[rs] & 63] = gregs[rd]
+    greg_addr("t5", "t2")
+    greg_addr("t6", "t3")
+    b.ld("t5", "t5", 0)            # value
+    b.ld("t6", "t6", 0)            # index
+    b.andi("t6", "t6", 63)
+    b.slli("t6", "t6", 2)
+    b.add("t6", "t6", "s5")
+    b.st("t5", "t6", 0)
+    b.j("advance")
+
+    b.label("h_halt")
+    b.j("reset")
+
+    b.label("advance")             # s0 was already bumped at dispatch
+    b.j("dispatch")
+
+    return b.build()

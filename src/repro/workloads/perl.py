@@ -1,0 +1,140 @@
+"""`perl` stand-in: anagram search over a packed-letter dictionary.
+
+Character: string processing — per-character loads, compares and branches,
+with a precomputed signature index consulted before expensive per-letter
+verification, the way the SPEC input script hunts anagrams.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.program import Program
+
+WORD_LEN = 8             # letters per word, fixed-width
+N_WORDS = 96             # dictionary size
+N_QUERIES = 24           # queries per era
+
+
+def _signature(letters) -> int:
+    """Order-independent letter signature: sum of 1 << (letter * 2)."""
+    sig = 0
+    for letter in letters:
+        sig += 1 << ((letter % 26) * 2)
+    return sig & ((1 << 60) - 1)
+
+
+def build_perl(seed: int = 0) -> Program:
+    """Build the anagram-search kernel.
+
+    The dictionary stores ``N_WORDS`` fixed-width words (one letter per
+    memory word) plus their precomputed signatures. Each era walks the
+    query list: compute the query's signature in a per-letter loop, scan
+    the dictionary signatures, and on a signature match run a per-letter
+    count-compare verification. Match counts accumulate in memory.
+    """
+    b = ProgramBuilder("perl")
+    rng = random.Random(seed)
+    words = [
+        [rng.randrange(26) for _ in range(WORD_LEN)] for _ in range(N_WORDS)
+    ]
+    # Make queries: half are permutations of dictionary words (anagram
+    # hits), half are fresh (misses).
+    queries = []
+    for i in range(N_QUERIES):
+        if i % 2 == 0:
+            word = list(rng.choice(words))
+            rng.shuffle(word)
+            queries.append(word)
+        else:
+            queries.append([rng.randrange(26) for _ in range(WORD_LEN)])
+
+    flat_words = [letter for word in words for letter in word]
+    flat_queries = [letter for query in queries for letter in query]
+    words_base = b.array(flat_words, "words")
+    sigs_base = b.array([_signature(w) for w in words], "sigs")
+    queries_base = b.array(flat_queries, "queries")
+    counts_base = b.alloc(N_QUERIES, "counts")
+
+    # s0 query index, s1 &query letters, s2 query signature,
+    # s3 dictionary index, s4 match count, t* temporaries.
+    b.label("era")
+    b.li("s0", 0)
+
+    b.label("query_loop")
+    b.muli("t0", "s0", WORD_LEN * 4)
+    b.li("t1", queries_base)
+    b.add("s1", "t0", "t1")
+
+    # Compute signature: s2 = sum(1 << (letter * 2)).
+    b.li("s2", 0)
+    b.li("t0", 0)
+    b.label("sig_loop")
+    b.slli("t1", "t0", 2)
+    b.add("t1", "t1", "s1")
+    b.ld("t2", "t1", 0)
+    b.slli("t2", "t2", 1)            # letter * 2
+    b.li("t3", 1)
+    b.sll("t3", "t3", "t2")
+    b.add("s2", "s2", "t3")
+    b.addi("t0", "t0", 1)
+    b.li("t4", WORD_LEN)
+    b.blt("t0", "t4", "sig_loop")
+
+    # Scan the dictionary.
+    b.li("s3", 0)
+    b.li("s4", 0)
+    b.label("scan_loop")
+    b.slli("t0", "s3", 2)
+    b.li("t1", sigs_base)
+    b.add("t0", "t0", "t1")
+    b.ld("t0", "t0", 0)
+    b.bne("t0", "s2", "scan_next")
+
+    # Signature hit: verify letter by letter (sorted-compare stand-in:
+    # for each query letter, count occurrences in the candidate word and
+    # in the query; all counts must agree).
+    b.muli("t1", "s3", WORD_LEN * 4)
+    b.li("t2", words_base)
+    b.add("t1", "t1", "t2")          # &candidate letters
+    b.li("t2", 0)                    # letter cursor
+    b.label("verify_loop")
+    b.slli("t3", "t2", 2)
+    b.add("t4", "t3", "s1")
+    b.ld("t4", "t4", 0)              # query letter
+    # Count occurrences of t4 in candidate (t5 counter, t6 cursor).
+    b.li("t5", 0)
+    b.li("t6", 0)
+    b.label("count_loop")
+    b.slli("t7", "t6", 2)
+    b.add("t7", "t7", "t1")
+    b.ld("t7", "t7", 0)
+    b.bne("t7", "t4", "count_next")
+    b.addi("t5", "t5", 1)
+    b.label("count_next")
+    b.addi("t6", "t6", 1)
+    b.li("t7", WORD_LEN)
+    b.blt("t6", "t7", "count_loop")
+    b.beq("t5", "zero", "scan_next")  # letter absent: not an anagram
+    b.addi("t2", "t2", 1)
+    b.li("t3", WORD_LEN)
+    b.blt("t2", "t3", "verify_loop")
+    b.addi("s4", "s4", 1)            # verified anagram
+
+    b.label("scan_next")
+    b.addi("s3", "s3", 1)
+    b.li("t0", N_WORDS)
+    b.blt("s3", "t0", "scan_loop")
+
+    # counts[query] = matches
+    b.slli("t0", "s0", 2)
+    b.li("t1", counts_base)
+    b.add("t0", "t0", "t1")
+    b.st("s4", "t0", 0)
+    b.addi("s0", "s0", 1)
+    b.li("t0", N_QUERIES)
+    b.blt("s0", "t0", "query_loop")
+    b.j("era")
+
+    return b.build()

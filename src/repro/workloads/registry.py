@@ -1,0 +1,107 @@
+"""Workload registry (the repo's Table 3.1)."""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.errors import ConfigError
+from repro.funcsim import run_program
+from repro.isa.program import Program
+from repro.trace.trace import Trace
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One benchmark: its SPEC95 namesake and the module that builds it."""
+
+    name: str
+    description: str
+    module: str
+    builder: str
+
+
+_SPECS: List[WorkloadSpec] = [
+    WorkloadSpec(
+        "go",
+        "Game playing: territory/influence evaluation over a Go board.",
+        "repro.workloads.go", "build_go",
+    ),
+    WorkloadSpec(
+        "m88ksim",
+        "A simulator for the 88100 processor: fetch/decode/dispatch "
+        "interpreter over an embedded guest program.",
+        "repro.workloads.m88ksim", "build_m88ksim",
+    ),
+    WorkloadSpec(
+        "gcc",
+        "A GNU C compiler: symbol-table hashing with chained buckets and "
+        "IR list walks.",
+        "repro.workloads.gcc", "build_gcc",
+    ),
+    WorkloadSpec(
+        "compress",
+        "Data compression using adaptive Lempel-Ziv coding.",
+        "repro.workloads.compress", "build_compress",
+    ),
+    WorkloadSpec(
+        "li",
+        "Lisp interpreter: stack-machine bytecode evaluator.",
+        "repro.workloads.li", "build_li",
+    ),
+    WorkloadSpec(
+        "ijpeg",
+        "JPEG encoder: blocked 2-D transform with quantization.",
+        "repro.workloads.ijpeg", "build_ijpeg",
+    ),
+    WorkloadSpec(
+        "perl",
+        "Anagram search: letter-signature hashing and dictionary scans.",
+        "repro.workloads.perl", "build_perl",
+    ),
+    WorkloadSpec(
+        "vortex",
+        "A single-user object-oriented database transaction benchmark.",
+        "repro.workloads.vortex", "build_vortex",
+    ),
+]
+
+WORKLOAD_NAMES: List[str] = [spec.name for spec in _SPECS]
+_BY_NAME: Dict[str, WorkloadSpec] = {spec.name: spec for spec in _SPECS}
+
+
+def workload_specs() -> List[WorkloadSpec]:
+    """All workload specs in the paper's Table 3.1 order."""
+    return list(_SPECS)
+
+
+def _resolve(name: str) -> Callable[..., Program]:
+    if name not in _BY_NAME:
+        raise ConfigError(
+            f"unknown workload {name!r}; choose from {WORKLOAD_NAMES}"
+        )
+    spec = _BY_NAME[name]
+    module = importlib.import_module(spec.module)
+    return getattr(module, spec.builder)
+
+
+def build_workload(name: str, seed: int = 0) -> Program:
+    """Build the named workload program."""
+    return _resolve(name)(seed=seed)
+
+
+def generate_trace(
+    name: str, length: int = 30_000, seed: int = 0
+) -> Trace:
+    """Execute the named workload and capture ``length`` instructions."""
+    if length <= 0:
+        raise ConfigError("trace length must be positive")
+    program = build_workload(name, seed=seed)
+    trace = run_program(program, max_instructions=length)
+    if len(trace) < length:
+        raise ConfigError(
+            f"workload {name!r} halted after {len(trace)} instructions; "
+            f"kernels must loop indefinitely"
+        )
+    return trace

@@ -1,0 +1,162 @@
+"""`vortex` stand-in: an object-oriented record-store transaction mix.
+
+Character: the paper singles out `vortex` (with `m88ksim`) as the
+benchmark whose predictable dependencies have the longest reach — an OO
+database is full of sequential object ids, allocation cursors, journal
+indices and per-type counters, all perfect strides, threaded through
+transaction bodies long enough that only a wide fetch engine exposes them.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.program import Program
+
+N_RECORDS = 256          # record = [id, type, balance, link]; 4 words
+JOURNAL_SIZE = 256
+TXNS_PER_ERA = 64
+N_TYPES = 4
+PICKS_SIZE = 512         # precomputed transaction targets (input data)
+
+
+def build_vortex(seed: int = 0) -> Program:
+    """Build the record-store kernel.
+
+    Era structure:
+
+    1. *Create phase* — allocate all records with sequential ids,
+       round-robin types and a link to the previous record of the same
+       type (building per-type chains).
+    2. *Transaction phase* — ``TXNS_PER_ERA`` transactions: pick a record
+       from a precomputed request stream (the benchmark's input data),
+       dispatch on its type (deposit / withdraw / transfer along the
+       link chain / audit three links deep), update balances, bump the
+       per-type counter and append the id to a wrapping journal.
+    """
+    b = ProgramBuilder("vortex")
+    rng = random.Random(seed)
+    picks = [rng.randrange(N_RECORDS) for _ in range(PICKS_SIZE)]
+    picks_base = b.array(picks, "picks")
+    records_base = b.alloc(N_RECORDS * 4, "records")
+    journal_base = b.alloc(JOURNAL_SIZE, "journal")
+    type_counts = b.alloc(N_TYPES, "type_counts")
+    type_tails = b.alloc(N_TYPES, "type_tails")
+
+    # s0 record cursor / txn counter, s1 request-stream cursor,
+    # s2 &records, s3 journal cursor, s4 global txn id.
+    b.li("s1", 0)
+    b.li("s2", records_base)
+    b.li("s3", 0)
+    b.li("s4", 0)
+
+    b.label("era")
+
+    # -- create phase: sequential ids, striding addresses ----------------
+    b.li("s0", 0)
+    b.label("create_loop")
+    b.slli("t0", "s0", 4)            # record stride = 16 bytes
+    b.add("t0", "t0", "s2")
+    b.addi("t1", "s4", 1000)         # id = txn base + index (stride)
+    b.add("t1", "t1", "s0")
+    b.st("t1", "t0", 0)              # .id
+    b.andi("t2", "s0", N_TYPES - 1)
+    b.st("t2", "t0", 4)              # .type
+    b.slli("t3", "s0", 3)
+    b.addi("t3", "t3", 100)
+    b.st("t3", "t0", 8)              # .balance = 100 + 8*i
+    # .link = previous record of same type (from type_tails), then update.
+    b.slli("t4", "t2", 2)
+    b.li("t5", type_tails)
+    b.add("t4", "t4", "t5")
+    b.ld("t5", "t4", 0)
+    b.st("t5", "t0", 12)             # .link
+    b.st("t0", "t4", 0)              # tail = this record
+    b.addi("s0", "s0", 1)
+    b.li("t6", N_RECORDS)
+    b.blt("s0", "t6", "create_loop")
+
+    # -- transaction phase ------------------------------------------------
+    b.li("s0", 0)
+    b.label("txn_loop")
+    # Next transaction target from the request stream (cursor strides).
+    b.andi("t0", "s1", PICKS_SIZE - 1)
+    b.slli("t0", "t0", 2)
+    b.li("t1", picks_base)
+    b.add("t0", "t0", "t1")
+    b.ld("t0", "t0", 0)              # record index (input data)
+    b.addi("s1", "s1", 1)
+    b.slli("t0", "t0", 4)
+    b.add("t0", "t0", "s2")          # &record
+    b.ld("t1", "t0", 4)              # type
+    b.ld("t2", "t0", 8)              # balance
+
+    # Dispatch on type.
+    b.li("t3", 1)
+    b.beq("t1", "zero", "txn_deposit")
+    b.beq("t1", "t3", "txn_withdraw")
+    b.li("t3", 2)
+    b.beq("t1", "t3", "txn_transfer")
+    b.j("txn_audit")
+
+    b.label("txn_deposit")           # balance += 10 + (txn & 7)
+    b.andi("t4", "s4", 7)
+    b.addi("t4", "t4", 10)
+    b.add("t2", "t2", "t4")
+    b.st("t2", "t0", 8)
+    b.j("txn_done")
+
+    b.label("txn_withdraw")          # balance -= 5 unless it would go < 0
+    b.slti("t4", "t2", 5)
+    b.bne("t4", "zero", "txn_done")
+    b.addi("t2", "t2", -5)
+    b.st("t2", "t0", 8)
+    b.j("txn_done")
+
+    b.label("txn_transfer")          # move 8 along the link, if any
+    b.ld("t4", "t0", 12)             # link
+    b.beq("t4", "zero", "txn_done")
+    b.addi("t2", "t2", -8)
+    b.st("t2", "t0", 8)
+    b.ld("t5", "t4", 8)
+    b.addi("t5", "t5", 8)
+    b.st("t5", "t4", 8)
+    b.j("txn_done")
+
+    b.label("txn_audit")             # sum balances three links deep
+    b.li("t5", 0)
+    b.li("t6", 3)
+    b.mov("t4", "t0")
+    b.label("audit_loop")
+    b.beq("t4", "zero", "audit_done")
+    b.ld("t7", "t4", 8)
+    b.add("t5", "t5", "t7")
+    b.ld("t4", "t4", 12)
+    b.addi("t6", "t6", -1)
+    b.bne("t6", "zero", "audit_loop")
+    b.label("audit_done")
+    b.st("t5", "t0", 8)              # stash the audit sum in balance
+
+    b.label("txn_done")
+    # Per-type counter and journal append — the stride-heavy bookkeeping.
+    b.slli("t4", "t1", 2)
+    b.li("t5", type_counts)
+    b.add("t4", "t4", "t5")
+    b.ld("t5", "t4", 0)
+    b.addi("t5", "t5", 1)
+    b.st("t5", "t4", 0)
+    b.andi("t4", "s3", JOURNAL_SIZE - 1)
+    b.slli("t4", "t4", 2)
+    b.li("t5", journal_base)
+    b.add("t4", "t4", "t5")
+    b.ld("t6", "t0", 0)              # record id
+    b.st("t6", "t4", 0)
+    b.addi("s3", "s3", 1)
+    b.addi("s4", "s4", 1)            # global txn id (perfect stride)
+    b.addi("s0", "s0", 1)
+    b.li("t6", TXNS_PER_ERA)
+    b.blt("s0", "t6", "txn_loop")
+    b.j("era")
+
+    return b.build()

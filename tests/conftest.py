@@ -1,0 +1,34 @@
+"""Shared fixtures: small cached workload traces and helper factories."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.trace import SyntheticTraceConfig, generate_synthetic_trace
+from repro.workloads import WORKLOAD_NAMES, generate_trace
+
+TEST_TRACE_LENGTH = 4_000
+
+
+@pytest.fixture(scope="session")
+def workload_traces_small():
+    """One small trace per workload, computed once per test session."""
+    return {
+        name: generate_trace(name, length=TEST_TRACE_LENGTH)
+        for name in WORKLOAD_NAMES
+    }
+
+
+@pytest.fixture(scope="session")
+def vortex_trace(workload_traces_small):
+    return workload_traces_small["vortex"]
+
+
+@pytest.fixture(scope="session")
+def m88ksim_trace(workload_traces_small):
+    return workload_traces_small["m88ksim"]
+
+
+@pytest.fixture()
+def synthetic_trace():
+    return generate_synthetic_trace(SyntheticTraceConfig(length=2_000, seed=7))

@@ -1,0 +1,43 @@
+"""Unit tests for repro.analysis.report."""
+
+import pytest
+
+from repro.analysis import ExperimentResult, format_percent, render_table
+
+
+def test_format_percent():
+    assert format_percent(0.335) == "33.5%"
+    assert format_percent(0.0) == "0.0%"
+    assert format_percent(1.234, digits=0) == "123%"
+
+
+def test_render_table_alignment():
+    text = render_table(["name", "value"], [["a", "1"], ["long-name", "22"]])
+    lines = text.splitlines()
+    assert lines[0].startswith("name")
+    assert lines[2].endswith(" 1")
+    assert lines[3].endswith("22")
+    # All rows have equal width.
+    assert len({len(line) for line in lines if line}) == 1
+
+
+def test_render_table_rejects_ragged_rows():
+    with pytest.raises(ValueError):
+        render_table(["a", "b"], [["only-one"]])
+
+
+def test_experiment_result_format_and_cell():
+    result = ExperimentResult(
+        experiment_id="figX",
+        title="demo",
+        headers=["benchmark", "BW=4"],
+        rows=[["go", "1.0%"], ["avg", "2.0%"]],
+        notes=["a note"],
+    )
+    text = result.format()
+    assert "figX" in text and "a note" in text
+    assert result.cell("go", "BW=4") == "1.0%"
+    with pytest.raises(KeyError):
+        result.cell("nope", "BW=4")
+    with pytest.raises(ValueError):
+        result.cell("go", "BW=8")

@@ -1,0 +1,128 @@
+"""Unit tests for the branch predictors."""
+
+import pytest
+
+from repro.bpred import PerfectBranchPredictor, TwoLevelBTB
+from repro.errors import ConfigError
+from repro.isa.opcodes import Opcode
+from repro.trace.record import DynInstr
+
+
+def branch(seq, pc, taken, target=0x2000):
+    return DynInstr(seq, pc, Opcode.BNE, srcs=(1,), taken=taken,
+                    next_pc=target if taken else pc + 4)
+
+
+def jr(seq, pc, target, srcs=(5,)):
+    return DynInstr(seq, pc, Opcode.JR, srcs=srcs, taken=True, next_pc=target)
+
+
+def jal(seq, pc, target):
+    return DynInstr(seq, pc, Opcode.JAL, dest=1, value=pc + 4, taken=True,
+                    next_pc=target)
+
+
+def test_perfect_predictor_always_right(synthetic_trace):
+    predictor = PerfectBranchPredictor()
+    for record in synthetic_trace:
+        assert predictor.predict_and_update(record)
+    assert predictor.stats.accuracy == 1.0
+
+
+def test_non_control_records_skip_prediction():
+    predictor = TwoLevelBTB()
+    record = DynInstr(0, 0x1000, Opcode.ADD, dest=1, value=1, next_pc=0x1004)
+    assert predictor.predict_and_update(record)
+    assert predictor.stats.lookups == 0
+
+
+def test_monotone_branch_learned():
+    predictor = TwoLevelBTB()
+    outcomes = [predictor.predict_and_update(branch(i, 0x1000, True))
+                for i in range(50)]
+    # After warm-up, an always-taken branch is always predicted.
+    assert all(outcomes[10:])
+
+
+def test_alternating_pattern_learned_via_history():
+    predictor = TwoLevelBTB(history_bits=4)
+    outcomes = [predictor.predict_and_update(branch(i, 0x1000, i % 2 == 0))
+                for i in range(80)]
+    assert all(outcomes[30:])   # 2-level captures period-2 perfectly
+
+
+def test_loop_exit_pattern():
+    predictor = TwoLevelBTB(history_bits=4)
+    outcomes = []
+    for i in range(200):
+        taken = (i % 5) != 4          # 4 taken, 1 not-taken, repeating
+        outcomes.append(predictor.predict_and_update(branch(i, 0x1000, taken)))
+    assert sum(outcomes[50:]) / len(outcomes[50:]) > 0.95
+
+
+def test_btb_miss_predicts_not_taken():
+    predictor = TwoLevelBTB()
+    assert predictor.predict_and_update(branch(0, 0x1000, False))
+    assert not predictor.predict_and_update(branch(1, 0x2000, True))
+
+
+def test_indirect_jump_last_target():
+    predictor = TwoLevelBTB()
+    assert not predictor.predict_and_update(jr(0, 0x1000, 0x3000))  # cold
+    assert predictor.predict_and_update(jr(1, 0x1000, 0x3000))
+    assert not predictor.predict_and_update(jr(2, 0x1000, 0x4000))  # changed
+
+
+def test_return_address_stack():
+    predictor = TwoLevelBTB()
+    # call from two different sites; returns must match in LIFO order.
+    assert predictor.predict_and_update(jal(0, 0x1000, 0x5000))
+    assert predictor.predict_and_update(jal(1, 0x5000, 0x6000))
+    # return to 0x5004 (from inner call), then to 0x1004.
+    assert predictor.predict_and_update(jr(2, 0x6000, 0x5004, srcs=(1,)))
+    assert predictor.predict_and_update(jr(3, 0x5010, 0x1004, srcs=(1,)))
+
+
+def test_ras_capacity_bounded():
+    predictor = TwoLevelBTB(ras_entries=2)
+    for i in range(5):
+        predictor.predict_and_update(jal(i, 0x1000 + 16 * i, 0x5000))
+    assert len(predictor._ras) == 2
+
+
+def test_btb_capacity_eviction():
+    predictor = TwoLevelBTB(n_entries=4, assoc=2)
+    # Train 8 always-taken branches in round-robin: constant thrash.
+    pcs = [0x1000 + 32 * i for i in range(8)]
+    for _ in range(4):
+        for i, pc in enumerate(pcs):
+            predictor.predict_and_update(branch(i, pc, True))
+    assert predictor.misses > 8
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [dict(n_entries=3, assoc=2), dict(n_entries=6, assoc=2),
+     dict(history_bits=0), dict(counter_bits=0)],
+)
+def test_invalid_configs(kwargs):
+    with pytest.raises(ConfigError):
+        TwoLevelBTB(**kwargs)
+
+
+def test_taken_branch_needs_correct_target():
+    predictor = TwoLevelBTB()
+    # Train direction taken with target 0x2000.
+    for i in range(10):
+        predictor.predict_and_update(branch(i, 0x1000, True, target=0x2000))
+    # Same direction, different target (e.g. after code patching): wrong.
+    assert not predictor.predict_and_update(branch(11, 0x1000, True, target=0x2400))
+
+
+def test_reset():
+    predictor = TwoLevelBTB()
+    for i in range(10):
+        predictor.predict_and_update(branch(i, 0x1000, True))
+    predictor.reset()
+    assert predictor.stats.lookups == 0
+    assert not predictor.predict_and_update(branch(0, 0x1000, True))

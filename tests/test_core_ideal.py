@@ -1,0 +1,141 @@
+"""Unit tests for the Section 3 ideal machine."""
+
+import pytest
+
+from repro.core import IdealConfig, plan_value_predictions, simulate_ideal, speedup
+from repro.core.ideal import pipeline_table
+from repro.errors import ConfigError, SimulationError
+from repro.experiments.table3_2 import figure_3_2_trace
+from repro.isa.opcodes import Opcode
+from repro.trace.record import DynInstr
+from repro.trace.trace import Trace
+from repro.vpred import make_predictor
+
+
+def independent_trace(n=100):
+    return Trace([
+        DynInstr(i, 0x1000 + 4 * i, Opcode.ADD, dest=1 + (i % 8), value=i,
+                 next_pc=0) for i in range(n)
+    ])
+
+
+def serial_trace(n=100):
+    """Every instruction depends on the previous one."""
+    records = [DynInstr(0, 0x1000, Opcode.ADD, dest=1, value=0, next_pc=0)]
+    for i in range(1, n):
+        records.append(
+            DynInstr(i, 0x1000 + 4 * i, Opcode.ADD, dest=1, srcs=(1,),
+                     value=i, next_pc=0)
+        )
+    return Trace(records)
+
+
+def test_fetch_rate_bounds_ipc():
+    for rate in (1, 2, 4, 8):
+        result = simulate_ideal(independent_trace(400), IdealConfig(fetch_rate=rate))
+        assert result.ipc <= rate + 1e-9
+        assert result.ipc > rate * 0.9
+
+
+def test_serial_trace_runs_at_one_ipc():
+    result = simulate_ideal(serial_trace(400), IdealConfig(fetch_rate=8))
+    assert result.ipc == pytest.approx(1.0, rel=0.05)
+
+
+def test_window_caps_overlap():
+    wide = simulate_ideal(independent_trace(800), IdealConfig(fetch_rate=40, window=40))
+    narrow = simulate_ideal(independent_trace(800), IdealConfig(fetch_rate=40, window=4))
+    assert narrow.ipc < wide.ipc
+
+
+def test_perfect_vp_collapses_serial_chain():
+    trace = serial_trace(400)
+    n = len(trace)
+    base = simulate_ideal(trace, IdealConfig(fetch_rate=8))
+    with_vp = simulate_ideal(
+        trace, IdealConfig(fetch_rate=8), vp_plan=([True] * n, [True] * n)
+    )
+    assert base.ipc == pytest.approx(1.0, rel=0.05)
+    assert with_vp.ipc > 6.0
+
+
+def test_vp_without_penalty_never_hurts(workload_traces_small):
+    for trace in workload_traces_small.values():
+        vp_plan = plan_value_predictions(trace, make_predictor())
+        for rate in (4, 16):
+            base = simulate_ideal(trace, IdealConfig(fetch_rate=rate))
+            with_vp = simulate_ideal(trace, IdealConfig(fetch_rate=rate),
+                                     vp_plan=vp_plan)
+            assert with_vp.cycles <= base.cycles
+
+
+def test_speedup_grows_with_fetch_rate(m88ksim_trace):
+    vp_plan = plan_value_predictions(m88ksim_trace, make_predictor())
+    gains = []
+    for rate in (4, 8, 16):
+        base = simulate_ideal(m88ksim_trace, IdealConfig(fetch_rate=rate))
+        with_vp = simulate_ideal(m88ksim_trace, IdealConfig(fetch_rate=rate),
+                                 vp_plan=vp_plan)
+        gains.append(speedup(with_vp, base))
+    assert gains[0] < 0.05
+    assert gains[2] > gains[0] + 0.15
+
+
+def test_memory_dependencies_serialize():
+    records = []
+    seq = 0
+    for k in range(100):
+        records.append(DynInstr(seq, 0x1000, Opcode.LD, dest=1, value=k,
+                                next_pc=0, mem_addr=0x40))
+        seq += 1
+        records.append(DynInstr(seq, 0x1004, Opcode.ST, srcs=(1,),
+                                next_pc=0, mem_addr=0x40))
+        seq += 1
+    trace = Trace(records)
+    with_deps = simulate_ideal(trace, IdealConfig(fetch_rate=8))
+    without = simulate_ideal(
+        trace, IdealConfig(fetch_rate=8, memory_dependencies=False)
+    )
+    assert with_deps.cycles > without.cycles * 2
+
+
+def test_wrong_prediction_penalty_applied():
+    trace = serial_trace(200)
+    n = len(trace)
+    attempted = [True] * n
+    wrong = [False] * n
+    no_vp = simulate_ideal(trace, IdealConfig(fetch_rate=8))
+    penalized = simulate_ideal(
+        trace, IdealConfig(fetch_rate=8, value_penalty=1),
+        vp_plan=(attempted, wrong),
+    )
+    free = simulate_ideal(
+        trace, IdealConfig(fetch_rate=8, value_penalty=0),
+        vp_plan=(attempted, wrong),
+    )
+    assert free.cycles == no_vp.cycles
+    assert penalized.cycles > no_vp.cycles
+
+
+def test_invalid_config_rejected():
+    with pytest.raises(ConfigError):
+        simulate_ideal(independent_trace(10), IdealConfig(fetch_rate=0))
+
+
+def test_empty_trace_ipc_raises():
+    result = simulate_ideal(Trace([]), IdealConfig())
+    with pytest.raises(SimulationError):
+        _ = result.ipc
+
+
+class TestPipelineTable:
+    def test_matches_paper_table_3_2(self):
+        rows = pipeline_table(figure_3_2_trace(), fetch_rate=4)
+        by_cycle = {cycle: stages for cycle, *stages in rows}
+        assert by_cycle[1][0] == [1, 2, 3, 4]
+        assert by_cycle[2][0] == [5, 6, 7, 8]
+        assert by_cycle[2][1] == [1, 2, 3, 4]
+        assert by_cycle[3][2] == [1, 2, 3, 4]
+        assert by_cycle[4][3] == [1, 2, 3, 4]
+        assert by_cycle[5][3] == [5, 6, 7, 8]
+        assert max(by_cycle) == 5

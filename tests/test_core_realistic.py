@@ -1,0 +1,123 @@
+"""Unit tests for the Section 5 realistic machine."""
+
+import pytest
+
+from repro.bpred import PerfectBranchPredictor, TwoLevelBTB
+from repro.core import RealisticConfig, simulate_realistic, speedup
+from repro.errors import ConfigError
+from repro.fetch import SequentialFetchEngine, TraceCacheFetchEngine
+from repro.isa.opcodes import Opcode
+from repro.trace.record import DynInstr
+from repro.trace.trace import Trace
+from repro.vphw import AbstractVPUnit
+from repro.vpred import make_predictor
+
+
+def loop_trace(iterations=40, body=8):
+    records = []
+    seq = 0
+    for _ in range(iterations):
+        for j in range(body - 1):
+            records.append(
+                DynInstr(seq, 0x1000 + 4 * j, Opcode.ADD, dest=1 + (j % 4),
+                         value=seq, next_pc=0x1000 + 4 * (j + 1))
+            )
+            seq += 1
+        records.append(
+            DynInstr(seq, 0x1000 + 4 * (body - 1), Opcode.BNE, srcs=(1,),
+                     taken=True, next_pc=0x1000)
+        )
+        seq += 1
+    return Trace(records)
+
+
+def simulate(trace, max_taken=1, bpred=None, vp=False, config=None):
+    engine = SequentialFetchEngine(width=40, max_taken=max_taken)
+    bpred = bpred or PerfectBranchPredictor()
+    vp_unit = AbstractVPUnit(make_predictor()) if vp else None
+    return simulate_realistic(trace, engine, bpred, vp_unit,
+                              config or RealisticConfig())
+
+
+def test_one_block_per_cycle():
+    trace = loop_trace(iterations=40, body=8)
+    result = simulate(trace, max_taken=1)
+    # One 8-instruction block per cycle -> IPC close to 8.
+    assert result.ipc == pytest.approx(8.0, rel=0.15)
+
+
+def test_more_taken_branches_more_ipc():
+    trace = loop_trace(iterations=60, body=6)
+    ipc_1 = simulate(trace, max_taken=1).ipc
+    ipc_3 = simulate(trace, max_taken=3).ipc
+    assert ipc_3 > ipc_1 * 1.5
+
+
+def test_branch_misprediction_costs_cycles():
+    trace = loop_trace(iterations=60, body=6)
+    perfect = simulate(trace, bpred=PerfectBranchPredictor()).cycles
+    real = simulate(trace, bpred=TwoLevelBTB()).cycles
+    assert real > perfect  # cold BTB mispredicts at least once
+
+
+def test_branch_penalty_scales_stall():
+    trace = loop_trace(iterations=30, body=6)
+    cheap = simulate(trace, bpred=TwoLevelBTB(),
+                     config=RealisticConfig(branch_penalty=0)).cycles
+    dear = simulate(trace, bpred=TwoLevelBTB(),
+                    config=RealisticConfig(branch_penalty=10)).cycles
+    assert dear > cheap
+
+
+def test_vp_speedup_positive_on_strided_loop(vortex_trace):
+    base = simulate(vortex_trace, max_taken=4)
+    with_vp = simulate(vortex_trace, max_taken=4, vp=True)
+    assert speedup(with_vp, base) > 0.02
+
+
+def test_vp_gain_grows_with_taken_limit(m88ksim_trace):
+    gains = []
+    for limit in (1, 4):
+        base = simulate(m88ksim_trace, max_taken=limit)
+        with_vp = simulate(m88ksim_trace, max_taken=limit, vp=True)
+        gains.append(speedup(with_vp, base))
+    assert gains[1] > gains[0]
+
+
+def test_trace_cache_engine_integrates(m88ksim_trace):
+    engine = TraceCacheFetchEngine()
+    bpred = PerfectBranchPredictor()
+    result = simulate_realistic(m88ksim_trace, engine, bpred)
+    seq_result = simulate(m88ksim_trace, max_taken=1)
+    # The TC machine must outrun single-taken-branch sequential fetch.
+    assert result.ipc > seq_result.ipc
+
+
+def test_shared_plan_reused():
+    trace = loop_trace(iterations=30, body=6)
+    engine = SequentialFetchEngine(width=40, max_taken=1)
+    bpred = PerfectBranchPredictor()
+    plan = engine.plan(trace, bpred)
+    a = simulate_realistic(trace, engine, bpred, None, RealisticConfig(), plan)
+    b = simulate_realistic(trace, engine, bpred, None, RealisticConfig(), plan)
+    assert a.cycles == b.cycles
+
+
+def test_extra_stats_populated(vortex_trace):
+    result = simulate(vortex_trace, vp=True)
+    assert result.extra["fetch_blocks"] > 0
+    assert 0 < result.extra["mean_block_size"] <= 40
+    assert 0 <= result.extra["vp_accuracy"] <= 1
+
+
+def test_window_constraint_enforced():
+    trace = loop_trace(iterations=100, body=10)
+    narrow = simulate(trace, max_taken=None,
+                      config=RealisticConfig(window=8, n_fus=8, issue_width=8))
+    wide = simulate(trace, max_taken=None)
+    assert narrow.cycles > wide.cycles
+
+
+def test_fus_below_window_rejected():
+    with pytest.raises(ConfigError):
+        RealisticConfig(window=40, n_fus=8).validate()

@@ -1,0 +1,74 @@
+"""Unit tests for results, speedup arithmetic and the VP pre-pass."""
+
+import pytest
+
+from repro.core import SimulationResult, plan_value_predictions, speedup
+from repro.errors import SimulationError
+from repro.isa.opcodes import Opcode
+from repro.trace.record import DynInstr
+from repro.trace.trace import Trace
+from repro.vpred import LastValuePredictor, make_predictor
+
+
+def test_ipc():
+    result = SimulationResult(name="x", n_instructions=100, cycles=25)
+    assert result.ipc == 4.0
+
+
+def test_non_positive_cycles_rejected():
+    result = SimulationResult(name="x", n_instructions=100, cycles=0)
+    with pytest.raises(SimulationError):
+        _ = result.ipc
+
+
+def test_speedup_definition():
+    base = SimulationResult(name="b", n_instructions=100, cycles=40)
+    vp = SimulationResult(name="v", n_instructions=100, cycles=20)
+    assert speedup(vp, base) == pytest.approx(1.0)   # 2x -> 100%
+
+
+def test_speedup_requires_same_trace():
+    base = SimulationResult(name="b", n_instructions=100, cycles=40)
+    vp = SimulationResult(name="v", n_instructions=200, cycles=40)
+    with pytest.raises(SimulationError):
+        speedup(vp, base)
+
+
+class TestVPPlan:
+    def make_trace(self, values):
+        return Trace([
+            DynInstr(i, 0x1000, Opcode.ADD, dest=1, value=value, next_pc=0)
+            for i, value in enumerate(values)
+        ])
+
+    def test_constant_stream_attempted_and_correct(self):
+        trace = self.make_trace([7] * 10)
+        attempted, correct = plan_value_predictions(trace, LastValuePredictor())
+        assert attempted[0] is False          # cold
+        assert all(attempted[1:])
+        assert all(correct[1:])
+
+    def test_volatile_stream_attempted_but_wrong(self):
+        trace = self.make_trace(list(range(0, 1000, 97)))
+        attempted, correct = plan_value_predictions(trace, LastValuePredictor())
+        assert any(attempted)
+        assert not any(c for a, c in zip(attempted, correct) if a)
+
+    def test_classifier_suppresses_attempts(self):
+        import random
+
+        rng = random.Random(0)
+        trace = self.make_trace([rng.getrandbits(40) for _ in range(100)])
+        attempted, _correct = plan_value_predictions(trace, make_predictor())
+        # The classifier learns this PC is hopeless and stops attempting.
+        assert sum(attempted) < 25
+
+    def test_non_producers_false(self):
+        records = [
+            DynInstr(0, 0x1000, Opcode.ST, srcs=(1,), next_pc=0, mem_addr=4),
+            DynInstr(1, 0x1004, Opcode.BEQ, srcs=(1,), next_pc=0),
+        ]
+        attempted, correct = plan_value_predictions(Trace(records),
+                                                    LastValuePredictor())
+        assert attempted == [False, False]
+        assert correct == [False, False]

@@ -1,0 +1,62 @@
+"""Unit tests for repro.dfg.did."""
+
+import pytest
+
+from repro.dfg import DEFAULT_BINS, DIDHistogram, average_did, build_dfg, did_values
+from repro.dfg.graph import DependenceGraph
+
+
+def graph_with_dids(dids):
+    producers = [0] * len(dids)
+    consumers = list(dids)  # producer 0, consumer at distance d
+    return DependenceGraph(producers, consumers, n_nodes=max(dids) + 1)
+
+
+def test_did_values_and_average():
+    graph = graph_with_dids([1, 2, 3, 10])
+    assert did_values(graph) == [1, 2, 3, 10]
+    assert average_did(graph) == 4.0
+
+
+def test_average_of_empty_graph():
+    assert average_did(DependenceGraph([], [], n_nodes=0)) == 0.0
+
+
+def test_histogram_binning():
+    graph = graph_with_dids([1, 1, 2, 3, 4, 7, 8, 31, 32, 100])
+    histogram = DIDHistogram.from_graph(graph)
+    assert histogram.bin_edges == DEFAULT_BINS
+    assert histogram.counts == [2, 1, 1, 2, 1, 1, 2]
+    assert histogram.total == 10
+
+
+def test_histogram_labels():
+    histogram = DIDHistogram.from_graph(graph_with_dids([1]))
+    assert histogram.labels() == ["1", "2", "3", "4-7", "8-15", "16-31", ">=32"]
+
+
+def test_fraction_at_least():
+    histogram = DIDHistogram.from_graph(graph_with_dids([1, 2, 3, 4, 8, 40]))
+    assert histogram.fraction_at_least(4) == pytest.approx(0.5)
+    assert histogram.fraction_at_least(1) == 1.0
+    with pytest.raises(ValueError):
+        histogram.fraction_at_least(5)
+
+
+def test_fractions_sum_to_one():
+    histogram = DIDHistogram.from_graph(graph_with_dids(list(range(1, 50))))
+    assert sum(histogram.fractions()) == pytest.approx(1.0)
+
+
+def test_bad_bins_rejected():
+    graph = graph_with_dids([1])
+    with pytest.raises(ValueError):
+        DIDHistogram.from_graph(graph, bin_edges=[3, 2])
+    with pytest.raises(ValueError):
+        DIDHistogram.from_graph(graph, bin_edges=[0, 1])
+
+
+def test_did_matches_equation_3_1(synthetic_trace):
+    graph = build_dfg(synthetic_trace)
+    for (producer, consumer), did in zip(graph.arcs(), did_values(graph)):
+        assert did == abs(consumer - producer) >= 1

@@ -1,0 +1,75 @@
+"""Unit tests for repro.dfg.graph."""
+
+from repro.dfg import build_dfg
+from repro.isa.opcodes import Opcode
+from repro.trace.record import DynInstr
+from repro.trace.trace import Trace
+
+
+def alu(seq, dest, srcs=(), value=0):
+    return DynInstr(seq, 0x1000 + 4 * seq, Opcode.ADD, dest=dest, srcs=srcs,
+                    value=value, next_pc=0)
+
+
+def test_register_arcs_point_to_most_recent_writer():
+    trace = Trace([
+        alu(0, dest=1),
+        alu(1, dest=1),          # overwrites r1
+        alu(2, dest=2, srcs=(1,)),
+    ])
+    graph = build_dfg(trace)
+    assert list(graph.arcs()) == [(1, 2)]
+
+
+def test_unwritten_source_creates_no_arc():
+    trace = Trace([alu(0, dest=2, srcs=(7,))])
+    assert build_dfg(trace).n_arcs == 0
+
+
+def test_two_source_instruction_creates_two_arcs():
+    trace = Trace([
+        alu(0, dest=1),
+        alu(1, dest=2),
+        alu(2, dest=3, srcs=(1, 2)),
+    ])
+    graph = build_dfg(trace)
+    assert sorted(graph.arcs()) == [(0, 2), (1, 2)]
+
+
+def test_loop_carried_arcs_cross_block_boundaries():
+    records = [
+        alu(0, dest=1),
+        DynInstr(1, 0x1004, Opcode.BEQ, srcs=(1,), taken=True, next_pc=0x1000),
+        alu(2, dest=2, srcs=(1,)),
+    ]
+    graph = build_dfg(Trace(records))
+    assert (0, 2) in list(graph.arcs())
+
+
+def test_memory_arcs_optional():
+    records = [
+        DynInstr(0, 0x1000, Opcode.ST, srcs=(1,), next_pc=0x1004, mem_addr=64),
+        DynInstr(1, 0x1004, Opcode.LD, dest=2, value=0, next_pc=0x1008, mem_addr=64),
+        DynInstr(2, 0x1008, Opcode.LD, dest=3, value=0, next_pc=0x100C, mem_addr=128),
+    ]
+    trace = Trace(records)
+    assert build_dfg(trace).n_arcs == 0
+    with_memory = build_dfg(trace, include_memory=True)
+    assert list(with_memory.arcs()) == [(0, 1)]
+
+
+def test_did_accessor():
+    trace = Trace([alu(0, dest=1), alu(1, dest=2), alu(2, dest=3, srcs=(1,))])
+    graph = build_dfg(trace)
+    assert graph.did(0) == 2
+
+
+def test_networkx_export(synthetic_trace):
+    graph = build_dfg(synthetic_trace)
+    nx_graph = graph.to_networkx()
+    assert nx_graph.number_of_nodes() == len(synthetic_trace)
+    assert nx_graph.number_of_edges() <= graph.n_arcs  # parallel arcs merge
+    # The DFG is a DAG: arcs always point forward in time.
+    import networkx as nx
+
+    assert nx.is_directed_acyclic_graph(nx_graph)

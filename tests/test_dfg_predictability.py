@@ -1,0 +1,93 @@
+"""Unit tests for repro.dfg.predictability (Figure 3.5 machinery)."""
+
+import pytest
+
+from repro.dfg import ArcClass, classify_arcs, mark_predictable_producers
+from repro.isa.opcodes import Opcode
+from repro.trace.record import DynInstr
+from repro.trace.trace import Trace
+
+
+def stride_trace(n=20, stride=3, pc=0x1000):
+    """Same PC produces a perfect stride; a consumer reads it each time."""
+    records = []
+    for i in range(n):
+        records.append(
+            DynInstr(2 * i, pc, Opcode.ADD, dest=1, value=100 + stride * i,
+                     next_pc=0)
+        )
+        records.append(
+            DynInstr(2 * i + 1, pc + 4, Opcode.ST, srcs=(1,), next_pc=0,
+                     mem_addr=64)
+        )
+    return Trace(records)
+
+
+def test_stride_producers_marked_after_warmup():
+    marks = mark_predictable_producers(stride_trace())
+    producer_marks = [marks[2 * i] for i in range(20)]
+    # First two sightings train last/stride; from the third on, correct.
+    assert producer_marks[0] is False
+    assert all(producer_marks[2:])
+
+
+def test_consumers_never_marked():
+    marks = mark_predictable_producers(stride_trace())
+    assert not any(marks[2 * i + 1] for i in range(20))
+
+
+def test_classify_arcs_short_vs_long():
+    # Producer/consumer adjacent: DID 1 -> predictable short.
+    breakdown = classify_arcs(stride_trace())
+    assert breakdown.total_arcs == 20
+    assert breakdown.counts[ArcClass.PREDICTABLE_SHORT] > 15
+    assert breakdown.counts[ArcClass.PREDICTABLE_LONG] == 0
+
+
+def test_classify_arcs_long():
+    # Insert padding so the consumer sits >= 4 instructions downstream.
+    records = []
+    seq = 0
+    for i in range(12):
+        records.append(DynInstr(seq, 0x1000, Opcode.ADD, dest=1,
+                                value=10 * i, next_pc=0))
+        seq += 1
+        for j in range(4):
+            records.append(DynInstr(seq, 0x2000 + 4 * j, Opcode.ADD, dest=5,
+                                    value=0, next_pc=0))
+            seq += 1
+        records.append(DynInstr(seq, 0x3000, Opcode.ADD, dest=2, srcs=(1,),
+                                value=0, next_pc=0))
+        seq += 1
+    breakdown = classify_arcs(Trace(records))
+    assert breakdown.counts[ArcClass.PREDICTABLE_LONG] >= 9
+    assert breakdown.counts[ArcClass.PREDICTABLE_SHORT] == 0
+
+
+def test_random_values_unpredictable():
+    import random
+
+    rng = random.Random(0)
+    records = []
+    for i in range(40):
+        records.append(DynInstr(2 * i, 0x1000, Opcode.ADD, dest=1,
+                                value=rng.getrandbits(48), next_pc=0))
+        records.append(DynInstr(2 * i + 1, 0x1004, Opcode.ADD, dest=2,
+                                srcs=(1,), value=0, next_pc=0))
+    breakdown = classify_arcs(Trace(records))
+    assert breakdown.fraction(ArcClass.UNPREDICTABLE) > 0.9
+
+
+def test_fractions_sum_to_one(synthetic_trace):
+    breakdown = classify_arcs(synthetic_trace)
+    total = sum(breakdown.fraction(klass) for klass in ArcClass)
+    assert total == pytest.approx(1.0)
+
+
+def test_predictable_did_histogram_consistent(synthetic_trace):
+    breakdown = classify_arcs(synthetic_trace)
+    predictable = (
+        breakdown.counts[ArcClass.PREDICTABLE_SHORT]
+        + breakdown.counts[ArcClass.PREDICTABLE_LONG]
+    )
+    assert sum(breakdown.predictable_did_counts) == predictable

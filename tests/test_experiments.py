@@ -1,0 +1,193 @@
+"""Tests for the experiment modules (small traces) and the CLI runner.
+
+These check the *direction* of each paper headline at reduced scale;
+the benches regenerate the artifacts at full scale.
+"""
+
+import pytest
+
+from repro.experiments import ALL_EXPERIMENTS, fig3_1, fig3_3, fig3_4, fig3_5
+from repro.experiments import fig5_1, fig5_2, fig5_3, table3_2
+from repro.experiments.runner import main
+
+SMALL = 4_000
+FAST_WORKLOADS = ("m88ksim", "compress", "vortex")
+
+
+def percent(cell: str) -> float:
+    return float(cell.rstrip("%"))
+
+
+def test_fig3_1_speedup_rises_with_fetch_rate():
+    result = fig3_1.run(trace_length=SMALL, workloads=FAST_WORKLOADS)
+    low = percent(result.cell("avg", "BW=4"))
+    high = percent(result.cell("avg", "BW=32"))
+    assert high > low + 5.0
+    assert low < 10.0
+
+
+def test_fig3_3_average_did_exceeds_four():
+    result = fig3_3.run(trace_length=SMALL, workloads=FAST_WORKLOADS)
+    for row in result.rows:
+        if row[0] == "avg":
+            continue
+        assert float(row[2]) > 4.0
+
+
+def test_fig3_4_substantial_long_did_fraction():
+    result = fig3_4.run(trace_length=SMALL, workloads=FAST_WORKLOADS)
+    assert percent(result.cell("avg", "DID>=4")) > 25.0
+
+
+def test_fig3_5_fractions_consistent():
+    result = fig3_5.run(trace_length=SMALL, workloads=FAST_WORKLOADS)
+    for row in result.rows:
+        if row[0] == "avg":
+            continue
+        total = sum(percent(cell) for cell in row[1:])
+        assert total == pytest.approx(100.0, abs=0.5)
+
+
+def test_table3_2_shape():
+    result = table3_2.run()
+    assert result.cell("1", "fetch") == "1, 2, 3, 4"
+    assert result.cell("4", "commit") == "1, 2, 3, 4"
+    assert len(result.rows) == 5
+
+
+def test_fig5_1_speedup_rises_with_taken_limit():
+    result = fig5_1.run(trace_length=SMALL, workloads=FAST_WORKLOADS,
+                        taken_limits=(1, 4))
+    assert percent(result.cell("avg", "n=4")) > percent(result.cell("avg", "n=1"))
+
+
+def test_fig5_2_realistic_btb_cuts_the_gain():
+    ideal = fig5_1.run(trace_length=SMALL, workloads=FAST_WORKLOADS,
+                       taken_limits=(4,))
+    real = fig5_2.run(trace_length=SMALL, workloads=FAST_WORKLOADS,
+                      taken_limits=(4,))
+    assert percent(real.cell("avg", "n=4")) < percent(ideal.cell("avg", "n=4")) + 1.0
+
+
+def test_fig5_3_positive_vp_gain_under_trace_cache():
+    result = fig5_3.run(trace_length=SMALL, workloads=FAST_WORKLOADS)
+    assert percent(result.cell("avg", "TC+idealBTB")) > 0.0
+    assert percent(result.cell("avg", "TC+2levelBTB")) > 0.0
+
+
+def test_registry_complete():
+    expected = {"fig3.1", "table3.2", "fig3.3", "fig3.4", "fig3.5",
+                "fig5.1", "fig5.2", "fig5.3",
+                "abl.banks", "abl.merge", "abl.predictor", "abl.classifier",
+                "abl.window", "abl.tc", "abl.hints", "abl.stability",
+                "abl.fetch", "abl.seeds", "abl.useless"}
+    assert set(ALL_EXPERIMENTS) == expected
+
+
+def test_abl_banks_denials_fall_with_banks():
+    from repro.experiments.ablations import run_banks
+
+    result = run_banks(trace_length=SMALL, workloads=("compress",),
+                       bank_counts=(1, 16))
+    denials = [percent(row[2]) for row in result.rows]
+    assert denials[0] > denials[1]
+
+
+def test_abl_merge_never_worse():
+    from repro.experiments.ablations import run_merge
+
+    result = run_merge(trace_length=SMALL, workloads=("compress",))
+    on = percent(result.cell("avg", "merge on"))
+    off = percent(result.cell("avg", "merge off"))
+    assert on >= off - 0.5
+
+
+def test_abl_predictor_stride_beats_last_value():
+    from repro.experiments.ablations import run_predictor
+
+    result = run_predictor(trace_length=SMALL, workloads=FAST_WORKLOADS)
+    assert percent(result.cell("avg", "stride")) > percent(result.cell("avg", "last"))
+
+
+def test_abl_classifier_raises_accuracy():
+    from repro.experiments.ablations import run_classifier
+
+    result = run_classifier(trace_length=SMALL, workloads=("vortex",))
+    accuracy = {row[0]: percent(row[2]) for row in result.rows}
+    assert accuracy["2b/3"] >= accuracy["none"]
+
+
+def test_abl_window_monotone_ipc():
+    from repro.experiments.ablations import run_window
+
+    result = run_window(trace_length=SMALL, workloads=("vortex",),
+                        window_sizes=(16, 64))
+    ipcs = [float(row[1]) for row in result.rows]
+    assert ipcs[1] > ipcs[0]
+
+
+def test_abl_hints_reduce_requests():
+    from repro.experiments.ablations import run_hints
+
+    result = run_hints(trace_length=SMALL, workloads=("gcc",))
+    row = result.rows[0]
+    assert int(row[2]) <= int(row[1])
+    assert percent(row[4]) <= percent(row[3])
+
+
+def test_abl_tc_bigger_cache_hits_more():
+    from repro.experiments.ablations import run_trace_cache
+
+    result = run_trace_cache(trace_length=SMALL, workloads=("m88ksim",))
+    hit = {row[0]: percent(row[1]) for row in result.rows}
+    assert hit["256 x 32/6"] >= hit["16 x 32/6"]
+
+
+def test_abl_stability_single_floor_row():
+    from repro.experiments.ablations import run_stability
+
+    result = run_stability(trace_length=10_000, workloads=("vortex",))
+    assert len(result.rows) == 1   # all lengths floored to 10k collapse
+
+
+def test_abl_fetch_tracks_bandwidth():
+    from repro.experiments.ablations import run_fetch_mechanisms
+
+    result = run_fetch_mechanisms(trace_length=SMALL,
+                                  workloads=("m88ksim", "compress"))
+    width = {row[0]: float(row[1]) for row in result.rows}
+    assert width["seq, 4 taken/cycle"] > width["seq, 1 taken/cycle"]
+    assert width["trace cache (64x32/6)"] > width["seq, 1 taken/cycle"]
+
+
+def test_abl_seeds_reports_spread():
+    from repro.experiments.ablations import run_seeds
+
+    result = run_seeds(trace_length=SMALL, workloads=("vortex",), n_seeds=2)
+    assert len(result.rows) == 2
+    assert any("spread" in note for note in result.notes)
+
+
+class TestRunnerCLI:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig3.1" in out and "abl.banks" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["fig9.9"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_runs_selected(self, capsys):
+        assert main(["table3.2"]) == 0
+        out = capsys.readouterr().out
+        assert "Pipeline progress" in out
+
+
+def test_abl_useless_falls_with_rate():
+    from repro.experiments.ablations import run_useless
+
+    result = run_useless(trace_length=SMALL, workloads=("m88ksim", "vortex"),
+                         rates=(4, 40))
+    fractions = [percent(row[1]) for row in result.rows]
+    assert fractions[0] >= fractions[1]

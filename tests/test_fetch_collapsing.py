@@ -1,0 +1,114 @@
+"""Unit tests for the collapsing-buffer fetch engine."""
+
+import pytest
+
+from repro.bpred import PerfectBranchPredictor, TwoLevelBTB
+from repro.errors import ConfigError
+from repro.fetch import CollapsingBufferFetchEngine, SequentialFetchEngine
+from repro.isa.opcodes import Opcode
+from repro.trace.record import DynInstr
+from repro.trace.trace import Trace
+
+
+def loop_trace(iterations=30, body=6, base_pc=0x1000):
+    records = []
+    seq = 0
+    for _ in range(iterations):
+        for j in range(body - 1):
+            records.append(
+                DynInstr(seq, base_pc + 4 * j, Opcode.ADD, dest=1, value=seq,
+                         next_pc=base_pc + 4 * (j + 1))
+            )
+            seq += 1
+        records.append(
+            DynInstr(seq, base_pc + 4 * (body - 1), Opcode.BNE, srcs=(1,),
+                     taken=True, next_pc=base_pc)
+        )
+        seq += 1
+    return Trace(records)
+
+
+def straightline_trace(n=100, base_pc=0x1000):
+    return Trace([
+        DynInstr(i, base_pc + 4 * i, Opcode.ADD, dest=1, value=i,
+                 next_pc=base_pc + 4 * (i + 1))
+        for i in range(n)
+    ])
+
+
+def test_plan_tiles_trace():
+    trace = loop_trace()
+    engine = CollapsingBufferFetchEngine()
+    plan = engine.plan(trace, PerfectBranchPredictor())
+    plan.validate(len(trace))
+    assert all(block.source == "cb" for block in plan)
+
+
+def test_straightline_fetches_two_lines_per_cycle():
+    trace = straightline_trace(n=128)
+    engine = CollapsingBufferFetchEngine(line_size=16, max_lines=2, width=40)
+    plan = engine.plan(trace, PerfectBranchPredictor())
+    # Aligned code: exactly two 16-instruction lines per cycle.
+    assert all(block.length == 32 for block in plan)
+
+
+def test_crosses_one_taken_branch_per_cycle():
+    trace = loop_trace(iterations=20, body=6)
+    engine = CollapsingBufferFetchEngine(line_size=16, max_lines=2)
+    plan = engine.plan(trace, PerfectBranchPredictor())
+    # Each cycle: the loop body + one more body after the taken branch
+    # (two noncontiguous fetches), i.e. two iterations per block.
+    assert plan.blocks[0].length == 12
+
+
+def test_not_taken_branches_collapsed():
+    records = []
+    for i in range(24):
+        op = Opcode.BEQ if i % 3 == 2 else Opcode.ADD
+        records.append(
+            DynInstr(i, 0x1000 + 4 * i, op,
+                     dest=None if op is Opcode.BEQ else 1,
+                     srcs=(1,) if op is Opcode.BEQ else (),
+                     value=None if op is Opcode.BEQ else i,
+                     taken=False,
+                     next_pc=0x1000 + 4 * (i + 1))
+        )
+    engine = CollapsingBufferFetchEngine(line_size=16, max_lines=2, width=40)
+    plan = engine.plan(Trace(records), PerfectBranchPredictor())
+    # All not-taken: contiguous two-line fetches, branches collapsed.
+    assert plan.blocks[0].length == 24 or plan.blocks[0].length == 32
+
+
+def test_width_cap():
+    trace = straightline_trace(n=200)
+    engine = CollapsingBufferFetchEngine(line_size=64, max_lines=2, width=10)
+    plan = engine.plan(trace, PerfectBranchPredictor())
+    assert all(block.length <= 10 for block in plan)
+
+
+def test_misprediction_ends_block():
+    trace = loop_trace(iterations=10, body=6)
+    engine = CollapsingBufferFetchEngine()
+    plan = engine.plan(trace, TwoLevelBTB())
+    assert plan.blocks[0].mispredict_seq == 5
+
+
+def test_bandwidth_between_sequential_1_and_trace_cache():
+    """The engine's raison d'être: more than one taken branch per cycle,
+    but less bandwidth than unlimited fetch."""
+    trace = loop_trace(iterations=60, body=5)
+    cb = CollapsingBufferFetchEngine(line_size=16, max_lines=2)
+    seq1 = SequentialFetchEngine(width=32, max_taken=1)
+    seq_inf = SequentialFetchEngine(width=32, max_taken=None)
+    cb_width = cb.plan(trace, PerfectBranchPredictor()).mean_block_size()
+    seq1_width = seq1.plan(trace, PerfectBranchPredictor()).mean_block_size()
+    inf_width = seq_inf.plan(trace, PerfectBranchPredictor()).mean_block_size()
+    assert seq1_width < cb_width <= inf_width
+
+
+@pytest.mark.parametrize(
+    "kwargs", [dict(line_size=0), dict(max_lines=0), dict(width=0)]
+)
+def test_invalid_configs(kwargs):
+    with pytest.raises(ConfigError):
+        CollapsingBufferFetchEngine(**kwargs)

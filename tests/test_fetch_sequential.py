@@ -1,0 +1,120 @@
+"""Unit tests for the sequential fetch engine."""
+
+import pytest
+
+from repro.bpred import PerfectBranchPredictor, TwoLevelBTB
+from repro.errors import ConfigError
+from repro.fetch import SequentialFetchEngine
+from repro.isa.opcodes import Opcode
+from repro.trace.record import DynInstr
+from repro.trace.trace import Trace
+
+
+def loop_trace(iterations=10, body=6):
+    """A loop of ``body`` instructions ending in a taken branch."""
+    records = []
+    seq = 0
+    for _ in range(iterations):
+        for j in range(body - 1):
+            records.append(
+                DynInstr(seq, 0x1000 + 4 * j, Opcode.ADD, dest=1, value=seq,
+                         next_pc=0x1000 + 4 * (j + 1))
+            )
+            seq += 1
+        records.append(
+            DynInstr(seq, 0x1000 + 4 * (body - 1), Opcode.BNE, srcs=(1,),
+                     taken=True, next_pc=0x1000)
+        )
+        seq += 1
+    return Trace(records)
+
+
+def test_plan_tiles_trace():
+    trace = loop_trace()
+    plan = SequentialFetchEngine(width=8, max_taken=1).plan(
+        trace, PerfectBranchPredictor()
+    )
+    plan.validate(len(trace))
+
+
+def test_width_cap():
+    trace = loop_trace(iterations=2, body=40)
+    plan = SequentialFetchEngine(width=8, max_taken=None).plan(
+        trace, PerfectBranchPredictor()
+    )
+    assert all(block.length <= 8 for block in plan)
+
+
+def test_single_taken_branch_per_cycle():
+    trace = loop_trace(iterations=10, body=6)
+    plan = SequentialFetchEngine(width=40, max_taken=1).plan(
+        trace, PerfectBranchPredictor()
+    )
+    # Every block is exactly one loop iteration (ends at the taken branch).
+    assert all(block.length == 6 for block in plan)
+    assert len(plan) == 10
+
+
+def test_multiple_taken_branches_per_cycle():
+    trace = loop_trace(iterations=12, body=6)
+    plan = SequentialFetchEngine(width=40, max_taken=3).plan(
+        trace, PerfectBranchPredictor()
+    )
+    assert all(block.length == 18 for block in plan)
+    assert len(plan) == 4
+
+
+def test_unlimited_taken_branches_width_bound():
+    trace = loop_trace(iterations=12, body=6)
+    plan = SequentialFetchEngine(width=40, max_taken=None).plan(
+        trace, PerfectBranchPredictor()
+    )
+    # Blocks are width-bound only.
+    assert plan.blocks[0].length == 40
+
+
+def test_not_taken_branches_do_not_stop_fetch():
+    records = []
+    for i in range(20):
+        records.append(
+            DynInstr(i, 0x1000 + 4 * i, Opcode.BEQ, srcs=(1,), taken=False,
+                     next_pc=0x1000 + 4 * (i + 1))
+        )
+    plan = SequentialFetchEngine(width=10, max_taken=1).plan(
+        Trace(records), PerfectBranchPredictor()
+    )
+    assert plan.blocks[0].length == 10
+
+
+def test_misprediction_ends_block():
+    trace = loop_trace(iterations=6, body=6)
+    bpred = TwoLevelBTB()
+    plan = SequentialFetchEngine(width=40, max_taken=4).plan(trace, bpred)
+    # The cold BTB mispredicts the first loop branch: that block must end
+    # at the branch and carry its seq.
+    first = plan.blocks[0]
+    assert first.mispredict_seq == 5
+    assert first.length == 6
+
+
+def test_mean_block_size():
+    trace = loop_trace(iterations=10, body=6)
+    plan = SequentialFetchEngine(width=40, max_taken=2).plan(
+        trace, PerfectBranchPredictor()
+    )
+    assert plan.mean_block_size() == pytest.approx(12.0)
+
+
+@pytest.mark.parametrize("kwargs", [dict(width=0), dict(max_taken=0)])
+def test_invalid_configs(kwargs):
+    with pytest.raises(ConfigError):
+        SequentialFetchEngine(**kwargs)
+
+
+def test_plan_validate_catches_gaps():
+    from repro.fetch.base import FetchBlock, FetchPlan
+
+    plan = FetchPlan(blocks=[FetchBlock(start=0, length=3),
+                             FetchBlock(start=4, length=2)])
+    with pytest.raises(ValueError):
+        plan.validate(6)

@@ -1,0 +1,114 @@
+"""Unit tests for the trace cache and its fetch engine."""
+
+import pytest
+
+from repro.bpred import PerfectBranchPredictor
+from repro.errors import ConfigError
+from repro.fetch import TraceCache, TraceCacheFetchEngine
+from repro.isa.opcodes import Opcode
+from repro.trace.record import DynInstr
+from repro.trace.trace import Trace
+
+
+def loop_trace(iterations=30, body=6):
+    records = []
+    seq = 0
+    for _ in range(iterations):
+        for j in range(body - 1):
+            records.append(
+                DynInstr(seq, 0x1000 + 4 * j, Opcode.ADD, dest=1, value=seq,
+                         next_pc=0x1000 + 4 * (j + 1))
+            )
+            seq += 1
+        records.append(
+            DynInstr(seq, 0x1000 + 4 * (body - 1), Opcode.BNE, srcs=(1,),
+                     taken=True, next_pc=0x1000)
+        )
+        seq += 1
+    return Trace(records)
+
+
+class TestTraceCacheFillUnit:
+    def test_line_capped_by_size(self):
+        cache = TraceCache(n_entries=16, line_size=4, max_blocks=6)
+        for record in loop_trace(iterations=2, body=12)[:8]:
+            cache.fill(record)
+        assert cache.fills == 2
+
+    def test_line_capped_by_blocks(self):
+        cache = TraceCache(n_entries=16, line_size=32, max_blocks=2)
+        trace = loop_trace(iterations=4, body=4)
+        for record in trace[:16]:
+            cache.fill(record)
+        # 2 basic blocks of 4 per line -> a fill every 8 instructions.
+        assert cache.fills == 2
+
+    def test_indirect_jump_ends_line(self):
+        cache = TraceCache(n_entries=16, line_size=32, max_blocks=6)
+        records = [
+            DynInstr(0, 0x1000, Opcode.ADD, dest=1, value=0, next_pc=0x1004),
+            DynInstr(1, 0x1004, Opcode.JR, srcs=(5,), taken=True, next_pc=0x2000),
+        ]
+        for record in records:
+            cache.fill(record)
+        assert cache.fills == 1
+        assert cache.lookup(0x1000) == [0x1000, 0x1004]
+
+    def test_lookup_requires_tag_match(self):
+        cache = TraceCache(n_entries=4, line_size=4, max_blocks=6)
+        for record in loop_trace(iterations=2, body=4)[:4]:
+            cache.fill(record)
+        assert cache.lookup(0x1000) is not None
+        assert cache.lookup(0x1000 + 4 * cache.n_entries) is None  # same index
+
+    @pytest.mark.parametrize(
+        "kwargs", [dict(n_entries=0), dict(line_size=0), dict(max_blocks=0)]
+    )
+    def test_invalid_configs(self, kwargs):
+        with pytest.raises(ConfigError):
+            TraceCache(**kwargs)
+
+
+class TestTraceCacheFetchEngine:
+    def test_plan_tiles_trace(self):
+        trace = loop_trace()
+        engine = TraceCacheFetchEngine()
+        plan = engine.plan(trace, PerfectBranchPredictor())
+        plan.validate(len(trace))
+
+    def test_steady_state_hits_on_a_loop(self):
+        trace = loop_trace(iterations=50, body=6)
+        engine = TraceCacheFetchEngine(n_entries=16, line_size=32, max_blocks=6)
+        plan = engine.plan(trace, PerfectBranchPredictor())
+        assert engine.stats.hit_rate > 0.5
+        # Hit blocks span multiple loop iterations (> one basic block).
+        hit_sizes = [b.length for b in plan if b.source == "tc_hit"]
+        assert hit_sizes and max(hit_sizes) > 6
+
+    def test_miss_fallback_stops_at_taken_branch(self):
+        trace = loop_trace(iterations=3, body=6)
+        engine = TraceCacheFetchEngine(n_entries=64)
+        plan = engine.plan(trace, PerfectBranchPredictor())
+        first = plan.blocks[0]
+        assert first.source == "tc_miss"
+        assert first.length == 6     # one basic-block run
+
+    def test_wide_fetch_exceeds_taken_branch_limit(self):
+        """The whole point of the TC: >1 taken branch per cycle."""
+        trace = loop_trace(iterations=60, body=5)
+        engine = TraceCacheFetchEngine()
+        plan = engine.plan(trace, PerfectBranchPredictor())
+        taken_per_block = []
+        for block in plan:
+            taken = sum(
+                1 for r in trace[block.start:block.end] if r.redirects_fetch
+            )
+            taken_per_block.append(taken)
+        assert max(taken_per_block) > 1
+
+    def test_stats_account_all_instructions(self):
+        trace = loop_trace(iterations=20, body=6)
+        engine = TraceCacheFetchEngine()
+        engine.plan(trace, PerfectBranchPredictor())
+        supplied = engine.stats.supplied_from_tc + engine.stats.supplied_from_ic
+        assert supplied == len(trace)

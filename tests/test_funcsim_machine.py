@@ -1,0 +1,160 @@
+"""Unit tests for repro.funcsim.machine — ISA semantics."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.funcsim import Machine, run_program
+from repro.isa import ProgramBuilder
+from repro.isa.program import STACK_BASE, WORD_SIZE
+
+MASK64 = (1 << 64) - 1
+
+
+def run_and_reg(build, reg):
+    """Build a tiny program with ``build``, run it, return register value."""
+    b = ProgramBuilder("t")
+    build(b)
+    b.halt()
+    machine = Machine(b.build())
+    machine.run()
+    from repro.isa.registers import register_number
+
+    return machine.regs[register_number(reg)]
+
+
+def test_arithmetic():
+    assert run_and_reg(lambda b: (b.li("t0", 7), b.li("t1", 5), b.add("t2", "t0", "t1")), "t2") == 12
+    assert run_and_reg(lambda b: (b.li("t0", 7), b.li("t1", 5), b.sub("t2", "t1", "t0")), "t2") == MASK64 - 1
+    assert run_and_reg(lambda b: (b.li("t0", 7), b.li("t1", 5), b.mul("t2", "t0", "t1")), "t2") == 35
+
+
+def test_division_semantics():
+    assert run_and_reg(lambda b: (b.li("t0", 7), b.li("t1", 2), b.div("t2", "t0", "t1")), "t2") == 3
+    assert run_and_reg(lambda b: (b.li("t0", -7), b.li("t1", 2), b.div("t2", "t0", "t1")), "t2") == MASK64 - 2  # -3
+    assert run_and_reg(lambda b: (b.li("t0", 7), b.div("t2", "t0", "zero")), "t2") == 0
+    assert run_and_reg(lambda b: (b.li("t0", 7), b.li("t1", 2), b.rem("t2", "t0", "t1")), "t2") == 1
+    assert run_and_reg(lambda b: (b.li("t0", 9), b.rem("t2", "t0", "zero")), "t2") == 9
+
+
+def test_logic_and_shifts():
+    assert run_and_reg(lambda b: (b.li("t0", 0b1100), b.li("t1", 0b1010), b.and_("t2", "t0", "t1")), "t2") == 0b1000
+    assert run_and_reg(lambda b: (b.li("t0", 0b1100), b.li("t1", 0b1010), b.or_("t2", "t0", "t1")), "t2") == 0b1110
+    assert run_and_reg(lambda b: (b.li("t0", 0b1100), b.li("t1", 0b1010), b.xor("t2", "t0", "t1")), "t2") == 0b0110
+    assert run_and_reg(lambda b: (b.li("t0", 1), b.slli("t2", "t0", 40)), "t2") == 1 << 40
+    assert run_and_reg(lambda b: (b.li("t0", 1 << 40), b.srli("t2", "t0", 39)), "t2") == 2
+    assert run_and_reg(lambda b: (b.li("t0", -8), b.srai("t2", "t0", 1)), "t2") == MASK64 - 3  # -4
+
+
+def test_comparisons():
+    assert run_and_reg(lambda b: (b.li("t0", -1), b.li("t1", 1), b.slt("t2", "t0", "t1")), "t2") == 1
+    assert run_and_reg(lambda b: (b.li("t0", -1), b.li("t1", 1), b.sltu("t2", "t0", "t1")), "t2") == 0
+    assert run_and_reg(lambda b: (b.li("t0", 4), b.li("t1", 4), b.seq("t2", "t0", "t1")), "t2") == 1
+    assert run_and_reg(lambda b: (b.li("t0", 3), b.slti("t2", "t0", 4)), "t2") == 1
+
+
+def test_r0_is_hardwired_zero():
+    assert run_and_reg(lambda b: (b.li("r0", 99), b.mov("t2", "r0")), "t2") == 0
+
+
+def test_memory_round_trip():
+    def build(b):
+        base = b.alloc(2, "buf")
+        b.li("t0", base)
+        b.li("t1", 77)
+        b.st("t1", "t0", 4)
+        b.ld("t2", "t0", 4)
+
+    assert run_and_reg(build, "t2") == 77
+
+
+def test_branch_taken_and_not_taken():
+    def build(b):
+        b.li("t0", 1)
+        b.li("t2", 0)
+        b.beq("t0", "zero", "skip")   # not taken
+        b.addi("t2", "t2", 1)
+        b.label("skip")
+        b.bne("t0", "zero", "end")    # taken
+        b.addi("t2", "t2", 100)       # skipped
+        b.label("end")
+
+    assert run_and_reg(build, "t2") == 1
+
+
+def test_jal_links_and_jr_returns():
+    def build(b):
+        b.li("t2", 0)
+        b.jal("sub")
+        b.addi("t2", "t2", 10)        # executed after return
+        b.j("end")
+        b.label("sub")
+        b.addi("t2", "t2", 1)
+        b.ret()
+        b.label("end")
+
+    assert run_and_reg(build, "t2") == 11
+
+
+def test_sp_initialized():
+    b = ProgramBuilder("sp")
+    b.halt()
+    machine = Machine(b.build())
+    assert machine.regs[2] == STACK_BASE
+
+
+def test_trace_records_shape():
+    b = ProgramBuilder("t")
+    base = b.word(5, "x")
+    b.li("t0", base)
+    b.ld("t1", "t0", 0)
+    b.st("t1", "t0", 4)
+    b.halt()
+    trace = run_program(b.build())
+    li, ld, st, halt = trace.records
+    assert li.dest == 12 and li.value == base and li.srcs == ()
+    assert ld.mem_addr == base and ld.value == 5 and ld.srcs == (12,)
+    assert st.mem_addr == base + 4 and st.dest is None and st.value is None
+    assert halt.next_pc == halt.pc + WORD_SIZE
+    assert [r.seq for r in trace] == [0, 1, 2, 3]
+
+
+def test_taken_flag_on_control_records():
+    b = ProgramBuilder("t")
+    b.li("t0", 1)
+    b.beq("t0", "zero", "x")   # not taken
+    b.j("x")                    # taken
+    b.label("x")
+    b.halt()
+    trace = run_program(b.build())
+    assert not trace[1].taken
+    assert trace[2].taken
+    assert trace[2].next_pc == trace[3].pc
+
+
+def test_max_instructions_stops_infinite_loop():
+    b = ProgramBuilder("loop")
+    b.label("top")
+    b.j("top")
+    trace = run_program(b.build(), max_instructions=50)
+    assert len(trace) == 50
+
+
+def test_fetch_outside_code_raises():
+    b = ProgramBuilder("bad")
+    b.li("t0", 0)
+    b.jr("t0")   # jump to address 0
+    b.halt()
+    with pytest.raises(ExecutionError):
+        run_program(b.build())
+
+
+def test_instret_counts():
+    b = ProgramBuilder("t")
+    b.nop()
+    b.nop()
+    b.halt()
+    machine = Machine(b.build())
+    machine.run()
+    assert machine.instret == 3
+    assert machine.halted
+    assert machine.step() is None

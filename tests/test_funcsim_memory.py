@@ -1,0 +1,50 @@
+"""Unit tests for repro.funcsim.memory."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.funcsim import Memory
+
+
+def test_uninitialized_reads_zero():
+    assert Memory().load(0x1000) == 0
+
+
+def test_store_load_round_trip():
+    memory = Memory()
+    memory.store(0x2000, 1234)
+    assert memory.load(0x2000) == 1234
+
+
+def test_values_masked_to_64_bits():
+    memory = Memory()
+    memory.store(0x0, (1 << 64) + 5)
+    assert memory.load(0x0) == 5
+
+
+def test_initial_image():
+    memory = Memory({0x100: 1, 0x104: 2})
+    assert memory.load(0x100) == 1
+    assert memory.load(0x104) == 2
+    assert len(memory) == 2
+
+
+def test_misaligned_access_raises():
+    memory = Memory()
+    with pytest.raises(ExecutionError):
+        memory.load(0x1001)
+    with pytest.raises(ExecutionError):
+        memory.store(0x1002, 1)
+
+
+def test_negative_address_raises():
+    with pytest.raises(ExecutionError):
+        Memory().load(-4)
+
+
+def test_snapshot_is_a_copy():
+    memory = Memory()
+    memory.store(0x10, 9)
+    snap = memory.snapshot()
+    memory.store(0x10, 10)
+    assert snap[0x10] == 9

@@ -1,0 +1,144 @@
+"""Unit tests for repro.isa.assembler."""
+
+import pytest
+
+from repro.errors import AssemblyError
+from repro.funcsim import run_program
+from repro.isa import assemble, disassemble, disassemble_instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.program import CODE_BASE, DATA_BASE
+
+
+def test_minimal_program():
+    program = assemble("halt")
+    assert len(program) == 1
+    assert program.instructions[0].op is Opcode.HALT
+
+
+def test_labels_and_branches():
+    program = assemble(
+        """
+        main:   li t0, 0
+        loop:   addi t0, t0, 1
+                slti at, t0, 5
+                bne at, zero, loop
+                halt
+        """
+    )
+    assert program.labels["loop"] == CODE_BASE + 4
+    branch = program.instructions[3]
+    assert branch.imm == program.labels["loop"]
+
+
+def test_data_directives_and_memory_operands():
+    program = assemble(
+        """
+        .data
+        table:  .word 10, 20, 30
+        buffer: .space 2
+        .text
+                li t0, table
+                ld t1, 4(t0)
+                st t1, 0(t0)
+                halt
+        """
+    )
+    assert program.data[DATA_BASE] == 10
+    assert program.data[DATA_BASE + 4] == 20
+    assert program.data[DATA_BASE + 12] == 0  # .space zero-fills
+    load = program.instructions[1]
+    assert load.op is Opcode.LD and load.imm == 4
+
+
+def test_label_as_immediate():
+    program = assemble(
+        """
+        .data
+        x: .word 7
+        .text
+        li t0, x
+        halt
+        """
+    )
+    assert program.instructions[0].imm == DATA_BASE
+
+
+def test_data_word_may_reference_code_label():
+    program = assemble(
+        """
+        .data
+        vec: .word f
+        .text
+        f: halt
+        """
+    )
+    assert program.data[DATA_BASE] == program.labels["f"]
+
+
+def test_comments_and_blank_lines_ignored():
+    program = assemble(
+        """
+        # full-line comment
+        nop        ; trailing comment
+        halt       # another
+        """
+    )
+    assert len(program) == 2
+
+
+@pytest.mark.parametrize(
+    "source,fragment",
+    [
+        ("bogus t0, t1", "unknown mnemonic"),
+        ("add t0, t1", "expects 3 operands"),
+        ("ld t0, t1", "bad memory operand"),
+        ("li t0, 1\nli t0, 2\nx: x: halt", None),
+        (".word 5", ".word outside .data"),
+        ("", "no instructions"),
+    ],
+)
+def test_assembly_errors(source, fragment):
+    with pytest.raises(AssemblyError) as excinfo:
+        assemble(source)
+    if fragment:
+        assert fragment in str(excinfo.value)
+
+
+def test_line_numbers_in_errors():
+    with pytest.raises(AssemblyError, match="line 3"):
+        assemble("nop\nnop\nbogus\n")
+
+
+def test_disassemble_round_trip_executes_identically():
+    source = """
+    .data
+    arr: .word 3, 1, 4, 1, 5
+    .text
+    main: li t0, arr
+          li t1, 0
+          li t2, 0
+    loop: ld t3, 0(t0)
+          add t1, t1, t3
+          addi t0, t0, 4
+          addi t2, t2, 1
+          slti at, t2, 5
+          bne at, zero, loop
+          halt
+    """
+    program = assemble(source, "sum")
+    text = disassemble(program)
+    # Re-assembling the disassembly must not change behaviour...
+    reassembled = assemble(".data\narr: .word 3, 1, 4, 1, 5\n.text\n" + text, "sum2")
+    trace_a = run_program(program)
+    trace_b = run_program(reassembled)
+    assert len(trace_a) == len(trace_b)
+    assert [r.op for r in trace_a] == [r.op for r in trace_b]
+    assert [r.value for r in trace_a] == [r.value for r in trace_b]
+
+
+def test_disassemble_instruction_formats():
+    program = assemble("add t0, t1, t2\nld a0, 8(sp)\nhalt")
+    rendered = [disassemble_instruction(i) for i in program.instructions]
+    assert rendered[0] == "add t0, t1, t2"
+    assert rendered[1] == "ld a0, 8(sp)"
+    assert rendered[2] == "halt"

@@ -1,0 +1,114 @@
+"""Unit tests for repro.isa.builder."""
+
+import pytest
+
+from repro.errors import ProgramError
+from repro.isa.builder import ProgramBuilder
+from repro.isa.opcodes import Opcode
+from repro.isa.program import CODE_BASE, DATA_BASE, WORD_SIZE
+
+
+def test_forward_label_resolution():
+    b = ProgramBuilder("fwd")
+    b.j("end")
+    b.nop()
+    b.label("end")
+    b.halt()
+    program = b.build()
+    assert program.instructions[0].imm == CODE_BASE + 2 * WORD_SIZE
+
+
+def test_backward_label_resolution():
+    b = ProgramBuilder("back")
+    b.label("top")
+    b.nop()
+    b.j("top")
+    program = b.build()
+    assert program.instructions[1].imm == CODE_BASE
+
+
+def test_undefined_label_raises_at_build():
+    b = ProgramBuilder("bad")
+    b.j("nowhere")
+    with pytest.raises(ProgramError, match="nowhere"):
+        b.build()
+
+
+def test_duplicate_label_raises():
+    b = ProgramBuilder("dup")
+    b.label("x")
+    with pytest.raises(ProgramError):
+        b.label("x")
+
+
+def test_register_names_accepted():
+    b = ProgramBuilder("regs")
+    b.add("t0", "sp", "r7")
+    b.halt()
+    instr = b.build().instructions[0]
+    assert (instr.rd, instr.rs1, instr.rs2) == (12, 2, 7)
+
+
+def test_data_allocation_layout():
+    b = ProgramBuilder("data")
+    first = b.array([1, 2, 3], "first")
+    second = b.word(9, "second")
+    b.halt()
+    program = b.build()
+    assert first == DATA_BASE
+    assert second == DATA_BASE + 3 * WORD_SIZE
+    assert program.data[first + WORD_SIZE] == 2
+    assert program.labels["second"] == second
+
+
+def test_alloc_reserves_zeroed_words():
+    b = ProgramBuilder("alloc")
+    base = b.alloc(4, "buffer")
+    b.halt()
+    program = b.build()
+    for i in range(4):
+        assert program.data[base + i * WORD_SIZE] == 0
+
+
+def test_data_word_may_hold_label_address():
+    b = ProgramBuilder("jt")
+    b.array(["handler"], "table")
+    b.label("handler")
+    b.halt()
+    program = b.build()
+    assert program.data[DATA_BASE] == program.labels["handler"]
+
+
+def test_data_label_reference_must_exist():
+    b = ProgramBuilder("jt2")
+    b.array(["missing"])
+    b.halt()
+    with pytest.raises(ProgramError, match="missing"):
+        b.build()
+
+
+def test_store_operand_order():
+    b = ProgramBuilder("st")
+    b.st("t1", "t0", 8)  # store t1 at 8(t0)
+    b.halt()
+    instr = b.build().instructions[0]
+    assert instr.op is Opcode.ST
+    assert instr.rs2 == 13  # t1 holds the data
+    assert instr.rs1 == 12  # t0 is the base
+    assert instr.imm == 8
+
+
+def test_ret_is_jr_ra():
+    b = ProgramBuilder("ret")
+    b.ret()
+    b.halt()
+    instr = b.build().instructions[0]
+    assert instr.op is Opcode.JR
+    assert instr.rs1 == 1
+
+
+def test_here_tracks_addresses():
+    b = ProgramBuilder("here")
+    assert b.here() == CODE_BASE
+    b.nop()
+    assert b.here() == CODE_BASE + WORD_SIZE

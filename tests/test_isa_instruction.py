@@ -1,0 +1,63 @@
+"""Unit tests for repro.isa.instruction."""
+
+import pytest
+
+from repro.errors import ProgramError
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import OpClass, Opcode
+
+
+def test_sources_exclude_r0():
+    instr = Instruction(Opcode.ADD, rd=1, rs1=0, rs2=5)
+    assert instr.source_registers() == (5,)
+
+
+def test_sources_both_operands():
+    instr = Instruction(Opcode.ADD, rd=1, rs1=4, rs2=5)
+    assert instr.source_registers() == (4, 5)
+
+
+def test_write_to_r0_is_discarded():
+    instr = Instruction(Opcode.ADD, rd=0, rs1=4, rs2=5)
+    assert not instr.writes_register
+    assert instr.destination_register() is None
+
+
+def test_store_has_no_destination():
+    instr = Instruction(Opcode.ST, rs1=4, rs2=5, imm=0)
+    assert not instr.writes_register
+    assert instr.op_class is OpClass.STORE
+
+
+def test_validate_accepts_well_formed():
+    Instruction(Opcode.ADDI, rd=1, rs1=2, imm=3).validate()
+    Instruction(Opcode.BEQ, rs1=1, rs2=2, imm=0x1000).validate()
+    Instruction(Opcode.NOP).validate()
+    Instruction(Opcode.JALR, rd=1, rs1=5).validate()
+
+
+@pytest.mark.parametrize(
+    "instr",
+    [
+        Instruction(Opcode.ADD, rd=1, rs1=2),           # missing rs2
+        Instruction(Opcode.ADDI, rd=1, rs1=2),          # missing imm
+        Instruction(Opcode.LI, rd=1, rs1=2, imm=0),     # stray rs1
+        Instruction(Opcode.J),                          # missing target
+        Instruction(Opcode.NOP, rd=1),                  # stray rd
+    ],
+)
+def test_validate_rejects_malformed(instr):
+    with pytest.raises(ProgramError):
+        instr.validate()
+
+
+def test_bad_register_number_rejected_at_construction():
+    with pytest.raises(ProgramError):
+        Instruction(Opcode.ADD, rd=32, rs1=1, rs2=2)
+
+
+def test_control_properties():
+    assert Instruction(Opcode.BEQ, rs1=1, rs2=2, imm=0).is_branch
+    assert Instruction(Opcode.J, imm=0).is_jump
+    assert Instruction(Opcode.JR, rs1=1).is_indirect
+    assert not Instruction(Opcode.ADD, rd=1, rs1=2, rs2=3).is_control

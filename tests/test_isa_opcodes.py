@@ -1,0 +1,85 @@
+"""Unit tests for repro.isa.opcodes."""
+
+import pytest
+
+from repro.isa.opcodes import (
+    OpClass,
+    Opcode,
+    alu3_opcodes,
+    alu_imm_opcodes,
+    is_branch,
+    is_control,
+    is_indirect,
+    is_jump,
+    op_class,
+    writes_register,
+)
+
+
+def test_every_opcode_has_a_class():
+    for op in Opcode:
+        assert isinstance(op_class(op), OpClass)
+
+
+def test_alu_classification():
+    assert op_class(Opcode.ADD) is OpClass.ALU
+    assert op_class(Opcode.ADDI) is OpClass.ALU
+    assert op_class(Opcode.LI) is OpClass.ALU
+    assert op_class(Opcode.MOV) is OpClass.ALU
+
+
+def test_memory_classification():
+    assert op_class(Opcode.LD) is OpClass.LOAD
+    assert op_class(Opcode.ST) is OpClass.STORE
+
+
+def test_control_classification():
+    assert op_class(Opcode.BEQ) is OpClass.BRANCH
+    assert op_class(Opcode.J) is OpClass.JUMP
+    assert op_class(Opcode.JR) is OpClass.JUMP
+    assert op_class(Opcode.HALT) is OpClass.HALT
+    assert op_class(Opcode.NOP) is OpClass.NOP
+
+
+@pytest.mark.parametrize(
+    "op,expected",
+    [
+        (Opcode.ADD, True),
+        (Opcode.LD, True),
+        (Opcode.JAL, True),
+        (Opcode.JALR, True),
+        (Opcode.ST, False),
+        (Opcode.BEQ, False),
+        (Opcode.J, False),
+        (Opcode.JR, False),
+        (Opcode.NOP, False),
+        (Opcode.HALT, False),
+    ],
+)
+def test_writes_register(op, expected):
+    assert writes_register(op) is expected
+
+
+def test_branch_jump_predicates_are_disjoint():
+    for op in Opcode:
+        assert not (is_branch(op) and is_jump(op))
+
+
+def test_is_control_covers_branches_and_jumps():
+    for op in Opcode:
+        if is_branch(op) or is_jump(op):
+            assert is_control(op)
+    assert is_control(Opcode.HALT)
+    assert not is_control(Opcode.ADD)
+
+
+def test_indirect_only_register_targets():
+    assert is_indirect(Opcode.JR)
+    assert is_indirect(Opcode.JALR)
+    assert not is_indirect(Opcode.J)
+    assert not is_indirect(Opcode.JAL)
+    assert not is_indirect(Opcode.BEQ)
+
+
+def test_opcode_sets_are_disjoint():
+    assert not alu3_opcodes() & alu_imm_opcodes()

@@ -1,0 +1,60 @@
+"""Unit tests for repro.isa.registers."""
+
+import pytest
+
+from repro.errors import ProgramError
+from repro.isa.registers import (
+    NUM_REGS,
+    ZERO_REG,
+    register_name,
+    register_number,
+    validate_register,
+)
+
+
+def test_numeric_names_round_trip():
+    for num in range(NUM_REGS):
+        assert register_number(f"r{num}") == num
+
+
+def test_abi_aliases():
+    assert register_number("zero") == ZERO_REG == 0
+    assert register_number("ra") == 1
+    assert register_number("sp") == 2
+    assert register_number("a0") == 4
+    assert register_number("t0") == 12
+    assert register_number("s0") == 20
+    assert register_number("fp") == 30
+    assert register_number("at") == 31
+
+
+def test_name_parsing_is_case_insensitive_and_trims():
+    assert register_number(" SP ") == 2
+    assert register_number("T3") == 15
+
+
+def test_register_name_prefers_abi():
+    assert register_name(0) == "zero"
+    assert register_name(2) == "sp"
+    assert register_name(2, abi=False) == "r2"
+
+
+def test_unknown_names_raise():
+    for bad in ("r32", "x1", "", "t9", "s10", "r-1"):
+        with pytest.raises(ProgramError):
+            register_number(bad)
+
+
+def test_register_name_range_checked():
+    with pytest.raises(ProgramError):
+        register_name(NUM_REGS)
+    with pytest.raises(ProgramError):
+        register_name(-1)
+
+
+def test_validate_register():
+    assert validate_register(5) == 5
+    with pytest.raises(ProgramError):
+        validate_register(NUM_REGS)
+    with pytest.raises(ProgramError):
+        validate_register("t0")  # names are not numbers

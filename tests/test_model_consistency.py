@@ -1,0 +1,71 @@
+"""Cross-model consistency: the two timing cores must agree where their
+configurations overlap.
+
+With a perfect branch predictor, no penalties, unlimited taken branches
+and the same width/window, the Section 5 realistic machine degenerates
+into the Section 3 ideal machine — the paper's two methodologies meet.
+The realistic core still paces fetch in width-aligned blocks (one block
+per cycle), so it may trail the ideal core by a few cycles around
+window stalls; the bound asserted here is "never faster, within 5%".
+"""
+
+import pytest
+
+from repro.bpred import PerfectBranchPredictor
+from repro.core import (
+    IdealConfig,
+    RealisticConfig,
+    plan_value_predictions,
+    simulate_ideal,
+    simulate_realistic,
+)
+from repro.fetch import SequentialFetchEngine
+from repro.vphw import AbstractVPUnit
+from repro.vpred import make_predictor
+from repro.workloads import WORKLOAD_NAMES
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_realistic_degenerates_to_ideal_without_vp(name, workload_traces_small):
+    trace = workload_traces_small[name]
+    ideal = simulate_ideal(trace, IdealConfig(fetch_rate=40, window=40))
+    engine = SequentialFetchEngine(width=40, max_taken=None)
+    realistic = simulate_realistic(
+        trace, engine, PerfectBranchPredictor(), None,
+        RealisticConfig(window=40, issue_width=40, n_fus=40,
+                        branch_penalty=0, value_penalty=0),
+    )
+    assert ideal.cycles <= realistic.cycles <= ideal.cycles * 1.05
+
+
+@pytest.mark.parametrize("name", ["m88ksim", "vortex", "compress"])
+def test_realistic_degenerates_to_ideal_with_vp(name, workload_traces_small):
+    """With VP, the AbstractVPUnit's speculative per-slot update must
+    replay exactly the trace-order pre-pass the ideal machine uses."""
+    trace = workload_traces_small[name]
+    vp_plan = plan_value_predictions(trace, make_predictor())
+    ideal = simulate_ideal(
+        trace, IdealConfig(fetch_rate=40, window=40), vp_plan=vp_plan
+    )
+    engine = SequentialFetchEngine(width=40, max_taken=None)
+    realistic = simulate_realistic(
+        trace, engine, PerfectBranchPredictor(),
+        AbstractVPUnit(make_predictor()),
+        RealisticConfig(window=40, issue_width=40, n_fus=40,
+                        branch_penalty=0, value_penalty=0),
+    )
+    assert ideal.cycles <= realistic.cycles <= ideal.cycles * 1.05
+
+
+def test_narrower_fetch_engine_never_faster(workload_traces_small):
+    """Monotonicity across the engines: strictly more fetch bandwidth
+    can only help a machine that is otherwise identical."""
+    trace = workload_traces_small["perl"]
+    cycles = []
+    for limit in (1, 2, 4, None):
+        engine = SequentialFetchEngine(width=40, max_taken=limit)
+        result = simulate_realistic(
+            trace, engine, PerfectBranchPredictor(), None, RealisticConfig()
+        )
+        cycles.append(result.cycles)
+    assert cycles == sorted(cycles, reverse=True)

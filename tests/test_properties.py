@@ -1,0 +1,195 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bpred import PerfectBranchPredictor
+from repro.core import IdealConfig, simulate_ideal
+from repro.dfg import DIDHistogram, build_dfg, did_values
+from repro.fetch import SequentialFetchEngine
+from repro.isa.opcodes import Opcode
+from repro.trace import SyntheticTraceConfig, generate_synthetic_trace
+from repro.trace.record import DynInstr
+from repro.trace.trace import Trace
+from repro.vphw import AddressRouter
+from repro.vpred import (
+    LastValuePredictor,
+    SaturatingClassifier,
+    StridePredictor,
+    TwoDeltaStridePredictor,
+)
+
+MASK64 = (1 << 64) - 1
+
+synthetic_configs = st.builds(
+    SyntheticTraceConfig,
+    length=st.integers(min_value=50, max_value=600),
+    n_blocks=st.integers(min_value=2, max_value=12),
+    block_size=st.integers(min_value=2, max_value=10),
+    p_taken=st.floats(min_value=0.0, max_value=1.0),
+    stride_fraction=st.floats(min_value=0.0, max_value=0.5),
+    constant_fraction=st.floats(min_value=0.0, max_value=0.5),
+    mean_did=st.floats(min_value=1.0, max_value=20.0),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+
+
+# -- predictors ----------------------------------------------------------
+
+
+@given(
+    start=st.integers(min_value=-(2**40), max_value=2**40),
+    stride=st.integers(min_value=-(2**20), max_value=2**20),
+    length=st.integers(min_value=3, max_value=60),
+)
+def test_stride_predictor_converges_on_arithmetic_sequences(start, stride, length):
+    predictor = StridePredictor()
+    values = [(start + i * stride) & MASK64 for i in range(length)]
+    hits = 0
+    for value in values:
+        predicted = predictor.lookup_and_update(0x100, value)
+        if predicted == value:
+            hits += 1
+    # After the 2-value warm-up, every prediction must be correct.
+    assert hits >= length - 2
+
+
+@given(
+    values=st.lists(st.integers(min_value=0, max_value=MASK64), min_size=1,
+                    max_size=50)
+)
+def test_last_value_predicts_exactly_repeats(values):
+    predictor = LastValuePredictor()
+    previous = None
+    for value in values:
+        predicted = predictor.lookup_and_update(0x100, value)
+        assert predicted == previous
+        previous = value
+
+
+@given(
+    values=st.lists(st.integers(min_value=0, max_value=2**32), min_size=1,
+                    max_size=80),
+    pcs=st.integers(min_value=1, max_value=5),
+)
+def test_two_delta_never_predicts_before_first_sighting(values, pcs):
+    predictor = TwoDeltaStridePredictor()
+    seen = set()
+    for i, value in enumerate(values):
+        pc = 0x100 + 4 * (i % pcs)
+        predicted = predictor.peek(pc)
+        assert (predicted is None) == (pc not in seen)
+        predictor.update(pc, value)
+        seen.add(pc)
+
+
+@given(
+    outcomes=st.lists(st.booleans(), max_size=100),
+    bits=st.integers(min_value=1, max_value=4),
+)
+def test_classifier_counter_stays_in_range(outcomes, bits):
+    classifier = SaturatingClassifier(bits=bits, threshold=1)
+    for outcome in outcomes:
+        classifier.train(0x100, outcome)
+        assert 0 <= classifier.counter(0x100) <= classifier.max_value
+
+
+# -- dataflow -----------------------------------------------------------
+
+
+@settings(deadline=None)
+@given(config=synthetic_configs)
+def test_dfg_arcs_respect_program_order(config):
+    trace = generate_synthetic_trace(config)
+    graph = build_dfg(trace)
+    for producer, consumer in graph.arcs():
+        assert 0 <= producer < consumer < len(trace)
+    assert all(did >= 1 for did in did_values(graph))
+
+
+@settings(deadline=None)
+@given(config=synthetic_configs)
+def test_did_histogram_counts_every_arc(config):
+    trace = generate_synthetic_trace(config)
+    graph = build_dfg(trace)
+    histogram = DIDHistogram.from_graph(graph)
+    assert sum(histogram.counts) == graph.n_arcs == histogram.total
+
+
+# -- fetch --------------------------------------------------------------
+
+
+@settings(deadline=None)
+@given(
+    config=synthetic_configs,
+    width=st.integers(min_value=1, max_value=40),
+    max_taken=st.one_of(st.none(), st.integers(min_value=1, max_value=4)),
+)
+def test_fetch_plan_invariants(config, width, max_taken):
+    trace = generate_synthetic_trace(config)
+    engine = SequentialFetchEngine(width=width, max_taken=max_taken)
+    plan = engine.plan(trace, PerfectBranchPredictor())
+    plan.validate(len(trace))
+    for block in plan:
+        assert 1 <= block.length <= width
+        records = trace[block.start:block.end]
+        if max_taken is not None:
+            taken = sum(1 for r in records if r.redirects_fetch)
+            assert taken <= max_taken
+            # The max_taken-th redirect must be the block's last slot.
+            inner_taken = sum(1 for r in records[:-1] if r.redirects_fetch)
+            assert inner_taken <= max_taken - 1
+
+
+# -- router --------------------------------------------------------------
+
+
+@settings(deadline=None)
+@given(
+    pcs=st.lists(
+        st.integers(min_value=0, max_value=63).map(lambda w: 0x1000 + 4 * w),
+        min_size=1,
+        max_size=40,
+    ),
+    n_banks=st.sampled_from([1, 2, 4, 8, 16]),
+)
+def test_router_partitions_requests(pcs, n_banks):
+    router = AddressRouter(n_banks=n_banks)
+    requests = list(enumerate(pcs))
+    outcome = router.route(requests)
+    served = [slot for access in outcome.accesses for slot in access.slots]
+    assert sorted(served + outcome.denied_slots) == list(range(len(pcs)))
+    # Per bank, at most one access; merged slots share one PC.
+    banks = [access.bank for access in outcome.accesses]
+    assert len(banks) == len(set(banks))
+    for access in outcome.accesses:
+        assert access.slots == sorted(access.slots)
+        assert all(pcs[slot] == access.pc for slot in access.slots)
+
+
+# -- timing model ----------------------------------------------------------
+
+
+@settings(deadline=None, max_examples=25)
+@given(
+    config=synthetic_configs,
+    rate=st.sampled_from([1, 2, 4, 8, 16]),
+    window=st.sampled_from([4, 16, 40]),
+)
+def test_ideal_machine_ipc_bounded_by_fetch_rate(config, rate, window):
+    trace = generate_synthetic_trace(config)
+    result = simulate_ideal(trace, IdealConfig(fetch_rate=rate, window=window))
+    assert result.ipc <= rate + 1e-9
+    assert result.cycles >= len(trace) / rate
+
+
+@settings(deadline=None, max_examples=25)
+@given(config=synthetic_configs, rate=st.sampled_from([2, 4, 8]))
+def test_perfect_vp_never_slower(config, rate):
+    trace = generate_synthetic_trace(config)
+    n = len(trace)
+    base = simulate_ideal(trace, IdealConfig(fetch_rate=rate))
+    perfect = simulate_ideal(
+        trace, IdealConfig(fetch_rate=rate), vp_plan=([True] * n, [True] * n)
+    )
+    assert perfect.cycles <= base.cycles

@@ -1,0 +1,58 @@
+"""Tests for the repro-trace CLI and the top-level package API."""
+
+import pytest
+
+from repro.tools import main
+
+
+def test_stats_command(capsys):
+    assert main(["stats", "compress", "--length", "2000"]) == 0
+    out = capsys.readouterr().out
+    assert "2000 instructions" in out
+    assert "taken" in out
+
+
+def test_did_command(capsys):
+    assert main(["did", "vortex", "--length", "2000"]) == 0
+    out = capsys.readouterr().out
+    assert "average DID" in out
+    assert "DID >= 4" in out
+
+
+def test_dump_to_file(tmp_path, capsys):
+    path = tmp_path / "t.trace"
+    assert main(["dump", "go", "--length", "1500", "-o", str(path)]) == 0
+    from repro.trace import read_trace
+
+    assert len(read_trace(path)) == 1500
+
+
+def test_dump_to_stdout(capsys):
+    assert main(["dump", "go", "--length", "100"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("#repro-trace:go")
+
+
+def test_disasm_command(capsys):
+    assert main(["disasm", "li"]) == 0
+    out = capsys.readouterr().out
+    assert "dispatch:" in out
+    assert "jr" in out or "beq" in out or "blt" in out
+
+
+def test_unknown_workload_rejected():
+    with pytest.raises(SystemExit):
+        main(["stats", "doom"])
+
+
+def test_top_level_api():
+    import repro
+
+    assert repro.__version__
+    trace = repro.generate_trace("ijpeg", length=1_000)
+    base = repro.simulate_ideal(trace, repro.IdealConfig(fetch_rate=8))
+    vp_plan = repro.plan_value_predictions(trace, repro.make_predictor())
+    vp = repro.simulate_ideal(trace, repro.IdealConfig(fetch_rate=8),
+                              vp_plan=vp_plan)
+    assert repro.speedup(vp, base) >= 0.0
+    assert isinstance(trace, repro.Trace)

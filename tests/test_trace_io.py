@@ -1,0 +1,48 @@
+"""Unit tests for repro.trace.io."""
+
+import io
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace import read_trace, write_trace
+from repro.trace.synthetic import SyntheticTraceConfig, generate_synthetic_trace
+
+
+def round_trip(trace):
+    buffer = io.StringIO()
+    write_trace(trace, buffer)
+    buffer.seek(0)
+    return read_trace(buffer)
+
+
+def test_round_trip_preserves_records(synthetic_trace):
+    loaded = round_trip(synthetic_trace)
+    assert loaded.name == synthetic_trace.name
+    assert len(loaded) == len(synthetic_trace)
+    for a, b in zip(synthetic_trace, loaded):
+        assert a == b
+
+
+def test_file_round_trip(tmp_path):
+    trace = generate_synthetic_trace(SyntheticTraceConfig(length=100, seed=3))
+    path = tmp_path / "t.trace"
+    write_trace(trace, path)
+    loaded = read_trace(path)
+    assert len(loaded) == 100
+    assert loaded[50] == trace[50]
+
+
+def test_missing_header_rejected():
+    with pytest.raises(TraceError, match="header"):
+        read_trace(io.StringIO("0|0|add|1|2||0|4|-\n"))
+
+
+def test_malformed_line_rejected():
+    with pytest.raises(TraceError, match="fields"):
+        read_trace(io.StringIO("#repro-trace:x\n1|2|3\n"))
+
+
+def test_bad_opcode_rejected():
+    with pytest.raises(TraceError):
+        read_trace(io.StringIO("#repro-trace:x\n0|0|frobnicate|-|-||0|4|-\n"))

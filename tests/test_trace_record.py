@@ -1,0 +1,44 @@
+"""Unit tests for repro.trace.record."""
+
+from repro.isa.opcodes import OpClass, Opcode
+from repro.trace.record import DynInstr
+
+
+def make(op=Opcode.ADD, **kwargs):
+    defaults = dict(seq=0, pc=0x1000, next_pc=0x1004)
+    defaults.update(kwargs)
+    return DynInstr(op=op, **defaults)
+
+
+def test_derived_classes():
+    assert make(Opcode.LD, dest=1, value=2, mem_addr=8).is_load
+    assert make(Opcode.ST, mem_addr=8).is_store
+    assert make(Opcode.BEQ).is_conditional_branch
+    assert make(Opcode.J, taken=True).is_control
+    assert make().op_class is OpClass.ALU
+
+
+def test_redirects_fetch_semantics():
+    assert make(Opcode.BEQ, taken=True).redirects_fetch
+    assert not make(Opcode.BEQ, taken=False).redirects_fetch
+    assert make(Opcode.J, taken=True).redirects_fetch
+    assert not make().redirects_fetch
+
+
+def test_writes_register():
+    assert make(dest=3, value=1).writes_register
+    assert not make(Opcode.ST, mem_addr=4).writes_register
+
+
+def test_equality_and_hash():
+    a = make(dest=1, value=2)
+    b = make(dest=1, value=2)
+    c = make(dest=1, value=3)
+    assert a == b
+    assert a != c
+    assert hash(a) == hash(b)
+
+
+def test_repr_mentions_key_fields():
+    text = repr(make(Opcode.BEQ, srcs=(4,), taken=True))
+    assert "beq" in text and "taken" in text

@@ -1,0 +1,44 @@
+"""Unit tests for repro.trace.stats."""
+
+from repro.isa.opcodes import OpClass, Opcode
+from repro.trace.record import DynInstr
+from repro.trace.stats import compute_stats
+from repro.trace.trace import Trace
+
+
+def test_stats_on_handcrafted_trace():
+    records = [
+        DynInstr(0, 0x1000, Opcode.ADD, dest=1, value=1, next_pc=0x1004),
+        DynInstr(1, 0x1004, Opcode.LD, dest=2, value=2, next_pc=0x1008, mem_addr=8),
+        DynInstr(2, 0x1008, Opcode.BEQ, srcs=(1,), taken=True, next_pc=0x1000),
+        DynInstr(3, 0x1000, Opcode.ADD, dest=1, value=3, next_pc=0x1004),
+        DynInstr(4, 0x1004, Opcode.BEQ, srcs=(1,), taken=False, next_pc=0x1008),
+        DynInstr(5, 0x1008, Opcode.ST, srcs=(1,), next_pc=0x100C, mem_addr=8),
+    ]
+    stats = compute_stats(Trace(records, name="hand"))
+    assert stats.length == 6
+    assert stats.mix[OpClass.ALU] == 2
+    assert stats.mix[OpClass.LOAD] == 1
+    assert stats.mix[OpClass.BRANCH] == 2
+    assert stats.taken_transfers == 1
+    assert stats.conditional_branches == 2
+    assert stats.taken_conditional_branches == 1
+    assert stats.conditional_taken_rate == 0.5
+    assert stats.value_producers == 3
+    assert stats.unique_pcs == 3
+    # Blocks: [0,1,2], [3,4], [5] -> mean 2.0
+    assert stats.mean_block_size == 2.0
+    assert stats.max_block_size == 3
+
+
+def test_format_is_renderable(synthetic_trace):
+    text = compute_stats(synthetic_trace).format()
+    assert "instructions" in text
+    assert "taken" in text
+
+
+def test_empty_trace_stats():
+    stats = compute_stats(Trace([], name="empty"))
+    assert stats.length == 0
+    assert stats.taken_density == 0.0
+    assert stats.conditional_taken_rate == 0.0

@@ -1,0 +1,68 @@
+"""Unit tests for repro.trace.synthetic."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.trace.synthetic import SyntheticTraceConfig, generate_synthetic_trace
+
+
+def test_length_respected():
+    trace = generate_synthetic_trace(SyntheticTraceConfig(length=500, seed=1))
+    assert len(trace) == 500
+
+
+def test_deterministic_per_seed():
+    a = generate_synthetic_trace(SyntheticTraceConfig(length=300, seed=5))
+    b = generate_synthetic_trace(SyntheticTraceConfig(length=300, seed=5))
+    c = generate_synthetic_trace(SyntheticTraceConfig(length=300, seed=6))
+    assert all(x == y for x, y in zip(a, b))
+    assert any(x != y for x, y in zip(a, c))
+
+
+def test_taken_density_tracks_p_taken():
+    low = generate_synthetic_trace(
+        SyntheticTraceConfig(length=5_000, p_taken=0.1, seed=2)
+    )
+    high = generate_synthetic_trace(
+        SyntheticTraceConfig(length=5_000, p_taken=0.9, seed=2)
+    )
+    assert low.count_taken() < high.count_taken()
+
+
+def test_predictability_fractions_have_effect():
+    from repro.vpred import StridePredictor
+
+    def accuracy(stride_fraction, constant_fraction):
+        config = SyntheticTraceConfig(
+            length=5_000,
+            stride_fraction=stride_fraction,
+            constant_fraction=constant_fraction,
+            seed=3,
+        )
+        predictor = StridePredictor()
+        for record in generate_synthetic_trace(config):
+            if record.dest is not None:
+                predictor.lookup_and_update(record.pc, record.value)
+        return predictor.stats.accuracy
+
+    assert accuracy(0.8, 0.15) > accuracy(0.05, 0.05) + 0.2
+
+
+def test_seq_numbering_valid():
+    trace = generate_synthetic_trace(SyntheticTraceConfig(length=100, seed=9))
+    assert [r.seq for r in trace] == list(range(100))
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(length=0),
+        dict(p_taken=1.5),
+        dict(stride_fraction=0.9, constant_fraction=0.3),
+        dict(mean_did=0.5),
+        dict(n_blocks=1),
+    ],
+)
+def test_invalid_configs_rejected(kwargs):
+    with pytest.raises(ConfigError):
+        generate_synthetic_trace(SyntheticTraceConfig(**kwargs))

@@ -1,0 +1,65 @@
+"""Unit tests for repro.trace.trace."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.isa.opcodes import OpClass, Opcode
+from repro.trace.record import DynInstr
+from repro.trace.trace import Trace
+
+
+def make_records(n=10):
+    records = []
+    for i in range(n):
+        op = Opcode.BEQ if i % 3 == 2 else Opcode.ADD
+        records.append(
+            DynInstr(
+                seq=i,
+                pc=0x1000 + 4 * i,
+                op=op,
+                dest=None if op is Opcode.BEQ else 1 + (i % 4),
+                value=None if op is Opcode.BEQ else i,
+                taken=(op is Opcode.BEQ and i % 2 == 0),
+                next_pc=0x1000 + 4 * (i + 1),
+            )
+        )
+    return records
+
+
+def test_sequence_protocol():
+    trace = Trace(make_records(10))
+    assert len(trace) == 10
+    assert trace[3].seq == 3
+    assert [r.seq for r in trace] == list(range(10))
+    assert [r.seq for r in trace[2:5]] == [2, 3, 4]
+
+
+def test_seq_numbering_validated():
+    records = make_records(3)
+    records[1] = DynInstr(seq=5, pc=0, op=Opcode.NOP, next_pc=4)
+    with pytest.raises(TraceError):
+        Trace(records)
+
+
+def test_prefix():
+    trace = Trace(make_records(10))
+    assert len(trace.prefix(4)) == 4
+
+
+def test_counts():
+    trace = Trace(make_records(9))
+    assert trace.count_class(OpClass.BRANCH) == 3
+    assert trace.count_taken() == sum(1 for r in trace if r.taken)
+    assert len(list(trace.value_producers())) == 6
+
+
+def test_basic_block_starts():
+    trace = Trace(make_records(9))
+    # Branches sit at indices 2, 5, 8 -> blocks start at 0, 3, 6.
+    assert trace.basic_block_starts() == [0, 3, 6]
+
+
+def test_empty_trace():
+    trace = Trace([])
+    assert len(trace) == 0
+    assert trace.basic_block_starts() == []

@@ -1,0 +1,63 @@
+"""Unit tests for the Section 4 value distributor."""
+
+from repro.vphw import AddressRouter, ValueDistributor
+from repro.vpred import StridePredictor
+
+
+def route(requests, n_banks=16):
+    return AddressRouter(n_banks=n_banks).route(requests)
+
+
+def trained_stride(pc=0x1000, last=100, stride=4):
+    predictor = StridePredictor()
+    predictor.update(pc, last - stride)
+    predictor.update(pc, last)
+    return predictor
+
+
+def test_single_request_gets_peek_value():
+    predictor = trained_stride()
+    distributor = ValueDistributor()
+    values = distributor.distribute(route([(0, 0x1000)]), predictor)
+    assert values == {0: 104}
+
+
+def test_merged_requests_get_stride_sequence():
+    """The X, X+delta, X+2*delta expansion of Figure 4.2."""
+    predictor = trained_stride(last=100, stride=4)
+    distributor = ValueDistributor()
+    values = distributor.distribute(
+        route([(0, 0x1000), (1, 0x1000), (2, 0x1000)]), predictor
+    )
+    assert values == {0: 104, 1: 108, 2: 112}
+    assert distributor.sequence_computations == 2
+
+
+def test_no_entry_no_value():
+    distributor = ValueDistributor()
+    values = distributor.distribute(route([(0, 0x1000)]), StridePredictor())
+    assert values == {}
+
+
+def test_denied_slots_receive_nothing():
+    predictor = trained_stride(pc=0x1000)
+    predictor.update(0x1010, 1)
+    predictor.update(0x1010, 2)
+    distributor = ValueDistributor()
+    outcome = route([(0, 0x1000), (1, 0x1010)], n_banks=4)  # same bank
+    values = distributor.distribute(outcome, predictor)
+    assert 0 in values and 1 not in values
+
+
+def test_last_value_replication_costs_no_adders():
+    """Stride 0 (hybrid's last-value side): replication without compute."""
+    from repro.vpred import HybridPredictor
+
+    hybrid = HybridPredictor()
+    hybrid.update(0x1000, 55)
+    distributor = ValueDistributor()
+    values = distributor.distribute(
+        route([(0, 0x1000), (1, 0x1000), (2, 0x1000)]), hybrid
+    )
+    assert values == {0: 55, 1: 55, 2: 55}
+    assert distributor.sequence_computations == 0

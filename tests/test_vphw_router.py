@@ -1,0 +1,75 @@
+"""Unit tests for the Section 4 address router."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.vphw import AddressRouter
+
+
+def test_bank_mapping_is_modulo_on_word_address():
+    router = AddressRouter(n_banks=4)
+    assert router.bank_of(0x1000) == (0x1000 >> 2) & 3
+    assert router.bank_of(0x1004) != router.bank_of(0x1000)
+
+
+def test_distinct_banks_all_granted():
+    router = AddressRouter(n_banks=4)
+    outcome = router.route([(0, 0x1000), (1, 0x1004), (2, 0x1008), (3, 0x100C)])
+    assert len(outcome.accesses) == 4
+    assert outcome.denied_slots == []
+
+
+def test_same_bank_different_pc_denied_by_priority():
+    router = AddressRouter(n_banks=4)
+    # 0x1000 and 0x1010 share bank 0 (16 bytes apart, 4 banks).
+    outcome = router.route([(0, 0x1000), (1, 0x1010)])
+    assert [a.pc for a in outcome.accesses] == [0x1000]
+    assert outcome.denied_slots == [1]
+
+
+def test_earlier_instruction_wins():
+    router = AddressRouter(n_banks=4)
+    outcome = router.route([(5, 0x1010), (9, 0x1000)])
+    assert [a.pc for a in outcome.accesses] == [0x1010]
+    assert outcome.denied_slots == [9]
+
+
+def test_same_pc_requests_merge():
+    router = AddressRouter(n_banks=4)
+    outcome = router.route([(0, 0x1000), (1, 0x1004), (2, 0x1000), (3, 0x1000)])
+    access = next(a for a in outcome.accesses if a.pc == 0x1000)
+    assert access.slots == [0, 2, 3]
+    assert access.merged
+    assert outcome.n_merged_requests == 2
+    assert outcome.denied_slots == []
+
+
+def test_merge_happens_even_after_bank_full():
+    router = AddressRouter(n_banks=4, ports_per_bank=1)
+    # First 0x1000 takes bank 0; 0x1010 (same bank) denied; another
+    # 0x1000 copy still merges into the existing access.
+    outcome = router.route([(0, 0x1000), (1, 0x1010), (2, 0x1000)])
+    access = next(a for a in outcome.accesses if a.pc == 0x1000)
+    assert access.slots == [0, 2]
+    assert outcome.denied_slots == [1]
+
+
+def test_multiple_ports_per_bank():
+    router = AddressRouter(n_banks=4, ports_per_bank=2)
+    outcome = router.route([(0, 0x1000), (1, 0x1010), (2, 0x1020)])
+    assert len(outcome.accesses) == 2
+    assert outcome.denied_slots == [2]
+
+
+def test_more_banks_fewer_conflicts():
+    requests = [(i, 0x1000 + 4 * i) for i in range(32)]
+    few = AddressRouter(n_banks=4).route(requests)
+    many = AddressRouter(n_banks=32).route(requests)
+    assert len(many.denied_slots) < len(few.denied_slots)
+
+
+@pytest.mark.parametrize("kwargs", [dict(n_banks=0), dict(n_banks=3),
+                                    dict(ports_per_bank=0)])
+def test_invalid_configs(kwargs):
+    with pytest.raises(ConfigError):
+        AddressRouter(**{**dict(n_banks=4, ports_per_bank=1), **kwargs})

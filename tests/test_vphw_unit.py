@@ -1,0 +1,99 @@
+"""Unit tests for the assembled VP units."""
+
+from repro.isa.opcodes import Opcode
+from repro.trace.record import DynInstr
+from repro.vphw import AbstractVPUnit, AddressRouter, BankedVPUnit
+from repro.vpred import SaturatingClassifier, StridePredictor, make_predictor
+
+
+def producers(pcs_values, start_seq=0):
+    records = []
+    for i, (pc, value) in enumerate(pcs_values):
+        records.append(
+            DynInstr(start_seq + i, pc, Opcode.ADD, dest=1, value=value,
+                     next_pc=0)
+        )
+    return records
+
+
+def warmed_banked(pc=0x1000, last=100, stride=4, **kwargs):
+    unit = BankedVPUnit(StridePredictor(),
+                        classifier=SaturatingClassifier(initial=3), **kwargs)
+    unit.train_block(producers([(pc, last - stride)]))
+    unit.train_block(producers([(pc, last)]))
+    return unit
+
+
+class TestAbstractVPUnit:
+    def test_speculative_update_serves_loop_copies(self):
+        """Three copies of a strided instruction in one block must each
+        get the right value — the idealization of Sections 3/5.1/5.2."""
+        unit = AbstractVPUnit(make_predictor(classified=False))
+        unit.predict_block(producers([(0x1000, 100)]))
+        unit.predict_block(producers([(0x1000, 104)], start_seq=1))
+        block = producers([(0x1000, 108), (0x1000, 112), (0x1000, 116)],
+                          start_seq=2)
+        predictions = unit.predict_block(block)
+        assert predictions == {2: 108, 3: 112, 4: 116}
+        assert unit.stats.correct == 3
+
+    def test_non_producers_skipped(self):
+        unit = AbstractVPUnit(make_predictor())
+        store = DynInstr(0, 0x1000, Opcode.ST, srcs=(1,), next_pc=0, mem_addr=4)
+        assert unit.predict_block([store]) == {}
+        assert unit.stats.candidates == 0
+
+
+class TestBankedVPUnit:
+    def test_merged_copies_get_stride_sequence(self):
+        unit = warmed_banked(last=100, stride=4)
+        block = producers([(0x1000, 104), (0x1000, 108), (0x1000, 112)],
+                          start_seq=2)
+        predictions = unit.predict_block(block)
+        assert predictions == {2: 104, 3: 108, 4: 112}
+        assert unit.stats.merged == 2
+        assert unit.stats.correct == 3
+
+    def test_merge_disabled_denies_extra_copies(self):
+        unit = warmed_banked(merge_requests=False)
+        block = producers([(0x1000, 104), (0x1000, 108)], start_seq=2)
+        predictions = unit.predict_block(block)
+        assert list(predictions) == [2]
+        assert unit.stats.denied == 1
+
+    def test_bank_conflict_denies_later_slot(self):
+        unit = BankedVPUnit(
+            StridePredictor(),
+            router=AddressRouter(n_banks=4),
+            classifier=SaturatingClassifier(initial=3),
+        )
+        # 0x1000 and 0x1010 collide in a 4-bank table.
+        unit.train_block(producers([(0x1000, 1), (0x1010, 1)]))
+        unit.train_block(producers([(0x1000, 2), (0x1010, 2)]))
+        block = producers([(0x1000, 3), (0x1010, 3)], start_seq=4)
+        predictions = unit.predict_block(block)
+        assert 4 in predictions and 5 not in predictions
+        assert unit.stats.denied == 1
+
+    def test_classifier_gates_predictions(self):
+        unit = BankedVPUnit(
+            StridePredictor(),
+            classifier=SaturatingClassifier(bits=2, threshold=2, initial=0),
+        )
+        unit.train_block(producers([(0x1000, 100)]))
+        unit.train_block(producers([(0x1000, 104)], start_seq=1))
+        # Confidence is still building: no prediction used yet.
+        assert unit.predict_block(producers([(0x1000, 108)], start_seq=2)) == {}
+
+    def test_hints_filter_requests(self):
+        unit = BankedVPUnit(
+            StridePredictor(),
+            classifier=SaturatingClassifier(initial=3),
+            hints={0x1000: "none"},
+        )
+        unit.train_block(producers([(0x2000, 1)]))
+        unit.train_block(producers([(0x2000, 2)], start_seq=1))
+        block = producers([(0x1000, 9), (0x2000, 3)], start_seq=2)
+        predictions = unit.predict_block(block)
+        assert 2 not in predictions and 3 in predictions
+        assert unit.stats.requests == 1   # the hinted-off PC never asked

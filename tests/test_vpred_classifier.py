@@ -1,0 +1,102 @@
+"""Unit tests for the saturating-counter classification unit."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.vpred import (
+    ClassifiedPredictor,
+    LastValuePredictor,
+    SaturatingClassifier,
+    StridePredictor,
+)
+
+
+class TestSaturatingClassifier:
+    def test_counter_saturates_high(self):
+        classifier = SaturatingClassifier(bits=2, threshold=2)
+        for _ in range(10):
+            classifier.train(0x100, True)
+        assert classifier.counter(0x100) == 3
+
+    def test_counter_saturates_low(self):
+        classifier = SaturatingClassifier(bits=2, threshold=2)
+        for _ in range(10):
+            classifier.train(0x100, False)
+        assert classifier.counter(0x100) == 0
+
+    def test_threshold_gates(self):
+        classifier = SaturatingClassifier(bits=2, threshold=2, initial=0)
+        assert not classifier.allows(0x100)
+        classifier.train(0x100, True)
+        assert not classifier.allows(0x100)
+        classifier.train(0x100, True)
+        assert classifier.allows(0x100)
+
+    def test_misprediction_reduces_confidence(self):
+        classifier = SaturatingClassifier(bits=2, threshold=2)
+        for _ in range(3):
+            classifier.train(0x100, True)
+        classifier.train(0x100, False)
+        classifier.train(0x100, False)
+        assert not classifier.allows(0x100)
+
+    @pytest.mark.parametrize(
+        "kwargs", [dict(bits=0), dict(threshold=4), dict(initial=9)]
+    )
+    def test_invalid_configs(self, kwargs):
+        with pytest.raises(ConfigError):
+            SaturatingClassifier(**{**dict(bits=2, threshold=2), **kwargs})
+
+
+class TestClassifiedPredictor:
+    def test_holds_back_until_confident(self):
+        predictor = ClassifiedPredictor(
+            LastValuePredictor(), SaturatingClassifier(bits=2, threshold=2)
+        )
+        # Two correct raw predictions build confidence.
+        predictor.lookup_and_update(0x100, 7)   # cold
+        predictor.lookup_and_update(0x100, 7)   # raw correct, counter 1
+        assert predictor.peek(0x100) is None    # still below threshold
+        predictor.lookup_and_update(0x100, 7)   # counter 2
+        assert predictor.peek(0x100) == 7
+
+    def test_confidence_lost_on_volatility(self):
+        predictor = ClassifiedPredictor(
+            LastValuePredictor(), SaturatingClassifier(bits=2, threshold=2)
+        )
+        for value in (7, 7, 7, 7):
+            predictor.lookup_and_update(0x100, value)
+        assert predictor.peek(0x100) == 7
+        for value in (1, 2, 3, 4):
+            predictor.lookup_and_update(0x100, value)
+        assert predictor.peek(0x100) is None
+
+    def test_classifier_raises_used_accuracy(self):
+        import random
+
+        rng = random.Random(1)
+        raw = StridePredictor()
+        classified = ClassifiedPredictor(
+            StridePredictor(), SaturatingClassifier(bits=2, threshold=2)
+        )
+        # Half the PCs stride, half are noise.
+        for i in range(4_000):
+            pc = 0x100 + 4 * (i % 20)
+            if (i % 20) < 10:
+                value = i // 20
+            else:
+                value = rng.getrandbits(32)
+            raw.lookup_and_update(pc, value)
+            classified.lookup_and_update(pc, value)
+        assert classified.stats.accuracy > raw.stats.accuracy + 0.2
+        assert classified.stats.predictions < raw.stats.predictions
+
+    def test_reset_clears_both(self):
+        predictor = ClassifiedPredictor(
+            LastValuePredictor(), SaturatingClassifier()
+        )
+        for _ in range(4):
+            predictor.lookup_and_update(0x100, 9)
+        predictor.reset()
+        assert predictor.peek(0x100) is None
+        assert predictor.raw_stats.lookups == 0

@@ -1,0 +1,83 @@
+"""Unit tests for the hybrid predictor and profiling hints."""
+
+from repro.trace.record import DynInstr
+from repro.trace.trace import Trace
+from repro.isa.opcodes import Opcode
+from repro.vpred import HybridPredictor, make_predictor, profile_hints
+from repro.vpred.hybrid import HINT_LAST, HINT_NONE, HINT_STRIDE
+
+
+def trace_of(values_by_pc, repeats=30):
+    """Interleave per-PC value sequences into one trace."""
+    records = []
+    seq = 0
+    for i in range(repeats):
+        for pc, values in values_by_pc.items():
+            records.append(
+                DynInstr(seq, pc, Opcode.ADD, dest=1,
+                         value=values(i), next_pc=0)
+            )
+            seq += 1
+    return Trace(records)
+
+
+def test_profile_hints_classify_behaviours():
+    import random
+
+    rng = random.Random(0)
+    trace = trace_of(
+        {
+            0x100: lambda i: 7 * i,          # stride
+            0x104: lambda i: 55,             # constant -> last-value
+            0x108: lambda i: rng.getrandbits(40),  # noise -> none
+        }
+    )
+    hints = profile_hints(trace)
+    assert hints[0x100] == HINT_STRIDE
+    assert hints[0x104] == HINT_LAST
+    assert hints[0x108] == HINT_NONE
+
+
+def test_hybrid_routes_by_hint():
+    hybrid = HybridPredictor(hints={0x100: HINT_STRIDE, 0x104: HINT_NONE})
+    hybrid.update(0x100, 10)
+    hybrid.update(0x100, 14)
+    assert hybrid.peek(0x100) == 18
+    hybrid.update(0x104, 5)
+    assert hybrid.peek(0x104) is None        # suppressed by hint
+    hybrid.update(0x108, 9)                  # unhinted -> last-value table
+    assert hybrid.peek(0x108) == 9
+
+
+def test_hybrid_entry_for_distributor():
+    hybrid = HybridPredictor(hints={0x100: HINT_STRIDE})
+    hybrid.update(0x100, 10)
+    hybrid.update(0x100, 14)
+    assert hybrid.entry(0x100) == (14, 4)
+    hybrid.update(0x104, 9)
+    # Last-value entries report stride 0: replication without adders.
+    assert hybrid.entry(0x104) == (9, 0)
+    assert hybrid.entry(0x999) is None
+
+
+def test_factory_builds_each_kind():
+    for kind in ("stride", "last", "two-delta", "hybrid"):
+        predictor = make_predictor(kind=kind, classified=True)
+        predictor.lookup_and_update(0x100, 1)
+    import pytest
+
+    from repro.errors import ConfigError
+
+    with pytest.raises(ConfigError):
+        make_predictor(kind="oracle")
+
+
+def test_factory_finite_table():
+    predictor = make_predictor(kind="stride", classified=False, table_sets=2,
+                               table_assoc=1)
+    for pc in (0x100, 0x104, 0x108, 0x10C):
+        predictor.update(pc, 5)
+    from repro.vpred import FiniteTablePredictor
+
+    assert isinstance(predictor, FiniteTablePredictor)
+    assert predictor.evictions > 0

@@ -1,0 +1,106 @@
+"""Unit tests for the value predictors (last-value, stride, 2-delta)."""
+
+from repro.vpred import LastValuePredictor, StridePredictor, TwoDeltaStridePredictor
+
+MASK64 = (1 << 64) - 1
+
+
+class TestLastValue:
+    def test_cold_miss(self):
+        assert LastValuePredictor().peek(0x100) is None
+
+    def test_predicts_repeat(self):
+        predictor = LastValuePredictor()
+        predictor.update(0x100, 42)
+        assert predictor.peek(0x100) == 42
+
+    def test_per_pc_isolation(self):
+        predictor = LastValuePredictor()
+        predictor.update(0x100, 1)
+        predictor.update(0x104, 2)
+        assert predictor.peek(0x100) == 1
+        assert predictor.peek(0x104) == 2
+
+    def test_stats_via_lookup_and_update(self):
+        predictor = LastValuePredictor()
+        for value in (5, 5, 5, 6):
+            predictor.lookup_and_update(0x100, value)
+        stats = predictor.stats
+        assert stats.lookups == 4
+        assert stats.predictions == 3       # first lookup was cold
+        assert stats.correct == 2           # 5,5 right; 6 wrong
+        assert stats.accuracy == 2 / 3
+
+    def test_reset(self):
+        predictor = LastValuePredictor()
+        predictor.lookup_and_update(0x100, 1)
+        predictor.reset()
+        assert predictor.peek(0x100) is None
+        assert predictor.stats.lookups == 0
+
+
+class TestStride:
+    def test_degenerates_to_last_value_before_stride_known(self):
+        predictor = StridePredictor()
+        predictor.update(0x100, 10)
+        assert predictor.peek(0x100) == 10
+
+    def test_predicts_arithmetic_sequence(self):
+        predictor = StridePredictor()
+        predictor.update(0x100, 10)
+        predictor.update(0x100, 13)
+        assert predictor.peek(0x100) == 16
+
+    def test_tracks_changing_stride(self):
+        predictor = StridePredictor()
+        for value in (0, 4, 8, 10):
+            predictor.update(0x100, value)
+        assert predictor.peek(0x100) == 12  # stride retrained to 2
+
+    def test_negative_stride_wraps_mask(self):
+        predictor = StridePredictor()
+        predictor.update(0x100, 10)
+        predictor.update(0x100, 7)
+        assert predictor.peek(0x100) == 4
+
+    def test_entry_exposed_for_distributor(self):
+        predictor = StridePredictor()
+        assert predictor.entry(0x100) is None
+        predictor.update(0x100, 10)
+        assert predictor.entry(0x100) is None      # stride unknown yet
+        predictor.update(0x100, 14)
+        assert predictor.entry(0x100) == (14, 4)
+
+
+class TestTwoDelta:
+    def test_holds_stride_through_one_outlier(self):
+        predictor = TwoDeltaStridePredictor()
+        for value in (0, 2, 4, 6):
+            predictor.update(0x100, value)
+        # Outlier (loop exit), then the old pattern resumes from 100.
+        predictor.update(0x100, 100)
+        assert predictor.peek(0x100) == 102  # stride 2 retained
+        predictor.update(0x100, 102)
+        assert predictor.peek(0x100) == 104
+
+    def test_retrains_after_two_consistent_deltas(self):
+        predictor = TwoDeltaStridePredictor()
+        for value in (0, 2, 4, 7, 10, 13):
+            predictor.update(0x100, value)
+        assert predictor.peek(0x100) == 16  # stride 3 committed
+
+    def test_beats_plain_stride_on_interrupted_pattern(self):
+        plain, two_delta = StridePredictor(), TwoDeltaStridePredictor()
+        values = []
+        for repeat in range(10):
+            values.extend(range(0, 20, 2))     # stride 2 run
+        for value in values:
+            plain.lookup_and_update(0x100, value)
+            two_delta.lookup_and_update(0x100, value)
+        assert two_delta.stats.correct > plain.stats.correct
+
+    def test_entry_exposed(self):
+        predictor = TwoDeltaStridePredictor()
+        predictor.update(0x100, 5)
+        predictor.update(0x100, 8)
+        assert predictor.entry(0x100) == (8, 3)

@@ -1,0 +1,68 @@
+"""Unit tests for the finite-table predictor wrapper."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.vpred import FiniteTablePredictor, LastValuePredictor, StridePredictor
+
+
+def test_capacity():
+    table = FiniteTablePredictor(LastValuePredictor(), n_sets=4, assoc=2)
+    assert table.capacity == 8
+
+
+def test_resident_hit():
+    table = FiniteTablePredictor(LastValuePredictor(), n_sets=4, assoc=2)
+    table.update(0x100, 5)
+    assert table.resident(0x100)
+    assert table.peek(0x100) == 5
+
+
+def test_eviction_erases_learned_state():
+    # One set, one way: the second PC mapping there evicts the first.
+    table = FiniteTablePredictor(StridePredictor(), n_sets=1, assoc=1)
+    table.update(0x100, 5)
+    table.update(0x104, 9)
+    assert not table.resident(0x100)
+    assert table.peek(0x100) is None
+    assert table.evictions == 1
+    # Even after re-allocation, the old entry must have been forgotten.
+    table.update(0x100, 7)
+    assert table.peek(0x100) == 7  # fresh last-value, not 5-based stride
+
+
+def test_lru_order():
+    table = FiniteTablePredictor(LastValuePredictor(), n_sets=1, assoc=2)
+    table.update(0x100, 1)
+    table.update(0x104, 2)
+    table.update(0x100, 1)      # touch 0x100: now 0x104 is LRU
+    table.update(0x108, 3)      # evicts 0x104
+    assert table.resident(0x100)
+    assert not table.resident(0x104)
+    assert table.resident(0x108)
+
+
+def test_infinite_vs_finite_accuracy(synthetic_trace):
+    infinite = StridePredictor()
+    finite = FiniteTablePredictor(StridePredictor(), n_sets=2, assoc=1)
+    for record in synthetic_trace:
+        if record.dest is None:
+            continue
+        infinite.lookup_and_update(record.pc, record.value)
+        finite.lookup_and_update(record.pc, record.value)
+    assert finite.stats.predictions <= infinite.stats.predictions
+    assert finite.evictions > 0
+
+
+@pytest.mark.parametrize("kwargs", [dict(n_sets=0), dict(n_sets=3), dict(assoc=0)])
+def test_invalid_configs(kwargs):
+    with pytest.raises(ConfigError):
+        FiniteTablePredictor(LastValuePredictor(), **{**dict(n_sets=4, assoc=2), **kwargs})
+
+
+def test_reset():
+    table = FiniteTablePredictor(LastValuePredictor(), n_sets=1, assoc=1)
+    table.update(0x100, 5)
+    table.reset()
+    assert not table.resident(0x100)
+    assert table.evictions == 0

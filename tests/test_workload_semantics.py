@@ -1,0 +1,324 @@
+"""Semantic correctness of the workload kernels.
+
+Each kernel claims to *be* a real program (an LZW encoder, an
+interpreter, a record store...). These tests run the kernels on the
+functional simulator and cross-check their architectural results —
+memory contents after a well-defined phase — against independent Python
+reference implementations.
+"""
+
+import pytest
+
+from repro.funcsim import Machine
+from repro.isa.program import WORD_SIZE
+from repro.workloads import build_workload
+
+MASK64 = (1 << 64) - 1
+
+
+def run_until_label(machine: Machine, address: int, times: int = 1,
+                    max_steps: int = 2_000_000) -> None:
+    """Step until the PC is about to execute ``address`` ``times`` times."""
+    seen = 0
+    for _ in range(max_steps):
+        if machine.pc == address:
+            seen += 1
+            if seen >= times:
+                return
+        if machine.step() is None:
+            break
+    raise AssertionError(
+        f"label at {address:#x} reached {seen} < {times} times in "
+        f"{max_steps} steps"
+    )
+
+
+def read_array(machine: Machine, base: int, n: int):
+    return [machine.memory.load(base + i * WORD_SIZE) for i in range(n)]
+
+
+class TestCompressSemantics:
+    def test_lzw_output_matches_reference(self):
+        from repro.workloads.compress import HASH_MUL, TABLE_SIZE
+        from repro.workloads.common import build_time_text
+
+        program = build_workload("compress")
+        machine = Machine(program)
+        era = program.labels["era"]
+        # First arrival is cold start; second marks one full compression.
+        run_until_label(machine, era, times=2)
+
+        stream = build_time_text(0, 512)
+        keys = [0] * TABLE_SIZE
+        codes = [0] * TABLE_SIZE
+        ring = [0] * 256
+        next_code, out_cursor = 256, 0
+        w = stream[0]
+
+        def emit(value):
+            nonlocal out_cursor
+            ring[out_cursor & 255] = value
+            out_cursor += 1
+
+        for k in stream[1:]:
+            stored = (w << 8) + k + 1
+            h = (((stored * HASH_MUL) & MASK64) >> 16) & (TABLE_SIZE - 1)
+            while keys[h] != 0 and keys[h] != stored:
+                h = (h + 1) & (TABLE_SIZE - 1)
+            if keys[h] == stored:
+                w = codes[h]
+            else:
+                emit(w)
+                keys[h] = stored
+                codes[h] = next_code
+                next_code += 1
+                w = k
+        emit(w)
+
+        measured = read_array(machine, program.labels["out"], 256)
+        assert measured == ring
+
+    def test_compression_actually_compresses(self):
+        """LZW on a repetitive stream must emit fewer codes than symbols."""
+        from repro.workloads.compress import TABLE_SIZE
+        program = build_workload("compress")
+        machine = Machine(program)
+        run_until_label(machine, program.labels["era"], times=2)
+        # s4 holds the output cursor at era end... it was reset; instead
+        # infer from the dictionary fill: every emission added one code.
+        keys = read_array(machine, program.labels["keys"], TABLE_SIZE)
+        emitted = sum(1 for key in keys if key)
+        assert 0 < emitted < 512 * 0.8
+
+
+class TestM88ksimSemantics:
+    def test_guest_memory_matches_python_interpreter(self):
+        from repro.workloads.m88ksim import (
+            G_ADD, G_ADDI, G_BLT, G_HALT, G_LI, G_MUL, G_ST, G_SUB,
+            default_guest_program,
+        )
+
+        program = build_workload("m88ksim")
+        machine = Machine(program)
+        reset = program.labels["reset"]
+        # Second arrival at reset = one complete guest run.
+        run_until_label(machine, reset, times=2)
+
+        guest = default_guest_program()
+        regs = [0] * 16
+        gmem = [0] * 64
+        gpc = 0
+        for _ in range(1_000_000):
+            word = guest[gpc]
+            op, rd, rs = word & 15, (word >> 4) & 15, (word >> 8) & 15
+            imm = word >> 16
+            if op == G_HALT:
+                break
+            if op == G_LI:
+                regs[rd] = imm
+            elif op == G_ADD:
+                regs[rd] = (regs[rd] + regs[rs]) & MASK64
+            elif op == G_SUB:
+                regs[rd] = (regs[rd] - regs[rs]) & MASK64
+            elif op == G_ADDI:
+                regs[rd] = (regs[rd] + imm) & MASK64
+            elif op == G_MUL:
+                regs[rd] = (regs[rd] * regs[rs]) & 0xFFFFFF
+            elif op == G_ST:
+                gmem[regs[rs] & 63] = regs[rd]
+            elif op == G_BLT:
+                if (regs[rd] & MASK64) < (regs[rs] & MASK64):
+                    gpc = imm
+                    continue
+            gpc += 1
+
+        assert read_array(machine, program.labels["guest_mem"], 64) == gmem
+        assert read_array(machine, program.labels["guest_regs"], 16) == regs
+
+
+class TestLiSemantics:
+    def test_results_match_python_evaluator(self):
+        from repro.workloads.li import (
+            OP_ADD, OP_DUP, OP_END, OP_MUL, OP_NEG, OP_PUSHI, OP_SUB,
+            random_expressions,
+        )
+
+        program = build_workload("li")
+        machine = Machine(program)
+        # h_end stores the stack bottom; second arrival at reset = one era.
+        run_until_label(machine, program.labels["reset"], times=2)
+
+        stack = []
+        for word in random_expressions(0):
+            op, operand = word & 255, word >> 8
+            if op == OP_END:
+                break
+            if op == OP_PUSHI:
+                stack.append(operand)
+            elif op == OP_ADD:
+                b, a = stack.pop(), stack.pop()
+                stack.append((a + b) & MASK64)
+            elif op == OP_SUB:
+                b, a = stack.pop(), stack.pop()
+                stack.append((a - b) & MASK64)
+            elif op == OP_MUL:
+                b, a = stack.pop(), stack.pop()
+                stack.append((a * b) & 0xFFFFFF)
+            elif op == OP_DUP:
+                stack.append(stack[-1])
+            elif op == OP_NEG:
+                stack.append((-stack.pop()) & MASK64)
+
+        expected = stack[0]
+        results = read_array(machine, program.labels["results"], 1)
+        assert results[0] == expected
+
+
+class TestPerlSemantics:
+    def test_anagram_counts_match_reference(self):
+        from repro.workloads.perl import N_QUERIES, N_WORDS, WORD_LEN
+
+        program = build_workload("perl")
+        machine = Machine(program)
+        run_until_label(machine, program.labels["era"], times=2)
+
+        words_flat = read_array(machine, program.labels["words"],
+                                N_WORDS * WORD_LEN)
+        queries_flat = read_array(machine, program.labels["queries"],
+                                  N_QUERIES * WORD_LEN)
+        words = [words_flat[i * WORD_LEN:(i + 1) * WORD_LEN]
+                 for i in range(N_WORDS)]
+        queries = [queries_flat[i * WORD_LEN:(i + 1) * WORD_LEN]
+                   for i in range(N_QUERIES)]
+        expected = [
+            sum(1 for word in words if sorted(word) == sorted(query))
+            for query in queries
+        ]
+        measured = read_array(machine, program.labels["counts"], N_QUERIES)
+        assert measured == expected
+
+    def test_half_the_queries_are_planted_anagrams(self):
+        program = build_workload("perl")
+        machine = Machine(program)
+        run_until_label(machine, program.labels["era"], times=2)
+        from repro.workloads.perl import N_QUERIES
+
+        counts = read_array(machine, program.labels["counts"], N_QUERIES)
+        planted = sum(1 for i in range(0, N_QUERIES, 2) if counts[i] >= 1)
+        assert planted == N_QUERIES // 2
+
+
+class TestVortexSemantics:
+    def test_create_phase_builds_records_and_chains(self):
+        from repro.workloads.vortex import N_RECORDS, N_TYPES
+
+        program = build_workload("vortex")
+        machine = Machine(program)
+        run_until_label(machine, program.labels["txn_loop"], times=1)
+
+        base = program.labels["records"]
+        tails = {t: 0 for t in range(N_TYPES)}
+        for i in range(N_RECORDS):
+            record = read_array(machine, base + 16 * i, 4)
+            assert record[0] == 1000 + i              # sequential ids
+            assert record[1] == i % N_TYPES           # round-robin types
+            assert record[2] == 100 + 8 * i           # balance formula
+            assert record[3] == tails[i % N_TYPES]    # per-type chain
+            tails[i % N_TYPES] = base + 16 * i
+
+    def test_journal_records_transaction_ids(self):
+        from repro.workloads.vortex import TXNS_PER_ERA
+
+        program = build_workload("vortex")
+        machine = Machine(program)
+        run_until_label(machine, program.labels["era"], times=2)
+        journal = read_array(machine, program.labels["journal"], TXNS_PER_ERA)
+        # Every journaled id must be a legal record id of era 1.
+        from repro.workloads.vortex import N_RECORDS
+
+        assert all(1000 <= entry < 1000 + N_RECORDS for entry in journal)
+
+
+class TestGoSemantics:
+    def test_scores_match_python_reference(self):
+        from repro.workloads.go import BOARD_CELLS, BOARD_DIM
+
+        program = build_workload("go")
+        machine = Machine(program)
+        run_until_label(machine, program.labels["era"], times=2)
+
+        board_base = program.labels["board"]
+        board = [program.data[board_base + 4 * i] for i in range(BOARD_CELLS)]
+        scores = {1: 0, 2: 0}
+        for row in range(BOARD_DIM):
+            for col in range(BOARD_DIM):
+                colour = board[row * BOARD_DIM + col]
+                if colour == 0:
+                    continue
+                acc = 0
+                for dr, dc in ((-1, 0), (1, 0), (0, -1), (0, 1)):
+                    r, c = row + dr, col + dc
+                    if not (0 <= r < BOARD_DIM and 0 <= c < BOARD_DIM):
+                        continue
+                    neighbour = board[r * BOARD_DIM + c]
+                    if neighbour == 0:
+                        continue
+                    acc += 2 if neighbour == colour else -1
+                scores[colour] = (scores[colour] + acc) & MASK64
+
+        measured = read_array(machine, program.labels["scores"], 4)
+        assert measured[1] == scores[1]
+        assert measured[2] == scores[2]
+
+
+class TestGccSemantics:
+    def test_sweep_counts_every_token(self):
+        from repro.workloads.gcc import TOKENS
+
+        program = build_workload("gcc")
+        machine = Machine(program)
+        run_until_label(machine, program.labels["era"], times=2)
+        sums = read_array(machine, program.labels["sums"], 1)
+        assert sums[0] == TOKENS   # every interned token counted once
+
+    def test_chain_lengths_bounded_by_arena(self):
+        from repro.workloads.gcc import ARENA_NODES, VOCABULARY
+
+        program = build_workload("gcc")
+        machine = Machine(program)
+        run_until_label(machine, program.labels["era"], times=2)
+        # The arena bump pointer (s2 at era end was reset; instead count
+        # distinct keys): at most VOCABULARY nodes were allocated.
+        heads = program.labels["heads"]
+        from repro.workloads.gcc import N_BUCKETS
+
+        nodes = 0
+        for bucket in range(N_BUCKETS):
+            node = machine.memory.load(heads + 4 * bucket)
+            while node:
+                nodes += 1
+                node = machine.memory.load(node + 8)
+                assert nodes <= ARENA_NODES
+        assert 0 < nodes <= VOCABULARY
+
+
+class TestIjpegSemantics:
+    def test_histogram_counts_every_block_row(self):
+        from repro.workloads.ijpeg import BLOCK, IMAGE_DIM
+
+        program = build_workload("ijpeg")
+        machine = Machine(program)
+        run_until_label(machine, program.labels["era"], times=2)
+        hist = read_array(machine, program.labels["hist"], 16)
+        rows_per_era = (IMAGE_DIM // BLOCK) ** 2 * BLOCK
+        assert sum(hist) == rows_per_era
+
+    def test_quantization_shrinks_coefficients(self):
+        program = build_workload("ijpeg")
+        machine = Machine(program)
+        run_until_label(machine, program.labels["era"], times=2)
+        rowbuf = read_array(machine, program.labels["rowbuf"], 8)
+        # Quantized sums of two 0..255 pixels shifted right by >=1.
+        for value in rowbuf:
+            signed = value - (1 << 64) if value >> 63 else value
+            assert -256 <= signed <= 256
