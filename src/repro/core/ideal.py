@@ -15,7 +15,7 @@ exist here, and taken branches per cycle are unlimited.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from dataclasses import dataclass, field
 
@@ -34,9 +34,28 @@ class ScheduleDetail:
     exec_done: List[int] = field(default_factory=list)
 
 
+@dataclass
+class IdealRunAudit:
+    """Post-run payload handed to :data:`INVARIANT_HOOK` (see
+    :mod:`repro.verify.checked`)."""
+
+    trace: Trace
+    config: IdealConfig
+    attempted: Optional[List[bool]]
+    correct: Optional[List[bool]]
+    exec_done: List[int]
+    commit: List[int]
+    result: SimulationResult
+
+
+# Optional post-run hook (installed by repro.verify.checked); keeping it
+# a plain module attribute avoids a core -> verify dependency.
+INVARIANT_HOOK: Optional[Callable[[IdealRunAudit], None]] = None
+
+
 def simulate_ideal(
     trace: Trace,
-    config: IdealConfig = IdealConfig(),
+    config: Optional[IdealConfig] = None,
     predictor: Optional[ValuePredictor] = None,
     vp_plan: Optional[Tuple[List[bool], List[bool]]] = None,
     detail: Optional["ScheduleDetail"] = None,
@@ -49,6 +68,8 @@ def simulate_ideal(
     timing. Passing a :class:`ScheduleDetail` captures the per-
     instruction schedule (used by the usefulness analysis).
     """
+    if config is None:
+        config = IdealConfig()
     config.validate()
     if predictor is not None and vp_plan is None:
         vp_plan = plan_value_predictions(trace, predictor)
@@ -122,11 +143,18 @@ def simulate_ideal(
         detail.fetch = fetch_of
         detail.exec_done = exec_done
     cycles = commit[-1] if n else 0
-    return SimulationResult(
+    result = SimulationResult(
         name=f"ideal(rate={rate}{',vp' if predictor or vp_plan else ''})",
         n_instructions=n,
         cycles=cycles,
     )
+    hook = INVARIANT_HOOK
+    if hook is not None:
+        hook(IdealRunAudit(
+            trace=trace, config=config, attempted=attempted, correct=correct,
+            exec_done=exec_done, commit=commit, result=result,
+        ))
+    return result
 
 
 def pipeline_table(

@@ -23,7 +23,8 @@ Model summary (per the paper's Section 5 description):
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
 
 from repro.bpred.base import BranchPredictor
 from repro.core.config import RealisticConfig
@@ -32,12 +33,36 @@ from repro.fetch.base import FetchEngine, FetchPlan
 from repro.trace.trace import Trace
 
 
+@dataclass
+class RealisticRunAudit:
+    """Everything a post-run invariant check needs about one run.
+
+    Handed to :data:`INVARIANT_HOOK` (when installed) after every
+    simulation; consumed by :mod:`repro.verify`.
+    """
+
+    trace: Trace
+    plan: FetchPlan
+    config: RealisticConfig
+    attempted: List[bool]
+    correct: List[bool]
+    exec_done: List[int]
+    commit: List[int]
+    vp_unit: object
+    result: SimulationResult
+
+
+# Optional post-run hook (installed by repro.verify.checked); keeping it
+# a plain module attribute avoids a core -> verify dependency.
+INVARIANT_HOOK: Optional[Callable[[RealisticRunAudit], None]] = None
+
+
 def simulate_realistic(
     trace: Trace,
     fetch_engine: FetchEngine,
     bpred: BranchPredictor,
     vp_unit=None,
-    config: RealisticConfig = RealisticConfig(),
+    config: Optional[RealisticConfig] = None,
     plan: Optional[FetchPlan] = None,
 ) -> SimulationResult:
     """Simulate ``trace`` on the realistic machine.
@@ -48,6 +73,8 @@ def simulate_realistic(
     A precomputed fetch ``plan`` may be supplied to share one
     plan/predictor pass between the VP and no-VP runs of a speedup pair.
     """
+    if config is None:
+        config = RealisticConfig()
     config.validate()
     records = trace.records
     n = len(records)
@@ -132,9 +159,18 @@ def simulate_realistic(
     if vp_unit is not None:
         extra["vp_predictions"] = float(vp_unit.stats.predictions)
         extra["vp_accuracy"] = vp_unit.stats.accuracy
-    return SimulationResult(
+    result = SimulationResult(
         name=f"realistic({'vp' if vp_unit is not None else 'base'})",
         n_instructions=n,
         cycles=cycles,
         extra=extra,
     )
+    hook = INVARIANT_HOOK
+    if hook is not None:
+        hook(RealisticRunAudit(
+            trace=trace, plan=plan, config=config,
+            attempted=attempted, correct=correct,
+            exec_done=exec_done, commit=commit,
+            vp_unit=vp_unit, result=result,
+        ))
+    return result

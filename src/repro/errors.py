@@ -45,3 +45,15 @@ class ConfigError(ReproError):
 
 class SimulationError(ReproError):
     """A timing simulation reached an inconsistent state."""
+
+
+class VerificationError(ReproError):
+    """A program or simulation artifact failed verification.
+
+    Raised by :mod:`repro.verify` in checked mode; carries the full
+    diagnostic report on ``report`` when available.
+    """
+
+    def __init__(self, message: str, report=None):
+        super().__init__(message)
+        self.report = report

@@ -5,12 +5,14 @@ Usage::
     repro-experiments                      # everything, default scale
     repro-experiments fig3.1 fig5.3        # selected experiments
     repro-experiments --length 10000       # smaller traces (faster)
+    repro-experiments --verify-invariants  # self-audit every simulation
     repro-experiments --list
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 import time
 from typing import List, Optional
@@ -40,6 +42,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--seed", type=int, default=0, help="workload seed")
     parser.add_argument(
+        "--verify-invariants",
+        action="store_true",
+        help="lint every simulation against the paper's machine "
+        "invariants (repro.verify); violations abort the run",
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list experiment ids and exit"
     )
     return parser
@@ -59,14 +67,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"available: {', '.join(ALL_EXPERIMENTS)}", file=sys.stderr)
         return 2
 
-    for experiment_id in selected:
-        run = ALL_EXPERIMENTS[experiment_id]
-        started = time.time()
-        result = run(trace_length=args.length, seed=args.seed)
-        elapsed = time.time() - started
-        print(result.format())
-        print(f"({elapsed:.1f}s)")
-        print()
+    if args.verify_invariants:
+        from repro.verify import verified_simulations
+
+        checked = verified_simulations()
+    else:
+        checked = contextlib.nullcontext()
+
+    with checked:
+        for experiment_id in selected:
+            run = ALL_EXPERIMENTS[experiment_id]
+            started = time.time()
+            result = run(trace_length=args.length, seed=args.seed)
+            elapsed = time.time() - started
+            print(result.format())
+            print(f"({elapsed:.1f}s)")
+            print()
     return 0
 
 

@@ -1,0 +1,57 @@
+"""Static program verification and simulation-invariant linting.
+
+Three layers, one diagnostics model:
+
+* :mod:`repro.verify.program` — a static verifier over
+  :class:`~repro.isa.Program`: CFG construction, control-target and
+  operand checks, reaching-definitions def-before-use analysis,
+  unreachable-code detection and static memory-segment checks.
+* :mod:`repro.verify.invariants` — lints runtime artifacts (fetch
+  plans, timing schedules, VP unit claims, DID histograms) against the
+  paper's Section 3/5 machine invariants.
+* :mod:`repro.verify.checked` — :func:`verified_simulations`, a context
+  manager that makes every timing-core run self-audit.
+
+``repro-lint`` (:mod:`repro.verify.cli`) is the command-line surface.
+"""
+
+from repro.verify.cfg import BasicBlock, ControlFlowGraph, build_cfg
+from repro.verify.checked import invariants_checked, verified_simulations
+from repro.verify.diagnostics import (
+    Diagnostic,
+    Report,
+    Severity,
+    reports_to_json,
+)
+from repro.verify.invariants import (
+    audit_ideal_run,
+    audit_realistic_run,
+    lint_did_histogram,
+    lint_fetch_plan,
+    lint_result,
+    lint_schedule,
+    lint_vp_claims,
+    lint_vp_stats,
+)
+from repro.verify.program import verify_program
+
+__all__ = [
+    "BasicBlock",
+    "ControlFlowGraph",
+    "build_cfg",
+    "Diagnostic",
+    "Report",
+    "Severity",
+    "reports_to_json",
+    "verify_program",
+    "lint_fetch_plan",
+    "lint_schedule",
+    "lint_result",
+    "lint_vp_claims",
+    "lint_vp_stats",
+    "lint_did_histogram",
+    "audit_realistic_run",
+    "audit_ideal_run",
+    "verified_simulations",
+    "invariants_checked",
+]

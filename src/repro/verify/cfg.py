@@ -1,0 +1,177 @@
+"""Control-flow graph over the static code of a :class:`Program`.
+
+Basic blocks are maximal straight-line runs of instructions; edges
+follow the ISA's control semantics. Indirect jumps (``jr``/``jalr``)
+have statically unknown targets, so they get conservative edges to
+every plausible indirect target: all labelled addresses plus every
+return point (the instruction after a ``jal``/``jalr``). That keeps the
+dataflow passes sound (no spurious "undefined register" errors) while
+still letting reachability find genuinely dead code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Set
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.program import CODE_BASE, WORD_SIZE, Program
+
+
+@dataclass
+class BasicBlock:
+    """Instructions ``[start, end)`` with block-index successor edges."""
+
+    index: int
+    start: int
+    end: int
+    successors: List[int] = field(default_factory=list)
+    predecessors: List[int] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return self.end - self.start
+
+    def instructions(self, program: Program) -> List[Instruction]:
+        return program.instructions[self.start:self.end]
+
+
+def _target_index(program: Program, address: int) -> int:
+    """Static index of a direct target, or -1 when out of range/unaligned."""
+    offset = address - CODE_BASE
+    if offset % WORD_SIZE or not 0 <= offset < len(program) * WORD_SIZE:
+        return -1
+    return offset // WORD_SIZE
+
+
+def indirect_target_indices(program: Program) -> Set[int]:
+    """Conservative candidate targets of ``jr``/``jalr``.
+
+    Labelled addresses cover computed jumps through jump tables; return
+    points (instruction after a call) cover function returns.
+    """
+    targets: Set[int] = set()
+    for address in program.labels.values():
+        index = _target_index(program, address)
+        if index >= 0:
+            targets.add(index)
+    for i, instr in enumerate(program.instructions):
+        if instr.op in (Opcode.JAL, Opcode.JALR) and i + 1 < len(program):
+            targets.add(i + 1)
+    return targets
+
+
+class ControlFlowGraph:
+    """Basic blocks, edges and entry-reachability of a program."""
+
+    def __init__(self, program: Program):
+        self.program = program
+        self.entry_index = program.index_of(program.entry)
+        self.blocks: List[BasicBlock] = []
+        self.block_of: List[int] = []  # instruction index -> block index
+        self._build()
+        self.reachable: FrozenSet[int] = self._reachable_blocks()
+
+    # -- construction ------------------------------------------------------
+
+    def _build(self) -> None:
+        program = self.program
+        instructions = program.instructions
+        n = len(instructions)
+        indirect = indirect_target_indices(program)
+
+        leaders: Set[int] = {0, self.entry_index}
+        leaders.update(indirect)
+        for i, instr in enumerate(instructions):
+            if not instr.is_control:
+                continue
+            if i + 1 < n:
+                leaders.add(i + 1)
+            if instr.imm is not None and instr.op is not Opcode.HALT:
+                target = _target_index(program, instr.imm)
+                if target >= 0:
+                    leaders.add(target)
+
+        starts = sorted(leaders)
+        bounds = starts + [n]
+        self.block_of = [0] * n
+        for b, start in enumerate(starts):
+            block = BasicBlock(index=b, start=start, end=bounds[b + 1])
+            self.blocks.append(block)
+            for i in range(block.start, block.end):
+                self.block_of[i] = b
+
+        indirect_blocks = sorted({self.block_of[i] for i in indirect})
+        for block in self.blocks:
+            last = instructions[block.end - 1]
+            succs: List[int] = []
+            if last.is_branch:
+                if block.end < n:
+                    succs.append(self.block_of[block.end])
+                target = _target_index(program, last.imm)
+                if target >= 0:
+                    succs.append(self.block_of[target])
+            elif last.op in (Opcode.J, Opcode.JAL):
+                target = _target_index(program, last.imm)
+                if target >= 0:
+                    succs.append(self.block_of[target])
+            elif last.op in (Opcode.JR, Opcode.JALR):
+                succs.extend(indirect_blocks)
+            elif last.op is Opcode.HALT:
+                pass
+            elif block.end < n:
+                succs.append(self.block_of[block.end])
+            block.successors = sorted(set(succs))
+            for succ in block.successors:
+                self.blocks[succ].predecessors.append(block.index)
+
+    def _reachable_blocks(self) -> FrozenSet[int]:
+        entry = self.block_of[self.entry_index]
+        seen: Set[int] = set()
+        stack = [entry]
+        while stack:
+            b = stack.pop()
+            if b in seen:
+                continue
+            seen.add(b)
+            stack.extend(self.blocks[b].successors)
+        return frozenset(seen)
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def entry_block(self) -> BasicBlock:
+        return self.blocks[self.block_of[self.entry_index]]
+
+    def unreachable_blocks(self) -> List[BasicBlock]:
+        return [b for b in self.blocks if b.index not in self.reachable]
+
+    def reachable_instruction_indices(self) -> List[int]:
+        indices: List[int] = []
+        for b in sorted(self.reachable):
+            block = self.blocks[b]
+            indices.extend(range(block.start, block.end))
+        return indices
+
+    def to_dot(self) -> str:  # pragma: no cover - debugging aid
+        lines = [f'digraph "{self.program.name}" {{']
+        for block in self.blocks:
+            shape = "box" if block.index in self.reachable else "ellipse"
+            lines.append(
+                f'  b{block.index} [label="[{block.start},{block.end})" '
+                f"shape={shape}];"
+            )
+            for succ in block.successors:
+                lines.append(f"  b{block.index} -> b{succ};")
+        lines.append("}")
+        return "\n".join(lines)
+
+
+def build_cfg(program: Program) -> ControlFlowGraph:
+    """Construct the CFG of ``program``."""
+    return ControlFlowGraph(program)
+
+
+def successors_map(cfg: ControlFlowGraph) -> Dict[int, List[int]]:
+    """Block index -> successor block indices (a plain-dict view)."""
+    return {block.index: list(block.successors) for block in cfg.blocks}

@@ -1,0 +1,80 @@
+"""Checked simulation mode: self-auditing timing runs.
+
+:func:`verified_simulations` installs post-run hooks into both timing
+cores so every :func:`~repro.core.realistic.simulate_realistic` and
+:func:`~repro.core.ideal.simulate_ideal` call inside the ``with`` block
+is linted against the paper's machine invariants
+(:mod:`repro.verify.invariants`). A finding at or above ``fail_on``
+raises :class:`~repro.errors.VerificationError` with the offending
+report attached; pass ``collect`` to also keep every report.
+
+The hooks nest and restore cleanly, so the experiment runner's
+``--verify-invariants`` flag and pytest's ``--verify-invariants``
+option can be combined.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, List, Optional
+
+from repro.errors import VerificationError
+from repro.verify.diagnostics import FAIL_ON_CHOICES, Report
+from repro.verify.invariants import audit_ideal_run, audit_realistic_run
+
+
+def _require_fail_on(fail_on: str) -> None:
+    if fail_on not in FAIL_ON_CHOICES:
+        raise ValueError(
+            f"fail_on must be one of {FAIL_ON_CHOICES}, got {fail_on!r}"
+        )
+
+
+@contextmanager
+def verified_simulations(
+    fail_on: str = "error",
+    collect: Optional[List[Report]] = None,
+) -> Iterator[List[Report]]:
+    """Audit every timing-core run inside the block.
+
+    Yields the list the reports accumulate into (``collect`` if given,
+    else a fresh list). With ``fail_on="never"`` nothing raises and the
+    caller inspects the collected reports instead.
+    """
+    _require_fail_on(fail_on)
+    from repro.core import ideal, realistic
+
+    reports: List[Report] = collect if collect is not None else []
+
+    def handle(report: Report) -> None:
+        reports.append(report)
+        if report.fails(fail_on):
+            raise VerificationError(
+                f"simulation invariants violated:\n{report.format()}",
+                report=report,
+            )
+
+    def on_realistic(audit) -> None:
+        handle(audit_realistic_run(audit))
+
+    def on_ideal(audit) -> None:
+        handle(audit_ideal_run(audit))
+
+    saved_realistic = realistic.INVARIANT_HOOK
+    saved_ideal = ideal.INVARIANT_HOOK
+    realistic.INVARIANT_HOOK = on_realistic
+    ideal.INVARIANT_HOOK = on_ideal
+    try:
+        yield reports
+    finally:
+        realistic.INVARIANT_HOOK = saved_realistic
+        ideal.INVARIANT_HOOK = saved_ideal
+
+
+def invariants_checked() -> bool:
+    """True when some checked-mode hook is currently installed."""
+    from repro.core import ideal, realistic
+
+    return (
+        realistic.INVARIANT_HOOK is not None or ideal.INVARIANT_HOOK is not None
+    )

@@ -1,0 +1,182 @@
+"""``repro-lint`` — static program verification and simulation linting.
+
+Subcommands::
+
+    repro-lint program <workload|all>     # static verifier over a kernel
+    repro-lint run <workload> [--fetch seq|cb|tc] [--max-taken N] ...
+                                          # checked simulation + artifact lints
+
+Both support ``--json`` (machine-readable diagnostics on stdout) and
+``--fail-on {error,warning,info,never}`` (the severity at which findings
+make the exit status nonzero; default ``error``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bpred import PerfectBranchPredictor, TwoLevelBTB
+from repro.core import RealisticConfig, simulate_realistic
+from repro.dfg import DIDHistogram, build_dfg
+from repro.fetch import (
+    CollapsingBufferFetchEngine,
+    SequentialFetchEngine,
+    TraceCacheFetchEngine,
+)
+from repro.verify.checked import verified_simulations
+from repro.verify.diagnostics import FAIL_ON_CHOICES, Report, reports_to_json
+from repro.verify.invariants import lint_did_histogram, lint_fetch_plan
+from repro.verify.program import verify_program
+from repro.vphw import AbstractVPUnit
+from repro.vpred import make_predictor
+from repro.workloads import WORKLOAD_NAMES, build_workload, generate_trace
+
+
+def _parse_max_taken(text: str) -> Optional[int]:
+    if text.lower() in ("unlimited", "none"):
+        return None
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--max-taken expects an integer or 'unlimited', got {text!r}"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError("--max-taken must be >= 1")
+    return value
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Statically verify repro workloads and lint "
+        "simulation artifacts against the paper's machine invariants.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(command: argparse.ArgumentParser) -> None:
+        command.add_argument("--seed", type=int, default=0)
+        command.add_argument(
+            "--json", action="store_true",
+            help="emit diagnostics as JSON on stdout",
+        )
+        command.add_argument(
+            "--fail-on", choices=FAIL_ON_CHOICES, default="error",
+            help="severity at which findings fail the run (default error)",
+        )
+
+    program = sub.add_parser(
+        "program", help="run the static verifier over a workload kernel"
+    )
+    program.add_argument("workload", choices=WORKLOAD_NAMES + ["all"])
+    common(program)
+
+    run = sub.add_parser(
+        "run", help="simulate a workload in checked mode and lint the artifacts"
+    )
+    run.add_argument("workload", choices=WORKLOAD_NAMES)
+    run.add_argument("--length", type=int, default=10_000)
+    run.add_argument(
+        "--fetch", choices=("seq", "cb", "tc"), default="seq",
+        help="fetch engine: sequential, collapsing buffer, trace cache",
+    )
+    run.add_argument(
+        "--width", type=int, default=40, help="sequential fetch width"
+    )
+    run.add_argument(
+        "--max-taken", type=_parse_max_taken, default=1, metavar="N",
+        help="taken-branch cap per cycle (or 'unlimited')",
+    )
+    run.add_argument(
+        "--bpred", choices=("perfect", "btb"), default="perfect",
+        help="branch predictor (default perfect)",
+    )
+    run.add_argument(
+        "--no-vp", action="store_true", help="lint the baseline run only"
+    )
+    common(run)
+    return parser
+
+
+def _emit(reports: List[Report], as_json: bool) -> None:
+    if as_json:
+        print(reports_to_json(reports))
+    else:
+        for report in reports:
+            print(report.format())
+
+
+def _exit_code(reports: List[Report], fail_on: str) -> int:
+    return 1 if any(report.fails(fail_on) for report in reports) else 0
+
+
+def _cmd_program(args) -> int:
+    names = WORKLOAD_NAMES if args.workload == "all" else [args.workload]
+    reports = [
+        verify_program(build_workload(name, seed=args.seed)) for name in names
+    ]
+    _emit(reports, args.json)
+    return _exit_code(reports, args.fail_on)
+
+
+def _make_engine(args):
+    if args.fetch == "seq":
+        return SequentialFetchEngine(width=args.width, max_taken=args.max_taken)
+    if args.fetch == "cb":
+        return CollapsingBufferFetchEngine()
+    return TraceCacheFetchEngine()
+
+
+def _cmd_run(args) -> int:
+    trace = generate_trace(args.workload, length=args.length, seed=args.seed)
+    engine = _make_engine(args)
+    bpred = PerfectBranchPredictor() if args.bpred == "perfect" else TwoLevelBTB()
+    config = RealisticConfig()
+    plan = engine.plan(trace, bpred)
+
+    reports: List[Report] = []
+    plan_report = Report(
+        subject=f"fetch plan ({args.fetch}) for {args.workload!r}"
+    )
+    # The sequential engine's caps are knowable here, so lint them too —
+    # the in-run audit can only check engine-agnostic invariants.
+    width = args.width if args.fetch == "seq" else None
+    max_taken = args.max_taken if args.fetch == "seq" else None
+    plan_report.extend(
+        lint_fetch_plan(plan, trace, width=width, max_taken=max_taken)
+    )
+    reports.append(plan_report)
+
+    with verified_simulations(fail_on="never", collect=reports):
+        simulate_realistic(
+            trace, engine, bpred, vp_unit=None, config=config, plan=plan
+        )
+        if not args.no_vp:
+            simulate_realistic(
+                trace, engine, bpred,
+                vp_unit=AbstractVPUnit(make_predictor()),
+                config=config, plan=plan,
+            )
+
+    did_report = Report(subject=f"DID histogram for {args.workload!r}")
+    graph = build_dfg(trace)
+    did_report.extend(
+        lint_did_histogram(DIDHistogram.from_graph(graph), graph)
+    )
+    reports.append(did_report)
+
+    _emit(reports, args.json)
+    return _exit_code(reports, args.fail_on)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "program":
+        return _cmd_program(args)
+    return _cmd_run(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,168 @@
+"""Shared diagnostics model of the verifier and the invariant linter.
+
+Every check in :mod:`repro.verify` reports through this layer: a
+:class:`Diagnostic` names the check that fired, a severity, a message
+and (where applicable) the static instruction index or dynamic sequence
+number it anchors to. A :class:`Report` aggregates the diagnostics of
+one verified subject and renders them for humans (:meth:`Report.format`)
+or machines (:meth:`Report.to_json`).
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    ``ERROR`` means the subject violates a hard rule (a malformed
+    program, a broken machine invariant); ``WARNING`` flags suspicious
+    but legal constructs; ``INFO`` is advisory.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        return _RANKS[self]
+
+    def at_least(self, other: "Severity") -> bool:
+        return self.rank >= other.rank
+
+
+_RANKS = {Severity.INFO: 0, Severity.WARNING: 1, Severity.ERROR: 2}
+
+# ``--fail-on`` vocabulary: the threshold at which findings fail a run.
+FAIL_ON_CHOICES = ("error", "warning", "info", "never")
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of one check.
+
+    ``index`` locates the finding in static code (instruction index into
+    ``Program.instructions``); ``seq`` locates it in a dynamic trace
+    (record sequence number). Either or both may be None for
+    whole-artifact findings.
+    """
+
+    severity: Severity
+    check: str
+    message: str
+    index: Optional[int] = None
+    seq: Optional[int] = None
+
+    @property
+    def location(self) -> str:
+        if self.index is not None:
+            return f"instr {self.index}"
+        if self.seq is not None:
+            return f"seq {self.seq}"
+        return "-"
+
+    def format(self) -> str:
+        return f"{self.severity.value}[{self.check}] {self.location}: {self.message}"
+
+    def to_json(self) -> Dict:
+        payload: Dict = {
+            "severity": self.severity.value,
+            "check": self.check,
+            "message": self.message,
+        }
+        if self.index is not None:
+            payload["index"] = self.index
+        if self.seq is not None:
+            payload["seq"] = self.seq
+        return payload
+
+
+@dataclass
+class Report:
+    """All diagnostics produced for one verified subject."""
+
+    subject: str
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    def add(
+        self,
+        severity: Severity,
+        check: str,
+        message: str,
+        index: Optional[int] = None,
+        seq: Optional[int] = None,
+    ) -> None:
+        self.diagnostics.append(Diagnostic(severity, check, message, index, seq))
+
+    def error(self, check: str, message: str, **where) -> None:
+        self.add(Severity.ERROR, check, message, **where)
+
+    def warning(self, check: str, message: str, **where) -> None:
+        self.add(Severity.WARNING, check, message, **where)
+
+    def info(self, check: str, message: str, **where) -> None:
+        self.add(Severity.INFO, check, message, **where)
+
+    def extend(self, diagnostics: List[Diagnostic]) -> None:
+        self.diagnostics.extend(diagnostics)
+
+    # -- aggregation -------------------------------------------------------
+
+    def count(self, severity: Severity) -> int:
+        return sum(1 for d in self.diagnostics if d.severity is severity)
+
+    @property
+    def n_errors(self) -> int:
+        return self.count(Severity.ERROR)
+
+    @property
+    def n_warnings(self) -> int:
+        return self.count(Severity.WARNING)
+
+    @property
+    def ok(self) -> bool:
+        """True when the subject has no errors (warnings allowed)."""
+        return self.n_errors == 0
+
+    def fails(self, fail_on: str) -> bool:
+        """Whether this report fails under a ``--fail-on`` threshold."""
+        if fail_on not in FAIL_ON_CHOICES:
+            raise ValueError(
+                f"fail_on must be one of {FAIL_ON_CHOICES}, got {fail_on!r}"
+            )
+        if fail_on == "never":
+            return False
+        threshold = Severity(fail_on)
+        return any(d.severity.at_least(threshold) for d in self.diagnostics)
+
+    # -- rendering ---------------------------------------------------------
+
+    def summary(self) -> str:
+        return (
+            f"{self.subject}: {self.n_errors} error(s), "
+            f"{self.n_warnings} warning(s)"
+        )
+
+    def format(self) -> str:
+        lines = [self.summary()]
+        for diagnostic in self.diagnostics:
+            lines.append("  " + diagnostic.format())
+        return "\n".join(lines)
+
+    def to_json(self) -> Dict:
+        return {
+            "subject": self.subject,
+            "errors": self.n_errors,
+            "warnings": self.n_warnings,
+            "diagnostics": [d.to_json() for d in self.diagnostics],
+        }
+
+
+def reports_to_json(reports: List[Report]) -> str:
+    """Serialize several reports as one JSON document."""
+    return json.dumps({"reports": [r.to_json() for r in reports]}, indent=2)

@@ -1,0 +1,353 @@
+"""Simulation-invariant linting (the ``repro-lint run`` pass).
+
+These checks validate runtime artifacts against the paper's machine
+invariants:
+
+* ``fetch-partition`` / ``fetch-width`` / ``fetch-taken-cap`` /
+  ``fetch-mispredict`` — a :class:`FetchPlan` exactly partitions the
+  trace, every block respects the engine's width and taken-branch caps,
+  and misprediction markers point at control instructions inside their
+  block.
+* ``commit-monotone`` / ``commit-order`` / ``dependence-order`` /
+  ``result-consistency`` — a timing schedule commits in order, never
+  commits before execution completes, never executes a consumer before
+  its dependences resolve (accounting for correct/incorrect value
+  predictions and selective reissue), and agrees with the
+  :class:`SimulationResult` it produced.
+* ``vp-claims`` / ``vp-stats`` — a VP unit only claims predictions for
+  value-producing slots, and its counters are mutually consistent.
+* ``did-consistency`` — a DID histogram agrees with the dependence
+  graph it summarizes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.dfg.did import DIDHistogram
+from repro.dfg.graph import DependenceGraph
+from repro.fetch.base import FetchPlan
+from repro.trace.trace import Trace
+from repro.verify.diagnostics import Diagnostic, Report, Severity
+
+
+def _diag(
+    severity: Severity, check: str, message: str, seq: Optional[int] = None
+) -> Diagnostic:
+    return Diagnostic(severity=severity, check=check, message=message, seq=seq)
+
+
+# -- fetch plans -----------------------------------------------------------
+
+
+def lint_fetch_plan(
+    plan: FetchPlan,
+    trace: Trace,
+    width: Optional[int] = None,
+    max_taken: Optional[int] = None,
+) -> List[Diagnostic]:
+    """Check that ``plan`` is a legal fetch schedule for ``trace``.
+
+    ``width`` and ``max_taken`` enable the engine-specific cap checks;
+    leave them None for engines (trace cache, collapsing buffer) whose
+    block bounds are not a simple width/taken pair.
+    """
+    findings: List[Diagnostic] = []
+    records = trace.records
+    n = len(records)
+    cursor = 0
+    for b, block in enumerate(plan):
+        if block.length < 1:
+            findings.append(_diag(
+                Severity.ERROR, "fetch-partition",
+                f"block {b} is empty (start {block.start})", seq=block.start,
+            ))
+        if block.start != cursor:
+            findings.append(_diag(
+                Severity.ERROR, "fetch-partition",
+                f"block {b} starts at {block.start}, expected {cursor}: "
+                f"blocks must tile the trace contiguously", seq=block.start,
+            ))
+        cursor = max(cursor, block.end)
+        if block.end > n:
+            findings.append(_diag(
+                Severity.ERROR, "fetch-partition",
+                f"block {b} ends at {block.end}, past the trace "
+                f"({n} records)", seq=block.start,
+            ))
+            continue
+        if width is not None and block.length > width:
+            findings.append(_diag(
+                Severity.ERROR, "fetch-width",
+                f"block {b} fetches {block.length} instructions, over "
+                f"the width cap of {width}", seq=block.start,
+            ))
+        if max_taken is not None:
+            taken = 0
+            for i in range(block.start, block.end):
+                if records[i].redirects_fetch:
+                    taken += 1
+                    if taken >= max_taken and i != block.end - 1:
+                        findings.append(_diag(
+                            Severity.ERROR, "fetch-taken-cap",
+                            f"block {b} continues fetching past taken "
+                            f"transfer #{max_taken} at seq {i}", seq=i,
+                        ))
+                        break
+        if block.mispredict_seq is not None:
+            seq = block.mispredict_seq
+            if not block.start <= seq < block.end:
+                findings.append(_diag(
+                    Severity.ERROR, "fetch-mispredict",
+                    f"block {b} marks mispredict at seq {seq}, outside "
+                    f"[{block.start}, {block.end})", seq=seq,
+                ))
+            elif not records[seq].is_control:
+                findings.append(_diag(
+                    Severity.ERROR, "fetch-mispredict",
+                    f"mispredict marker at seq {seq} is a "
+                    f"{records[seq].op.value}, not a control instruction",
+                    seq=seq,
+                ))
+    if cursor != n:
+        findings.append(_diag(
+            Severity.ERROR, "fetch-partition",
+            f"plan covers {cursor} of {n} trace records",
+        ))
+    return findings
+
+
+# -- timing schedules ------------------------------------------------------
+
+
+def lint_schedule(
+    trace: Trace,
+    exec_done: Sequence[int],
+    commit: Sequence[int],
+    attempted: Optional[Sequence[bool]] = None,
+    correct: Optional[Sequence[bool]] = None,
+    value_penalty: int = 0,
+    memory_dependencies: bool = True,
+) -> List[Diagnostic]:
+    """Check a per-instruction timing schedule against the dataflow.
+
+    ``exec_done[i]``/``commit[i]`` are the cycles instruction ``i``
+    finished executing / committed. ``attempted``/``correct`` describe
+    the value-prediction plan the run used: a consumer of a correctly
+    predicted value escapes the dependence; one that consumed a wrong
+    prediction is selectively reissued ``value_penalty`` cycles after
+    the producer executes.
+    """
+    findings: List[Diagnostic] = []
+    records = trace.records
+    n = len(records)
+    if len(exec_done) != n or len(commit) != n:
+        findings.append(_diag(
+            Severity.ERROR, "result-consistency",
+            f"schedule arrays cover {len(exec_done)}/{len(commit)} of "
+            f"{n} records",
+        ))
+        return findings
+
+    last_write: Dict[int, int] = {}
+    last_store: Dict[int, int] = {}
+    prev_commit = 0
+    for i, record in enumerate(records):
+        if commit[i] < prev_commit:
+            findings.append(_diag(
+                Severity.ERROR, "commit-monotone",
+                f"commit[{i}]={commit[i]} precedes commit[{i-1}]="
+                f"{prev_commit}: in-order commit violated", seq=i,
+            ))
+        prev_commit = commit[i]
+        if commit[i] < exec_done[i]:
+            findings.append(_diag(
+                Severity.ERROR, "commit-order",
+                f"commit[{i}]={commit[i]} precedes its own execute "
+                f"completion {exec_done[i]}", seq=i,
+            ))
+        for src in record.srcs:
+            producer = last_write.get(src)
+            if producer is None:
+                continue
+            if attempted is not None and attempted[producer]:
+                if correct is not None and correct[producer]:
+                    continue  # dependence eliminated by a correct prediction
+                ready = exec_done[producer] + value_penalty
+            else:
+                ready = exec_done[producer]
+            if exec_done[i] < ready + 1:
+                findings.append(_diag(
+                    Severity.ERROR, "dependence-order",
+                    f"seq {i} finished executing at {exec_done[i]} but "
+                    f"its r{src} producer (seq {producer}) was only "
+                    f"resolved at {ready}", seq=i,
+                ))
+        if (
+            memory_dependencies
+            and record.is_load
+            and record.mem_addr is not None
+        ):
+            producer = last_store.get(record.mem_addr)
+            if producer is not None and exec_done[i] < exec_done[producer] + 1:
+                findings.append(_diag(
+                    Severity.ERROR, "dependence-order",
+                    f"load at seq {i} executed at {exec_done[i]}, before "
+                    f"the store it depends on (seq {producer}, done "
+                    f"{exec_done[producer]})", seq=i,
+                ))
+        if record.dest is not None:
+            last_write[record.dest] = i
+        if memory_dependencies and record.is_store and record.mem_addr is not None:
+            last_store[record.mem_addr] = i
+    return findings
+
+
+def lint_result(
+    trace: Trace, commit: Sequence[int], n_instructions: int, cycles: int
+) -> List[Diagnostic]:
+    """Check a :class:`SimulationResult` against its schedule."""
+    findings: List[Diagnostic] = []
+    if n_instructions != len(trace):
+        findings.append(_diag(
+            Severity.ERROR, "result-consistency",
+            f"result reports {n_instructions} instructions for a "
+            f"{len(trace)}-record trace",
+        ))
+    final = commit[-1] if len(commit) else 0
+    if cycles != final:
+        findings.append(_diag(
+            Severity.ERROR, "result-consistency",
+            f"result reports {cycles} cycles but the last commit is at "
+            f"{final}",
+        ))
+    return findings
+
+
+# -- value prediction ------------------------------------------------------
+
+
+def lint_vp_claims(
+    trace: Trace, attempted: Sequence[bool]
+) -> List[Diagnostic]:
+    """A VP unit may only claim slots that produce a register value."""
+    findings: List[Diagnostic] = []
+    records = trace.records
+    if len(attempted) != len(records):
+        findings.append(_diag(
+            Severity.ERROR, "vp-claims",
+            f"attempted[] covers {len(attempted)} of {len(records)} records",
+        ))
+        return findings
+    for i, record in enumerate(records):
+        if attempted[i] and record.dest is None:
+            findings.append(_diag(
+                Severity.ERROR, "vp-claims",
+                f"prediction claimed for seq {i} ({record.op.value}), "
+                f"which produces no register value", seq=i,
+            ))
+    return findings
+
+
+def lint_vp_stats(stats) -> List[Diagnostic]:
+    """Mutual consistency of :class:`~repro.vphw.unit.VPUnitStats`."""
+    findings: List[Diagnostic] = []
+
+    def check(condition: bool, message: str) -> None:
+        if not condition:
+            findings.append(_diag(Severity.ERROR, "vp-stats", message))
+
+    check(stats.correct <= stats.predictions,
+          f"correct ({stats.correct}) exceeds predictions "
+          f"({stats.predictions})")
+    check(stats.predictions <= stats.requests,
+          f"predictions ({stats.predictions}) exceed requests "
+          f"({stats.requests})")
+    check(stats.requests <= stats.candidates,
+          f"requests ({stats.requests}) exceed candidate slots "
+          f"({stats.candidates})")
+    check(stats.denied <= stats.requests,
+          f"denied ({stats.denied}) exceeds requests ({stats.requests})")
+    check(stats.predictions + stats.denied <= stats.requests + stats.merged,
+          f"predictions+denied ({stats.predictions + stats.denied}) "
+          f"exceed requests+merged ({stats.requests + stats.merged})")
+    return findings
+
+
+# -- DID histograms --------------------------------------------------------
+
+
+def lint_did_histogram(
+    histogram: DIDHistogram, graph: DependenceGraph
+) -> List[Diagnostic]:
+    """A DID histogram must be a recount of the graph's arcs."""
+    findings: List[Diagnostic] = []
+    if histogram.total != graph.n_arcs:
+        findings.append(_diag(
+            Severity.ERROR, "did-consistency",
+            f"histogram totals {histogram.total} arcs, graph has "
+            f"{graph.n_arcs}",
+        ))
+    recounted = DIDHistogram.from_graph(graph, histogram.bin_edges)
+    if recounted.counts != list(histogram.counts):
+        findings.append(_diag(
+            Severity.ERROR, "did-consistency",
+            f"histogram bins {list(histogram.counts)} disagree with a "
+            f"recount {recounted.counts} of the dependence graph",
+        ))
+    if sum(histogram.counts) != histogram.total:
+        findings.append(_diag(
+            Severity.ERROR, "did-consistency",
+            f"bin counts sum to {sum(histogram.counts)}, not the stated "
+            f"total {histogram.total}",
+        ))
+    return findings
+
+
+# -- whole-run audits ------------------------------------------------------
+
+
+def audit_realistic_run(audit) -> Report:
+    """Lint one realistic-machine run (a ``RealisticRunAudit`` payload)."""
+    report = Report(subject=f"run {audit.result.name} on {audit.trace.name!r}")
+    report.extend(lint_fetch_plan(audit.plan, audit.trace))
+    report.extend(lint_schedule(
+        audit.trace,
+        audit.exec_done,
+        audit.commit,
+        attempted=audit.attempted,
+        correct=audit.correct,
+        value_penalty=audit.config.value_penalty,
+        memory_dependencies=audit.config.memory_dependencies,
+    ))
+    report.extend(lint_result(
+        audit.trace, audit.commit,
+        audit.result.n_instructions, audit.result.cycles,
+    ))
+    report.extend(lint_vp_claims(audit.trace, audit.attempted))
+    if audit.vp_unit is not None:
+        report.extend(lint_vp_stats(audit.vp_unit.stats))
+    return report
+
+
+def audit_ideal_run(audit) -> Report:
+    """Lint one ideal-machine run (an ``IdealRunAudit`` payload)."""
+    report = Report(subject=f"run {audit.result.name} on {audit.trace.name!r}")
+    attempted = audit.attempted
+    correct = audit.correct
+    report.extend(lint_schedule(
+        audit.trace,
+        audit.exec_done,
+        audit.commit,
+        attempted=attempted,
+        correct=correct,
+        value_penalty=audit.config.value_penalty,
+        memory_dependencies=audit.config.memory_dependencies,
+    ))
+    report.extend(lint_result(
+        audit.trace, audit.commit,
+        audit.result.n_instructions, audit.result.cycles,
+    ))
+    if attempted is not None:
+        report.extend(lint_vp_claims(audit.trace, attempted))
+    return report

@@ -1,0 +1,292 @@
+"""Static program verification (the ``repro-lint program`` pass).
+
+Checks, over the CFG of :mod:`repro.verify.cfg`:
+
+* ``operand-shape`` — operand presence matches the opcode's shape.
+* ``branch-target`` / ``jump-target`` — direct control-transfer targets
+  are word-aligned and inside the code segment.
+* ``shift-range`` — shift immediates outside 0..63 (the machine masks
+  them, so this is a warning, not an error).
+* ``use-before-def`` — reaching definitions: reading a register no
+  definition can reach is an error ("read of a never-written
+  register"); a register defined on some but not all incoming paths is
+  a warning.
+* ``memory-segment`` — loads/stores whose effective address is
+  statically known (absolute, or relative to a global single-``li``
+  constant such as the ``gp`` data pointer) must be word-aligned and
+  inside the DATA/STACK region.
+* ``unreachable-code`` — blocks no path from the entry reaches.
+* ``fallthrough-exit`` — control can run past the last instruction of
+  the code segment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.isa.assembler import disassemble_instruction
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.program import CODE_BASE, DATA_BASE, STACK_BASE, WORD_SIZE, Program
+from repro.isa.registers import NUM_REGS, register_name
+from repro.errors import ProgramError
+from repro.verify.cfg import ControlFlowGraph, build_cfg
+from repro.verify.diagnostics import Report
+
+_SHIFT_IMMS = (Opcode.SLLI, Opcode.SRLI, Opcode.SRAI)
+_ALL_REGS_MASK = (1 << NUM_REGS) - 1
+
+# Registers the execution environment defines before the first
+# instruction: r0 is architecturally zero and sp is initialized to
+# STACK_BASE by funcsim.Machine.
+_ENTRY_DEFINED_MASK = (1 << 0) | (1 << 2)
+
+
+def verify_program(program: Program, cfg: Optional[ControlFlowGraph] = None) -> Report:
+    """Run every static check on ``program`` and return the report."""
+    report = Report(subject=f"program {program.name!r}")
+    _check_shapes(program.instructions, report)
+    _check_control_targets(program, report)
+    if cfg is None:
+        cfg = build_cfg(program)
+    _check_reachability(program, cfg, report)
+    _check_defs_before_uses(program, cfg, report)
+    _check_static_memory(program, cfg, report)
+    return report
+
+
+# -- per-instruction shape checks -----------------------------------------
+
+
+def _check_shapes(instructions: Sequence[Instruction], report: Report) -> None:
+    for i, instr in enumerate(instructions):
+        try:
+            instr.validate()
+        except ProgramError as exc:
+            report.error("operand-shape", str(exc), index=i)
+            continue
+        if instr.op in _SHIFT_IMMS and not 0 <= instr.imm <= 63:
+            report.warning(
+                "shift-range",
+                f"shift amount {instr.imm} is masked to {instr.imm & 63}",
+                index=i,
+            )
+
+
+def _check_control_targets(program: Program, report: Report) -> None:
+    code_end = CODE_BASE + len(program) * WORD_SIZE
+    for i, instr in enumerate(program.instructions):
+        if instr.op is Opcode.HALT or not instr.is_control:
+            continue
+        if instr.imm is None:  # indirect: target checked dynamically
+            continue
+        check = "branch-target" if instr.is_branch else "jump-target"
+        target = instr.imm
+        if target % WORD_SIZE:
+            report.error(
+                check,
+                f"target {target:#x} of '{disassemble_instruction(instr)}' "
+                f"is not word-aligned",
+                index=i,
+            )
+        elif not CODE_BASE <= target < code_end:
+            report.error(
+                check,
+                f"target {target:#x} of '{disassemble_instruction(instr)}' "
+                f"is outside the code segment "
+                f"[{CODE_BASE:#x}, {code_end:#x})",
+                index=i,
+            )
+
+
+# -- reachability ----------------------------------------------------------
+
+
+def _check_reachability(
+    program: Program, cfg: ControlFlowGraph, report: Report
+) -> None:
+    for block in cfg.unreachable_blocks():
+        report.warning(
+            "unreachable-code",
+            f"block of {len(block)} instruction(s) at indices "
+            f"[{block.start}, {block.end}) is unreachable from the entry",
+            index=block.start,
+        )
+    n = len(program)
+    for b in sorted(cfg.reachable):
+        block = cfg.blocks[b]
+        if block.end != n:
+            continue
+        last = program.instructions[block.end - 1]
+        # A trailing branch falls through past the end when not taken;
+        # any non-control trailing instruction always does.
+        falls_off = last.is_branch or not last.is_control
+        if falls_off:
+            report.error(
+                "fallthrough-exit",
+                "control can fall past the last instruction of the "
+                "code segment",
+                index=block.end - 1,
+            )
+
+
+# -- reaching definitions --------------------------------------------------
+
+
+def _check_defs_before_uses(
+    program: Program, cfg: ControlFlowGraph, report: Report
+) -> None:
+    """Must/may definedness dataflow over the CFG.
+
+    ``may[b]`` holds registers some path to block ``b`` defines;
+    ``must[b]`` holds registers every path defines. Writes within a
+    block are unconditional, so both transfer functions are
+    ``out = in | gen``; the analyses differ only in their meet.
+    """
+    instructions = program.instructions
+    blocks = cfg.blocks
+    entry = cfg.block_of[cfg.entry_index]
+
+    gen = [0] * len(blocks)
+    for block in blocks:
+        mask = 0
+        for i in range(block.start, block.end):
+            dest = instructions[i].destination_register()
+            if dest is not None:
+                mask |= 1 << dest
+        gen[block.index] = mask
+
+    may_in = [0] * len(blocks)
+    must_in = [_ALL_REGS_MASK] * len(blocks)
+    may_in[entry] = _ENTRY_DEFINED_MASK
+    must_in[entry] = _ENTRY_DEFINED_MASK
+
+    changed = True
+    while changed:
+        changed = False
+        for b in sorted(cfg.reachable):
+            block = blocks[b]
+            may = may_in[b]
+            must = must_in[b]
+            for pred in block.predecessors:
+                if pred not in cfg.reachable:
+                    continue
+                may |= may_in[pred] | gen[pred]
+                must &= must_in[pred] | gen[pred]
+            if b == entry:
+                may |= _ENTRY_DEFINED_MASK
+                must |= _ENTRY_DEFINED_MASK
+            if may != may_in[b] or must != must_in[b]:
+                may_in[b], must_in[b] = may, must
+                changed = True
+
+    for b in sorted(cfg.reachable):
+        block = blocks[b]
+        may = may_in[b]
+        must = must_in[b]
+        for i in range(block.start, block.end):
+            instr = instructions[i]
+            for src in instr.source_registers():
+                bit = 1 << src
+                if not may & bit:
+                    report.error(
+                        "use-before-def",
+                        f"'{disassemble_instruction(instr)}' reads "
+                        f"{register_name(src)}, which no instruction "
+                        f"writes on any path from the entry",
+                        index=i,
+                    )
+                elif not must & bit:
+                    report.warning(
+                        "use-before-def",
+                        f"'{disassemble_instruction(instr)}' reads "
+                        f"{register_name(src)}, which is undefined on "
+                        f"some paths from the entry",
+                        index=i,
+                    )
+            dest = instr.destination_register()
+            if dest is not None:
+                may |= 1 << dest
+                must |= 1 << dest
+
+
+# -- static memory addresses ----------------------------------------------
+
+
+def _global_li_constants(program: Program, cfg: ControlFlowGraph) -> Dict[int, int]:
+    """Registers written exactly once (reachable code), by an ``li``.
+
+    This captures the kernels' global-pointer idiom (``li gp,
+    DATA_BASE`` in a prologue): such a register holds one statically
+    known value everywhere a definition reaches, so address arithmetic
+    against it can be checked. Uses that precede the definition are
+    reported separately by the use-before-def pass.
+    """
+    writers: Dict[int, List[int]] = {}
+    for i in cfg.reachable_instruction_indices():
+        dest = program.instructions[i].destination_register()
+        if dest is not None:
+            writers.setdefault(dest, []).append(i)
+    constants: Dict[int, int] = {}
+    for reg, sites in writers.items():
+        if len(sites) == 1:
+            instr = program.instructions[sites[0]]
+            if instr.op is Opcode.LI:
+                constants[reg] = instr.imm
+    return constants
+
+
+def _check_static_memory(
+    program: Program, cfg: ControlFlowGraph, report: Report
+) -> None:
+    """Flag loads/stores with statically known out-of-segment addresses.
+
+    A light intra-block constant propagation (seeded with r0 and the
+    global single-``li`` constants) resolves addresses of the form
+    ``imm(base)``. Only fully resolved addresses are judged; anything
+    data-dependent is left to the functional simulator.
+    """
+    instructions = program.instructions
+    global_consts = _global_li_constants(program, cfg)
+
+    for b in sorted(cfg.reachable):
+        block = cfg.blocks[b]
+        known: Dict[int, int] = {0: 0}
+        for i in range(block.start, block.end):
+            instr = instructions[i]
+            if instr.op in (Opcode.LD, Opcode.ST):
+                base = instr.rs1
+                value = known.get(base, global_consts.get(base))
+                if value is not None:
+                    _judge_address(instr, i, value + instr.imm, report)
+            dest = instr.destination_register()
+            if dest is None:
+                continue
+            if instr.op is Opcode.LI:
+                known[dest] = instr.imm
+            elif instr.op is Opcode.ADDI and instr.rs1 in known:
+                known[dest] = known[instr.rs1] + instr.imm
+            elif instr.op is Opcode.MOV and instr.rs1 in known:
+                known[dest] = known[instr.rs1]
+            else:
+                known.pop(dest, None)
+
+
+def _judge_address(
+    instr: Instruction, index: int, address: int, report: Report
+) -> None:
+    rendered = disassemble_instruction(instr)
+    if address % WORD_SIZE or address < 0:
+        report.error(
+            "memory-segment",
+            f"'{rendered}' accesses misaligned or negative "
+            f"address {address:#x}",
+            index=index,
+        )
+    elif not DATA_BASE <= address <= STACK_BASE:
+        report.error(
+            "memory-segment",
+            f"'{rendered}' accesses {address:#x}, outside the "
+            f"DATA/STACK region [{DATA_BASE:#x}, {STACK_BASE:#x}]",
+            index=index,
+        )

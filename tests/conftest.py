@@ -10,6 +10,28 @@ from repro.workloads import WORKLOAD_NAMES, generate_trace
 TEST_TRACE_LENGTH = 4_000
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--verify-invariants",
+        action="store_true",
+        default=False,
+        help="lint every timing simulation run by the tests against the "
+        "paper's machine invariants (repro.verify checked mode)",
+    )
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _invariant_checked_mode(request):
+    """With ``--verify-invariants``, every simulation self-audits."""
+    if not request.config.getoption("--verify-invariants"):
+        yield
+        return
+    from repro.verify import verified_simulations
+
+    with verified_simulations():
+        yield
+
+
 @pytest.fixture(scope="session")
 def workload_traces_small():
     """One small trace per workload, computed once per test session."""

@@ -187,9 +187,11 @@ def test_ideal_machine_ipc_bounded_by_fetch_rate(config, rate, window):
 @given(config=synthetic_configs, rate=st.sampled_from([2, 4, 8]))
 def test_perfect_vp_never_slower(config, rate):
     trace = generate_synthetic_trace(config)
-    n = len(trace)
+    # A well-formed perfect plan: predictions only for value producers
+    # (the vp_plan contract keeps non-producers False/False).
+    produces = [record.dest is not None for record in trace]
     base = simulate_ideal(trace, IdealConfig(fetch_rate=rate))
     perfect = simulate_ideal(
-        trace, IdealConfig(fetch_rate=rate), vp_plan=([True] * n, [True] * n)
+        trace, IdealConfig(fetch_rate=rate), vp_plan=(produces, list(produces))
     )
     assert perfect.cycles <= base.cycles

@@ -33,6 +33,22 @@ def test_dump_to_stdout(capsys):
     assert out.startswith("#repro-trace:go")
 
 
+def test_dump_explicit_stdout_dash(capsys):
+    assert main(["dump", "perl", "--length", "120", "--output", "-"]) == 0
+    captured = capsys.readouterr()
+    assert captured.out.startswith("#repro-trace:perl")
+    # The "wrote N records" banner belongs to the file path only.
+    assert "wrote" not in captured.err
+
+
+def test_dump_to_file_reports_on_stderr(tmp_path, capsys):
+    path = tmp_path / "t.trace"
+    assert main(["dump", "ijpeg", "--length", "150", "-o", str(path)]) == 0
+    captured = capsys.readouterr()
+    assert captured.out == ""
+    assert "wrote 150 records" in captured.err
+
+
 def test_disasm_command(capsys):
     assert main(["disasm", "li"]) == 0
     out = capsys.readouterr().out
@@ -41,8 +57,18 @@ def test_disasm_command(capsys):
 
 
 def test_unknown_workload_rejected():
-    with pytest.raises(SystemExit):
-        main(["stats", "doom"])
+    # argparse rejects a bad workload choice with the usage exit code (2)
+    # for every subcommand that takes one.
+    for command in ("stats", "dump", "did", "disasm"):
+        with pytest.raises(SystemExit) as excinfo:
+            main([command, "doom"])
+        assert excinfo.value.code == 2
+
+
+def test_missing_subcommand_rejected():
+    with pytest.raises(SystemExit) as excinfo:
+        main([])
+    assert excinfo.value.code == 2
 
 
 def test_top_level_api():

@@ -1,0 +1,88 @@
+"""Tests for the repro-lint command-line interface."""
+
+import json
+
+import pytest
+
+from repro.isa import CODE_BASE, Instruction, Opcode, Program
+from repro.verify import cli
+
+
+def test_program_subcommand_clean_workload(capsys):
+    assert cli.main(["program", "compress"]) == 0
+    out = capsys.readouterr().out
+    assert "0 error(s)" in out
+
+
+def test_program_subcommand_all_workloads(capsys):
+    assert cli.main(["program", "all"]) == 0
+    out = capsys.readouterr().out
+    assert out.count("0 error(s)") == 8
+
+
+def test_program_json_output(capsys):
+    assert cli.main(["program", "li", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    [report] = payload["reports"]
+    assert report["subject"] == "program 'li'"
+    assert report["errors"] == 0
+
+
+def test_program_defect_reported_with_nonzero_exit(monkeypatch, capsys):
+    defective = Program("bad", [
+        Instruction(Opcode.LI, rd=4, imm=1),
+        Instruction(Opcode.ADD, rd=5, rs1=4, rs2=13),           # t1 unwritten
+        Instruction(Opcode.BEQ, rs1=4, rs2=5, imm=CODE_BASE + 2),  # unaligned
+        Instruction(Opcode.J, imm=CODE_BASE),
+    ])
+    monkeypatch.setattr(cli, "build_workload", lambda name, seed=0: defective)
+    assert cli.main(["program", "go", "--json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    [report] = payload["reports"]
+    checks = {d["check"]: d for d in report["diagnostics"]}
+    assert checks["branch-target"]["index"] == 2
+    assert checks["use-before-def"]["index"] == 1
+
+
+def test_fail_on_warning_threshold(monkeypatch, capsys):
+    warn_only = Program("warny", [
+        Instruction(Opcode.J, imm=CODE_BASE),
+        Instruction(Opcode.NOP),            # unreachable -> warning
+    ])
+    monkeypatch.setattr(cli, "build_workload", lambda name, seed=0: warn_only)
+    assert cli.main(["program", "go"]) == 0
+    capsys.readouterr()
+    assert cli.main(["program", "go", "--fail-on", "warning"]) == 1
+    assert cli.main(["program", "go", "--fail-on", "never"]) == 0
+
+
+def test_run_subcommand_sequential(capsys):
+    assert cli.main(["run", "compress", "--length", "1500"]) == 0
+    out = capsys.readouterr().out
+    assert "fetch plan (seq)" in out
+    assert "realistic(vp)" in out
+    assert "DID histogram" in out
+
+
+def test_run_subcommand_trace_cache_btb_json(capsys):
+    assert cli.main([
+        "run", "li", "--length", "1500", "--fetch", "tc", "--bpred", "btb",
+        "--max-taken", "unlimited", "--no-vp", "--json",
+    ]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    subjects = [r["subject"] for r in payload["reports"]]
+    assert any("fetch plan (tc)" in s for s in subjects)
+    assert not any("realistic(vp)" in s for s in subjects)
+    assert all(r["errors"] == 0 for r in payload["reports"])
+
+
+def test_bad_max_taken_rejected():
+    with pytest.raises(SystemExit) as excinfo:
+        cli.main(["run", "li", "--max-taken", "zero"])
+    assert excinfo.value.code == 2
+
+
+def test_unknown_workload_rejected():
+    with pytest.raises(SystemExit) as excinfo:
+        cli.main(["program", "doom"])
+    assert excinfo.value.code == 2

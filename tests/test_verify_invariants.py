@@ -1,0 +1,274 @@
+"""Tests for the simulation-invariant linter and checked mode."""
+
+import copy
+
+import pytest
+
+from repro.bpred import PerfectBranchPredictor
+from repro.core import RealisticConfig, simulate_ideal, simulate_realistic
+from repro.dfg import DIDHistogram, build_dfg
+from repro.errors import VerificationError
+from repro.fetch import SequentialFetchEngine
+from repro.fetch.base import FetchBlock, FetchPlan
+from repro.isa.opcodes import Opcode
+from repro.trace.record import DynInstr
+from repro.trace.trace import Trace
+from repro.verify import (
+    audit_realistic_run,
+    lint_did_histogram,
+    lint_fetch_plan,
+    lint_schedule,
+    lint_vp_claims,
+    lint_vp_stats,
+    invariants_checked,
+    verified_simulations,
+)
+from repro.vphw import AbstractVPUnit
+from repro.vphw.unit import VPUnitStats
+from repro.vpred import make_predictor
+
+
+def tiny_trace():
+    """li; add; beq(taken); li — a 4-record hand trace."""
+    records = [
+        DynInstr(seq=0, pc=0x1000, op=Opcode.LI, dest=4, value=1,
+                 next_pc=0x1004),
+        DynInstr(seq=1, pc=0x1004, op=Opcode.ADD, dest=5, srcs=(4,),
+                 value=2, next_pc=0x1008),
+        DynInstr(seq=2, pc=0x1008, op=Opcode.BEQ, srcs=(4, 5), taken=True,
+                 next_pc=0x1000),
+        DynInstr(seq=3, pc=0x1000, op=Opcode.LI, dest=4, value=1,
+                 next_pc=0x1004),
+    ]
+    return Trace(records, name="tiny")
+
+
+def checks_of(findings):
+    return sorted({d.check for d in findings})
+
+
+# -- fetch-plan lints ------------------------------------------------------
+
+
+def test_valid_plan_is_clean():
+    trace = tiny_trace()
+    plan = FetchPlan([FetchBlock(0, 3), FetchBlock(3, 1)])
+    assert lint_fetch_plan(plan, trace, width=4, max_taken=1) == []
+
+
+def test_gap_and_overlap_are_partition_errors():
+    trace = tiny_trace()
+    gap = FetchPlan([FetchBlock(0, 2), FetchBlock(3, 1)])
+    assert checks_of(lint_fetch_plan(gap, trace)) == ["fetch-partition"]
+    short = FetchPlan([FetchBlock(0, 2)])
+    assert checks_of(lint_fetch_plan(short, trace)) == ["fetch-partition"]
+
+
+def test_width_cap_violation():
+    trace = tiny_trace()
+    plan = FetchPlan([FetchBlock(0, 4)])
+    findings = lint_fetch_plan(plan, trace, width=2)
+    assert checks_of(findings) == ["fetch-width"]
+    assert findings[0].seq == 0
+
+
+def test_taken_cap_violation():
+    trace = tiny_trace()
+    # Seq 2 is a taken branch mid-block: fetch may not continue past it.
+    plan = FetchPlan([FetchBlock(0, 4)])
+    findings = lint_fetch_plan(plan, trace, width=40, max_taken=1)
+    assert checks_of(findings) == ["fetch-taken-cap"]
+    assert findings[0].seq == 2
+
+
+def test_taken_branch_ending_block_is_legal():
+    trace = tiny_trace()
+    plan = FetchPlan([FetchBlock(0, 3), FetchBlock(3, 1)])
+    assert lint_fetch_plan(plan, trace, width=40, max_taken=1) == []
+
+
+def test_mispredict_marker_checks():
+    trace = tiny_trace()
+    outside = FetchPlan([FetchBlock(0, 3, mispredict_seq=3), FetchBlock(3, 1)])
+    assert checks_of(lint_fetch_plan(outside, trace)) == ["fetch-mispredict"]
+    non_control = FetchPlan(
+        [FetchBlock(0, 3, mispredict_seq=1), FetchBlock(3, 1)]
+    )
+    assert checks_of(lint_fetch_plan(non_control, trace)) == ["fetch-mispredict"]
+    legal = FetchPlan([FetchBlock(0, 3, mispredict_seq=2), FetchBlock(3, 1)])
+    assert lint_fetch_plan(legal, trace) == []
+
+
+# -- schedule lints --------------------------------------------------------
+
+
+def test_schedule_lints_on_real_run_are_clean(workload_traces_small):
+    trace = workload_traces_small["compress"].prefix(800)
+    engine = SequentialFetchEngine(width=40, max_taken=1)
+    with verified_simulations(fail_on="never") as reports:
+        simulate_realistic(trace, engine, PerfectBranchPredictor(),
+                           vp_unit=AbstractVPUnit(make_predictor()))
+    assert reports and all(r.ok for r in reports)
+
+
+def test_commit_monotonicity_violation_detected():
+    trace = tiny_trace()
+    exec_done = [3, 4, 5, 3]
+    commit = [3, 4, 5, 4]  # drops below the previous commit
+    findings = lint_schedule(trace, exec_done, commit)
+    assert "commit-monotone" in checks_of(findings)
+
+
+def test_commit_before_execute_detected():
+    trace = tiny_trace()
+    findings = lint_schedule(trace, [3, 4, 5, 5], [3, 4, 5, 4])
+    assert "commit-order" in checks_of(findings)
+
+
+def test_dependence_violation_detected():
+    trace = tiny_trace()
+    # Seq 1 consumes r4 from seq 0 (done at 3) but "executes" at 3.
+    findings = lint_schedule(trace, [3, 3, 5, 5], [3, 4, 5, 5])
+    assert "dependence-order" in checks_of(findings)
+    assert any(d.seq == 1 for d in findings)
+
+
+def test_correct_prediction_excuses_dependence():
+    trace = tiny_trace()
+    attempted = [True, False, False, False]
+    correct = [True, False, False, False]
+    findings = lint_schedule(
+        trace, [3, 3, 5, 5], [3, 4, 5, 5],
+        attempted=attempted, correct=correct, value_penalty=1,
+    )
+    assert findings == []
+
+
+def test_wrong_prediction_requires_reissue_delay():
+    trace = tiny_trace()
+    attempted = [True, False, False, False]
+    correct = [False, False, False, False]
+    # Producer done at 3, penalty 1 -> consumer may finish at >= 5.
+    bad = lint_schedule(
+        trace, [3, 4, 6, 6], [3, 4, 6, 6],
+        attempted=attempted, correct=correct, value_penalty=1,
+    )
+    assert "dependence-order" in checks_of(bad)
+    good = lint_schedule(
+        trace, [3, 5, 7, 7], [3, 5, 7, 7],
+        attempted=attempted, correct=correct, value_penalty=1,
+    )
+    assert good == []
+
+
+# -- VP lints --------------------------------------------------------------
+
+
+def test_vp_claims_on_non_writer_detected():
+    trace = tiny_trace()
+    attempted = [False, False, True, False]  # seq 2 is a branch
+    findings = lint_vp_claims(trace, attempted)
+    assert checks_of(findings) == ["vp-claims"]
+    assert findings[0].seq == 2
+
+
+def test_vp_stats_consistency():
+    good = VPUnitStats(candidates=10, requests=8, denied=1, merged=0,
+                       predictions=5, correct=4)
+    assert lint_vp_stats(good) == []
+    bad = VPUnitStats(candidates=10, requests=8, denied=1, merged=0,
+                      predictions=9, correct=4)
+    assert checks_of(lint_vp_stats(bad)) == ["vp-stats"]
+
+
+# -- DID lints -------------------------------------------------------------
+
+
+def test_did_histogram_consistency(workload_traces_small):
+    trace = workload_traces_small["gcc"].prefix(1_000)
+    graph = build_dfg(trace)
+    histogram = DIDHistogram.from_graph(graph)
+    assert lint_did_histogram(histogram, graph) == []
+    tampered = copy.deepcopy(histogram)
+    tampered.counts[0] += 1
+    findings = lint_did_histogram(tampered, graph)
+    assert checks_of(findings) == ["did-consistency"]
+
+
+# -- checked mode ----------------------------------------------------------
+
+
+def test_verified_simulations_pass_on_clean_runs(workload_traces_small):
+    trace = workload_traces_small["li"].prefix(600)
+    # The suite may itself run under --verify-invariants; the context
+    # must restore whatever hook state it found.
+    was_checked = invariants_checked()
+    with verified_simulations() as reports:
+        assert invariants_checked()
+        simulate_ideal(trace)
+        simulate_realistic(
+            trace, SequentialFetchEngine(), PerfectBranchPredictor(),
+            vp_unit=AbstractVPUnit(make_predictor()),
+        )
+    assert invariants_checked() == was_checked
+    assert len(reports) == 2
+    assert all(r.ok for r in reports)
+
+
+def test_verified_simulations_raise_on_corrupt_audit(workload_traces_small):
+    trace = workload_traces_small["li"].prefix(400)
+    engine = SequentialFetchEngine()
+    bpred = PerfectBranchPredictor()
+    with verified_simulations(fail_on="never") as reports:
+        simulate_realistic(trace, engine, bpred)
+    assert reports[-1].ok
+
+    # Re-audit a tampered copy of the same run's schedule.
+    collected = []
+    from repro.core import realistic
+
+    def capture(audit):
+        collected.append(audit)
+
+    saved = realistic.INVARIANT_HOOK
+    realistic.INVARIANT_HOOK = capture
+    try:
+        simulate_realistic(trace, engine, PerfectBranchPredictor())
+    finally:
+        realistic.INVARIANT_HOOK = saved
+    audit = collected[0]
+    audit.commit[5] = 0  # break in-order commit
+    report = audit_realistic_run(audit)
+    assert not report.ok
+    assert "commit-monotone" in {d.check for d in report.diagnostics}
+
+
+def test_verification_error_carries_report(workload_traces_small):
+    trace = workload_traces_small["li"].prefix(200)
+    from repro.core import realistic
+
+    with pytest.raises(VerificationError) as excinfo:
+        with verified_simulations(fail_on="warning"):
+            # Sabotage the hook's input by running through a wrapper that
+            # flips a commit cell before auditing.
+            inner = realistic.INVARIANT_HOOK
+
+            def sabotage(audit):
+                audit.commit[1] = -1
+                inner(audit)
+
+            realistic.INVARIANT_HOOK = sabotage
+            try:
+                simulate_realistic(
+                    trace, SequentialFetchEngine(), PerfectBranchPredictor()
+                )
+            finally:
+                realistic.INVARIANT_HOOK = inner
+    assert excinfo.value.report is not None
+    assert not excinfo.value.report.ok
+
+
+def test_fail_on_validation():
+    with pytest.raises(ValueError):
+        with verified_simulations(fail_on="sometimes"):
+            pass  # pragma: no cover

@@ -1,0 +1,261 @@
+"""Tests for the static program verifier (repro.verify.program / cfg)."""
+
+import pytest
+
+from repro.isa import CODE_BASE, DATA_BASE, Instruction, Opcode, Program
+from repro.isa.program import STACK_BASE
+from repro.verify import Severity, build_cfg, verify_program
+from repro.verify.program import _check_shapes
+from repro.verify.diagnostics import Report
+
+
+def prog(instructions, name="t", **kwargs):
+    return Program(name, instructions, **kwargs)
+
+
+def addr(index):
+    return CODE_BASE + 4 * index
+
+
+def errors(report, check=None):
+    return [
+        d for d in report.diagnostics
+        if d.severity is Severity.ERROR and (check is None or d.check == check)
+    ]
+
+
+def warnings(report, check=None):
+    return [
+        d for d in report.diagnostics
+        if d.severity is Severity.WARNING and (check is None or d.check == check)
+    ]
+
+
+# -- CFG -------------------------------------------------------------------
+
+
+def test_cfg_blocks_and_edges():
+    p = prog([
+        Instruction(Opcode.LI, rd=4, imm=0),            # 0
+        Instruction(Opcode.BEQ, rs1=4, rs2=4, imm=addr(3)),  # 1
+        Instruction(Opcode.ADDI, rd=4, rs1=4, imm=1),   # 2
+        Instruction(Opcode.J, imm=addr(1)),             # 3
+    ])
+    cfg = build_cfg(p)
+    # Leaders: 0 (entry), 1 (target of the j), 2 (after the branch),
+    # 3 (branch target).
+    starts = [b.start for b in cfg.blocks]
+    assert starts == [0, 1, 2, 3]
+    by_start = {b.start: b for b in cfg.blocks}
+    assert by_start[0].successors == [cfg.block_of[1]]
+    assert by_start[1].successors == sorted(
+        {cfg.block_of[2], cfg.block_of[3]}
+    )
+    assert by_start[3].successors == [cfg.block_of[1]]
+    assert cfg.reachable == frozenset(range(len(cfg.blocks)))
+
+
+def test_cfg_halt_has_no_successors_and_dead_code_found():
+    p = prog([
+        Instruction(Opcode.HALT),          # 0
+        Instruction(Opcode.NOP),           # 1 dead
+        Instruction(Opcode.J, imm=addr(1)),  # 2 dead
+    ])
+    cfg = build_cfg(p)
+    assert cfg.entry_block.successors == []
+    dead = cfg.unreachable_blocks()
+    assert dead and dead[0].start == 1
+
+
+def test_cfg_indirect_jump_targets_labels_and_return_points():
+    p = prog(
+        [
+            Instruction(Opcode.JAL, rd=1, imm=addr(2)),   # 0: call
+            Instruction(Opcode.HALT),                     # 1: return point
+            Instruction(Opcode.JR, rs1=1),                # 2: return
+        ],
+        labels={"fn": addr(2)},
+    )
+    cfg = build_cfg(p)
+    jr_block = cfg.blocks[cfg.block_of[2]]
+    # The jr may reach the return point (index 1) and any label (index 2).
+    assert cfg.block_of[1] in jr_block.successors
+    assert cfg.reachable == frozenset(range(len(cfg.blocks)))
+
+
+# -- static checks ---------------------------------------------------------
+
+
+def test_clean_loop_passes():
+    p = prog([
+        Instruction(Opcode.LI, rd=4, imm=10),
+        Instruction(Opcode.ADDI, rd=4, rs1=4, imm=-1),
+        Instruction(Opcode.BNE, rs1=4, rs2=0, imm=addr(1)),
+        Instruction(Opcode.J, imm=addr(0)),
+    ])
+    report = verify_program(p)
+    assert report.ok
+    assert report.diagnostics == []
+
+
+def test_unaligned_branch_target_is_error_with_index():
+    p = prog([
+        Instruction(Opcode.LI, rd=4, imm=0),
+        Instruction(Opcode.BEQ, rs1=4, rs2=4, imm=addr(0) + 2),
+        Instruction(Opcode.J, imm=addr(0)),
+    ])
+    found = errors(verify_program(p), "branch-target")
+    assert len(found) == 1
+    assert found[0].index == 1
+    assert "not word-aligned" in found[0].message
+
+
+def test_out_of_range_jump_target_is_error():
+    p = prog([
+        Instruction(Opcode.J, imm=addr(999)),
+    ])
+    found = errors(verify_program(p), "jump-target")
+    assert len(found) == 1 and found[0].index == 0
+    assert "outside the code segment" in found[0].message
+
+
+def test_read_of_never_written_register_is_error():
+    p = prog([
+        Instruction(Opcode.LI, rd=4, imm=1),
+        Instruction(Opcode.ADD, rd=5, rs1=4, rs2=13),
+        Instruction(Opcode.J, imm=addr(0)),
+    ])
+    found = errors(verify_program(p), "use-before-def")
+    assert len(found) == 1
+    assert found[0].index == 1
+    assert "t1" in found[0].message
+
+
+def test_partially_defined_register_is_warning_not_error():
+    p = prog([
+        Instruction(Opcode.LI, rd=4, imm=0),             # 0
+        Instruction(Opcode.BEQ, rs1=4, rs2=0, imm=addr(3)),  # 1: may skip def
+        Instruction(Opcode.LI, rd=5, imm=7),             # 2
+        Instruction(Opcode.ADDI, rd=6, rs1=5, imm=1),    # 3: a1 maybe undef
+        Instruction(Opcode.J, imm=addr(2)),              # 4
+    ])
+    report = verify_program(p)
+    assert errors(report, "use-before-def") == []
+    found = warnings(report, "use-before-def")
+    assert len(found) == 1 and found[0].index == 3
+
+
+def test_sp_and_zero_are_defined_at_entry():
+    p = prog([
+        Instruction(Opcode.ADDI, rd=2, rs1=2, imm=-8),  # push: sp is defined
+        Instruction(Opcode.ST, rs1=2, rs2=0, imm=0),
+        Instruction(Opcode.J, imm=addr(0)),
+    ])
+    assert verify_program(p).ok
+
+
+def test_unreachable_code_is_warning():
+    p = prog([
+        Instruction(Opcode.J, imm=addr(0)),
+        Instruction(Opcode.NOP),
+    ])
+    found = warnings(verify_program(p), "unreachable-code")
+    assert len(found) == 1 and found[0].index == 1
+
+
+def test_fallthrough_exit_is_error():
+    p = prog([
+        Instruction(Opcode.LI, rd=4, imm=1),
+        Instruction(Opcode.NOP),
+    ])
+    found = errors(verify_program(p), "fallthrough-exit")
+    assert len(found) == 1 and found[0].index == 1
+
+
+def test_halt_ending_is_not_fallthrough():
+    p = prog([
+        Instruction(Opcode.LI, rd=4, imm=1),
+        Instruction(Opcode.HALT),
+    ])
+    assert errors(verify_program(p), "fallthrough-exit") == []
+
+
+def test_shift_out_of_range_is_warning():
+    p = prog([
+        Instruction(Opcode.LI, rd=4, imm=1),
+        Instruction(Opcode.SLLI, rd=4, rs1=4, imm=70),
+        Instruction(Opcode.J, imm=addr(0)),
+    ])
+    found = warnings(verify_program(p), "shift-range")
+    assert len(found) == 1 and found[0].index == 1
+
+
+def test_operand_shape_check_reports_raw_instructions():
+    report = Report(subject="raw")
+    _check_shapes([Instruction(Opcode.ADD, rd=4)], report)
+    assert len(errors(report, "operand-shape")) == 1
+
+
+def test_static_store_below_data_segment_is_error():
+    p = prog([
+        Instruction(Opcode.LI, rd=3, imm=DATA_BASE),
+        Instruction(Opcode.ST, rs1=0, rs2=3, imm=64),   # absolute 0x40: code-ish
+        Instruction(Opcode.J, imm=addr(0)),
+    ])
+    found = errors(verify_program(p), "memory-segment")
+    assert len(found) == 1 and found[0].index == 1
+    assert "outside the DATA/STACK region" in found[0].message
+
+
+def test_gp_relative_access_checked_via_global_constant():
+    p = prog([
+        Instruction(Opcode.LI, rd=3, imm=DATA_BASE),     # gp
+        Instruction(Opcode.LD, rd=4, rs1=3, imm=-8),     # below DATA_BASE
+        Instruction(Opcode.LD, rd=5, rs1=3, imm=16),     # fine
+        Instruction(Opcode.J, imm=addr(1)),
+    ])
+    found = errors(verify_program(p), "memory-segment")
+    assert len(found) == 1 and found[0].index == 1
+
+
+def test_misaligned_known_address_is_error():
+    p = prog([
+        Instruction(Opcode.LI, rd=4, imm=DATA_BASE + 2),
+        Instruction(Opcode.LD, rd=5, rs1=4, imm=0),
+        Instruction(Opcode.J, imm=addr(0)),
+    ])
+    found = errors(verify_program(p), "memory-segment")
+    assert len(found) == 1 and found[0].index == 1
+
+
+def test_stack_access_is_allowed():
+    p = prog([
+        Instruction(Opcode.LI, rd=4, imm=STACK_BASE - 64),
+        Instruction(Opcode.ST, rs1=4, rs2=0, imm=0),
+        Instruction(Opcode.J, imm=addr(0)),
+    ])
+    assert errors(verify_program(p), "memory-segment") == []
+
+
+def test_report_json_roundtrip():
+    p = prog([
+        Instruction(Opcode.J, imm=addr(999)),
+    ])
+    payload = verify_program(p).to_json()
+    assert payload["errors"] == 1
+    [diag] = [d for d in payload["diagnostics"] if d["check"] == "jump-target"]
+    assert diag["severity"] == "error" and diag["index"] == 0
+
+
+def test_fails_threshold_semantics():
+    p = prog([
+        Instruction(Opcode.J, imm=addr(0)),
+        Instruction(Opcode.NOP),          # unreachable -> warning
+    ])
+    report = verify_program(p)
+    assert report.ok
+    assert not report.fails("error")
+    assert report.fails("warning")
+    assert not report.fails("never")
+    with pytest.raises(ValueError):
+        report.fails("bogus")

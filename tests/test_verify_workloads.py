@@ -1,0 +1,50 @@
+"""Regression pins: every registered workload is statically well-formed
+and the paper's experiment paths run clean under invariant checking.
+
+These tests exist so a future PR that regresses a workload kernel (a
+branch into the middle of nowhere, a use of a dead register) or a
+timing-core change that breaks a machine invariant fails loudly here,
+not as a silent skew in the reproduced figures.
+"""
+
+import pytest
+
+from repro.experiments import fig5_1
+from repro.verify import build_cfg, verify_program, verified_simulations
+from repro.workloads import WORKLOAD_NAMES, build_workload
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_workload_passes_static_verifier(name):
+    report = verify_program(build_workload(name))
+    assert report.n_errors == 0, "\n" + report.format()
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_workload_verifier_is_silent(name):
+    # Stronger pin: the shipped kernels produce no findings at all.
+    report = verify_program(build_workload(name))
+    assert report.diagnostics == [], "\n" + report.format()
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_workload_code_is_fully_reachable(name):
+    program = build_workload(name)
+    cfg = build_cfg(program)
+    assert cfg.unreachable_blocks() == []
+
+
+def test_fig5_1_runs_clean_under_invariant_checking():
+    with verified_simulations() as reports:
+        fig5_1.run(trace_length=1_500, workloads=["compress", "li"])
+    # 2 workloads x 5 taken limits x (base + vp) runs, all audited.
+    assert len(reports) == 20
+    assert all(r.ok for r in reports)
+
+
+def test_ideal_experiment_path_runs_clean_under_invariant_checking():
+    from repro.experiments import fig3_1
+
+    with verified_simulations() as reports:
+        fig3_1.run(trace_length=1_500, workloads=["gcc"])
+    assert reports and all(r.ok for r in reports)
