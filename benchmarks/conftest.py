@@ -6,6 +6,12 @@ microbenchmarks) and prints the regenerated rows/series so the paper
 comparison is visible in the bench output.
 
 Scale: ``REPRO_BENCH_LENGTH`` (default 20000) instructions per workload.
+
+Traces are shared through the on-disk cache (:mod:`repro.exec.cache`),
+so a bench session — and every later session at the same scale — loads
+each workload trace instead of regenerating it. Set
+``REPRO_BENCH_CACHE=off`` to regenerate from scratch, or
+``REPRO_CACHE_DIR`` to relocate the store.
 """
 
 from __future__ import annotations
@@ -14,12 +20,24 @@ import os
 
 import pytest
 
+from repro.exec.cache import DiskCache, activated, default_cache_dir
+
 BENCH_LENGTH = int(os.environ.get("REPRO_BENCH_LENGTH", "20000"))
 
 
 @pytest.fixture(scope="session")
 def bench_length() -> int:
     return BENCH_LENGTH
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _bench_trace_cache():
+    """Activate the on-disk trace cache for the whole bench session."""
+    if os.environ.get("REPRO_BENCH_CACHE", "on") == "off":
+        yield None
+        return
+    with activated(DiskCache(default_cache_dir())) as cache:
+        yield cache
 
 
 _REGENERATED = []

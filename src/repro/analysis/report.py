@@ -55,6 +55,26 @@ class ExperimentResult:
             lines.append(f"note: {note}")
         return "\n".join(lines)
 
+    def to_dict(self) -> dict:
+        """JSON-serializable form (for artifact files and cell payloads)."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": [list(row) for row in self.rows],
+            "notes": list(self.notes),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ExperimentResult":
+        return cls(
+            experiment_id=payload["experiment_id"],
+            title=payload["title"],
+            headers=list(payload["headers"]),
+            rows=[list(row) for row in payload["rows"]],
+            notes=list(payload["notes"]),
+        )
+
     def cell(self, row_label: str, header: str) -> str:
         """Look up a cell by row label and column header (for tests)."""
         column = self.headers.index(header)

@@ -1,0 +1,23 @@
+"""Shared argparse helpers for the repro command-line tools."""
+
+from __future__ import annotations
+
+import argparse
+
+
+def positive_int(text: str) -> int:
+    """argparse type: a strictly positive integer.
+
+    Rejects zero, negatives and non-numbers with a clean usage error
+    (argparse exits with code 2) instead of letting a bad ``--length``
+    crash deep inside workload generation.
+    """
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {value}"
+        )
+    return value

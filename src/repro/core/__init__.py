@@ -14,7 +14,7 @@ from repro.core.config import IdealConfig, RealisticConfig
 from repro.core.results import SimulationResult, speedup
 from repro.core.vp_plan import plan_value_predictions
 from repro.core.ideal import simulate_ideal, pipeline_table
-from repro.core.realistic import simulate_realistic
+from repro.core.realistic import plan_branch_accuracy, simulate_realistic
 
 __all__ = [
     "IdealConfig",
@@ -24,5 +24,6 @@ __all__ = [
     "plan_value_predictions",
     "simulate_ideal",
     "pipeline_table",
+    "plan_branch_accuracy",
     "simulate_realistic",
 ]

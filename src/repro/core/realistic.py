@@ -57,6 +57,26 @@ class RealisticRunAudit:
 INVARIANT_HOOK: Optional[Callable[[RealisticRunAudit], None]] = None
 
 
+def plan_branch_accuracy(
+    trace: Trace, plan: FetchPlan, bpred: BranchPredictor
+) -> float:
+    """Branch-prediction accuracy implied by a fetch plan.
+
+    Every mispredicted control transfer ends exactly one fetch block
+    (``mispredict_seq``), so the plan itself records the mispredictions
+    of the pass that produced it. ``bpred`` is consulted only for its
+    *policy* (which instructions look up the BTB), never predicted or
+    trained, so calling this does not perturb its statistics.
+    """
+    lookups = sum(1 for record in trace if bpred.needs_prediction(record))
+    if lookups == 0:
+        return 1.0
+    mispredicts = sum(
+        1 for block in plan if block.mispredict_seq is not None
+    )
+    return 1.0 - mispredicts / lookups
+
+
 def simulate_realistic(
     trace: Trace,
     fetch_engine: FetchEngine,
@@ -78,6 +98,7 @@ def simulate_realistic(
     config.validate()
     records = trace.records
     n = len(records)
+    plan_supplied = plan is not None
     if plan is None:
         plan = fetch_engine.plan(trace, bpred)
     plan.validate(n)
@@ -151,10 +172,19 @@ def simulate_realistic(
                 redirect_ready = resume
 
     cycles = commit[-1] if n else 0
+    # With a caller-supplied plan the predictor was never consulted in
+    # this run — its stats describe whichever pass built the plan (or
+    # nothing at all for a fresh instance), and reporting them here
+    # double-counts the planning pass across a VP/no-VP speedup pair.
+    # Derive the accuracy from the plan itself instead.
+    if plan_supplied:
+        branch_accuracy = plan_branch_accuracy(trace, plan, bpred)
+    else:
+        branch_accuracy = bpred.stats.accuracy
     extra = {
         "fetch_blocks": float(len(plan)),
         "mean_block_size": plan.mean_block_size(),
-        "branch_accuracy": bpred.stats.accuracy,
+        "branch_accuracy": branch_accuracy,
     }
     if vp_unit is not None:
         extra["vp_predictions"] = float(vp_unit.stats.predictions)

@@ -24,8 +24,18 @@ class SimulationResult:
 
     @property
     def ipc(self) -> float:
+        if self.n_instructions == 0:
+            # An empty trace legitimately commits in 0 cycles; IPC (and
+            # any speedup over it) is undefined, not a simulator bug.
+            raise SimulationError(
+                f"{self.name}: IPC is undefined for an empty run "
+                "(0 instructions)"
+            )
         if self.cycles <= 0:
-            raise SimulationError(f"{self.name}: non-positive cycle count")
+            raise SimulationError(
+                f"{self.name}: non-positive cycle count {self.cycles} "
+                f"for {self.n_instructions} instructions"
+            )
         return self.n_instructions / self.cycles
 
 

@@ -1,0 +1,46 @@
+"""Parallel experiment execution with an on-disk artifact cache.
+
+* :mod:`repro.exec.cache` — content-keyed disk cache for generated
+  traces (keyed by workload/length/seed/generator-version) and for
+  completed experiment cells.
+* :mod:`repro.exec.cells` — the cell/spec data model: experiments as
+  picklable workload × configuration grids.
+* :mod:`repro.exec.engine` — the fan-out engine (ProcessPoolExecutor,
+  memoization, per-cell observability).
+* :mod:`repro.exec.artifacts` — JSON manifest/metrics emission.
+"""
+
+from repro.exec.cache import (
+    CELL_SCHEMA_VERSION,
+    CacheStats,
+    DiskCache,
+    activate,
+    activated,
+    active_cache,
+    deactivate,
+    default_cache_dir,
+    fetch_trace,
+)
+from repro.exec.cells import Cell, ExperimentSpec, single_cell_spec
+from repro.exec.engine import CellOutcome, EngineReport, ExperimentEngine
+from repro.exec.artifacts import MANIFEST_SCHEMA_VERSION, write_artifacts
+
+__all__ = [
+    "CELL_SCHEMA_VERSION",
+    "MANIFEST_SCHEMA_VERSION",
+    "CacheStats",
+    "Cell",
+    "CellOutcome",
+    "DiskCache",
+    "EngineReport",
+    "ExperimentEngine",
+    "ExperimentSpec",
+    "activate",
+    "activated",
+    "active_cache",
+    "deactivate",
+    "default_cache_dir",
+    "fetch_trace",
+    "single_cell_spec",
+    "write_artifacts",
+]

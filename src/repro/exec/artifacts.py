@@ -1,0 +1,113 @@
+"""Structured JSON artifacts for engine runs.
+
+Layout under ``--json <dir>``::
+
+    manifest.json     deterministic run description: scale, versions,
+                      per-experiment artifact file + sha256 digest
+    <experiment>.json deterministic per-experiment artifact: the result
+                      table plus every cell's id and value, grid order
+    metrics.json      volatile observability: per-cell wall time /
+                      worker / cache traffic, hit-miss counters, worker
+                      utilization
+
+Determinism is a contract: ``manifest.json`` and the per-experiment
+files depend only on (experiments, trace length, seed, code version) —
+never on timing, worker count or cache state — so ``--jobs 1`` and
+``--jobs N`` runs of the same scale produce byte-identical copies.
+Everything timing-dependent lives in ``metrics.json``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.exec.cache import CELL_SCHEMA_VERSION
+from repro.exec.engine import EngineReport
+from repro.workloads import GENERATOR_VERSION
+
+MANIFEST_SCHEMA_VERSION = 1
+
+
+def _dump(payload: dict) -> str:
+    return json.dumps(payload, sort_keys=True, indent=2) + "\n"
+
+
+def _experiment_filename(experiment_id: str) -> str:
+    return f"{experiment_id}.json"
+
+
+def write_artifacts(report: EngineReport, out_dir: Union[str, Path]) -> Path:
+    """Write manifest + per-experiment results + metrics; returns the
+    manifest path."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+
+    experiments: Dict[str, dict] = {}
+    by_experiment: Dict[str, List] = {}
+    for outcome in report.outcomes:
+        by_experiment.setdefault(outcome.experiment_id, []).append(outcome)
+
+    for experiment_id, outcomes in by_experiment.items():
+        entry: Dict[str, object] = {"n_cells": len(outcomes)}
+        if experiment_id in report.results:
+            payload = {
+                "experiment_id": experiment_id,
+                "result": report.results[experiment_id].to_dict(),
+                "cells": [
+                    {"cell_id": o.cell_id, "value": o.value} for o in outcomes
+                ],
+            }
+            text = _dump(payload)
+            filename = _experiment_filename(experiment_id)
+            (out / filename).write_text(text)
+            entry["status"] = "ok"
+            entry["file"] = filename
+            entry["sha256"] = hashlib.sha256(text.encode()).hexdigest()
+        else:
+            entry["status"] = "failed"
+            entry["errors"] = report.errors.get(experiment_id, [])
+        experiments[experiment_id] = entry
+
+    manifest = {
+        "schema_version": MANIFEST_SCHEMA_VERSION,
+        "generator_version": GENERATOR_VERSION,
+        "cell_schema_version": CELL_SCHEMA_VERSION,
+        "trace_length": report.trace_length,
+        "seed": report.seed,
+        "experiments": experiments,
+        "metrics_file": "metrics.json",
+    }
+    manifest_path = out / "manifest.json"
+    manifest_path.write_text(_dump(manifest))
+
+    trace_hits = sum(o.trace_hits for o in report.outcomes)
+    trace_misses = sum(o.trace_misses for o in report.outcomes)
+    metrics = {
+        "jobs": report.jobs,
+        "span_seconds": report.span_seconds,
+        "utilization": report.utilization(),
+        "workers": report.worker_busy_seconds(),
+        "cache": dict(
+            report.cache_stats,
+            worker_trace_hits=trace_hits,
+            worker_trace_misses=trace_misses,
+        ),
+        "cells": [
+            {
+                "experiment_id": o.experiment_id,
+                "cell_id": o.cell_id,
+                "wall_time": o.wall_time,
+                "memoized": o.memoized,
+                "worker": o.worker,
+                "ok": o.ok,
+                "trace_hits": o.trace_hits,
+                "trace_misses": o.trace_misses,
+            }
+            for o in report.outcomes
+        ],
+    }
+    (out / "metrics.json").write_text(_dump(metrics))
+    return manifest_path

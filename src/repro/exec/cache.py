@@ -1,0 +1,236 @@
+"""Content-keyed on-disk artifact cache.
+
+Two stores under one root (default ``~/.cache/repro`` or
+``$REPRO_CACHE_DIR``):
+
+* **traces/** — generated workload traces, serialized with
+  :mod:`repro.trace.io` and keyed by
+  ``(workload, length, seed, GENERATOR_VERSION)``. A bump of
+  :data:`repro.workloads.GENERATOR_VERSION` invalidates every cached
+  trace at once.
+* **cells/** — completed experiment cells (JSON payloads) keyed by the
+  cell's full identity (experiment, cell id, parameters, versions), so
+  re-runs and partial failures resume instead of recomputing.
+
+Writes are atomic (temp file + rename) so concurrent workers sharing
+one cache directory never observe half-written artifacts.
+
+A module-level *active cache* makes the trace store visible to code
+that cannot thread a cache handle through its API (the experiment
+modules' ``workload_traces`` and the benchmark session):
+:func:`activate`/:func:`deactivate`/:func:`activated` install one, and
+:func:`fetch_trace` consults it, falling back to plain generation when
+none is installed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional, Union
+
+from repro.trace.io import read_trace, write_trace
+from repro.trace.trace import Trace
+from repro.workloads import GENERATOR_VERSION, generate_trace
+
+# Bump to invalidate memoized experiment cells whose payload schema or
+# computation changed without a workload-generator change.
+CELL_SCHEMA_VERSION = "1"
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro"
+
+
+def _qualified_name(value: Any) -> str:
+    return f"{getattr(value, '__module__', '?')}.{getattr(value, '__qualname__', repr(value))}"
+
+
+def _canonical(value: Any) -> Any:
+    """A JSON-stable stand-in for ``value`` (callables/classes by name)."""
+    if callable(value):
+        return _qualified_name(value)
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    return value
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters, split by store."""
+
+    trace_hits: int = 0
+    trace_misses: int = 0
+    cell_hits: int = 0
+    cell_misses: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "trace_hits": self.trace_hits,
+            "trace_misses": self.trace_misses,
+            "cell_hits": self.cell_hits,
+            "cell_misses": self.cell_misses,
+        }
+
+
+@dataclass
+class DiskCache:
+    """The on-disk artifact cache rooted at ``root``."""
+
+    root: Path
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self):
+        self.root = Path(self.root)
+
+    # -- path / key plumbing ---------------------------------------------
+
+    @property
+    def trace_dir(self) -> Path:
+        return self.root / "traces"
+
+    @property
+    def cell_dir(self) -> Path:
+        return self.root / "cells"
+
+    def trace_path(self, name: str, length: int, seed: int) -> Path:
+        return self.trace_dir / (
+            f"{name}-L{length}-S{seed}-g{GENERATOR_VERSION}.trace"
+        )
+
+    def cell_key(
+        self, experiment_id: str, cell_id: str, params: Dict[str, Any]
+    ) -> str:
+        """Content key for one experiment cell.
+
+        Keys on experiment, cell id, canonicalized parameters
+        (callables by qualified name) and both cache versions, so a
+        generator or schema bump invalidates every memoized cell.
+        """
+        identity = json.dumps(
+            {
+                "experiment": experiment_id,
+                "cell": cell_id,
+                "params": _canonical(params),
+                "generator_version": GENERATOR_VERSION,
+                "cell_schema_version": CELL_SCHEMA_VERSION,
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(identity.encode()).hexdigest()
+
+    def cell_path(self, key: str) -> Path:
+        return self.cell_dir / f"{key}.json"
+
+    # -- trace store ------------------------------------------------------
+
+    def get_trace(self, name: str, length: int, seed: int) -> Optional[Trace]:
+        path = self.trace_path(name, length, seed)
+        if not path.exists():
+            self.stats.trace_misses += 1
+            return None
+        self.stats.trace_hits += 1
+        return read_trace(path)
+
+    def put_trace(self, trace: Trace, name: str, length: int, seed: int) -> Path:
+        path = self.trace_path(name, length, seed)
+        self._atomic_write(path, lambda handle: write_trace(trace, handle))
+        return path
+
+    def fetch_trace(self, name: str, length: int, seed: int) -> Trace:
+        """Cached trace for ``(name, length, seed)``, generating on miss."""
+        trace = self.get_trace(name, length, seed)
+        if trace is not None:
+            return trace
+        trace = generate_trace(name, length=length, seed=seed)
+        self.put_trace(trace, name, length, seed)
+        return trace
+
+    # -- cell store -------------------------------------------------------
+
+    def get_cell(self, key: str) -> Optional[Any]:
+        path = self.cell_path(key)
+        if not path.exists():
+            self.stats.cell_misses += 1
+            return None
+        self.stats.cell_hits += 1
+        with open(path) as handle:
+            return json.load(handle)["value"]
+
+    def put_cell(self, key: str, value: Any) -> Path:
+        path = self.cell_path(key)
+        payload = json.dumps({"value": value}, sort_keys=True)
+        self._atomic_write(path, lambda handle: handle.write(payload))
+        return path
+
+    # -- internals --------------------------------------------------------
+
+    def _atomic_write(self, path: Path, write) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                write(handle)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+
+# -- the active cache ------------------------------------------------------
+
+_ACTIVE: Optional[DiskCache] = None
+
+
+def activate(cache: Optional[Union[DiskCache, str, Path]]) -> Optional[DiskCache]:
+    """Install ``cache`` (a :class:`DiskCache`, or a directory to root
+    one at) as the process-wide active cache; returns it."""
+    global _ACTIVE
+    if cache is not None and not isinstance(cache, DiskCache):
+        cache = DiskCache(Path(cache))
+    _ACTIVE = cache
+    return cache
+
+
+def deactivate() -> None:
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def active_cache() -> Optional[DiskCache]:
+    return _ACTIVE
+
+
+@contextmanager
+def activated(cache: Optional[Union[DiskCache, str, Path]]) -> Iterator[Optional[DiskCache]]:
+    """Scoped :func:`activate`; restores the previous active cache."""
+    previous = _ACTIVE
+    installed = activate(cache)
+    try:
+        yield installed
+    finally:
+        activate(previous)
+
+
+def fetch_trace(name: str, length: int, seed: int) -> Trace:
+    """Trace via the active disk cache, or plain generation without one."""
+    cache = _ACTIVE
+    if cache is None:
+        return generate_trace(name, length=length, seed=seed)
+    return cache.fetch_trace(name, length, seed)

@@ -1,0 +1,91 @@
+"""The unit of parallel experiment work: cells and experiment specs.
+
+A **cell** is one point of an experiment's workload × configuration
+grid: a picklable, module-level function plus keyword arguments, whose
+return value is JSON-serializable. Cells are what the engine ships to
+worker processes and what the on-disk cache memoizes, so both the
+function and its arguments must survive ``pickle`` and the value must
+survive ``json``.
+
+An **experiment spec** ties an experiment id to its grid: ``cells``
+enumerates the grid for a given scale, ``assemble`` folds the cell
+values (in grid order) back into the :class:`ExperimentResult` table
+the serial ``run()`` functions produce. ``assemble(serial_values)``
+over serially executed cells must be byte-for-byte identical to the
+parallel path — that equivalence is what licenses ``--jobs N``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.analysis.report import ExperimentResult
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One schedulable grid point of an experiment."""
+
+    experiment_id: str
+    cell_id: str
+    func: Callable[..., Any]
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+
+    def compute(self) -> Any:
+        return self.func(**self.kwargs)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """An experiment as the engine sees it: a grid plus an assembler.
+
+    ``cells(trace_length, seed, workloads)`` enumerates the grid;
+    ``assemble(values, trace_length, seed)`` receives
+    ``{cell_id: value}`` in grid order and rebuilds the result table.
+    """
+
+    experiment_id: str
+    cells: Callable[[int, int, Optional[Sequence[str]]], List[Cell]]
+    assemble: Callable[[Dict[str, Any], int, int], ExperimentResult]
+
+
+# -- generic single-cell wrapping ------------------------------------------
+#
+# Experiments without a cellized grid (the ablations) still run under
+# the engine as one cell each: the whole ``run()`` executes in a worker
+# and its ExperimentResult travels as a dict. Coarse, but it lets
+# ``repro-experiments --jobs N`` fan out *across* such experiments and
+# memoize them whole.
+
+def run_experiment_as_cell(run: Callable[..., ExperimentResult],
+                           trace_length: int, seed: int,
+                           workloads: Optional[Sequence[str]] = None) -> dict:
+    """Cell function executing a legacy ``run()`` whole (picklable)."""
+    kwargs: Dict[str, Any] = {"trace_length": trace_length, "seed": seed}
+    if workloads is not None:
+        kwargs["workloads"] = list(workloads)
+    return run(**kwargs).to_dict()
+
+
+def single_cell_spec(
+    experiment_id: str,
+    run: Callable[..., ExperimentResult],
+    accepts_workloads: bool = True,
+) -> ExperimentSpec:
+    """Wrap a legacy ``run()`` function as a one-cell experiment spec."""
+
+    def cells(trace_length: int, seed: int,
+              workloads: Optional[Sequence[str]] = None) -> List[Cell]:
+        kwargs: Dict[str, Any] = {
+            "run": run, "trace_length": trace_length, "seed": seed,
+        }
+        if accepts_workloads and workloads is not None:
+            kwargs["workloads"] = list(workloads)
+        return [Cell(experiment_id, "all", run_experiment_as_cell, kwargs)]
+
+    def assemble(values: Dict[str, Any], trace_length: int,
+                 seed: int) -> ExperimentResult:
+        return ExperimentResult.from_dict(values["all"])
+
+    return ExperimentSpec(experiment_id, cells, assemble)

@@ -1,0 +1,258 @@
+"""The parallel experiment-execution engine.
+
+Fans an experiment's workload × configuration cells out over a
+:class:`~concurrent.futures.ProcessPoolExecutor` (``jobs > 1``) or runs
+them serially in-process (``jobs == 1`` — the path that keeps
+module-level hooks such as :mod:`repro.verify`'s checked mode working,
+since those hooks do not cross process boundaries).
+
+Completed cells are memoized in the on-disk cache, so a re-run — or a
+run resumed after a partial failure — recomputes only what is missing.
+Every cell execution is timed and tagged with the worker that ran it
+and the trace-cache traffic it caused; :mod:`repro.exec.artifacts`
+turns the report into JSON manifests.
+
+Cell values are deterministic functions of their arguments and cells
+are assembled in grid order, so ``--jobs 1`` and ``--jobs N`` produce
+identical results (and byte-identical artifact files).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.report import ExperimentResult
+from repro.exec import cache as cache_mod
+from repro.exec.cache import DiskCache
+from repro.exec.cells import Cell, ExperimentSpec
+
+
+@dataclass
+class CellOutcome:
+    """What happened to one cell: its value or error, plus observability."""
+
+    experiment_id: str
+    cell_id: str
+    value: Any = None
+    error: Optional[str] = None
+    wall_time: float = 0.0
+    memoized: bool = False
+    worker: str = "serial"
+    trace_hits: int = 0
+    trace_misses: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class EngineReport:
+    """Everything one engine run produced."""
+
+    trace_length: int
+    seed: int
+    jobs: int
+    results: Dict[str, ExperimentResult] = field(default_factory=dict)
+    errors: Dict[str, List[str]] = field(default_factory=dict)
+    outcomes: List[CellOutcome] = field(default_factory=list)
+    span_seconds: float = 0.0
+    cache_stats: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def worker_busy_seconds(self) -> Dict[str, float]:
+        busy: Dict[str, float] = {}
+        for outcome in self.outcomes:
+            if outcome.memoized:
+                continue
+            busy[outcome.worker] = busy.get(outcome.worker, 0.0) + outcome.wall_time
+        return busy
+
+    def utilization(self) -> float:
+        """Busy worker-seconds over available worker-seconds."""
+        if self.span_seconds <= 0.0 or self.jobs <= 0:
+            return 0.0
+        busy = sum(self.worker_busy_seconds().values())
+        return busy / (self.jobs * self.span_seconds)
+
+
+def _execute(func, kwargs) -> Tuple[Any, Optional[str], float, str, int, int]:
+    """Run one cell function, measuring wall time and trace-cache traffic.
+
+    Runs in the worker process (or in-process for the serial path).
+    Exceptions are flattened to strings so they always cross the pickle
+    boundary back to the parent.
+    """
+    cache = cache_mod.active_cache()
+    hits0, misses0 = (
+        (cache.stats.trace_hits, cache.stats.trace_misses) if cache else (0, 0)
+    )
+    started = time.perf_counter()
+    value, error = None, None
+    try:
+        value = func(**kwargs)
+    except Exception as exc:
+        error = f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}"
+    wall = time.perf_counter() - started
+    hits, misses = 0, 0
+    if cache is not None:
+        hits = cache.stats.trace_hits - hits0
+        misses = cache.stats.trace_misses - misses0
+    return value, error, wall, f"pid-{os.getpid()}", hits, misses
+
+
+def _worker_init(cache_root: Optional[str]) -> None:
+    """Pool initializer: give each worker its own view of the disk cache."""
+    cache_mod.activate(DiskCache(cache_root) if cache_root else None)
+
+
+class ExperimentEngine:
+    """Schedules experiment cells over processes, with memoization.
+
+    ``jobs=None`` means ``os.cpu_count()``. ``cache=None`` disables
+    both the on-disk trace store and cell memoization (every cell
+    recomputes); pass a :class:`DiskCache` (or a directory) to enable
+    them. ``memoize=False`` keeps the trace store but always recomputes
+    cells — useful when cell code is being changed.
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        cache: Optional[DiskCache] = None,
+        memoize: bool = True,
+    ):
+        self.jobs = max(1, jobs if jobs is not None else (os.cpu_count() or 1))
+        if cache is not None and not isinstance(cache, DiskCache):
+            cache = DiskCache(cache)
+        self.cache = cache
+        self.memoize = memoize and cache is not None
+
+    # -- public API -------------------------------------------------------
+
+    def run(
+        self,
+        experiment_ids: Sequence[str],
+        trace_length: int,
+        seed: int = 0,
+        workloads: Optional[Sequence[str]] = None,
+        specs: Optional[Dict[str, ExperimentSpec]] = None,
+    ) -> EngineReport:
+        """Execute the named experiments' grids and assemble their tables."""
+        if specs is None:
+            from repro.experiments import EXPERIMENT_SPECS as specs  # lazy: avoids cycle
+        grids: List[Tuple[ExperimentSpec, List[Cell]]] = []
+        for experiment_id in experiment_ids:
+            spec = specs[experiment_id]
+            grids.append((spec, spec.cells(trace_length, seed, workloads)))
+
+        report = EngineReport(trace_length=trace_length, seed=seed, jobs=self.jobs)
+        all_cells = [cell for _, cells in grids for cell in cells]
+        outcomes = self._execute_cells(all_cells, report)
+        report.outcomes = [outcomes[(c.experiment_id, c.cell_id)] for c in all_cells]
+
+        for spec, cells in grids:
+            failures = [
+                outcomes[(c.experiment_id, c.cell_id)]
+                for c in cells
+                if not outcomes[(c.experiment_id, c.cell_id)].ok
+            ]
+            if failures:
+                report.errors[spec.experiment_id] = [
+                    f"{o.cell_id}: {o.error}" for o in failures
+                ]
+                continue
+            values = {
+                c.cell_id: outcomes[(c.experiment_id, c.cell_id)].value
+                for c in cells
+            }
+            report.results[spec.experiment_id] = spec.assemble(
+                values, trace_length, seed
+            )
+
+        if self.cache is not None:
+            report.cache_stats = self.cache.stats.as_dict()
+        return report
+
+    # -- internals --------------------------------------------------------
+
+    def _execute_cells(
+        self, cells: List[Cell], report: EngineReport
+    ) -> Dict[Tuple[str, str], CellOutcome]:
+        outcomes: Dict[Tuple[str, str], CellOutcome] = {}
+        pending: List[Cell] = []
+        keys: Dict[Tuple[str, str], str] = {}
+
+        for cell in cells:
+            ref = (cell.experiment_id, cell.cell_id)
+            if self.memoize:
+                key = self.cache.cell_key(cell.experiment_id, cell.cell_id, cell.kwargs)
+                keys[ref] = key
+                value = self.cache.get_cell(key)
+                if value is not None:
+                    outcomes[ref] = CellOutcome(
+                        cell.experiment_id, cell.cell_id,
+                        value=value, memoized=True, worker="memo",
+                    )
+                    continue
+            pending.append(cell)
+
+        started = time.perf_counter()
+        if pending and self.jobs == 1:
+            self._run_serial(pending, outcomes)
+        elif pending:
+            self._run_parallel(pending, outcomes)
+        report.span_seconds = time.perf_counter() - started
+
+        if self.memoize:
+            for ref, outcome in outcomes.items():
+                if outcome.ok and not outcome.memoized:
+                    self.cache.put_cell(keys[ref], outcome.value)
+        return outcomes
+
+    def _run_serial(
+        self, cells: List[Cell], outcomes: Dict[Tuple[str, str], CellOutcome]
+    ) -> None:
+        with cache_mod.activated(self.cache):
+            for cell in cells:
+                value, error, wall, _worker, hits, misses = _execute(
+                    cell.func, cell.kwargs
+                )
+                outcomes[(cell.experiment_id, cell.cell_id)] = CellOutcome(
+                    cell.experiment_id, cell.cell_id,
+                    value=value, error=error, wall_time=wall,
+                    worker="serial", trace_hits=hits, trace_misses=misses,
+                )
+
+    def _run_parallel(
+        self, cells: List[Cell], outcomes: Dict[Tuple[str, str], CellOutcome]
+    ) -> None:
+        cache_root = str(self.cache.root) if self.cache is not None else None
+        with ProcessPoolExecutor(
+            max_workers=self.jobs,
+            initializer=_worker_init,
+            initargs=(cache_root,),
+        ) as pool:
+            futures = {
+                pool.submit(_execute, cell.func, cell.kwargs): cell
+                for cell in cells
+            }
+            remaining = set(futures)
+            while remaining:
+                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in done:
+                    cell = futures[future]
+                    value, error, wall, worker, hits, misses = future.result()
+                    outcomes[(cell.experiment_id, cell.cell_id)] = CellOutcome(
+                        cell.experiment_id, cell.cell_id,
+                        value=value, error=error, wall_time=wall,
+                        worker=worker, trace_hits=hits, trace_misses=misses,
+                    )

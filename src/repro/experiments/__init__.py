@@ -6,6 +6,7 @@ default scale. ``repro-experiments`` (see :mod:`repro.experiments.runner`)
 is the command-line entry point.
 """
 
+from repro.exec.cells import single_cell_spec
 from repro.experiments.common import (
     DEFAULT_TRACE_LENGTH,
     workload_traces,
@@ -44,4 +45,29 @@ ALL_EXPERIMENTS = {
     "abl.useless": ablations.run_useless,
 }
 
-__all__ = ["ALL_EXPERIMENTS", "DEFAULT_TRACE_LENGTH", "workload_traces"]
+# The same experiments as the engine sees them: picklable workload ×
+# configuration grids. The paper artifacts expose real grids; the
+# ablations run whole as single cells (still fanned out *across*
+# experiments and memoized by the engine).
+EXPERIMENT_SPECS = {
+    "fig3.1": fig3_1.SPEC,
+    "table3.2": table3_2.SPEC,
+    "fig3.3": fig3_3.SPEC,
+    "fig3.4": fig3_4.SPEC,
+    "fig3.5": fig3_5.SPEC,
+    "fig5.1": fig5_1.SPEC,
+    "fig5.2": fig5_2.SPEC,
+    "fig5.3": fig5_3.SPEC,
+}
+EXPERIMENT_SPECS.update({
+    experiment_id: single_cell_spec(experiment_id, run)
+    for experiment_id, run in ALL_EXPERIMENTS.items()
+    if experiment_id.startswith("abl.")
+})
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "DEFAULT_TRACE_LENGTH",
+    "EXPERIMENT_SPECS",
+    "workload_traces",
+]

@@ -5,15 +5,35 @@ from __future__ import annotations
 import functools
 from typing import Dict, List, Optional, Sequence
 
+from repro.exec.cache import fetch_trace
 from repro.trace.trace import Trace
-from repro.workloads import WORKLOAD_NAMES, generate_trace
+from repro.workloads import WORKLOAD_NAMES
 
 DEFAULT_TRACE_LENGTH = 30_000
 
 
 @functools.lru_cache(maxsize=64)
 def _cached_trace(name: str, length: int, seed: int) -> Trace:
-    return generate_trace(name, length=length, seed=seed)
+    # In-memory layer on top of the (optional) on-disk cache: repeated
+    # requests in one process are free, and when a disk cache is active
+    # (repro.exec.cache.activate / the engine / the bench session) the
+    # first request per process loads instead of regenerating.
+    return fetch_trace(name, length, seed)
+
+
+def get_trace(name: str, length: int, seed: int) -> Trace:
+    """One workload trace through both cache layers (memory, then disk).
+
+    The entry point experiment cell functions use, so every worker
+    process shares generated traces through the disk store.
+    """
+    return _cached_trace(name, length, seed)
+
+
+def clear_trace_memory_cache() -> None:
+    """Drop the in-process trace cache (tests use this to re-exercise
+    the disk layer)."""
+    _cached_trace.cache_clear()
 
 
 def workload_traces(

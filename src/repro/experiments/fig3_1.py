@@ -6,18 +6,90 @@ structural hazards), fetch/issue rate swept over 4/8/16/32/40.
 Predictor: infinite stride table + 2-bit saturating-counter classifier.
 The reported number per (benchmark, rate) is the speedup of value
 prediction relative to the same machine without it.
+
+The grid is benchmark × fetch rate; each cell is independent (the VP
+plan is rate-independent and deterministic, so recomputing it per cell
+changes nothing), which is what lets the engine fan the figure out
+over worker processes.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.report import ExperimentResult, format_percent
 from repro.core import IdealConfig, plan_value_predictions, simulate_ideal, speedup
-from repro.experiments.common import DEFAULT_TRACE_LENGTH, mean, workload_traces
+from repro.exec.cells import Cell, ExperimentSpec
+from repro.experiments.common import DEFAULT_TRACE_LENGTH, get_trace, mean
 from repro.vpred import make_predictor
+from repro.workloads import WORKLOAD_NAMES
 
 DEFAULT_RATES: Tuple[int, ...] = (4, 8, 16, 32, 40)
+
+EXPERIMENT_ID = "fig3.1"
+TITLE = "VP speedup on the ideal machine vs fetch rate"
+
+
+def compute_cell(workload: str, rate: int, trace_length: int, seed: int) -> dict:
+    """One grid point: VP speedup for ``workload`` at fetch ``rate``."""
+    trace = get_trace(workload, trace_length, seed)
+    vp_plan = plan_value_predictions(trace, make_predictor())
+    base = simulate_ideal(trace, IdealConfig(fetch_rate=rate))
+    with_vp = simulate_ideal(trace, IdealConfig(fetch_rate=rate), vp_plan=vp_plan)
+    return {"workload": workload, "rate": rate, "gain": speedup(with_vp, base)}
+
+
+def cells(
+    trace_length: int = DEFAULT_TRACE_LENGTH,
+    seed: int = 0,
+    workloads: Optional[Sequence[str]] = None,
+    rates: Sequence[int] = DEFAULT_RATES,
+) -> List[Cell]:
+    names = list(workloads) if workloads else list(WORKLOAD_NAMES)
+    return [
+        Cell(
+            EXPERIMENT_ID,
+            f"{name}|rate={rate}",
+            compute_cell,
+            {"workload": name, "rate": rate,
+             "trace_length": trace_length, "seed": seed},
+        )
+        for name in names
+        for rate in rates
+    ]
+
+
+def assemble(values: Dict[str, Any], trace_length: int = 0,
+             seed: int = 0) -> ExperimentResult:
+    """Fold grid-ordered cell values back into the Figure 3.1 table."""
+    del trace_length, seed
+    rates: List[int] = []
+    rows: Dict[str, Dict[int, float]] = {}
+    for value in values.values():
+        rows.setdefault(value["workload"], {})[value["rate"]] = value["gain"]
+        if value["rate"] not in rates:
+            rates.append(value["rate"])
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        headers=["benchmark"] + [f"BW={rate}" for rate in rates],
+    )
+    for name, gains in rows.items():
+        result.rows.append(
+            [name] + [format_percent(gains[rate]) for rate in rates]
+        )
+    result.rows.append(
+        ["avg"]
+        + [
+            format_percent(mean([gains[rate] for gains in rows.values()]))
+            for rate in rates
+        ]
+    )
+    result.notes.append(
+        "paper (avg): 4→~0%, 8→8%, 16→33%, 32→70%, 40→80%; "
+        "m88ksim and vortex react most strongly to the fetch rate"
+    )
+    return result
 
 
 def run(
@@ -26,31 +98,9 @@ def run(
     rates: Sequence[int] = DEFAULT_RATES,
     workloads: Optional[Sequence[str]] = None,
 ) -> ExperimentResult:
-    """Regenerate Figure 3.1."""
-    traces = workload_traces(trace_length, seed, workloads)
-    result = ExperimentResult(
-        experiment_id="fig3.1",
-        title="VP speedup on the ideal machine vs fetch rate",
-        headers=["benchmark"] + [f"BW={rate}" for rate in rates],
-    )
-    per_rate = {rate: [] for rate in rates}
-    for name, trace in traces.items():
-        vp_plan = plan_value_predictions(trace, make_predictor())
-        cells = [name]
-        for rate in rates:
-            base = simulate_ideal(trace, IdealConfig(fetch_rate=rate))
-            with_vp = simulate_ideal(
-                trace, IdealConfig(fetch_rate=rate), vp_plan=vp_plan
-            )
-            gain = speedup(with_vp, base)
-            per_rate[rate].append(gain)
-            cells.append(format_percent(gain))
-        result.rows.append(cells)
-    result.rows.append(
-        ["avg"] + [format_percent(mean(per_rate[rate])) for rate in rates]
-    )
-    result.notes.append(
-        "paper (avg): 4→~0%, 8→8%, 16→33%, 32→70%, 40→80%; "
-        "m88ksim and vortex react most strongly to the fetch rate"
-    )
-    return result
+    """Regenerate Figure 3.1 (serial path over the same cells)."""
+    grid = cells(trace_length, seed, workloads, rates)
+    return assemble({cell.cell_id: cell.compute() for cell in grid})
+
+
+SPEC = ExperimentSpec(EXPERIMENT_ID, cells, assemble)

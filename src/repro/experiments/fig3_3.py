@@ -4,15 +4,72 @@ One DFG per benchmark over the full trace (loop-carried and
 inter-basic-block arcs included); the average DID is the arithmetic mean
 over all arcs. The paper's headline: every benchmark averages above the
 4-instruction fetch bandwidth of then-current processors.
+
+The grid is one cell per benchmark (one DFG each).
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.analysis.report import ExperimentResult
 from repro.dfg import average_did, build_dfg
-from repro.experiments.common import DEFAULT_TRACE_LENGTH, mean, workload_traces
+from repro.exec.cells import Cell, ExperimentSpec
+from repro.experiments.common import DEFAULT_TRACE_LENGTH, get_trace, mean
+from repro.workloads import WORKLOAD_NAMES
+
+EXPERIMENT_ID = "fig3.3"
+TITLE = "Average DID per benchmark"
+
+
+def compute_cell(workload: str, trace_length: int, seed: int) -> dict:
+    """One benchmark's DFG arc count and average DID."""
+    trace = get_trace(workload, trace_length, seed)
+    graph = build_dfg(trace)
+    return {
+        "workload": workload,
+        "arcs": graph.n_arcs,
+        "did": average_did(graph),
+    }
+
+
+def cells(
+    trace_length: int = DEFAULT_TRACE_LENGTH,
+    seed: int = 0,
+    workloads: Optional[Sequence[str]] = None,
+) -> List[Cell]:
+    names = list(workloads) if workloads else list(WORKLOAD_NAMES)
+    return [
+        Cell(
+            EXPERIMENT_ID,
+            name,
+            compute_cell,
+            {"workload": name, "trace_length": trace_length, "seed": seed},
+        )
+        for name in names
+    ]
+
+
+def assemble(values: Dict[str, Any], trace_length: int = 0,
+             seed: int = 0) -> ExperimentResult:
+    del trace_length, seed
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        headers=["benchmark", "arcs", "average DID"],
+    )
+    dids = []
+    for value in values.values():
+        dids.append(value["did"])
+        result.rows.append(
+            [value["workload"], str(value["arcs"]), f"{value['did']:.2f}"]
+        )
+    result.rows.append(["avg", "", f"{mean(dids):.2f}"])
+    result.notes.append(
+        "paper: all benchmarks exhibit an average DID greater than the "
+        "4-instruction fetch bandwidth of present processors"
+    )
+    return result
 
 
 def run(
@@ -20,22 +77,9 @@ def run(
     seed: int = 0,
     workloads: Optional[Sequence[str]] = None,
 ) -> ExperimentResult:
-    """Regenerate Figure 3.3."""
-    traces = workload_traces(trace_length, seed, workloads)
-    result = ExperimentResult(
-        experiment_id="fig3.3",
-        title="Average DID per benchmark",
-        headers=["benchmark", "arcs", "average DID"],
-    )
-    values = []
-    for name, trace in traces.items():
-        graph = build_dfg(trace)
-        did = average_did(graph)
-        values.append(did)
-        result.rows.append([name, str(graph.n_arcs), f"{did:.2f}"])
-    result.rows.append(["avg", "", f"{mean(values):.2f}"])
-    result.notes.append(
-        "paper: all benchmarks exhibit an average DID greater than the "
-        "4-instruction fetch bandwidth of present processors"
-    )
-    return result
+    """Regenerate Figure 3.3 (serial path over the same cells)."""
+    grid = cells(trace_length, seed, workloads)
+    return assemble({cell.cell_id: cell.compute() for cell in grid})
+
+
+SPEC = ExperimentSpec(EXPERIMENT_ID, cells, assemble)

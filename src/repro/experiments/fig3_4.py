@@ -4,42 +4,72 @@ Histogram of all DFG arcs over DID bins; the paper's headline is that
 roughly 60 % of true-data dependencies (on average) span a distance of
 at least 4 instructions, so a 4-wide machine cannot profit from most
 correct value predictions.
+
+The grid is one cell per benchmark (one histogram each).
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.analysis.report import ExperimentResult, format_percent
 from repro.dfg import DIDHistogram, build_dfg
-from repro.experiments.common import DEFAULT_TRACE_LENGTH, mean, workload_traces
+from repro.exec.cells import Cell, ExperimentSpec
+from repro.experiments.common import DEFAULT_TRACE_LENGTH, get_trace, mean
+from repro.workloads import WORKLOAD_NAMES
+
+EXPERIMENT_ID = "fig3.4"
+TITLE = "Distribution of dependencies according to their DID"
 
 
-def run(
+def compute_cell(workload: str, trace_length: int, seed: int) -> dict:
+    """One benchmark's DID histogram (bin labels, fractions, long tail)."""
+    trace = get_trace(workload, trace_length, seed)
+    histogram = DIDHistogram.from_graph(build_dfg(trace))
+    return {
+        "workload": workload,
+        "labels": list(histogram.labels()),
+        "fractions": list(histogram.fractions()),
+        "long": histogram.fraction_at_least(4),
+    }
+
+
+def cells(
     trace_length: int = DEFAULT_TRACE_LENGTH,
     seed: int = 0,
     workloads: Optional[Sequence[str]] = None,
-) -> ExperimentResult:
-    """Regenerate Figure 3.4."""
-    traces = workload_traces(trace_length, seed, workloads)
+) -> List[Cell]:
+    names = list(workloads) if workloads else list(WORKLOAD_NAMES)
+    return [
+        Cell(
+            EXPERIMENT_ID,
+            name,
+            compute_cell,
+            {"workload": name, "trace_length": trace_length, "seed": seed},
+        )
+        for name in names
+    ]
+
+
+def assemble(values: Dict[str, Any], trace_length: int = 0,
+             seed: int = 0) -> ExperimentResult:
+    del trace_length, seed
     bins_header: Optional[Sequence[str]] = None
     result = ExperimentResult(
-        experiment_id="fig3.4",
-        title="Distribution of dependencies according to their DID",
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
         headers=[],  # filled after the first histogram fixes the bins
     )
     at_least_4 = []
-    for name, trace in traces.items():
-        histogram = DIDHistogram.from_graph(build_dfg(trace))
+    for value in values.values():
         if bins_header is None:
-            bins_header = histogram.labels()
+            bins_header = value["labels"]
             result.headers = ["benchmark"] + list(bins_header) + ["DID>=4"]
-        fraction_long = histogram.fraction_at_least(4)
-        at_least_4.append(fraction_long)
+        at_least_4.append(value["long"])
         result.rows.append(
-            [name]
-            + [format_percent(f) for f in histogram.fractions()]
-            + [format_percent(fraction_long)]
+            [value["workload"]]
+            + [format_percent(f) for f in value["fractions"]]
+            + [format_percent(value["long"])]
         )
     result.rows.append(
         ["avg"]
@@ -50,3 +80,16 @@ def run(
         "paper: ~60% of dependencies (avg) span a distance >= 4 instructions"
     )
     return result
+
+
+def run(
+    trace_length: int = DEFAULT_TRACE_LENGTH,
+    seed: int = 0,
+    workloads: Optional[Sequence[str]] = None,
+) -> ExperimentResult:
+    """Regenerate Figure 3.4 (serial path over the same cells)."""
+    grid = cells(trace_length, seed, workloads)
+    return assemble({cell.cell_id: cell.compute() for cell in grid})
+
+
+SPEC = ExperimentSpec(EXPERIMENT_ID, cells, assemble)

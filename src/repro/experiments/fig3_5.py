@@ -7,43 +7,71 @@ then-current processors). The paper's headlines: the predictable-and-
 long fraction is largest for m88ksim (~40 %) and vortex (>55 %) — the
 benchmarks that react most to fetch bandwidth — while only ~23 % of
 arcs (avg) are predictable and short enough for a 4-wide machine.
+
+The grid is one cell per benchmark (one arc classification each).
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.analysis.report import ExperimentResult, format_percent
 from repro.dfg import ArcClass, classify_arcs
-from repro.experiments.common import DEFAULT_TRACE_LENGTH, mean, workload_traces
+from repro.exec.cells import Cell, ExperimentSpec
+from repro.experiments.common import DEFAULT_TRACE_LENGTH, get_trace, mean
+from repro.workloads import WORKLOAD_NAMES
+
+EXPERIMENT_ID = "fig3.5"
+TITLE = "Dependencies by value predictability and DID"
 
 
-def run(
+def compute_cell(workload: str, trace_length: int, seed: int) -> dict:
+    """One benchmark's arcs split by predictability × DID."""
+    trace = get_trace(workload, trace_length, seed)
+    breakdown = classify_arcs(trace)
+    return {
+        "workload": workload,
+        "unpred": breakdown.fraction(ArcClass.UNPREDICTABLE),
+        "short": breakdown.fraction(ArcClass.PREDICTABLE_SHORT),
+        "long": breakdown.fraction(ArcClass.PREDICTABLE_LONG),
+    }
+
+
+def cells(
     trace_length: int = DEFAULT_TRACE_LENGTH,
     seed: int = 0,
     workloads: Optional[Sequence[str]] = None,
-) -> ExperimentResult:
-    """Regenerate Figure 3.5."""
-    traces = workload_traces(trace_length, seed, workloads)
+) -> List[Cell]:
+    names = list(workloads) if workloads else list(WORKLOAD_NAMES)
+    return [
+        Cell(
+            EXPERIMENT_ID,
+            name,
+            compute_cell,
+            {"workload": name, "trace_length": trace_length, "seed": seed},
+        )
+        for name in names
+    ]
+
+
+def assemble(values: Dict[str, Any], trace_length: int = 0,
+             seed: int = 0) -> ExperimentResult:
+    del trace_length, seed
     result = ExperimentResult(
-        experiment_id="fig3.5",
-        title="Dependencies by value predictability and DID",
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
         headers=["benchmark", "unpredictable", "pred DID<4", "pred DID>=4"],
     )
     short_fractions, long_fractions = [], []
-    for name, trace in traces.items():
-        breakdown = classify_arcs(trace)
-        unpred = breakdown.fraction(ArcClass.UNPREDICTABLE)
-        short = breakdown.fraction(ArcClass.PREDICTABLE_SHORT)
-        long_ = breakdown.fraction(ArcClass.PREDICTABLE_LONG)
-        short_fractions.append(short)
-        long_fractions.append(long_)
+    for value in values.values():
+        short_fractions.append(value["short"])
+        long_fractions.append(value["long"])
         result.rows.append(
             [
-                name,
-                format_percent(unpred),
-                format_percent(short),
-                format_percent(long_),
+                value["workload"],
+                format_percent(value["unpred"]),
+                format_percent(value["short"]),
+                format_percent(value["long"]),
             ]
         )
     result.rows.append(
@@ -59,3 +87,16 @@ def run(
         "pred&DID<4 ~23% on average"
     )
     return result
+
+
+def run(
+    trace_length: int = DEFAULT_TRACE_LENGTH,
+    seed: int = 0,
+    workloads: Optional[Sequence[str]] = None,
+) -> ExperimentResult:
+    """Regenerate Figure 3.5 (serial path over the same cells)."""
+    grid = cells(trace_length, seed, workloads)
+    return assemble({cell.cell_id: cell.compute() for cell in grid})
+
+
+SPEC = ExperimentSpec(EXPERIMENT_ID, cells, assemble)

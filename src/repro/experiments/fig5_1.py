@@ -7,25 +7,116 @@ n taken branches per cycle, n ∈ {1, 2, 3, 4, unlimited}. The branch
 predictor is perfect, isolating fetch bandwidth from prediction
 accuracy. VP hardware: the conventional (conflict-free) stride unit
 with a 2-bit classifier.
+
+The grid is benchmark × taken-branch limit; one cell plans the fetch
+once and runs the no-VP/VP speedup pair over that shared plan. fig5_2
+reuses the whole grid with its 2-level BTB.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.report import ExperimentResult, format_percent
 from repro.bpred import PerfectBranchPredictor
 from repro.core import RealisticConfig, simulate_realistic, speedup
-from repro.experiments.common import DEFAULT_TRACE_LENGTH, mean, workload_traces
+from repro.exec.cells import Cell, ExperimentSpec
+from repro.experiments.common import DEFAULT_TRACE_LENGTH, get_trace, mean
 from repro.fetch import SequentialFetchEngine
 from repro.vphw import AbstractVPUnit
 from repro.vpred import make_predictor
+from repro.workloads import WORKLOAD_NAMES
 
 DEFAULT_TAKEN_LIMITS: Tuple[Optional[int], ...] = (1, 2, 3, 4, None)
+
+EXPERIMENT_ID = "fig5.1"
+TITLE = "VP speedup vs taken branches/cycle (ideal BTB)"
+PAPER_NOTE = "paper (avg, ideal BTB): ~3% at n=1 rising to ~50% at n=4"
 
 
 def _label(limit: Optional[int]) -> str:
     return "unlimited" if limit is None else f"n={limit}"
+
+
+def compute_cell(
+    workload: str,
+    limit: Optional[int],
+    trace_length: int,
+    seed: int,
+    make_bpred=PerfectBranchPredictor,
+) -> dict:
+    """One grid point: the VP/no-VP speedup pair at one taken limit."""
+    trace = get_trace(workload, trace_length, seed)
+    config = RealisticConfig()
+    engine = SequentialFetchEngine(width=config.issue_width, max_taken=limit)
+    bpred = make_bpred()
+    plan = engine.plan(trace, bpred)
+    base = simulate_realistic(
+        trace, engine, bpred, vp_unit=None, config=config, plan=plan
+    )
+    vp_unit = AbstractVPUnit(make_predictor())
+    with_vp = simulate_realistic(
+        trace, engine, bpred, vp_unit=vp_unit, config=config, plan=plan
+    )
+    return {"workload": workload, "limit": limit, "gain": speedup(with_vp, base)}
+
+
+def cells(
+    trace_length: int = DEFAULT_TRACE_LENGTH,
+    seed: int = 0,
+    workloads: Optional[Sequence[str]] = None,
+    taken_limits: Sequence[Optional[int]] = DEFAULT_TAKEN_LIMITS,
+    make_bpred=PerfectBranchPredictor,
+    experiment_id: str = EXPERIMENT_ID,
+) -> List[Cell]:
+    names = list(workloads) if workloads else list(WORKLOAD_NAMES)
+    return [
+        Cell(
+            experiment_id,
+            f"{name}|{_label(limit)}",
+            compute_cell,
+            {"workload": name, "limit": limit,
+             "trace_length": trace_length, "seed": seed,
+             "make_bpred": make_bpred},
+        )
+        for name in names
+        for limit in taken_limits
+    ]
+
+
+def assemble(
+    values: Dict[str, Any],
+    trace_length: int = 0,
+    seed: int = 0,
+    experiment_id: str = EXPERIMENT_ID,
+    title: str = TITLE,
+    note: str = PAPER_NOTE,
+) -> ExperimentResult:
+    del trace_length, seed
+    limits: List[Optional[int]] = []
+    rows: Dict[str, Dict[Optional[int], float]] = {}
+    for value in values.values():
+        rows.setdefault(value["workload"], {})[value["limit"]] = value["gain"]
+        if value["limit"] not in limits:
+            limits.append(value["limit"])
+    result = ExperimentResult(
+        experiment_id=experiment_id,
+        title=title,
+        headers=["benchmark"] + [_label(limit) for limit in limits],
+    )
+    for name, gains in rows.items():
+        result.rows.append(
+            [name] + [format_percent(gains[limit]) for limit in limits]
+        )
+    result.rows.append(
+        ["avg"]
+        + [
+            format_percent(mean([gains[limit] for gains in rows.values()]))
+            for limit in limits
+        ]
+    )
+    result.notes.append(note)
+    return result
 
 
 def run(
@@ -34,39 +125,14 @@ def run(
     taken_limits: Sequence[Optional[int]] = DEFAULT_TAKEN_LIMITS,
     workloads: Optional[Sequence[str]] = None,
     make_bpred=PerfectBranchPredictor,
-    experiment_id: str = "fig5.1",
-    title: str = "VP speedup vs taken branches/cycle (ideal BTB)",
+    experiment_id: str = EXPERIMENT_ID,
+    title: str = TITLE,
 ) -> ExperimentResult:
     """Regenerate Figure 5.1 (also parameterized by fig5_2 for its BTB)."""
-    traces = workload_traces(trace_length, seed, workloads)
-    config = RealisticConfig()
-    result = ExperimentResult(
-        experiment_id=experiment_id,
-        title=title,
-        headers=["benchmark"] + [_label(limit) for limit in taken_limits],
-    )
-    per_limit = {limit: [] for limit in taken_limits}
-    for name, trace in traces.items():
-        cells = [name]
-        for limit in taken_limits:
-            engine = SequentialFetchEngine(width=config.issue_width, max_taken=limit)
-            bpred = make_bpred()
-            plan = engine.plan(trace, bpred)
-            base = simulate_realistic(
-                trace, engine, bpred, vp_unit=None, config=config, plan=plan
-            )
-            vp_unit = AbstractVPUnit(make_predictor())
-            with_vp = simulate_realistic(
-                trace, engine, bpred, vp_unit=vp_unit, config=config, plan=plan
-            )
-            gain = speedup(with_vp, base)
-            per_limit[limit].append(gain)
-            cells.append(format_percent(gain))
-        result.rows.append(cells)
-    result.rows.append(
-        ["avg"] + [format_percent(mean(per_limit[limit])) for limit in taken_limits]
-    )
-    result.notes.append(
-        "paper (avg, ideal BTB): ~3% at n=1 rising to ~50% at n=4"
-    )
-    return result
+    grid = cells(trace_length, seed, workloads, taken_limits,
+                 make_bpred=make_bpred, experiment_id=experiment_id)
+    values = {cell.cell_id: cell.compute() for cell in grid}
+    return assemble(values, experiment_id=experiment_id, title=title)
+
+
+SPEC = ExperimentSpec(EXPERIMENT_ID, cells, assemble)

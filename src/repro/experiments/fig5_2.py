@@ -5,16 +5,46 @@ Identical to EXP-5.1 except for the branch predictor; comparing the two
 figures isolates the impact of branch prediction accuracy on the
 obtainable value-prediction speedup (the paper reports roughly 30 % of
 the n=4 speedup is lost to the realistic BTB).
+
+The grid is fig5_1's, instantiated with the 2-level BTB.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.analysis.report import ExperimentResult
 from repro.bpred import TwoLevelBTB
+from repro.exec.cells import Cell, ExperimentSpec
 from repro.experiments import fig5_1
 from repro.experiments.common import DEFAULT_TRACE_LENGTH
+
+EXPERIMENT_ID = "fig5.2"
+TITLE = "VP speedup vs taken branches/cycle (2-level PAp BTB)"
+PAPER_NOTE = (
+    "paper (avg, 2-level BTB): ~3% at n=1 rising to ~20% at n=4; "
+    "the paper's BTB averaged 86% accuracy"
+)
+
+
+def cells(
+    trace_length: int = DEFAULT_TRACE_LENGTH,
+    seed: int = 0,
+    workloads: Optional[Sequence[str]] = None,
+    taken_limits: Sequence[Optional[int]] = fig5_1.DEFAULT_TAKEN_LIMITS,
+) -> List[Cell]:
+    return fig5_1.cells(
+        trace_length, seed, workloads, taken_limits,
+        make_bpred=TwoLevelBTB, experiment_id=EXPERIMENT_ID,
+    )
+
+
+def assemble(values: Dict[str, Any], trace_length: int = 0,
+             seed: int = 0) -> ExperimentResult:
+    return fig5_1.assemble(
+        values, trace_length, seed,
+        experiment_id=EXPERIMENT_ID, title=TITLE, note=PAPER_NOTE,
+    )
 
 
 def run(
@@ -23,18 +53,9 @@ def run(
     taken_limits: Sequence[Optional[int]] = fig5_1.DEFAULT_TAKEN_LIMITS,
     workloads: Optional[Sequence[str]] = None,
 ) -> ExperimentResult:
-    """Regenerate Figure 5.2."""
-    result = fig5_1.run(
-        trace_length=trace_length,
-        seed=seed,
-        taken_limits=taken_limits,
-        workloads=workloads,
-        make_bpred=TwoLevelBTB,
-        experiment_id="fig5.2",
-        title="VP speedup vs taken branches/cycle (2-level PAp BTB)",
-    )
-    result.notes = [
-        "paper (avg, 2-level BTB): ~3% at n=1 rising to ~20% at n=4; "
-        "the paper's BTB averaged 86% accuracy"
-    ]
-    return result
+    """Regenerate Figure 5.2 (serial path over the same cells)."""
+    grid = cells(trace_length, seed, workloads, taken_limits)
+    return assemble({cell.cell_id: cell.compute() for cell in grid})
+
+
+SPEC = ExperimentSpec(EXPERIMENT_ID, cells, assemble)

@@ -7,21 +7,35 @@ predictor and the 2-level PAp BTB. Value prediction uses the Section 4
 banked hardware — interleaved table, address router with merging, value
 distributor — because trace-cache fetch can deliver several copies of
 one instruction per cycle.
+
+The grid is benchmark × branch-predictor column; one cell plans the
+trace-cache fetch once and runs its speedup pair over the shared plan.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.analysis.report import ExperimentResult, format_percent
 from repro.bpred import PerfectBranchPredictor, TwoLevelBTB
 from repro.core import RealisticConfig, simulate_realistic, speedup
-from repro.experiments.common import DEFAULT_TRACE_LENGTH, mean, workload_traces
+from repro.exec.cells import Cell, ExperimentSpec
+from repro.experiments.common import DEFAULT_TRACE_LENGTH, get_trace, mean
 from repro.fetch import TraceCacheFetchEngine
 from repro.vphw import AddressRouter, BankedVPUnit
 from repro.vpred import SaturatingClassifier, StridePredictor
+from repro.workloads import WORKLOAD_NAMES
 
 DEFAULT_N_BANKS = 16
+
+EXPERIMENT_ID = "fig5.3"
+TITLE = "VP speedup when using a trace cache"
+
+# Column label -> branch predictor factory, in the figure's order.
+COLUMNS = {
+    "TC+idealBTB": PerfectBranchPredictor,
+    "TC+2levelBTB": TwoLevelBTB,
+}
 
 
 def make_vp_unit(
@@ -36,48 +50,87 @@ def make_vp_unit(
     )
 
 
-def run(
+def compute_cell(
+    workload: str, column: str, trace_length: int, seed: int,
+    n_banks: int = DEFAULT_N_BANKS,
+) -> dict:
+    """One grid point: the speedup pair under one branch predictor."""
+    trace = get_trace(workload, trace_length, seed)
+    config = RealisticConfig()
+    engine = TraceCacheFetchEngine()
+    bpred = COLUMNS[column]()
+    plan = engine.plan(trace, bpred)
+    base = simulate_realistic(
+        trace, engine, bpred, vp_unit=None, config=config, plan=plan
+    )
+    vp_unit = make_vp_unit(n_banks=n_banks)
+    with_vp = simulate_realistic(
+        trace, engine, bpred, vp_unit=vp_unit, config=config, plan=plan
+    )
+    return {"workload": workload, "column": column, "gain": speedup(with_vp, base)}
+
+
+def cells(
     trace_length: int = DEFAULT_TRACE_LENGTH,
     seed: int = 0,
     workloads: Optional[Sequence[str]] = None,
     n_banks: int = DEFAULT_N_BANKS,
-) -> ExperimentResult:
-    """Regenerate Figure 5.3."""
-    traces = workload_traces(trace_length, seed, workloads)
-    config = RealisticConfig()
-    predictors: Dict[str, Callable] = {
-        "TC+idealBTB": PerfectBranchPredictor,
-        "TC+2levelBTB": TwoLevelBTB,
-    }
+) -> List[Cell]:
+    names = list(workloads) if workloads else list(WORKLOAD_NAMES)
+    return [
+        Cell(
+            EXPERIMENT_ID,
+            f"{name}|{column}",
+            compute_cell,
+            {"workload": name, "column": column,
+             "trace_length": trace_length, "seed": seed, "n_banks": n_banks},
+        )
+        for name in names
+        for column in COLUMNS
+    ]
+
+
+def assemble(values: Dict[str, Any], trace_length: int = 0,
+             seed: int = 0) -> ExperimentResult:
+    del trace_length, seed
+    columns: List[str] = []
+    rows: Dict[str, Dict[str, float]] = {}
+    for value in values.values():
+        rows.setdefault(value["workload"], {})[value["column"]] = value["gain"]
+        if value["column"] not in columns:
+            columns.append(value["column"])
     result = ExperimentResult(
-        experiment_id="fig5.3",
-        title="VP speedup when using a trace cache",
-        headers=["benchmark"] + list(predictors),
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        headers=["benchmark"] + columns,
     )
-    per_column = {column: [] for column in predictors}
-    for name, trace in traces.items():
-        cells = [name]
-        for column, make_bpred in predictors.items():
-            engine = TraceCacheFetchEngine()
-            bpred = make_bpred()
-            plan = engine.plan(trace, bpred)
-            base = simulate_realistic(
-                trace, engine, bpred, vp_unit=None, config=config, plan=plan
-            )
-            vp_unit = make_vp_unit(n_banks=n_banks)
-            with_vp = simulate_realistic(
-                trace, engine, bpred, vp_unit=vp_unit, config=config, plan=plan
-            )
-            gain = speedup(with_vp, base)
-            per_column[column].append(gain)
-            cells.append(format_percent(gain))
-        result.rows.append(cells)
+    for name, gains in rows.items():
+        result.rows.append(
+            [name] + [format_percent(gains[column]) for column in columns]
+        )
     result.rows.append(
         ["avg"]
-        + [format_percent(mean(per_column[column])) for column in predictors]
+        + [
+            format_percent(mean([gains[column] for gains in rows.values()]))
+            for column in columns
+        ]
     )
     result.notes.append(
         "paper: >10% average with the 2-level BTB, <40% average with the "
         "ideal branch predictor"
     )
     return result
+
+
+def run(
+    trace_length: int = DEFAULT_TRACE_LENGTH,
+    seed: int = 0,
+    workloads: Optional[Sequence[str]] = None,
+    n_banks: int = DEFAULT_N_BANKS,
+) -> ExperimentResult:
+    """Regenerate Figure 5.3 (serial path over the same cells)."""
+    grid = cells(trace_length, seed, workloads, n_banks)
+    return assemble({cell.cell_id: cell.compute() for cell in grid})
+
+
+SPEC = ExperimentSpec(EXPERIMENT_ID, cells, assemble)

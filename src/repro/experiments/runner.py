@@ -5,19 +5,36 @@ Usage::
     repro-experiments                      # everything, default scale
     repro-experiments fig3.1 fig5.3        # selected experiments
     repro-experiments --length 10000       # smaller traces (faster)
+    repro-experiments --jobs 4             # fan cells out over 4 processes
+    repro-experiments --json out/          # manifest + per-experiment JSON
+    repro-experiments --cache-dir /tmp/c   # relocate the on-disk cache
     repro-experiments --verify-invariants  # self-audit every simulation
     repro-experiments --list
+
+Experiments run through :class:`repro.exec.ExperimentEngine`: their
+workload × configuration cells fan out over ``--jobs`` worker processes
+(default: all CPUs), generated traces and completed cells are cached on
+disk under ``--cache-dir`` (default ``~/.cache/repro`` or
+``$REPRO_CACHE_DIR``), and re-runs resume from the cache instead of
+recomputing. ``--jobs 1`` runs every cell serially in-process.
+
+``--verify-invariants`` forces ``--jobs 1``: checked mode works by
+installing module-level hooks into the timing cores
+(:mod:`repro.verify.checked`), and those hooks do not cross process
+boundaries — worker processes would silently simulate unaudited.
 """
 
 from __future__ import annotations
 
 import argparse
 import contextlib
+import os
 import sys
-import time
 from typing import List, Optional
 
-from repro.experiments import ALL_EXPERIMENTS
+from repro.cliutil import positive_int
+from repro.exec import DiskCache, ExperimentEngine, default_cache_dir, write_artifacts
+from repro.experiments import ALL_EXPERIMENTS, EXPERIMENT_SPECS
 from repro.experiments.common import DEFAULT_TRACE_LENGTH
 
 
@@ -36,16 +53,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--length",
-        type=int,
+        type=positive_int,
         default=DEFAULT_TRACE_LENGTH,
         help=f"trace length per workload (default {DEFAULT_TRACE_LENGTH})",
     )
     parser.add_argument("--seed", type=int, default=0, help="workload seed")
     parser.add_argument(
+        "--jobs",
+        type=positive_int,
+        default=None,
+        metavar="N",
+        help="worker processes for the experiment grids "
+        "(default: os.cpu_count(); 1 = serial, in-process)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="on-disk cache for traces and completed cells "
+        "(default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk cache (recompute everything)",
+    )
+    parser.add_argument(
+        "--json",
+        default=None,
+        metavar="DIR",
+        help="write manifest.json, per-experiment results and "
+        "metrics.json into DIR",
+    )
+    parser.add_argument(
         "--verify-invariants",
         action="store_true",
         help="lint every simulation against the paper's machine "
-        "invariants (repro.verify); violations abort the run",
+        "invariants (repro.verify); violations abort the run; "
+        "implies --jobs 1 (the checked-mode hooks are per-process)",
     )
     parser.add_argument(
         "--list", action="store_true", help="list experiment ids and exit"
@@ -67,6 +112,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"available: {', '.join(ALL_EXPERIMENTS)}", file=sys.stderr)
         return 2
 
+    jobs = args.jobs if args.jobs is not None else (os.cpu_count() or 1)
+    if args.verify_invariants and jobs > 1:
+        print(
+            "note: --verify-invariants runs single-process (its hooks do "
+            "not cross process boundaries); forcing --jobs 1",
+            file=sys.stderr,
+        )
+        jobs = 1
+
+    cache = None
+    if not args.no_cache:
+        cache = DiskCache(args.cache_dir or default_cache_dir())
+
     if args.verify_invariants:
         from repro.verify import verified_simulations
 
@@ -74,16 +132,46 @@ def main(argv: Optional[List[str]] = None) -> int:
     else:
         checked = contextlib.nullcontext()
 
+    engine = ExperimentEngine(jobs=jobs, cache=cache)
     with checked:
-        for experiment_id in selected:
-            run = ALL_EXPERIMENTS[experiment_id]
-            started = time.time()
-            result = run(trace_length=args.length, seed=args.seed)
-            elapsed = time.time() - started
-            print(result.format())
-            print(f"({elapsed:.1f}s)")
+        report = engine.run(
+            selected, args.length, args.seed, specs=EXPERIMENT_SPECS
+        )
+
+    for experiment_id in selected:
+        cells = [o for o in report.outcomes if o.experiment_id == experiment_id]
+        busy = sum(o.wall_time for o in cells)
+        cached = sum(1 for o in cells if o.memoized)
+        if experiment_id in report.results:
+            print(report.results[experiment_id].format())
+            print(
+                f"({busy:.1f}s over {len(cells)} cells, "
+                f"{cached} from cache)"
+            )
             print()
-    return 0
+        else:
+            print(f"== {experiment_id}: FAILED ==", file=sys.stderr)
+            for error in report.errors[experiment_id]:
+                print(f"  {error}", file=sys.stderr)
+
+    stats = report.cache_stats
+    if stats:
+        print(
+            f"[engine] jobs={report.jobs} span={report.span_seconds:.1f}s "
+            f"utilization={report.utilization():.0%} "
+            f"cells hit/miss={stats['cell_hits']}/{stats['cell_misses']}"
+        )
+    else:
+        print(
+            f"[engine] jobs={report.jobs} span={report.span_seconds:.1f}s "
+            f"utilization={report.utilization():.0%} (cache disabled)"
+        )
+
+    if args.json:
+        manifest = write_artifacts(report, args.json)
+        print(f"[engine] wrote {manifest}")
+
+    return 0 if report.ok else 1
 
 
 if __name__ == "__main__":

@@ -11,12 +11,15 @@ their inputs were already computed — which is the paper's point.
 
 from __future__ import annotations
 
-from typing import List
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.analysis.report import ExperimentResult
 from repro.core.ideal import pipeline_table
+from repro.exec.cells import Cell, ExperimentSpec
 from repro.isa.opcodes import Opcode
 from repro.trace.record import DynInstr
+
+EXPERIMENT_ID = "table3.2"
 
 # (dest, srcs) per instruction of Figure 3.2, in appearance order.
 FIGURE_3_2 = [
@@ -73,3 +76,28 @@ def run(trace_length: int = 0, seed: int = 0) -> ExperimentResult:
         "need it (their producers' DID >= fetch rate)"
     )
     return result
+
+
+# -- engine grid -----------------------------------------------------------
+# The table has no workload × configuration sweep — its "grid" is the
+# single Figure 3.2 walkthrough, exposed as one picklable cell so the
+# engine schedules it uniformly with the real grids.
+
+def compute_cell(trace_length: int, seed: int) -> dict:
+    return run(trace_length, seed).to_dict()
+
+
+def cells(trace_length: int = 0, seed: int = 0,
+          workloads: Optional[Sequence[str]] = None) -> List[Cell]:
+    del workloads  # the walkthrough is workload-independent
+    return [Cell(EXPERIMENT_ID, "all", compute_cell,
+                 {"trace_length": trace_length, "seed": seed})]
+
+
+def assemble(values: Dict[str, Any], trace_length: int = 0,
+             seed: int = 0) -> ExperimentResult:
+    del trace_length, seed
+    return ExperimentResult.from_dict(values["all"])
+
+
+SPEC = ExperimentSpec(EXPERIMENT_ID, cells, assemble)

@@ -14,6 +14,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.cliutil import positive_int
 from repro.dfg import DIDHistogram, average_did, build_dfg
 from repro.isa import disassemble
 from repro.trace import compute_stats, write_trace
@@ -30,7 +31,7 @@ def build_parser() -> argparse.ArgumentParser:
     def add(name: str, help_text: str) -> argparse.ArgumentParser:
         command = sub.add_parser(name, help=help_text)
         command.add_argument("workload", choices=WORKLOAD_NAMES)
-        command.add_argument("--length", type=int, default=10_000)
+        command.add_argument("--length", type=positive_int, default=10_000)
         command.add_argument("--seed", type=int, default=0)
         return command
 

@@ -9,6 +9,7 @@ fresh work so a trace of any requested length can be captured.
 """
 
 from repro.workloads.registry import (
+    GENERATOR_VERSION,
     WORKLOAD_NAMES,
     WorkloadSpec,
     build_workload,
@@ -17,6 +18,7 @@ from repro.workloads.registry import (
 )
 
 __all__ = [
+    "GENERATOR_VERSION",
     "WORKLOAD_NAMES",
     "WorkloadSpec",
     "build_workload",

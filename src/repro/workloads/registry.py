@@ -70,6 +70,12 @@ _SPECS: List[WorkloadSpec] = [
 WORKLOAD_NAMES: List[str] = [spec.name for spec in _SPECS]
 _BY_NAME: Dict[str, WorkloadSpec] = {spec.name: spec for spec in _SPECS}
 
+# Version of the workload generators as a whole. Bump whenever any
+# kernel, the functional simulator, or the trace format changes in a way
+# that alters generated traces: on-disk trace caches (repro.exec.cache)
+# key on it, so a bump invalidates every cached trace at once.
+GENERATOR_VERSION = "1"
+
 
 def workload_specs() -> List[WorkloadSpec]:
     """All workload specs in the paper's Table 3.1 order."""

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.trace import SyntheticTraceConfig, generate_synthetic_trace
@@ -30,6 +32,23 @@ def _invariant_checked_mode(request):
 
     with verified_simulations():
         yield
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_disk_cache(tmp_path_factory):
+    """Point the on-disk cache at a per-session temp dir.
+
+    Tests that invoke the experiment runner (or anything else using
+    :func:`repro.exec.default_cache_dir`) must not read from — or leave
+    artifacts in — the user's real ``~/.cache/repro``.
+    """
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("repro-cache"))
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
 
 
 @pytest.fixture(scope="session")

@@ -3,7 +3,12 @@
 import pytest
 
 from repro.bpred import PerfectBranchPredictor, TwoLevelBTB
-from repro.core import RealisticConfig, simulate_realistic, speedup
+from repro.core import (
+    RealisticConfig,
+    plan_branch_accuracy,
+    simulate_realistic,
+    speedup,
+)
 from repro.errors import ConfigError
 from repro.fetch import SequentialFetchEngine, TraceCacheFetchEngine
 from repro.isa.opcodes import Opcode
@@ -101,6 +106,70 @@ def test_shared_plan_reused():
     a = simulate_realistic(trace, engine, bpred, None, RealisticConfig(), plan)
     b = simulate_realistic(trace, engine, bpred, None, RealisticConfig(), plan)
     assert a.cycles == b.cycles
+
+
+class TestSharedPlanBranchAccuracy:
+    """With a caller-supplied plan, ``branch_accuracy`` must describe the
+    plan — not whatever the predictor instance happened to have seen."""
+
+    def setup_plan(self, trace):
+        engine = SequentialFetchEngine(width=40, max_taken=1)
+        bpred = TwoLevelBTB()
+        plan = engine.plan(trace, bpred)
+        return engine, bpred, plan
+
+    def test_supplied_plan_reports_plan_accuracy(self):
+        trace = loop_trace(iterations=60, body=6)
+        engine, bpred, plan = self.setup_plan(trace)
+        result = simulate_realistic(trace, engine, bpred, None,
+                                    RealisticConfig(), plan)
+        expected = plan_branch_accuracy(trace, plan, bpred)
+        assert result.extra["branch_accuracy"] == pytest.approx(expected)
+        assert 0.0 < result.extra["branch_accuracy"] < 1.0
+
+    def test_fresh_predictor_with_supplied_plan(self):
+        # The bug this guards against: a *fresh* predictor instance plus
+        # a precomputed plan used to report the fresh instance's stats
+        # (vacuously perfect — zero lookups), not the plan's accuracy.
+        trace = loop_trace(iterations=60, body=6)
+        engine, bpred, plan = self.setup_plan(trace)
+        untrained = TwoLevelBTB()
+        assert untrained.stats.accuracy == 1.0  # the misleading number
+        result = simulate_realistic(trace, engine, untrained, None,
+                                    RealisticConfig(), plan)
+        expected = plan_branch_accuracy(trace, plan, untrained)
+        assert result.extra["branch_accuracy"] == pytest.approx(expected)
+        assert result.extra["branch_accuracy"] < 1.0
+
+    def test_vp_and_base_of_a_pair_agree(self):
+        trace = loop_trace(iterations=60, body=6)
+        engine, bpred, plan = self.setup_plan(trace)
+        base = simulate_realistic(trace, engine, bpred, None,
+                                  RealisticConfig(), plan)
+        vp_unit = AbstractVPUnit(make_predictor())
+        vp = simulate_realistic(trace, engine, bpred, vp_unit,
+                                RealisticConfig(), plan)
+        assert vp.extra["branch_accuracy"] == base.extra["branch_accuracy"]
+
+    def test_self_planned_run_matches_plan_derivation(self):
+        # Without a supplied plan the predictor's own stats are
+        # reported; they must agree with the plan-derived number.
+        trace = loop_trace(iterations=60, body=6)
+        engine = SequentialFetchEngine(width=40, max_taken=1)
+        bpred = TwoLevelBTB()
+        result = simulate_realistic(trace, engine, bpred, None,
+                                    RealisticConfig())
+        engine2 = SequentialFetchEngine(width=40, max_taken=1)
+        plan = engine2.plan(trace, TwoLevelBTB())
+        derived = plan_branch_accuracy(trace, plan, TwoLevelBTB())
+        assert result.extra["branch_accuracy"] == pytest.approx(derived)
+
+    def test_perfect_predictor_plan_accuracy_is_one(self):
+        trace = loop_trace(iterations=30, body=6)
+        engine = SequentialFetchEngine(width=40, max_taken=1)
+        bpred = PerfectBranchPredictor()
+        plan = engine.plan(trace, bpred)
+        assert plan_branch_accuracy(trace, plan, bpred) == 1.0
 
 
 def test_extra_stats_populated(vortex_trace):

@@ -17,7 +17,27 @@ def test_ipc():
 
 def test_non_positive_cycles_rejected():
     result = SimulationResult(name="x", n_instructions=100, cycles=0)
-    with pytest.raises(SimulationError):
+    with pytest.raises(SimulationError) as excinfo:
+        _ = result.ipc
+    assert "x" in str(excinfo.value)
+
+
+def test_empty_run_ipc_undefined():
+    # An empty trace commits in 0 cycles — that is a legitimate run, not
+    # a simulator bug, but its IPC (0/0) is undefined.
+    result = SimulationResult(name="realistic(base)", n_instructions=0, cycles=0)
+    with pytest.raises(SimulationError) as excinfo:
+        _ = result.ipc
+    message = str(excinfo.value)
+    assert "realistic(base)" in message
+    assert "0 instructions" in message
+
+
+def test_empty_run_reported_before_cycle_check():
+    # Even with nonsense cycles, an empty run reports the empty-run
+    # error (naming the trace), not the cycle-count error.
+    result = SimulationResult(name="t", n_instructions=0, cycles=5)
+    with pytest.raises(SimulationError, match="undefined for an empty run"):
         _ = result.ipc
 
 

@@ -1,0 +1,158 @@
+"""Tests for the on-disk artifact cache (repro.exec.cache)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exec import cache as cache_mod
+from repro.exec.cache import (
+    DiskCache,
+    activated,
+    active_cache,
+    default_cache_dir,
+    fetch_trace,
+)
+from repro.workloads import generate_trace
+
+
+def test_default_cache_dir_env_override(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "elsewhere"))
+    assert default_cache_dir() == tmp_path / "elsewhere"
+    monkeypatch.delenv("REPRO_CACHE_DIR")
+    assert default_cache_dir().name == "repro"
+
+
+class TestTraceStore:
+    def test_miss_then_hit(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        first = cache.fetch_trace("compress", 500, 0)
+        assert cache.stats.trace_misses == 1
+        assert cache.trace_path("compress", 500, 0).exists()
+        second = cache.fetch_trace("compress", 500, 0)
+        assert cache.stats.trace_hits == 1
+        assert len(second) == len(first) == 500
+        assert [r.pc for r in second] == [r.pc for r in first]
+        assert [r.value for r in second] == [r.value for r in first]
+
+    def test_key_separates_scales_and_seeds(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        paths = {
+            cache.trace_path("go", 100, 0),
+            cache.trace_path("go", 200, 0),
+            cache.trace_path("go", 100, 1),
+            cache.trace_path("li", 100, 0),
+        }
+        assert len(paths) == 4
+
+    def test_generator_version_bump_invalidates(self, tmp_path, monkeypatch):
+        cache = DiskCache(tmp_path)
+        cache.fetch_trace("compress", 300, 0)
+        assert cache.stats.trace_misses == 1
+        monkeypatch.setattr(cache_mod, "GENERATOR_VERSION", "bumped")
+        cache.fetch_trace("compress", 300, 0)
+        # The bumped key misses and regenerates instead of serving the
+        # stale pre-bump trace.
+        assert cache.stats.trace_misses == 2
+        assert cache.stats.trace_hits == 0
+
+    def test_roundtrip_preserves_loaded_equality(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        generated = generate_trace("vortex", length=400, seed=3)
+        cache.put_trace(generated, "vortex", 400, 3)
+        loaded = cache.get_trace("vortex", 400, 3)
+        assert [(r.seq, r.pc, r.dest, r.value) for r in loaded] == [
+            (r.seq, r.pc, r.dest, r.value) for r in generated
+        ]
+
+
+class TestCellStore:
+    def test_put_get_roundtrip(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        key = cache.cell_key("fig3.1", "compress|rate=4", {"trace_length": 100})
+        assert cache.get_cell(key) is None
+        cache.put_cell(key, {"gain": 0.25})
+        assert cache.get_cell(key) == {"gain": 0.25}
+        assert cache.stats.cell_hits == 1
+        assert cache.stats.cell_misses == 1
+
+    def test_key_depends_on_params(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        a = cache.cell_key("fig3.1", "c", {"trace_length": 100})
+        b = cache.cell_key("fig3.1", "c", {"trace_length": 200})
+        c = cache.cell_key("fig3.3", "c", {"trace_length": 100})
+        assert len({a, b, c}) == 3
+
+    def test_key_canonicalizes_callables(self, tmp_path):
+        from repro.bpred import PerfectBranchPredictor, TwoLevelBTB
+
+        cache = DiskCache(tmp_path)
+        a = cache.cell_key("fig5.1", "c", {"make_bpred": PerfectBranchPredictor})
+        same = cache.cell_key("fig5.1", "c", {"make_bpred": PerfectBranchPredictor})
+        b = cache.cell_key("fig5.1", "c", {"make_bpred": TwoLevelBTB})
+        assert a == same
+        assert a != b
+
+    def test_key_depends_on_versions(self, tmp_path, monkeypatch):
+        cache = DiskCache(tmp_path)
+        before = cache.cell_key("fig3.1", "c", {})
+        monkeypatch.setattr(cache_mod, "GENERATOR_VERSION", "bumped")
+        assert cache.cell_key("fig3.1", "c", {}) != before
+        monkeypatch.undo()
+        monkeypatch.setattr(cache_mod, "CELL_SCHEMA_VERSION", "bumped")
+        assert cache.cell_key("fig3.1", "c", {}) != before
+
+    def test_payload_is_json(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        key = cache.cell_key("x", "y", {})
+        cache.put_cell(key, {"nested": [1, 2, {"z": None}]})
+        raw = json.loads(cache.cell_path(key).read_text())
+        assert raw == {"value": {"nested": [1, 2, {"z": None}]}}
+
+
+class TestActiveCache:
+    def test_activated_scopes_and_restores(self, tmp_path):
+        assert active_cache() is None
+        with activated(DiskCache(tmp_path)) as cache:
+            assert active_cache() is cache
+            with activated(None):
+                assert active_cache() is None
+            assert active_cache() is cache
+        assert active_cache() is None
+
+    def test_activated_accepts_a_path(self, tmp_path):
+        with activated(tmp_path) as cache:
+            assert isinstance(cache, DiskCache)
+            assert cache.root == tmp_path
+
+    def test_fetch_trace_without_cache_generates(self):
+        trace = fetch_trace("compress", 200, 0)
+        assert len(trace) == 200
+
+    def test_fetch_trace_with_cache_stores(self, tmp_path):
+        with activated(DiskCache(tmp_path)) as cache:
+            fetch_trace("compress", 200, 0)
+            assert cache.stats.trace_misses == 1
+            fetch_trace("compress", 200, 0)
+            assert cache.stats.trace_hits == 1
+
+
+def test_atomic_write_leaves_no_temp_files(tmp_path):
+    cache = DiskCache(tmp_path)
+    cache.put_cell(cache.cell_key("x", "y", {}), {"v": 1})
+    cache.put_trace(generate_trace("go", length=100, seed=0), "go", 100, 0)
+    leftovers = list(tmp_path.rglob("*.tmp"))
+    assert leftovers == []
+
+
+def test_atomic_write_cleans_up_on_error(tmp_path):
+    cache = DiskCache(tmp_path)
+
+    def boom(handle):
+        raise RuntimeError("mid-write failure")
+
+    with pytest.raises(RuntimeError):
+        cache._atomic_write(tmp_path / "cells" / "x.json", boom)
+    assert list(tmp_path.rglob("*.tmp")) == []
+    assert not (tmp_path / "cells" / "x.json").exists()

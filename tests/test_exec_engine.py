@@ -1,0 +1,189 @@
+"""Tests for the parallel experiment engine (repro.exec.engine).
+
+The load-bearing property: ``--jobs 1`` and ``--jobs N`` runs of the
+same scale produce identical results and byte-identical artifact
+files, and completed cells are memoized so re-runs and partial
+failures resume instead of recomputing.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.exec import DiskCache, ExperimentEngine, write_artifacts
+from repro.exec.cells import Cell, ExperimentSpec
+from repro.experiments import EXPERIMENT_SPECS, fig3_3
+
+SMALL = 2_000
+TWO_WORKLOADS = ("compress", "m88ksim")
+
+
+def read_json(path: Path) -> dict:
+    return json.loads(path.read_text())
+
+
+def test_serial_engine_matches_legacy_run(tmp_path):
+    engine = ExperimentEngine(jobs=1, cache=DiskCache(tmp_path))
+    report = engine.run(["fig3.3"], SMALL, 0, workloads=TWO_WORKLOADS)
+    direct = fig3_3.run(trace_length=SMALL, workloads=TWO_WORKLOADS)
+    assert report.results["fig3.3"].format() == direct.format()
+
+
+def test_parallel_matches_serial_byte_identically(tmp_path):
+    ids = ["fig3.1", "fig3.3", "table3.2"]
+    serial = ExperimentEngine(jobs=1, cache=DiskCache(tmp_path / "c1")).run(
+        ids, SMALL, 0, workloads=TWO_WORKLOADS
+    )
+    parallel = ExperimentEngine(jobs=4, cache=DiskCache(tmp_path / "c2")).run(
+        ids, SMALL, 0, workloads=TWO_WORKLOADS
+    )
+    write_artifacts(serial, tmp_path / "o1")
+    write_artifacts(parallel, tmp_path / "o2")
+    for name in ["manifest.json"] + [f"{i}.json" for i in ids]:
+        assert (tmp_path / "o1" / name).read_bytes() == (
+            tmp_path / "o2" / name
+        ).read_bytes(), name
+
+
+def test_parallel_outcomes_report_workers_and_timing(tmp_path):
+    report = ExperimentEngine(jobs=2, cache=DiskCache(tmp_path)).run(
+        ["fig3.3"], SMALL, 0, workloads=TWO_WORKLOADS
+    )
+    assert report.ok
+    workers = {o.worker for o in report.outcomes}
+    assert all(w.startswith("pid-") for w in workers)
+    assert all(o.wall_time > 0 for o in report.outcomes)
+    assert 0.0 < report.utilization() <= 1.0
+
+
+def test_second_run_is_served_from_cache(tmp_path):
+    cache_dir = tmp_path / "cache"
+    first = ExperimentEngine(jobs=1, cache=DiskCache(cache_dir)).run(
+        ["fig3.3"], SMALL, 0, workloads=TWO_WORKLOADS
+    )
+    assert all(not o.memoized for o in first.outcomes)
+    second = ExperimentEngine(jobs=1, cache=DiskCache(cache_dir)).run(
+        ["fig3.3"], SMALL, 0, workloads=TWO_WORKLOADS
+    )
+    assert all(o.memoized for o in second.outcomes)
+    assert second.cache_stats["cell_hits"] == len(second.outcomes)
+    assert (
+        second.results["fig3.3"].format() == first.results["fig3.3"].format()
+    )
+
+
+def test_memoized_artifacts_stay_byte_identical(tmp_path):
+    cache = DiskCache(tmp_path / "cache")
+    ids = ["fig3.3", "table3.2"]
+    cold = ExperimentEngine(jobs=1, cache=cache).run(
+        ids, SMALL, 0, workloads=TWO_WORKLOADS
+    )
+    warm = ExperimentEngine(jobs=1, cache=DiskCache(tmp_path / "cache")).run(
+        ids, SMALL, 0, workloads=TWO_WORKLOADS
+    )
+    write_artifacts(cold, tmp_path / "cold")
+    write_artifacts(warm, tmp_path / "warm")
+    for name in ["manifest.json"] + [f"{i}.json" for i in ids]:
+        assert (tmp_path / "cold" / name).read_bytes() == (
+            tmp_path / "warm" / name
+        ).read_bytes(), name
+    metrics = read_json(tmp_path / "warm" / "metrics.json")
+    assert metrics["cache"]["cell_hits"] > 0
+
+
+# -- resume after partial failure ------------------------------------------
+#
+# A fake two-cell experiment: one cell always works, the other fails
+# until a marker file appears. Cell executions append to a log file so
+# the test can see exactly what was recomputed.
+
+def _working_cell(log: str, payload: int) -> dict:
+    with open(log, "a") as handle:
+        handle.write("working\n")
+    return {"payload": payload}
+
+
+def _flaky_cell(log: str, marker: str) -> dict:
+    with open(log, "a") as handle:
+        handle.write("flaky\n")
+    if not Path(marker).exists():
+        raise RuntimeError("transient failure (marker file missing)")
+    return {"payload": 99}
+
+
+def _fake_spec(log: str, marker: str) -> ExperimentSpec:
+    def cells(trace_length, seed, workloads=None):
+        return [
+            Cell("fake", "good", _working_cell, {"log": log, "payload": 7}),
+            Cell("fake", "bad", _flaky_cell, {"log": log, "marker": marker}),
+        ]
+
+    def assemble(values, trace_length, seed):
+        from repro.analysis.report import ExperimentResult
+
+        result = ExperimentResult("fake", "fake", ["cell", "payload"])
+        for cell_id, value in values.items():
+            result.rows.append([cell_id, str(value["payload"])])
+        return result
+
+    return ExperimentSpec("fake", cells, assemble)
+
+
+def test_resume_after_partial_failure(tmp_path):
+    log = str(tmp_path / "log.txt")
+    marker = str(tmp_path / "marker")
+    specs = {"fake": _fake_spec(log, marker)}
+    cache_dir = tmp_path / "cache"
+
+    first = ExperimentEngine(jobs=1, cache=DiskCache(cache_dir)).run(
+        ["fake"], 10, 0, specs=specs
+    )
+    assert not first.ok
+    assert "fake" in first.errors
+    assert any("transient failure" in e for e in first.errors["fake"])
+    assert Path(log).read_text() == "working\nflaky\n"
+
+    # Fix the transient failure and re-run: the good cell resumes from
+    # the cache, only the failed cell recomputes.
+    Path(marker).touch()
+    second = ExperimentEngine(jobs=1, cache=DiskCache(cache_dir)).run(
+        ["fake"], 10, 0, specs=specs
+    )
+    assert second.ok
+    assert Path(log).read_text() == "working\nflaky\nflaky\n"
+    outcome = {o.cell_id: o for o in second.outcomes}
+    assert outcome["good"].memoized
+    assert not outcome["bad"].memoized
+    assert second.results["fake"].cell("bad", "payload") == "99"
+
+
+def test_failure_does_not_poison_other_experiments(tmp_path):
+    log = str(tmp_path / "log.txt")
+    specs = dict(EXPERIMENT_SPECS)
+    specs["fake"] = _fake_spec(log, str(tmp_path / "never-created"))
+    report = ExperimentEngine(jobs=1, cache=DiskCache(tmp_path / "c")).run(
+        ["fake", "fig3.3"], SMALL, 0, workloads=TWO_WORKLOADS, specs=specs
+    )
+    assert "fake" in report.errors
+    assert "fig3.3" in report.results
+
+
+def test_no_cache_engine_recomputes(tmp_path):
+    engine = ExperimentEngine(jobs=1, cache=None)
+    report = engine.run(["fig3.3"], SMALL, 0, workloads=TWO_WORKLOADS)
+    assert report.ok
+    assert report.cache_stats == {}
+    again = engine.run(["fig3.3"], SMALL, 0, workloads=TWO_WORKLOADS)
+    assert all(not o.memoized for o in again.outcomes)
+
+
+def test_engine_covers_every_registered_experiment():
+    from repro.experiments import ALL_EXPERIMENTS
+
+    assert set(EXPERIMENT_SPECS) == set(ALL_EXPERIMENTS)
+    for experiment_id, spec in EXPERIMENT_SPECS.items():
+        assert spec.experiment_id == experiment_id
+        grid = spec.cells(100, 0, ("compress",))
+        assert grid, experiment_id
+        assert all(cell.experiment_id == experiment_id for cell in grid)

@@ -182,6 +182,49 @@ class TestRunnerCLI:
         assert main(["table3.2"]) == 0
         out = capsys.readouterr().out
         assert "Pipeline progress" in out
+        assert "[engine]" in out
+
+    @pytest.mark.parametrize("flag", ["--length", "--jobs"])
+    @pytest.mark.parametrize("bad", ["0", "-3", "lots"])
+    def test_non_positive_numeric_flags_rejected(self, flag, bad, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["table3.2", flag, bad])
+        assert excinfo.value.code == 2
+        assert "integer" in capsys.readouterr().err
+
+    def test_json_artifacts_and_cache_reuse(self, tmp_path, capsys):
+        args = ["fig3.3", "--length", "2000",
+                "--cache-dir", str(tmp_path / "cache")]
+        assert main([*args, "--json", str(tmp_path / "o1")]) == 0
+        assert main([*args, "--json", str(tmp_path / "o2")]) == 0
+        capsys.readouterr()
+
+        manifest1 = (tmp_path / "o1" / "manifest.json").read_bytes()
+        manifest2 = (tmp_path / "o2" / "manifest.json").read_bytes()
+        assert manifest1 == manifest2
+
+        import json
+
+        metrics = json.loads((tmp_path / "o2" / "metrics.json").read_text())
+        assert metrics["cache"]["cell_hits"] > 0
+        manifest = json.loads(manifest1)
+        assert manifest["experiments"]["fig3.3"]["status"] == "ok"
+        assert (tmp_path / "o1" / "fig3.3.json").exists()
+
+    def test_no_cache_disables_memoization(self, tmp_path, capsys):
+        args = ["table3.2", "--no-cache", "--jobs", "1"]
+        assert main(args) == 0
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "0 from cache" in out
+        assert "(cache disabled)" in out
+
+    def test_verify_invariants_forces_serial(self, capsys):
+        assert main(["table3.2", "--verify-invariants", "--jobs", "4",
+                     "--no-cache"]) == 0
+        captured = capsys.readouterr()
+        assert "forcing --jobs 1" in captured.err
+        assert "jobs=1" in captured.out
 
 
 def test_abl_useless_falls_with_rate():

@@ -71,6 +71,17 @@ def test_missing_subcommand_rejected():
     assert excinfo.value.code == 2
 
 
+@pytest.mark.parametrize("bad", ["0", "-5", "2.5", "many"])
+@pytest.mark.parametrize("command", ["stats", "dump", "did"])
+def test_non_positive_length_rejected(command, bad, capsys):
+    # argparse reports the bad value cleanly (usage exit code 2), it
+    # does not reach the generator as a nonsense length.
+    with pytest.raises(SystemExit) as excinfo:
+        main([command, "compress", "--length", bad])
+    assert excinfo.value.code == 2
+    assert "integer" in capsys.readouterr().err
+
+
 def test_top_level_api():
     import repro
 
