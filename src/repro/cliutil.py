@@ -3,6 +3,25 @@
 from __future__ import annotations
 
 import argparse
+import sys
+from typing import NoReturn
+
+
+class CleanArgumentParser(argparse.ArgumentParser):
+    """Argparse whose usage errors are machine-friendly.
+
+    Any bad flag, unknown subcommand or out-of-``choices`` value exits
+    with code 2 and exactly one line on stderr — no multi-line usage
+    dump, no traceback, and (because nothing is written to stdout) no
+    half-emitted JSON for ``--json`` consumers to choke on.
+    """
+
+    def error(self, message: str) -> NoReturn:
+        print(
+            f"{self.prog}: error: {message} (try {self.prog} --help)",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
 
 
 def positive_int(text: str) -> int:

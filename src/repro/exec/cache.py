@@ -32,7 +32,7 @@ import tempfile
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Iterator, Optional, Union
+from typing import IO, Any, Callable, Dict, Iterator, Optional, Union
 
 from repro.trace.io import read_trace, write_trace
 from repro.trace.trace import Trace
@@ -40,7 +40,9 @@ from repro.workloads import GENERATOR_VERSION, generate_trace
 
 # Bump to invalidate memoized experiment cells whose payload schema or
 # computation changed without a workload-generator change.
-CELL_SCHEMA_VERSION = "1"
+# "2": the cell function joined the cache key (RPP002 — a key that
+# omits a Cell field goes silently stale when that field changes).
+CELL_SCHEMA_VERSION = "2"
 
 
 def default_cache_dir() -> Path:
@@ -55,14 +57,14 @@ def _qualified_name(value: Any) -> str:
     return f"{getattr(value, '__module__', '?')}.{getattr(value, '__qualname__', repr(value))}"
 
 
-def _canonical(value: Any) -> Any:
+def canonical(value: Any) -> Any:
     """A JSON-stable stand-in for ``value`` (callables/classes by name)."""
     if callable(value):
         return _qualified_name(value)
     if isinstance(value, dict):
-        return {str(k): _canonical(v) for k, v in sorted(value.items())}
+        return {str(k): canonical(v) for k, v in sorted(value.items())}
     if isinstance(value, (list, tuple)):
-        return [_canonical(v) for v in value]
+        return [canonical(v) for v in value]
     return value
 
 
@@ -91,7 +93,7 @@ class DiskCache:
     root: Path
     stats: CacheStats = field(default_factory=CacheStats)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         self.root = Path(self.root)
 
     # -- path / key plumbing ---------------------------------------------
@@ -110,19 +112,27 @@ class DiskCache:
         )
 
     def cell_key(
-        self, experiment_id: str, cell_id: str, params: Dict[str, Any]
+        self,
+        experiment_id: str,
+        cell_id: str,
+        params: Dict[str, Any],
+        func: Optional[Callable[..., Any]] = None,
     ) -> str:
         """Content key for one experiment cell.
 
-        Keys on experiment, cell id, canonicalized parameters
-        (callables by qualified name) and both cache versions, so a
-        generator or schema bump invalidates every memoized cell.
+        Keys on every :class:`~repro.exec.cells.Cell` field — the
+        experiment, the cell id, the cell function (by qualified name)
+        and the canonicalized parameters — plus both cache versions, so
+        a generator or schema bump invalidates every memoized cell.
+        Omitting a field from the key is the silent-staleness bug the
+        ``RPP002`` static rule guards against.
         """
         identity = json.dumps(
             {
                 "experiment": experiment_id,
                 "cell": cell_id,
-                "params": _canonical(params),
+                "func": None if func is None else canonical(func),
+                "params": canonical(params),
                 "generator_version": GENERATOR_VERSION,
                 "cell_schema_version": CELL_SCHEMA_VERSION,
             },
@@ -176,7 +186,7 @@ class DiskCache:
 
     # -- internals --------------------------------------------------------
 
-    def _atomic_write(self, path: Path, write) -> None:
+    def _atomic_write(self, path: Path, write: Callable[[IO[str]], object]) -> None:
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp_name = tempfile.mkstemp(
             dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
@@ -201,7 +211,9 @@ _ACTIVE: Optional[DiskCache] = None
 def activate(cache: Optional[Union[DiskCache, str, Path]]) -> Optional[DiskCache]:
     """Install ``cache`` (a :class:`DiskCache`, or a directory to root
     one at) as the process-wide active cache; returns it."""
-    global _ACTIVE
+    # The active cache is deliberately process-local: each pool worker
+    # installs its own handle via the engine's initializer.
+    global _ACTIVE  # repro-lint: disable=RPD005
     if cache is not None and not isinstance(cache, DiskCache):
         cache = DiskCache(Path(cache))
     _ACTIVE = cache
@@ -209,7 +221,7 @@ def activate(cache: Optional[Union[DiskCache, str, Path]]) -> Optional[DiskCache
 
 
 def deactivate() -> None:
-    global _ACTIVE
+    global _ACTIVE  # repro-lint: disable=RPD005
     _ACTIVE = None
 
 

@@ -24,7 +24,8 @@ import time
 import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.report import ExperimentResult
 from repro.exec import cache as cache_mod
@@ -84,7 +85,9 @@ class EngineReport:
         return busy / (self.jobs * self.span_seconds)
 
 
-def _execute(func, kwargs) -> Tuple[Any, Optional[str], float, str, int, int]:
+def _execute(
+    func: Callable[..., Any], kwargs: Dict[str, Any]
+) -> Tuple[Any, Optional[str], float, str, int, int]:
     """Run one cell function, measuring wall time and trace-cache traffic.
 
     Runs in the worker process (or in-process for the serial path).
@@ -127,13 +130,13 @@ class ExperimentEngine:
     def __init__(
         self,
         jobs: Optional[int] = None,
-        cache: Optional[DiskCache] = None,
+        cache: Union[DiskCache, str, "os.PathLike[str]", None] = None,
         memoize: bool = True,
-    ):
+    ) -> None:
         self.jobs = max(1, jobs if jobs is not None else (os.cpu_count() or 1))
         if cache is not None and not isinstance(cache, DiskCache):
-            cache = DiskCache(cache)
-        self.cache = cache
+            cache = DiskCache(Path(cache))
+        self.cache: Optional[DiskCache] = cache
         self.memoize = memoize and cache is not None
 
     # -- public API -------------------------------------------------------
@@ -194,7 +197,10 @@ class ExperimentEngine:
         for cell in cells:
             ref = (cell.experiment_id, cell.cell_id)
             if self.memoize:
-                key = self.cache.cell_key(cell.experiment_id, cell.cell_id, cell.kwargs)
+                assert self.cache is not None  # memoize implies a cache
+                key = self.cache.cell_key(
+                    cell.experiment_id, cell.cell_id, cell.kwargs, cell.func
+                )
                 keys[ref] = key
                 value = self.cache.get_cell(key)
                 if value is not None:
@@ -213,6 +219,7 @@ class ExperimentEngine:
         report.span_seconds = time.perf_counter() - started
 
         if self.memoize:
+            assert self.cache is not None  # memoize implies a cache
             for ref, outcome in outcomes.items():
                 if outcome.ok and not outcome.memoized:
                     self.cache.put_cell(keys[ref], outcome.value)

@@ -32,14 +32,14 @@ import os
 import sys
 from typing import List, Optional
 
-from repro.cliutil import positive_int
+from repro.cliutil import CleanArgumentParser, positive_int
 from repro.exec import DiskCache, ExperimentEngine, default_cache_dir, write_artifacts
 from repro.experiments import ALL_EXPERIMENTS, EXPERIMENT_SPECS
 from repro.experiments.common import DEFAULT_TRACE_LENGTH
 
 
 def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
+    parser = CleanArgumentParser(
         prog="repro-experiments",
         description="Regenerate the tables and figures of Gabbay & "
         "Mendelson, 'The Effect of Instruction Fetch Bandwidth on Value "

@@ -104,4 +104,7 @@ class DynInstr:
         )
 
     def __hash__(self) -> int:
-        return hash((self.seq, self.pc, self.op))
+        # In-process set/dict membership only; never persisted or used
+        # to order results, so per-process hash salting cannot leak into
+        # artifacts.
+        return hash((self.seq, self.pc, self.op))  # repro-lint: disable=RPD003

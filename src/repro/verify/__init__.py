@@ -11,6 +11,12 @@ Three layers, one diagnostics model:
   paper's Section 3/5 machine invariants.
 * :mod:`repro.verify.checked` — :func:`verified_simulations`, a context
   manager that makes every timing-core run self-audit.
+* :mod:`repro.verify.static` + :mod:`repro.verify.rules` — the
+  codebase-level static analyzer behind ``repro-lint static``:
+  determinism and parallel-safety rules over Python sources
+  (``RPD*``/``RPP*``) and admissibility checks over the experiment
+  grids (``RPG*``, :func:`lint_all_grids`) — the grids are enumerated,
+  never simulated.
 
 ``repro-lint`` (:mod:`repro.verify.cli`) is the command-line surface.
 """
@@ -27,6 +33,7 @@ from repro.verify.invariants import (
     audit_ideal_run,
     audit_realistic_run,
     lint_did_histogram,
+    lint_fetch_geometry,
     lint_fetch_plan,
     lint_result,
     lint_schedule,
@@ -34,6 +41,9 @@ from repro.verify.invariants import (
     lint_vp_stats,
 )
 from repro.verify.program import verify_program
+from repro.verify.rules import Rule, all_rules, get_rule
+from repro.verify.rules.grids import lint_all_grids, lint_grid
+from repro.verify.static import analyze_paths, analyze_sources, discover_files
 
 __all__ = [
     "BasicBlock",
@@ -54,4 +64,13 @@ __all__ = [
     "audit_ideal_run",
     "verified_simulations",
     "invariants_checked",
+    "lint_fetch_geometry",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "analyze_paths",
+    "analyze_sources",
+    "discover_files",
+    "lint_grid",
+    "lint_all_grids",
 ]

@@ -64,7 +64,7 @@ def indirect_target_indices(program: Program) -> Set[int]:
 class ControlFlowGraph:
     """Basic blocks, edges and entry-reachability of a program."""
 
-    def __init__(self, program: Program):
+    def __init__(self, program: Program) -> None:
         self.program = program
         self.entry_index = program.index_of(program.entry)
         self.blocks: List[BasicBlock] = []

@@ -16,11 +16,15 @@ option can be combined.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Iterator, List, Optional
+from typing import TYPE_CHECKING, Iterator, List, Optional
 
 from repro.errors import VerificationError
 from repro.verify.diagnostics import FAIL_ON_CHOICES, Report
 from repro.verify.invariants import audit_ideal_run, audit_realistic_run
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.ideal import IdealRunAudit
+    from repro.core.realistic import RealisticRunAudit
 
 
 def _require_fail_on(fail_on: str) -> None:
@@ -54,21 +58,25 @@ def verified_simulations(
                 report=report,
             )
 
-    def on_realistic(audit) -> None:
+    def on_realistic(audit: "RealisticRunAudit") -> None:
         handle(audit_realistic_run(audit))
 
-    def on_ideal(audit) -> None:
+    def on_ideal(audit: "IdealRunAudit") -> None:
         handle(audit_ideal_run(audit))
 
+    # Checked mode IS a deliberate module-state installation: the hooks
+    # are saved, installed for the dynamic extent of the block, and
+    # restored on the way out. This is also why checked mode cannot
+    # cross process boundaries (--verify-invariants forces --jobs 1).
     saved_realistic = realistic.INVARIANT_HOOK
     saved_ideal = ideal.INVARIANT_HOOK
-    realistic.INVARIANT_HOOK = on_realistic
-    ideal.INVARIANT_HOOK = on_ideal
+    realistic.INVARIANT_HOOK = on_realistic  # repro-lint: disable=RPD005
+    ideal.INVARIANT_HOOK = on_ideal  # repro-lint: disable=RPD005
     try:
         yield reports
     finally:
-        realistic.INVARIANT_HOOK = saved_realistic
-        ideal.INVARIANT_HOOK = saved_ideal
+        realistic.INVARIANT_HOOK = saved_realistic  # repro-lint: disable=RPD005
+        ideal.INVARIANT_HOOK = saved_ideal  # repro-lint: disable=RPD005
 
 
 def invariants_checked() -> bool:

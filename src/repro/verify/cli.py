@@ -5,21 +5,29 @@ Subcommands::
     repro-lint program <workload|all>     # static verifier over a kernel
     repro-lint run <workload> [--fetch seq|cb|tc] [--max-taken N] ...
                                           # checked simulation + artifact lints
+    repro-lint static [PATH ...] [--grids]
+                                          # determinism/parallel-safety rules
+                                          # over Python sources, plus grid
+                                          # admissibility for every experiment
 
-Both support ``--json`` (machine-readable diagnostics on stdout) and
+All support ``--json`` (machine-readable diagnostics on stdout) and
 ``--fail-on {error,warning,info,never}`` (the severity at which findings
-make the exit status nonzero; default ``error``).
+make the exit status nonzero; default ``error``). Usage errors — bad
+flags, unknown workloads, unreadable paths — exit with code 2 and one
+line on stderr, in ``--json`` mode too: JSON is only ever emitted whole.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import List, Optional, Union
 
 from repro.bpred import PerfectBranchPredictor, TwoLevelBTB
+from repro.cliutil import CleanArgumentParser, positive_int
 from repro.core import RealisticConfig, simulate_realistic
 from repro.dfg import DIDHistogram, build_dfg
+from repro.errors import ConfigError
 from repro.fetch import (
     CollapsingBufferFetchEngine,
     SequentialFetchEngine,
@@ -49,7 +57,7 @@ def _parse_max_taken(text: str) -> Optional[int]:
 
 
 def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
+    parser = CleanArgumentParser(
         prog="repro-lint",
         description="Statically verify repro workloads and lint "
         "simulation artifacts against the paper's machine invariants.",
@@ -97,6 +105,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-vp", action="store_true", help="lint the baseline run only"
     )
     common(run)
+
+    static = sub.add_parser(
+        "static",
+        help="run the determinism / parallel-safety rules over Python "
+        "sources and the admissibility checks over experiment grids",
+    )
+    static.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="Python files or directories to analyze",
+    )
+    static.add_argument(
+        "--grids", action="store_true",
+        help="also enumerate every registered experiment grid and "
+        "check each cell's admissibility (no simulation runs)",
+    )
+    static.add_argument(
+        "--experiment", action="append", default=None, metavar="ID",
+        dest="experiments",
+        help="restrict --grids to this experiment id (repeatable)",
+    )
+    static.add_argument(
+        "--length", type=positive_int, default=None, metavar="N",
+        help="trace length the grids are enumerated at "
+        "(default: the experiments' default scale)",
+    )
+    static.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog (code, name, severity) and exit",
+    )
+    common(static)
     return parser
 
 
@@ -112,7 +150,55 @@ def _exit_code(reports: List[Report], fail_on: str) -> int:
     return 1 if any(report.fails(fail_on) for report in reports) else 0
 
 
-def _cmd_program(args) -> int:
+def _cmd_static(args: argparse.Namespace) -> int:
+    from repro.verify.rules import all_rules
+    from repro.verify.rules.grids import lint_all_grids
+    from repro.verify.static import analyze_paths, severity_counts
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(
+                f"{rule.code}  {rule.severity.value:<7}  "
+                f"{rule.name:<24}  {rule.summary}"
+            )
+        return 0
+    if not args.paths and not args.grids and not args.experiments:
+        raise ConfigError(
+            "nothing to analyze: give PATHs, --grids, or --experiment"
+        )
+
+    reports: List[Report] = []
+    if args.paths:
+        reports.extend(analyze_paths(args.paths))
+    if args.grids or args.experiments:
+        if args.length is None:
+            from repro.experiments.common import DEFAULT_TRACE_LENGTH
+
+            length = DEFAULT_TRACE_LENGTH
+        else:
+            length = args.length
+        try:
+            reports.extend(lint_all_grids(
+                length, args.seed, experiment_ids=args.experiments
+            ))
+        except KeyError as exc:
+            raise ConfigError(str(exc).strip("'\"")) from None
+
+    if args.json:
+        print(reports_to_json(reports))
+    else:
+        for report in reports:
+            if report.diagnostics:
+                print(report.format())
+        counts = severity_counts(reports)
+        print(
+            f"repro-lint static: {len(reports)} subject(s), "
+            f"{counts['errors']} error(s), {counts['warnings']} warning(s)"
+        )
+    return _exit_code(reports, args.fail_on)
+
+
+def _cmd_program(args: argparse.Namespace) -> int:
     names = WORKLOAD_NAMES if args.workload == "all" else [args.workload]
     reports = [
         verify_program(build_workload(name, seed=args.seed)) for name in names
@@ -121,7 +207,11 @@ def _cmd_program(args) -> int:
     return _exit_code(reports, args.fail_on)
 
 
-def _make_engine(args):
+def _make_engine(
+    args: argparse.Namespace,
+) -> Union[
+    SequentialFetchEngine, CollapsingBufferFetchEngine, TraceCacheFetchEngine
+]:
     if args.fetch == "seq":
         return SequentialFetchEngine(width=args.width, max_taken=args.max_taken)
     if args.fetch == "cb":
@@ -129,7 +219,7 @@ def _make_engine(args):
     return TraceCacheFetchEngine()
 
 
-def _cmd_run(args) -> int:
+def _cmd_run(args: argparse.Namespace) -> int:
     trace = generate_trace(args.workload, length=args.length, seed=args.seed)
     engine = _make_engine(args)
     bpred = PerfectBranchPredictor() if args.bpred == "perfect" else TwoLevelBTB()
@@ -173,9 +263,18 @@ def _cmd_run(args) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    if args.command == "program":
-        return _cmd_program(args)
-    return _cmd_run(args)
+    try:
+        if args.command == "program":
+            return _cmd_program(args)
+        if args.command == "static":
+            return _cmd_static(args)
+        return _cmd_run(args)
+    except ConfigError as exc:
+        # Usage-class failures (unresolvable workloads, unreadable
+        # paths, bad grid selections) exit 2 with one line on stderr —
+        # never a traceback, and never partial JSON on stdout.
+        print(f"repro-lint: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -13,7 +13,7 @@ from __future__ import annotations
 import enum
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 
 class Severity(enum.Enum):
@@ -48,8 +48,10 @@ class Diagnostic:
 
     ``index`` locates the finding in static code (instruction index into
     ``Program.instructions``); ``seq`` locates it in a dynamic trace
-    (record sequence number). Either or both may be None for
-    whole-artifact findings.
+    (record sequence number); ``line`` locates it in Python source (the
+    static-analysis rules of :mod:`repro.verify.rules`). Any may be None
+    for whole-artifact findings. ``code`` is the stable rule code
+    (``RPD001``-style) for findings produced by a registered rule.
     """
 
     severity: Severity
@@ -57,17 +59,29 @@ class Diagnostic:
     message: str
     index: Optional[int] = None
     seq: Optional[int] = None
+    line: Optional[int] = None
+    code: Optional[str] = None
 
     @property
     def location(self) -> str:
+        if self.line is not None:
+            return f"line {self.line}"
         if self.index is not None:
             return f"instr {self.index}"
         if self.seq is not None:
             return f"seq {self.seq}"
         return "-"
 
+    @property
+    def tag(self) -> str:
+        """The bracketed label: the rule code plus check name, or just
+        the check name for diagnostics not tied to a registered rule."""
+        if self.code is not None:
+            return f"{self.code}:{self.check}"
+        return self.check
+
     def format(self) -> str:
-        return f"{self.severity.value}[{self.check}] {self.location}: {self.message}"
+        return f"{self.severity.value}[{self.tag}] {self.location}: {self.message}"
 
     def to_json(self) -> Dict:
         payload: Dict = {
@@ -79,6 +93,10 @@ class Diagnostic:
             payload["index"] = self.index
         if self.seq is not None:
             payload["seq"] = self.seq
+        if self.line is not None:
+            payload["line"] = self.line
+        if self.code is not None:
+            payload["code"] = self.code
         return payload
 
 
@@ -96,16 +114,20 @@ class Report:
         message: str,
         index: Optional[int] = None,
         seq: Optional[int] = None,
+        line: Optional[int] = None,
+        code: Optional[str] = None,
     ) -> None:
-        self.diagnostics.append(Diagnostic(severity, check, message, index, seq))
+        self.diagnostics.append(
+            Diagnostic(severity, check, message, index, seq, line, code)
+        )
 
-    def error(self, check: str, message: str, **where) -> None:
+    def error(self, check: str, message: str, **where: Any) -> None:
         self.add(Severity.ERROR, check, message, **where)
 
-    def warning(self, check: str, message: str, **where) -> None:
+    def warning(self, check: str, message: str, **where: Any) -> None:
         self.add(Severity.WARNING, check, message, **where)
 
-    def info(self, check: str, message: str, **where) -> None:
+    def info(self, check: str, message: str, **where: Any) -> None:
         self.add(Severity.INFO, check, message, **where)
 
     def extend(self, diagnostics: List[Diagnostic]) -> None:

@@ -22,7 +22,7 @@ invariants:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from repro.dfg.did import DIDHistogram
 from repro.dfg.graph import DependenceGraph
@@ -30,11 +30,59 @@ from repro.fetch.base import FetchPlan
 from repro.trace.trace import Trace
 from repro.verify.diagnostics import Diagnostic, Report, Severity
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.ideal import IdealRunAudit
+    from repro.core.realistic import RealisticRunAudit
+    from repro.vphw.unit import VPUnitStats
+
 
 def _diag(
     severity: Severity, check: str, message: str, seq: Optional[int] = None
 ) -> Diagnostic:
     return Diagnostic(severity=severity, check=check, message=message, seq=seq)
+
+
+# -- machine geometry ------------------------------------------------------
+
+
+def lint_fetch_geometry(
+    width: Optional[int] = None,
+    window: int = 40,
+    max_taken: Optional[int] = None,
+) -> List[Diagnostic]:
+    """Static admissibility of a fetch/window geometry.
+
+    The paper's machines never fetch wider than their 40-entry
+    instruction window (Sections 3 and 5); a configuration that claims
+    to is inadmissible before any simulation runs. Used by the grid
+    admissibility pass (:mod:`repro.verify.rules.grids`) and available
+    to callers that assemble machines by hand.
+    """
+    findings: List[Diagnostic] = []
+    if window < 1:
+        findings.append(_diag(
+            Severity.ERROR, "machine-config",
+            f"instruction window must be >= 1, got {window}",
+        ))
+    if width is not None:
+        if width < 1:
+            findings.append(_diag(
+                Severity.ERROR, "machine-config",
+                f"fetch width/rate must be >= 1, got {width}",
+            ))
+        elif width > window:
+            findings.append(_diag(
+                Severity.ERROR, "fetch-width",
+                f"fetch width/rate {width} exceeds the {window}-entry "
+                f"instruction window: fetched instructions beyond the "
+                f"window can never issue",
+            ))
+    if max_taken is not None and max_taken < 1:
+        findings.append(_diag(
+            Severity.ERROR, "machine-config",
+            f"taken-branch cap must be >= 1 (or None), got {max_taken}",
+        ))
+    return findings
 
 
 # -- fetch plans -----------------------------------------------------------
@@ -249,7 +297,7 @@ def lint_vp_claims(
     return findings
 
 
-def lint_vp_stats(stats) -> List[Diagnostic]:
+def lint_vp_stats(stats: VPUnitStats) -> List[Diagnostic]:
     """Mutual consistency of :class:`~repro.vphw.unit.VPUnitStats`."""
     findings: List[Diagnostic] = []
 
@@ -307,7 +355,7 @@ def lint_did_histogram(
 # -- whole-run audits ------------------------------------------------------
 
 
-def audit_realistic_run(audit) -> Report:
+def audit_realistic_run(audit: RealisticRunAudit) -> Report:
     """Lint one realistic-machine run (a ``RealisticRunAudit`` payload)."""
     report = Report(subject=f"run {audit.result.name} on {audit.trace.name!r}")
     report.extend(lint_fetch_plan(audit.plan, audit.trace))
@@ -330,7 +378,7 @@ def audit_realistic_run(audit) -> Report:
     return report
 
 
-def audit_ideal_run(audit) -> Report:
+def audit_ideal_run(audit: IdealRunAudit) -> Report:
     """Lint one ideal-machine run (an ``IdealRunAudit`` payload)."""
     report = Report(subject=f"run {audit.result.name} on {audit.trace.name!r}")
     attempted = audit.attempted

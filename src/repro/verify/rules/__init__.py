@@ -1,0 +1,114 @@
+"""Pluggable static-analysis rules for ``repro-lint static``.
+
+A :class:`Rule` couples a stable code (``RPD001``-style), a short name,
+a default severity and — for source rules — an AST checker run by
+:mod:`repro.verify.static`. Grid rules (``RPG*``) carry no AST checker;
+:mod:`repro.verify.rules.grids` walks real experiment grids and emits
+findings under their codes.
+
+Code families:
+
+* ``RPD*`` — determinism (:mod:`repro.verify.rules.determinism`):
+  unseeded RNG, wall-clock/entropy reads, salted ``hash()``, mutable
+  defaults, module-level state mutation.
+* ``RPP*`` — parallel safety (:mod:`repro.verify.rules.parallel`):
+  cells must be picklable by construction and fully cache-keyed.
+* ``RPG*`` — grid admissibility (:mod:`repro.verify.rules.grids`):
+  every enumerated experiment cell must satisfy the paper's machine
+  invariants before any CPU is spent on it.
+
+Findings are suppressed in source with a trailing
+``# repro-lint: disable=CODE[,CODE...]`` comment on the offending line,
+or file-wide with ``# repro-lint: disable-file=CODE[,CODE...]`` on a
+line of its own.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+
+from repro.verify.diagnostics import Severity
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.verify.static import AnalysisContext, Finding, SourceFile
+
+Checker = Callable[["SourceFile", "AnalysisContext"], List["Finding"]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered static-analysis rule."""
+
+    code: str
+    name: str
+    severity: Severity
+    summary: str
+    scope: str  # "source" (AST pass) or "grid" (admissibility pass)
+    checker: Optional[Checker] = None
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(rule: Rule) -> Rule:
+    if rule.code in _REGISTRY:
+        raise ValueError(f"duplicate rule code {rule.code}")
+    if rule.scope not in ("source", "grid"):
+        raise ValueError(f"rule {rule.code} has unknown scope {rule.scope!r}")
+    # Registration at import time is identical in every process — the
+    # registry never diverges between the parent and pool workers.
+    _REGISTRY[rule.code] = rule  # repro-lint: disable=RPD005
+    return rule
+
+
+def source_rule(
+    code: str, name: str, severity: Severity, summary: str
+) -> Callable[[Checker], Checker]:
+    """Decorator registering an AST checker as a source rule."""
+
+    def decorate(checker: Checker) -> Checker:
+        register(Rule(code, name, severity, summary, "source", checker))
+        return checker
+
+    return decorate
+
+
+def grid_rule(code: str, name: str, severity: Severity, summary: str) -> Rule:
+    """Register a grid-admissibility rule (no AST checker)."""
+    return register(Rule(code, name, severity, summary, "grid"))
+
+
+def get_rule(code: str) -> Rule:
+    if code not in _REGISTRY:
+        raise KeyError(
+            f"unknown rule code {code!r}; known: {sorted(_REGISTRY)}"
+        )
+    return _REGISTRY[code]
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, sorted by code."""
+    return [_REGISTRY[code] for code in sorted(_REGISTRY)]
+
+
+def source_rules() -> List[Rule]:
+    return [rule for rule in all_rules() if rule.scope == "source"]
+
+
+# Importing the rule modules registers their rules. These imports sit at
+# the bottom so the registry primitives above exist when they run.
+from repro.verify.rules import determinism as determinism  # noqa: E402,F401
+from repro.verify.rules import parallel as parallel  # noqa: E402,F401
+from repro.verify.rules import grids as grids  # noqa: E402,F401
+
+__all__ = [
+    "Checker",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "grid_rule",
+    "register",
+    "source_rule",
+    "source_rules",
+]

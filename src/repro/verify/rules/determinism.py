@@ -1,0 +1,359 @@
+"""Determinism rules (``RPD*``).
+
+The repro's headline numbers are memoized by content key and compared
+across ``--jobs 1`` / ``--jobs N`` runs, so any nondeterminism in
+simulate/experiment code silently poisons both the cache and the
+figures. These rules flag the classic sources at lint time:
+
+* ``RPD001`` — draws from a process-global RNG (``random.*``,
+  ``numpy.random.*``) or construction of an unseeded generator.
+* ``RPD002`` — wall-clock or entropy reads (``time.time``,
+  ``os.urandom``, ``uuid.uuid4``...). Duration measurement via
+  ``time.perf_counter``/``monotonic`` is deliberately allowed: the
+  engine quarantines it in volatile metrics.
+* ``RPD003`` — the builtin ``hash()``: salted per process for
+  ``str``/``bytes`` (PYTHONHASHSEED) and identity-based for objects, so
+  it must never feed a cache key or any cross-process identity.
+* ``RPD004`` — mutable default arguments (shared across calls; a
+  mutation in one cell leaks into the next).
+* ``RPD005`` — module-level state mutated inside functions: ``global``
+  rebinding, in-place mutation of module-level containers, and
+  constant-style attribute stores on imported modules. Worker processes
+  each see their own copy, so such state diverges silently under
+  ``--jobs N``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.verify.diagnostics import Severity
+from repro.verify.rules import source_rule
+from repro.verify.static import (
+    AnalysisContext,
+    Finding,
+    SourceFile,
+    dotted_name,
+    import_aliases,
+    walk_calls,
+)
+
+# Draws/mutations of the process-global stdlib RNG.
+_GLOBAL_RANDOM = {
+    "random." + name
+    for name in (
+        "random", "randint", "randrange", "choice", "choices", "shuffle",
+        "sample", "uniform", "triangular", "gauss", "normalvariate",
+        "lognormvariate", "expovariate", "vonmisesvariate", "betavariate",
+        "binomialvariate", "gammavariate", "paretovariate", "weibullvariate",
+        "getrandbits", "randbytes", "seed", "setstate",
+    )
+}
+
+# Draws/mutations of numpy's legacy process-global RandomState.
+_GLOBAL_NUMPY = {
+    "numpy.random." + name
+    for name in (
+        "seed", "rand", "randn", "randint", "random", "random_sample",
+        "ranf", "sample", "random_integers", "choice", "shuffle",
+        "permutation", "bytes", "uniform", "normal", "standard_normal",
+        "poisson", "exponential", "beta", "binomial", "gamma",
+        "get_state", "set_state",
+    )
+}
+
+# Constructors that must be handed an explicit seed.
+_SEEDED_CONSTRUCTORS = {
+    "random.Random",
+    "random.SystemRandom",  # never deterministic, seeded or not
+    "numpy.random.default_rng",
+    "numpy.random.RandomState",
+}
+
+_WALLCLOCK = {
+    "time.time",
+    "time.time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+    "os.urandom",
+    "uuid.uuid1",
+    "uuid.uuid4",
+    "secrets.token_bytes",
+    "secrets.token_hex",
+    "secrets.token_urlsafe",
+    "secrets.randbelow",
+    "secrets.randbits",
+}
+
+_MUTABLE_CALLS = {"list", "dict", "set", "bytearray", "collections.defaultdict",
+                  "collections.deque", "collections.OrderedDict",
+                  "collections.Counter"}
+
+_MUTATING_METHODS = {
+    "append", "extend", "insert", "add", "update", "setdefault", "pop",
+    "popitem", "remove", "discard", "clear", "appendleft", "extendleft",
+}
+
+
+@source_rule(
+    "RPD001", "unseeded-rng", Severity.ERROR,
+    "draw from a process-global or unseeded RNG",
+)
+def check_unseeded_rng(source: SourceFile, context: AnalysisContext) -> List[Finding]:
+    del context
+    aliases = import_aliases(source.tree)
+    findings: List[Finding] = []
+    for call in walk_calls(source.tree):
+        name = dotted_name(call.func, aliases)
+        if name is None:
+            continue
+        if name in _GLOBAL_RANDOM or name in _GLOBAL_NUMPY:
+            findings.append(Finding(
+                call.lineno,
+                f"{name}() draws from the process-global RNG; use a "
+                f"seeded instance (random.Random(seed) / "
+                f"numpy.random.default_rng(seed)) so cells replay "
+                f"identically in every worker",
+            ))
+        elif name in _SEEDED_CONSTRUCTORS:
+            if name == "random.SystemRandom":
+                findings.append(Finding(
+                    call.lineno,
+                    "random.SystemRandom draws OS entropy and can never "
+                    "replay deterministically",
+                ))
+            elif not call.args and not call.keywords:
+                findings.append(Finding(
+                    call.lineno,
+                    f"{name}() constructed without a seed; pass an "
+                    f"explicit seed so the stream is reproducible",
+                ))
+    return findings
+
+
+@source_rule(
+    "RPD002", "wallclock-entropy", Severity.WARNING,
+    "wall-clock or OS-entropy read in simulation code",
+)
+def check_wallclock(source: SourceFile, context: AnalysisContext) -> List[Finding]:
+    del context
+    aliases = import_aliases(source.tree)
+    findings: List[Finding] = []
+    for call in walk_calls(source.tree):
+        name = dotted_name(call.func, aliases)
+        if name in _WALLCLOCK:
+            findings.append(Finding(
+                call.lineno,
+                f"{name}() reads wall-clock/OS entropy; results that "
+                f"depend on it are not replayable (duration measurement "
+                f"belongs in time.perf_counter and volatile metrics)",
+            ))
+    return findings
+
+
+@source_rule(
+    "RPD003", "salted-hash", Severity.WARNING,
+    "builtin hash() is per-process salted / identity-based",
+)
+def check_salted_hash(source: SourceFile, context: AnalysisContext) -> List[Finding]:
+    del context
+    findings: List[Finding] = []
+    for call in walk_calls(source.tree):
+        if isinstance(call.func, ast.Name) and call.func.id == "hash":
+            findings.append(Finding(
+                call.lineno,
+                "builtin hash() is salted per process for str/bytes and "
+                "identity-based for objects; use hashlib for cache keys "
+                "or any value that crosses a process boundary",
+            ))
+    return findings
+
+
+@source_rule(
+    "RPD004", "mutable-default", Severity.ERROR,
+    "mutable default argument shared across calls",
+)
+def check_mutable_defaults(
+    source: SourceFile, context: AnalysisContext
+) -> List[Finding]:
+    del context
+    aliases = import_aliases(source.tree)
+    findings: List[Finding] = []
+    for node in ast.walk(source.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            mutable = isinstance(
+                default,
+                (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp,
+                 ast.SetComp),
+            )
+            if not mutable and isinstance(default, ast.Call):
+                name = dotted_name(default.func, aliases)
+                mutable = name in _MUTABLE_CALLS
+            if mutable:
+                findings.append(Finding(
+                    default.lineno,
+                    "mutable default argument is evaluated once and "
+                    "shared by every call; default to None and build "
+                    "the value inside the function",
+                ))
+    return findings
+
+
+def _module_level_mutables(tree: ast.Module, aliases: Dict[str, str]) -> Set[str]:
+    """Names bound at module level to mutable containers."""
+    names: Set[str] = set()
+    for stmt in tree.body:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        if value is None:
+            continue
+        mutable = isinstance(
+            value,
+            (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp),
+        )
+        if not mutable and isinstance(value, ast.Call):
+            mutable = dotted_name(value.func, aliases) in _MUTABLE_CALLS
+        if not mutable:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                names.add(target.id)
+    return names
+
+
+def _local_bindings(func: ast.AST) -> Set[str]:
+    """Names the function binds itself (params, assignments, loops)."""
+    bound: Set[str] = set()
+    args = getattr(func, "args", None)
+    if args is not None:
+        for arg in (
+            list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        ):
+            bound.add(arg.arg)
+        if args.vararg is not None:
+            bound.add(args.vararg.arg)
+        if args.kwarg is not None:
+            bound.add(args.kwarg.arg)
+    for node in ast.walk(func):
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    bound.add(target.id)
+        elif isinstance(node, ast.For) and isinstance(node.target, ast.Name):
+            bound.add(node.target.id)
+    return bound
+
+
+@source_rule(
+    "RPD005", "module-state", Severity.WARNING,
+    "module-level state mutated inside a function",
+)
+def check_module_state(source: SourceFile, context: AnalysisContext) -> List[Finding]:
+    """``global`` rebinding, in-place mutation of module-level
+    containers, and CONSTANT-style attribute stores on imported modules.
+
+    Module-level state does not cross the process boundary, so
+    simulate/experiment code that relies on it behaves differently
+    under ``--jobs N`` than serially; intentional process-local
+    machinery must carry an explicit suppression.
+    """
+    del context
+    aliases = import_aliases(source.tree)
+    module_mutables = _module_level_mutables(source.tree, aliases)
+    imported = set(aliases)
+    findings: List[Finding] = []
+
+    functions = [
+        node
+        for node in ast.walk(source.tree)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+    # Nested functions are walked again as their own entry; report each
+    # offending node once, attributed to the outermost enclosing def.
+    seen: Set[int] = set()
+    for func in functions:
+        local = _local_bindings(func)
+        for node in ast.walk(func):
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            if isinstance(node, ast.Global):
+                findings.append(Finding(
+                    node.lineno,
+                    f"function {func.name!r} rebinds module-level "
+                    f"{', '.join(node.names)} via 'global'; module state "
+                    f"is per-process and diverges under --jobs N",
+                ))
+            elif isinstance(node, ast.Call):
+                method = node.func
+                if (
+                    isinstance(method, ast.Attribute)
+                    and method.attr in _MUTATING_METHODS
+                    and isinstance(method.value, ast.Name)
+                    and method.value.id in module_mutables
+                    and method.value.id not in local
+                ):
+                    findings.append(Finding(
+                        node.lineno,
+                        f"function {func.name!r} mutates module-level "
+                        f"{method.value.id!r} in place "
+                        f"(.{method.attr}()); per-process state diverges "
+                        f"under --jobs N",
+                    ))
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                raw_targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in raw_targets:
+                    hit = _module_attr_store(target, imported)
+                    if hit is not None:
+                        base, attr = hit
+                        findings.append(Finding(
+                            target.lineno,
+                            f"function {func.name!r} stores to "
+                            f"{base}.{attr}; rebinding another module's "
+                            f"state is invisible to worker processes",
+                        ))
+                    elif (
+                        isinstance(target, ast.Subscript)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id in module_mutables
+                        and target.value.id not in local
+                    ):
+                        findings.append(Finding(
+                            target.lineno,
+                            f"function {func.name!r} writes into "
+                            f"module-level {target.value.id!r}; "
+                            f"per-process state diverges under --jobs N",
+                        ))
+    return findings
+
+
+def _module_attr_store(
+    target: ast.expr, imported: Set[str]
+) -> Optional[Tuple[str, str]]:
+    """``mod.CONSTANT = ...`` where ``mod`` is an imported name."""
+    if not isinstance(target, ast.Attribute):
+        return None
+    if not isinstance(target.value, ast.Name):
+        return None
+    base = target.value.id
+    attr = target.attr
+    if base not in imported:
+        return None
+    if not attr.isupper():
+        return None
+    return base, attr

@@ -1,0 +1,219 @@
+"""Grid admissibility rules (``RPG*``).
+
+Enumerates an experiment's workload × configuration grid — without
+simulating a single cell — and proves each cell admissible under the
+paper's machine invariants:
+
+* ``RPG001`` — fetch geometry: a fetch rate/width kwarg may not exceed
+  the machine's instruction window (40 entries throughout the paper).
+  Reuses :func:`repro.verify.invariants.lint_fetch_geometry`.
+* ``RPG002`` — parameter ranges: trace lengths, taken-branch caps,
+  bank counts and penalties must be in the ranges the machine-config
+  validators (:meth:`IdealConfig.validate` et al.) accept.
+* ``RPG003`` — workload resolution: every ``workload`` kwarg must name
+  a registered benchmark.
+* ``RPG004`` — cell identity: cell ids must be unique within a grid
+  (the assembler folds values by id — a duplicate silently drops a
+  cell) and carry the spec's experiment id.
+* ``RPG005`` — payload transportability: the cell function and every
+  callable kwarg must be module-addressable (picklable) and the kwargs
+  must canonicalize to JSON (cacheable).
+
+These rules run on *real* enumerated cells, complementing the
+source-level ``RPP*`` pass: the AST pass proves the construction
+pattern safe, this pass proves every concrete grid point admissible.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.verify.diagnostics import Report, Severity
+from repro.verify.rules import Rule, grid_rule
+from repro.verify.rules.parallel import qualname_is_module_level
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.exec.cells import ExperimentSpec
+
+RPG001 = grid_rule(
+    "RPG001", "grid-fetch-window", Severity.ERROR,
+    "grid cell fetches wider than the instruction window",
+)
+RPG002 = grid_rule(
+    "RPG002", "grid-param-range", Severity.ERROR,
+    "grid cell parameter outside its valid range",
+)
+RPG003 = grid_rule(
+    "RPG003", "grid-unknown-workload", Severity.ERROR,
+    "grid cell names an unregistered workload",
+)
+RPG004 = grid_rule(
+    "RPG004", "grid-cell-identity", Severity.ERROR,
+    "duplicate or mislabelled cell id in a grid",
+)
+RPG005 = grid_rule(
+    "RPG005", "grid-unpicklable-payload", Severity.ERROR,
+    "grid cell payload not transportable to workers / the cache",
+)
+
+# Kwarg names that denote a fetch rate/width, and ones that denote the
+# machine window, across the experiment grids.
+_WIDTH_KWARGS = ("rate", "fetch_rate", "width")
+_WINDOW_KWARGS = ("window",)
+
+
+def _add(report: Report, rule: Rule, message: str) -> None:
+    report.add(rule.severity, rule.name, message, code=rule.code)
+
+
+def _default_window() -> int:
+    from repro.core.config import IdealConfig
+
+    return IdealConfig().window
+
+
+def _check_geometry(report: Report, cell_id: str, kwargs: Dict[str, Any]) -> None:
+    from repro.verify.invariants import lint_fetch_geometry
+
+    window = _default_window()
+    for key in _WINDOW_KWARGS:
+        if isinstance(kwargs.get(key), int):
+            window = kwargs[key]
+    for key in _WIDTH_KWARGS:
+        width = kwargs.get(key)
+        if width is None:
+            continue
+        if not isinstance(width, int) or isinstance(width, bool):
+            _add(report, RPG002,
+                 f"cell {cell_id!r}: {key}={width!r} is not an integer")
+            continue
+        for diagnostic in lint_fetch_geometry(width=width, window=window):
+            rule = RPG001 if diagnostic.check == "fetch-width" else RPG002
+            _add(report, rule, f"cell {cell_id!r}: {diagnostic.message}")
+
+
+def _check_ranges(report: Report, cell_id: str, kwargs: Dict[str, Any]) -> None:
+    trace_length = kwargs.get("trace_length")
+    if trace_length is not None and (
+        not isinstance(trace_length, int) or trace_length < 1
+    ):
+        _add(report, RPG002,
+             f"cell {cell_id!r}: trace_length must be a positive "
+             f"integer, got {trace_length!r}")
+    seed = kwargs.get("seed")
+    if seed is not None and not isinstance(seed, int):
+        _add(report, RPG002,
+             f"cell {cell_id!r}: seed must be an integer, got {seed!r}")
+    limit = kwargs.get("limit")
+    if limit is not None and (not isinstance(limit, int) or limit < 1):
+        _add(report, RPG002,
+             f"cell {cell_id!r}: taken-branch limit must be >= 1 or "
+             f"None (unlimited), got {limit!r}")
+    n_banks = kwargs.get("n_banks")
+    if n_banks is not None and (not isinstance(n_banks, int) or n_banks < 1):
+        _add(report, RPG002,
+             f"cell {cell_id!r}: n_banks must be >= 1, got {n_banks!r}")
+
+
+def _check_workload(report: Report, cell_id: str, kwargs: Dict[str, Any]) -> None:
+    workload = kwargs.get("workload")
+    if workload is None:
+        return
+    from repro.workloads import WORKLOAD_NAMES
+
+    if workload not in WORKLOAD_NAMES:
+        _add(report, RPG003,
+             f"cell {cell_id!r}: workload {workload!r} is not in the "
+             f"registry ({', '.join(WORKLOAD_NAMES)})")
+
+
+def _check_payload(report: Report, cell_id: str, func: Any,
+                   kwargs: Dict[str, Any]) -> None:
+    from repro.exec.cache import canonical
+
+    def check_callable(what: str, value: Any) -> None:
+        qualname = getattr(value, "__qualname__", None)
+        module = getattr(value, "__module__", None)
+        if not qualname_is_module_level(qualname, module):
+            _add(report, RPG005,
+                 f"cell {cell_id!r}: {what} {value!r} is not "
+                 f"module-addressable (lambda/closure/__main__); it "
+                 f"cannot be pickled to a worker or keyed stably")
+
+    check_callable("cell function", func)
+    for key, value in kwargs.items():
+        if callable(value):
+            check_callable(f"kwarg {key!r}", value)
+    try:
+        json.dumps(canonical(kwargs), sort_keys=True)
+    except (TypeError, ValueError) as exc:
+        _add(report, RPG005,
+             f"cell {cell_id!r}: kwargs do not canonicalize to JSON "
+             f"({exc}); the cell cannot be cache-keyed")
+
+
+def lint_grid(
+    spec: "ExperimentSpec",
+    trace_length: int,
+    seed: int = 0,
+    workloads: Optional[Sequence[str]] = None,
+) -> Report:
+    """Admissibility report for one experiment's enumerated grid.
+
+    ``spec`` is an :class:`~repro.exec.cells.ExperimentSpec`; its grid
+    is enumerated exactly as the engine would, but no cell is computed.
+    """
+    report = Report(subject=f"grid {spec.experiment_id}")
+    try:
+        cells = spec.cells(trace_length, seed, workloads)
+    except Exception as exc:  # enumeration itself must never blow up
+        _add(report, RPG004,
+             f"grid enumeration raised {type(exc).__name__}: {exc}")
+        return report
+    if not cells:
+        _add(report, RPG004, "grid enumerates no cells")
+        return report
+    seen_ids: Set[str] = set()
+    for cell in cells:
+        if cell.cell_id in seen_ids:
+            _add(report, RPG004,
+                 f"duplicate cell id {cell.cell_id!r}: the assembler "
+                 f"folds values by id, so one of the cells is "
+                 f"silently dropped")
+        seen_ids.add(cell.cell_id)
+        if cell.experiment_id != spec.experiment_id:
+            _add(report, RPG004,
+                 f"cell {cell.cell_id!r} carries experiment id "
+                 f"{cell.experiment_id!r}, spec says "
+                 f"{spec.experiment_id!r}")
+        _check_geometry(report, cell.cell_id, cell.kwargs)
+        _check_ranges(report, cell.cell_id, cell.kwargs)
+        _check_workload(report, cell.cell_id, cell.kwargs)
+        _check_payload(report, cell.cell_id, cell.func, cell.kwargs)
+    return report
+
+
+def lint_all_grids(
+    trace_length: int,
+    seed: int = 0,
+    workloads: Optional[Sequence[str]] = None,
+    experiment_ids: Optional[Iterable[str]] = None,
+) -> List[Report]:
+    """Admissibility reports for every registered experiment grid."""
+    from repro.experiments import EXPERIMENT_SPECS
+
+    selected = list(experiment_ids) if experiment_ids else sorted(EXPERIMENT_SPECS)
+    unknown = [e for e in selected if e not in EXPERIMENT_SPECS]
+    if unknown:
+        raise KeyError(
+            f"unknown experiment(s): {', '.join(unknown)}; "
+            f"known: {', '.join(sorted(EXPERIMENT_SPECS))}"
+        )
+    return [
+        lint_grid(EXPERIMENT_SPECS[e], trace_length, seed, workloads)
+        for e in selected
+    ]
+
+
+__all__ = ["lint_all_grids", "lint_grid"]

@@ -1,0 +1,184 @@
+"""Parallel-safety rules (``RPP*``).
+
+The experiment engine ships :class:`~repro.exec.cells.Cell` payloads to
+worker processes and memoizes their values under a content key, so two
+properties must hold *by construction*:
+
+* ``RPP001`` — picklability: a cell's function (and every callable in
+  its kwargs) must be addressable at module level. Lambdas, closures
+  and local classes pickle by qualified name and fail — or worse,
+  resolve to something else — in the worker.
+* ``RPP002`` — cache-key completeness: every field of the ``Cell``
+  dataclass must feed the cache-key computation. A field left out of
+  the key (the function, say) makes the memo silently stale when that
+  field changes — the cache returns yesterday's science.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional, Set
+
+from repro.verify.diagnostics import Severity
+from repro.verify.rules import source_rule
+from repro.verify.static import AnalysisContext, Finding, SourceFile
+
+
+def _functions(tree: ast.Module) -> Iterable[ast.AST]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _cell_calls(scope: ast.AST) -> Iterable[ast.Call]:
+    """``Cell(...)`` constructor calls inside ``scope``."""
+    for node in ast.walk(scope):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        if name == "Cell":
+            yield node
+
+
+def _payload_exprs(call: ast.Call) -> List[ast.expr]:
+    """The expressions a ``Cell(...)`` call ships to workers: the
+    ``func`` argument (3rd positional) and the kwargs mapping (4th)."""
+    payload: List[ast.expr] = []
+    if len(call.args) > 2:
+        payload.append(call.args[2])
+    if len(call.args) > 3:
+        payload.append(call.args[3])
+    for keyword in call.keywords:
+        if keyword.arg in ("func", "kwargs"):
+            payload.append(keyword.value)
+    return payload
+
+
+def _local_callables(func: ast.AST) -> Set[str]:
+    """Names bound to nested defs or lambdas inside ``func``."""
+    names: Set[str] = set()
+    for node in ast.walk(func):
+        if node is func:
+            continue
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            names.add(node.name)
+        elif isinstance(node, ast.Assign) and isinstance(node.value, ast.Lambda):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+    return names
+
+
+@source_rule(
+    "RPP001", "unpicklable-cell", Severity.ERROR,
+    "cell payload not picklable by construction",
+)
+def check_unpicklable_cells(
+    source: SourceFile, context: AnalysisContext
+) -> List[Finding]:
+    """Lambdas / nested functions / local classes in ``Cell(...)``.
+
+    Checked per enclosing function: a name bound by a nested ``def``,
+    ``class`` or lambda assignment in the same function is a closure
+    and cannot travel to a worker process.
+    """
+    del context
+    findings: List[Finding] = []
+    seen: Set[int] = set()
+    # Function scopes first: the module-tree walk also reaches calls
+    # nested in functions, and the dedup must not claim them with an
+    # empty closure-name set before their enclosing function does.
+    scopes: List[ast.AST] = list(_functions(source.tree))
+    scopes.append(source.tree)
+    for scope in scopes:
+        local = _local_callables(scope) if scope is not source.tree else set()
+        for call in _cell_calls(scope):
+            if id(call) in seen:
+                continue
+            seen.add(id(call))
+            for expr in _payload_exprs(call):
+                for node in ast.walk(expr):
+                    if isinstance(node, ast.Lambda):
+                        findings.append(Finding(
+                            node.lineno,
+                            "lambda in a Cell payload cannot be pickled "
+                            "into a worker process; use a module-level "
+                            "function",
+                        ))
+                    elif isinstance(node, ast.Name) and node.id in local:
+                        findings.append(Finding(
+                            node.lineno,
+                            f"Cell payload references {node.id!r}, "
+                            f"defined inside the enclosing function; "
+                            f"closures cannot be pickled into a worker "
+                            f"process — move it to module level",
+                        ))
+    return findings
+
+
+@source_rule(
+    "RPP002", "cache-key-completeness", Severity.ERROR,
+    "Cell field omitted from the cache-key computation",
+)
+def check_cache_key_completeness(
+    source: SourceFile, context: AnalysisContext
+) -> List[Finding]:
+    """Every ``Cell`` field must appear in each ``cell_key(...)`` call.
+
+    The check is structural: at a call of a method named ``cell_key``,
+    the attribute names read from the call's arguments (``cell.kwargs``,
+    ``cell.func``...) must cover all fields of the ``Cell`` dataclass
+    (collected from the analyzed files, falling back to the installed
+    :mod:`repro.exec.cells`). Calls that read no Cell attributes at all
+    (direct key probes with literal arguments) are out of scope.
+    """
+    fields = context.cell_fields
+    if not fields:
+        return []
+    findings: List[Finding] = []
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "cell_key"):
+            continue
+        accessed = _attribute_reads(node)
+        if not accessed:
+            continue
+        missing = [name for name in fields if name not in accessed]
+        if missing:
+            findings.append(Finding(
+                node.lineno,
+                f"cell_key() call omits Cell field(s) "
+                f"{', '.join(missing)}: a memoized value would stay "
+                f"live when they change (silent staleness)",
+            ))
+    return findings
+
+
+def _attribute_reads(call: ast.Call) -> Set[str]:
+    """Attribute names read anywhere in a call's arguments."""
+    reads: Set[str] = set()
+    exprs: List[ast.expr] = list(call.args)
+    exprs.extend(k.value for k in call.keywords)
+    for expr in exprs:
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Attribute):
+                reads.add(node.attr)
+    return reads
+
+
+# Re-exported for the grid pass, which enforces the same contract on
+# real (already-constructed) cells rather than on source text.
+def qualname_is_module_level(qualname: Optional[str], module: Optional[str]) -> bool:
+    """Whether a callable's qualname/module pickle to a stable address."""
+    if not qualname or not module:
+        return False
+    if module == "__main__":
+        return False
+    return "<locals>" not in qualname and "<lambda>" not in qualname

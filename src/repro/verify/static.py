@@ -1,0 +1,265 @@
+"""Codebase-level static analysis (the ``repro-lint static`` pass).
+
+Parses Python sources into ASTs, runs every registered source rule
+(:mod:`repro.verify.rules`) over them, honors suppression comments and
+renders the findings through the shared diagnostics model — one
+:class:`~repro.verify.diagnostics.Report` per analyzed file.
+
+Suppression syntax::
+
+    x = hash(key)  # repro-lint: disable=RPD003
+    # repro-lint: disable-file=RPD005
+
+A line-level ``disable`` silences the listed codes (or ``all``) for
+findings anchored to that line; ``disable-file`` silences them for the
+whole file. Suppressions are counted so reports can say what was
+silenced.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Union
+
+from repro.errors import ConfigError
+from repro.verify.diagnostics import Report, Severity
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*(disable|disable-file)\s*=\s*"
+    r"([A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One raw rule hit, before suppression filtering."""
+
+    line: Optional[int]
+    message: str
+
+
+@dataclass
+class SourceFile:
+    """One parsed Python source file plus its suppression directives."""
+
+    path: Path
+    text: str
+    tree: ast.Module
+    line_disables: Dict[int, Set[str]] = field(default_factory=dict)
+    file_disables: Set[str] = field(default_factory=set)
+
+    @property
+    def subject(self) -> str:
+        return str(self.path)
+
+    def suppressed(self, code: str, line: Optional[int]) -> bool:
+        if code in self.file_disables or "all" in self.file_disables:
+            return True
+        if line is None:
+            return False
+        codes = self.line_disables.get(line, set())
+        return code in codes or "all" in codes
+
+
+@dataclass
+class AnalysisContext:
+    """Shared state of one analysis run (everything rules may consult).
+
+    ``cell_fields`` is the field list of the ``Cell`` dataclass the
+    cache-key completeness rule checks call sites against: collected
+    from the analyzed files when one of them defines ``Cell``, else
+    parsed from the installed :mod:`repro.exec.cells` source.
+    """
+
+    files: List[SourceFile] = field(default_factory=list)
+    cell_fields: Optional[List[str]] = None
+
+
+def _parse_suppressions(
+    source: SourceFile,
+) -> None:
+    for lineno, line in enumerate(source.text.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match is None:
+            continue
+        codes = {code.strip() for code in match.group(2).split(",")}
+        if match.group(1) == "disable-file":
+            source.file_disables |= codes
+        else:
+            source.line_disables.setdefault(lineno, set()).update(codes)
+
+
+def load_source(path: Union[str, Path]) -> SourceFile:
+    """Parse one Python file; raises :class:`ConfigError` on bad input."""
+    p = Path(path)
+    try:
+        text = p.read_text()
+    except OSError as exc:
+        raise ConfigError(f"cannot read {p}: {exc}") from None
+    try:
+        tree = ast.parse(text, filename=str(p))
+    except SyntaxError as exc:
+        raise ConfigError(f"cannot parse {p}: {exc}") from None
+    source = SourceFile(path=p, text=text, tree=tree)
+    _parse_suppressions(source)
+    return source
+
+
+def discover_files(paths: Sequence[Union[str, Path]]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    found: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            found.extend(sorted(path.rglob("*.py")))
+        elif path.is_file():
+            found.append(path)
+        else:
+            raise ConfigError(f"no such file or directory: {path}")
+    seen: Set[Path] = set()
+    unique: List[Path] = []
+    for path in found:
+        if path not in seen:
+            seen.add(path)
+            unique.append(path)
+    return unique
+
+
+def _dataclass_fields_of(tree: ast.Module, class_name: str) -> Optional[List[str]]:
+    """Field names of a dataclass named ``class_name`` in ``tree``."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef) or node.name != class_name:
+            continue
+        decorated = any(
+            "dataclass" in ast.dump(decorator) for decorator in node.decorator_list
+        )
+        if not decorated:
+            continue
+        fields = [
+            stmt.target.id
+            for stmt in node.body
+            if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name)
+        ]
+        if fields:
+            return fields
+    return None
+
+
+def _canonical_cell_fields() -> Optional[List[str]]:
+    """``Cell``'s fields from the installed :mod:`repro.exec.cells`."""
+    try:
+        from repro.exec import cells as cells_mod
+
+        cells_path = cells_mod.__file__
+        if cells_path is None:
+            return None
+        tree = ast.parse(Path(cells_path).read_text())
+    except (OSError, SyntaxError, ImportError):  # pragma: no cover - defensive
+        return None
+    return _dataclass_fields_of(tree, "Cell")
+
+
+def build_context(files: List[SourceFile]) -> AnalysisContext:
+    """Collect cross-file facts the per-file checkers depend on."""
+    context = AnalysisContext(files=files)
+    for source in files:
+        fields = _dataclass_fields_of(source.tree, "Cell")
+        if fields is not None:
+            context.cell_fields = fields
+            break
+    if context.cell_fields is None:
+        context.cell_fields = _canonical_cell_fields()
+    return context
+
+
+def analyze_sources(files: List[SourceFile]) -> List[Report]:
+    """Run every source rule over ``files``; one report per file."""
+    from repro.verify.rules import source_rules
+
+    context = build_context(files)
+    reports: List[Report] = []
+    for source in files:
+        report = Report(subject=source.subject)
+        suppressed = 0
+        for rule in source_rules():
+            assert rule.checker is not None
+            for finding in rule.checker(source, context):
+                if source.suppressed(rule.code, finding.line):
+                    suppressed += 1
+                    continue
+                report.add(
+                    rule.severity,
+                    rule.name,
+                    finding.message,
+                    line=finding.line,
+                    code=rule.code,
+                )
+        if suppressed:
+            report.info(
+                "suppressions",
+                f"{suppressed} finding(s) suppressed by repro-lint comments",
+            )
+        reports.append(report)
+    return reports
+
+
+def analyze_paths(paths: Sequence[Union[str, Path]]) -> List[Report]:
+    """Discover, parse and analyze ``paths`` (files or directories)."""
+    files = [load_source(path) for path in discover_files(paths)]
+    return analyze_sources(files)
+
+
+# -- small AST helpers shared by the rule modules --------------------------
+
+
+def import_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Locally bound name -> dotted origin, from a module's imports.
+
+    ``import numpy as np`` maps ``np -> numpy``; ``from random import
+    randint as ri`` maps ``ri -> random.randint``; plain ``import
+    numpy.random`` binds only the top-level ``numpy`` name.
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for name in node.names:
+                if name.asname:
+                    aliases[name.asname] = name.name
+                else:
+                    head = name.name.split(".")[0]
+                    aliases[head] = head
+        elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+            for name in node.names:
+                aliases[name.asname or name.name] = f"{node.module}.{name.name}"
+    return aliases
+
+
+def dotted_name(node: ast.AST, aliases: Dict[str, str]) -> Optional[str]:
+    """Resolve an attribute/name chain to its dotted origin, or None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    parts.reverse()
+    parts[0] = aliases.get(parts[0], parts[0])
+    return ".".join(parts)
+
+
+def walk_calls(tree: ast.Module) -> Iterable[ast.Call]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            yield node
+
+
+def severity_counts(reports: List[Report]) -> Dict[str, int]:
+    """Total errors/warnings across ``reports`` (for summary lines)."""
+    return {
+        "errors": sum(r.count(Severity.ERROR) for r in reports),
+        "warnings": sum(r.count(Severity.WARNING) for r in reports),
+    }

@@ -86,3 +86,22 @@ def test_unknown_workload_rejected():
     with pytest.raises(SystemExit) as excinfo:
         cli.main(["program", "doom"])
     assert excinfo.value.code == 2
+
+
+@pytest.mark.parametrize("argv", [
+    ["program", "doom", "--json"],
+    ["run", "li", "--max-taken", "zero", "--json"],
+    ["run", "li", "--bogus-flag", "--json"],
+    ["static", "--bogus-flag", "--json"],
+])
+def test_usage_errors_are_one_clean_line_even_in_json_mode(argv, capsys):
+    """Exit 2, one line on stderr, and crucially NOTHING on stdout —
+    a --json consumer never sees a half-emitted document."""
+    with pytest.raises(SystemExit) as excinfo:
+        cli.main(argv)
+    assert excinfo.value.code == 2
+    captured = capsys.readouterr()
+    assert captured.out == ""
+    assert captured.err.strip()
+    assert len(captured.err.strip().splitlines()) == 1
+    assert "Traceback" not in captured.err

@@ -1,0 +1,138 @@
+"""Tests for the shared diagnostics model (repro.verify.diagnostics)."""
+
+import json
+
+import pytest
+
+from repro.verify.diagnostics import (
+    FAIL_ON_CHOICES,
+    Diagnostic,
+    Report,
+    Severity,
+    reports_to_json,
+)
+
+
+# -- severity ordering -----------------------------------------------------
+
+
+def test_severity_ranks_are_strictly_ordered():
+    assert Severity.ERROR.rank > Severity.WARNING.rank > Severity.INFO.rank
+
+
+@pytest.mark.parametrize("severity", list(Severity))
+def test_at_least_is_reflexive(severity):
+    assert severity.at_least(severity)
+
+
+def test_at_least_matrix():
+    assert Severity.ERROR.at_least(Severity.WARNING)
+    assert Severity.ERROR.at_least(Severity.INFO)
+    assert Severity.WARNING.at_least(Severity.INFO)
+    assert not Severity.INFO.at_least(Severity.WARNING)
+    assert not Severity.WARNING.at_least(Severity.ERROR)
+    assert not Severity.INFO.at_least(Severity.ERROR)
+
+
+# -- fails() / --fail-on ---------------------------------------------------
+
+
+def _report_with(*severities):
+    report = Report(subject="s")
+    for severity in severities:
+        report.add(severity, "check", "msg")
+    return report
+
+
+@pytest.mark.parametrize(
+    "severities, fail_on, expected",
+    [
+        ((), "error", False),
+        ((), "info", False),
+        ((Severity.INFO,), "error", False),
+        ((Severity.INFO,), "warning", False),
+        ((Severity.INFO,), "info", True),
+        ((Severity.WARNING,), "error", False),
+        ((Severity.WARNING,), "warning", True),
+        ((Severity.WARNING,), "info", True),
+        ((Severity.ERROR,), "error", True),
+        ((Severity.ERROR,), "warning", True),
+        ((Severity.ERROR,), "info", True),
+        ((Severity.ERROR, Severity.WARNING), "never", False),
+    ],
+)
+def test_fails_matrix(severities, fail_on, expected):
+    assert _report_with(*severities).fails(fail_on) is expected
+
+
+def test_fails_rejects_unknown_threshold():
+    with pytest.raises(ValueError, match="fail_on"):
+        _report_with(Severity.ERROR).fails("fatal")
+
+
+def test_fail_on_choices_vocabulary():
+    assert FAIL_ON_CHOICES == ("error", "warning", "info", "never")
+
+
+# -- locations, codes, rendering -------------------------------------------
+
+
+def test_location_prefers_line_then_index_then_seq():
+    assert Diagnostic(Severity.ERROR, "c", "m", line=7, index=3, seq=9).location \
+        == "line 7"
+    assert Diagnostic(Severity.ERROR, "c", "m", index=3, seq=9).location \
+        == "instr 3"
+    assert Diagnostic(Severity.ERROR, "c", "m", seq=9).location == "seq 9"
+    assert Diagnostic(Severity.ERROR, "c", "m").location == "-"
+
+
+def test_tag_includes_rule_code_when_set():
+    coded = Diagnostic(Severity.ERROR, "unseeded-rng", "m", code="RPD001")
+    assert coded.tag == "RPD001:unseeded-rng"
+    assert "error[RPD001:unseeded-rng]" in coded.format()
+    plain = Diagnostic(Severity.WARNING, "fetch-width", "m")
+    assert plain.tag == "fetch-width"
+
+
+def test_to_json_omits_unset_locations_and_code():
+    bare = Diagnostic(Severity.INFO, "c", "m").to_json()
+    assert set(bare) == {"severity", "check", "message"}
+    full = Diagnostic(
+        Severity.ERROR, "c", "m", index=1, seq=2, line=3, code="RPD001"
+    ).to_json()
+    assert (full["index"], full["seq"], full["line"], full["code"]) \
+        == (1, 2, 3, "RPD001")
+
+
+# -- reports_to_json -------------------------------------------------------
+
+
+def _sample_reports():
+    first = Report(subject="alpha")
+    first.error("use-before-def", "r4 read before write", index=2)
+    first.warning("unseeded-rng", "global RNG draw", line=14, code="RPD001")
+    second = Report(subject="beta")
+    second.info("suppressions", "1 finding(s) suppressed")
+    return [first, second]
+
+
+def test_reports_to_json_round_trip():
+    payload = json.loads(reports_to_json(_sample_reports()))
+    assert [r["subject"] for r in payload["reports"]] == ["alpha", "beta"]
+    alpha = payload["reports"][0]
+    assert alpha["errors"] == 1 and alpha["warnings"] == 1
+    coded = alpha["diagnostics"][1]
+    assert coded["code"] == "RPD001" and coded["line"] == 14
+    assert "index" not in coded
+
+
+def test_reports_to_json_is_stable():
+    assert reports_to_json(_sample_reports()) == reports_to_json(_sample_reports())
+
+
+def test_report_counts_and_ok():
+    report = _sample_reports()[0]
+    assert report.n_errors == 1
+    assert report.n_warnings == 1
+    assert not report.ok
+    assert _sample_reports()[1].ok

@@ -1,0 +1,162 @@
+"""Tests for static grid admissibility (the RPG* rules)."""
+
+import json
+
+import pytest
+
+import repro.experiments as experiments
+from repro.exec.cells import Cell, ExperimentSpec
+from repro.verify import cli
+from repro.verify.rules.grids import lint_all_grids, lint_grid
+
+
+def cell_func(**kwargs):
+    """Module-level stand-in cell function (picklable by construction)."""
+    return kwargs
+
+
+def spec_of(cells_fn, experiment_id="test.grid"):
+    def assemble(values, trace_length, seed):
+        raise AssertionError("admissibility linting must not assemble")
+
+    return ExperimentSpec(experiment_id, cells_fn, assemble)
+
+
+def codes_of(report):
+    return sorted(d.code for d in report.diagnostics if d.code is not None)
+
+
+# -- real registered grids are admissible ----------------------------------
+
+
+def test_all_registered_grids_are_admissible():
+    reports = lint_all_grids(2_000, seed=0)
+    assert len(reports) == len(experiments.EXPERIMENT_SPECS)
+    dirty = [r for r in reports if not r.ok]
+    assert not dirty, "\n".join(r.format() for r in dirty)
+
+
+def test_lint_all_grids_unknown_experiment_raises():
+    with pytest.raises(KeyError, match="unknown experiment"):
+        lint_all_grids(2_000, experiment_ids=["fig9.9"])
+
+
+# -- injected inadmissible grids -------------------------------------------
+
+
+def test_fetch_rate_beyond_window_is_rpg001():
+    def cells(trace_length, seed, workloads=None):
+        return [Cell("test.grid", "r64", cell_func, {
+            "workload": "compress", "rate": 64,
+            "trace_length": trace_length, "seed": seed,
+        })]
+
+    report = lint_grid(spec_of(cells), 2_000)
+    assert "RPG001" in codes_of(report)
+    [finding] = [d for d in report.diagnostics if d.code == "RPG001"]
+    assert "window" in finding.message
+
+
+def test_explicit_window_kwarg_licenses_wider_fetch():
+    def cells(trace_length, seed, workloads=None):
+        return [Cell("test.grid", "r64w128", cell_func, {
+            "workload": "compress", "rate": 64, "window": 128,
+            "trace_length": trace_length, "seed": seed,
+        })]
+
+    assert lint_grid(spec_of(cells), 2_000).ok
+
+
+@pytest.mark.parametrize("kwargs, expected", [
+    ({"trace_length": 0}, "RPG002"),
+    ({"trace_length": 2_000, "limit": 0}, "RPG002"),
+    ({"trace_length": 2_000, "n_banks": -1}, "RPG002"),
+    ({"trace_length": 2_000, "workload": "doom"}, "RPG003"),
+])
+def test_bad_parameters_are_flagged(kwargs, expected):
+    def cells(trace_length, seed, workloads=None):
+        return [Cell("test.grid", "c0", cell_func, dict(kwargs))]
+
+    assert expected in codes_of(lint_grid(spec_of(cells), 2_000))
+
+
+def test_duplicate_cell_id_is_rpg004():
+    def cells(trace_length, seed, workloads=None):
+        return [
+            Cell("test.grid", "same", cell_func, {"rate": 1}),
+            Cell("test.grid", "same", cell_func, {"rate": 2}),
+        ]
+
+    assert "RPG004" in codes_of(lint_grid(spec_of(cells), 2_000))
+
+
+def test_mislabelled_experiment_id_is_rpg004():
+    def cells(trace_length, seed, workloads=None):
+        return [Cell("other.exp", "c0", cell_func, {})]
+
+    assert "RPG004" in codes_of(lint_grid(spec_of(cells), 2_000))
+
+
+def test_empty_and_raising_grids_are_rpg004():
+    assert "RPG004" in codes_of(
+        lint_grid(spec_of(lambda length, seed, workloads=None: []), 2_000)
+    )
+
+    def explodes(trace_length, seed, workloads=None):
+        raise RuntimeError("boom")
+
+    report = lint_grid(spec_of(explodes), 2_000)
+    assert "RPG004" in codes_of(report)
+    assert "boom" in report.diagnostics[0].message
+
+
+def test_lambda_cell_function_is_rpg005():
+    def cells(trace_length, seed, workloads=None):
+        return [Cell("test.grid", "c0", lambda: 1, {})]
+
+    assert "RPG005" in codes_of(lint_grid(spec_of(cells), 2_000))
+
+
+def test_unjsonable_kwargs_are_rpg005():
+    def cells(trace_length, seed, workloads=None):
+        return [Cell("test.grid", "c0", cell_func, {"blob": object()})]
+
+    assert "RPG005" in codes_of(lint_grid(spec_of(cells), 2_000))
+
+
+# -- CLI surface -----------------------------------------------------------
+
+
+def _bad_cells(trace_length, seed, workloads=None):
+    return [Cell("bad.grid", "r64", cell_func, {
+        "workload": "compress", "rate": 64,
+        "trace_length": trace_length, "seed": seed,
+    })]
+
+
+def test_cli_grids_clean_on_registry(capsys):
+    assert cli.main(["static", "--grids", "--length", "2000"]) == 0
+    out = capsys.readouterr().out
+    assert "0 error(s)" in out.splitlines()[-1]
+
+
+def test_cli_inadmissible_grid_fails_with_rule_code(monkeypatch, capsys):
+    monkeypatch.setitem(
+        experiments.EXPERIMENT_SPECS, "bad.grid",
+        spec_of(_bad_cells, experiment_id="bad.grid"),
+    )
+    assert cli.main([
+        "static", "--experiment", "bad.grid", "--length", "2000", "--json",
+    ]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    [report] = payload["reports"]
+    assert report["subject"] == "grid bad.grid"
+    assert any(d["code"] == "RPG001" for d in report["diagnostics"])
+
+
+def test_cli_unknown_experiment_exits_2_without_json(capsys):
+    assert cli.main(["static", "--experiment", "fig9.9", "--json"]) == 2
+    captured = capsys.readouterr()
+    assert captured.out == ""
+    assert "unknown experiment" in captured.err
+    assert len(captured.err.strip().splitlines()) == 1

@@ -1,0 +1,294 @@
+"""Tests for the codebase-level static analyzer (repro-lint static)."""
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.verify import cli
+from repro.verify.rules import all_rules, get_rule
+from repro.verify.static import analyze_paths, discover_files, load_source
+
+REPO_SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def lint_snippet(tmp_path, code, name="snippet.py"):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(code))
+    [report] = analyze_paths([path])
+    return report
+
+
+def codes_of(report):
+    return sorted(d.code for d in report.diagnostics if d.code is not None)
+
+
+# -- rule registry ---------------------------------------------------------
+
+
+def test_rule_catalog_codes_unique_and_sorted():
+    rules = all_rules()
+    codes = [rule.code for rule in rules]
+    assert codes == sorted(codes)
+    assert len(codes) == len(set(codes))
+    assert {"RPD001", "RPD004", "RPP001", "RPP002", "RPG001"} <= set(codes)
+
+
+def test_source_rules_have_checkers_grid_rules_do_not():
+    for rule in all_rules():
+        if rule.scope == "source":
+            assert rule.checker is not None, rule.code
+        else:
+            assert rule.checker is None, rule.code
+
+
+def test_get_rule_unknown_code():
+    with pytest.raises(KeyError):
+        get_rule("RPX999")
+
+
+# -- determinism pass ------------------------------------------------------
+
+
+def test_rpd001_flags_global_rng_draw(tmp_path):
+    report = lint_snippet(tmp_path, """\
+        import random
+
+        def pick():
+            return random.random()
+        """)
+    assert "RPD001" in codes_of(report)
+    assert not report.ok
+
+
+def test_rpd001_allows_seeded_rng(tmp_path):
+    report = lint_snippet(tmp_path, """\
+        import random
+
+        def pick(seed):
+            rng = random.Random(seed)
+            return rng.random()
+        """)
+    assert "RPD001" not in codes_of(report)
+
+
+def test_rpd002_flags_wallclock(tmp_path):
+    report = lint_snippet(tmp_path, """\
+        import time
+
+        def stamp():
+            return time.time()
+        """)
+    assert "RPD002" in codes_of(report)
+
+
+def test_rpd002_allows_perf_counter(tmp_path):
+    report = lint_snippet(tmp_path, """\
+        import time
+
+        def measure():
+            return time.perf_counter()
+        """)
+    assert "RPD002" not in codes_of(report)
+
+
+def test_rpd003_flags_builtin_hash(tmp_path):
+    report = lint_snippet(tmp_path, """\
+        def key(name):
+            return hash(name) % 16
+        """)
+    assert "RPD003" in codes_of(report)
+
+
+def test_rpd004_flags_mutable_default(tmp_path):
+    report = lint_snippet(tmp_path, """\
+        def collect(item, into=[]):
+            into.append(item)
+            return into
+        """)
+    assert "RPD004" in codes_of(report)
+
+
+def test_rpd005_flags_module_state_mutation(tmp_path):
+    report = lint_snippet(tmp_path, """\
+        REGISTRY = {}
+
+        def register(name, value):
+            REGISTRY[name] = value
+        """)
+    assert "RPD005" in codes_of(report)
+
+
+# -- suppressions ----------------------------------------------------------
+
+
+def test_line_suppression_silences_and_is_counted(tmp_path):
+    report = lint_snippet(tmp_path, """\
+        def key(name):
+            return hash(name)  # repro-lint: disable=RPD003
+        """)
+    assert "RPD003" not in codes_of(report)
+    assert any(d.check == "suppressions" for d in report.diagnostics)
+    assert report.ok
+
+
+def test_file_suppression_silences_whole_file(tmp_path):
+    report = lint_snippet(tmp_path, """\
+        # repro-lint: disable-file=RPD003
+        def a(x):
+            return hash(x)
+
+        def b(x):
+            return hash((x, x))
+        """)
+    assert "RPD003" not in codes_of(report)
+
+
+def test_suppression_is_code_specific(tmp_path):
+    report = lint_snippet(tmp_path, """\
+        import random
+
+        def pick():
+            return random.random()  # repro-lint: disable=RPD003
+        """)
+    assert "RPD001" in codes_of(report)
+
+
+# -- parallel-safety pass --------------------------------------------------
+
+
+def test_rpp001_flags_lambda_cell_payload(tmp_path):
+    report = lint_snippet(tmp_path, """\
+        from repro.exec.cells import Cell
+
+        def cells():
+            return [Cell("exp", "c0", lambda: 1, {})]
+        """)
+    assert "RPP001" in codes_of(report)
+
+
+def test_rpp001_flags_closure_cell_payload(tmp_path):
+    report = lint_snippet(tmp_path, """\
+        from repro.exec.cells import Cell
+
+        def cells(scale):
+            def compute():
+                return scale * 2
+            return [Cell("exp", "c0", compute, {})]
+        """)
+    assert "RPP001" in codes_of(report)
+
+
+def test_rpp001_allows_module_level_function(tmp_path):
+    report = lint_snippet(tmp_path, """\
+        from repro.exec.cells import Cell
+
+        def compute(scale):
+            return scale * 2
+
+        def cells():
+            return [Cell("exp", "c0", compute, {"scale": 2})]
+        """)
+    assert "RPP001" not in codes_of(report)
+
+
+def test_rpp002_flags_incomplete_cell_key(tmp_path):
+    # The local Cell dataclass defines the fields the key must cover;
+    # this cell_key call drops ``func`` — the silent-staleness bug.
+    report = lint_snippet(tmp_path, """\
+        from dataclasses import dataclass
+
+        @dataclass(frozen=True)
+        class Cell:
+            experiment_id: str
+            cell_id: str
+            func: object
+            kwargs: dict
+
+        def key_of(cache, cell):
+            return cache.cell_key(
+                cell.experiment_id, cell.cell_id, cell.kwargs
+            )
+        """)
+    assert "RPP002" in codes_of(report)
+    [finding] = [d for d in report.diagnostics if d.code == "RPP002"]
+    assert "func" in finding.message
+
+
+def test_rpp002_complete_cell_key_is_clean(tmp_path):
+    report = lint_snippet(tmp_path, """\
+        from dataclasses import dataclass
+
+        @dataclass(frozen=True)
+        class Cell:
+            experiment_id: str
+            cell_id: str
+            func: object
+            kwargs: dict
+
+        def key_of(cache, cell):
+            return cache.cell_key(
+                cell.experiment_id, cell.cell_id, cell.kwargs, cell.func
+            )
+        """)
+    assert "RPP002" not in codes_of(report)
+
+
+# -- discovery and error handling ------------------------------------------
+
+
+def test_discover_files_expands_and_dedups(tmp_path):
+    (tmp_path / "pkg").mkdir()
+    a = tmp_path / "pkg" / "a.py"
+    b = tmp_path / "pkg" / "b.py"
+    a.write_text("x = 1\n")
+    b.write_text("y = 2\n")
+    assert discover_files([tmp_path, a]) == [a, b]
+
+
+def test_discover_files_missing_path_raises():
+    with pytest.raises(ConfigError, match="no such file"):
+        discover_files(["/nonexistent/nowhere.py"])
+
+
+def test_load_source_syntax_error_raises(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("def broken(:\n")
+    with pytest.raises(ConfigError, match="cannot parse"):
+        load_source(bad)
+
+
+# -- the shipped tree runs clean -------------------------------------------
+
+
+def test_shipped_tree_is_clean_at_fail_on_warning():
+    reports = analyze_paths([REPO_SRC])
+    dirty = [r for r in reports if r.fails("warning")]
+    assert not dirty, "\n".join(r.format() for r in dirty)
+
+
+# -- CLI surface -----------------------------------------------------------
+
+
+def test_cli_static_reports_injected_finding(tmp_path, capsys):
+    snippet = tmp_path / "rng.py"
+    snippet.write_text("import random\n\ndef f():\n    return random.random()\n")
+    assert cli.main(["static", str(snippet)]) == 1
+    out = capsys.readouterr().out
+    assert "RPD001" in out
+
+
+def test_cli_static_list_rules(capsys):
+    assert cli.main(["static", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in ("RPD001", "RPP002", "RPG001"):
+        assert code in out
+
+
+def test_cli_static_nothing_to_analyze_exits_2(capsys):
+    assert cli.main(["static"]) == 2
+    captured = capsys.readouterr()
+    assert captured.out == ""
+    assert "nothing to analyze" in captured.err
+    assert len(captured.err.strip().splitlines()) == 1
