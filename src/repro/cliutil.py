@@ -40,3 +40,29 @@ def positive_int(text: str) -> int:
             f"expected a positive integer, got {value}"
         )
     return value
+
+
+def nonnegative_int(text: str) -> int:
+    """argparse type: an integer >= 0 (byte budgets, zero allowed)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"expected a non-negative integer, got {value}"
+        )
+    return value
+
+
+def positive_float(text: str) -> float:
+    """argparse type: a strictly positive float (timeouts, intervals)."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive number, got {value}"
+        )
+    return value

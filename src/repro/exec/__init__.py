@@ -17,12 +17,20 @@ from repro.exec.cache import (
     activate,
     activated,
     active_cache,
+    compute_cell_key,
     deactivate,
     default_cache_dir,
     fetch_trace,
 )
 from repro.exec.cells import Cell, ExperimentSpec, single_cell_spec
-from repro.exec.engine import CellOutcome, EngineReport, ExperimentEngine
+from repro.exec.engine import (
+    CellExecution,
+    CellOutcome,
+    EngineReport,
+    ExperimentEngine,
+    execute_cell,
+    probe_cell,
+)
 from repro.exec.artifacts import MANIFEST_SCHEMA_VERSION, write_artifacts
 
 __all__ = [
@@ -30,6 +38,7 @@ __all__ = [
     "MANIFEST_SCHEMA_VERSION",
     "CacheStats",
     "Cell",
+    "CellExecution",
     "CellOutcome",
     "DiskCache",
     "EngineReport",
@@ -38,9 +47,12 @@ __all__ = [
     "activate",
     "activated",
     "active_cache",
+    "compute_cell_key",
     "deactivate",
     "default_cache_dir",
+    "execute_cell",
     "fetch_trace",
+    "probe_cell",
     "single_cell_spec",
     "write_artifacts",
 ]

@@ -95,19 +95,7 @@ def write_artifacts(report: EngineReport, out_dir: Union[str, Path]) -> Path:
             worker_trace_hits=trace_hits,
             worker_trace_misses=trace_misses,
         ),
-        "cells": [
-            {
-                "experiment_id": o.experiment_id,
-                "cell_id": o.cell_id,
-                "wall_time": o.wall_time,
-                "memoized": o.memoized,
-                "worker": o.worker,
-                "ok": o.ok,
-                "trace_hits": o.trace_hits,
-                "trace_misses": o.trace_misses,
-            }
-            for o in report.outcomes
-        ],
+        "cells": report.cell_metrics(),
     }
     (out / "metrics.json").write_text(_dump(metrics))
     return manifest_path

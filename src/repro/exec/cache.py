@@ -15,6 +15,12 @@ Two stores under one root (default ``~/.cache/repro`` or
 Writes are atomic (temp file + rename) so concurrent workers sharing
 one cache directory never observe half-written artifacts.
 
+The store is administrable: :meth:`DiskCache.accounting` reports entry
+counts and byte totals (with a per-experiment breakdown from the cell
+payloads' metadata) and :meth:`DiskCache.prune` evicts
+least-recently-used entries down to a byte budget. Cell reads touch the
+file's mtime, so recency reflects use, not just creation.
+
 A module-level *active cache* makes the trace store visible to code
 that cannot thread a cache handle through its API (the experiment
 modules' ``workload_traces`` and the benchmark session):
@@ -32,7 +38,7 @@ import tempfile
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import IO, Any, Callable, Dict, Iterator, Optional, Union
+from typing import IO, Any, Callable, Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.trace.io import read_trace, write_trace
 from repro.trace.trace import Trace
@@ -66,6 +72,36 @@ def canonical(value: Any) -> Any:
     if isinstance(value, (list, tuple)):
         return [canonical(v) for v in value]
     return value
+
+
+def compute_cell_key(
+    experiment_id: str,
+    cell_id: str,
+    params: Dict[str, Any],
+    func: Optional[Callable[..., Any]] = None,
+) -> str:
+    """Content key for one experiment cell, independent of any store.
+
+    Keys on every :class:`~repro.exec.cells.Cell` field — the
+    experiment, the cell id, the cell function (by qualified name) and
+    the canonicalized parameters — plus both cache versions, so a
+    generator or schema bump invalidates every memoized cell. Usable
+    without a :class:`DiskCache` (the serve daemon keys its in-memory
+    tier and in-flight coalescing on it even when the disk store is
+    disabled).
+    """
+    identity = json.dumps(
+        {
+            "experiment": experiment_id,
+            "cell": cell_id,
+            "func": None if func is None else canonical(func),
+            "params": canonical(params),
+            "generator_version": GENERATOR_VERSION,
+            "cell_schema_version": CELL_SCHEMA_VERSION,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(identity.encode()).hexdigest()
 
 
 @dataclass
@@ -118,27 +154,11 @@ class DiskCache:
         params: Dict[str, Any],
         func: Optional[Callable[..., Any]] = None,
     ) -> str:
-        """Content key for one experiment cell.
-
-        Keys on every :class:`~repro.exec.cells.Cell` field — the
-        experiment, the cell id, the cell function (by qualified name)
-        and the canonicalized parameters — plus both cache versions, so
-        a generator or schema bump invalidates every memoized cell.
-        Omitting a field from the key is the silent-staleness bug the
-        ``RPP002`` static rule guards against.
+        """Content key for one experiment cell (see
+        :func:`compute_cell_key`). Omitting a field from the key is the
+        silent-staleness bug the ``RPP002`` static rule guards against.
         """
-        identity = json.dumps(
-            {
-                "experiment": experiment_id,
-                "cell": cell_id,
-                "func": None if func is None else canonical(func),
-                "params": canonical(params),
-                "generator_version": GENERATOR_VERSION,
-                "cell_schema_version": CELL_SCHEMA_VERSION,
-            },
-            sort_keys=True,
-        )
-        return hashlib.sha256(identity.encode()).hexdigest()
+        return compute_cell_key(experiment_id, cell_id, params, func)
 
     def cell_path(self, key: str) -> Path:
         return self.cell_dir / f"{key}.json"
@@ -175,14 +195,111 @@ class DiskCache:
             self.stats.cell_misses += 1
             return None
         self.stats.cell_hits += 1
+        try:
+            # Refresh recency so LRU pruning evicts what is actually
+            # cold, not merely what was written first.
+            os.utime(path, None)
+        except OSError:  # pragma: no cover - unwritable store
+            pass
         with open(path) as handle:
             return json.load(handle)["value"]
 
-    def put_cell(self, key: str, value: Any) -> Path:
+    def put_cell(
+        self, key: str, value: Any, meta: Optional[Dict[str, Any]] = None
+    ) -> Path:
+        """Store one cell value; ``meta`` (experiment id, cell id) rides
+        along for the accounting breakdown and never feeds the key."""
         path = self.cell_path(key)
-        payload = json.dumps({"value": value}, sort_keys=True)
+        record: Dict[str, Any] = {"value": value}
+        if meta:
+            record["meta"] = canonical(meta)
+        payload = json.dumps(record, sort_keys=True)
         self._atomic_write(path, lambda handle: handle.write(payload))
         return path
+
+    # -- accounting & eviction --------------------------------------------
+
+    def _entries(self) -> List[Tuple[Path, float, int]]:
+        """Every store file as ``(path, mtime, size)``, oldest first."""
+        entries: List[Tuple[Path, float, int]] = []
+        for store in (self.trace_dir, self.cell_dir):
+            if not store.is_dir():
+                continue
+            for path in store.iterdir():
+                if path.name.startswith(".") or path.is_dir():
+                    continue
+                try:
+                    stat = path.stat()
+                except OSError:  # pragma: no cover - raced deletion
+                    continue
+                entries.append((path, stat.st_mtime, stat.st_size))
+        entries.sort(key=lambda entry: (entry[1], str(entry[0])))
+        return entries
+
+    def accounting(self) -> Dict[str, Any]:
+        """Entry counts and byte totals, per store and per experiment.
+
+        The per-experiment breakdown reads each cell payload's ``meta``
+        record; cells written before metadata existed are grouped under
+        ``"unknown"``. This is the single accounting source shared by
+        ``repro-experiments cache stats`` and the serve daemon's
+        ``stats`` endpoint.
+        """
+        traces: Dict[str, int] = {"entries": 0, "bytes": 0}
+        cells: Dict[str, int] = {"entries": 0, "bytes": 0}
+        per_experiment: Dict[str, Dict[str, int]] = {}
+        for path, _mtime, size in self._entries():
+            if path.parent == self.trace_dir:
+                traces["entries"] += 1
+                traces["bytes"] += size
+                continue
+            cells["entries"] += 1
+            cells["bytes"] += size
+            experiment = "unknown"
+            try:
+                with open(path) as handle:
+                    meta = json.load(handle).get("meta") or {}
+                experiment = str(meta.get("experiment_id", "unknown"))
+            except (OSError, ValueError):  # pragma: no cover - corrupt entry
+                pass
+            bucket = per_experiment.setdefault(
+                experiment, {"entries": 0, "bytes": 0}
+            )
+            bucket["entries"] += 1
+            bucket["bytes"] += size
+        cells_payload: Dict[str, Any] = dict(cells)
+        cells_payload["per_experiment"] = per_experiment
+        return {
+            "root": str(self.root),
+            "traces": traces,
+            "cells": cells_payload,
+            "total_bytes": traces["bytes"] + cells["bytes"],
+        }
+
+    def prune(self, max_bytes: int) -> Dict[str, int]:
+        """Evict least-recently-used entries until the store fits
+        ``max_bytes``; returns eviction counts and the surviving size."""
+        if max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        entries = self._entries()
+        total = sum(size for _path, _mtime, size in entries)
+        evicted = 0
+        evicted_bytes = 0
+        for path, _mtime, size in entries:
+            if total <= max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - raced deletion
+                continue
+            total -= size
+            evicted += 1
+            evicted_bytes += size
+        return {
+            "evicted": evicted,
+            "evicted_bytes": evicted_bytes,
+            "kept_bytes": total,
+        }
 
     # -- internals --------------------------------------------------------
 

@@ -33,6 +33,28 @@ from repro.exec.cache import DiskCache
 from repro.exec.cells import Cell, ExperimentSpec
 
 
+@dataclass(frozen=True)
+class CellExecution:
+    """One raw cell execution: value or error, plus observability.
+
+    What :func:`execute_cell` returns — in-process or across the pickle
+    boundary from a pool worker. Both the engine and the serve daemon
+    (:mod:`repro.serve`) consume it, so anything that can run a cell
+    reports timing and cache traffic the same way.
+    """
+
+    value: Any
+    error: Optional[str]
+    wall_time: float
+    worker: str
+    trace_hits: int = 0
+    trace_misses: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
 @dataclass
 class CellOutcome:
     """What happened to one cell: its value or error, plus observability."""
@@ -50,6 +72,41 @@ class CellOutcome:
     @property
     def ok(self) -> bool:
         return self.error is None
+
+    @classmethod
+    def from_execution(
+        cls, cell: Cell, execution: CellExecution, worker: Optional[str] = None
+    ) -> "CellOutcome":
+        """Attach a raw :class:`CellExecution` to its cell's identity."""
+        return cls(
+            cell.experiment_id,
+            cell.cell_id,
+            value=execution.value,
+            error=execution.error,
+            wall_time=execution.wall_time,
+            worker=worker if worker is not None else execution.worker,
+            trace_hits=execution.trace_hits,
+            trace_misses=execution.trace_misses,
+        )
+
+    def metrics_row(self) -> Dict[str, Any]:
+        """The volatile per-cell timing record (one schema everywhere).
+
+        This is the row ``metrics.json`` quarantines, the runner's
+        per-experiment summary folds, and the serve daemon's ``stats``
+        endpoint reports as ``recent_cells`` — one code path, so the
+        observability schema cannot drift between consumers.
+        """
+        return {
+            "experiment_id": self.experiment_id,
+            "cell_id": self.cell_id,
+            "wall_time": self.wall_time,
+            "memoized": self.memoized,
+            "worker": self.worker,
+            "ok": self.ok,
+            "trace_hits": self.trace_hits,
+            "trace_misses": self.trace_misses,
+        }
 
 
 @dataclass
@@ -77,6 +134,23 @@ class EngineReport:
             busy[outcome.worker] = busy.get(outcome.worker, 0.0) + outcome.wall_time
         return busy
 
+    def cell_metrics(self) -> List[Dict[str, Any]]:
+        """Per-cell volatile timing rows (the ``metrics.json`` schema)."""
+        return [outcome.metrics_row() for outcome in self.outcomes]
+
+    def experiment_timing(self, experiment_id: str) -> Dict[str, Any]:
+        """One experiment's timing summary, folded from the same
+        per-cell rows the artifacts and the serve daemon report."""
+        rows = [
+            row for row in self.cell_metrics()
+            if row["experiment_id"] == experiment_id
+        ]
+        return {
+            "cells": len(rows),
+            "busy_seconds": sum(float(row["wall_time"]) for row in rows),
+            "memoized": sum(1 for row in rows if row["memoized"]),
+        }
+
     def utilization(self) -> float:
         """Busy worker-seconds over available worker-seconds."""
         if self.span_seconds <= 0.0 or self.jobs <= 0:
@@ -85,13 +159,15 @@ class EngineReport:
         return busy / (self.jobs * self.span_seconds)
 
 
-def _execute(
+def execute_cell(
     func: Callable[..., Any], kwargs: Dict[str, Any]
-) -> Tuple[Any, Optional[str], float, str, int, int]:
+) -> CellExecution:
     """Run one cell function, measuring wall time and trace-cache traffic.
 
-    Runs in the worker process (or in-process for the serial path).
-    Exceptions are flattened to strings so they always cross the pickle
+    The single cell-execution primitive: the engine's serial and pool
+    paths and the serve daemon's worker pool all run cells through it.
+    Runs in the worker process (or in-process for the serial path);
+    exceptions are flattened to strings so they always cross the pickle
     boundary back to the parent.
     """
     cache = cache_mod.active_cache()
@@ -109,7 +185,24 @@ def _execute(
     if cache is not None:
         hits = cache.stats.trace_hits - hits0
         misses = cache.stats.trace_misses - misses0
-    return value, error, wall, f"pid-{os.getpid()}", hits, misses
+    return CellExecution(
+        value=value,
+        error=error,
+        wall_time=wall,
+        worker=f"pid-{os.getpid()}",
+        trace_hits=hits,
+        trace_misses=misses,
+    )
+
+
+def probe_cell(cache: DiskCache, cell: Cell) -> Tuple[str, Optional[Any]]:
+    """One cell's content key and its memoized value, if the disk store
+    has one. The reusable probe both the engine's memoization pass and
+    the serve daemon's disk tier go through."""
+    key = cache.cell_key(
+        cell.experiment_id, cell.cell_id, cell.kwargs, cell.func
+    )
+    return key, cache.get_cell(key)
 
 
 def _worker_init(cache_root: Optional[str]) -> None:
@@ -198,11 +291,8 @@ class ExperimentEngine:
             ref = (cell.experiment_id, cell.cell_id)
             if self.memoize:
                 assert self.cache is not None  # memoize implies a cache
-                key = self.cache.cell_key(
-                    cell.experiment_id, cell.cell_id, cell.kwargs, cell.func
-                )
+                key, value = probe_cell(self.cache, cell)
                 keys[ref] = key
-                value = self.cache.get_cell(key)
                 if value is not None:
                     outcomes[ref] = CellOutcome(
                         cell.experiment_id, cell.cell_id,
@@ -222,7 +312,14 @@ class ExperimentEngine:
             assert self.cache is not None  # memoize implies a cache
             for ref, outcome in outcomes.items():
                 if outcome.ok and not outcome.memoized:
-                    self.cache.put_cell(keys[ref], outcome.value)
+                    self.cache.put_cell(
+                        keys[ref],
+                        outcome.value,
+                        meta={
+                            "experiment_id": outcome.experiment_id,
+                            "cell_id": outcome.cell_id,
+                        },
+                    )
         return outcomes
 
     def _run_serial(
@@ -230,13 +327,9 @@ class ExperimentEngine:
     ) -> None:
         with cache_mod.activated(self.cache):
             for cell in cells:
-                value, error, wall, _worker, hits, misses = _execute(
-                    cell.func, cell.kwargs
-                )
-                outcomes[(cell.experiment_id, cell.cell_id)] = CellOutcome(
-                    cell.experiment_id, cell.cell_id,
-                    value=value, error=error, wall_time=wall,
-                    worker="serial", trace_hits=hits, trace_misses=misses,
+                execution = execute_cell(cell.func, cell.kwargs)
+                outcomes[(cell.experiment_id, cell.cell_id)] = (
+                    CellOutcome.from_execution(cell, execution, worker="serial")
                 )
 
     def _run_parallel(
@@ -249,7 +342,7 @@ class ExperimentEngine:
             initargs=(cache_root,),
         ) as pool:
             futures = {
-                pool.submit(_execute, cell.func, cell.kwargs): cell
+                pool.submit(execute_cell, cell.func, cell.kwargs): cell
                 for cell in cells
             }
             remaining = set(futures)
@@ -257,9 +350,6 @@ class ExperimentEngine:
                 done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
                 for future in done:
                     cell = futures[future]
-                    value, error, wall, worker, hits, misses = future.result()
-                    outcomes[(cell.experiment_id, cell.cell_id)] = CellOutcome(
-                        cell.experiment_id, cell.cell_id,
-                        value=value, error=error, wall_time=wall,
-                        worker=worker, trace_hits=hits, trace_misses=misses,
+                    outcomes[(cell.experiment_id, cell.cell_id)] = (
+                        CellOutcome.from_execution(cell, future.result())
                     )

@@ -10,6 +10,15 @@ Usage::
     repro-experiments --cache-dir /tmp/c   # relocate the on-disk cache
     repro-experiments --verify-invariants  # self-audit every simulation
     repro-experiments --list
+    repro-experiments cache stats          # on-disk cache accounting
+    repro-experiments cache prune --max-bytes 50000000
+
+The ``cache`` subcommand inspects and bounds the on-disk cache shared
+by batch runs and the serve daemon: ``stats`` prints entry counts and
+byte totals (per experiment for cells), ``prune`` evicts least-recently
+used entries until the cache fits ``--max-bytes``. The accounting is
+:meth:`repro.exec.DiskCache.accounting` — the same numbers the serve
+``stats`` endpoint reports.
 
 Experiments run through :class:`repro.exec.ExperimentEngine`: their
 workload × configuration cells fan out over ``--jobs`` worker processes
@@ -28,11 +37,12 @@ from __future__ import annotations
 
 import argparse
 import contextlib
+import json
 import os
 import sys
 from typing import List, Optional
 
-from repro.cliutil import CleanArgumentParser, positive_int
+from repro.cliutil import CleanArgumentParser, nonnegative_int, positive_int
 from repro.exec import DiskCache, ExperimentEngine, default_cache_dir, write_artifacts
 from repro.experiments import ALL_EXPERIMENTS, EXPERIMENT_SPECS
 from repro.experiments.common import DEFAULT_TRACE_LENGTH
@@ -98,8 +108,72 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_cache_parser() -> argparse.ArgumentParser:
+    parser = CleanArgumentParser(
+        prog="repro-experiments cache",
+        description="Inspect and bound the on-disk trace/cell cache.",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="cache root (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    commands = parser.add_subparsers(dest="cache_command", required=True)
+    stats = commands.add_parser(
+        "stats", help="entry counts and byte totals, per experiment"
+    )
+    stats.add_argument(
+        "--json", action="store_true", help="print the accounting as JSON"
+    )
+    prune = commands.add_parser(
+        "prune", help="evict least-recently-used entries to fit a budget"
+    )
+    prune.add_argument(
+        "--max-bytes",
+        type=nonnegative_int,
+        required=True,
+        metavar="N",
+        help="shrink the cache to at most N bytes (oldest entries first)",
+    )
+    return parser
+
+
+def cache_main(argv: List[str]) -> int:
+    args = build_cache_parser().parse_args(argv)
+    cache = DiskCache(args.cache_dir or default_cache_dir())
+    accounting = cache.accounting()
+    if args.cache_command == "stats":
+        if args.json:
+            print(json.dumps(accounting, indent=2, sort_keys=True))
+            return 0
+        print(f"cache: {accounting['root']}")
+        traces = accounting["traces"]
+        print(f"traces: {traces['entries']} entries, {traces['bytes']} bytes")
+        cells = accounting["cells"]
+        print(f"cells:  {cells['entries']} entries, {cells['bytes']} bytes")
+        for experiment_id in sorted(cells["per_experiment"]):
+            entry = cells["per_experiment"][experiment_id]
+            print(
+                f"  {experiment_id}: {entry['entries']} entries, "
+                f"{entry['bytes']} bytes"
+            )
+        print(f"total:  {accounting['total_bytes']} bytes")
+        return 0
+    report = cache.prune(args.max_bytes)
+    print(
+        f"pruned {report['evicted']} entries "
+        f"({report['evicted_bytes']} bytes); "
+        f"{report['kept_bytes']} bytes kept"
+    )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    raw = list(sys.argv[1:] if argv is None else argv)
+    if raw and raw[0] == "cache":
+        return cache_main(raw[1:])
+    args = build_parser().parse_args(raw)
     if args.list:
         for experiment_id in ALL_EXPERIMENTS:
             print(experiment_id)
@@ -139,14 +213,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
 
     for experiment_id in selected:
-        cells = [o for o in report.outcomes if o.experiment_id == experiment_id]
-        busy = sum(o.wall_time for o in cells)
-        cached = sum(1 for o in cells if o.memoized)
+        timing = report.experiment_timing(experiment_id)
         if experiment_id in report.results:
             print(report.results[experiment_id].format())
             print(
-                f"({busy:.1f}s over {len(cells)} cells, "
-                f"{cached} from cache)"
+                f"({timing['busy_seconds']:.1f}s over {timing['cells']} "
+                f"cells, {timing['memoized']} from cache)"
             )
             print()
         else:

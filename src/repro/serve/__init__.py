@@ -1,0 +1,76 @@
+"""repro.serve: a long-running experiment service daemon.
+
+Turns the batch execution engine (:mod:`repro.exec`) into a service:
+a daemon holds one warm :class:`~repro.serve.service.ExperimentService`
+— in-memory LRU over the on-disk cell cache over real execution — and
+answers line-delimited JSON requests on TCP and/or Unix sockets.
+
+Three mechanics make it safe to point many clients at one daemon:
+
+* **coalescing** — concurrent requests for the same cell key attach to
+  one in-flight computation instead of re-running it;
+* **tiered caching** — memory hit, else disk hit (promoted to memory),
+  else execute; every tier transition is counted for ``stats``;
+* **backpressure** — a bounded worker pool plus bounded queue; overload
+  is answered with an explicit ``busy`` error carrying ``retry_after``
+  instead of unbounded queuing, and SIGTERM drains in-flight work
+  before sockets close.
+
+``repro-serve serve|ping|stats|submit`` is the CLI;
+:class:`~repro.serve.client.ServeClient` the embeddable client.
+"""
+
+from repro.serve.client import (
+    BusyError,
+    ServeClient,
+    ServeConnectionError,
+    ServeError,
+    parse_address,
+)
+from repro.serve.daemon import ExperimentDaemon, handle_request
+from repro.serve.lru import LRUCache
+from repro.serve.protocol import (
+    E_BAD_REQUEST,
+    E_BUSY,
+    E_DRAINING,
+    E_EXECUTION,
+    E_INTERNAL,
+    E_UNKNOWN_OP,
+    MAX_REQUEST_BYTES,
+    OPS,
+    PROTOCOL_VERSION,
+)
+from repro.serve.service import (
+    CellExecutionFailed,
+    ExperimentService,
+    ServiceConfig,
+    ServiceRejection,
+    UnknownCellError,
+    UnknownExperimentError,
+)
+
+__all__ = [
+    "BusyError",
+    "CellExecutionFailed",
+    "E_BAD_REQUEST",
+    "E_BUSY",
+    "E_DRAINING",
+    "E_EXECUTION",
+    "E_INTERNAL",
+    "E_UNKNOWN_OP",
+    "ExperimentDaemon",
+    "ExperimentService",
+    "LRUCache",
+    "MAX_REQUEST_BYTES",
+    "OPS",
+    "PROTOCOL_VERSION",
+    "ServeClient",
+    "ServeConnectionError",
+    "ServeError",
+    "ServiceConfig",
+    "ServiceRejection",
+    "UnknownCellError",
+    "UnknownExperimentError",
+    "handle_request",
+    "parse_address",
+]

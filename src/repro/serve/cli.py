@@ -1,0 +1,319 @@
+"""Command-line entry point: the experiment service daemon and client.
+
+Usage::
+
+    repro-serve serve --unix /tmp/repro.sock          # run the daemon
+    repro-serve serve --tcp 127.0.0.1:7341 --workers 4
+    repro-serve ping --connect unix:/tmp/repro.sock   # health check
+    repro-serve stats --connect unix:/tmp/repro.sock  # counters + cache
+    repro-serve submit fig3.1 --cell gshare/go --length 20000 \\
+        --connect unix:/tmp/repro.sock                # one cell
+    repro-serve submit fig3.1 --connect unix:/tmp/repro.sock
+                                                      # whole experiment
+
+``serve`` runs until SIGTERM/SIGINT, then drains: in-flight cells
+finish and are answered before sockets close (exit 0 on a clean drain,
+1 if the drain timed out). The client subcommands read ``--connect``
+(or ``$REPRO_SERVE_ADDR``) as ``unix:PATH`` or ``HOST:PORT``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.cliutil import (
+    CleanArgumentParser,
+    nonnegative_int,
+    positive_float,
+    positive_int,
+)
+from repro.serve.client import (
+    Address,
+    ServeClient,
+    ServeConnectionError,
+    ServeError,
+    parse_address,
+)
+
+ADDR_ENV = "REPRO_SERVE_ADDR"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = CleanArgumentParser(
+        prog="repro-serve",
+        description="Long-running experiment service: submit cells over a "
+        "socket, share one warm in-memory + on-disk cache across clients.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    serve = commands.add_parser(
+        "serve", help="run the daemon until SIGTERM, then drain"
+    )
+    serve.add_argument(
+        "--unix", metavar="PATH", default=None, help="Unix socket path"
+    )
+    serve.add_argument(
+        "--tcp",
+        metavar="HOST:PORT",
+        default=None,
+        help="TCP listen address (port 0 picks an ephemeral port)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=positive_int,
+        default=2,
+        help="cell executor pool size (default 2)",
+    )
+    serve.add_argument(
+        "--queue-depth",
+        type=nonnegative_int,
+        default=8,
+        help="queued cells beyond the pool before 'busy' (default 8)",
+    )
+    serve.add_argument(
+        "--memory-entries",
+        type=positive_int,
+        default=512,
+        help="in-memory cell cache capacity (default 512)",
+    )
+    serve.add_argument(
+        "--pool",
+        choices=("thread", "process"),
+        default="thread",
+        help="cell executor kind (default thread)",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="on-disk cache (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    serve.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="serve without the on-disk tier (memory only)",
+    )
+    serve.add_argument(
+        "--idle-timeout",
+        type=positive_float,
+        default=300.0,
+        metavar="SECONDS",
+        help="disconnect idle clients after this long (default 300)",
+    )
+
+    def add_client_args(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--connect",
+            metavar="ADDR",
+            default=None,
+            help=f"unix:PATH or HOST:PORT (default: ${ADDR_ENV})",
+        )
+        sub.add_argument(
+            "--timeout",
+            type=positive_float,
+            default=30.0,
+            metavar="SECONDS",
+            help="socket timeout per attempt (default 30)",
+        )
+        sub.add_argument(
+            "--json", action="store_true", help="print the raw JSON result"
+        )
+
+    ping = commands.add_parser("ping", help="health-check a running daemon")
+    add_client_args(ping)
+
+    stats = commands.add_parser("stats", help="service + cache counters")
+    add_client_args(stats)
+    stats.add_argument(
+        "--no-disk",
+        action="store_true",
+        help="skip the on-disk cache accounting walk",
+    )
+
+    submit = commands.add_parser(
+        "submit", help="run one cell or one whole experiment"
+    )
+    add_client_args(submit)
+    submit.add_argument("experiment", metavar="EXPERIMENT", help="experiment id")
+    submit.add_argument(
+        "--cell",
+        metavar="CELL",
+        default=None,
+        help="cell id (omit to run the whole experiment)",
+    )
+    submit.add_argument(
+        "--length",
+        type=positive_int,
+        default=None,
+        metavar="N",
+        help="trace length per workload (default: the spec default)",
+    )
+    submit.add_argument("--seed", type=int, default=0, help="workload seed")
+    submit.add_argument(
+        "--workloads",
+        metavar="NAME",
+        nargs="+",
+        default=None,
+        help="restrict to these workloads",
+    )
+    return parser
+
+
+def _client_address(parser: argparse.ArgumentParser, text: Optional[str]) -> Address:
+    raw = text or os.environ.get(ADDR_ENV)
+    if not raw:
+        parser.error(f"no server address: pass --connect or set ${ADDR_ENV}")
+    try:
+        return parse_address(raw)
+    except ValueError as exc:
+        parser.error(str(exc))
+
+
+def _serve(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    # Imports deferred so client subcommands stay importable/fast even
+    # where the execution stack is heavy.
+    from repro.exec import DiskCache, default_cache_dir
+    from repro.serve.daemon import ExperimentDaemon
+    from repro.serve.service import ExperimentService, ServiceConfig
+
+    if args.unix is None and args.tcp is None:
+        parser.error("serve needs --unix PATH and/or --tcp HOST:PORT")
+    tcp: Optional[Tuple[str, int]] = None
+    if args.tcp is not None:
+        address = parse_address(args.tcp)
+        if isinstance(address, str):
+            parser.error("--tcp takes HOST:PORT (use --unix for socket paths)")
+        tcp = address
+    cache = None
+    if not args.no_cache:
+        cache = DiskCache(args.cache_dir or default_cache_dir())
+    config = ServiceConfig(
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        memory_entries=args.memory_entries,
+        pool=args.pool,
+    )
+    service = ExperimentService(cache=cache, config=config)
+    daemon = ExperimentDaemon(
+        service, tcp=tcp, unix=args.unix, idle_timeout=args.idle_timeout
+    )
+    if args.unix is not None:
+        print(f"[serve] listening on unix:{args.unix}", file=sys.stderr)
+    bound = daemon.tcp_address
+    if bound is not None:
+        print(f"[serve] listening on {bound[0]}:{bound[1]}", file=sys.stderr)
+    drained = daemon.run(install_signals=True)
+    print(
+        f"[serve] stopped ({'clean drain' if drained else 'drain timed out'})",
+        file=sys.stderr,
+    )
+    return 0 if drained else 1
+
+
+def _print_result(payload: Dict[str, Any], as_json: bool) -> None:
+    if as_json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for key in sorted(payload):
+            print(f"{key}: {payload[key]}")
+
+
+def _ping(client: ServeClient, args: argparse.Namespace) -> int:
+    health = client.ping()
+    if args.json:
+        print(json.dumps(health, indent=2, sort_keys=True))
+    else:
+        print(
+            f"ok: status={health.get('status')} pid={health.get('pid')} "
+            f"pool={health.get('pool')}x{health.get('workers')} "
+            f"protocol=v{health.get('protocol')}"
+        )
+    return 0
+
+
+def _stats(client: ServeClient, args: argparse.Namespace) -> int:
+    snapshot = client.stats(disk=not args.no_disk)
+    if args.json:
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+        return 0
+    service = snapshot.get("service", {})
+    memory = snapshot.get("memory_cache", {})
+    print("service:")
+    for key in sorted(service):
+        print(f"  {key}: {service[key]}")
+    print("memory_cache:")
+    for key in sorted(memory):
+        print(f"  {key}: {memory[key]}")
+    disk = snapshot.get("disk_cache")
+    if disk:
+        print("disk_cache:")
+        print(f"  total_bytes: {disk.get('total_bytes')}")
+        cells = disk.get("cells", {})
+        print(
+            f"  cells: {cells.get('entries')} entries, "
+            f"{cells.get('bytes')} bytes"
+        )
+        traces = disk.get("traces", {})
+        print(
+            f"  traces: {traces.get('entries')} entries, "
+            f"{traces.get('bytes')} bytes"
+        )
+    return 0
+
+
+def _submit(client: ServeClient, args: argparse.Namespace) -> int:
+    from repro.analysis.report import ExperimentResult
+    from repro.experiments.common import DEFAULT_TRACE_LENGTH
+
+    length = args.length or DEFAULT_TRACE_LENGTH
+    if args.cell is not None:
+        payload = client.run_cell(
+            args.experiment, args.cell, length, args.seed, args.workloads
+        )
+        if args.json:
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            summary = dict(payload)
+            summary.pop("value", None)
+            _print_result(summary, as_json=False)
+        return 0
+    payload = client.run_experiment(
+        args.experiment, length, args.seed, args.workloads
+    )
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(ExperimentResult.from_dict(payload["result"]).format())
+    sources = payload.get("sources", {})
+    served = ", ".join(f"{sources[k]} {k}" for k in sorted(sources))
+    print(f"(cells: {served})")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "serve":
+        return _serve(args, parser)
+    address = _client_address(parser, args.connect)
+    try:
+        with ServeClient(address, timeout=args.timeout) as client:
+            if args.command == "ping":
+                return _ping(client, args)
+            if args.command == "stats":
+                return _stats(client, args)
+            return _submit(client, args)
+    except ServeConnectionError as exc:
+        print(f"repro-serve: connection error: {exc}", file=sys.stderr)
+        return 1
+    except ServeError as exc:
+        print(f"repro-serve: server error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

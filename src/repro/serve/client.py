@@ -1,0 +1,258 @@
+"""Synchronous client for the experiment service daemon.
+
+Consumer-side counterpart of :mod:`repro.serve.daemon`: one persistent
+stream connection (TCP or Unix) speaking the line-delimited JSON
+protocol. The client owns the retry story so callers see at most one
+exception per logical request:
+
+* transport failures (refused, reset, timed out) reconnect and retry
+  up to ``retries`` times with linear backoff;
+* ``busy`` rejections — the server's explicit backpressure — are
+  retried after the server-suggested ``retry_after`` pause when
+  ``retry_busy`` is set, since busy guarantees the work never started;
+* every other protocol error surfaces as :class:`ServeError`.
+
+This module runs in the *client* process, so blocking sleeps between
+retries are fine here (and exempt from repro-lint rule RPS001, which
+polices only server-side handler code).
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import time
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.serve import protocol
+
+Address = Union[str, Tuple[str, int]]
+
+
+class ServeError(RuntimeError):
+    """The server answered with a protocol error."""
+
+    def __init__(
+        self, code: str, message: str, retry_after: Optional[float] = None
+    ) -> None:
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.message = message
+        self.retry_after = retry_after
+
+
+class BusyError(ServeError):
+    """Backpressure: the server's queue is full; retry later."""
+
+
+class ServeConnectionError(ConnectionError):
+    """Could not reach (or keep talking to) the daemon."""
+
+
+def parse_address(text: str) -> Address:
+    """Parse ``unix:/path/to.sock`` or ``host:port`` into an address.
+
+    The inverse convention of the ``repro-serve`` CLI flags; accepted
+    anywhere a client address is read from a string (``--connect``,
+    ``REPRO_SERVE_ADDR``).
+    """
+    if text.startswith("unix:"):
+        path = text[len("unix:"):]
+        if not path:
+            raise ValueError("unix: address needs a socket path")
+        return path
+    host, sep, port_text = text.rpartition(":")
+    if not sep or not host:
+        raise ValueError(
+            f"address {text!r} is neither unix:PATH nor HOST:PORT"
+        )
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(f"port {port_text!r} in {text!r} is not an integer")
+    if not 0 < port < 65536:
+        raise ValueError(f"port {port} in {text!r} is out of range")
+    return host, port
+
+
+class ServeClient:
+    """One connection to a serve daemon, with reconnect-and-retry.
+
+    ``address`` is a Unix socket path (str) or a ``(host, port)`` pair;
+    use :func:`parse_address` to accept both from user input. Usable as
+    a context manager.
+    """
+
+    def __init__(
+        self,
+        address: Address,
+        timeout: float = 10.0,
+        retries: int = 3,
+        backoff: float = 0.05,
+        retry_busy: bool = True,
+    ) -> None:
+        if timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        self.address = address
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.retry_busy = retry_busy
+        self._sock: Optional[socket.socket] = None
+        self._ids = itertools.count(1)
+
+    # -- transport ---------------------------------------------------------
+
+    def _connect(self) -> socket.socket:
+        if self._sock is not None:
+            return self._sock
+        if isinstance(self.address, str):
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            target: Union[str, Tuple[str, int]] = self.address
+        else:
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            target = self.address
+        sock.settimeout(self.timeout)
+        try:
+            sock.connect(target)
+        except OSError:
+            sock.close()
+            raise
+        self._sock = sock
+        return sock
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def _drop_connection(self) -> None:
+        self.close()
+
+    def _exchange(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """One request/response round-trip on the live connection."""
+        sock = self._connect()
+        sock.sendall(protocol.encode_message(payload))
+        chunks: List[bytes] = []
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                raise ServeConnectionError("server closed the connection")
+            chunks.append(chunk)
+            if chunk.endswith(b"\n"):
+                break
+        return protocol.decode_message(b"".join(chunks))
+
+    # -- request machinery -------------------------------------------------
+
+    def call(self, op: str, params: Optional[Dict[str, Any]] = None) -> Any:
+        """Issue one op; returns the ``result`` payload or raises."""
+        request_id = next(self._ids)
+        payload = protocol.request(op, params, request_id)
+        transport_failures = 0
+        busy_retries = 0
+        while True:
+            try:
+                response = self._exchange(payload)
+            except (OSError, ServeConnectionError, protocol.ProtocolError) as exc:
+                self._drop_connection()
+                transport_failures += 1
+                if transport_failures > self.retries:
+                    raise ServeConnectionError(
+                        f"serve request failed after "
+                        f"{transport_failures} attempt(s): {exc}"
+                    ) from exc
+                time.sleep(self.backoff * transport_failures)
+                continue
+            if response.get("id") not in (None, request_id):
+                # A stale response from a broken pipeline; resync by
+                # reconnecting rather than mis-attributing results.
+                self._drop_connection()
+                raise ServeConnectionError(
+                    f"response id {response.get('id')!r} does not match "
+                    f"request id {request_id}"
+                )
+            if response.get("ok"):
+                return response.get("result")
+            error = response.get("error") or {}
+            code = str(error.get("code", protocol.E_INTERNAL))
+            message = str(error.get("message", "unknown error"))
+            retry_after = error.get("retry_after")
+            if (
+                code in protocol.RETRYABLE_CODES
+                and self.retry_busy
+                and busy_retries < self.retries
+            ):
+                busy_retries += 1
+                pause = retry_after if retry_after else self.backoff
+                time.sleep(min(float(pause), self.timeout))
+                continue
+            if code == protocol.E_BUSY:
+                raise BusyError(code, message, retry_after)
+            raise ServeError(code, message, retry_after)
+
+    # -- operations --------------------------------------------------------
+
+    def ping(self) -> Dict[str, Any]:
+        """Health check; returns the server's health payload."""
+        result = self.call("health")
+        assert isinstance(result, dict)
+        return result
+
+    def stats(self, disk: bool = True) -> Dict[str, Any]:
+        """Server counters; ``disk=False`` skips the on-disk accounting
+        walk for a cheap hot-path probe."""
+        result = self.call("stats", {"disk": disk})
+        assert isinstance(result, dict)
+        return result
+
+    def run_cell(
+        self,
+        experiment_id: str,
+        cell_id: str,
+        trace_length: int,
+        seed: int = 0,
+        workloads: Optional[List[str]] = None,
+    ) -> Dict[str, Any]:
+        """Run (or fetch) one experiment cell."""
+        params: Dict[str, Any] = {
+            "experiment_id": experiment_id,
+            "cell_id": cell_id,
+            "trace_length": trace_length,
+            "seed": seed,
+        }
+        if workloads is not None:
+            params["workloads"] = workloads
+        result = self.call("run_cell", params)
+        assert isinstance(result, dict)
+        return result
+
+    def run_experiment(
+        self,
+        experiment_id: str,
+        trace_length: int,
+        seed: int = 0,
+        workloads: Optional[List[str]] = None,
+    ) -> Dict[str, Any]:
+        """Run (or fetch) every cell of one experiment, assembled."""
+        params: Dict[str, Any] = {
+            "experiment_id": experiment_id,
+            "trace_length": trace_length,
+            "seed": seed,
+        }
+        if workloads is not None:
+            params["workloads"] = workloads
+        result = self.call("run_experiment", params)
+        assert isinstance(result, dict)
+        return result
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

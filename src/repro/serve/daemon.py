@@ -1,0 +1,395 @@
+"""The serve daemon: sockets, dispatch and graceful shutdown.
+
+Wraps an :class:`~repro.serve.service.ExperimentService` in threading
+stream servers — TCP, Unix domain socket, or both at once — speaking
+the line-delimited JSON protocol of :mod:`repro.serve.protocol`. Each
+connection gets a handler thread that reads one request line at a time
+(bounded by an idle timeout so dead peers cannot pin threads forever)
+and writes one response line per request.
+
+Shutdown is graceful by contract: on SIGTERM/SIGINT (or
+:meth:`ExperimentDaemon.stop`) the service first refuses new work with
+``draining`` errors, in-flight cells run to completion and their
+responses are delivered, then listeners close, lingering connections
+are shut down, and — for Unix sockets — the socket file is unlinked.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import socketserver
+import threading
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.serve import protocol
+from repro.serve.service import (
+    CellExecutionFailed,
+    ExperimentService,
+    ServiceRejection,
+    UnknownCellError,
+    UnknownExperimentError,
+)
+
+# How long an idle connection may sit between requests before the
+# handler closes it. Every blocking read on a connection is bounded by
+# this socket timeout.
+DEFAULT_IDLE_TIMEOUT = 300.0
+
+
+def _validated_scale(params: Dict[str, Any]) -> Tuple[int, int, Optional[List[str]]]:
+    """(trace_length, seed, workloads) out of request params, checked."""
+    trace_length = params.get("trace_length")
+    if not isinstance(trace_length, int) or isinstance(trace_length, bool):
+        raise ValueError("params.trace_length must be an integer")
+    if trace_length < 1:
+        raise ValueError(f"params.trace_length must be >= 1, got {trace_length}")
+    seed = params.get("seed", 0)
+    if not isinstance(seed, int) or isinstance(seed, bool):
+        raise ValueError("params.seed must be an integer")
+    workloads = params.get("workloads")
+    if workloads is not None:
+        if not isinstance(workloads, list) or not all(
+            isinstance(name, str) for name in workloads
+        ):
+            raise ValueError("params.workloads must be a list of workload names")
+    return trace_length, seed, workloads
+
+
+def _required_str(params: Dict[str, Any], name: str) -> str:
+    value = params.get(name)
+    if not isinstance(value, str) or not value:
+        raise ValueError(f"params.{name} must be a non-empty string")
+    return value
+
+
+def handle_request(
+    service: ExperimentService, message: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Dispatch one decoded request object to the service; never raises
+    — every failure becomes a protocol error response."""
+    request_id = message.get("id")
+    op = message.get("op")
+    params = message.get("params", {})
+    if params is None:
+        params = {}
+    if not isinstance(params, dict):
+        return protocol.error_response(
+            request_id, protocol.E_BAD_REQUEST, "params must be an object"
+        )
+    try:
+        if op == "health":
+            return protocol.ok_response(request_id, service.health())
+        if op == "stats":
+            include_disk = bool(params.get("disk", True))
+            return protocol.ok_response(
+                request_id, service.stats_snapshot(include_disk=include_disk)
+            )
+        if op == "run_cell":
+            experiment_id = _required_str(params, "experiment_id")
+            cell_id = _required_str(params, "cell_id")
+            trace_length, seed, workloads = _validated_scale(params)
+            return protocol.ok_response(
+                request_id,
+                service.run_cell(
+                    experiment_id, cell_id, trace_length, seed, workloads
+                ),
+            )
+        if op == "run_experiment":
+            experiment_id = _required_str(params, "experiment_id")
+            trace_length, seed, workloads = _validated_scale(params)
+            return protocol.ok_response(
+                request_id,
+                service.run_experiment(
+                    experiment_id, trace_length, seed, workloads
+                ),
+            )
+        return protocol.error_response(
+            request_id,
+            protocol.E_UNKNOWN_OP,
+            f"unknown op {op!r}; known: {', '.join(protocol.OPS)}",
+        )
+    except ServiceRejection as rejection:
+        return protocol.error_response(
+            request_id,
+            rejection.code,
+            rejection.message,
+            retry_after=rejection.retry_after,
+        )
+    except (UnknownExperimentError, UnknownCellError, ValueError) as exc:
+        return protocol.error_response(
+            request_id, protocol.E_BAD_REQUEST, str(exc)
+        )
+    except CellExecutionFailed as exc:
+        return protocol.error_response(
+            request_id, protocol.E_EXECUTION, str(exc)
+        )
+    except Exception as exc:  # noqa: BLE001 - a handler must answer
+        return protocol.error_response(
+            request_id, protocol.E_INTERNAL, f"{type(exc).__name__}: {exc}"
+        )
+
+
+class _ConnectionHandler(socketserver.StreamRequestHandler):
+    """One connection's request loop (runs in its own thread)."""
+
+    server: "_ServeServerMixin"  # narrowed for mypy
+
+    def setup(self) -> None:
+        super().setup()
+        self.server.register_connection(self.connection)
+        # Bound every read: an idle peer is disconnected rather than
+        # pinning this thread forever (see repro-lint rule RPS001).
+        self.connection.settimeout(self.server.idle_timeout)
+
+    def handle(self) -> None:
+        while not self.server.stopping:
+            try:
+                line = self.rfile.readline(protocol.MAX_REQUEST_BYTES + 1)
+            except (OSError, ValueError):
+                break  # timeout, reset, or closed-under-us file object
+            if not line:
+                break  # EOF: client closed
+            if line.strip() == b"":
+                continue  # tolerate keepalive blank lines
+            if len(line) > protocol.MAX_REQUEST_BYTES:
+                response = protocol.error_response(
+                    None,
+                    protocol.E_BAD_REQUEST,
+                    f"request exceeds {protocol.MAX_REQUEST_BYTES} bytes",
+                )
+                self._respond(response)
+                break
+            try:
+                message = protocol.decode_message(line)
+            except protocol.ProtocolError as exc:
+                self._respond(
+                    protocol.error_response(
+                        None, protocol.E_BAD_REQUEST, str(exc)
+                    )
+                )
+                continue
+            self.server.begin_request()
+            try:
+                response = handle_request(self.server.service, message)
+                delivered = self._respond(response)
+            finally:
+                self.server.end_request()
+            if not delivered:
+                break
+
+    def _respond(self, response: Dict[str, Any]) -> bool:
+        try:
+            self.wfile.write(protocol.encode_message(response))
+            self.wfile.flush()
+            return True
+        except (OSError, ValueError):
+            return False
+
+    def finish(self) -> None:
+        self.server.unregister_connection(self.connection)
+        super().finish()
+
+
+class _ServeServerMixin(socketserver.ThreadingMixIn):
+    """Shared state of the TCP and Unix listeners."""
+
+    daemon_threads = True
+    # The daemon drains the service itself before closing; waiting on
+    # handler threads here would deadlock against idle connections.
+    block_on_close = False
+    allow_reuse_address = True
+
+    service: ExperimentService
+    idle_timeout: float
+    stopping: bool
+
+    def configure(
+        self, service: ExperimentService, idle_timeout: float
+    ) -> None:
+        self.service = service
+        self.idle_timeout = idle_timeout
+        self.stopping = False
+        self._connections: Set[socket.socket] = set()
+        self._connections_lock = threading.Lock()
+        self._active_requests = 0
+        self._active_cond = threading.Condition()
+
+    def begin_request(self) -> None:
+        with self._active_cond:
+            self._active_requests += 1
+
+    def end_request(self) -> None:
+        with self._active_cond:
+            self._active_requests -= 1
+            if self._active_requests == 0:
+                self._active_cond.notify_all()
+
+    def wait_idle(self, timeout: float) -> bool:
+        """Wait until no handler is mid-request (drain: the service may
+        be empty before the response bytes have been written)."""
+        with self._active_cond:
+            return bool(
+                self._active_cond.wait_for(
+                    lambda: self._active_requests == 0, timeout=timeout
+                )
+            )
+
+    def register_connection(self, connection: socket.socket) -> None:
+        with self._connections_lock:
+            self._connections.add(connection)
+
+    def unregister_connection(self, connection: socket.socket) -> None:
+        with self._connections_lock:
+            self._connections.discard(connection)
+
+    def close_connections(self) -> None:
+        """Unblock handler threads stuck reading from idle peers."""
+        with self._connections_lock:
+            connections = list(self._connections)
+        for connection in connections:
+            try:
+                connection.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+
+
+class TCPServeServer(_ServeServerMixin, socketserver.TCPServer):
+    """The TCP listener (``host:port``)."""
+
+
+class UnixServeServer(_ServeServerMixin, socketserver.UnixStreamServer):
+    """The Unix-domain-socket listener (a filesystem path)."""
+
+
+class ExperimentDaemon:
+    """A running serve daemon: one service behind 1–2 listeners.
+
+    ``tcp`` is a ``(host, port)`` pair (port 0 binds an ephemeral port;
+    read the bound address back from :attr:`tcp_address`); ``unix`` is
+    a socket path (stale socket files are replaced). At least one must
+    be given.
+    """
+
+    def __init__(
+        self,
+        service: ExperimentService,
+        tcp: Optional[Tuple[str, int]] = None,
+        unix: Optional[str] = None,
+        idle_timeout: float = DEFAULT_IDLE_TIMEOUT,
+        drain_timeout: float = 30.0,
+    ) -> None:
+        if tcp is None and unix is None:
+            raise ValueError("daemon needs a TCP address and/or a Unix path")
+        self.service = service
+        self.drain_timeout = drain_timeout
+        self.unix_path: Optional[str] = unix
+        self._servers: List[socketserver.BaseServer] = []
+        self._threads: List[threading.Thread] = []
+        self._stop_event = threading.Event()
+        self._stopped = False
+        if tcp is not None:
+            tcp_server = TCPServeServer(tcp, _ConnectionHandler)
+            tcp_server.configure(service, idle_timeout)
+            self._servers.append(tcp_server)
+            self._tcp_server: Optional[TCPServeServer] = tcp_server
+        else:
+            self._tcp_server = None
+        if unix is not None:
+            if os.path.exists(unix):
+                os.unlink(unix)  # replace a stale socket file
+            unix_server = UnixServeServer(unix, _ConnectionHandler)
+            unix_server.configure(service, idle_timeout)
+            self._servers.append(unix_server)
+
+    @property
+    def tcp_address(self) -> Optional[Tuple[str, int]]:
+        """The actually bound (host, port), once listening."""
+        if self._tcp_server is None:
+            return None
+        host, port = self._tcp_server.server_address[:2]
+        return str(host), int(port)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "ExperimentDaemon":
+        """Start serving in background threads; returns immediately."""
+        for server in self._servers:
+            thread = threading.Thread(
+                target=server.serve_forever,
+                kwargs={"poll_interval": 0.1},
+                name=f"repro-serve-listener-{len(self._threads)}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def stop(self, drain: bool = True) -> bool:
+        """Drain the service, close listeners and connections.
+
+        Returns True when every in-flight request completed within the
+        drain timeout. Idempotent.
+        """
+        if self._stopped:
+            return True
+        self._stopped = True
+        drained = self.service.drain(self.drain_timeout) if drain else False
+        if not drain:
+            self.service.drain(0.0)
+        for server in self._servers:
+            assert isinstance(server, _ServeServerMixin)
+            # The service being empty does not mean the response bytes
+            # made it out; let handlers finish writing before sockets
+            # are torn down.
+            if not server.wait_idle(5.0):
+                drained = False
+        for server in self._servers:
+            assert isinstance(server, _ServeServerMixin)
+            server.stopping = True
+        for server in self._servers:
+            server.shutdown()  # stop accepting
+        for server in self._servers:
+            assert isinstance(server, _ServeServerMixin)
+            server.close_connections()  # unblock idle handler threads
+        for server in self._servers:
+            server.server_close()
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        if self.unix_path is not None and os.path.exists(self.unix_path):
+            try:
+                os.unlink(self.unix_path)
+            except OSError:
+                pass
+        self.service.close()
+        return drained
+
+    def request_stop(self) -> None:
+        """Ask a blocked :meth:`run` to shut down (signal-handler safe)."""
+        self._stop_event.set()
+
+    def run(self, install_signals: bool = True) -> bool:
+        """Serve until SIGTERM/SIGINT (or :meth:`request_stop`), then
+        drain and stop; returns True on a clean drain.
+
+        Installs signal handlers only from the main thread (the CLI
+        path); embedders running the daemon elsewhere stop it via
+        :meth:`request_stop` or :meth:`stop`.
+        """
+        self.start()
+        if install_signals:
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                signal.signal(signum, self._on_signal)
+        self._stop_event.wait()
+        return self.stop()
+
+    def _on_signal(self, signum: int, frame: object) -> None:
+        del signum, frame
+        self._stop_event.set()
+
+    def __enter__(self) -> "ExperimentDaemon":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

@@ -1,0 +1,74 @@
+"""A thread-safe bounded LRU cache with hit/miss/eviction counters.
+
+The in-memory tier of the experiment service: deserialized cell values
+keyed by their content key, bounded by entry count so a long-lived
+daemon cannot grow without limit. Also reused (at a small bound) for
+memoizing enumerated experiment grids.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Optional
+
+
+class LRUCache:
+    """Bounded mapping with least-recently-used eviction.
+
+    ``get`` refreshes recency; ``put`` evicts the coldest entry once
+    ``max_entries`` is exceeded. All operations are guarded by one lock
+    so concurrent daemon handler threads may share an instance.
+    """
+
+    def __init__(self, max_entries: int) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[str, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: str, default: Optional[Any] = None) -> Any:
+        with self._lock:
+            if key not in self._entries:
+                self.misses += 1
+                return default
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return self._entries[key]
+
+    def put(self, key: str, value: Any) -> None:
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        # Membership does not count as a hit/miss or refresh recency.
+        with self._lock:
+            return key in self._entries
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def snapshot(self) -> Dict[str, int]:
+        """Counters for the stats endpoint."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }

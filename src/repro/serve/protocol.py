@@ -1,0 +1,102 @@
+"""The experiment service wire protocol.
+
+Line-delimited JSON over a stream socket (TCP or Unix): every request
+is one JSON object on one ``\\n``-terminated line, answered by exactly
+one JSON object on one line. Requests carry ``op`` (one of :data:`OPS`),
+optional ``params`` and an optional client-chosen ``id`` echoed back in
+the response, so a client can pipeline requests over one connection.
+
+Responses are ``{"id": ..., "ok": true, "result": ...}`` or
+``{"id": ..., "ok": false, "error": {"code": ..., "message": ...}}``;
+backpressure errors (:data:`E_BUSY`, :data:`E_DRAINING`) additionally
+carry ``retry_after`` seconds, the server's explicit alternative to
+unbounded queuing.
+
+Inbound request lines are capped at :data:`MAX_REQUEST_BYTES` so a
+misbehaving client cannot balloon server memory.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional, Tuple, Union
+
+PROTOCOL_VERSION = 1
+
+# One request line may not exceed this many bytes on the wire.
+MAX_REQUEST_BYTES = 1 << 20
+
+# The operations a server understands.
+OPS: Tuple[str, ...] = ("health", "stats", "run_cell", "run_experiment")
+
+# Error codes.
+E_BAD_REQUEST = "bad_request"      # malformed line / params
+E_UNKNOWN_OP = "unknown_op"        # op not in OPS
+E_BUSY = "busy"                    # backpressure: queue full, retry later
+E_DRAINING = "draining"            # server is shutting down gracefully
+E_EXECUTION = "execution_error"    # the cell itself raised
+E_INTERNAL = "internal"            # anything else server-side
+
+# Codes a client may transparently retry on (the work was not started).
+RETRYABLE_CODES = (E_BUSY,)
+
+
+class ProtocolError(ValueError):
+    """A message that does not parse as one protocol object."""
+
+
+def encode_message(payload: Dict[str, Any]) -> bytes:
+    """One protocol object as one wire line (compact JSON + newline)."""
+    return (
+        json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n"
+    ).encode("utf-8")
+
+
+def decode_message(line: Union[str, bytes]) -> Dict[str, Any]:
+    """Parse one wire line; raises :class:`ProtocolError` on bad input."""
+    if isinstance(line, bytes):
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(f"message is not UTF-8: {exc}") from None
+    try:
+        payload = json.loads(line)
+    except ValueError as exc:
+        raise ProtocolError(f"message is not JSON: {exc}") from None
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"message must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+def request(
+    op: str,
+    params: Optional[Dict[str, Any]] = None,
+    request_id: Optional[int] = None,
+) -> Dict[str, Any]:
+    """Build one request object."""
+    payload: Dict[str, Any] = {"op": op}
+    if params:
+        payload["params"] = params
+    if request_id is not None:
+        payload["id"] = request_id
+    return payload
+
+
+def ok_response(request_id: Optional[int], result: Any) -> Dict[str, Any]:
+    """Build one success response."""
+    return {"id": request_id, "ok": True, "result": result}
+
+
+def error_response(
+    request_id: Optional[int],
+    code: str,
+    message: str,
+    retry_after: Optional[float] = None,
+) -> Dict[str, Any]:
+    """Build one error response; ``retry_after`` rides on busy/drain."""
+    error: Dict[str, Any] = {"code": code, "message": message}
+    if retry_after is not None:
+        error["retry_after"] = retry_after
+    return {"id": request_id, "ok": False, "error": error}

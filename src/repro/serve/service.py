@@ -1,0 +1,564 @@
+"""The experiment service core: tiers, coalescing, backpressure.
+
+:class:`ExperimentService` is the transport-independent heart of the
+serve daemon (:mod:`repro.serve.daemon` wires it to sockets). Every
+cell request flows through three tiers::
+
+    memory LRU  ->  disk cache  ->  bounded worker pool
+
+* **In-flight coalescing** — concurrent requests for the same cell key
+  attach to the one computation already running instead of recomputing;
+  followers are counted under ``coalesced`` and receive the leader's
+  outcome (including its failure, if any).
+* **Tiered caching** — a bounded in-memory LRU of deserialized cell
+  values (:mod:`repro.serve.lru`) sits over the existing on-disk cell
+  store (:mod:`repro.exec.cache`); disk hits are promoted into memory.
+* **Backpressure** — executions are admitted by a bounded slot pool
+  (``workers + queue_depth``). When no slot frees in time the request
+  is refused with an explicit :class:`ServiceRejection` carrying a
+  ``retry_after`` estimate — never queued without bound. A draining
+  service refuses all new work the same way.
+
+Execution itself goes through the engine's per-cell primitive
+(:func:`repro.exec.engine.execute_cell`), so serve and the batch engine
+time and attribute cells through one code path; recent per-cell rows
+(the :meth:`~repro.exec.engine.CellOutcome.metrics_row` schema) are
+exposed by :meth:`ExperimentService.stats_snapshot`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from collections import deque
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.exec import cache as cache_mod
+from repro.exec.cache import DiskCache, compute_cell_key
+from repro.exec.cells import Cell, ExperimentSpec
+from repro.exec.engine import CellOutcome, execute_cell, probe_cell, _worker_init
+from repro.serve.lru import LRUCache
+from repro.serve.protocol import E_BUSY, E_DRAINING, E_INTERNAL, PROTOCOL_VERSION
+
+
+class ServiceRejection(Exception):
+    """A request the service refused without starting it (backpressure
+    or drain); carries the protocol error code and a retry hint."""
+
+    def __init__(
+        self, code: str, message: str, retry_after: Optional[float] = None
+    ) -> None:
+        super().__init__(message)
+        self.code = code
+        self.message = message
+        self.retry_after = retry_after
+
+    def clone(self) -> "ServiceRejection":
+        """A fresh instance for re-raising in a coalesced follower."""
+        return ServiceRejection(self.code, self.message, self.retry_after)
+
+
+class UnknownExperimentError(ValueError):
+    """The request names an experiment id the service does not serve."""
+
+
+class UnknownCellError(ValueError):
+    """The request names a cell id outside the experiment's grid."""
+
+
+class CellExecutionFailed(RuntimeError):
+    """The cell function itself raised (the flattened worker error)."""
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables of one service instance.
+
+    ``workers`` bounds concurrent executions, ``queue_depth`` how many
+    admitted requests may wait for a worker; together they are the slot
+    pool whose exhaustion is answered with ``busy``. ``pool`` selects
+    thread workers (in-process, shares the trace memory cache) or
+    process workers (true parallelism for CPU-bound cells, initialized
+    exactly like the batch engine's pool).
+    """
+
+    workers: int = 2
+    queue_depth: int = 8
+    memory_entries: int = 512
+    pool: str = "thread"  # "thread" | "process"
+    max_experiments: int = 2
+    cell_wait_seconds: float = 120.0
+    execution_timeout: float = 600.0
+    min_retry_after: float = 0.05
+    max_retry_after: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.queue_depth < 0:
+            raise ValueError(
+                f"queue_depth must be >= 0, got {self.queue_depth}"
+            )
+        if self.pool not in ("thread", "process"):
+            raise ValueError(f"pool must be thread or process, got {self.pool!r}")
+
+
+class ServiceStats:
+    """Lock-guarded service counters (the ``stats`` endpoint's core)."""
+
+    FIELDS = (
+        "requests",
+        "hits_memory",
+        "hits_disk",
+        "executions",
+        "coalesced",
+        "busy_rejections",
+        "drain_rejections",
+        "failures",
+    )
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts: Dict[str, int] = {name: 0 for name in self.FIELDS}
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counts[name] += amount
+
+    def snapshot(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._counts)
+
+
+class _Inflight:
+    """One in-flight computation: the event followers wait on plus the
+    leader's outcome (or its rejection) once published."""
+
+    __slots__ = ("event", "outcome", "rejection")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.outcome: Optional[CellOutcome] = None
+        self.rejection: Optional[ServiceRejection] = None
+
+
+class ExperimentService:
+    """Serves experiment cells through memory, disk and execution tiers.
+
+    Thread-safe: daemon handler threads call :meth:`run_cell` /
+    :meth:`run_experiment` concurrently. Use as a context manager (or
+    call :meth:`close`) so the worker pool and the process-wide active
+    cache are restored.
+    """
+
+    def __init__(
+        self,
+        cache: Union[DiskCache, str, "os.PathLike[str]", None] = None,
+        config: Optional[ServiceConfig] = None,
+        specs: Optional[Dict[str, ExperimentSpec]] = None,
+    ) -> None:
+        if cache is not None and not isinstance(cache, DiskCache):
+            cache = DiskCache(Path(cache))
+        self.cache: Optional[DiskCache] = cache
+        self.config = config if config is not None else ServiceConfig()
+        if specs is None:
+            from repro.experiments import EXPERIMENT_SPECS as specs  # lazy: heavy import
+        self.specs: Dict[str, ExperimentSpec] = dict(specs)
+        self.stats = ServiceStats()
+        self.memory = LRUCache(self.config.memory_entries)
+        self._grids = LRUCache(32)
+        self._lock = threading.Lock()
+        self._idle = threading.Condition(self._lock)
+        self._inflight: Dict[str, _Inflight] = {}
+        self._slots = threading.BoundedSemaphore(
+            self.config.workers + self.config.queue_depth
+        )
+        self._experiments = threading.BoundedSemaphore(self.config.max_experiments)
+        self._draining = False
+        self._closed = False
+        self._recent: Deque[Dict[str, Any]] = deque(maxlen=64)
+        self._recent_walls: Deque[float] = deque(maxlen=32)
+        self._pool = self._make_pool()
+        # Thread workers resolve traces through the process-wide active
+        # cache (exactly like the engine's serial path); remember what
+        # was installed so close() restores it.
+        self._previous_cache = cache_mod.active_cache()
+        cache_mod.activate(self.cache)
+
+    def _make_pool(self) -> Executor:
+        if self.config.pool == "process":
+            root = str(self.cache.root) if self.cache is not None else None
+            return ProcessPoolExecutor(
+                max_workers=self.config.workers,
+                initializer=_worker_init,
+                initargs=(root,),
+            )
+        return ThreadPoolExecutor(
+            max_workers=self.config.workers,
+            thread_name_prefix="repro-serve-worker",
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def __enter__(self) -> "ExperimentService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def drain(self, timeout: float = 30.0) -> bool:
+        """Refuse new work and wait for in-flight cells to finish.
+
+        Returns True when everything completed within ``timeout``.
+        Idempotent; the service stays usable for stats/health afterward
+        (reporting ``draining``), which is what a supervisor probing a
+        terminating daemon sees.
+        """
+        with self._idle:
+            self._draining = True
+            drained = self._idle.wait_for(
+                lambda: not self._inflight, timeout=timeout
+            )
+        return bool(drained)
+
+    def close(self) -> None:
+        """Shut the worker pool down and restore the active cache."""
+        if self._closed:
+            return
+        self._closed = True
+        with self._lock:
+            self._draining = True
+        self._pool.shutdown(wait=True)
+        cache_mod.activate(self._previous_cache)
+
+    @property
+    def draining(self) -> bool:
+        with self._lock:
+            return self._draining
+
+    # -- request entry points ---------------------------------------------
+
+    def run_cell(
+        self,
+        experiment_id: str,
+        cell_id: str,
+        trace_length: int,
+        seed: int = 0,
+        workloads: Optional[Sequence[str]] = None,
+    ) -> Dict[str, Any]:
+        """Serve one grid cell; raises on rejection or cell failure."""
+        self.stats.increment("requests")
+        grid = self._grid(experiment_id, trace_length, seed, workloads)
+        cell = grid.get(cell_id)
+        if cell is None:
+            known = ", ".join(sorted(grid)[:8])
+            raise UnknownCellError(
+                f"no cell {cell_id!r} in {experiment_id!r} at this scale "
+                f"(known: {known}, ...)"
+            )
+        outcome, source = self.submit_cell(cell)
+        if not outcome.ok:
+            raise CellExecutionFailed(str(outcome.error))
+        return {
+            "experiment_id": experiment_id,
+            "cell_id": cell_id,
+            "key": compute_cell_key(
+                cell.experiment_id, cell.cell_id, cell.kwargs, cell.func
+            ),
+            "source": source,
+            "value": outcome.value,
+            "wall_time": outcome.wall_time,
+            "worker": outcome.worker,
+        }
+
+    def run_experiment(
+        self,
+        experiment_id: str,
+        trace_length: int,
+        seed: int = 0,
+        workloads: Optional[Sequence[str]] = None,
+    ) -> Dict[str, Any]:
+        """Serve a whole experiment grid and assemble its result table.
+
+        Concurrent experiment sweeps are bounded by
+        ``config.max_experiments``; beyond that the request is refused
+        busy. Individual cells may wait ``cell_wait_seconds`` for a
+        worker slot (they arrive from one loop, not one per client, so
+        a bounded blocking wait cannot pile up unboundedly).
+        """
+        self.stats.increment("requests")
+        grid = self._grid(experiment_id, trace_length, seed, workloads)
+        if not self._experiments.acquire(blocking=False):
+            self.stats.increment("busy_rejections")
+            raise ServiceRejection(
+                E_BUSY,
+                f"{self.config.max_experiments} experiment sweep(s) already "
+                f"in progress",
+                retry_after=self._retry_estimate(),
+            )
+        try:
+            served: List[Tuple[Cell, CellOutcome, str]] = []
+            for cell in grid.values():
+                outcome, source = self.submit_cell(
+                    cell, block_seconds=self.config.cell_wait_seconds
+                )
+                served.append((cell, outcome, source))
+            failures = [
+                f"{outcome.cell_id}: {outcome.error}"
+                for _cell, outcome, _source in served
+                if not outcome.ok
+            ]
+            if failures:
+                raise CellExecutionFailed("; ".join(failures))
+            values = {
+                cell.cell_id: outcome.value for cell, outcome, _source in served
+            }
+            spec = self.specs[experiment_id]
+            result = spec.assemble(values, trace_length, seed)
+            sources: Dict[str, int] = {}
+            for _cell, _outcome, source in served:
+                sources[source] = sources.get(source, 0) + 1
+            return {
+                "experiment_id": experiment_id,
+                "trace_length": trace_length,
+                "seed": seed,
+                "result": result.to_dict(),
+                "cells": [
+                    {"cell_id": cell.cell_id, "source": source}
+                    for cell, _outcome, source in served
+                ],
+                "sources": sources,
+            }
+        finally:
+            self._experiments.release()
+
+    def health(self) -> Dict[str, Any]:
+        """Liveness probe payload (cheap: no disk walks)."""
+        return {
+            "status": "draining" if self.draining else "ok",
+            "protocol": PROTOCOL_VERSION,
+            "pid": os.getpid(),
+            "pool": self.config.pool,
+            "workers": self.config.workers,
+            "queue_depth": self.config.queue_depth,
+            "experiments": sorted(self.specs),
+        }
+
+    def stats_snapshot(self, include_disk: bool = True) -> Dict[str, Any]:
+        """Counters of every tier plus recent per-cell timing rows."""
+        with self._lock:
+            inflight = len(self._inflight)
+            draining = self._draining
+        service: Dict[str, Any] = dict(self.stats.snapshot())
+        service.update(
+            inflight=inflight,
+            draining=draining,
+            workers=self.config.workers,
+            queue_depth=self.config.queue_depth,
+            pool=self.config.pool,
+        )
+        payload: Dict[str, Any] = {
+            "service": service,
+            "memory_cache": self.memory.snapshot(),
+            "recent_cells": list(self._recent),
+        }
+        if self.cache is not None:
+            disk: Dict[str, Any] = {"counters": self.cache.stats.as_dict()}
+            if include_disk:
+                # The same accounting `repro-experiments cache stats`
+                # prints — one source for entry counts and bytes.
+                disk.update(self.cache.accounting())
+            payload["disk_cache"] = disk
+        return payload
+
+    # -- the tiered cell path ---------------------------------------------
+
+    def submit_cell(
+        self, cell: Cell, block_seconds: float = 0.0
+    ) -> Tuple[CellOutcome, str]:
+        """Serve one cell through the tiers; returns (outcome, source).
+
+        ``source`` is one of ``memory``, ``disk``, ``executed`` or
+        ``coalesced``. ``block_seconds`` is how long the caller may wait
+        for an execution slot; 0 means refuse immediately when full.
+        """
+        key = compute_cell_key(
+            cell.experiment_id, cell.cell_id, cell.kwargs, cell.func
+        )
+        value = self.memory.get(key)
+        if value is not None:
+            self.stats.increment("hits_memory")
+            outcome = CellOutcome(
+                cell.experiment_id, cell.cell_id,
+                value=value, memoized=True, worker="memory",
+            )
+            return outcome, "memory"
+
+        leader, entry = self._join(key)
+        if not leader:
+            return self._await_leader(cell, entry)
+
+        try:
+            outcome, source = self._compute(cell, key, block_seconds)
+            entry.outcome = outcome
+            return outcome, source
+        except ServiceRejection as rejection:
+            entry.rejection = rejection
+            raise
+        except BaseException as exc:
+            entry.rejection = ServiceRejection(
+                E_INTERNAL, f"{type(exc).__name__}: {exc}"
+            )
+            raise
+        finally:
+            with self._idle:
+                self._inflight.pop(key, None)
+                if not self._inflight:
+                    self._idle.notify_all()
+            entry.event.set()
+
+    def _join(self, key: str) -> Tuple[bool, _Inflight]:
+        """Become the leader for ``key``, or attach to the one running."""
+        with self._lock:
+            if self._draining:
+                self.stats.increment("drain_rejections")
+                raise ServiceRejection(
+                    E_DRAINING, "service is draining; not accepting new work"
+                )
+            entry = self._inflight.get(key)
+            if entry is not None:
+                return False, entry
+            entry = _Inflight()
+            self._inflight[key] = entry
+            return True, entry
+
+    def _await_leader(
+        self, cell: Cell, entry: _Inflight
+    ) -> Tuple[CellOutcome, str]:
+        """Follower path: wait for the leader's published outcome."""
+        self.stats.increment("coalesced")
+        if not entry.event.wait(timeout=self.config.execution_timeout):
+            raise ServiceRejection(
+                E_INTERNAL,
+                f"coalesced wait for {cell.cell_id!r} exceeded "
+                f"{self.config.execution_timeout}s",
+            )
+        if entry.rejection is not None:
+            raise entry.rejection.clone()
+        assert entry.outcome is not None  # leader published one or the other
+        return entry.outcome, "coalesced"
+
+    def _compute(
+        self, cell: Cell, key: str, block_seconds: float
+    ) -> Tuple[CellOutcome, str]:
+        """Leader path: disk tier, then a bounded execution slot."""
+        if self.cache is not None:
+            probed_key, value = probe_cell(self.cache, cell)
+            assert probed_key == key  # one key function everywhere
+            if value is not None:
+                self.stats.increment("hits_disk")
+                self.memory.put(key, value)
+                outcome = CellOutcome(
+                    cell.experiment_id, cell.cell_id,
+                    value=value, memoized=True, worker="disk",
+                )
+                return outcome, "disk"
+
+        if block_seconds > 0:
+            acquired = self._slots.acquire(timeout=block_seconds)
+        else:
+            acquired = self._slots.acquire(blocking=False)
+        if not acquired:
+            self.stats.increment("busy_rejections")
+            capacity = self.config.workers + self.config.queue_depth
+            raise ServiceRejection(
+                E_BUSY,
+                f"all {capacity} execution slots busy",
+                retry_after=self._retry_estimate(),
+            )
+        try:
+            self.stats.increment("executions")
+            future = self._pool.submit(execute_cell, cell.func, cell.kwargs)
+            execution = future.result(timeout=self.config.execution_timeout)
+        finally:
+            self._slots.release()
+
+        outcome = CellOutcome.from_execution(cell, execution)
+        self._observe(outcome)
+        if outcome.ok:
+            self.memory.put(key, outcome.value)
+            if self.cache is not None:
+                self.cache.put_cell(
+                    key,
+                    outcome.value,
+                    meta={
+                        "experiment_id": cell.experiment_id,
+                        "cell_id": cell.cell_id,
+                    },
+                )
+        else:
+            self.stats.increment("failures")
+        return outcome, "executed"
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _grid(
+        self,
+        experiment_id: str,
+        trace_length: int,
+        seed: int,
+        workloads: Optional[Sequence[str]],
+    ) -> Dict[str, Cell]:
+        """The experiment's grid as ``{cell_id: Cell}`` in grid order,
+        memoized per (experiment, scale, seed, workload selection)."""
+        if experiment_id not in self.specs:
+            known = ", ".join(sorted(self.specs))
+            raise UnknownExperimentError(
+                f"unknown experiment {experiment_id!r} (known: {known})"
+            )
+        if trace_length < 1:
+            raise UnknownCellError(
+                f"trace_length must be >= 1, got {trace_length}"
+            )
+        names: Optional[List[str]] = list(workloads) if workloads else None
+        if names is not None:
+            from repro.workloads import WORKLOAD_NAMES
+
+            unknown = [name for name in names if name not in WORKLOAD_NAMES]
+            if unknown:
+                raise UnknownCellError(
+                    f"unknown workload(s): {', '.join(unknown)}"
+                )
+        grid_key = json.dumps(
+            [experiment_id, trace_length, seed, names], sort_keys=True
+        )
+        cached = self._grids.get(grid_key)
+        if cached is not None:
+            grid: Dict[str, Cell] = cached
+            return grid
+        spec = self.specs[experiment_id]
+        cells = spec.cells(trace_length, seed, names)
+        grid = {cell.cell_id: cell for cell in cells}
+        self._grids.put(grid_key, grid)
+        return grid
+
+    def _observe(self, outcome: CellOutcome) -> None:
+        """Record one executed cell's volatile row (shared schema)."""
+        self._recent.append(outcome.metrics_row())
+        self._recent_walls.append(outcome.wall_time)
+
+    def _retry_estimate(self) -> float:
+        """How long a refused client should back off: the recent mean
+        cell wall time, clamped to [min_retry_after, max_retry_after]."""
+        walls = list(self._recent_walls)
+        if not walls:
+            return self.config.min_retry_after
+        mean = sum(walls) / len(walls)
+        return min(
+            self.config.max_retry_after,
+            max(self.config.min_retry_after, mean),
+        )

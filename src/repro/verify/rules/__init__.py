@@ -16,6 +16,9 @@ Code families:
 * ``RPG*`` — grid admissibility (:mod:`repro.verify.rules.grids`):
   every enumerated experiment cell must satisfy the paper's machine
   invariants before any CPU is spent on it.
+* ``RPS*`` — service handlers (:mod:`repro.verify.rules.serve`):
+  serve-daemon handler paths must not block without a bound (sleeps,
+  subprocess spawns, timeout-less socket reads).
 
 Findings are suppressed in source with a trailing
 ``# repro-lint: disable=CODE[,CODE...]`` comment on the offending line,
@@ -101,6 +104,7 @@ def source_rules() -> List[Rule]:
 from repro.verify.rules import determinism as determinism  # noqa: E402,F401
 from repro.verify.rules import parallel as parallel  # noqa: E402,F401
 from repro.verify.rules import grids as grids  # noqa: E402,F401
+from repro.verify.rules import serve as serve  # noqa: E402,F401
 
 __all__ = [
     "Checker",

@@ -1,0 +1,112 @@
+"""Service-handler rules (``RPS*``).
+
+The serve daemon (:mod:`repro.serve`) answers requests from a bounded
+pool of handler threads, so anything that blocks a handler without a
+bound blocks a slot for every client:
+
+* ``RPS001`` — no unbounded blocking in handler code paths: no
+  ``time.sleep`` (polling loops belong in ``Condition``/``Event``
+  waits), no subprocess spawns (``subprocess.*``, ``os.system``,
+  ``os.popen``), and no raw socket reads (``.recv``/``.accept``...) in
+  a file that never arms a socket timeout via ``.settimeout(...)``.
+
+The rule keys off the file's location: only files under a ``serve``
+package are handler code. ``client.py`` is exempt by name — it runs in
+the *client* process, where sleeping between retries is the correct
+backoff behaviour.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.verify.diagnostics import Severity
+from repro.verify.rules import source_rule
+from repro.verify.static import (
+    AnalysisContext,
+    Finding,
+    SourceFile,
+    dotted_name,
+    import_aliases,
+    walk_calls,
+)
+
+# Calls that put a handler thread to sleep or hand it to another
+# process; resolved through import aliases.
+_BLOCKING_DOTTED = {
+    "time.sleep": "time.sleep() in a handler path stalls a worker slot; "
+    "wait on a threading.Event/Condition with a timeout instead",
+    "os.system": "spawning a subprocess from a handler blocks the slot "
+    "for its full runtime and escapes the worker-pool bound",
+    "os.popen": "spawning a subprocess from a handler blocks the slot "
+    "for its full runtime and escapes the worker-pool bound",
+}
+
+# Any call resolving into the subprocess module is a spawn.
+_SUBPROCESS_PREFIX = "subprocess."
+
+# Raw socket reads that block forever unless the socket carries a
+# timeout; armed by any .settimeout(...) call in the same file.
+_RECV_METHODS = ("recv", "recvfrom", "recv_into", "recvmsg", "accept")
+
+
+def _is_serve_handler_file(source: SourceFile) -> bool:
+    parts = source.path.parts
+    if "serve" not in parts:
+        return False
+    # The client library is consumer-side: sleeping between reconnect
+    # attempts is correct there, not a stalled handler.
+    return source.path.name != "client.py"
+
+
+def _has_settimeout(tree: ast.Module) -> bool:
+    for call in walk_calls(tree):
+        func = call.func
+        if isinstance(func, ast.Attribute) and func.attr == "settimeout":
+            return True
+    return False
+
+
+@source_rule(
+    "RPS001", "blocking-handler-call", Severity.WARNING,
+    "unbounded blocking call in a serve handler code path",
+)
+def check_blocking_handler_calls(
+    source: SourceFile, context: AnalysisContext
+) -> List[Finding]:
+    """Flag sleeps, subprocess spawns and timeout-less socket reads in
+    files under a ``serve`` package (``client.py`` excepted)."""
+    del context
+    if not _is_serve_handler_file(source):
+        return []
+    aliases = import_aliases(source.tree)
+    timeouts_armed = _has_settimeout(source.tree)
+    findings: List[Finding] = []
+    for call in walk_calls(source.tree):
+        origin = dotted_name(call.func, aliases)
+        if origin in _BLOCKING_DOTTED:
+            findings.append(Finding(call.lineno, _BLOCKING_DOTTED[origin]))
+            continue
+        if origin is not None and (
+            origin.startswith(_SUBPROCESS_PREFIX) or origin == "subprocess"
+        ):
+            findings.append(Finding(
+                call.lineno,
+                "spawning a subprocess from a handler blocks the slot "
+                "for its full runtime and escapes the worker-pool bound",
+            ))
+            continue
+        func = call.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _RECV_METHODS
+            and not timeouts_armed
+        ):
+            findings.append(Finding(
+                call.lineno,
+                f".{func.attr}() without any .settimeout(...) in this "
+                f"file can block a handler thread forever; arm a socket "
+                f"timeout",
+            ))
+    return findings

@@ -6,11 +6,14 @@ import json
 
 import pytest
 
+import os
+
 from repro.exec import cache as cache_mod
 from repro.exec.cache import (
     DiskCache,
     activated,
     active_cache,
+    compute_cell_key,
     default_cache_dir,
     fetch_trace,
 )
@@ -109,6 +112,105 @@ class TestCellStore:
         cache.put_cell(key, {"nested": [1, 2, {"z": None}]})
         raw = json.loads(cache.cell_path(key).read_text())
         assert raw == {"value": {"nested": [1, 2, {"z": None}]}}
+
+    def test_compute_cell_key_matches_method(self):
+        def func():
+            return None
+
+        standalone = compute_cell_key("fig3.1", "c", {"n": 1}, func)
+        via_cache = DiskCache("unused").cell_key("fig3.1", "c", {"n": 1}, func)
+        assert standalone == via_cache
+        assert standalone != compute_cell_key("fig3.1", "c", {"n": 1})
+
+    def test_meta_rides_along_without_feeding_the_key(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        key = cache.cell_key("fig3.1", "c", {"n": 1})
+        cache.put_cell(key, {"v": 7}, meta={
+            "experiment_id": "fig3.1", "cell_id": "c",
+        })
+        raw = json.loads(cache.cell_path(key).read_text())
+        assert raw["meta"] == {"cell_id": "c", "experiment_id": "fig3.1"}
+        # The same key reads back regardless of meta.
+        assert cache.get_cell(key) == {"v": 7}
+
+
+class TestAccountingAndPrune:
+    def _put_cells(self, cache, experiment_id, count):
+        for index in range(count):
+            key = cache.cell_key(experiment_id, f"c{index}", {"i": index})
+            cache.put_cell(key, {"i": index}, meta={
+                "experiment_id": experiment_id, "cell_id": f"c{index}",
+            })
+
+    def test_accounting_counts_and_breakdown(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.fetch_trace("compress", 200, 0)
+        self._put_cells(cache, "fig3.1", 2)
+        self._put_cells(cache, "fig5.1", 1)
+        # A legacy cell without metadata lands in "unknown".
+        cache.put_cell(cache.cell_key("old", "c", {}), {"v": 0})
+
+        accounting = cache.accounting()
+        assert accounting["root"] == str(tmp_path)
+        assert accounting["traces"]["entries"] == 1
+        assert accounting["traces"]["bytes"] > 0
+        assert accounting["cells"]["entries"] == 4
+        per = accounting["cells"]["per_experiment"]
+        assert per["fig3.1"]["entries"] == 2
+        assert per["fig5.1"]["entries"] == 1
+        assert per["unknown"]["entries"] == 1
+        assert accounting["total_bytes"] == (
+            accounting["traces"]["bytes"] + accounting["cells"]["bytes"]
+        )
+
+    def test_accounting_of_an_empty_cache(self, tmp_path):
+        accounting = DiskCache(tmp_path).accounting()
+        assert accounting["total_bytes"] == 0
+        assert accounting["cells"]["per_experiment"] == {}
+
+    def test_prune_evicts_oldest_first(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        self._put_cells(cache, "fig3.1", 3)
+        paths = sorted(cache.cell_dir.iterdir())
+        # Pin distinct mtimes so LRU order is deterministic.
+        for age, path in enumerate(paths):
+            os.utime(path, (1000.0 + age, 1000.0 + age))
+        sizes = {path: path.stat().st_size for path in paths}
+        budget = sizes[paths[1]] + sizes[paths[2]]
+
+        report = cache.prune(budget)
+        assert report["evicted"] == 1
+        assert report["evicted_bytes"] == sizes[paths[0]]
+        assert report["kept_bytes"] <= budget
+        assert not paths[0].exists()  # the oldest went first
+        assert paths[1].exists() and paths[2].exists()
+
+    def test_get_cell_refreshes_recency(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        self._put_cells(cache, "fig3.1", 2)
+        paths = sorted(cache.cell_dir.iterdir())
+        os.utime(paths[0], (1000.0, 1000.0))
+        os.utime(paths[1], (2000.0, 2000.0))
+        # Reading the older entry touches it, making the other the
+        # eviction victim.
+        older_key = paths[0].stem
+        assert cache.get_cell(older_key) is not None
+        cache.prune(paths[0].stat().st_size)
+        assert paths[0].exists()
+        assert not paths[1].exists()
+
+    def test_prune_to_zero_clears_everything(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.fetch_trace("go", 100, 0)
+        self._put_cells(cache, "fig3.1", 2)
+        report = cache.prune(0)
+        assert report["evicted"] == 3
+        assert report["kept_bytes"] == 0
+        assert cache.accounting()["total_bytes"] == 0
+
+    def test_prune_rejects_negative_budget(self, tmp_path):
+        with pytest.raises(ValueError):
+            DiskCache(tmp_path).prune(-1)
 
 
 class TestActiveCache:

@@ -1,0 +1,180 @@
+"""Tests for the repro-serve CLI (and the runner's cache subcommand)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exec.cache import DiskCache
+from repro.experiments.runner import main as runner_main
+from repro.serve.cli import main as serve_main
+from repro.serve.daemon import ExperimentDaemon
+from repro.serve.service import ExperimentService
+
+from tests.test_serve_service import DEMO_SPECS, _reset_demo  # noqa: F401
+
+
+@pytest.fixture()
+def demo_endpoint(tmp_path):
+    service = ExperimentService(
+        cache=DiskCache(tmp_path / "cache"), specs=DEMO_SPECS
+    )
+    sock_path = str(tmp_path / "serve.sock")
+    daemon = ExperimentDaemon(service, unix=sock_path).start()
+    yield f"unix:{sock_path}"
+    daemon.stop()
+
+
+class TestUsageErrors:
+    def test_no_subcommand_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            serve_main([])
+        assert excinfo.value.code == 2
+        assert capsys.readouterr().out == ""
+
+    def test_unknown_subcommand_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            serve_main(["explode"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1  # exactly one clean line
+
+    def test_serve_without_any_listener_exits_2(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_SERVE_ADDR", raising=False)
+        with pytest.raises(SystemExit) as excinfo:
+            serve_main(["serve"])
+        assert excinfo.value.code == 2
+        assert "--unix" in capsys.readouterr().err
+
+    def test_serve_rejects_bad_worker_count(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            serve_main(["serve", "--unix", "/tmp/x.sock", "--workers", "0"])
+        assert excinfo.value.code == 2
+
+    def test_client_without_address_exits_2(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_SERVE_ADDR", raising=False)
+        with pytest.raises(SystemExit) as excinfo:
+            serve_main(["ping"])
+        assert excinfo.value.code == 2
+        assert "REPRO_SERVE_ADDR" in capsys.readouterr().err
+
+    def test_tcp_flag_rejects_unix_style_address(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            serve_main(["serve", "--tcp", "unix:/tmp/x.sock"])
+        assert excinfo.value.code == 2
+
+
+class TestClientCommands:
+    def test_ping(self, demo_endpoint, capsys):
+        assert serve_main(["ping", "--connect", demo_endpoint]) == 0
+        out = capsys.readouterr().out
+        assert "status=ok" in out
+
+    def test_ping_json(self, demo_endpoint, capsys):
+        assert serve_main(["ping", "--connect", demo_endpoint, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["status"] == "ok"
+
+    def test_ping_address_from_environment(self, demo_endpoint, capsys,
+                                           monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_ADDR", demo_endpoint)
+        assert serve_main(["ping"]) == 0
+        assert "status=ok" in capsys.readouterr().out
+
+    def test_submit_cell_then_stats(self, demo_endpoint, capsys):
+        code = serve_main([
+            "submit", "demo", "--cell", "cell-a", "--length", "100",
+            "--connect", demo_endpoint, "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["source"] == "executed"
+        assert payload["value"] == {"tag": "a", "n": 100}
+
+        assert serve_main(["stats", "--connect", demo_endpoint, "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["service"]["executions"] == 1
+        assert stats["disk_cache"]["cells"]["entries"] == 1
+
+    def test_submit_whole_experiment_renders_table(self, demo_endpoint,
+                                                   capsys):
+        code = serve_main([
+            "submit", "demo-ok", "--length", "100",
+            "--connect", demo_endpoint,
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "== demo: demo ==" in out
+        assert "cell-a" in out and "cell-b" in out
+        assert "2 executed" in out
+
+    def test_execution_error_exits_1(self, demo_endpoint, capsys):
+        code = serve_main([
+            "submit", "demo", "--cell", "cell-boom", "--length", "100",
+            "--connect", demo_endpoint,
+        ])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "execution_error" in err
+
+    def test_connection_error_exits_1(self, tmp_path, capsys):
+        code = serve_main([
+            "ping", "--connect", f"unix:{tmp_path}/nowhere.sock",
+            "--timeout", "0.5",
+        ])
+        assert code == 1
+        assert "connection error" in capsys.readouterr().err
+
+
+class TestCacheSubcommand:
+    def _warm_cache(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.fetch_trace("compress", 200, 0)
+        for cell in ("a", "b"):
+            key = cache.cell_key("fig9.9", cell, {"n": 1})
+            cache.put_cell(key, {"v": cell}, meta={
+                "experiment_id": "fig9.9", "cell_id": cell,
+            })
+        return cache
+
+    def test_stats_human_and_json(self, tmp_path, capsys):
+        self._warm_cache(tmp_path)
+        code = runner_main(["cache", "--cache-dir", str(tmp_path), "stats"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cells:  2 entries" in out
+        assert "fig9.9: 2 entries" in out
+
+        code = runner_main(
+            ["cache", "--cache-dir", str(tmp_path), "stats", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["cells"]["entries"] == 2
+        assert payload["traces"]["entries"] == 1
+        assert payload["cells"]["per_experiment"]["fig9.9"]["entries"] == 2
+        assert payload["total_bytes"] > 0
+
+    def test_prune_to_budget(self, tmp_path, capsys):
+        self._warm_cache(tmp_path)
+        code = runner_main([
+            "cache", "--cache-dir", str(tmp_path), "prune", "--max-bytes", "0",
+        ])
+        assert code == 0
+        assert "pruned 3 entries" in capsys.readouterr().out
+        code = runner_main(["cache", "--cache-dir", str(tmp_path), "stats",
+                            "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["total_bytes"] == 0
+
+    def test_prune_requires_max_bytes(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            runner_main(["cache", "prune"])
+        assert excinfo.value.code == 2
+
+    def test_cache_rejects_unknown_subcommand(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            runner_main(["cache", "explode"])
+        assert excinfo.value.code == 2

@@ -1,0 +1,210 @@
+"""Unit tests for the serve client (address parsing, retry, timeout)."""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+import pytest
+
+from repro.serve import protocol
+from repro.serve.client import (
+    BusyError,
+    ServeClient,
+    ServeConnectionError,
+    ServeError,
+    parse_address,
+)
+
+
+class TestParseAddress:
+    def test_unix_prefix(self):
+        assert parse_address("unix:/tmp/repro.sock") == "/tmp/repro.sock"
+
+    def test_host_port(self):
+        assert parse_address("127.0.0.1:7341") == ("127.0.0.1", 7341)
+        assert parse_address("localhost:80") == ("localhost", 80)
+
+    @pytest.mark.parametrize(
+        "text",
+        ["unix:", "no-port", ":7341", "host:notaport", "host:0", "host:70000"],
+    )
+    def test_rejects_malformed(self, text):
+        with pytest.raises(ValueError):
+            parse_address(text)
+
+
+class _ScriptedServer:
+    """A fake daemon: answers each request with the next scripted
+    response (or drops the connection on the sentinel ``b""``)."""
+
+    def __init__(self, responses):
+        self.responses = list(responses)
+        self.requests = []
+        self._lock = threading.Lock()
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(8)
+        self.address = self._listener.getsockname()
+        self._stopping = False
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        while not self._stopping:
+            try:
+                conn, _peer = self._listener.accept()
+            except OSError:
+                return
+            with conn:
+                conn.settimeout(5.0)
+                reader = conn.makefile("rb")
+                while True:
+                    try:
+                        line = reader.readline()
+                    except OSError:
+                        break
+                    if not line:
+                        break
+                    with self._lock:
+                        self.requests.append(protocol.decode_message(line))
+                        script = (
+                            self.responses.pop(0) if self.responses else None
+                        )
+                    if script == b"":
+                        break  # scripted mid-request disconnect
+                    if script is None:
+                        request = self.requests[-1]
+                        script = protocol.encode_message(
+                            protocol.ok_response(request.get("id"), {"pong": True})
+                        )
+                    try:
+                        conn.sendall(script)
+                    except OSError:
+                        break
+
+    def close(self):
+        self._stopping = True
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+
+
+def _response_bytes(request_id, result=None, error=None):
+    if error is not None:
+        return protocol.encode_message(error)
+    return protocol.encode_message(protocol.ok_response(request_id, result))
+
+
+def test_connect_refused_raises_after_retries():
+    # Bind-then-close guarantees a dead port.
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    dead = probe.getsockname()
+    probe.close()
+    client = ServeClient(dead, timeout=0.5, retries=2, backoff=0.01)
+    with pytest.raises(ServeConnectionError, match="3 attempt"):
+        client.call("health")
+
+
+def test_reconnects_after_server_drops_mid_request():
+    # First request: the connection is dropped without a response; the
+    # client must reconnect and the retry must succeed.
+    server = _ScriptedServer([b""])
+    try:
+        with ServeClient(server.address, timeout=2.0, retries=2,
+                         backoff=0.01) as client:
+            assert client.call("health") == {"pong": True}
+        assert len(server.requests) == 2  # original + one retry
+    finally:
+        server.close()
+
+
+def test_busy_is_retried_with_retry_after():
+    busy = {
+        "id": 1,
+        "ok": False,
+        "error": {
+            "code": protocol.E_BUSY,
+            "message": "full",
+            "retry_after": 0.01,
+        },
+    }
+    server = _ScriptedServer([protocol.encode_message(busy)])
+    try:
+        with ServeClient(server.address, timeout=2.0, retries=2,
+                         backoff=0.01) as client:
+            assert client.call("health") == {"pong": True}
+        assert len(server.requests) == 2
+    finally:
+        server.close()
+
+
+def test_busy_not_retried_when_disabled():
+    busy = {
+        "id": 1,
+        "ok": False,
+        "error": {"code": protocol.E_BUSY, "message": "full"},
+    }
+    server = _ScriptedServer([protocol.encode_message(busy)])
+    try:
+        with ServeClient(server.address, timeout=2.0, retry_busy=False) as client:
+            with pytest.raises(BusyError):
+                client.call("health")
+        assert len(server.requests) == 1
+    finally:
+        server.close()
+
+
+def test_non_retryable_error_raises_serve_error():
+    error = {
+        "id": 1,
+        "ok": False,
+        "error": {"code": protocol.E_BAD_REQUEST, "message": "nope"},
+    }
+    server = _ScriptedServer([protocol.encode_message(error)])
+    try:
+        with ServeClient(server.address, timeout=2.0) as client:
+            with pytest.raises(ServeError) as excinfo:
+                client.call("health")
+            assert excinfo.value.code == protocol.E_BAD_REQUEST
+            assert not isinstance(excinfo.value, BusyError)
+    finally:
+        server.close()
+
+
+def test_mismatched_response_id_is_rejected():
+    stale = _response_bytes(999, {"stale": True})
+    server = _ScriptedServer([stale])
+    try:
+        with ServeClient(server.address, timeout=2.0, retries=0) as client:
+            with pytest.raises(ServeConnectionError, match="does not match"):
+                client.call("health")
+    finally:
+        server.close()
+
+
+def test_timeout_surfaces_as_connection_error():
+    # A server that accepts but never answers: the socket timeout must
+    # bound the wait and surface as a connection error, not a hang.
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(1)
+    try:
+        client = ServeClient(
+            listener.getsockname(), timeout=0.2, retries=0
+        )
+        with pytest.raises(ServeConnectionError):
+            client.call("health")
+        client.close()
+    finally:
+        listener.close()
+
+
+def test_client_validates_constructor_arguments():
+    with pytest.raises(ValueError):
+        ServeClient("/tmp/x.sock", timeout=0)
+    with pytest.raises(ValueError):
+        ServeClient("/tmp/x.sock", retries=-1)

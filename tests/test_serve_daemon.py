@@ -1,0 +1,281 @@
+"""End-to-end tests: daemon + protocol + client over a Unix socket."""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.exec.cache import DiskCache
+from repro.experiments import EXPERIMENT_SPECS
+from repro.serve import protocol
+from repro.serve.client import BusyError, ServeClient, ServeError
+from repro.serve.daemon import ExperimentDaemon
+from repro.serve.service import ExperimentService, ServiceConfig
+
+from tests.test_serve_service import (  # noqa: F401
+    DEMO_SPECS,
+    _CALLS,
+    _GATE,
+    _reset_demo,
+)
+
+
+@pytest.fixture()
+def demo_daemon(tmp_path):
+    """A daemon serving the controllable demo specs on a Unix socket."""
+    service = ExperimentService(
+        cache=DiskCache(tmp_path / "cache"),
+        config=ServiceConfig(workers=2, queue_depth=2),
+        specs=DEMO_SPECS,
+    )
+    sock_path = str(tmp_path / "serve.sock")
+    daemon = ExperimentDaemon(service, unix=sock_path, drain_timeout=10.0)
+    daemon.start()
+    yield daemon, sock_path, service
+    daemon.stop()
+
+
+def test_ping_and_stats_roundtrip(demo_daemon):
+    daemon, sock_path, _service = demo_daemon
+    with ServeClient(sock_path, timeout=5.0) as client:
+        health = client.ping()
+        assert health["status"] == "ok"
+        assert health["protocol"] == protocol.PROTOCOL_VERSION
+        snapshot = client.stats()
+        assert snapshot["service"]["requests"] == 0
+        assert "disk_cache" in snapshot
+
+
+def test_warm_cell_serves_from_memory_without_reexecuting(demo_daemon):
+    # The acceptance shape: a repeated identical submission must be
+    # served from the in-memory tier — hits_memory increments and
+    # executions does not.
+    _daemon, sock_path, service = demo_daemon
+    with ServeClient(sock_path, timeout=10.0) as client:
+        first = client.run_cell("demo", "cell-a", 100)
+        assert first["source"] == "executed"
+        second = client.run_cell("demo", "cell-a", 100)
+        assert second["source"] == "memory"
+        assert second["value"] == first["value"]
+    counts = service.stats.snapshot()
+    assert counts["executions"] == 1
+    assert counts["hits_memory"] == 1
+    assert _CALLS == ["a"]
+
+
+def test_eight_concurrent_clients_one_execution(demo_daemon):
+    # The acceptance shape: 8 concurrent identical submissions from 8
+    # separate connections yield exactly 1 execution.
+    _daemon, sock_path, service = demo_daemon
+    _GATE.clear()
+    results = []
+    errors = []
+
+    def submit():
+        try:
+            with ServeClient(sock_path, timeout=20.0) as client:
+                results.append(client.run_cell("demo", "cell-a", 100))
+        except Exception as exc:  # pragma: no cover - fail loudly
+            errors.append(exc)
+
+    threads = [threading.Thread(target=submit) for _ in range(8)]
+    for thread in threads:
+        thread.start()
+    deadline = time.monotonic() + 10.0
+    while (
+        service.stats.snapshot()["coalesced"] < 7
+        and time.monotonic() < deadline
+    ):
+        time.sleep(0.01)
+    _GATE.set()
+    for thread in threads:
+        thread.join(timeout=20.0)
+
+    assert errors == []
+    assert len(results) == 8
+    assert _CALLS == ["a"]
+    assert service.stats.snapshot()["executions"] == 1
+    assert {tuple(sorted(r["value"].items())) for r in results} == {
+        (("n", 100), ("tag", "a"))
+    }
+
+
+def test_busy_error_reaches_the_client(tmp_path):
+    service = ExperimentService(
+        config=ServiceConfig(workers=1, queue_depth=0), specs=DEMO_SPECS
+    )
+    sock_path = str(tmp_path / "busy.sock")
+    daemon = ExperimentDaemon(service, unix=sock_path).start()
+    try:
+        _GATE.clear()
+        holder_done = threading.Event()
+
+        def hold():
+            with ServeClient(sock_path, timeout=20.0) as client:
+                client.run_cell("demo", "cell-a", 100)
+            holder_done.set()
+
+        holder = threading.Thread(target=hold)
+        holder.start()
+        deadline = time.monotonic() + 10.0
+        while (
+            service.stats.snapshot()["executions"] < 1
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.01)
+        with ServeClient(sock_path, timeout=5.0, retry_busy=False) as client:
+            with pytest.raises(BusyError) as excinfo:
+                client.run_cell("demo", "cell-b", 100)
+        assert excinfo.value.code == protocol.E_BUSY
+        assert excinfo.value.retry_after > 0
+        _GATE.set()
+        assert holder_done.wait(20.0)
+    finally:
+        _GATE.set()
+        daemon.stop()
+
+
+def test_graceful_drain_answers_inflight_then_closes(tmp_path):
+    service = ExperimentService(specs=DEMO_SPECS)
+    sock_path = str(tmp_path / "drain.sock")
+    daemon = ExperimentDaemon(service, unix=sock_path, drain_timeout=15.0)
+    daemon.start()
+    _GATE.clear()
+    results = []
+
+    def submit():
+        with ServeClient(sock_path, timeout=20.0) as client:
+            results.append(client.run_cell("demo", "cell-a", 100))
+
+    inflight = threading.Thread(target=submit)
+    inflight.start()
+    deadline = time.monotonic() + 10.0
+    while (
+        service.stats.snapshot()["executions"] < 1
+        and time.monotonic() < deadline
+    ):
+        time.sleep(0.01)
+
+    # Open the gate shortly after stop() begins draining.
+    releaser = threading.Timer(0.3, _GATE.set)
+    releaser.start()
+    try:
+        drained = daemon.stop()
+    finally:
+        releaser.cancel()
+        _GATE.set()
+    inflight.join(timeout=20.0)
+
+    assert drained is True  # the in-flight cell finished within the drain
+    assert results and results[0]["value"] == {"tag": "a", "n": 100}
+    import os
+
+    assert not os.path.exists(sock_path)  # socket file unlinked
+
+
+def test_protocol_errors_over_the_wire(demo_daemon):
+    _daemon, sock_path, _service = demo_daemon
+
+    def raw_exchange(line: bytes) -> dict:
+        with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+            sock.settimeout(5.0)
+            sock.connect(sock_path)
+            sock.sendall(line)
+            data = b""
+            while not data.endswith(b"\n"):
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                data += chunk
+        return protocol.decode_message(data)
+
+    bad_json = raw_exchange(b"this is not json\n")
+    assert bad_json["ok"] is False
+    assert bad_json["error"]["code"] == protocol.E_BAD_REQUEST
+
+    unknown_op = raw_exchange(protocol.encode_message({"op": "explode"}))
+    assert unknown_op["error"]["code"] == protocol.E_UNKNOWN_OP
+
+    bad_params = raw_exchange(
+        protocol.encode_message(
+            {"op": "run_cell", "params": {"experiment_id": "demo"}}
+        )
+    )
+    assert bad_params["error"]["code"] == protocol.E_BAD_REQUEST
+
+    unknown_experiment = raw_exchange(
+        protocol.encode_message({
+            "op": "run_cell",
+            "params": {
+                "experiment_id": "nope", "cell_id": "x", "trace_length": 10,
+            },
+        })
+    )
+    assert unknown_experiment["error"]["code"] == protocol.E_BAD_REQUEST
+
+    failing_cell = raw_exchange(
+        protocol.encode_message({
+            "op": "run_cell",
+            "id": 42,
+            "params": {
+                "experiment_id": "demo", "cell_id": "cell-boom",
+                "trace_length": 10,
+            },
+        })
+    )
+    assert failing_cell["id"] == 42
+    assert failing_cell["error"]["code"] == protocol.E_EXECUTION
+
+
+def test_real_experiment_cell_over_daemon(tmp_path):
+    # One real paper cell (tiny trace) through the whole stack: the
+    # daemon serves fig3.1 compute_cell and the repeat hits memory.
+    service = ExperimentService(
+        cache=DiskCache(tmp_path / "cache"),
+        specs={"fig3.1": EXPERIMENT_SPECS["fig3.1"]},
+    )
+    sock_path = str(tmp_path / "real.sock")
+    daemon = ExperimentDaemon(service, unix=sock_path).start()
+    try:
+        with ServeClient(sock_path, timeout=60.0) as client:
+            first = client.run_cell("fig3.1", "compress|rate=8", 500)
+            assert first["source"] == "executed"
+            assert first["value"]["workload"] == "compress"
+            assert first["value"]["rate"] == 8
+            second = client.run_cell("fig3.1", "compress|rate=8", 500)
+            assert second["source"] == "memory"
+        counts = service.stats.snapshot()
+        assert counts["executions"] == 1
+        assert counts["hits_memory"] == 1
+    finally:
+        daemon.stop()
+
+
+def test_tcp_listener_ephemeral_port(tmp_path):
+    service = ExperimentService(specs=DEMO_SPECS)
+    daemon = ExperimentDaemon(service, tcp=("127.0.0.1", 0)).start()
+    try:
+        host, port = daemon.tcp_address
+        assert port != 0
+        with ServeClient((host, port), timeout=5.0) as client:
+            assert client.ping()["status"] == "ok"
+    finally:
+        daemon.stop()
+
+
+def test_draining_service_refuses_over_the_wire(tmp_path):
+    service = ExperimentService(specs=DEMO_SPECS)
+    sock_path = str(tmp_path / "draining.sock")
+    daemon = ExperimentDaemon(service, unix=sock_path).start()
+    try:
+        service.drain(timeout=0.1)
+        with ServeClient(sock_path, timeout=5.0) as client:
+            assert client.ping()["status"] == "draining"
+            with pytest.raises(ServeError) as excinfo:
+                client.run_cell("demo", "cell-a", 100)
+            assert excinfo.value.code == protocol.E_DRAINING
+    finally:
+        daemon.stop()

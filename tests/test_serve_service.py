@@ -1,0 +1,431 @@
+"""Tests for the experiment service core (repro.serve.service + lru)."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.analysis.report import ExperimentResult
+from repro.exec.cache import DiskCache
+from repro.exec.cells import Cell, ExperimentSpec
+from repro.serve.lru import LRUCache
+from repro.serve.service import (
+    CellExecutionFailed,
+    ExperimentService,
+    ServiceConfig,
+    ServiceRejection,
+    UnknownCellError,
+    UnknownExperimentError,
+)
+
+# -- a tiny controllable experiment ---------------------------------------
+
+# The gate lets tests hold a cell execution open (to force coalescing /
+# backpressure); the call log records real executions.
+_GATE = threading.Event()
+_CALLS = []
+_CALL_LOCK = threading.Lock()
+
+
+def compute_demo(tag, trace_length, seed):
+    assert _GATE.wait(10.0), "test gate was never opened"
+    with _CALL_LOCK:
+        _CALLS.append(tag)
+    if tag == "boom":
+        raise RuntimeError("this cell always fails")
+    return {"tag": tag, "n": trace_length + seed}
+
+
+def demo_cells(trace_length=100, seed=0, workloads=None):
+    del workloads
+    return [
+        Cell(
+            "demo",
+            f"cell-{tag}",
+            compute_demo,
+            {"tag": tag, "trace_length": trace_length, "seed": seed},
+        )
+        for tag in ("a", "b", "boom")
+    ]
+
+
+def demo_assemble(values, trace_length=0, seed=0):
+    del trace_length, seed
+    result = ExperimentResult("demo", "demo", headers=["cell", "n"])
+    for cell_id in sorted(values):
+        result.rows.append([cell_id, str(values[cell_id]["n"])])
+    return result
+
+
+def demo_ok_cells(trace_length=100, seed=0, workloads=None):
+    del workloads
+    return [
+        Cell(
+            "demo-ok",
+            f"cell-{tag}",
+            compute_demo,
+            {"tag": tag, "trace_length": trace_length, "seed": seed},
+        )
+        for tag in ("a", "b")
+    ]
+
+
+DEMO_SPECS = {
+    "demo": ExperimentSpec("demo", demo_cells, demo_assemble),
+    "demo-ok": ExperimentSpec("demo-ok", demo_ok_cells, demo_assemble),
+}
+
+
+@pytest.fixture(autouse=True)
+def _reset_demo():
+    _GATE.set()
+    _CALLS.clear()
+    yield
+    _GATE.set()
+
+
+def make_service(tmp_path=None, **overrides):
+    cache = DiskCache(tmp_path) if tmp_path is not None else None
+    config = ServiceConfig(**overrides) if overrides else ServiceConfig()
+    return ExperimentService(cache=cache, config=config, specs=DEMO_SPECS)
+
+
+# -- LRU ------------------------------------------------------------------
+
+
+class TestLRUCache:
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+
+    def test_get_put_and_counters(self):
+        lru = LRUCache(4)
+        assert lru.get("k") is None
+        lru.put("k", 1)
+        assert lru.get("k") == 1
+        assert lru.snapshot() == {
+            "entries": 1, "max_entries": 4,
+            "hits": 1, "misses": 1, "evictions": 0,
+        }
+
+    def test_evicts_least_recently_used(self):
+        lru = LRUCache(2)
+        lru.put("a", 1)
+        lru.put("b", 2)
+        assert lru.get("a") == 1  # refresh a; b is now coldest
+        lru.put("c", 3)
+        assert "b" not in lru
+        assert lru.get("a") == 1
+        assert lru.get("c") == 3
+        assert lru.snapshot()["evictions"] == 1
+
+    def test_contains_does_not_refresh_or_count(self):
+        lru = LRUCache(2)
+        lru.put("a", 1)
+        lru.put("b", 2)
+        assert "a" in lru  # membership must not promote "a"...
+        lru.put("c", 3)
+        assert "a" not in lru  # ...so "a" was still the eviction victim
+        assert lru.snapshot()["hits"] == 0
+        assert lru.snapshot()["misses"] == 0
+
+    def test_put_overwrites_in_place(self):
+        lru = LRUCache(2)
+        lru.put("a", 1)
+        lru.put("a", 2)
+        assert len(lru) == 1
+        assert lru.get("a") == 2
+
+
+# -- tiers ----------------------------------------------------------------
+
+
+class TestTiers:
+    def test_execute_then_memory(self, tmp_path):
+        with make_service(tmp_path) as service:
+            first = service.run_cell("demo", "cell-a", 100)
+            assert first["source"] == "executed"
+            assert first["value"] == {"tag": "a", "n": 100}
+            second = service.run_cell("demo", "cell-a", 100)
+            assert second["source"] == "memory"
+            assert second["value"] == first["value"]
+            counts = service.stats.snapshot()
+            assert counts["executions"] == 1
+            assert counts["hits_memory"] == 1
+            assert _CALLS == ["a"]
+
+    def test_disk_tier_promotes_to_memory(self, tmp_path):
+        with make_service(tmp_path) as warm:
+            warm.run_cell("demo", "cell-a", 100)
+        _CALLS.clear()  # forget the warming execution
+        # A fresh service (cold memory) over the same disk cache.
+        with make_service(tmp_path) as service:
+            first = service.run_cell("demo", "cell-a", 100)
+            assert first["source"] == "disk"
+            second = service.run_cell("demo", "cell-a", 100)
+            assert second["source"] == "memory"
+            counts = service.stats.snapshot()
+            assert counts["executions"] == 0
+            assert counts["hits_disk"] == 1
+            assert counts["hits_memory"] == 1
+            assert _CALLS == []  # nothing recomputed
+
+    def test_no_disk_cache_still_serves_from_memory(self):
+        with make_service() as service:
+            assert service.run_cell("demo", "cell-a", 100)["source"] == "executed"
+            assert service.run_cell("demo", "cell-a", 100)["source"] == "memory"
+
+    def test_scale_separates_keys(self, tmp_path):
+        with make_service(tmp_path) as service:
+            service.run_cell("demo", "cell-a", 100)
+            other = service.run_cell("demo", "cell-a", 200)
+            assert other["source"] == "executed"
+            assert other["value"]["n"] == 200
+            assert service.stats.snapshot()["executions"] == 2
+
+    def test_failure_raises_and_counts(self, tmp_path):
+        with make_service(tmp_path) as service:
+            with pytest.raises(CellExecutionFailed, match="always fails"):
+                service.run_cell("demo", "cell-boom", 100)
+            counts = service.stats.snapshot()
+            assert counts["failures"] == 1
+            # Failures are not cached: a retry executes again.
+            with pytest.raises(CellExecutionFailed):
+                service.run_cell("demo", "cell-boom", 100)
+            assert service.stats.snapshot()["executions"] == 2
+
+    def test_unknown_experiment_and_cell(self):
+        with make_service() as service:
+            with pytest.raises(UnknownExperimentError, match="nope"):
+                service.run_cell("nope", "cell-a", 100)
+            with pytest.raises(UnknownCellError, match="cell-z"):
+                service.run_cell("demo", "cell-z", 100)
+
+
+# -- coalescing -----------------------------------------------------------
+
+
+class TestCoalescing:
+    def test_concurrent_identical_requests_execute_once(self):
+        _GATE.clear()
+        with make_service() as service:
+            results = []
+            errors = []
+
+            def submit():
+                try:
+                    results.append(service.run_cell("demo", "cell-a", 100))
+                except Exception as exc:  # pragma: no cover - fail loudly
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=submit) for _ in range(8)]
+            for thread in threads:
+                thread.start()
+            # Give every thread a chance to reach the in-flight table
+            # while the one leader is still gated.
+            deadline = time.monotonic() + 5.0
+            while (
+                service.stats.snapshot()["coalesced"] < 7
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.01)
+            _GATE.set()
+            for thread in threads:
+                thread.join(timeout=10.0)
+
+            assert errors == []
+            assert len(results) == 8
+            assert _CALLS == ["a"]  # exactly one real execution
+            counts = service.stats.snapshot()
+            assert counts["executions"] == 1
+            assert counts["coalesced"] == 7
+            values = {tuple(sorted(r["value"].items())) for r in results}
+            assert len(values) == 1
+
+    def test_followers_share_the_leaders_failure(self):
+        _GATE.clear()
+        with make_service() as service:
+            outcomes = []
+
+            def submit():
+                try:
+                    service.run_cell("demo", "cell-boom", 100)
+                    outcomes.append("ok")
+                except CellExecutionFailed:
+                    outcomes.append("failed")
+
+            threads = [threading.Thread(target=submit) for _ in range(3)]
+            for thread in threads:
+                thread.start()
+            deadline = time.monotonic() + 5.0
+            while (
+                service.stats.snapshot()["coalesced"] < 2
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.01)
+            _GATE.set()
+            for thread in threads:
+                thread.join(timeout=10.0)
+            assert outcomes == ["failed", "failed", "failed"]
+            assert _CALLS == ["boom"]
+
+
+# -- backpressure ---------------------------------------------------------
+
+
+class TestBackpressure:
+    def test_busy_rejection_carries_retry_after(self):
+        _GATE.clear()
+        with make_service(workers=1, queue_depth=0) as service:
+            holder = threading.Thread(
+                target=service.run_cell, args=("demo", "cell-a", 100)
+            )
+            holder.start()
+            deadline = time.monotonic() + 5.0
+            while (
+                service.stats.snapshot()["executions"] < 1
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.01)
+            with pytest.raises(ServiceRejection) as excinfo:
+                service.run_cell("demo", "cell-b", 100)
+            assert excinfo.value.code == "busy"
+            assert excinfo.value.retry_after > 0
+            assert service.stats.snapshot()["busy_rejections"] == 1
+            _GATE.set()
+            holder.join(timeout=10.0)
+            # Capacity freed: the refused cell now runs.
+            assert service.run_cell("demo", "cell-b", 100)["source"] == "executed"
+
+    def test_run_experiment_concurrency_bound(self):
+        _GATE.clear()
+        with make_service(max_experiments=1) as service:
+            sweep_outcomes = []
+
+            def run_sweep():
+                try:
+                    sweep_outcomes.append(service.run_experiment("demo", 100))
+                except CellExecutionFailed as exc:
+                    # The demo grid's failing cell surfaces here, after
+                    # the concurrency bound has been exercised.
+                    sweep_outcomes.append(exc)
+
+            sweep = threading.Thread(target=run_sweep)
+            sweep.start()
+            deadline = time.monotonic() + 5.0
+            while (
+                service.stats.snapshot()["executions"] < 1
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.01)
+            with pytest.raises(ServiceRejection) as excinfo:
+                service.run_experiment("demo", 100)
+            assert excinfo.value.code == "busy"
+            _GATE.set()
+            sweep.join(timeout=10.0)
+            assert sweep_outcomes  # the admitted sweep ran to its end
+
+
+# -- drain ----------------------------------------------------------------
+
+
+class TestDrain:
+    def test_drain_waits_for_inflight_and_refuses_new(self):
+        _GATE.clear()
+        with make_service() as service:
+            results = []
+            leader = threading.Thread(
+                target=lambda: results.append(
+                    service.run_cell("demo", "cell-a", 100)
+                )
+            )
+            leader.start()
+            deadline = time.monotonic() + 5.0
+            while (
+                service.stats.snapshot()["executions"] < 1
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.01)
+            # In-flight work pins the drain...
+            assert service.drain(timeout=0.2) is False
+            # ...and new work is refused while draining.
+            with pytest.raises(ServiceRejection) as excinfo:
+                service.run_cell("demo", "cell-b", 100)
+            assert excinfo.value.code == "draining"
+            assert service.stats.snapshot()["drain_rejections"] == 1
+            _GATE.set()
+            leader.join(timeout=10.0)
+            assert service.drain(timeout=5.0) is True
+            # The admitted request completed and was answered.
+            assert results and results[0]["value"] == {"tag": "a", "n": 100}
+
+    def test_drain_with_nothing_inflight_is_immediate(self):
+        with make_service() as service:
+            assert service.drain(timeout=0.1) is True
+            assert service.health()["status"] == "draining"
+
+
+# -- run_experiment + stats ----------------------------------------------
+
+
+class TestExperimentAndStats:
+    def test_run_experiment_assembles_and_reports_sources(self, tmp_path):
+        with make_service(tmp_path) as service:
+            payload = service.run_experiment("demo-ok", 100)
+            assert payload["result"]["rows"] == [
+                ["cell-a", "100"], ["cell-b", "100"],
+            ]
+            assert payload["sources"] == {"executed": 2}
+            # A warm repeat is served entirely from memory.
+            second = service.run_experiment("demo-ok", 100)
+            assert second["sources"] == {"memory": 2}
+            assert second["result"] == payload["result"]
+            assert _CALLS == ["a", "b"]
+
+    def test_run_experiment_surfaces_cell_failures(self, tmp_path):
+        with make_service(tmp_path) as service:
+            with pytest.raises(CellExecutionFailed, match="cell-boom"):
+                # The demo grid contains the failing cell; the sweep
+                # surfaces it rather than assembling a partial table.
+                service.run_experiment("demo", 100)
+
+    def test_stats_snapshot_shape(self, tmp_path):
+        with make_service(tmp_path) as service:
+            service.run_cell("demo", "cell-a", 100)
+            service.run_cell("demo", "cell-a", 100)
+            snapshot = service.stats_snapshot()
+            service_counts = snapshot["service"]
+            assert service_counts["requests"] == 2
+            assert service_counts["executions"] == 1
+            assert service_counts["hits_memory"] == 1
+            assert service_counts["inflight"] == 0
+            assert snapshot["memory_cache"]["entries"] == 1
+            # Executed cells appear as metrics rows (the engine schema).
+            rows = snapshot["recent_cells"]
+            assert rows and rows[0]["cell_id"] == "cell-a"
+            assert set(rows[0]) == {
+                "experiment_id", "cell_id", "wall_time", "memoized",
+                "worker", "ok", "trace_hits", "trace_misses",
+            }
+            # The disk section carries the shared accounting.
+            disk = snapshot["disk_cache"]
+            assert disk["cells"]["entries"] == 1
+            assert disk["cells"]["per_experiment"]["demo"]["entries"] == 1
+            assert disk["total_bytes"] > 0
+
+    def test_health_payload(self):
+        with make_service() as service:
+            health = service.health()
+            assert health["status"] == "ok"
+            assert health["experiments"] == ["demo", "demo-ok"]
+            assert health["workers"] == ServiceConfig().workers
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ServiceConfig(workers=0)
+        with pytest.raises(ValueError):
+            ServiceConfig(queue_depth=-1)
+        with pytest.raises(ValueError):
+            ServiceConfig(pool="fiber")

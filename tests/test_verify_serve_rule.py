@@ -1,0 +1,131 @@
+"""Tests for the service-handler lint rule RPS001 (repro.verify.rules.serve)."""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.verify.diagnostics import Severity
+from repro.verify.rules import all_rules, get_rule
+from repro.verify.rules.serve import check_blocking_handler_calls
+from repro.verify.static import AnalysisContext, SourceFile
+
+
+def run_rule(text: str, path: str = "src/repro/serve/handler.py"):
+    source = SourceFile(path=Path(path), text=text, tree=ast.parse(text))
+    return check_blocking_handler_calls(source, AnalysisContext())
+
+
+class TestRegistration:
+    def test_rps001_is_registered(self):
+        rule = get_rule("RPS001")
+        assert rule.name == "blocking-handler-call"
+        assert rule.severity is Severity.WARNING
+        assert rule.scope == "source"
+
+    def test_rps001_in_the_rule_catalog(self):
+        assert "RPS001" in [rule.code for rule in all_rules()]
+
+
+class TestSleepAndSubprocess:
+    def test_flags_time_sleep(self):
+        findings = run_rule(
+            "import time\n"
+            "def handle():\n"
+            "    time.sleep(0.1)\n"
+        )
+        assert len(findings) == 1
+        assert findings[0].line == 3
+        assert "Event/Condition" in findings[0].message
+
+    def test_flags_aliased_sleep(self):
+        findings = run_rule(
+            "from time import sleep as snooze\n"
+            "def handle():\n"
+            "    snooze(1)\n"
+        )
+        assert len(findings) == 1
+
+    def test_flags_subprocess_calls(self):
+        findings = run_rule(
+            "import subprocess\n"
+            "def handle():\n"
+            "    subprocess.run(['ls'])\n"
+            "    subprocess.check_output(['ls'])\n"
+        )
+        assert len(findings) == 2
+
+    def test_flags_os_system_and_popen(self):
+        findings = run_rule(
+            "import os\n"
+            "def handle():\n"
+            "    os.system('ls')\n"
+            "    os.popen('ls')\n"
+        )
+        assert len(findings) == 2
+
+    def test_condition_wait_is_allowed(self):
+        findings = run_rule(
+            "import threading\n"
+            "cond = threading.Condition()\n"
+            "def handle():\n"
+            "    with cond:\n"
+            "        cond.wait_for(lambda: True, timeout=1.0)\n"
+        )
+        assert findings == []
+
+
+class TestSocketReads:
+    def test_flags_recv_without_settimeout(self):
+        findings = run_rule(
+            "def handle(sock):\n"
+            "    return sock.recv(4096)\n"
+        )
+        assert len(findings) == 1
+        assert "settimeout" in findings[0].message
+
+    def test_flags_accept_without_settimeout(self):
+        findings = run_rule(
+            "def handle(listener):\n"
+            "    return listener.accept()\n"
+        )
+        assert len(findings) == 1
+
+    def test_settimeout_anywhere_in_file_exempts_reads(self):
+        findings = run_rule(
+            "def handle(sock):\n"
+            "    sock.settimeout(5.0)\n"
+            "    return sock.recv(4096)\n"
+        )
+        assert findings == []
+
+
+class TestScope:
+    def test_client_module_is_exempt(self):
+        findings = run_rule(
+            "import time\n"
+            "def retry():\n"
+            "    time.sleep(0.1)\n",
+            path="src/repro/serve/client.py",
+        )
+        assert findings == []
+
+    def test_non_serve_paths_are_exempt(self):
+        findings = run_rule(
+            "import time\n"
+            "def bench():\n"
+            "    time.sleep(0.1)\n",
+            path="src/repro/exec/engine.py",
+        )
+        assert findings == []
+
+
+class TestShippedTreeIsClean:
+    def test_shipped_serve_package_has_no_findings(self):
+        # The daemon itself must satisfy its own rule.
+        serve_dir = Path(__file__).resolve().parent.parent / "src/repro/serve"
+        for path in sorted(serve_dir.glob("*.py")):
+            text = path.read_text()
+            source = SourceFile(path=path, text=text, tree=ast.parse(text))
+            findings = check_blocking_handler_calls(source, AnalysisContext())
+            assert findings == [], f"{path.name}: {findings}"
