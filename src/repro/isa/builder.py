@@ -46,6 +46,7 @@ class ProgramBuilder:
         self._labels: Dict[str, int] = {}
         self._data: Dict[int, int] = {}
         self._data_cursor = data_base
+        self._suppressions: Dict[int, Dict[str, str]] = {}
 
     # -- labels and layout -------------------------------------------------
 
@@ -243,6 +244,27 @@ class ProgramBuilder:
     def halt(self) -> int:
         return self.emit(Opcode.HALT)
 
+    # -- diagnostics ---------------------------------------------------------
+
+    def suppress(self, index: int, code: str, reason: str) -> None:
+        """Suppress diagnostic ``code`` on the instruction at ``index``.
+
+        ``index`` is the value the emit helpers return, so the idiom is
+        ``b.suppress(b.st("t0", "t1"), "RPA001", "why this is fine")``.
+        The justification is mandatory — an unexplained suppression is a
+        bug magnet — and travels with the built :class:`Program` for the
+        absint pass to honor and count.
+        """
+        if not reason.strip():
+            raise ProgramError(
+                f"{self.name}: suppression of {code} needs a justification"
+            )
+        if not 0 <= index < len(self._instructions):
+            raise ProgramError(
+                f"{self.name}: suppression index {index} out of range"
+            )
+        self._suppressions.setdefault(index, {})[code] = reason.strip()
+
     # -- finalize ----------------------------------------------------------
 
     def build(self) -> Program:
@@ -281,4 +303,8 @@ class ProgramBuilder:
             instructions=instructions,
             labels=dict(self._labels),
             data=data,
+            suppressions={
+                index: dict(codes)
+                for index, codes in self._suppressions.items()
+            },
         )

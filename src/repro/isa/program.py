@@ -23,6 +23,10 @@ class Program:
         instructions: Static code, laid out from :data:`CODE_BASE`.
         labels: label name -> absolute byte address.
         data: initial memory image, absolute byte address -> word value.
+        suppressions: instruction index -> {diagnostic code -> written
+            justification}; honored by the program-level analyses
+            (``repro-lint absint``) the way ``# repro-lint: disable=``
+            comments are honored by the Python-source pass.
     """
 
     name: str
@@ -30,6 +34,7 @@ class Program:
     labels: Dict[str, int] = field(default_factory=dict)
     data: Dict[int, int] = field(default_factory=dict)
     entry: Optional[int] = None
+    suppressions: Dict[int, Dict[str, str]] = field(default_factory=dict)
 
     def __post_init__(self):
         if not self.instructions:

@@ -17,17 +17,46 @@ Three layers, one diagnostics model:
   (``RPD*``/``RPP*``) and admissibility checks over the experiment
   grids (``RPG*``, :func:`lint_all_grids`) — the grids are enumerated,
   never simulated.
+* :mod:`repro.verify.absint` + :mod:`repro.verify.loops` — an abstract
+  interpreter over the ISA-program CFG behind ``repro-lint absint``:
+  static value-predictability classes (const / stride / last-value),
+  natural-loop and induction-variable detection, semantic ``RPA*``
+  findings and static DID depth bounds.
+* :mod:`repro.verify.fuzz` — the soundness oracle for absint: seeded
+  random programs executed on funcsim and scored by the real value
+  predictors, behind ``repro-lint fuzz``.
 
 ``repro-lint`` (:mod:`repro.verify.cli`) is the command-line surface.
 """
 
+from repro.verify.absint import (
+    AbsintAnalysis,
+    AbsintConfig,
+    Claim,
+    PredClass,
+    analyze_program,
+)
 from repro.verify.cfg import BasicBlock, ControlFlowGraph, build_cfg
 from repro.verify.checked import invariants_checked, verified_simulations
 from repro.verify.diagnostics import (
     Diagnostic,
     Report,
     Severity,
+    lint_artifact,
     reports_to_json,
+)
+from repro.verify.fuzz import (
+    check_program_claims,
+    fuzz_corpus,
+    generate_fuzz_program,
+    run_fuzz,
+)
+from repro.verify.loops import (
+    NaturalLoop,
+    dominator_masks,
+    dominates,
+    find_natural_loops,
+    innermost_loop_index,
 )
 from repro.verify.invariants import (
     audit_ideal_run,
@@ -73,4 +102,19 @@ __all__ = [
     "discover_files",
     "lint_grid",
     "lint_all_grids",
+    "lint_artifact",
+    "AbsintAnalysis",
+    "AbsintConfig",
+    "Claim",
+    "PredClass",
+    "analyze_program",
+    "NaturalLoop",
+    "dominator_masks",
+    "dominates",
+    "find_natural_loops",
+    "innermost_loop_index",
+    "check_program_claims",
+    "fuzz_corpus",
+    "generate_fuzz_program",
+    "run_fuzz",
 ]

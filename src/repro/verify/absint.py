@@ -1,0 +1,1112 @@
+"""Abstract interpretation for static value-predictability.
+
+This is the semantic layer of ``repro-lint``: where
+:mod:`repro.verify.program` checks *shape* (operands, targets,
+definedness), this module computes a sound over-approximation of the
+*values* a program produces and derives, per register-writing
+instruction, a static predictability class:
+
+``CONST``
+    The instruction writes one statically known value on every dynamic
+    execution. Captured by the forward interval/constant fixpoint.
+``STRIDE``
+    Within one activation of its innermost natural loop the
+    instruction's successive results differ by a fixed, statically
+    known delta (mod 2**64). Captured by a per-loop affine analysis:
+    every register at the loop header is a symbol, the loop body is
+    abstractly executed over affine forms ``sum(coeff_r * header_r) +
+    c`` (exact mod 2**64 for add/sub/addi/muli/slli/mov/li), and an
+    instruction whose destination form mentions only basic induction
+    variables — registers whose per-iteration transfer is ``r := r +
+    d`` — has per-iteration output delta ``sum(coeff_r * d_r)``.
+``LAST_VALUE``
+    Same analysis, delta zero: loop-invariant within an activation.
+``UNKNOWN``
+    No claim.
+
+Soundness contract (enforced by the fuzz oracle in
+:mod:`repro.verify.fuzz` against funcsim + the real predictors): for an
+instruction executed ``n`` times while its loop is activated ``A``
+times,
+
+* ``CONST c``  — every observed value equals ``c``; a
+  :class:`~repro.vpred.stride.StridePredictor` mispredicts at most 2 of
+  the ``n`` executions and a last-value predictor at most 1;
+* ``STRIDE d`` — consecutive in-activation values differ by exactly
+  ``d`` and the stride predictor mispredicts at most ``2 * A``;
+* ``LAST_VALUE`` — consecutive in-activation values are equal and the
+  last-value predictor mispredicts at most ``A``.
+
+The claims lean on three structural facts, each established
+conservatively: the instruction's block executes exactly once per loop
+iteration (it dominates every latch and the loop is its innermost),
+the loop body is single-entry (:class:`~repro.verify.loops.NaturalLoop`
+``analyzable``), and affine arithmetic is exact modulo 2**64 — the same
+modulus the machine and the predictors use, so wrap-around never breaks
+a claim.
+
+On top of the fixpoint the pass raises the ``RPA*`` diagnostics
+(:mod:`repro.verify.rules.absint`): dead register writes (backward
+liveness), stores in value-unreachable blocks, and statically one-sided
+branches; and it computes static DID depth bounds per basic block —
+the longest intra-block dependence chain, with and without predictable
+producers cut, a zero-simulation bound on the paper's Dynamic
+Instruction Dependencies.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.errors import ConfigError
+from repro.isa.assembler import disassemble_instruction
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.program import STACK_BASE, WORD_SIZE, Program
+from repro.isa.registers import NUM_REGS, register_name, register_number
+from repro.verify.cfg import ControlFlowGraph, build_cfg
+from repro.verify.diagnostics import Report
+from repro.verify.loops import (
+    NaturalLoop,
+    dominator_masks,
+    dominates,
+    find_natural_loops,
+    innermost_loop_index,
+)
+from repro.verify.rules import Rule
+from repro.verify.rules.absint import RPA001, RPA002, RPA003, RPA004
+
+_MASK64 = (1 << 64) - 1
+_SIGN64 = 1 << 63
+_MOD = 1 << 64
+
+Interval = Tuple[int, int]  # inclusive [lo, hi], both in [0, 2**64)
+_TOP: Interval = (0, _MASK64)
+
+# Affine form: (coeffs over header registers, constant), all mod 2**64;
+# None is the domain's top (statically unknown).
+Form = Optional[Tuple[Tuple[Tuple[int, int], ...], int]]
+
+
+# -- configuration ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AbsintConfig:
+    """Knobs of the abstract interpreter.
+
+    ``widen_delay`` is how many times a block's input may be refined
+    before widening jumps changed bounds to the domain extremes;
+    ``max_passes`` caps fixpoint iterations per analysis (exceeding it
+    degrades every pending state to top — slower convergence can cost
+    precision, never soundness); ``max_loop_blocks`` caps the size of a
+    loop body the affine/stride analysis will attempt.
+    """
+
+    widen_delay: int = 3
+    max_passes: int = 64
+    max_loop_blocks: int = 64
+
+    def validate(self) -> None:
+        if not isinstance(self.widen_delay, int) or self.widen_delay < 1:
+            raise ConfigError(
+                f"widen_delay must be an integer >= 1, got {self.widen_delay!r}"
+            )
+        if not isinstance(self.max_passes, int) or self.max_passes < 1:
+            raise ConfigError(
+                f"max_passes must be an integer >= 1, got {self.max_passes!r}"
+            )
+        if not isinstance(self.max_loop_blocks, int) or self.max_loop_blocks < 1:
+            raise ConfigError(
+                f"max_loop_blocks must be an integer >= 1, "
+                f"got {self.max_loop_blocks!r}"
+            )
+
+
+# -- predictability classes and claims --------------------------------------
+
+
+class PredClass(enum.Enum):
+    """Static predictability class of one register-writing instruction."""
+
+    CONST = "const"
+    STRIDE = "stride"
+    LAST_VALUE = "last_value"
+    UNKNOWN = "unknown"
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One oracle-checkable predictability claim.
+
+    ``index`` is the static instruction index; for loop-relative claims
+    (``STRIDE``/``LAST_VALUE``) ``loop_header`` names the header block
+    of the innermost loop and ``delta`` the per-iteration output delta
+    (mod 2**64, zero for ``LAST_VALUE``). ``CONST`` claims carry the
+    constant in ``value`` instead.
+    """
+
+    index: int
+    kind: PredClass
+    value: Optional[int] = None
+    delta: Optional[int] = None
+    loop_header: Optional[int] = None
+
+
+# -- exact constant evaluation (mirrors funcsim semantics) -------------------
+
+
+def _signed(value: int) -> int:
+    return value - _MOD if value & _SIGN64 else value
+
+
+def _eval_binary(op: Opcode, a: int, b: int) -> int:
+    """Exact result of a two-source ALU op, matching the Machine."""
+    if op is Opcode.ADD:
+        return (a + b) & _MASK64
+    if op is Opcode.SUB:
+        return (a - b) & _MASK64
+    if op is Opcode.MUL:
+        return (a * b) & _MASK64
+    if op is Opcode.DIV:
+        divisor = _signed(b)
+        return 0 if divisor == 0 else int(_signed(a) / divisor) & _MASK64
+    if op is Opcode.REM:
+        divisor = _signed(b)
+        if divisor == 0:
+            return a
+        dividend = _signed(a)
+        return (dividend - int(dividend / divisor) * divisor) & _MASK64
+    if op is Opcode.AND:
+        return a & b
+    if op is Opcode.OR:
+        return a | b
+    if op is Opcode.XOR:
+        return a ^ b
+    if op is Opcode.SLL:
+        return (a << (b & 63)) & _MASK64
+    if op is Opcode.SRL:
+        return a >> (b & 63)
+    if op is Opcode.SRA:
+        return (_signed(a) >> (b & 63)) & _MASK64
+    if op is Opcode.SLT:
+        return int(_signed(a) < _signed(b))
+    if op is Opcode.SLTU:
+        return int(a < b)
+    if op is Opcode.SEQ:
+        return int(a == b)
+    raise AssertionError(f"not a two-source ALU op: {op}")
+
+
+def _eval_imm(op: Opcode, a: int, imm: int) -> int:
+    """Exact result of a register-immediate ALU op."""
+    if op is Opcode.ADDI:
+        return (a + imm) & _MASK64
+    if op is Opcode.ANDI:
+        return a & (imm & _MASK64)
+    if op is Opcode.ORI:
+        return a | (imm & _MASK64)
+    if op is Opcode.XORI:
+        return a ^ (imm & _MASK64)
+    if op is Opcode.SLLI:
+        return (a << (imm & 63)) & _MASK64
+    if op is Opcode.SRLI:
+        return a >> (imm & 63)
+    if op is Opcode.SRAI:
+        return (_signed(a) >> (imm & 63)) & _MASK64
+    if op is Opcode.SLTI:
+        return int(_signed(a) < imm)
+    if op is Opcode.MULI:
+        return (a * imm) & _MASK64
+    raise AssertionError(f"not an immediate ALU op: {op}")
+
+
+_IMM_OPS = frozenset({
+    Opcode.ADDI, Opcode.ANDI, Opcode.ORI, Opcode.XORI, Opcode.SLLI,
+    Opcode.SRLI, Opcode.SRAI, Opcode.SLTI, Opcode.MULI,
+})
+_BIN_OPS = frozenset({
+    Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.DIV, Opcode.REM, Opcode.AND,
+    Opcode.OR, Opcode.XOR, Opcode.SLL, Opcode.SRL, Opcode.SRA, Opcode.SLT,
+    Opcode.SLTU, Opcode.SEQ,
+})
+
+
+# -- interval domain --------------------------------------------------------
+
+
+def _fit(lo: int, hi: int) -> Interval:
+    """The interval if it stays in machine range, else top (wraps)."""
+    if 0 <= lo and hi <= _MASK64 and lo <= hi:
+        return (lo, hi)
+    return _TOP
+
+
+def _join(a: Interval, b: Interval) -> Interval:
+    return (min(a[0], b[0]), max(a[1], b[1]))
+
+
+def _widen(old: Interval, new: Interval) -> Interval:
+    lo = old[0] if new[0] >= old[0] else 0
+    hi = old[1] if new[1] <= old[1] else _MASK64
+    return (lo, hi)
+
+
+def _signed_interval(v: Interval) -> Optional[Tuple[int, int]]:
+    """The interval in signed space, or None when it spans the sign
+    boundary (then nothing useful can be said about signed order)."""
+    lo, hi = v
+    if hi < _SIGN64:
+        return (lo, hi)
+    if lo >= _SIGN64:
+        return (lo - _MOD, hi - _MOD)
+    return None
+
+
+def _interval_output(
+    instr: Instruction, get: Callable[[int], Interval]
+) -> Interval:
+    """Abstract output of a register-writing instruction.
+
+    ``get(reg)`` yields the operand interval. Transfer functions are
+    sound for the machine's mod-2**64 semantics: any operation that
+    could wrap degrades to top rather than producing a wrapped range.
+    """
+    op = instr.op
+    if op is Opcode.LI:
+        value = instr.imm & _MASK64
+        return (value, value)
+    if op is Opcode.MOV:
+        return get(instr.rs1)
+    if op is Opcode.LD:
+        return _TOP
+    if op in (Opcode.JAL, Opcode.JALR):  # link value, handled by caller
+        return _TOP
+
+    if op in _IMM_OPS:
+        a = get(instr.rs1)
+        imm = instr.imm
+        if a[0] == a[1]:
+            value = _eval_imm(op, a[0], imm)
+            return (value, value)
+        if op is Opcode.ADDI:
+            return _fit(a[0] + imm, a[1] + imm)
+        if op is Opcode.MULI:
+            if imm >= 0:
+                return _fit(a[0] * imm, a[1] * imm)
+            return _TOP
+        if op is Opcode.SLLI:
+            shift = imm & 63
+            return _fit(a[0] << shift, a[1] << shift)
+        if op is Opcode.SRLI:
+            shift = imm & 63
+            return (a[0] >> shift, a[1] >> shift)
+        if op is Opcode.SRAI:
+            shift = imm & 63
+            signed = _signed_interval(a)
+            if signed is None:
+                return _TOP
+            lo, hi = signed[0] >> shift, signed[1] >> shift
+            if (lo < 0) != (hi < 0):  # straddles zero after the shift
+                return _TOP
+            return (lo % _MOD, hi % _MOD)
+        if op is Opcode.ANDI:
+            if imm >= 0:
+                return (0, min(a[1], imm))
+            return (0, a[1])
+        if op in (Opcode.ORI, Opcode.XORI):
+            if imm >= 0:
+                bits = max(a[1].bit_length(), imm.bit_length())
+                return (0, (1 << bits) - 1) if bits < 64 else _TOP
+            return _TOP
+        if op is Opcode.SLTI:
+            return (0, 1)
+        return _TOP
+
+    if op in _BIN_OPS:
+        a = get(instr.rs1)
+        b = get(instr.rs2)
+        if a[0] == a[1] and b[0] == b[1]:
+            value = _eval_binary(op, a[0], b[0])
+            return (value, value)
+        if op is Opcode.ADD:
+            return _fit(a[0] + b[0], a[1] + b[1])
+        if op is Opcode.SUB:
+            return _fit(a[0] - b[1], a[1] - b[0])
+        if op is Opcode.AND:
+            return (0, min(a[1], b[1]))
+        if op in (Opcode.OR, Opcode.XOR):
+            bits = max(a[1].bit_length(), b[1].bit_length())
+            return (0, (1 << bits) - 1) if bits < 64 else _TOP
+        if op is Opcode.SRL:
+            if b[0] == b[1]:
+                shift = b[0] & 63
+                return (a[0] >> shift, a[1] >> shift)
+            return (0, a[1])
+        if op in (Opcode.SLT, Opcode.SLTU, Opcode.SEQ):
+            return (0, 1)
+        if op is Opcode.MUL:
+            if b[0] == b[1]:
+                return _fit(a[0] * b[0], a[1] * b[0]) if b[0] >= 0 else _TOP
+            if a[0] == a[1]:
+                return _fit(a[0] * b[0], a[0] * b[1]) if a[0] >= 0 else _TOP
+            return _TOP
+        return _TOP
+    return _TOP
+
+
+def _branch_feasible(
+    op: Opcode, a: Interval, b: Interval
+) -> Tuple[bool, bool]:
+    """(taken possible, fallthrough possible) for a conditional branch."""
+    intersect = a[0] <= b[1] and b[0] <= a[1]
+    both_const_eq = a[0] == a[1] == b[0] == b[1]
+    if op is Opcode.BEQ:
+        return (intersect, not both_const_eq)
+    if op is Opcode.BNE:
+        return (not both_const_eq, intersect)
+    if op is Opcode.BLTU:
+        return (a[0] < b[1], a[1] >= b[0])
+    if op is Opcode.BGEU:
+        return (a[1] >= b[0], a[0] < b[1])
+    sa, sb = _signed_interval(a), _signed_interval(b)
+    if sa is None or sb is None:
+        return (True, True)
+    if op is Opcode.BLT:
+        return (sa[0] < sb[1], sa[1] >= sb[0])
+    if op is Opcode.BGE:
+        return (sa[1] >= sb[0], sa[0] < sb[1])
+    raise AssertionError(f"not a branch: {op}")
+
+
+def _refine_branch(
+    state: List[Interval], instr: Instruction, taken: bool
+) -> List[Interval]:
+    """Narrow the branch operands along one edge (best effort, sound).
+
+    Refinement is only applied where unsigned and signed order agree
+    (both intervals below the sign boundary) for the signed compares.
+    """
+    op = instr.op
+    rs1, rs2 = instr.rs1, instr.rs2
+    a, b = state[rs1], state[rs2]
+    if op in (Opcode.BLT, Opcode.BGE) and (
+        _signed_interval(a) != a or _signed_interval(b) != b
+    ):
+        return state
+    less = (op in (Opcode.BLT, Opcode.BLTU)) == taken
+    geq = (op in (Opcode.BGE, Opcode.BGEU)) == taken
+    new = list(state)
+    if (op is Opcode.BEQ and taken) or (op is Opcode.BNE and not taken):
+        lo, hi = max(a[0], b[0]), min(a[1], b[1])
+        if lo <= hi:
+            new[rs1] = new[rs2] = (lo, hi)
+    elif op in (Opcode.BLT, Opcode.BLTU, Opcode.BGE, Opcode.BGEU):
+        if less:  # rs1 < rs2
+            na = (a[0], min(a[1], b[1] - 1))
+            nb = (max(b[0], a[0] + 1), b[1])
+        elif geq:  # rs1 >= rs2
+            na = (max(a[0], b[0]), a[1])
+            nb = (b[0], min(b[1], a[1]))
+        else:
+            return state
+        if na[0] <= na[1]:
+            new[rs1] = na
+        if nb[0] <= nb[1]:
+            new[rs2] = nb
+    if rs1 == 0:
+        new[0] = (0, 0)
+    if rs2 == 0:
+        new[0] = (0, 0)
+    return new
+
+
+# -- forward interval/constant fixpoint --------------------------------------
+
+
+@dataclass
+class _IntervalResult:
+    in_states: List[Optional[List[Interval]]]
+    outputs: Dict[int, Interval]  # instruction index -> output interval
+    fixed_branches: Dict[int, bool]  # branch instr index -> always taken?
+
+
+def _entry_state() -> List[Interval]:
+    # funcsim zero-initializes the register file and sets sp; this is
+    # the machine's real initial state, not an assumption.
+    state: List[Interval] = [(0, 0)] * NUM_REGS
+    state[register_number("sp")] = (STACK_BASE, STACK_BASE)
+    return list(state)
+
+
+def _transfer_block(
+    program: Program,
+    cfg: ControlFlowGraph,
+    block_index: int,
+    state: List[Interval],
+    outputs: Optional[Dict[int, Interval]] = None,
+) -> List[Interval]:
+    """Abstractly execute one block; optionally record per-instr outputs."""
+    state = list(state)
+    block = cfg.blocks[block_index]
+    for i in range(block.start, block.end):
+        instr = program.instructions[i]
+        dest = instr.destination_register()
+        if dest is None:
+            continue
+        if instr.op in (Opcode.JAL, Opcode.JALR):
+            link = program.address_of(i) + WORD_SIZE
+            out: Interval = (link, link)
+        else:
+            out = _interval_output(instr, lambda r: state[r])
+        if outputs is not None:
+            outputs[i] = out
+        state[dest] = out
+        state[0] = (0, 0)
+    return state
+
+
+def _successor_states(
+    program: Program,
+    cfg: ControlFlowGraph,
+    block_index: int,
+    out_state: List[Interval],
+) -> List[Tuple[int, List[Interval]]]:
+    """Feasible (successor block, refined state) pairs for one block."""
+    block = cfg.blocks[block_index]
+    last = program.instructions[block.end - 1]
+    succs = block.successors
+    if not succs:
+        return []
+    if last.is_branch:
+        taken_ok, fall_ok = _branch_feasible(
+            last.op, out_state[last.rs1], out_state[last.rs2]
+        )
+        n = len(program)
+        target = (last.imm - program.address_of(0)) // WORD_SIZE
+        target_block = cfg.block_of[target] if 0 <= target < n else None
+        fall_block = cfg.block_of[block.end] if block.end < n else None
+        edges: List[Tuple[int, List[Interval]]] = []
+        for succ in succs:
+            if succ == target_block and succ == fall_block:
+                # Degenerate branch-to-fallthrough: both edges merge.
+                if taken_ok or fall_ok:
+                    edges.append((succ, out_state))
+            elif succ == target_block:
+                if taken_ok:
+                    edges.append((succ, _refine_branch(out_state, last, True)))
+            elif succ == fall_block:
+                if fall_ok:
+                    edges.append((succ, _refine_branch(out_state, last, False)))
+            else:  # pragma: no cover - defensive
+                edges.append((succ, out_state))
+        return edges
+    if last.op in (Opcode.JR, Opcode.JALR):
+        # A constant register target narrows the conservative edge set.
+        value = out_state[last.rs1]
+        if value[0] == value[1]:
+            offset = value[0] - program.address_of(0)
+            if offset % WORD_SIZE == 0 and 0 <= offset < len(program) * WORD_SIZE:
+                target_block = cfg.block_of[offset // WORD_SIZE]
+                if target_block in succs:
+                    return [(target_block, out_state)]
+        return [(succ, out_state) for succ in succs]
+    return [(succ, out_state) for succ in succs]
+
+
+def _interval_fixpoint(
+    program: Program, cfg: ControlFlowGraph, config: AbsintConfig
+) -> _IntervalResult:
+    entry = cfg.block_of[cfg.entry_index]
+    in_states: List[Optional[List[Interval]]] = [None] * len(cfg.blocks)
+    in_states[entry] = _entry_state()
+    updates = [0] * len(cfg.blocks)
+    worklist: List[int] = [entry]
+    budget = config.max_passes * max(1, len(cfg.blocks))
+    processed = 0
+    while worklist:
+        processed += 1
+        if processed > budget:
+            # Soundness valve: degrade every reachable block to top and
+            # settle in one final propagation-free state.
+            top_state = [_TOP] * NUM_REGS
+            top_state[0] = (0, 0)
+            for b in cfg.reachable:
+                in_states[b] = list(top_state)
+            in_states[entry] = [
+                _join(v, e) for v, e in zip(top_state, _entry_state())
+            ]
+            break
+        b = worklist.pop(0)
+        state = in_states[b]
+        if state is None:  # pragma: no cover - defensive
+            continue
+        out_state = _transfer_block(program, cfg, b, state)
+        for succ, edge_state in _successor_states(program, cfg, b, out_state):
+            old = in_states[succ]
+            if old is None:
+                new = list(edge_state)
+            else:
+                new = [_join(o, e) for o, e in zip(old, edge_state)]
+                if new == old:
+                    continue
+                if updates[succ] >= config.widen_delay:
+                    new = [_widen(o, n) for o, n in zip(old, new)]
+                    if new == old:
+                        continue
+            in_states[succ] = new
+            updates[succ] += 1
+            if succ not in worklist:
+                worklist.append(succ)
+
+    outputs: Dict[int, Interval] = {}
+    fixed_branches: Dict[int, bool] = {}
+    for b in sorted(cfg.reachable):
+        state = in_states[b]
+        if state is None:
+            continue
+        out_state = _transfer_block(program, cfg, b, state, outputs)
+        block = cfg.blocks[b]
+        last = program.instructions[block.end - 1]
+        if last.is_branch and len(block.successors) > 1:
+            taken_ok, fall_ok = _branch_feasible(
+                last.op, out_state[last.rs1], out_state[last.rs2]
+            )
+            if taken_ok != fall_ok:
+                fixed_branches[block.end - 1] = taken_ok
+    return _IntervalResult(in_states, outputs, fixed_branches)
+
+
+# -- affine (stride) analysis per natural loop -------------------------------
+
+
+def _form_const(value: int) -> Form:
+    return ((), value & _MASK64)
+
+
+def _form_add(f: Form, g: Form, sign: int = 1) -> Form:
+    if f is None or g is None:
+        return None
+    coeffs: Dict[int, int] = dict(f[0])
+    for reg, coeff in g[0]:
+        coeffs[reg] = (coeffs.get(reg, 0) + sign * coeff) % _MOD
+    const = (f[1] + sign * g[1]) % _MOD
+    return (_canon(coeffs), const)
+
+
+def _form_scale(f: Form, factor: int) -> Form:
+    if f is None:
+        return None
+    factor %= _MOD
+    coeffs = {reg: (coeff * factor) % _MOD for reg, coeff in f[0]}
+    return (_canon(coeffs), (f[1] * factor) % _MOD)
+
+
+def _canon(coeffs: Dict[int, int]) -> Tuple[Tuple[int, int], ...]:
+    return tuple(sorted((r, c) for r, c in coeffs.items() if c))
+
+
+def _form_output(instr: Instruction, forms: List[Form], address: int) -> Form:
+    """Affine output form of a register-writing instruction.
+
+    Only operations that are linear mod 2**64 propagate symbolic forms;
+    anything else is exact on constant forms and top otherwise.
+    """
+    op = instr.op
+    if op is Opcode.LI:
+        return _form_const(instr.imm)
+    if op in (Opcode.JAL, Opcode.JALR):
+        return _form_const(address + WORD_SIZE)
+    if op is Opcode.MOV:
+        return forms[instr.rs1]
+    if op is Opcode.LD:
+        return None
+    if op in _IMM_OPS:
+        a = forms[instr.rs1]
+        if a is None:
+            return None
+        if op is Opcode.ADDI:
+            return _form_add(a, _form_const(instr.imm))
+        if op is Opcode.MULI:
+            return _form_scale(a, instr.imm)
+        if op is Opcode.SLLI:
+            return _form_scale(a, 1 << (instr.imm & 63))
+        if not a[0]:  # constant operand: evaluate exactly
+            return _form_const(_eval_imm(op, a[1], instr.imm))
+        return None
+    if op in _BIN_OPS:
+        a, b = forms[instr.rs1], forms[instr.rs2]
+        if a is None or b is None:
+            return None
+        if op is Opcode.ADD:
+            return _form_add(a, b)
+        if op is Opcode.SUB:
+            return _form_add(a, b, sign=-1)
+        if op is Opcode.MUL:
+            if not a[0]:
+                return _form_scale(b, a[1])
+            if not b[0]:
+                return _form_scale(a, b[1])
+            return None
+        if not a[0] and not b[0]:
+            return _form_const(_eval_binary(op, a[1], b[1]))
+        return None
+    return None
+
+
+def _identity_forms() -> List[Form]:
+    forms: List[Form] = [(((r, 1),), 0) for r in range(NUM_REGS)]
+    forms[0] = _form_const(0)
+    return forms
+
+
+def _join_forms(f: Form, g: Form) -> Form:
+    return f if f == g else None
+
+
+@dataclass
+class LoopSummary:
+    """The stride analysis of one analyzable natural loop."""
+
+    loop: NaturalLoop
+    induction: Dict[int, int]  # register -> per-iteration delta (mod 2**64)
+    dest_forms: Dict[int, Form]  # instruction index -> output form
+    once_per_iteration: Set[int]  # blocks dominating every latch
+
+
+def _analyze_loop(
+    program: Program,
+    cfg: ControlFlowGraph,
+    loop: NaturalLoop,
+    dom: Dict[int, int],
+    config: AbsintConfig,
+) -> Optional[LoopSummary]:
+    if not loop.analyzable or len(loop.body) > config.max_loop_blocks:
+        return None
+    body = loop.body
+    header = loop.header
+    order = sorted(body)
+
+    def block_transfer(
+        b: int, forms: List[Form], record: Optional[Dict[int, Form]] = None
+    ) -> List[Form]:
+        forms = list(forms)
+        block = cfg.blocks[b]
+        for i in range(block.start, block.end):
+            instr = program.instructions[i]
+            dest = instr.destination_register()
+            if dest is None:
+                continue
+            out = _form_output(instr, forms, program.address_of(i))
+            if record is not None:
+                record[i] = out
+            forms[dest] = out
+            forms[0] = _form_const(0)
+        return forms
+
+    in_forms: Dict[int, Optional[List[Form]]] = {b: None for b in order}
+    in_forms[header] = _identity_forms()
+    for _ in range(config.max_passes):
+        changed = False
+        for b in order:
+            if b == header:
+                continue
+            joined: Optional[List[Form]] = None
+            for pred in cfg.blocks[b].predecessors:
+                pred_in = in_forms.get(pred) if pred in body else None
+                if pred_in is None:
+                    continue
+                pred_out = block_transfer(pred, pred_in)
+                if joined is None:
+                    joined = pred_out
+                else:
+                    joined = [
+                        _join_forms(f, g) for f, g in zip(joined, pred_out)
+                    ]
+            if joined is not None and joined != in_forms[b]:
+                in_forms[b] = joined
+                changed = True
+        if not changed:
+            break
+    else:
+        return None  # did not settle within the pass budget: no claims
+
+    # Per-iteration register transfer: join of the back-edge states.
+    latch_join: Optional[List[Form]] = None
+    for latch in loop.latches:
+        latch_in = in_forms.get(latch)
+        if latch_in is None:
+            return None
+        latch_out = block_transfer(latch, latch_in)
+        if latch_join is None:
+            latch_join = latch_out
+        else:
+            latch_join = [
+                _join_forms(f, g) for f, g in zip(latch_join, latch_out)
+            ]
+    if latch_join is None:  # pragma: no cover - loops always have latches
+        return None
+    induction: Dict[int, int] = {}
+    for reg in range(1, NUM_REGS):
+        form = latch_join[reg]
+        if form is not None and form[0] == ((reg, 1),):
+            induction[reg] = form[1]
+
+    dest_forms: Dict[int, Form] = {}
+    for b in order:
+        b_in = in_forms[b]
+        if b_in is not None:
+            block_transfer(b, b_in, dest_forms)
+
+    # A block on a cycle that avoids the header (a nested or irreducible
+    # region) may run several times per iteration of *this* loop, so the
+    # per-iteration delta claim does not apply to it.
+    inner = set(body) - {header}
+    cyclic: Set[int] = set()
+    for b in inner:
+        stack = [s for s in cfg.blocks[b].successors if s in inner]
+        seen: Set[int] = set()
+        while stack:
+            node = stack.pop()
+            if node == b:
+                cyclic.add(b)
+                break
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(s for s in cfg.blocks[node].successors if s in inner)
+    once = {
+        b for b in body
+        if b not in cyclic
+        and all(dominates(dom, b, latch) for latch in loop.latches)
+    }
+    return LoopSummary(loop, induction, dest_forms, once)
+
+
+# -- liveness (dead register writes) ----------------------------------------
+
+
+def _dead_writes(program: Program, cfg: ControlFlowGraph) -> List[int]:
+    """Indices of register writes no reachable instruction can read."""
+    instructions = program.instructions
+    reachable = sorted(cfg.reachable)
+    use_mask = [0] * len(cfg.blocks)
+    def_mask = [0] * len(cfg.blocks)
+    for b in reachable:
+        block = cfg.blocks[b]
+        use = 0
+        defined = 0
+        for i in range(block.start, block.end):
+            instr = instructions[i]
+            for src in instr.source_registers():
+                if not defined >> src & 1:
+                    use |= 1 << src
+            dest = instr.destination_register()
+            if dest is not None:
+                defined |= 1 << dest
+        use_mask[b] = use
+        def_mask[b] = defined
+
+    live_in = [0] * len(cfg.blocks)
+    changed = True
+    while changed:
+        changed = False
+        for b in reversed(reachable):
+            block = cfg.blocks[b]
+            live_out = 0
+            for succ in block.successors:
+                if succ in cfg.reachable:
+                    live_out |= live_in[succ]
+            new_in = use_mask[b] | (live_out & ~def_mask[b])
+            if new_in != live_in[b]:
+                live_in[b] = new_in
+                changed = True
+
+    dead: List[int] = []
+    for b in reachable:
+        block = cfg.blocks[b]
+        live = 0
+        for succ in block.successors:
+            if succ in cfg.reachable:
+                live |= live_in[succ]
+        for i in range(block.end - 1, block.start - 1, -1):
+            instr = instructions[i]
+            dest = instr.destination_register()
+            if dest is not None:
+                if not live >> dest & 1:
+                    dead.append(i)
+                live &= ~(1 << dest)
+            for src in instr.source_registers():
+                live |= 1 << src
+    dead.sort()
+    return dead
+
+
+# -- DID depth bounds --------------------------------------------------------
+
+
+def _block_depths(
+    program: Program,
+    cfg: ControlFlowGraph,
+    classes: List[PredClass],
+) -> List[Dict[str, int]]:
+    """Static intra-block dependence-chain depth, with and without VP.
+
+    ``depth`` is the longest def-use chain inside the block; ``depth_vp``
+    cuts chains at producers whose class a stride/last-value predictor
+    captures — the zero-simulation analogue of the paper's DID collapse
+    under value prediction.
+    """
+    depths: List[Dict[str, int]] = []
+    for b in sorted(cfg.reachable):
+        block = cfg.blocks[b]
+        plain: Dict[int, int] = {}
+        cut: Dict[int, int] = {}
+        last_def: Dict[int, int] = {}
+        max_plain = 0
+        max_cut = 0
+        for i in range(block.start, block.end):
+            instr = program.instructions[i]
+            d_plain = 0
+            d_cut = 0
+            for src in instr.source_registers():
+                producer = last_def.get(src)
+                if producer is None:
+                    continue
+                d_plain = max(d_plain, plain[producer])
+                if classes[producer] is PredClass.UNKNOWN:
+                    d_cut = max(d_cut, cut[producer])
+            dest = instr.destination_register()
+            depth_here = d_plain + 1
+            depth_cut_here = d_cut + 1
+            plain[i] = depth_here
+            cut[i] = depth_cut_here
+            if dest is not None:
+                last_def[dest] = i
+            max_plain = max(max_plain, depth_here)
+            max_cut = max(max_cut, depth_cut_here)
+        depths.append({
+            "block": b,
+            "start": block.start,
+            "end": block.end,
+            "depth": max_plain,
+            "depth_vp": max_cut,
+        })
+    return depths
+
+
+# -- the analysis ------------------------------------------------------------
+
+
+@dataclass
+class AbsintAnalysis:
+    """Everything the absint pass derives about one program."""
+
+    program: Program
+    cfg: ControlFlowGraph
+    config: AbsintConfig
+    classes: List[PredClass]
+    claims: List[Claim]
+    loops: List[NaturalLoop]
+    loop_summaries: List[Optional[LoopSummary]]
+    report: Report
+    block_depths: List[Dict[str, int]] = field(default_factory=list)
+
+    def claim_for(self, index: int) -> Optional[Claim]:
+        for claim in self.claims:
+            if claim.index == index:
+                return claim
+        return None
+
+    def summary(self) -> Dict[str, Any]:
+        """Deterministic JSON-ready summary of the analysis."""
+        writers = [
+            i for i, instr in enumerate(self.program.instructions)
+            if instr.destination_register() is not None
+        ]
+        counts = {kind.value: 0 for kind in PredClass}
+        for i in writers:
+            counts[self.classes[i].value] += 1
+        predictable = sum(
+            counts[k.value] for k in
+            (PredClass.CONST, PredClass.STRIDE, PredClass.LAST_VALUE)
+        )
+        return {
+            "program": self.program.name,
+            "n_instructions": len(self.program),
+            "n_register_writers": len(writers),
+            "classes": counts,
+            "predictable_fraction": (
+                round(predictable / len(writers), 4) if writers else 0.0
+            ),
+            "n_loops": len(self.loops),
+            "n_analyzable_loops": sum(
+                1 for s in self.loop_summaries if s is not None
+            ),
+            "did_depth": {
+                "max": max((d["depth"] for d in self.block_depths), default=0),
+                "max_with_vp": max(
+                    (d["depth_vp"] for d in self.block_depths), default=0
+                ),
+                "blocks": self.block_depths,
+            },
+        }
+
+
+def _add_finding(
+    report: Report,
+    program: Program,
+    rule: Rule,
+    index: int,
+    message: str,
+    suppressed: List[int],
+) -> None:
+    codes = program.suppressions.get(index, {})
+    if rule.code in codes or "all" in codes:
+        suppressed[0] += 1
+        return
+    report.add(rule.severity, rule.name, message, index=index, code=rule.code)
+
+
+def analyze_program(
+    program: Program,
+    config: Optional[AbsintConfig] = None,
+    cfg: Optional[ControlFlowGraph] = None,
+) -> AbsintAnalysis:
+    """Run the abstract interpreter over ``program``.
+
+    Returns the full :class:`AbsintAnalysis`; its ``report`` carries the
+    ``RPA*`` diagnostics (suppressions from ``program.suppressions``
+    honored and counted), its ``claims`` the oracle-checkable
+    predictability claims.
+    """
+    if config is None:
+        config = AbsintConfig()
+    config.validate()
+    if cfg is None:
+        cfg = build_cfg(program)
+    report = Report(subject=f"absint {program.name!r}")
+    suppressed = [0]
+
+    intervals = _interval_fixpoint(program, cfg, config)
+    dom = dominator_masks(cfg)
+    loops = find_natural_loops(cfg, dom)
+    innermost = innermost_loop_index(loops)
+    summaries: List[Optional[LoopSummary]] = [
+        _analyze_loop(program, cfg, loop, dom, config) for loop in loops
+    ]
+
+    # Classification.
+    classes = [PredClass.UNKNOWN] * len(program)
+    claims: List[Claim] = []
+    for b in sorted(cfg.reachable):
+        if intervals.in_states[b] is None:
+            continue  # value-unreachable: no executions, no claims
+        block = cfg.blocks[b]
+        loop_index = innermost.get(b)
+        summary = summaries[loop_index] if loop_index is not None else None
+        for i in range(block.start, block.end):
+            instr = program.instructions[i]
+            if instr.destination_register() is None:
+                continue
+            out = intervals.outputs.get(i)
+            if out is not None and out[0] == out[1]:
+                classes[i] = PredClass.CONST
+                claims.append(Claim(i, PredClass.CONST, value=out[0]))
+                continue
+            if summary is None or b not in summary.once_per_iteration:
+                continue
+            form = summary.dest_forms.get(i)
+            if form is None:
+                continue
+            induction = summary.induction
+            if all(reg in induction for reg, _ in form[0]):
+                delta = sum(
+                    coeff * induction[reg] for reg, coeff in form[0]
+                ) % _MOD
+                kind = PredClass.STRIDE if delta else PredClass.LAST_VALUE
+                classes[i] = kind
+                claims.append(Claim(
+                    i, kind, delta=delta,
+                    loop_header=summary.loop.header,
+                ))
+
+    # RPA001: dead register writes.
+    for i in _dead_writes(program, cfg):
+        instr = program.instructions[i]
+        _add_finding(
+            report, program, RPA001, i,
+            f"'{disassemble_instruction(instr)}' writes "
+            f"{register_name(instr.destination_register())}, which no "
+            f"reachable instruction can read",
+            suppressed,
+        )
+
+    # RPA002/RPA003: value-unreachable blocks (CFG-reachable, but the
+    # abstract semantics proves no path ever enters them).
+    for b in sorted(cfg.reachable):
+        if intervals.in_states[b] is not None:
+            continue
+        block = cfg.blocks[b]
+        stores = [
+            i for i in range(block.start, block.end)
+            if program.instructions[i].op is Opcode.ST
+        ]
+        for i in stores:
+            instr = program.instructions[i]
+            _add_finding(
+                report, program, RPA002, i,
+                f"'{disassemble_instruction(instr)}' is never executed: "
+                f"its block [{block.start}, {block.end}) is unreachable "
+                f"under the abstract semantics",
+                suppressed,
+            )
+        if len(stores) < len(block):
+            _add_finding(
+                report, program, RPA003, block.start,
+                f"block [{block.start}, {block.end}) is unreachable "
+                f"under the abstract semantics",
+                suppressed,
+            )
+
+    # RPA004: statically one-sided conditional branches.
+    for i in sorted(intervals.fixed_branches):
+        direction = "taken" if intervals.fixed_branches[i] else "not taken"
+        instr = program.instructions[i]
+        _add_finding(
+            report, program, RPA004, i,
+            f"'{disassemble_instruction(instr)}' is always {direction}: "
+            f"the branch is never a real decision point",
+            suppressed,
+        )
+
+    if suppressed[0]:
+        report.info(
+            "suppressions",
+            f"{suppressed[0]} finding(s) suppressed by program annotations",
+        )
+
+    depths = _block_depths(program, cfg, classes)
+    return AbsintAnalysis(
+        program=program,
+        cfg=cfg,
+        config=config,
+        classes=classes,
+        claims=claims,
+        loops=loops,
+        loop_summaries=summaries,
+        report=report,
+        block_depths=depths,
+    )
+
+
+__all__ = [
+    "AbsintAnalysis",
+    "AbsintConfig",
+    "Claim",
+    "LoopSummary",
+    "PredClass",
+    "analyze_program",
+]

@@ -9,12 +9,20 @@ Subcommands::
                                           # determinism/parallel-safety rules
                                           # over Python sources, plus grid
                                           # admissibility for every experiment
+    repro-lint absint <workload|all|FILE> # abstract interpretation: static
+                                          # value-predictability classes,
+                                          # dead writes, unreachable stores
+    repro-lint fuzz [--n N]               # absint soundness oracle: seeded
+                                          # random programs vs funcsim + the
+                                          # real value predictors
 
-All support ``--json`` (machine-readable diagnostics on stdout) and
-``--fail-on {error,warning,info,never}`` (the severity at which findings
-make the exit status nonzero; default ``error``). Usage errors — bad
-flags, unknown workloads, unreadable paths — exit with code 2 and one
-line on stderr, in ``--json`` mode too: JSON is only ever emitted whole.
+All support ``--json`` (one machine-readable artifact on stdout, the
+same envelope for every pass — see
+:func:`repro.verify.diagnostics.lint_artifact`) and ``--fail-on
+{error,warning,info,never}`` (the severity at which findings make the
+exit status nonzero; default ``error``). Usage errors — bad flags,
+unknown workloads, unreadable paths — exit with code 2 and one line on
+stderr, in ``--json`` mode too: JSON is only ever emitted whole.
 """
 
 from __future__ import annotations
@@ -33,8 +41,9 @@ from repro.fetch import (
     SequentialFetchEngine,
     TraceCacheFetchEngine,
 )
+from repro.isa.program import Program
 from repro.verify.checked import verified_simulations
-from repro.verify.diagnostics import FAIL_ON_CHOICES, Report, reports_to_json
+from repro.verify.diagnostics import FAIL_ON_CHOICES, Report, lint_artifact
 from repro.verify.invariants import lint_did_histogram, lint_fetch_plan
 from repro.verify.program import verify_program
 from repro.vphw import AbstractVPUnit
@@ -135,12 +144,57 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the rule catalog (code, name, severity) and exit",
     )
     common(static)
+
+    absint = sub.add_parser(
+        "absint",
+        help="abstract interpretation over an ISA program: static "
+        "value-predictability classes plus semantic (RPA*) findings",
+    )
+    absint.add_argument(
+        "target", metavar="WORKLOAD|all|FILE",
+        help="a workload name, 'all' for every workload, or a path to "
+        "an assembly file",
+    )
+    absint.add_argument(
+        "--widen-delay", type=positive_int, default=3, metavar="N",
+        help="input refinements per block before widening (default 3)",
+    )
+    absint.add_argument(
+        "--max-passes", type=positive_int, default=64, metavar="N",
+        help="fixpoint iteration cap; exceeding it costs precision, "
+        "never soundness (default 64)",
+    )
+    absint.add_argument(
+        "--max-loop-blocks", type=positive_int, default=64, metavar="N",
+        help="largest loop body the stride analysis attempts (default 64)",
+    )
+    common(absint)
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="check absint soundness: seeded random programs through "
+        "funcsim and the real value predictors",
+    )
+    fuzz.add_argument(
+        "--n", type=positive_int, default=50, metavar="N",
+        help="number of seeded programs (default 50)",
+    )
+    fuzz.add_argument(
+        "--max-instructions", type=positive_int, default=200_000, metavar="N",
+        help="dynamic instruction budget per program (default 200000)",
+    )
+    common(fuzz)
     return parser
 
 
-def _emit(reports: List[Report], as_json: bool) -> None:
+def _emit(
+    reports: List[Report],
+    as_json: bool,
+    command: str,
+    extra: Optional[dict] = None,
+) -> None:
     if as_json:
-        print(reports_to_json(reports))
+        print(lint_artifact(command, reports, extra=extra))
     else:
         for report in reports:
             print(report.format())
@@ -185,7 +239,7 @@ def _cmd_static(args: argparse.Namespace) -> int:
             raise ConfigError(str(exc).strip("'\"")) from None
 
     if args.json:
-        print(reports_to_json(reports))
+        print(lint_artifact("static", reports))
     else:
         for report in reports:
             if report.diagnostics:
@@ -203,7 +257,89 @@ def _cmd_program(args: argparse.Namespace) -> int:
     reports = [
         verify_program(build_workload(name, seed=args.seed)) for name in names
     ]
-    _emit(reports, args.json)
+    _emit(reports, args.json, "program")
+    return _exit_code(reports, args.fail_on)
+
+
+def _absint_targets(args: argparse.Namespace) -> List[Program]:
+    """Resolve the absint target to one or more programs."""
+    import os
+
+    from repro.errors import AssemblyError
+    from repro.isa.assembler import assemble
+
+    if args.target == "all":
+        return [build_workload(name, seed=args.seed) for name in WORKLOAD_NAMES]
+    if args.target in WORKLOAD_NAMES:
+        return [build_workload(args.target, seed=args.seed)]
+    if os.path.isfile(args.target):
+        try:
+            with open(args.target, "r", encoding="utf-8") as handle:
+                source = handle.read()
+            return [assemble(source, name=os.path.basename(args.target))]
+        except (OSError, AssemblyError) as exc:
+            raise ConfigError(f"cannot assemble {args.target}: {exc}") from None
+    raise ConfigError(
+        f"unknown absint target {args.target!r}: expected a workload name "
+        f"({', '.join(WORKLOAD_NAMES)}), 'all', or a readable assembly file"
+    )
+
+
+def _cmd_absint(args: argparse.Namespace) -> int:
+    from repro.verify.absint import AbsintConfig, analyze_program
+
+    config = AbsintConfig(
+        widen_delay=args.widen_delay,
+        max_passes=args.max_passes,
+        max_loop_blocks=args.max_loop_blocks,
+    )
+    config.validate()
+    analyses = [
+        analyze_program(program, config=config)
+        for program in _absint_targets(args)
+    ]
+    reports = [analysis.report for analysis in analyses]
+    summaries = [analysis.summary() for analysis in analyses]
+    if args.json:
+        _emit(reports, True, "absint", extra={"programs": summaries})
+    else:
+        for analysis, summary in zip(analyses, summaries):
+            print(analysis.report.format())
+            classes = summary["classes"]
+            print(
+                "  classes: "
+                + ", ".join(f"{k}={v}" for k, v in sorted(classes.items()))
+                + f"; predictable fraction "
+                f"{summary['predictable_fraction']}; "
+                f"{summary['n_analyzable_loops']}/{summary['n_loops']} "
+                f"loop(s) analyzable; max DID depth "
+                f"{summary['did_depth']['max']} "
+                f"(VP: {summary['did_depth']['max_with_vp']})"
+            )
+    return _exit_code(reports, args.fail_on)
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.verify.fuzz import run_fuzz
+
+    reports = run_fuzz(
+        args.n, seed=args.seed, max_instructions=args.max_instructions
+    )
+    failures = sum(1 for report in reports if not report.ok)
+    if args.json:
+        _emit(reports, True, "fuzz", extra={
+            "n_programs": args.n,
+            "start_seed": args.seed,
+            "n_failures": failures,
+        })
+    else:
+        for report in reports:
+            if not report.ok:
+                print(report.format())
+        print(
+            f"repro-lint fuzz: {args.n} program(s) from seed {args.seed}, "
+            f"{failures} oracle contradiction(s)"
+        )
     return _exit_code(reports, args.fail_on)
 
 
@@ -257,7 +393,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     )
     reports.append(did_report)
 
-    _emit(reports, args.json)
+    _emit(reports, args.json, "run")
     return _exit_code(reports, args.fail_on)
 
 
@@ -268,6 +404,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_program(args)
         if args.command == "static":
             return _cmd_static(args)
+        if args.command == "absint":
+            return _cmd_absint(args)
+        if args.command == "fuzz":
+            return _cmd_fuzz(args)
         return _cmd_run(args)
     except ConfigError as exc:
         # Usage-class failures (unresolvable workloads, unreadable

@@ -188,3 +188,40 @@ class Report:
 def reports_to_json(reports: List[Report]) -> str:
     """Serialize several reports as one JSON document."""
     return json.dumps({"reports": [r.to_json() for r in reports]}, indent=2)
+
+
+# Version of the lint-artifact envelope below. Bump when the shape of
+# the payload (not the diagnostics inside it) changes.
+LINT_SCHEMA_VERSION = 1
+
+
+def lint_artifact(
+    command: str,
+    reports: List[Report],
+    extra: Optional[Dict[str, Any]] = None,
+) -> str:
+    """One machine-readable artifact shared by every ``repro-lint`` pass.
+
+    Follows the determinism conventions of :mod:`repro.exec.artifacts`:
+    sorted keys, a schema version, no timestamps — the artifact depends
+    only on (command, subjects, code version), so CI runs of the same
+    tree produce byte-identical files. The top-level ``reports`` key
+    carries :meth:`Report.to_json` payloads, identical across the
+    ``program``, ``static``, ``absint`` and ``fuzz`` passes; ``extra``
+    merges pass-specific payloads (e.g. absint per-program summaries)
+    alongside it.
+    """
+    payload: Dict[str, Any] = {
+        "schema_version": LINT_SCHEMA_VERSION,
+        "tool": "repro-lint",
+        "command": command,
+        "summary": {
+            "subjects": len(reports),
+            "errors": sum(r.n_errors for r in reports),
+            "warnings": sum(r.n_warnings for r in reports),
+        },
+        "reports": [r.to_json() for r in reports],
+    }
+    if extra:
+        payload.update(extra)
+    return json.dumps(payload, sort_keys=True, indent=2)

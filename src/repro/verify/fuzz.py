@@ -1,0 +1,360 @@
+"""Randomized soundness oracle for the abstract interpreter.
+
+:mod:`repro.verify.absint` makes falsifiable statements: "this
+instruction's results form an arithmetic sequence with delta 8 inside
+its loop". This module is the falsifier. It generates seeded
+random-but-well-formed ISA programs (:func:`generate_fuzz_program`),
+runs them on the real functional simulator, feeds every claimed
+instruction through the real :class:`~repro.vpred.stride.StridePredictor`
+and :class:`~repro.vpred.last_value.LastValuePredictor`, and checks the
+oracle contract (:func:`check_program_claims`):
+
+* ``CONST c`` — every observed value equals ``c``; the stride predictor
+  hits at least ``n - 2`` of the ``n`` executions, last-value at least
+  ``n - 1``;
+* ``STRIDE d`` — consecutive executions within one loop activation
+  differ by exactly ``d`` (mod 2**64); the stride predictor hits at
+  least ``n - 2*A`` executions, where ``A`` is the number of dynamic
+  activations of the claimed loop (the predictor relearns a stride
+  within two updates after each re-entry);
+* ``LAST_VALUE`` — consecutive in-activation values are equal; the
+  last-value predictor hits at least ``n - A``.
+
+A loop *activation* is a dynamic transition into the loop's header
+block from a block outside its body. Any violated check is an ERROR
+diagnostic: the static analysis claimed something the machine
+disproved, which is a bug in :mod:`repro.verify.absint` by definition.
+
+The generated programs are constrained to the territory where absint's
+claims are meaningful and the CFG is exact: no indirect jumps (so
+activations are countable from the static CFG), all registers
+initialized up front (so :func:`repro.verify.program.verify_program`
+passes clean), loads and stores through masked indices into a real
+buffer (legal addresses by construction), and nested counted loops
+with a bounded dynamic trip product (every program halts).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
+
+from repro.funcsim.machine import Machine
+from repro.isa.builder import ProgramBuilder
+from repro.isa.program import Program
+from repro.verify.absint import AbsintAnalysis, PredClass, analyze_program
+from repro.verify.diagnostics import Report
+from repro.vpred.last_value import LastValuePredictor
+from repro.vpred.stride import StridePredictor
+
+_MASK64 = (1 << 64) - 1
+
+# Register pool the generator draws from: temporaries and saved regs
+# only, so the ABI-special registers (zero/ra/sp/gp/at) stay out of the
+# random dataflow.
+_POOL = [
+    "t0", "t1", "t2", "t3", "t4", "t5",
+    "s0", "s1", "s2", "s3", "s4", "s5",
+    "a0", "a1", "a2", "a3",
+]
+# Loop counters and the buffer base live outside the scratch pool so a
+# random body op never clobbers the iteration structure.
+_COUNTERS = [("s6", "s7"), ("s8", "s9"), ("t6", "t7")]
+_BASE_REG = "fp"
+_BUF_WORDS = 64  # power of two so `andi idx, x, 63` is an exact bound
+
+_MAX_DEPTH = 3
+
+
+@dataclass(frozen=True)
+class FuzzShape:
+    """Knobs of one generated program (all drawn from the seed)."""
+
+    depth: int
+    trips: Tuple[int, ...]
+    body_ops: int
+
+
+def _random_shape(rng: random.Random) -> FuzzShape:
+    depth = rng.randint(1, _MAX_DEPTH)
+    trips = tuple(rng.randint(2, 5) for _ in range(depth))
+    return FuzzShape(depth=depth, trips=trips, body_ops=rng.randint(2, 6))
+
+
+def _emit_body_op(b: ProgramBuilder, rng: random.Random) -> None:
+    """One random straight-line operation over the scratch pool."""
+    kind = rng.randrange(12)
+    rd = rng.choice(_POOL)
+    r1 = rng.choice(_POOL)
+    r2 = rng.choice(_POOL)
+    if kind == 0:
+        b.add(rd, r1, r2)
+    elif kind == 1:
+        b.sub(rd, r1, r2)
+    elif kind == 2:
+        b.addi(rd, r1, rng.randint(-64, 64))
+    elif kind == 3:
+        b.muli(rd, r1, rng.randint(0, 8))
+    elif kind == 4:
+        b.slli(rd, r1, rng.randint(0, 4))
+    elif kind == 5:
+        b.mov(rd, r1)
+    elif kind == 6:
+        b.xor(rd, r1, r2)
+    elif kind == 7:
+        b.mul(rd, r1, r2)
+    elif kind == 8:
+        b.srli(rd, r1, rng.randint(0, 8))
+    elif kind == 9:
+        b.rem(rd, r1, r2)  # divisor 0 is defined (yields the dividend)
+    elif kind == 10:
+        # Masked load: idx & 63 scaled to a word offset inside the
+        # buffer — a legal aligned address for any register value.
+        idx = rng.choice(_POOL)
+        b.andi(rd, idx, _BUF_WORDS - 1)
+        b.slli(rd, rd, 2)
+        b.add(rd, rd, _BASE_REG)
+        b.ld(rd, rd)
+    else:
+        idx = rng.choice(_POOL)
+        val = rng.choice(_POOL)
+        b.andi(rd, idx, _BUF_WORDS - 1)
+        b.slli(rd, rd, 2)
+        b.add(rd, rd, _BASE_REG)
+        b.st(val, rd)
+
+
+def _emit_diamond(b: ProgramBuilder, rng: random.Random, tag: str) -> None:
+    """A forward branch over one arm: if (r1 op r2) skip the arm."""
+    branch = rng.choice([b.beq, b.bne, b.blt, b.bge, b.bltu, b.bgeu])
+    r1, r2 = rng.choice(_POOL), rng.choice(_POOL)
+    skip = f"skip_{tag}"
+    branch(r1, r2, skip)
+    for _ in range(rng.randint(1, 2)):
+        _emit_body_op(b, rng)
+    b.label(skip)
+
+
+def _emit_loop(
+    b: ProgramBuilder, rng: random.Random, shape: FuzzShape, level: int
+) -> None:
+    ctr, bound = _COUNTERS[level]
+    trips = shape.trips[level]
+    tag = f"{level}_{b.here():x}"
+    b.li(ctr, 0)
+    b.li(bound, trips)
+    b.label(f"loop_{tag}")
+    for _ in range(shape.body_ops):
+        _emit_body_op(b, rng)
+    if rng.random() < 0.5:
+        _emit_diamond(b, rng, tag)
+    if level + 1 < shape.depth:
+        _emit_loop(b, rng, shape, level + 1)
+    for _ in range(rng.randint(0, 2)):
+        _emit_body_op(b, rng)
+    b.addi(ctr, ctr, 1)
+    b.blt(ctr, bound, f"loop_{tag}")
+
+
+def generate_fuzz_program(seed: int) -> Program:
+    """One seeded random program: well-formed, halting, jump-free.
+
+    The same seed always yields the identical program (the generator
+    draws every choice from one ``random.Random(seed)``), so fuzz
+    failures reproduce from the seed alone.
+    """
+    rng = random.Random(seed)
+    shape = _random_shape(rng)
+    b = ProgramBuilder(f"fuzz-{seed}")
+    b.alloc(_BUF_WORDS, "buf")
+    b.li(_BASE_REG, "buf")
+    for reg in _POOL:
+        b.li(reg, rng.randint(-512, 512))
+    _emit_loop(b, rng, shape, 0)
+    for _ in range(rng.randint(0, 2)):
+        _emit_body_op(b, rng)
+    b.halt()
+    return b.build()
+
+
+def fuzz_corpus(n: int, seed: int = 0) -> Iterator[Tuple[int, Program]]:
+    """``n`` programs for seeds ``seed .. seed+n-1``, lazily."""
+    for s in range(seed, seed + n):
+        yield s, generate_fuzz_program(s)
+
+
+# -- the oracle --------------------------------------------------------------
+
+
+@dataclass
+class _ClaimStats:
+    executions: int = 0
+    stride_hits: int = 0
+    lvp_hits: int = 0
+    activations_seen: int = 0
+    last_value: Optional[int] = None
+    last_activation: int = -1
+    diff_violation: Optional[Tuple[int, int]] = None  # (seq, observed diff)
+    const_violation: Optional[Tuple[int, int]] = None  # (seq, observed value)
+
+
+def check_program_claims(
+    program: Program,
+    analysis: Optional[AbsintAnalysis] = None,
+    max_instructions: int = 200_000,
+) -> Report:
+    """Execute ``program`` and test every absint claim against reality.
+
+    Returns a report whose ERRORs are oracle contradictions — cases
+    where the concrete machine or the real predictors disproved a
+    static claim. A clean report means every claim that executed held.
+    """
+    if analysis is None:
+        analysis = analyze_program(program)
+    cfg = analysis.cfg
+    report = Report(subject=f"absint-oracle {program.name!r}")
+
+    machine = Machine(program)
+    trace = machine.run(max_instructions=max_instructions)
+    if not machine.halted:
+        report.error(
+            "absint-oracle",
+            f"program did not halt within {max_instructions} instructions; "
+            f"claims were not checked",
+        )
+        return report
+
+    claims = {claim.index: claim for claim in analysis.claims}
+    stats: Dict[int, _ClaimStats] = {index: _ClaimStats() for index in claims}
+    # Loop bodies for activation counting, keyed by header block.
+    bodies: Dict[int, FrozenSet[int]] = {
+        loop.header: loop.body for loop in analysis.loops
+    }
+    activation_count: Dict[int, int] = {header: 0 for header in bodies}
+
+    stride_pred = StridePredictor()
+    lvp = LastValuePredictor()
+
+    prev_block: Optional[int] = None
+    for record in trace.records:
+        index = program.index_of(record.pc)
+        block = cfg.block_of[index]
+        if block in bodies and (
+            prev_block is None or prev_block not in bodies[block]
+        ):
+            activation_count[block] += 1
+        prev_block = block
+
+        claim = claims.get(index)
+        if claim is not None and record.value is not None:
+            st = stats[index]
+            value = record.value
+            st.executions += 1
+            if stride_pred.peek(record.pc) == value:
+                st.stride_hits += 1
+            if lvp.peek(record.pc) == value:
+                st.lvp_hits += 1
+            stride_pred.update(record.pc, value)
+            lvp.update(record.pc, value)
+
+            if claim.kind is PredClass.CONST:
+                if value != claim.value and st.const_violation is None:
+                    st.const_violation = (record.seq, value)
+            else:
+                header = claim.loop_header
+                assert header is not None  # loop claims carry their header
+                activation = activation_count[header]
+                if activation != st.last_activation:
+                    st.activations_seen += 1
+                    st.last_activation = activation
+                elif st.last_value is not None:
+                    diff = (value - st.last_value) & _MASK64
+                    if diff != claim.delta and st.diff_violation is None:
+                        st.diff_violation = (record.seq, diff)
+            st.last_value = value
+
+    for index in sorted(claims):
+        claim = claims[index]
+        st = stats[index]
+        n = st.executions
+        if n == 0:
+            continue  # the claim never executed: vacuously unrefuted
+        if claim.kind is PredClass.CONST:
+            if st.const_violation is not None:
+                seq, value = st.const_violation
+                report.error(
+                    "absint-oracle",
+                    f"claimed const {claim.value} but saw {value} at seq "
+                    f"{seq}",
+                    index=index,
+                )
+            if st.stride_hits < n - 2:
+                report.error(
+                    "absint-oracle",
+                    f"const claim: stride predictor hit {st.stride_hits} of "
+                    f"{n} executions (contract requires >= {n - 2})",
+                    index=index,
+                )
+            if st.lvp_hits < n - 1:
+                report.error(
+                    "absint-oracle",
+                    f"const claim: last-value predictor hit {st.lvp_hits} of "
+                    f"{n} executions (contract requires >= {n - 1})",
+                    index=index,
+                )
+            continue
+        a = st.activations_seen
+        if st.diff_violation is not None:
+            seq, diff = st.diff_violation
+            report.error(
+                "absint-oracle",
+                f"claimed in-activation delta {claim.delta} but saw diff "
+                f"{diff} at seq {seq}",
+                index=index,
+            )
+        if claim.kind is PredClass.STRIDE and st.stride_hits < n - 2 * a:
+            report.error(
+                "absint-oracle",
+                f"stride claim (delta {claim.delta}): predictor hit "
+                f"{st.stride_hits} of {n} executions across {a} "
+                f"activation(s) (contract requires >= {n - 2 * a})",
+                index=index,
+            )
+        if claim.kind is PredClass.LAST_VALUE and st.lvp_hits < n - a:
+            report.error(
+                "absint-oracle",
+                f"last-value claim: predictor hit {st.lvp_hits} of {n} "
+                f"executions across {a} activation(s) (contract requires "
+                f">= {n - a})",
+                index=index,
+            )
+
+    checked = sum(1 for st in stats.values() if st.executions)
+    report.info(
+        "absint-oracle",
+        f"checked {checked} of {len(claims)} claim(s) over "
+        f"{len(trace.records)} dynamic instruction(s)",
+    )
+    return report
+
+
+def run_fuzz(
+    n: int, seed: int = 0, max_instructions: int = 200_000
+) -> List[Report]:
+    """The full fuzz campaign: ``n`` seeded programs through the oracle."""
+    reports: List[Report] = []
+    for _, program in fuzz_corpus(n, seed):
+        reports.append(
+            check_program_claims(program, max_instructions=max_instructions)
+        )
+    return reports
+
+
+__all__ = [
+    "FuzzShape",
+    "check_program_claims",
+    "fuzz_corpus",
+    "generate_fuzz_program",
+    "run_fuzz",
+]

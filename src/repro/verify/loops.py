@@ -1,0 +1,140 @@
+"""Dominators and natural loops over the program CFG.
+
+The abstract interpreter (:mod:`repro.verify.absint`) needs two
+structural facts the plain CFG does not provide: *dominance* (to prove
+an instruction executes exactly once per loop iteration) and *natural
+loops* (to give "per iteration" a meaning). Both are computed with the
+classic iterative algorithms over the reachable subgraph; dominator
+sets are kept as bitmasks, which is exact and fast at the scale of the
+workload kernels (tens of basic blocks).
+
+A loop is *analyzable* when its body can only be entered through the
+header (every non-header body block has all its predecessors inside the
+body). Irreducible regions — reachable here only via the conservative
+indirect-jump edges — are simply skipped by the stride analysis, which
+keeps it sound: no claim is ever made about a loop whose iteration
+structure is unclear.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.verify.cfg import ControlFlowGraph
+
+
+def dominator_masks(cfg: ControlFlowGraph) -> Dict[int, int]:
+    """Block index -> bitmask of the blocks that dominate it.
+
+    Only CFG-reachable blocks appear; the entry block dominates itself.
+    """
+    reachable = cfg.reachable
+    entry = cfg.block_of[cfg.entry_index]
+    all_mask = 0
+    for b in reachable:
+        all_mask |= 1 << b
+    dom: Dict[int, int] = {b: all_mask for b in reachable}
+    dom[entry] = 1 << entry
+    order = sorted(reachable)
+    changed = True
+    while changed:
+        changed = False
+        for b in order:
+            if b == entry:
+                continue
+            mask = all_mask
+            for pred in cfg.blocks[b].predecessors:
+                if pred in reachable:
+                    mask &= dom[pred]
+            mask |= 1 << b
+            if mask != dom[b]:
+                dom[b] = mask
+                changed = True
+    return dom
+
+
+def dominates(dom: Dict[int, int], a: int, b: int) -> bool:
+    """True when block ``a`` dominates block ``b`` (both reachable)."""
+    return bool(dom[b] >> a & 1)
+
+
+@dataclass(frozen=True)
+class NaturalLoop:
+    """One natural loop: back edges ``latch -> header`` plus their body.
+
+    ``analyzable`` means the body is single-entry (only reachable
+    through the header), which the stride analysis requires.
+    """
+
+    header: int
+    body: FrozenSet[int]
+    latches: Tuple[int, ...]
+    analyzable: bool
+
+    def __contains__(self, block: int) -> bool:
+        return block in self.body
+
+
+def find_natural_loops(
+    cfg: ControlFlowGraph, dom: Optional[Dict[int, int]] = None
+) -> List[NaturalLoop]:
+    """All natural loops, loops with a shared header merged, sorted by
+    (body size, header index) so inner loops come first."""
+    if dom is None:
+        dom = dominator_masks(cfg)
+    reachable = cfg.reachable
+    bodies: Dict[int, set] = {}
+    latches: Dict[int, List[int]] = {}
+    for b in sorted(reachable):
+        for succ in cfg.blocks[b].successors:
+            if succ in reachable and dominates(dom, succ, b):
+                # Back edge b -> succ: collect the natural loop body.
+                header = succ
+                body = bodies.setdefault(header, {header})
+                latches.setdefault(header, []).append(b)
+                stack = [b]
+                while stack:
+                    node = stack.pop()
+                    if node in body:
+                        continue
+                    body.add(node)
+                    for pred in cfg.blocks[node].predecessors:
+                        if pred in reachable:
+                            stack.append(pred)
+    loops: List[NaturalLoop] = []
+    for header in sorted(bodies):
+        body = bodies[header]
+        analyzable = all(
+            all(
+                pred in body
+                for pred in cfg.blocks[block].predecessors
+                if pred in reachable
+            )
+            for block in body
+            if block != header
+        )
+        loops.append(
+            NaturalLoop(
+                header=header,
+                body=frozenset(body),
+                latches=tuple(sorted(set(latches[header]))),
+                analyzable=analyzable,
+            )
+        )
+    loops.sort(key=lambda loop: (len(loop.body), loop.header))
+    return loops
+
+
+def innermost_loop_index(loops: List[NaturalLoop]) -> Dict[int, int]:
+    """Block index -> index (into ``loops``) of its innermost loop.
+
+    ``loops`` must be sorted smallest-body-first, as
+    :func:`find_natural_loops` returns them.
+    """
+    innermost: Dict[int, int] = {}
+    for i, loop in enumerate(loops):
+        for block in loop.body:
+            if block not in innermost:
+                innermost[block] = i
+    return innermost

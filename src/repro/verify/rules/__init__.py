@@ -19,6 +19,10 @@ Code families:
 * ``RPS*`` — service handlers (:mod:`repro.verify.rules.serve`):
   serve-daemon handler paths must not block without a bound (sleeps,
   subprocess spawns, timeout-less socket reads).
+* ``RPA*`` — abstract interpretation (:mod:`repro.verify.rules.absint`):
+  semantic findings over ISA programs — dead register writes, stores in
+  value-unreachable code, statically one-sided branches — raised by the
+  ``repro-lint absint`` pass of :mod:`repro.verify.absint`.
 
 Findings are suppressed in source with a trailing
 ``# repro-lint: disable=CODE[,CODE...]`` comment on the offending line,
@@ -47,7 +51,7 @@ class Rule:
     name: str
     severity: Severity
     summary: str
-    scope: str  # "source" (AST pass) or "grid" (admissibility pass)
+    scope: str  # "source" (AST), "grid" (admissibility) or "program" (absint)
     checker: Optional[Checker] = None
 
 
@@ -57,7 +61,7 @@ _REGISTRY: Dict[str, Rule] = {}
 def register(rule: Rule) -> Rule:
     if rule.code in _REGISTRY:
         raise ValueError(f"duplicate rule code {rule.code}")
-    if rule.scope not in ("source", "grid"):
+    if rule.scope not in ("source", "grid", "program"):
         raise ValueError(f"rule {rule.code} has unknown scope {rule.scope!r}")
     # Registration at import time is identical in every process — the
     # registry never diverges between the parent and pool workers.
@@ -80,6 +84,11 @@ def source_rule(
 def grid_rule(code: str, name: str, severity: Severity, summary: str) -> Rule:
     """Register a grid-admissibility rule (no AST checker)."""
     return register(Rule(code, name, severity, summary, "grid"))
+
+
+def program_rule(code: str, name: str, severity: Severity, summary: str) -> Rule:
+    """Register an ISA-program rule (the absint pass, no AST checker)."""
+    return register(Rule(code, name, severity, summary, "program"))
 
 
 def get_rule(code: str) -> Rule:
@@ -105,6 +114,7 @@ from repro.verify.rules import determinism as determinism  # noqa: E402,F401
 from repro.verify.rules import parallel as parallel  # noqa: E402,F401
 from repro.verify.rules import grids as grids  # noqa: E402,F401
 from repro.verify.rules import serve as serve  # noqa: E402,F401
+from repro.verify.rules import absint as absint  # noqa: E402,F401
 
 __all__ = [
     "Checker",
@@ -112,6 +122,7 @@ __all__ = [
     "all_rules",
     "get_rule",
     "grid_rule",
+    "program_rule",
     "register",
     "source_rule",
     "source_rules",

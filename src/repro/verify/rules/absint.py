@@ -1,0 +1,50 @@
+"""Abstract-interpretation rules (``RPA*``).
+
+These codes are raised by :mod:`repro.verify.absint`, which runs a
+sound abstract interpreter (constants x intervals x strided sequences)
+over the CFG of an ISA program. Unlike the syntactic checks of
+:mod:`repro.verify.program`, every RPA finding rests on the abstract
+*semantics* of the program:
+
+* ``RPA001`` — a register write whose value no reachable instruction
+  can ever read (backward liveness over the CFG). In a workload kernel
+  this is a latent divergence: the generator describes a computation
+  the predictors never actually see.
+* ``RPA002`` — a store inside a block the abstract semantics proves
+  unreachable (a branch is statically one-sided), i.e. the data the
+  kernel claims to write is never written.
+* ``RPA003`` — non-store instructions in value-unreachable blocks
+  (advisory; the block as a whole is reported once).
+* ``RPA004`` — a conditional branch whose direction is statically
+  fixed: it consumes a branch-predictor slot without ever being a real
+  decision point.
+
+Findings are suppressed per instruction with a justifying comment via
+:meth:`repro.isa.builder.ProgramBuilder.suppress` (recorded in
+``Program.suppressions``), mirroring the ``# repro-lint: disable=``
+source-comment mechanism of the Python-AST pass.
+"""
+
+from __future__ import annotations
+
+from repro.verify.diagnostics import Severity
+from repro.verify.rules import program_rule
+
+RPA001 = program_rule(
+    "RPA001", "dead-register-write", Severity.WARNING,
+    "register write that no reachable instruction can ever read",
+)
+RPA002 = program_rule(
+    "RPA002", "unreachable-store", Severity.WARNING,
+    "store inside a block the abstract semantics proves unreachable",
+)
+RPA003 = program_rule(
+    "RPA003", "value-unreachable", Severity.INFO,
+    "code in a block the abstract semantics proves unreachable",
+)
+RPA004 = program_rule(
+    "RPA004", "fixed-branch", Severity.WARNING,
+    "conditional branch whose direction is statically fixed",
+)
+
+__all__ = ["RPA001", "RPA002", "RPA003", "RPA004"]

@@ -9,7 +9,9 @@ paper's machine invariants:
   Reuses :func:`repro.verify.invariants.lint_fetch_geometry`.
 * ``RPG002`` — parameter ranges: trace lengths, taken-branch caps,
   bank counts and penalties must be in the ranges the machine-config
-  validators (:meth:`IdealConfig.validate` et al.) accept.
+  validators (:meth:`IdealConfig.validate` et al.) accept; likewise the
+  abstract-interpretation knobs (``widen_delay``, ``max_passes``,
+  ``max_loop_blocks``) must satisfy ``AbsintConfig.validate()``.
 * ``RPG003`` — workload resolution: every ``workload`` kwarg must name
   a registered benchmark.
 * ``RPG004`` — cell identity: cell ids must be unique within a grid
@@ -114,6 +116,18 @@ def _check_ranges(report: Report, cell_id: str, kwargs: Dict[str, Any]) -> None:
     if n_banks is not None and (not isinstance(n_banks, int) or n_banks < 1):
         _add(report, RPG002,
              f"cell {cell_id!r}: n_banks must be >= 1, got {n_banks!r}")
+    # Abstract-interpretation knobs (repro.verify.absint.AbsintConfig):
+    # any grid that parameterizes the absint pass must stay inside the
+    # ranges AbsintConfig.validate() accepts, checked here without
+    # constructing a config (no analysis is run at lint time).
+    for key in ("widen_delay", "max_passes", "max_loop_blocks"):
+        value = kwargs.get(key)
+        if value is not None and (
+            not isinstance(value, int) or isinstance(value, bool) or value < 1
+        ):
+            _add(report, RPG002,
+                 f"cell {cell_id!r}: {key} must be an integer >= 1, "
+                 f"got {value!r}")
 
 
 def _check_workload(report: Report, cell_id: str, kwargs: Dict[str, Any]) -> None:

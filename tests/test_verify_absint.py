@@ -1,0 +1,395 @@
+"""Tests for the abstract interpreter (repro.verify.absint + loops)."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError, ProgramError
+from repro.isa.builder import ProgramBuilder
+from repro.verify import cli
+from repro.verify.absint import (
+    AbsintConfig,
+    PredClass,
+    _TOP,
+    _interval_output,
+    _join,
+    _widen,
+    analyze_program,
+)
+from repro.verify.cfg import build_cfg
+from repro.verify.loops import (
+    dominator_masks,
+    dominates,
+    find_natural_loops,
+    innermost_loop_index,
+)
+from repro.workloads import WORKLOAD_NAMES, build_workload
+
+MASK64 = (1 << 64) - 1
+
+
+def counted_loop(body=None, trips=10):
+    """li t0,0; li t1,trips; loop: <body>; t0+=1; blt -> loop; halt."""
+    b = ProgramBuilder("loop")
+    b.li("t0", 0)
+    b.li("t1", trips)
+    b.label("loop")
+    if body is not None:
+        body(b)
+    b.addi("t0", "t0", 1)
+    b.blt("t0", "t1", "loop")
+    b.halt()
+    return b
+
+
+# -- interval domain ---------------------------------------------------------
+
+
+def test_join_and_widen():
+    assert _join((3, 5), (10, 12)) == (3, 12)
+    assert _widen((3, 5), (3, 7)) == (3, MASK64)
+    assert _widen((3, 5), (1, 5)) == (0, 5)
+    assert _widen((3, 5), (3, 5)) == (3, 5)
+
+
+def test_interval_transfer_wraps_to_top():
+    from repro.isa.instruction import Instruction
+    from repro.isa.opcodes import Opcode
+
+    add = Instruction(Opcode.ADDI, rd=4, rs1=5, imm=10)
+    out = _interval_output(add, lambda r: (MASK64 - 5, MASK64))
+    assert out == _TOP  # would wrap: must not produce a wrapped range
+    out = _interval_output(add, lambda r: (100, 200))
+    assert out == (110, 210)
+
+
+# -- dominators and loops ----------------------------------------------------
+
+
+def test_dominators_and_natural_loop():
+    b = counted_loop()
+    cfg = build_cfg(b.build())
+    dom = dominator_masks(cfg)
+    entry = cfg.block_of[cfg.entry_index]
+    for block in cfg.reachable:
+        assert dominates(dom, entry, block)
+    loops = find_natural_loops(cfg, dom)
+    assert len(loops) == 1
+    loop = loops[0]
+    assert loop.analyzable
+    assert loop.header in loop.body
+    assert all(loop.header in {s for s in cfg.blocks[la].successors}
+               for la in loop.latches)
+
+
+def test_innermost_loop_of_nested_loops():
+    b = ProgramBuilder("nested")
+    b.li("t0", 0)
+    b.li("t2", 3)
+    b.label("outer")
+    b.li("t1", 0)
+    b.label("inner")
+    b.addi("t1", "t1", 1)
+    b.blt("t1", "t2", "inner")
+    b.addi("t0", "t0", 1)
+    b.blt("t0", "t2", "outer")
+    b.halt()
+    cfg = build_cfg(b.build())
+    loops = find_natural_loops(cfg)
+    assert len(loops) == 2
+    inner_map = innermost_loop_index(loops)
+    # The smaller (inner) loop comes first and owns its blocks.
+    assert len(loops[0].body) < len(loops[1].body)
+    for block in loops[0].body:
+        assert inner_map[block] == 0
+
+
+# -- classification ----------------------------------------------------------
+
+
+def test_straightline_constants_are_const():
+    b = ProgramBuilder("straight")
+    b.li("t0", 41)
+    b.addi("t1", "t0", 1)
+    b.halt()
+    analysis = analyze_program(b.build())
+    assert analysis.classes[0] is PredClass.CONST
+    assert analysis.classes[1] is PredClass.CONST
+    assert analysis.claim_for(1).value == 42
+
+
+def test_loop_counter_is_stride_one():
+    b = counted_loop()
+    analysis = analyze_program(b.build())
+    # instr 2 is `addi t0, t0, 1` inside the loop
+    assert analysis.classes[2] is PredClass.STRIDE
+    assert analysis.claim_for(2).delta == 1
+
+
+def test_derived_affine_values_share_scaled_stride():
+    def body(b):
+        b.slli("t2", "t0", 3)      # 8 * i
+        b.add("t3", "t2", "t1")    # 8 * i + const
+    b = counted_loop(body)
+    analysis = analyze_program(b.build())
+    assert analysis.classes[2] is PredClass.STRIDE
+    assert analysis.claim_for(2).delta == 8
+    assert analysis.classes[3] is PredClass.STRIDE
+    assert analysis.claim_for(3).delta == 8
+
+
+def test_loop_invariant_value_is_last_value():
+    b = ProgramBuilder("invariant")
+    b.li("t0", 0)
+    b.li("t1", 10)
+    b.ld("t2", "t1")               # t2 statically unknown, loop-invariant
+    b.label("loop")
+    b.mov("t3", "t2")
+    b.addi("t0", "t0", 1)
+    b.blt("t0", "t1", "loop")
+    b.st("t3", "t1")
+    b.halt()
+    analysis = analyze_program(b.build())
+    claim = analysis.claim_for(3)
+    assert analysis.classes[3] is PredClass.LAST_VALUE
+    assert claim.delta == 0
+
+
+def test_load_dependent_value_is_unknown():
+    def body(b):
+        b.slli("t2", "t0", 2)
+        b.add("t2", "t2", "t1")
+        b.ld("t3", "t2")
+        b.add("t4", "t3", "t0")
+        b.st("t4", "t2")
+    b = counted_loop(body)
+    analysis = analyze_program(b.build())
+    loads = [i for i, ins in enumerate(b.build().instructions)
+             if ins.op.value == "ld"]
+    assert analysis.classes[loads[0]] is PredClass.UNKNOWN
+    assert analysis.classes[loads[0] + 1] is PredClass.UNKNOWN  # add t4,t3,t0
+
+
+def test_conditionally_executed_block_gets_no_stride_claim():
+    def body(b):
+        b.bge("t0", "t1", "skip")  # never taken, but not provably once/iter
+        b.andi("t5", "t0", 1)
+        b.beq("t5", "zero", "skip")
+        b.slli("t2", "t0", 1)      # runs every *other* iteration
+        b.label("skip")
+    b = counted_loop(body)
+    program = b.build()
+    analysis = analyze_program(program)
+    slli = next(i for i, ins in enumerate(program.instructions)
+                if ins.op.value == "slli")
+    assert analysis.classes[slli] is PredClass.UNKNOWN
+
+
+# -- findings ----------------------------------------------------------------
+
+
+def test_dead_register_write_flagged_and_suppressible():
+    b = ProgramBuilder("deadwrite")
+    b.li("t0", 1)
+    b.li("t1", 2)
+    dead = b.add("t2", "t0", "t1")   # t2 never read
+    b.st("t0", "t1")
+    b.halt()
+    analysis = analyze_program(b.build())
+    codes = [d.code for d in analysis.report.diagnostics]
+    assert "RPA001" in codes
+    assert analysis.report.diagnostics[0].index == dead
+
+    b.suppress(dead, "RPA001", "intentional: exercised by the test")
+    suppressed = analyze_program(b.build())
+    assert all(d.code != "RPA001" for d in suppressed.report.diagnostics)
+    assert any("suppressed" in d.message
+               for d in suppressed.report.diagnostics)
+
+
+def test_suppress_requires_justification_and_valid_index():
+    b = ProgramBuilder("strict")
+    i = b.li("t0", 1)
+    with pytest.raises(ProgramError):
+        b.suppress(i, "RPA001", "   ")
+    with pytest.raises(ProgramError):
+        b.suppress(99, "RPA001", "out of range")
+
+
+def test_unreachable_store_and_fixed_branch():
+    b = ProgramBuilder("onesided")
+    b.li("t0", 1)
+    b.li("t1", 2)
+    b.blt("t0", "t1", "skip")      # always taken
+    b.st("t0", "t1")               # value-unreachable store
+    b.label("skip")
+    b.halt()
+    analysis = analyze_program(b.build())
+    codes = {d.code for d in analysis.report.diagnostics}
+    assert "RPA002" in codes       # the store is proven dead
+    assert "RPA004" in codes       # the branch is statically one-sided
+
+
+def test_always_fallthrough_branch_flagged():
+    b = ProgramBuilder("neverjump")
+    b.li("t0", 5)
+    b.li("t1", 2)
+    b.blt("t0", "t1", "skip")      # never taken
+    b.nop()
+    b.label("skip")
+    b.halt()
+    analysis = analyze_program(b.build())
+    fixed = [d for d in analysis.report.diagnostics if d.code == "RPA004"]
+    assert len(fixed) == 1
+    assert "not taken" in fixed[0].message
+
+
+def test_real_branch_not_flagged():
+    b = counted_loop()
+    analysis = analyze_program(b.build())
+    assert all(d.code != "RPA004" for d in analysis.report.diagnostics)
+
+
+# -- DID depth bounds --------------------------------------------------------
+
+
+def test_did_depth_collapses_under_vp():
+    b = ProgramBuilder("chain")
+    b.li("t0", 0)
+    b.li("t1", 100)
+    b.label("loop")
+    b.addi("t2", "t0", 1)          # stride: chain cut here under VP
+    b.add("t3", "t2", "t2")
+    b.add("t4", "t3", "t3")
+    b.addi("t0", "t0", 1)
+    b.blt("t0", "t1", "loop")
+    b.halt()
+    analysis = analyze_program(b.build())
+    summary = analysis.summary()
+    assert summary["did_depth"]["max"] >= 3
+    assert summary["did_depth"]["max_with_vp"] < summary["did_depth"]["max"]
+
+
+# -- config ------------------------------------------------------------------
+
+
+def test_config_validation():
+    with pytest.raises(ConfigError):
+        AbsintConfig(widen_delay=0).validate()
+    with pytest.raises(ConfigError):
+        AbsintConfig(max_passes=-1).validate()
+    with pytest.raises(ConfigError):
+        AbsintConfig(max_loop_blocks=0).validate()
+    AbsintConfig().validate()
+
+
+def test_tiny_pass_budget_stays_sound():
+    # Exhausting the fixpoint budget degrades to top: no claims beyond
+    # what straight-line constants give, but never a crash or a lie.
+    def body(b):
+        b.slli("t2", "t0", 3)
+    b = counted_loop(body)
+    program = b.build()
+    tight = analyze_program(program, config=AbsintConfig(max_passes=1))
+    normal = analyze_program(program)
+    tight_claims = {c.index for c in tight.claims}
+    normal_claims = {c.index for c in normal.claims}
+    assert tight_claims <= normal_claims
+
+
+# -- workloads stay clean ----------------------------------------------------
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_shipped_workloads_lint_clean(name):
+    analysis = analyze_program(build_workload(name, seed=0))
+    report = analysis.report
+    assert report.n_errors == 0 and report.n_warnings == 0, report.format()
+    # Every workload has at least one analyzable loop and at least one
+    # statically predictable instruction — otherwise fig 3.x comparisons
+    # against static fractions would be vacuous.
+    summary = analysis.summary()
+    assert summary["n_analyzable_loops"] >= 1
+    assert summary["predictable_fraction"] > 0
+
+
+# -- CLI ---------------------------------------------------------------------
+
+
+def test_cli_absint_single_workload(capsys):
+    assert cli.main(["absint", "compress"]) == 0
+    out = capsys.readouterr().out
+    assert "absint 'compress'" in out
+    assert "predictable fraction" in out
+
+
+def test_cli_absint_all_fail_on_warning(capsys):
+    assert cli.main(["absint", "all", "--fail-on", "warning"]) == 0
+    out = capsys.readouterr().out
+    assert out.count("0 error(s)") == 8
+
+
+def test_cli_absint_json_envelope(capsys):
+    assert cli.main(["absint", "gcc", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["tool"] == "repro-lint"
+    assert payload["command"] == "absint"
+    assert payload["schema_version"] == 1
+    [report] = payload["reports"]
+    assert report["subject"] == "absint 'gcc'"
+    [program] = payload["programs"]
+    assert program["program"] == "gcc"
+    assert set(program["classes"]) == {
+        "const", "stride", "last_value", "unknown"
+    }
+
+
+def test_cli_absint_assembly_file(tmp_path, capsys):
+    source = "li t0, 7\nhalt\n"
+    path = tmp_path / "tiny.s"
+    path.write_text(source)
+    assert cli.main(["absint", str(path), "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    [program] = payload["programs"]
+    assert program["classes"]["const"] == 1
+
+
+def test_cli_absint_unknown_target_exits_2(capsys):
+    assert cli.main(["absint", "no-such-thing"]) == 2
+    captured = capsys.readouterr()
+    assert captured.out == ""
+    assert "unknown absint target" in captured.err
+
+
+def test_cli_absint_knobs_validated(capsys):
+    # argparse rejects non-positive knob values before analysis runs.
+    with pytest.raises(SystemExit):
+        cli.main(["absint", "gcc", "--widen-delay", "0"])
+
+
+def test_cli_program_json_uses_shared_envelope(capsys):
+    assert cli.main(["program", "li", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["command"] == "program"
+    assert payload["summary"]["subjects"] == 1
+
+
+def test_cli_static_json_uses_shared_envelope(tmp_path, capsys):
+    path = tmp_path / "clean.py"
+    path.write_text("x = 1\n")
+    assert cli.main(["static", str(path), "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["command"] == "static"
+    assert payload["summary"]["errors"] == 0
+
+
+def test_grid_lint_checks_absint_knobs():
+    from repro.verify.rules.grids import _check_ranges
+    from repro.verify.diagnostics import Report
+
+    report = Report(subject="knobs")
+    _check_ranges(report, "cell", {"widen_delay": 0})
+    _check_ranges(report, "cell", {"max_passes": "many"})
+    _check_ranges(report, "cell", {"max_loop_blocks": 16})
+    findings = [d for d in report.diagnostics if d.code == "RPG002"]
+    assert len(findings) == 2

@@ -1,0 +1,154 @@
+"""The absint soundness fuzz suite (repro.verify.fuzz).
+
+This is the acceptance gate of the abstract interpreter: hundreds of
+seeded random programs are executed on the real functional simulator
+and every static predictability claim is scored against the real
+stride / last-value predictors. One violated claim fails the suite.
+"""
+
+import json
+
+import pytest
+
+from repro.isa.assembler import assemble, disassemble
+from repro.verify import cli
+from repro.verify.absint import PredClass, analyze_program
+from repro.verify.fuzz import (
+    check_program_claims,
+    fuzz_corpus,
+    generate_fuzz_program,
+)
+from repro.verify.program import verify_program
+
+# 500+ seeded programs flow through the suite: every one is checked for
+# well-formedness and assembler round-trip, and every one runs through
+# the full funcsim + predictor oracle.
+N_PROGRAMS = 500
+BATCH = 50  # programs per parametrized case, so failures name a seed range
+
+
+def test_generator_is_deterministic():
+    a = generate_fuzz_program(1234)
+    b = generate_fuzz_program(1234)
+    assert a.instructions == b.instructions
+    assert a.data == b.data
+    c = generate_fuzz_program(1235)
+    assert c.instructions != a.instructions
+
+
+@pytest.mark.parametrize("start", range(0, N_PROGRAMS, BATCH))
+def test_fuzz_programs_verify_clean_and_round_trip(start):
+    for seed, program in fuzz_corpus(BATCH, start):
+        report = verify_program(program)
+        assert report.n_errors == 0 and report.n_warnings == 0, (
+            f"seed {seed}:\n{report.format()}"
+        )
+        # Disassemble -> reassemble must reproduce the instruction
+        # stream exactly (the text form drops only the .data image).
+        text = disassemble(program)
+        back = assemble(text, name=program.name)
+        assert back.instructions == program.instructions, f"seed {seed}"
+
+
+@pytest.mark.parametrize("start", range(0, N_PROGRAMS, BATCH))
+def test_fuzz_oracle_finds_no_contradiction(start):
+    for seed, program in fuzz_corpus(BATCH, start):
+        report = check_program_claims(program)
+        assert report.ok, f"seed {seed}:\n{report.format()}"
+
+
+def test_fuzz_programs_actually_make_claims():
+    # The campaign is only meaningful if the generator produces programs
+    # absint can say something about: insist on a healthy claim rate.
+    total_claims = 0
+    loop_claims = 0
+    for _, program in fuzz_corpus(50, 0):
+        analysis = analyze_program(program)
+        total_claims += len(analysis.claims)
+        loop_claims += sum(
+            1 for c in analysis.claims
+            if c.kind in (PredClass.STRIDE, PredClass.LAST_VALUE)
+        )
+    assert total_claims >= 500
+    assert loop_claims >= 50
+
+
+def test_oracle_catches_a_planted_false_claim():
+    # Self-test: corrupt one real stride claim's delta and check the
+    # oracle refuses it. Without this, a vacuous oracle (one that checks
+    # nothing) would pass the whole campaign.
+    from repro.verify.absint import Claim
+
+    program = None
+    analysis = None
+    victim = None
+    for _, candidate in fuzz_corpus(50, 0):
+        a = analyze_program(candidate)
+        strides = [c for c in a.claims if c.kind is PredClass.STRIDE]
+        live = [c for c in strides if _claim_executes(candidate, c)]
+        if live:
+            program, analysis, victim = candidate, a, live[0]
+            break
+    assert victim is not None, "no executing stride claim in 50 seeds"
+    forged = Claim(
+        index=victim.index,
+        kind=victim.kind,
+        delta=(victim.delta + 1) & ((1 << 64) - 1),
+        loop_header=victim.loop_header,
+    )
+    analysis.claims[:] = [
+        forged if c.index == victim.index else c for c in analysis.claims
+    ]
+    report = check_program_claims(program, analysis=analysis)
+    assert not report.ok
+    assert any("delta" in d.message for d in report.diagnostics
+               if d.severity.value == "error")
+
+
+def _claim_executes(program, claim) -> bool:
+    from repro.funcsim.machine import Machine
+
+    trace = Machine(program).run(max_instructions=200_000)
+    pc = program.address_of(claim.index)
+    return sum(1 for record in trace.records if record.pc == pc) >= 3
+
+
+def test_oracle_catches_a_planted_false_const():
+    from repro.verify.absint import Claim
+
+    program = generate_fuzz_program(0)
+    analysis = analyze_program(program)
+    consts = [c for c in analysis.claims if c.kind is PredClass.CONST]
+    assert consts
+    victim = consts[0]
+    forged = Claim(index=victim.index, kind=PredClass.CONST,
+                   value=(victim.value + 1) & ((1 << 64) - 1))
+    analysis.claims[:] = [
+        forged if c.index == victim.index else c for c in analysis.claims
+    ]
+    report = check_program_claims(program, analysis=analysis)
+    assert not report.ok
+
+
+def test_nonhalting_program_reports_instead_of_hanging():
+    from repro.isa.builder import ProgramBuilder
+
+    b = ProgramBuilder("spin")
+    b.label("top")
+    b.j("top")
+    program = b.build()
+    report = check_program_claims(program, max_instructions=1000)
+    assert not report.ok
+    assert any("did not halt" in d.message for d in report.diagnostics)
+
+
+def test_cli_fuzz_clean_and_json(capsys):
+    assert cli.main(["fuzz", "--n", "10"]) == 0
+    out = capsys.readouterr().out
+    assert "0 oracle contradiction(s)" in out
+    assert cli.main(["fuzz", "--n", "5", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["command"] == "fuzz"
+    assert payload["n_programs"] == 5
+    assert payload["n_failures"] == 0
+    assert len(payload["reports"]) == 5
