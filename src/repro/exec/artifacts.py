@@ -89,6 +89,7 @@ def write_artifacts(report: EngineReport, out_dir: Union[str, Path]) -> Path:
         "jobs": report.jobs,
         "span_seconds": report.span_seconds,
         "utilization": report.utilization(),
+        "recoveries": report.recoveries,
         "workers": report.worker_busy_seconds(),
         "cache": dict(
             report.cache_stats,

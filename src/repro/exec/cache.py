@@ -21,6 +21,14 @@ payloads' metadata) and :meth:`DiskCache.prune` evicts
 least-recently-used entries down to a byte budget. Cell reads touch the
 file's mtime, so recency reflects use, not just creation.
 
+The store is also self-defending: cell payloads carry a sha256 content
+checksum written alongside the value, and every read re-verifies it.
+A truncated, bit-flipped or otherwise unparseable entry (cell or trace)
+is **quarantined** — renamed to ``<name>.corrupt`` — counted in
+:class:`CacheStats` and :meth:`DiskCache.accounting`, and treated as a
+plain miss, so one corrupt file degrades to a recompute instead of
+taking down a whole run or a serve worker.
+
 A module-level *active cache* makes the trace store visible to code
 that cannot thread a cache handle through its API (the experiment
 modules' ``workload_traces`` and the benchmark session):
@@ -40,6 +48,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import IO, Any, Callable, Dict, Iterator, List, Optional, Tuple, Union
 
+from repro.errors import TraceError
 from repro.trace.io import read_trace, write_trace
 from repro.trace.trace import Trace
 from repro.workloads import GENERATOR_VERSION, generate_trace
@@ -49,6 +58,10 @@ from repro.workloads import GENERATOR_VERSION, generate_trace
 # "2": the cell function joined the cache key (RPP002 — a key that
 # omits a Cell field goes silently stale when that field changes).
 CELL_SCHEMA_VERSION = "2"
+
+# Quarantined (corrupt) store files are renamed to carry this suffix;
+# they are invisible to reads and pruned before any healthy entry.
+QUARANTINE_SUFFIX = ".corrupt"
 
 
 def default_cache_dir() -> Path:
@@ -106,12 +119,18 @@ def compute_cell_key(
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters, split by store."""
+    """Hit/miss counters, split by store.
+
+    ``*_corrupt`` counts entries quarantined on read: each one was
+    renamed to ``*.corrupt`` and answered as a miss.
+    """
 
     trace_hits: int = 0
     trace_misses: int = 0
     cell_hits: int = 0
     cell_misses: int = 0
+    trace_corrupt: int = 0
+    cell_corrupt: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -119,7 +138,21 @@ class CacheStats:
             "trace_misses": self.trace_misses,
             "cell_hits": self.cell_hits,
             "cell_misses": self.cell_misses,
+            "trace_corrupt": self.trace_corrupt,
+            "cell_corrupt": self.cell_corrupt,
         }
+
+
+def value_digest(value: Any) -> str:
+    """Canonical sha256 of one JSON-serializable cell value.
+
+    Written next to the value by :meth:`DiskCache.put_cell` and
+    re-verified on every read, so silent on-disk corruption (partial
+    writes, bit flips) turns into a quarantine + miss instead of a
+    poisoned figure.
+    """
+    blob = json.dumps(value, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
 @dataclass
@@ -170,8 +203,17 @@ class DiskCache:
         if not path.exists():
             self.stats.trace_misses += 1
             return None
+        try:
+            trace = read_trace(path)
+        except (OSError, ValueError, TraceError):
+            # Truncated or garbled trace file: quarantine and miss, so
+            # the caller regenerates instead of crashing mid-sweep.
+            self._quarantine(path)
+            self.stats.trace_corrupt += 1
+            self.stats.trace_misses += 1
+            return None
         self.stats.trace_hits += 1
-        return read_trace(path)
+        return trace
 
     def put_trace(self, trace: Trace, name: str, length: int, seed: int) -> Path:
         path = self.trace_path(name, length, seed)
@@ -194,6 +236,17 @@ class DiskCache:
         if not path.exists():
             self.stats.cell_misses += 1
             return None
+        try:
+            with open(path) as handle:
+                record = json.load(handle)
+            value = record["value"]
+            checksum = record.get("sha256")
+        except (OSError, ValueError, KeyError, TypeError):
+            return self._quarantine_cell(path)
+        # Entries written before checksums existed carry none and are
+        # trusted as before; a present-but-wrong digest is corruption.
+        if checksum is not None and checksum != value_digest(value):
+            return self._quarantine_cell(path)
         self.stats.cell_hits += 1
         try:
             # Refresh recency so LRU pruning evicts what is actually
@@ -201,8 +254,14 @@ class DiskCache:
             os.utime(path, None)
         except OSError:  # pragma: no cover - unwritable store
             pass
-        with open(path) as handle:
-            return json.load(handle)["value"]
+        return value
+
+    def _quarantine_cell(self, path: Path) -> Optional[Any]:
+        """Sideline one corrupt cell entry and answer it as a miss."""
+        self._quarantine(path)
+        self.stats.cell_corrupt += 1
+        self.stats.cell_misses += 1
+        return None
 
     def put_cell(
         self, key: str, value: Any, meta: Optional[Dict[str, Any]] = None
@@ -210,7 +269,7 @@ class DiskCache:
         """Store one cell value; ``meta`` (experiment id, cell id) rides
         along for the accounting breakdown and never feeds the key."""
         path = self.cell_path(key)
-        record: Dict[str, Any] = {"value": value}
+        record: Dict[str, Any] = {"value": value, "sha256": value_digest(value)}
         if meta:
             record["meta"] = canonical(meta)
         payload = json.dumps(record, sort_keys=True)
@@ -220,13 +279,17 @@ class DiskCache:
     # -- accounting & eviction --------------------------------------------
 
     def _entries(self) -> List[Tuple[Path, float, int]]:
-        """Every store file as ``(path, mtime, size)``, oldest first."""
+        """Every healthy store file as ``(path, mtime, size)``, oldest
+        first; quarantined ``*.corrupt`` files are listed separately by
+        :meth:`_quarantined`."""
         entries: List[Tuple[Path, float, int]] = []
         for store in (self.trace_dir, self.cell_dir):
             if not store.is_dir():
                 continue
             for path in store.iterdir():
                 if path.name.startswith(".") or path.is_dir():
+                    continue
+                if path.name.endswith(QUARANTINE_SUFFIX):
                     continue
                 try:
                     stat = path.stat()
@@ -235,6 +298,22 @@ class DiskCache:
                 entries.append((path, stat.st_mtime, stat.st_size))
         entries.sort(key=lambda entry: (entry[1], str(entry[0])))
         return entries
+
+    def _quarantined(self) -> List[Tuple[Path, int]]:
+        """Every quarantined ``*.corrupt`` file as ``(path, size)``."""
+        quarantined: List[Tuple[Path, int]] = []
+        for store in (self.trace_dir, self.cell_dir):
+            if not store.is_dir():
+                continue
+            for path in store.iterdir():
+                if not path.name.endswith(QUARANTINE_SUFFIX):
+                    continue
+                try:
+                    quarantined.append((path, path.stat().st_size))
+                except OSError:  # pragma: no cover - raced deletion
+                    continue
+        quarantined.sort(key=lambda entry: str(entry[0]))
+        return quarantined
 
     def accounting(self) -> Dict[str, Any]:
         """Entry counts and byte totals, per store and per experiment.
@@ -269,18 +348,33 @@ class DiskCache:
             bucket["bytes"] += size
         cells_payload: Dict[str, Any] = dict(cells)
         cells_payload["per_experiment"] = per_experiment
+        quarantined = self._quarantined()
+        corrupt = {
+            "entries": len(quarantined),
+            "bytes": sum(size for _path, size in quarantined),
+        }
         return {
             "root": str(self.root),
             "traces": traces,
             "cells": cells_payload,
+            "corrupt": corrupt,
             "total_bytes": traces["bytes"] + cells["bytes"],
         }
 
     def prune(self, max_bytes: int) -> Dict[str, int]:
         """Evict least-recently-used entries until the store fits
-        ``max_bytes``; returns eviction counts and the surviving size."""
+        ``max_bytes``; returns eviction counts and the surviving size.
+
+        Quarantined ``*.corrupt`` files are deleted unconditionally
+        first — they hold no servable data and never count against the
+        budget."""
         if max_bytes < 0:
             raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        for path, _size in self._quarantined():
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - raced deletion
+                pass
         entries = self._entries()
         total = sum(size for _path, _mtime, size in entries)
         evicted = 0
@@ -302,6 +396,14 @@ class DiskCache:
         }
 
     # -- internals --------------------------------------------------------
+
+    def _quarantine(self, path: Path) -> None:
+        """Rename a corrupt store file to ``<name>.corrupt`` so it stops
+        being served but stays inspectable until the next prune."""
+        try:
+            path.rename(path.with_name(path.name + QUARANTINE_SUFFIX))
+        except OSError:  # pragma: no cover - raced deletion / RO store
+            pass
 
     def _atomic_write(self, path: Path, write: Callable[[IO[str]], object]) -> None:
         path.parent.mkdir(parents=True, exist_ok=True)

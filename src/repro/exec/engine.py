@@ -23,6 +23,7 @@ import os
 import time
 import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
@@ -121,6 +122,10 @@ class EngineReport:
     outcomes: List[CellOutcome] = field(default_factory=list)
     span_seconds: float = 0.0
     cache_stats: Dict[str, int] = field(default_factory=dict)
+    # Fault-recovery events (e.g. a BrokenProcessPool mid-run): each is
+    # a dict describing what broke and how the run continued. Quarantined
+    # in metrics.json with the rest of the volatile observability.
+    recoveries: List[Dict[str, Any]] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -305,7 +310,7 @@ class ExperimentEngine:
         if pending and self.jobs == 1:
             self._run_serial(pending, outcomes)
         elif pending:
-            self._run_parallel(pending, outcomes)
+            self._run_parallel(pending, outcomes, report)
         report.span_seconds = time.perf_counter() - started
 
         if self.memoize:
@@ -333,8 +338,40 @@ class ExperimentEngine:
                 )
 
     def _run_parallel(
-        self, cells: List[Cell], outcomes: Dict[Tuple[str, str], CellOutcome]
+        self,
+        cells: List[Cell],
+        outcomes: Dict[Tuple[str, str], CellOutcome],
+        report: EngineReport,
     ) -> None:
+        """Pool pass with fault recovery: a dead worker (OOM-killed,
+        segfaulted, machine hiccup) breaks the whole pool, so instead of
+        aborting the run the unfinished cells are retried in one fresh
+        pool, and — should that break too — serially in-process. Each
+        recovery is recorded on ``report.recoveries`` (→ metrics.json).
+        """
+        unfinished = self._pool_pass(cells, outcomes)
+        if not unfinished:
+            return
+        report.recoveries.append({
+            "event": "broken_process_pool",
+            "mode": "fresh_pool",
+            "unfinished_cells": [cell.cell_id for cell in unfinished],
+        })
+        unfinished = self._pool_pass(unfinished, outcomes)
+        if not unfinished:
+            return
+        report.recoveries.append({
+            "event": "broken_process_pool",
+            "mode": "serial",
+            "unfinished_cells": [cell.cell_id for cell in unfinished],
+        })
+        self._run_serial(unfinished, outcomes)
+
+    def _pool_pass(
+        self, cells: List[Cell], outcomes: Dict[Tuple[str, str], CellOutcome]
+    ) -> List[Cell]:
+        """Run ``cells`` in one process pool; returns the cells left
+        without an outcome when the pool broke (empty on success)."""
         cache_root = str(self.cache.root) if self.cache is not None else None
         with ProcessPoolExecutor(
             max_workers=self.jobs,
@@ -350,6 +387,16 @@ class ExperimentEngine:
                 done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
                 for future in done:
                     cell = futures[future]
+                    try:
+                        execution = future.result()
+                    except BrokenProcessPool:
+                        # Every future not yet harvested is lost with
+                        # the pool; report them for the retry pass.
+                        return [
+                            c for c in cells
+                            if (c.experiment_id, c.cell_id) not in outcomes
+                        ]
                     outcomes[(cell.experiment_id, cell.cell_id)] = (
-                        CellOutcome.from_execution(cell, future.result())
+                        CellOutcome.from_execution(cell, execution)
                     )
+        return []

@@ -16,12 +16,19 @@ Three mechanics make it safe to point many clients at one daemon:
   instead of unbounded queuing, and SIGTERM drains in-flight work
   before sockets close.
 
-``repro-serve serve|ping|stats|submit`` is the CLI;
+For fault tolerance beyond one process, :mod:`repro.serve.router`
+shards cell keys across N worker daemons on a consistent-hash ring
+with circuit breakers, health probing, failover and degraded local
+execution; :mod:`repro.serve.chaos` is the seeded fault-injection
+harness that proves the recovery story.
+
+``repro-serve serve|route|ping|stats|submit|chaos`` is the CLI;
 :class:`~repro.serve.client.ServeClient` the embeddable client.
 """
 
 from repro.serve.client import (
     BusyError,
+    DeadlineExceeded,
     ServeClient,
     ServeConnectionError,
     ServeError,
@@ -35,10 +42,17 @@ from repro.serve.protocol import (
     E_DRAINING,
     E_EXECUTION,
     E_INTERNAL,
+    E_UNAVAILABLE,
     E_UNKNOWN_OP,
     MAX_REQUEST_BYTES,
     OPS,
     PROTOCOL_VERSION,
+)
+from repro.serve.router import (
+    CircuitBreaker,
+    HashRing,
+    RouterConfig,
+    RouterService,
 )
 from repro.serve.service import (
     CellExecutionFailed,
@@ -52,15 +66,21 @@ from repro.serve.service import (
 __all__ = [
     "BusyError",
     "CellExecutionFailed",
+    "CircuitBreaker",
+    "DeadlineExceeded",
     "E_BAD_REQUEST",
     "E_BUSY",
     "E_DRAINING",
     "E_EXECUTION",
     "E_INTERNAL",
+    "E_UNAVAILABLE",
     "E_UNKNOWN_OP",
     "ExperimentDaemon",
     "ExperimentService",
+    "HashRing",
     "LRUCache",
+    "RouterConfig",
+    "RouterService",
     "MAX_REQUEST_BYTES",
     "OPS",
     "PROTOCOL_VERSION",

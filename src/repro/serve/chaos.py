@@ -1,0 +1,664 @@
+"""Seeded fault injection for the serve cluster.
+
+The chaos harness is the *proof* behind the router's recovery story:
+it boots a real cluster (N worker daemons as OS subprocesses behind a
+router daemon), drives an open-loop request mix through the stock
+client, and — from a seeded schedule — injects the faults the cluster
+claims to survive:
+
+``kill``
+    SIGKILL a worker mid-load, then restart it on the same address and
+    cache directory; its shard re-routes, the prober re-admits it.
+``hang``
+    SIGSTOP a worker (it holds its sockets but answers nothing — the
+    nastiest failure mode) for a while, then SIGCONT.
+``corrupt``
+    Flip bits in / truncate entries of a worker's on-disk cell cache,
+    then SIGKILL it so re-routed requests re-read the corrupt entries:
+    the disk tier must quarantine and recompute, never serve garbage.
+``garble``
+    Write protocol junk (binary garbage, oversized and truncated
+    frames) straight onto a worker's socket; the daemon must answer
+    errors and keep serving.
+
+The schedule (fault times, kinds, victims, request mix) derives
+entirely from ``ChaosConfig.seed`` via one ``random.Random``, so a
+failing run can be replayed exactly. Wall-clock timings in the report
+are measurements, not part of the schedule.
+
+The report counts every request's fate. ``lost`` — requests that
+errored through the client's full deadline/retry budget — must be 0
+for a passing run: that is the harness's central assertion, enforced
+by ``repro-serve chaos`` exiting non-zero otherwise.
+
+This module is a *supervisor* process, not daemon handler code: it is
+exempt from repro-lint RPS001 (see ``repro.verify.rules.serve``), so
+spawning worker subprocesses and sleeping to pace load are in-policy
+here and only here within ``repro.serve``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.serve.client import (
+    ServeClient,
+    ServeConnectionError,
+    ServeError,
+)
+from repro.serve.daemon import ExperimentDaemon
+from repro.serve.router import RouterConfig, RouterService
+from repro.serve.service import GridCatalog
+
+FAULT_KINDS = ("kill", "hang", "corrupt", "garble")
+
+# Junk frames for the ``garble`` fault: binary noise, a truncated JSON
+# object, a non-object line, and an unknown op.
+GARBAGE_FRAMES = (
+    b"\x00\xff\xfe garbage \x80\n",
+    b'{"op": "run_cell", "params": {"experiment_id"\n',
+    b'"just a string"\n',
+    b'{"op": "explode"}\n',
+)
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """One chaos run: cluster shape, load mix and fault schedule."""
+
+    workers: int = 3
+    seed: int = 0
+    duration: float = 10.0
+    rate: float = 20.0            # open-loop requests per second
+    concurrency: int = 8          # load generator threads
+    experiment: str = "fig3.1"
+    trace_length: int = 2_000
+    trace_seed: int = 0
+    workloads: Optional[Tuple[str, ...]] = None
+    kills: int = 1
+    hangs: int = 0
+    corruptions: int = 0
+    garbles: int = 0
+    hang_seconds: float = 2.0
+    restart_delay: float = 0.5
+    request_deadline: float = 15.0
+    local_fallback: bool = True
+    worker_pool: str = "thread"
+    worker_slots: int = 2
+    startup_timeout: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.duration <= 0:
+            raise ValueError(f"duration must be > 0, got {self.duration}")
+        if self.rate <= 0:
+            raise ValueError(f"rate must be > 0, got {self.rate}")
+        if self.concurrency < 1:
+            raise ValueError(
+                f"concurrency must be >= 1, got {self.concurrency}"
+            )
+        for name in ("kills", "hangs", "corruptions", "garbles"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+
+
+@dataclass
+class FaultEvent:
+    """One injected fault and what recovering from it looked like."""
+
+    kind: str
+    victim: str
+    at: float                      # seconds into the run
+    detail: str = ""
+    recovered: bool = False
+    recovery_seconds: Optional[float] = None
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "victim": self.victim,
+            "at": round(self.at, 3),
+            "detail": self.detail,
+            "recovered": self.recovered,
+            "recovery_seconds": (
+                None
+                if self.recovery_seconds is None
+                else round(self.recovery_seconds, 3)
+            ),
+        }
+
+
+@dataclass
+class RequestRecord:
+    """One load-generator request's fate."""
+
+    cell_id: str
+    ok: bool
+    latency: float
+    degraded: bool = False
+    routed_to: str = ""
+    error: str = ""
+
+
+def _free_port() -> int:
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    return int(port)
+
+
+def _percentile(sorted_values: Sequence[float], fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(
+        len(sorted_values) - 1, int(fraction * (len(sorted_values) - 1) + 0.5)
+    )
+    return sorted_values[index]
+
+
+class ManagedWorker:
+    """One worker daemon subprocess the harness may kill and revive."""
+
+    def __init__(
+        self, name: str, port: int, cache_dir: Path, config: ChaosConfig
+    ) -> None:
+        self.name = name
+        self.port = port
+        self.cache_dir = cache_dir
+        self.config = config
+        self.proc: Optional[subprocess.Popen[bytes]] = None
+        self.restarts = 0
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return ("127.0.0.1", self.port)
+
+    def spawn(self) -> None:
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        command = [
+            sys.executable,
+            "-m",
+            "repro.serve.cli",
+            "serve",
+            "--tcp",
+            f"127.0.0.1:{self.port}",
+            "--workers",
+            str(self.config.worker_slots),
+            "--pool",
+            self.config.worker_pool,
+            "--cache-dir",
+            str(self.cache_dir),
+        ]
+        self.proc = subprocess.Popen(
+            command,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+            env=dict(os.environ),
+        )
+
+    def wait_ready(self, timeout: float) -> bool:
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.proc is not None and self.proc.poll() is not None:
+                return False  # died during startup
+            try:
+                with ServeClient(
+                    self.address, timeout=1.0, retries=0
+                ) as client:
+                    client.ping()
+                return True
+            except (ServeConnectionError, ServeError, OSError):
+                time.sleep(0.05)
+        return False
+
+    def ping_ok(self) -> bool:
+        try:
+            with ServeClient(self.address, timeout=1.0, retries=0) as client:
+                client.ping()
+            return True
+        except (ServeConnectionError, ServeError, OSError):
+            return False
+
+    def kill(self) -> None:
+        if self.proc is not None:
+            self.proc.kill()
+            self.proc.wait(timeout=10)
+
+    def pause(self) -> None:
+        if self.proc is not None and self.proc.poll() is None:
+            os.kill(self.proc.pid, signal.SIGSTOP)
+
+    def resume(self) -> None:
+        if self.proc is not None and self.proc.poll() is None:
+            os.kill(self.proc.pid, signal.SIGCONT)
+
+    def restart(self) -> None:
+        self.restarts += 1
+        self.spawn()
+
+    def corrupt_cache(self, rng: random.Random) -> int:
+        """Damage cached cell entries on disk: flip a byte in half of
+        them, truncate the rest. Returns how many files were hit."""
+        cells_dir = self.cache_dir / "cells"
+        entries = sorted(cells_dir.glob("*.json")) if cells_dir.exists() else []
+        if not entries:
+            return 0
+        victims = entries[: max(1, len(entries) // 2)]
+        damaged = 0
+        for path in victims:
+            try:
+                blob = bytearray(path.read_bytes())
+                if not blob:
+                    continue
+                if rng.random() < 0.5:
+                    index = rng.randrange(len(blob))
+                    blob[index] ^= 0xFF
+                    path.write_bytes(bytes(blob))
+                else:
+                    path.write_bytes(bytes(blob[: len(blob) // 2]))
+                damaged += 1
+            except OSError:
+                continue
+        return damaged
+
+    def garble(self, rng: random.Random) -> bool:
+        """Send protocol junk straight at the worker; True when the
+        worker still answers a health check afterwards."""
+        frame = GARBAGE_FRAMES[rng.randrange(len(GARBAGE_FRAMES))]
+        try:
+            sock = socket.create_connection(self.address, timeout=2.0)
+            try:
+                sock.settimeout(2.0)
+                sock.sendall(frame)
+                try:
+                    sock.recv(65536)  # error response or disconnect
+                except OSError:
+                    pass
+            finally:
+                sock.close()
+        except OSError:
+            return False
+        return self.ping_ok()
+
+    def terminate(self) -> None:
+        if self.proc is None:
+            return
+        if self.proc.poll() is None:
+            self.resume()  # a SIGSTOPped child ignores SIGTERM
+            self.proc.terminate()
+            try:
+                self.proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                self.proc.kill()
+                self.proc.wait(timeout=10)
+
+
+class ChaosRun:
+    """One full boot-load-inject-report cycle."""
+
+    def __init__(self, config: ChaosConfig, scratch: Path) -> None:
+        self.config = config
+        self.scratch = scratch
+        self.rng = random.Random(config.seed)
+        self.workers: List[ManagedWorker] = []
+        self.router: Optional[RouterService] = None
+        self.daemon: Optional[ExperimentDaemon] = None
+        self.faults: List[FaultEvent] = []
+        self.records: List[RequestRecord] = []
+        self._records_lock = threading.Lock()
+        self._started_at = 0.0
+
+    # -- schedule ----------------------------------------------------------
+
+    def _fault_schedule(self) -> List[Tuple[float, str, int]]:
+        """(at_seconds, kind, victim_index) tuples, seed-derived.
+
+        Faults land in the middle 60% of the run so the cluster is
+        under load before the first one and has time to recover after
+        the last.
+        """
+        wanted = (
+            [("kill",)] * self.config.kills
+            + [("hang",)] * self.config.hangs
+            + [("corrupt",)] * self.config.corruptions
+            + [("garble",)] * self.config.garbles
+        )
+        schedule = [
+            (
+                self.config.duration * (0.2 + 0.6 * self.rng.random()),
+                kind,
+                self.rng.randrange(self.config.workers),
+            )
+            for (kind,) in wanted
+        ]
+        schedule.sort(key=lambda entry: entry[0])
+        return schedule
+
+    def _request_schedule(self) -> List[Tuple[float, str]]:
+        """Open-loop arrivals: (at_seconds, cell_id), seed-derived."""
+        catalog = GridCatalog(self._specs())
+        grid = catalog.grid(
+            self.config.experiment,
+            self.config.trace_length,
+            self.config.trace_seed,
+            self.config.workloads,
+        )
+        cell_ids = list(grid)
+        total = max(1, int(self.config.duration * self.config.rate))
+        return [
+            (index / self.config.rate, self.rng.choice(cell_ids))
+            for index in range(total)
+        ]
+
+    @staticmethod
+    def _specs() -> Dict[str, Any]:
+        from repro.experiments import EXPERIMENT_SPECS
+
+        return dict(EXPERIMENT_SPECS)
+
+    # -- cluster lifecycle -------------------------------------------------
+
+    def boot(self) -> None:
+        """Spawn the workers and the router daemon; blocks until every
+        worker answers health checks."""
+        for index in range(self.config.workers):
+            worker = ManagedWorker(
+                f"w{index}",
+                _free_port(),
+                self.scratch / f"cache-w{index}",
+                self.config,
+            )
+            worker.spawn()
+            self.workers.append(worker)
+        for worker in self.workers:
+            if not worker.wait_ready(self.config.startup_timeout):
+                raise RuntimeError(
+                    f"worker {worker.name} never became ready on "
+                    f"port {worker.port}"
+                )
+        self.router = RouterService(
+            {worker.name: worker.address for worker in self.workers},
+            config=RouterConfig(
+                probe_interval=0.2,
+                failure_threshold=2,
+                cooldown=0.5,
+                request_timeout=5.0,
+                request_deadline=self.config.request_deadline,
+                local_fallback=self.config.local_fallback,
+            ),
+        )
+        self.daemon = ExperimentDaemon(
+            self.router, tcp=("127.0.0.1", _free_port()), drain_timeout=30.0
+        )
+        self.daemon.start()
+
+    def shutdown(self) -> bool:
+        """Drain the router daemon, stop every worker; True on a clean
+        drain."""
+        drained = True
+        if self.daemon is not None:
+            drained = self.daemon.stop()
+            self.daemon = None
+            self.router = None  # the daemon closed it
+        for worker in self.workers:
+            worker.terminate()
+        return drained
+
+    # -- load --------------------------------------------------------------
+
+    def _issue(
+        self, client: ServeClient, cell_id: str
+    ) -> RequestRecord:
+        start = time.monotonic()
+        try:
+            payload = client.run_cell(
+                self.config.experiment,
+                cell_id,
+                self.config.trace_length,
+                self.config.trace_seed,
+                list(self.config.workloads)
+                if self.config.workloads
+                else None,
+            )
+        except (ServeConnectionError, ServeError, OSError) as exc:
+            return RequestRecord(
+                cell_id=cell_id,
+                ok=False,
+                latency=time.monotonic() - start,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+        return RequestRecord(
+            cell_id=cell_id,
+            ok=True,
+            latency=time.monotonic() - start,
+            degraded=bool(payload.get("degraded")),
+            routed_to=str(payload.get("routed_to", "")),
+        )
+
+    def _load_thread(self, arrivals: List[Tuple[float, str]]) -> None:
+        assert self.daemon is not None
+        address = self.daemon.tcp_address
+        assert address is not None
+        with ServeClient(
+            address,
+            timeout=5.0,
+            retries=4,
+            backoff=0.05,
+            deadline=self.config.request_deadline,
+            jitter_seed=self.config.seed,
+        ) as client:
+            for at, cell_id in arrivals:
+                now = time.monotonic() - self._started_at
+                if at > now:
+                    time.sleep(at - now)  # open-loop pacing
+                record = self._issue(client, cell_id)
+                with self._records_lock:
+                    self.records.append(record)
+
+    # -- faults ------------------------------------------------------------
+
+    def _inject(self, kind: str, victim: ManagedWorker) -> FaultEvent:
+        event = FaultEvent(
+            kind=kind,
+            victim=victim.name,
+            at=time.monotonic() - self._started_at,
+        )
+        if kind == "kill":
+            victim.kill()
+            time.sleep(self.config.restart_delay)
+            victim.restart()
+            event.detail = "SIGKILL, restarted on the same address"
+            self._await_recovery(event, victim)
+        elif kind == "hang":
+            victim.pause()
+            time.sleep(self.config.hang_seconds)
+            victim.resume()
+            event.detail = (
+                f"SIGSTOP for {self.config.hang_seconds}s, then SIGCONT"
+            )
+            self._await_recovery(event, victim)
+        elif kind == "corrupt":
+            damaged = victim.corrupt_cache(self.rng)
+            victim.kill()
+            time.sleep(self.config.restart_delay)
+            victim.restart()
+            event.detail = (
+                f"damaged {damaged} cache file(s), SIGKILL, restarted"
+            )
+            self._await_recovery(event, victim)
+        elif kind == "garble":
+            survived = victim.garble(self.rng)
+            event.detail = "protocol junk frame"
+            event.recovered = survived
+            event.recovery_seconds = 0.0 if survived else None
+        else:  # pragma: no cover - schedule only emits known kinds
+            raise ValueError(f"unknown fault kind {kind!r}")
+        return event
+
+    def _await_recovery(
+        self, event: FaultEvent, victim: ManagedWorker
+    ) -> None:
+        """Measure fault-to-healthy: the worker answers health checks
+        again AND the router's breaker has re-admitted it."""
+        recover_start = time.monotonic()
+        deadline = recover_start + self.config.startup_timeout
+        router = self.router
+        while time.monotonic() < deadline:
+            if victim.ping_ok():
+                if router is None:
+                    break
+                state = router.endpoints[victim.name].breaker.state
+                if state == "closed":
+                    break
+            time.sleep(0.05)
+        else:
+            event.recovered = False
+            return
+        event.recovered = True
+        event.recovery_seconds = time.monotonic() - recover_start
+
+    def _fault_thread(
+        self, schedule: List[Tuple[float, str, int]]
+    ) -> None:
+        for at, kind, victim_index in schedule:
+            now = time.monotonic() - self._started_at
+            if at > now:
+                time.sleep(at - now)
+            event = self._inject(kind, self.workers[victim_index])
+            self.faults.append(event)
+
+    # -- the run -----------------------------------------------------------
+
+    def execute(self) -> Dict[str, Any]:
+        """Boot, load, inject, drain; returns the report."""
+        self.boot()
+        try:
+            arrivals = self._request_schedule()
+            fault_schedule = self._fault_schedule()
+            # Deal arrivals round-robin to the load threads: each
+            # thread's sub-schedule is still in arrival order.
+            lanes: List[List[Tuple[float, str]]] = [
+                arrivals[index :: self.config.concurrency]
+                for index in range(self.config.concurrency)
+            ]
+            self._started_at = time.monotonic()
+            threads = [
+                threading.Thread(
+                    target=self._load_thread,
+                    args=(lane,),
+                    name=f"chaos-load-{index}",
+                )
+                for index, lane in enumerate(lanes)
+                if lane
+            ]
+            injector = threading.Thread(
+                target=self._fault_thread,
+                args=(fault_schedule,),
+                name="chaos-injector",
+            )
+            for thread in threads:
+                thread.start()
+            injector.start()
+            for thread in threads:
+                thread.join()
+            injector.join()
+            stats = (
+                self.router.stats.snapshot()
+                if self.router is not None
+                else {}
+            )
+            quarantine = self._quarantine_counts()
+        finally:
+            drained = self.shutdown()
+        return self._report(stats, drained, quarantine)
+
+    def _quarantine_counts(self) -> Dict[str, int]:
+        """How many corrupt cache entries each worker quarantined."""
+        counts: Dict[str, int] = {}
+        for worker in self.workers:
+            cells_dir = worker.cache_dir / "cells"
+            if cells_dir.exists():
+                count = len(list(cells_dir.glob("*.corrupt")))
+                if count:
+                    counts[worker.name] = count
+        return counts
+
+    def _report(
+        self,
+        router_stats: Dict[str, int],
+        drained: bool,
+        quarantine: Dict[str, int],
+    ) -> Dict[str, Any]:
+        latencies = sorted(r.latency for r in self.records)
+        lost = [r for r in self.records if not r.ok]
+        report: Dict[str, Any] = {
+            "config": {
+                "workers": self.config.workers,
+                "seed": self.config.seed,
+                "duration": self.config.duration,
+                "rate": self.config.rate,
+                "experiment": self.config.experiment,
+                "trace_length": self.config.trace_length,
+            },
+            "requests": {
+                "total": len(self.records),
+                "ok": sum(1 for r in self.records if r.ok),
+                "lost": len(lost),
+                "degraded": sum(1 for r in self.records if r.degraded),
+                "by_worker": self._by_worker(),
+            },
+            "latency": {
+                "p50": round(_percentile(latencies, 0.50), 4),
+                "p99": round(_percentile(latencies, 0.99), 4),
+                "max": round(latencies[-1], 4) if latencies else 0.0,
+            },
+            "faults": [event.as_dict() for event in self.faults],
+            "router": router_stats,
+            "worker_restarts": {
+                worker.name: worker.restarts for worker in self.workers
+            },
+            "cache_quarantined": quarantine,
+            "clean_drain": drained,
+            "lost_errors": [r.error for r in lost][:10],
+        }
+        report["passed"] = (
+            len(lost) == 0
+            and drained
+            and all(event.recovered for event in self.faults)
+        )
+        return report
+
+    def _by_worker(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for record in self.records:
+            if record.ok and record.routed_to:
+                counts[record.routed_to] = counts.get(record.routed_to, 0) + 1
+        return counts
+
+
+def run_chaos(config: ChaosConfig, scratch: Path) -> Dict[str, Any]:
+    """Run one chaos cycle; the module-level entry the CLI uses."""
+    return ChaosRun(config, scratch).execute()
+
+
+__all__ = [
+    "ChaosConfig",
+    "ChaosRun",
+    "FaultEvent",
+    "ManagedWorker",
+    "RequestRecord",
+    "run_chaos",
+]

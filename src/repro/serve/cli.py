@@ -4,17 +4,28 @@ Usage::
 
     repro-serve serve --unix /tmp/repro.sock          # run the daemon
     repro-serve serve --tcp 127.0.0.1:7341 --workers 4
+    repro-serve route --tcp 127.0.0.1:7340 \\
+        --worker 127.0.0.1:7341 --worker 127.0.0.1:7342
+                                                      # cluster front-end
     repro-serve ping --connect unix:/tmp/repro.sock   # health check
     repro-serve stats --connect unix:/tmp/repro.sock  # counters + cache
     repro-serve submit fig3.1 --cell gshare/go --length 20000 \\
         --connect unix:/tmp/repro.sock                # one cell
     repro-serve submit fig3.1 --connect unix:/tmp/repro.sock
                                                       # whole experiment
+    repro-serve chaos --workers 3 --kills 1 --duration 10
+                                                      # fault-injection
 
 ``serve`` runs until SIGTERM/SIGINT, then drains: in-flight cells
 finish and are answered before sockets close (exit 0 on a clean drain,
-1 if the drain timed out). The client subcommands read ``--connect``
-(or ``$REPRO_SERVE_ADDR``) as ``unix:PATH`` or ``HOST:PORT``.
+1 if the drain timed out). ``route`` runs the same daemon loop hosting
+a :class:`~repro.serve.router.RouterService` — a consistent-hash
+sharding front-end over worker daemons, with failover and degraded
+local execution. ``chaos`` boots a disposable cluster and injects
+seeded faults (see :mod:`repro.serve.chaos`); it exits 0 only when no
+request was lost and every fault recovered. The client subcommands
+read ``--connect`` (or ``$REPRO_SERVE_ADDR``) as ``unix:PATH`` or
+``HOST:PORT``.
 """
 
 from __future__ import annotations
@@ -23,6 +34,7 @@ import argparse
 import json
 import os
 import sys
+from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.cliutil import (
@@ -103,6 +115,143 @@ def build_parser() -> argparse.ArgumentParser:
         default=300.0,
         metavar="SECONDS",
         help="disconnect idle clients after this long (default 300)",
+    )
+
+    route = commands.add_parser(
+        "route",
+        help="run a sharded cluster front-end over worker daemons",
+    )
+    route.add_argument(
+        "--unix", metavar="PATH", default=None, help="Unix socket path"
+    )
+    route.add_argument(
+        "--tcp",
+        metavar="HOST:PORT",
+        default=None,
+        help="TCP listen address (port 0 picks an ephemeral port)",
+    )
+    route.add_argument(
+        "--worker",
+        metavar="[NAME=]ADDR",
+        action="append",
+        default=[],
+        dest="workers",
+        help="a worker daemon address (repeatable; unix:PATH or "
+        "HOST:PORT, optionally NAME=ADDR)",
+    )
+    route.add_argument(
+        "--probe-interval",
+        type=positive_float,
+        default=1.0,
+        metavar="SECONDS",
+        help="health-probe period (default 1.0)",
+    )
+    route.add_argument(
+        "--failure-threshold",
+        type=positive_int,
+        default=3,
+        help="consecutive failures before a worker's breaker opens "
+        "(default 3)",
+    )
+    route.add_argument(
+        "--cooldown",
+        type=positive_float,
+        default=5.0,
+        metavar="SECONDS",
+        help="open-breaker cooldown before a half-open retry (default 5)",
+    )
+    route.add_argument(
+        "--deadline",
+        type=positive_float,
+        default=120.0,
+        metavar="SECONDS",
+        help="per-request deadline across all failover attempts "
+        "(default 120)",
+    )
+    route.add_argument(
+        "--no-local-fallback",
+        action="store_true",
+        help="answer 'unavailable' instead of executing locally when "
+        "every worker is down",
+    )
+    route.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="on-disk cache for degraded local execution (default: none)",
+    )
+    route.add_argument(
+        "--idle-timeout",
+        type=positive_float,
+        default=300.0,
+        metavar="SECONDS",
+        help="disconnect idle clients after this long (default 300)",
+    )
+
+    chaos = commands.add_parser(
+        "chaos",
+        help="boot a disposable cluster and inject seeded faults",
+    )
+    chaos.add_argument(
+        "--workers", type=positive_int, default=3, help="cluster size"
+    )
+    chaos.add_argument("--seed", type=int, default=0, help="schedule seed")
+    chaos.add_argument(
+        "--duration",
+        type=positive_float,
+        default=10.0,
+        metavar="SECONDS",
+        help="load window length (default 10)",
+    )
+    chaos.add_argument(
+        "--rate",
+        type=positive_float,
+        default=20.0,
+        metavar="RPS",
+        help="open-loop request rate (default 20)",
+    )
+    chaos.add_argument(
+        "--concurrency",
+        type=positive_int,
+        default=8,
+        help="load generator threads (default 8)",
+    )
+    chaos.add_argument(
+        "--experiment",
+        default="fig3.1",
+        help="experiment whose cells form the request mix (default fig3.1)",
+    )
+    chaos.add_argument(
+        "--length",
+        type=positive_int,
+        default=2_000,
+        metavar="N",
+        help="trace length per workload (default 2000)",
+    )
+    chaos.add_argument(
+        "--kills", type=nonnegative_int, default=1,
+        help="SIGKILL+restart faults (default 1)",
+    )
+    chaos.add_argument(
+        "--hangs", type=nonnegative_int, default=0,
+        help="SIGSTOP/SIGCONT faults (default 0)",
+    )
+    chaos.add_argument(
+        "--corruptions", type=nonnegative_int, default=0,
+        help="cache-corruption faults (default 0)",
+    )
+    chaos.add_argument(
+        "--garbles", type=nonnegative_int, default=0,
+        help="protocol-junk faults (default 0)",
+    )
+    chaos.add_argument(
+        "--scratch",
+        metavar="DIR",
+        default=None,
+        help="cluster scratch directory (default: a temp directory)",
+    )
+    chaos.add_argument(
+        "--json", action="store_true", help="print the full JSON report"
     )
 
     def add_client_args(sub: argparse.ArgumentParser) -> None:
@@ -214,6 +363,112 @@ def _serve(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
     return 0 if drained else 1
 
 
+def _route(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    from repro.exec import DiskCache
+    from repro.serve.daemon import ExperimentDaemon
+    from repro.serve.router import (
+        RouterConfig,
+        RouterService,
+        parse_worker_specs,
+    )
+
+    if args.unix is None and args.tcp is None:
+        parser.error("route needs --unix PATH and/or --tcp HOST:PORT")
+    if not args.workers:
+        parser.error("route needs at least one --worker ADDR")
+    tcp: Optional[Tuple[str, int]] = None
+    if args.tcp is not None:
+        address = parse_address(args.tcp)
+        if isinstance(address, str):
+            parser.error("--tcp takes HOST:PORT (use --unix for socket paths)")
+        tcp = address
+    try:
+        workers = parse_worker_specs(args.workers)
+    except ValueError as exc:
+        parser.error(str(exc))
+    cache = DiskCache(args.cache_dir) if args.cache_dir else None
+    config = RouterConfig(
+        probe_interval=args.probe_interval,
+        failure_threshold=args.failure_threshold,
+        cooldown=args.cooldown,
+        request_deadline=args.deadline,
+        local_fallback=not args.no_local_fallback,
+    )
+    router = RouterService(workers, config=config, cache=cache)
+    daemon = ExperimentDaemon(
+        router, tcp=tcp, unix=args.unix, idle_timeout=args.idle_timeout
+    )
+    names = ", ".join(sorted(workers))
+    print(f"[route] sharding across workers: {names}", file=sys.stderr)
+    if args.unix is not None:
+        print(f"[route] listening on unix:{args.unix}", file=sys.stderr)
+    bound = daemon.tcp_address
+    if bound is not None:
+        print(f"[route] listening on {bound[0]}:{bound[1]}", file=sys.stderr)
+    drained = daemon.run(install_signals=True)
+    print(
+        f"[route] stopped ({'clean drain' if drained else 'drain timed out'})",
+        file=sys.stderr,
+    )
+    return 0 if drained else 1
+
+
+def _chaos(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    import tempfile
+
+    from repro.serve.chaos import ChaosConfig, run_chaos
+
+    del parser
+    config = ChaosConfig(
+        workers=args.workers,
+        seed=args.seed,
+        duration=args.duration,
+        rate=args.rate,
+        concurrency=args.concurrency,
+        experiment=args.experiment,
+        trace_length=args.length,
+        kills=args.kills,
+        hangs=args.hangs,
+        corruptions=args.corruptions,
+        garbles=args.garbles,
+    )
+    if args.scratch is not None:
+        scratch = Path(args.scratch)
+        scratch.mkdir(parents=True, exist_ok=True)
+        report = run_chaos(config, scratch)
+    else:
+        with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+            report = run_chaos(config, Path(tmp))
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        requests = report["requests"]
+        latency = report["latency"]
+        print(
+            f"requests: {requests['total']} total, {requests['ok']} ok, "
+            f"{requests['lost']} lost, {requests['degraded']} degraded"
+        )
+        print(
+            f"latency: p50={latency['p50']}s p99={latency['p99']}s "
+            f"max={latency['max']}s"
+        )
+        for event in report["faults"]:
+            recovery = (
+                f"recovered in {event['recovery_seconds']}s"
+                if event["recovered"]
+                else "NOT RECOVERED"
+            )
+            print(
+                f"fault: {event['kind']} on {event['victim']} "
+                f"at t+{event['at']}s ({event['detail']}) — {recovery}"
+            )
+        print(
+            f"drain: {'clean' if report['clean_drain'] else 'timed out'}; "
+            f"verdict: {'PASS' if report['passed'] else 'FAIL'}"
+        )
+    return 0 if report["passed"] else 1
+
+
 def _print_result(payload: Dict[str, Any], as_json: bool) -> None:
     if as_json:
         print(json.dumps(payload, indent=2, sort_keys=True))
@@ -226,6 +481,17 @@ def _ping(client: ServeClient, args: argparse.Namespace) -> int:
     health = client.ping()
     if args.json:
         print(json.dumps(health, indent=2, sort_keys=True))
+    elif health.get("role") == "router":
+        breakers = " ".join(
+            f"{name}={info.get('breaker')}"
+            for name, info in sorted(health.get("workers", {}).items())
+        )
+        print(
+            f"ok: status={health.get('status')} role=router "
+            f"workers={health.get('workers_up')}/"
+            f"{health.get('workers_total')} {breakers} "
+            f"protocol=v{health.get('protocol')}"
+        )
     else:
         print(
             f"ok: status={health.get('status')} pid={health.get('pid')} "
@@ -299,6 +565,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.command == "serve":
         return _serve(args, parser)
+    if args.command == "route":
+        return _route(args, parser)
+    if args.command == "chaos":
+        return _chaos(args, parser)
     address = _client_address(parser, args.connect)
     try:
         with ServeClient(address, timeout=args.timeout) as client:

@@ -6,11 +6,19 @@ protocol. The client owns the retry story so callers see at most one
 exception per logical request:
 
 * transport failures (refused, reset, timed out) reconnect and retry
-  up to ``retries`` times with linear backoff;
+  up to ``retries`` times with jittered exponential backoff;
 * ``busy`` rejections — the server's explicit backpressure — are
   retried after the server-suggested ``retry_after`` pause when
   ``retry_busy`` is set, since busy guarantees the work never started;
+* an optional overall ``deadline`` bounds the whole retry loop: once
+  the wall-clock budget for a logical request is spent, the client
+  raises :class:`DeadlineExceeded` instead of starting another attempt
+  (and clamps each attempt's socket timeout to the remaining budget);
 * every other protocol error surfaces as :class:`ServeError`.
+
+Backoff jitter comes from a seeded ``random.Random`` so a swarm of
+clients hammering a recovering server desynchronises without giving up
+reproducible retry schedules in tests.
 
 This module runs in the *client* process, so blocking sleeps between
 retries are fine here (and exempt from repro-lint rule RPS001, which
@@ -20,6 +28,7 @@ polices only server-side handler code).
 from __future__ import annotations
 
 import itertools
+import random
 import socket
 import time
 from typing import Any, Dict, List, Optional, Tuple, Union
@@ -47,6 +56,10 @@ class BusyError(ServeError):
 
 class ServeConnectionError(ConnectionError):
     """Could not reach (or keep talking to) the daemon."""
+
+
+class DeadlineExceeded(ServeConnectionError):
+    """The overall wall-clock budget for a logical request ran out."""
 
 
 def parse_address(text: str) -> Address:
@@ -90,16 +103,22 @@ class ServeClient:
         retries: int = 3,
         backoff: float = 0.05,
         retry_busy: bool = True,
+        deadline: Optional[float] = None,
+        jitter_seed: int = 0,
     ) -> None:
         if timeout <= 0:
             raise ValueError(f"timeout must be positive, got {timeout}")
         if retries < 0:
             raise ValueError(f"retries must be >= 0, got {retries}")
+        if deadline is not None and deadline <= 0:
+            raise ValueError(f"deadline must be positive, got {deadline}")
         self.address = address
         self.timeout = timeout
         self.retries = retries
         self.backoff = backoff
         self.retry_busy = retry_busy
+        self.deadline = deadline
+        self._rng = random.Random(jitter_seed)
         self._sock: Optional[socket.socket] = None
         self._ids = itertools.count(1)
 
@@ -134,9 +153,15 @@ class ServeClient:
     def _drop_connection(self) -> None:
         self.close()
 
-    def _exchange(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+    def _exchange(
+        self, payload: Dict[str, Any], remaining: Optional[float] = None
+    ) -> Dict[str, Any]:
         """One request/response round-trip on the live connection."""
         sock = self._connect()
+        if remaining is not None:
+            sock.settimeout(min(self.timeout, remaining))
+        else:
+            sock.settimeout(self.timeout)
         sock.sendall(protocol.encode_message(payload))
         chunks: List[bytes] = []
         while True:
@@ -150,15 +175,54 @@ class ServeClient:
 
     # -- request machinery -------------------------------------------------
 
-    def call(self, op: str, params: Optional[Dict[str, Any]] = None) -> Any:
-        """Issue one op; returns the ``result`` payload or raises."""
+    def _remaining(self, expires: Optional[float], op: str) -> Optional[float]:
+        """Budget left before ``expires``; raises once it is spent."""
+        if expires is None:
+            return None
+        remaining = expires - time.monotonic()
+        if remaining <= 0:
+            raise DeadlineExceeded(
+                f"deadline exhausted before {op!r} completed"
+            )
+        return remaining
+
+    def _backoff_pause(self, attempt: int) -> float:
+        """Jittered exponential pause before retry number ``attempt``."""
+        span = self.backoff * (2 ** (attempt - 1))
+        return span * (0.5 + self._rng.random() / 2.0)
+
+    def _sleep_within(
+        self, pause: float, expires: Optional[float], op: str
+    ) -> None:
+        """Sleep ``pause`` seconds, unless that would overrun the
+        deadline — failing fast beats sleeping into a guaranteed miss."""
+        if expires is not None and time.monotonic() + pause >= expires:
+            raise DeadlineExceeded(
+                f"deadline exhausted before {op!r} could be retried"
+            )
+        time.sleep(pause)
+
+    def call(
+        self,
+        op: str,
+        params: Optional[Dict[str, Any]] = None,
+        deadline: Optional[float] = None,
+    ) -> Any:
+        """Issue one op; returns the ``result`` payload or raises.
+
+        ``deadline`` (seconds, overriding the instance default) bounds
+        the whole retry loop, not a single attempt.
+        """
         request_id = next(self._ids)
         payload = protocol.request(op, params, request_id)
+        budget = deadline if deadline is not None else self.deadline
+        expires = None if budget is None else time.monotonic() + budget
         transport_failures = 0
         busy_retries = 0
         while True:
+            remaining = self._remaining(expires, op)
             try:
-                response = self._exchange(payload)
+                response = self._exchange(payload, remaining)
             except (OSError, ServeConnectionError, protocol.ProtocolError) as exc:
                 self._drop_connection()
                 transport_failures += 1
@@ -167,7 +231,9 @@ class ServeClient:
                         f"serve request failed after "
                         f"{transport_failures} attempt(s): {exc}"
                     ) from exc
-                time.sleep(self.backoff * transport_failures)
+                self._sleep_within(
+                    self._backoff_pause(transport_failures), expires, op
+                )
                 continue
             if response.get("id") not in (None, request_id):
                 # A stale response from a broken pipeline; resync by
@@ -189,8 +255,11 @@ class ServeClient:
                 and busy_retries < self.retries
             ):
                 busy_retries += 1
-                pause = retry_after if retry_after else self.backoff
-                time.sleep(min(float(pause), self.timeout))
+                if retry_after:
+                    pause = min(float(retry_after), self.timeout)
+                else:
+                    pause = self._backoff_pause(busy_retries)
+                self._sleep_within(pause, expires, op)
                 continue
             if code == protocol.E_BUSY:
                 raise BusyError(code, message, retry_after)

@@ -1,7 +1,10 @@
 """The serve daemon: sockets, dispatch and graceful shutdown.
 
-Wraps an :class:`~repro.serve.service.ExperimentService` in threading
-stream servers — TCP, Unix domain socket, or both at once — speaking
+Wraps a service — anything satisfying the :class:`ServeService`
+protocol, concretely an
+:class:`~repro.serve.service.ExperimentService` worker or a
+:class:`~repro.serve.router.RouterService` front-end — in threading
+stream servers: TCP, Unix domain socket, or both at once, speaking
 the line-delimited JSON protocol of :mod:`repro.serve.protocol`. Each
 connection gets a handler thread that reads one request line at a time
 (bounded by an idle timeout so dead peers cannot pin threads forever)
@@ -21,12 +24,11 @@ import signal
 import socket
 import socketserver
 import threading
-from typing import Any, Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, List, Optional, Protocol, Sequence, Set, Tuple
 
 from repro.serve import protocol
 from repro.serve.service import (
     CellExecutionFailed,
-    ExperimentService,
     ServiceRejection,
     UnknownCellError,
     UnknownExperimentError,
@@ -36,6 +38,39 @@ from repro.serve.service import (
 # handler closes it. Every blocking read on a connection is bounded by
 # this socket timeout.
 DEFAULT_IDLE_TIMEOUT = 300.0
+
+
+class ServeService(Protocol):
+    """What the daemon needs from a service: the four protocol ops plus
+    the drain/close lifecycle. Both the single-process worker
+    (:class:`~repro.serve.service.ExperimentService`) and the cluster
+    front-end (:class:`~repro.serve.router.RouterService`) satisfy it,
+    so one daemon implementation hosts either role."""
+
+    def health(self) -> Dict[str, Any]: ...
+
+    def stats_snapshot(self, include_disk: bool = True) -> Dict[str, Any]: ...
+
+    def run_cell(
+        self,
+        experiment_id: str,
+        cell_id: str,
+        trace_length: int,
+        seed: int = 0,
+        workloads: Optional[Sequence[str]] = None,
+    ) -> Dict[str, Any]: ...
+
+    def run_experiment(
+        self,
+        experiment_id: str,
+        trace_length: int,
+        seed: int = 0,
+        workloads: Optional[Sequence[str]] = None,
+    ) -> Dict[str, Any]: ...
+
+    def drain(self, timeout: float = 30.0) -> bool: ...
+
+    def close(self) -> None: ...
 
 
 def _validated_scale(params: Dict[str, Any]) -> Tuple[int, int, Optional[List[str]]]:
@@ -65,7 +100,7 @@ def _required_str(params: Dict[str, Any], name: str) -> str:
 
 
 def handle_request(
-    service: ExperimentService, message: Dict[str, Any]
+    service: ServeService, message: Dict[str, Any]
 ) -> Dict[str, Any]:
     """Dispatch one decoded request object to the service; never raises
     — every failure becomes a protocol error response."""
@@ -201,12 +236,12 @@ class _ServeServerMixin(socketserver.ThreadingMixIn):
     block_on_close = False
     allow_reuse_address = True
 
-    service: ExperimentService
+    service: ServeService
     idle_timeout: float
     stopping: bool
 
     def configure(
-        self, service: ExperimentService, idle_timeout: float
+        self, service: ServeService, idle_timeout: float
     ) -> None:
         self.service = service
         self.idle_timeout = idle_timeout
@@ -274,7 +309,7 @@ class ExperimentDaemon:
 
     def __init__(
         self,
-        service: ExperimentService,
+        service: ServeService,
         tcp: Optional[Tuple[str, int]] = None,
         unix: Optional[str] = None,
         idle_timeout: float = DEFAULT_IDLE_TIMEOUT,

@@ -36,9 +36,10 @@ E_BUSY = "busy"                    # backpressure: queue full, retry later
 E_DRAINING = "draining"            # server is shutting down gracefully
 E_EXECUTION = "execution_error"    # the cell itself raised
 E_INTERNAL = "internal"            # anything else server-side
+E_UNAVAILABLE = "unavailable"      # router: no worker can take the request
 
 # Codes a client may transparently retry on (the work was not started).
-RETRYABLE_CODES = (E_BUSY,)
+RETRYABLE_CODES = (E_BUSY, E_UNAVAILABLE)
 
 
 class ProtocolError(ValueError):

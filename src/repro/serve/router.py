@@ -1,0 +1,889 @@
+"""The cluster front-end: consistent-hash sharding with failover.
+
+:class:`RouterService` turns N independent serve daemons (each one an
+:class:`~repro.serve.service.ExperimentService` behind its own socket)
+into one fault-tolerant cluster behind one address. It satisfies the
+same :class:`~repro.serve.daemon.ServeService` protocol as a worker, so
+the existing daemon/CLI/client stack hosts it unchanged — a router *is*
+a serve daemon whose "execution tier" is other daemons.
+
+Sharding
+    Every cell request is keyed by its content key (the same
+    :func:`~repro.exec.cache.compute_cell_key` the cache tiers use) and
+    placed on a :class:`HashRing` of workers. Identical requests always
+    land on the same worker, so each worker's memory/disk tiers stay
+    hot for its shard instead of every worker caching everything.
+
+Failure handling
+    Each worker sits behind a :class:`CircuitBreaker`. Transport
+    failures (refused, reset, timed out) trip the breaker after
+    ``failure_threshold`` consecutive errors; an open breaker removes
+    the worker from the preference walk until ``cooldown`` elapses,
+    after which exactly one half-open trial decides rejoin-or-reopen.
+    A failed worker's keys re-route to the next node on the ring — the
+    consistent-hash property keeps every other shard assignment
+    untouched. A background prober re-checks every worker on a fixed
+    interval, so a restarted worker rejoins without client traffic.
+
+Degradation
+    When no worker can take a request the router either executes it in
+    a local embedded service (``local_fallback=True``; responses are
+    tagged ``"degraded": true``) or refuses with the retryable
+    ``unavailable`` protocol error carrying a ``retry_after`` hint.
+
+Experiment sweeps are scattered cell-by-cell (each cell to its own
+shard owner) and assembled at the router through the same
+:class:`~repro.serve.service.GridCatalog` the workers use, so a sweep
+survives any single worker dying mid-run.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.exec.cache import DiskCache, compute_cell_key
+from repro.exec.cells import ExperimentSpec
+from repro.serve import protocol
+from repro.serve.client import (
+    Address,
+    BusyError,
+    ServeClient,
+    ServeConnectionError,
+    ServeError,
+)
+from repro.serve.service import (
+    CellExecutionFailed,
+    ExperimentService,
+    GridCatalog,
+    ServiceConfig,
+    ServiceRejection,
+)
+
+
+class HashRing:
+    """Consistent hashing over named nodes with virtual replicas.
+
+    Each node is hashed onto ``replicas`` points of a 64-bit ring;
+    a key belongs to the first node point at or after its own hash.
+    Adding or removing one node only remaps the keys adjacent to its
+    points (~1/N of the space), which is exactly the property that
+    keeps the other workers' caches hot across a failure.
+    """
+
+    def __init__(self, replicas: int = 64) -> None:
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        self.replicas = replicas
+        self._points: List[int] = []       # sorted hash points
+        self._owners: List[str] = []       # node name per point
+        self._nodes: List[str] = []
+
+    @staticmethod
+    def _hash(label: str) -> int:
+        digest = hashlib.sha256(label.encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big")
+
+    def nodes(self) -> List[str]:
+        return sorted(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def add(self, node: str) -> None:
+        if node in self._nodes:
+            return
+        self._nodes.append(node)
+        for replica in range(self.replicas):
+            point = self._hash(f"{node}#{replica}")
+            index = bisect.bisect(self._points, point)
+            self._points.insert(index, point)
+            self._owners.insert(index, node)
+
+    def remove(self, node: str) -> None:
+        if node not in self._nodes:
+            return
+        self._nodes.remove(node)
+        keep = [
+            (point, owner)
+            for point, owner in zip(self._points, self._owners)
+            if owner != node
+        ]
+        self._points = [point for point, _owner in keep]
+        self._owners = [owner for _point, owner in keep]
+
+    def lookup(self, key: str) -> Optional[str]:
+        """The owning node for ``key`` (None on an empty ring)."""
+        if not self._points:
+            return None
+        index = bisect.bisect(self._points, self._hash(key))
+        if index == len(self._points):
+            index = 0  # wrap around
+        return self._owners[index]
+
+    def preference(self, key: str) -> List[str]:
+        """Every node, ordered by the clockwise ring walk from ``key``:
+        the shard owner first, then the successive failover targets."""
+        if not self._points:
+            return []
+        start = bisect.bisect(self._points, self._hash(key))
+        seen: List[str] = []
+        for offset in range(len(self._points)):
+            owner = self._owners[(start + offset) % len(self._points)]
+            if owner not in seen:
+                seen.append(owner)
+                if len(seen) == len(self._nodes):
+                    break
+        return seen
+
+
+class CircuitBreaker:
+    """closed -> open -> half-open failure gate for one worker.
+
+    ``threshold`` consecutive failures open the breaker; while open,
+    :meth:`allow` refuses until ``cooldown`` seconds pass, then admits
+    exactly one half-open trial whose outcome decides closed-or-open
+    again. ``clock`` is injectable so tests drive time explicitly.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(
+        self,
+        threshold: int = 3,
+        cooldown: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        if cooldown < 0:
+            raise ValueError(f"cooldown must be >= 0, got {cooldown}")
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = self.CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def allow(self) -> bool:
+        """May a request be sent now? An open breaker past its cooldown
+        admits one trial and moves to half-open (further callers are
+        refused until that trial reports back)."""
+        with self._lock:
+            if self._state == self.CLOSED:
+                return True
+            if self._state == self.OPEN:
+                if self._clock() - self._opened_at >= self.cooldown:
+                    self._state = self.HALF_OPEN
+                    return True
+                return False
+            return False  # half-open: the one trial is already out
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._state = self.CLOSED
+            self._failures = 0
+
+    def record_failure(self) -> bool:
+        """Count one failure; returns True when this call opened the
+        breaker (so the caller can count breaker-open transitions)."""
+        with self._lock:
+            if self._state == self.HALF_OPEN:
+                self._state = self.OPEN
+                self._opened_at = self._clock()
+                return True
+            self._failures += 1
+            if self._state == self.CLOSED and self._failures >= self.threshold:
+                self._state = self.OPEN
+                self._opened_at = self._clock()
+                return True
+            if self._state == self.OPEN:
+                self._opened_at = self._clock()
+            return False
+
+
+class _ClientPool:
+    """A small free-list of :class:`ServeClient` connections to one
+    worker. Clients are not thread-safe; the pool hands each handler
+    thread its own, reusing idle connections up to ``size``."""
+
+    def __init__(
+        self, address: Address, timeout: float, size: int, jitter_seed: int
+    ) -> None:
+        self._address = address
+        self._timeout = timeout
+        self._size = size
+        self._jitter_seed = jitter_seed
+        self._lock = threading.Lock()
+        self._free: List[ServeClient] = []
+
+    def acquire(self) -> ServeClient:
+        with self._lock:
+            if self._free:
+                return self._free.pop()
+        # The router owns failover: no client-internal transport
+        # retries (retries=0) and busy surfaces immediately.
+        return ServeClient(
+            self._address,
+            timeout=self._timeout,
+            retries=0,
+            retry_busy=False,
+            jitter_seed=self._jitter_seed,
+        )
+
+    def release(self, client: ServeClient) -> None:
+        with self._lock:
+            if len(self._free) < self._size:
+                self._free.append(client)
+                return
+        client.close()
+
+    def close(self) -> None:
+        with self._lock:
+            clients, self._free = self._free, []
+        for client in clients:
+            client.close()
+
+
+class WorkerEndpoint:
+    """One worker daemon as the router sees it: its address, its
+    connection pool, its breaker, and its last observed health."""
+
+    def __init__(
+        self,
+        name: str,
+        address: Address,
+        timeout: float,
+        pool_size: int,
+        breaker: CircuitBreaker,
+        jitter_seed: int,
+    ) -> None:
+        self.name = name
+        self.address = address
+        self.breaker = breaker
+        self.pool = _ClientPool(address, timeout, pool_size, jitter_seed)
+        self._lock = threading.Lock()
+        self._last_health: Optional[Dict[str, Any]] = None
+        self._last_error: Optional[str] = None
+
+    def request(
+        self,
+        op: str,
+        params: Optional[Dict[str, Any]],
+        deadline: Optional[float],
+    ) -> Any:
+        """One protocol call to this worker; a client that failed is
+        closed rather than returned to the pool (its stream state is
+        unknown)."""
+        client = self.pool.acquire()
+        try:
+            result = client.call(op, params, deadline=deadline)
+        except BaseException:
+            client.close()
+            raise
+        self.pool.release(client)
+        return result
+
+    def note_health(self, payload: Optional[Dict[str, Any]], error: Optional[str]) -> None:
+        with self._lock:
+            if payload is not None:
+                self._last_health = payload
+            self._last_error = error
+
+    def describe(self) -> Dict[str, Any]:
+        with self._lock:
+            health = self._last_health
+            error = self._last_error
+        address = (
+            self.address
+            if isinstance(self.address, str)
+            else f"{self.address[0]}:{self.address[1]}"
+        )
+        info: Dict[str, Any] = {
+            "address": address,
+            "breaker": self.breaker.state,
+        }
+        if health is not None:
+            info["health"] = health
+        if error is not None:
+            info["last_error"] = error
+        return info
+
+    def close(self) -> None:
+        self.pool.close()
+
+
+@dataclass(frozen=True)
+class RouterConfig:
+    """Tunables of one router instance.
+
+    ``failure_threshold`` consecutive transport failures open a
+    worker's breaker for ``cooldown`` seconds; ``probe_interval``
+    paces the background health prober (0 disables the thread — tests
+    drive :meth:`RouterService.probe_workers` directly).
+    ``request_deadline`` bounds one logical request across *all*
+    failover attempts; ``local_fallback`` chooses degraded local
+    execution over ``unavailable`` errors when every worker is down.
+    """
+
+    replicas: int = 64
+    failure_threshold: int = 3
+    cooldown: float = 5.0
+    probe_interval: float = 1.0
+    probe_deadline: float = 2.0
+    request_timeout: float = 30.0
+    request_deadline: float = 120.0
+    pool_size: int = 4
+    local_fallback: bool = True
+    local_workers: int = 2
+
+    def __post_init__(self) -> None:
+        if self.replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {self.replicas}")
+        if self.failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {self.failure_threshold}"
+            )
+        if self.probe_interval < 0:
+            raise ValueError(
+                f"probe_interval must be >= 0, got {self.probe_interval}"
+            )
+        if self.local_workers < 1:
+            raise ValueError(
+                f"local_workers must be >= 1, got {self.local_workers}"
+            )
+
+
+class RouterStats:
+    """Lock-guarded router counters (mirrors ``ServiceStats``)."""
+
+    FIELDS = (
+        "requests",
+        "routed",
+        "rerouted",
+        "worker_failures",
+        "breaker_opens",
+        "rejoins",
+        "degraded",
+        "unavailable",
+        "drain_rejections",
+        "probes",
+        "probe_failures",
+    )
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts: Dict[str, int] = {name: 0 for name in self.FIELDS}
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counts[name] += amount
+
+    def snapshot(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._counts)
+
+
+class RouterService:
+    """Routes serve requests across a ring of worker daemons.
+
+    ``workers`` maps worker names to addresses (a Unix socket path or
+    a ``(host, port)`` pair — :func:`~repro.serve.client.parse_address`
+    output). Satisfies the daemon's ``ServeService`` protocol; host it
+    with :class:`~repro.serve.daemon.ExperimentDaemon` like any worker.
+    """
+
+    def __init__(
+        self,
+        workers: Dict[str, Address],
+        config: Optional[RouterConfig] = None,
+        specs: Optional[Dict[str, ExperimentSpec]] = None,
+        cache: Optional[DiskCache] = None,
+    ) -> None:
+        if not workers:
+            raise ValueError("router needs at least one worker address")
+        self.config = config if config is not None else RouterConfig()
+        if specs is None:
+            from repro.experiments import EXPERIMENT_SPECS as specs  # lazy: heavy import
+        self.catalog = GridCatalog(specs)
+        self.stats = RouterStats()
+        self.ring = HashRing(self.config.replicas)
+        self.endpoints: Dict[str, WorkerEndpoint] = {}
+        for index, (name, address) in enumerate(sorted(workers.items())):
+            self.ring.add(name)
+            self.endpoints[name] = WorkerEndpoint(
+                name,
+                address,
+                timeout=self.config.request_timeout,
+                pool_size=self.config.pool_size,
+                breaker=CircuitBreaker(
+                    threshold=self.config.failure_threshold,
+                    cooldown=self.config.cooldown,
+                ),
+                jitter_seed=index,
+            )
+        self._cache = cache
+        self._lock = threading.Lock()
+        self._idle = threading.Condition(self._lock)
+        self._active = 0
+        self._draining = False
+        self._closed = False
+        self._local: Optional[ExperimentService] = None
+        self._local_lock = threading.Lock()
+        self._stop = threading.Event()
+        self._prober: Optional[threading.Thread] = None
+        if self.config.probe_interval > 0:
+            self._prober = threading.Thread(
+                target=self._probe_loop, name="repro-serve-prober", daemon=True
+            )
+            self._prober.start()
+
+    # -- health probing ----------------------------------------------------
+
+    def _probe_loop(self) -> None:
+        while not self._stop.wait(self.config.probe_interval):
+            self.probe_workers()
+
+    def probe_workers(self) -> Dict[str, bool]:
+        """Health-check every worker once; returns name -> reachable.
+
+        Successes close breakers (a restarted worker rejoins here
+        without waiting for client traffic to half-open it); failures
+        count toward opening them.
+        """
+        reachable: Dict[str, bool] = {}
+        for name, endpoint in self.endpoints.items():
+            self.stats.increment("probes")
+            was_open = endpoint.breaker.state != CircuitBreaker.CLOSED
+            try:
+                payload = endpoint.request(
+                    "health", None, self.config.probe_deadline
+                )
+            except (ServeConnectionError, ServeError, OSError) as exc:
+                reachable[name] = False
+                self.stats.increment("probe_failures")
+                endpoint.note_health(None, f"{type(exc).__name__}: {exc}")
+                if endpoint.breaker.record_failure():
+                    self.stats.increment("breaker_opens")
+                continue
+            reachable[name] = True
+            endpoint.breaker.record_success()
+            if was_open:
+                self.stats.increment("rejoins")
+            endpoint.note_health(
+                payload if isinstance(payload, dict) else None, None
+            )
+        return reachable
+
+    # -- the ServeService surface ------------------------------------------
+
+    def run_cell(
+        self,
+        experiment_id: str,
+        cell_id: str,
+        trace_length: int,
+        seed: int = 0,
+        workloads: Optional[Sequence[str]] = None,
+    ) -> Dict[str, Any]:
+        """Route one cell to its shard owner (with failover)."""
+        self.stats.increment("requests")
+        with self._begin():
+            cell = self.catalog.cell(
+                experiment_id, cell_id, trace_length, seed, workloads
+            )
+            key = compute_cell_key(
+                cell.experiment_id, cell.cell_id, cell.kwargs, cell.func
+            )
+            expires = time.monotonic() + self.config.request_deadline
+            return self._serve_cell(
+                experiment_id, cell_id, trace_length, seed, workloads,
+                key, expires,
+            )
+
+    def run_experiment(
+        self,
+        experiment_id: str,
+        trace_length: int,
+        seed: int = 0,
+        workloads: Optional[Sequence[str]] = None,
+    ) -> Dict[str, Any]:
+        """Scatter a sweep cell-by-cell to shard owners, assemble here.
+
+        Each cell goes to its own shard (cache affinity is per cell,
+        not per experiment), so one dead worker costs only its shard's
+        cells a failover — the sweep itself survives.
+        """
+        self.stats.increment("requests")
+        with self._begin():
+            grid = self.catalog.grid(
+                experiment_id, trace_length, seed, workloads
+            )
+            expires = time.monotonic() + self.config.request_deadline
+            served: List[Tuple[str, Dict[str, Any]]] = []
+            failures: List[str] = []
+            degraded = False
+            for cell_id, cell in grid.items():
+                key = compute_cell_key(
+                    cell.experiment_id, cell.cell_id, cell.kwargs, cell.func
+                )
+                try:
+                    payload = self._serve_cell(
+                        experiment_id, cell_id, trace_length, seed,
+                        workloads, key, expires,
+                    )
+                except CellExecutionFailed as exc:
+                    failures.append(f"{cell_id}: {exc}")
+                    continue
+                degraded = degraded or bool(payload.get("degraded"))
+                served.append((cell_id, payload))
+            if failures:
+                raise CellExecutionFailed("; ".join(failures))
+            values = {
+                cell_id: payload["value"] for cell_id, payload in served
+            }
+            spec = self.catalog.specs[experiment_id]
+            result = spec.assemble(values, trace_length, seed)
+            sources: Dict[str, int] = {}
+            for _cell_id, payload in served:
+                source = str(payload.get("source", "unknown"))
+                sources[source] = sources.get(source, 0) + 1
+            response: Dict[str, Any] = {
+                "experiment_id": experiment_id,
+                "trace_length": trace_length,
+                "seed": seed,
+                "result": result.to_dict(),
+                "cells": [
+                    {
+                        "cell_id": cell_id,
+                        "source": payload.get("source"),
+                        "routed_to": payload.get("routed_to"),
+                    }
+                    for cell_id, payload in served
+                ],
+                "sources": sources,
+            }
+            if degraded:
+                response["degraded"] = True
+            return response
+
+    def health(self) -> Dict[str, Any]:
+        """Aggregated cluster liveness: the router plus every worker's
+        breaker state and last observed health payload."""
+        workers = {
+            name: endpoint.describe()
+            for name, endpoint in sorted(self.endpoints.items())
+        }
+        up = sum(
+            1 for info in workers.values()
+            if info["breaker"] == CircuitBreaker.CLOSED
+        )
+        if self.draining:
+            status = "draining"
+        elif up == len(workers):
+            status = "ok"
+        elif up > 0 or self.config.local_fallback:
+            status = "degraded"
+        else:
+            status = "down"
+        return {
+            "status": status,
+            "role": "router",
+            "protocol": protocol.PROTOCOL_VERSION,
+            "workers_up": up,
+            "workers_total": len(workers),
+            "workers": workers,
+            "experiments": sorted(self.catalog.specs),
+        }
+
+    def stats_snapshot(self, include_disk: bool = True) -> Dict[str, Any]:
+        """Router counters plus a cluster roll-up of worker stats.
+
+        Live workers are asked for their own ``stats``; unreachable
+        ones appear with an ``error`` entry instead of failing the
+        whole snapshot. Shared ``ServiceStats`` counters are summed
+        into ``cluster`` so one number answers "how many executions
+        cluster-wide".
+        """
+        router: Dict[str, Any] = dict(self.stats.snapshot())
+        with self._lock:
+            router.update(inflight=self._active, draining=self._draining)
+        workers: Dict[str, Any] = {}
+        cluster: Dict[str, int] = {}
+        for name, endpoint in sorted(self.endpoints.items()):
+            entry: Dict[str, Any] = {"breaker": endpoint.breaker.state}
+            if endpoint.breaker.state == CircuitBreaker.CLOSED:
+                try:
+                    snapshot = endpoint.request(
+                        "stats",
+                        {"disk": include_disk},
+                        self.config.probe_deadline,
+                    )
+                except (ServeConnectionError, ServeError, OSError) as exc:
+                    entry["error"] = f"{type(exc).__name__}: {exc}"
+                else:
+                    if isinstance(snapshot, dict):
+                        entry["stats"] = snapshot
+                        service = snapshot.get("service", {})
+                        if isinstance(service, dict):
+                            for field, value in service.items():
+                                if isinstance(value, int) and not isinstance(
+                                    value, bool
+                                ):
+                                    cluster[field] = (
+                                        cluster.get(field, 0) + value
+                                    )
+            workers[name] = entry
+        payload: Dict[str, Any] = {
+            "router": router,
+            "workers": workers,
+            "cluster": cluster,
+        }
+        if self._local is not None:
+            payload["local_fallback"] = self._local.stats_snapshot(
+                include_disk=include_disk
+            )
+        return payload
+
+    def drain(self, timeout: float = 30.0) -> bool:
+        """Refuse new work; wait for in-flight routed requests."""
+        with self._idle:
+            self._draining = True
+            drained = self._idle.wait_for(
+                lambda: self._active == 0, timeout=timeout
+            )
+        return bool(drained)
+
+    def close(self) -> None:
+        """Stop the prober, close every connection pool and the local
+        fallback service. Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        with self._lock:
+            self._draining = True
+        self._stop.set()
+        if self._prober is not None:
+            self._prober.join(timeout=5.0)
+        for endpoint in self.endpoints.values():
+            endpoint.close()
+        with self._local_lock:
+            local, self._local = self._local, None
+        if local is not None:
+            local.close()
+
+    @property
+    def draining(self) -> bool:
+        with self._lock:
+            return self._draining
+
+    def __enter__(self) -> "RouterService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- routing machinery -------------------------------------------------
+
+    class _Begin:
+        def __init__(self, router: "RouterService") -> None:
+            self._router = router
+
+        def __enter__(self) -> None:
+            router = self._router
+            with router._idle:
+                if router._draining:
+                    router.stats.increment("drain_rejections")
+                    raise ServiceRejection(
+                        protocol.E_DRAINING,
+                        "router is draining; not accepting new work",
+                    )
+                router._active += 1
+
+        def __exit__(self, *exc_info: object) -> None:
+            router = self._router
+            with router._idle:
+                router._active -= 1
+                if router._active == 0:
+                    router._idle.notify_all()
+
+    def _begin(self) -> "RouterService._Begin":
+        return RouterService._Begin(self)
+
+    def _serve_cell(
+        self,
+        experiment_id: str,
+        cell_id: str,
+        trace_length: int,
+        seed: int,
+        workloads: Optional[Sequence[str]],
+        key: str,
+        expires: float,
+    ) -> Dict[str, Any]:
+        """Walk the preference order for ``key`` until a worker serves
+        the cell; degrade or refuse when none can."""
+        params: Dict[str, Any] = {
+            "experiment_id": experiment_id,
+            "cell_id": cell_id,
+            "trace_length": trace_length,
+            "seed": seed,
+        }
+        if workloads is not None:
+            params["workloads"] = list(workloads)
+        attempts: List[str] = []
+        for position, name in enumerate(self.ring.preference(key)):
+            endpoint = self.endpoints[name]
+            if not endpoint.breaker.allow():
+                attempts.append(f"{name}: breaker {endpoint.breaker.state}")
+                continue
+            remaining = expires - time.monotonic()
+            if remaining <= 0:
+                attempts.append("deadline exhausted")
+                break
+            if position > 0:
+                self.stats.increment("rerouted")
+            try:
+                result = endpoint.request("run_cell", params, remaining)
+            except (ServeConnectionError, OSError) as exc:
+                # Transport-level death: count it, maybe open the
+                # breaker, move to the next node on the ring.
+                self.stats.increment("worker_failures")
+                if endpoint.breaker.record_failure():
+                    self.stats.increment("breaker_opens")
+                endpoint.note_health(None, f"{type(exc).__name__}: {exc}")
+                attempts.append(f"{name}: {exc}")
+                continue
+            except BusyError:
+                # Alive but loaded; spill to the next worker without
+                # penalizing the breaker.
+                attempts.append(f"{name}: busy")
+                continue
+            except ServeError as exc:
+                if exc.code == protocol.E_DRAINING:
+                    # Graceful shutdown is not a fault; fail over.
+                    attempts.append(f"{name}: draining")
+                    continue
+                endpoint.breaker.record_success()
+                raise self._as_local_error(exc)
+            endpoint.breaker.record_success()
+            self.stats.increment("routed")
+            if isinstance(result, dict):
+                result["routed_to"] = name
+                return result
+            raise ServiceRejection(
+                protocol.E_INTERNAL,
+                f"worker {name} returned a non-object result",
+            )
+        return self._degrade(
+            experiment_id, cell_id, trace_length, seed, workloads, attempts
+        )
+
+    @staticmethod
+    def _as_local_error(exc: ServeError) -> Exception:
+        """Map a worker's protocol error back onto the typed exception
+        the daemon dispatcher would have produced locally, so a routed
+        daemon answers exactly like a worker daemon."""
+        if exc.code == protocol.E_EXECUTION:
+            return CellExecutionFailed(exc.message)
+        if exc.code == protocol.E_BAD_REQUEST:
+            return ValueError(exc.message)
+        return ServiceRejection(exc.code, exc.message, exc.retry_after)
+
+    def _degrade(
+        self,
+        experiment_id: str,
+        cell_id: str,
+        trace_length: int,
+        seed: int,
+        workloads: Optional[Sequence[str]],
+        attempts: List[str],
+    ) -> Dict[str, Any]:
+        """No worker could take the cell: execute locally (tagged) or
+        refuse with the retryable ``unavailable`` error."""
+        if not self.config.local_fallback:
+            self.stats.increment("unavailable")
+            summary = "; ".join(attempts) if attempts else "no workers"
+            raise ServiceRejection(
+                protocol.E_UNAVAILABLE,
+                f"no worker available for "
+                f"{experiment_id}/{cell_id} ({summary})",
+                retry_after=self.config.cooldown,
+            )
+        self.stats.increment("degraded")
+        payload = self._local_service().run_cell(
+            experiment_id, cell_id, trace_length, seed, workloads
+        )
+        payload["degraded"] = True
+        payload["routed_to"] = "local"
+        return payload
+
+    def _local_service(self) -> ExperimentService:
+        """The embedded degraded-mode executor, built on first use."""
+        with self._local_lock:
+            if self._local is None:
+                self._local = ExperimentService(
+                    cache=self._cache,
+                    config=ServiceConfig(workers=self.config.local_workers),
+                    specs=self.catalog.specs,
+                )
+            return self._local
+
+
+def shard_map(
+    ring: HashRing, keys: Sequence[str]
+) -> Dict[str, List[str]]:
+    """Which worker owns which keys — the debugging view behind
+    ``repro-serve route --explain``."""
+    assignment: Dict[str, List[str]] = {name: [] for name in ring.nodes()}
+    for key in keys:
+        owner = ring.lookup(key)
+        if owner is not None:
+            assignment[owner].append(key)
+    return assignment
+
+
+def parse_worker_specs(
+    entries: Sequence[str],
+) -> Dict[str, Address]:
+    """CLI ``--worker [NAME=]ADDR`` entries into named addresses.
+
+    Unnamed workers get deterministic names (``w0``, ``w1``, ...) from
+    their position, so the ring layout is stable across restarts with
+    the same flag order.
+    """
+    from repro.serve.client import parse_address
+
+    workers: Dict[str, Address] = {}
+    for index, entry in enumerate(entries):
+        name, sep, rest = entry.partition("=")
+        if sep and name and "/" not in name and ":" not in name:
+            label, address_text = name, rest
+        else:
+            label, address_text = f"w{index}", entry
+        if label in workers:
+            raise ValueError(f"duplicate worker name {label!r}")
+        workers[label] = parse_address(address_text)
+    return workers
+
+
+__all__ = [
+    "CircuitBreaker",
+    "HashRing",
+    "RouterConfig",
+    "RouterService",
+    "RouterStats",
+    "WorkerEndpoint",
+    "parse_worker_specs",
+    "shard_map",
+]

@@ -33,6 +33,7 @@ import os
 import threading
 from collections import deque
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple, Union
@@ -40,7 +41,13 @@ from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple, Union
 from repro.exec import cache as cache_mod
 from repro.exec.cache import DiskCache, compute_cell_key
 from repro.exec.cells import Cell, ExperimentSpec
-from repro.exec.engine import CellOutcome, execute_cell, probe_cell, _worker_init
+from repro.exec.engine import (
+    CellExecution,
+    CellOutcome,
+    execute_cell,
+    probe_cell,
+    _worker_init,
+)
 from repro.serve.lru import LRUCache
 from repro.serve.protocol import E_BUSY, E_DRAINING, E_INTERNAL, PROTOCOL_VERSION
 
@@ -119,6 +126,7 @@ class ServiceStats:
         "busy_rejections",
         "drain_rejections",
         "failures",
+        "worker_restarts",
     )
 
     def __init__(self) -> None:
@@ -132,6 +140,80 @@ class ServiceStats:
     def snapshot(self) -> Dict[str, int]:
         with self._lock:
             return dict(self._counts)
+
+
+class GridCatalog:
+    """Enumerated experiment grids, memoized per scale.
+
+    One resolver for everything that needs to turn
+    ``(experiment_id, cell_id, trace_length, seed, workloads)`` into a
+    :class:`~repro.exec.cells.Cell`: the service's execution path and
+    the cluster router's sharding path (:mod:`repro.serve.router`) both
+    go through it, so they derive identical cells — and therefore
+    identical content keys — for the same request.
+    """
+
+    def __init__(self, specs: Dict[str, ExperimentSpec]) -> None:
+        self.specs = dict(specs)
+        self._grids = LRUCache(32)
+
+    def grid(
+        self,
+        experiment_id: str,
+        trace_length: int,
+        seed: int,
+        workloads: Optional[Sequence[str]] = None,
+    ) -> Dict[str, Cell]:
+        """The experiment's grid as ``{cell_id: Cell}`` in grid order."""
+        if experiment_id not in self.specs:
+            known = ", ".join(sorted(self.specs))
+            raise UnknownExperimentError(
+                f"unknown experiment {experiment_id!r} (known: {known})"
+            )
+        if trace_length < 1:
+            raise UnknownCellError(
+                f"trace_length must be >= 1, got {trace_length}"
+            )
+        names: Optional[List[str]] = list(workloads) if workloads else None
+        if names is not None:
+            from repro.workloads import WORKLOAD_NAMES
+
+            unknown = [name for name in names if name not in WORKLOAD_NAMES]
+            if unknown:
+                raise UnknownCellError(
+                    f"unknown workload(s): {', '.join(unknown)}"
+                )
+        grid_key = json.dumps(
+            [experiment_id, trace_length, seed, names], sort_keys=True
+        )
+        cached = self._grids.get(grid_key)
+        if cached is not None:
+            grid: Dict[str, Cell] = cached
+            return grid
+        spec = self.specs[experiment_id]
+        cells = spec.cells(trace_length, seed, names)
+        grid = {cell.cell_id: cell for cell in cells}
+        self._grids.put(grid_key, grid)
+        return grid
+
+    def cell(
+        self,
+        experiment_id: str,
+        cell_id: str,
+        trace_length: int,
+        seed: int,
+        workloads: Optional[Sequence[str]] = None,
+    ) -> Cell:
+        """One named cell of a grid; raises :class:`UnknownCellError`."""
+        grid = self.grid(experiment_id, trace_length, seed, workloads)
+        cell = grid.get(cell_id)
+        if cell is None:
+            known = ", ".join(sorted(grid)[:8])
+            raise UnknownCellError(
+                f"no cell {cell_id!r} in {experiment_id!r} at this scale "
+                f"(known: {known}, ...)"
+            )
+        return cell
 
 
 class _Inflight:
@@ -167,11 +249,12 @@ class ExperimentService:
         self.config = config if config is not None else ServiceConfig()
         if specs is None:
             from repro.experiments import EXPERIMENT_SPECS as specs  # lazy: heavy import
-        self.specs: Dict[str, ExperimentSpec] = dict(specs)
+        self.catalog = GridCatalog(specs)
+        self.specs: Dict[str, ExperimentSpec] = self.catalog.specs
         self.stats = ServiceStats()
         self.memory = LRUCache(self.config.memory_entries)
-        self._grids = LRUCache(32)
         self._lock = threading.Lock()
+        self._pool_lock = threading.Lock()
         self._idle = threading.Condition(self._lock)
         self._inflight: Dict[str, _Inflight] = {}
         self._slots = threading.BoundedSemaphore(
@@ -252,14 +335,9 @@ class ExperimentService:
     ) -> Dict[str, Any]:
         """Serve one grid cell; raises on rejection or cell failure."""
         self.stats.increment("requests")
-        grid = self._grid(experiment_id, trace_length, seed, workloads)
-        cell = grid.get(cell_id)
-        if cell is None:
-            known = ", ".join(sorted(grid)[:8])
-            raise UnknownCellError(
-                f"no cell {cell_id!r} in {experiment_id!r} at this scale "
-                f"(known: {known}, ...)"
-            )
+        cell = self.catalog.cell(
+            experiment_id, cell_id, trace_length, seed, workloads
+        )
         outcome, source = self.submit_cell(cell)
         if not outcome.ok:
             raise CellExecutionFailed(str(outcome.error))
@@ -291,7 +369,7 @@ class ExperimentService:
         a bounded blocking wait cannot pile up unboundedly).
         """
         self.stats.increment("requests")
-        grid = self._grid(experiment_id, trace_length, seed, workloads)
+        grid = self.catalog.grid(experiment_id, trace_length, seed, workloads)
         if not self._experiments.acquire(blocking=False):
             self.stats.increment("busy_rejections")
             raise ServiceRejection(
@@ -482,8 +560,7 @@ class ExperimentService:
             )
         try:
             self.stats.increment("executions")
-            future = self._pool.submit(execute_cell, cell.func, cell.kwargs)
-            execution = future.result(timeout=self.config.execution_timeout)
+            execution = self._execute_in_pool(cell)
         finally:
             self._slots.release()
 
@@ -506,45 +583,47 @@ class ExperimentService:
 
     # -- plumbing ----------------------------------------------------------
 
-    def _grid(
-        self,
-        experiment_id: str,
-        trace_length: int,
-        seed: int,
-        workloads: Optional[Sequence[str]],
-    ) -> Dict[str, Cell]:
-        """The experiment's grid as ``{cell_id: Cell}`` in grid order,
-        memoized per (experiment, scale, seed, workload selection)."""
-        if experiment_id not in self.specs:
-            known = ", ".join(sorted(self.specs))
-            raise UnknownExperimentError(
-                f"unknown experiment {experiment_id!r} (known: {known})"
-            )
-        if trace_length < 1:
-            raise UnknownCellError(
-                f"trace_length must be >= 1, got {trace_length}"
-            )
-        names: Optional[List[str]] = list(workloads) if workloads else None
-        if names is not None:
-            from repro.workloads import WORKLOAD_NAMES
+    def _execute_in_pool(self, cell: Cell) -> CellExecution:
+        """Run one cell in the worker pool, surviving a dead worker.
 
-            unknown = [name for name in names if name not in WORKLOAD_NAMES]
-            if unknown:
-                raise UnknownCellError(
-                    f"unknown workload(s): {', '.join(unknown)}"
-                )
-        grid_key = json.dumps(
-            [experiment_id, trace_length, seed, names], sort_keys=True
-        )
-        cached = self._grids.get(grid_key)
-        if cached is not None:
-            grid: Dict[str, Cell] = cached
-            return grid
-        spec = self.specs[experiment_id]
-        cells = spec.cells(trace_length, seed, names)
-        grid = {cell.cell_id: cell for cell in cells}
-        self._grids.put(grid_key, grid)
-        return grid
+        A process-pool worker dying (OOM kill, segfault, SIGKILL) breaks
+        the whole executor: every queued future fails with
+        :class:`BrokenProcessPool`. The service treats that as a
+        recoverable infrastructure fault — it swaps in a fresh pool,
+        counts a ``worker_restart``, and retries the cell once. A second
+        break is flattened into the cell's typed execution error so the
+        caller (and any coalesced followers) receive a normal failure
+        instead of a hung or dropped request.
+        """
+        pool = self._pool
+        try:
+            future = pool.submit(execute_cell, cell.func, cell.kwargs)
+            return future.result(timeout=self.config.execution_timeout)
+        except BrokenProcessPool:
+            self.stats.increment("worker_restarts")
+            pool = self._rebuild_pool(pool)
+        try:
+            future = pool.submit(execute_cell, cell.func, cell.kwargs)
+            return future.result(timeout=self.config.execution_timeout)
+        except BrokenProcessPool as exc:
+            return CellExecution(
+                value=None,
+                error=(
+                    f"worker process died twice executing "
+                    f"{cell.cell_id!r}: {type(exc).__name__}: {exc}"
+                ),
+                wall_time=0.0,
+                worker="lost",
+            )
+
+    def _rebuild_pool(self, broken: Executor) -> Executor:
+        """Replace a broken executor exactly once per break (concurrent
+        leaders hitting the same corpse all get the one replacement)."""
+        with self._pool_lock:
+            if self._pool is broken:
+                self._pool = self._make_pool()
+                broken.shutdown(wait=False)
+            return self._pool
 
     def _observe(self, outcome: CellOutcome) -> None:
         """Record one executed cell's volatile row (shared schema)."""

@@ -13,7 +13,10 @@ bound blocks a slot for every client:
 The rule keys off the file's location: only files under a ``serve``
 package are handler code. ``client.py`` is exempt by name — it runs in
 the *client* process, where sleeping between retries is the correct
-backoff behaviour.
+backoff behaviour — and so is ``chaos.py``, the fault-injection
+harness: it *supervises* daemons from outside (spawning worker
+subprocesses and pacing open-loop load are its job, not a stalled
+handler slot).
 """
 
 from __future__ import annotations
@@ -51,13 +54,18 @@ _SUBPROCESS_PREFIX = "subprocess."
 _RECV_METHODS = ("recv", "recvfrom", "recv_into", "recvmsg", "accept")
 
 
+# Files under serve/ that are not handler code: the client library is
+# consumer-side (sleeping between reconnect attempts is correct there)
+# and the chaos harness is a supervisor process (spawning and pacing
+# worker daemons is its purpose).
+_NON_HANDLER_FILES = ("client.py", "chaos.py")
+
+
 def _is_serve_handler_file(source: SourceFile) -> bool:
     parts = source.path.parts
     if "serve" not in parts:
         return False
-    # The client library is consumer-side: sleeping between reconnect
-    # attempts is correct there, not a stalled handler.
-    return source.path.name != "client.py"
+    return source.path.name not in _NON_HANDLER_FILES
 
 
 def _has_settimeout(tree: ast.Module) -> bool:

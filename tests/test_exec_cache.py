@@ -111,7 +111,9 @@ class TestCellStore:
         key = cache.cell_key("x", "y", {})
         cache.put_cell(key, {"nested": [1, 2, {"z": None}]})
         raw = json.loads(cache.cell_path(key).read_text())
-        assert raw == {"value": {"nested": [1, 2, {"z": None}]}}
+        assert raw["value"] == {"nested": [1, 2, {"z": None}]}
+        # The content checksum rides alongside the value and verifies.
+        assert raw["sha256"] == cache_mod.value_digest(raw["value"])
 
     def test_compute_cell_key_matches_method(self):
         def func():
@@ -211,6 +213,81 @@ class TestAccountingAndPrune:
     def test_prune_rejects_negative_budget(self, tmp_path):
         with pytest.raises(ValueError):
             DiskCache(tmp_path).prune(-1)
+
+
+class TestCorruptionQuarantine:
+    def _warm_cell(self, cache, value=None):
+        key = cache.cell_key("fig3.1", "c", {"n": 1})
+        cache.put_cell(key, value if value is not None else {"v": 7},
+                       meta={"experiment_id": "fig3.1", "cell_id": "c"})
+        return key, cache.cell_path(key)
+
+    def test_truncated_cell_is_quarantined_as_a_miss(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        key, path = self._warm_cell(cache)
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        assert cache.get_cell(key) is None
+        assert cache.stats.cell_corrupt == 1
+        assert cache.stats.cell_misses == 1
+        assert cache.stats.cell_hits == 0
+        assert not path.exists()
+        quarantined = list(cache.cell_dir.glob("*.corrupt"))
+        assert len(quarantined) == 1
+
+    def test_bitflipped_value_fails_the_checksum(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        key, path = self._warm_cell(cache, {"v": 7})
+        # Flip the payload while keeping it valid JSON: the checksum,
+        # not the parser, must catch this.
+        path.write_text(path.read_text().replace('"v": 7', '"v": 8'))
+        assert cache.get_cell(key) is None
+        assert cache.stats.cell_corrupt == 1
+
+    def test_legacy_entry_without_checksum_still_reads(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        key = cache.cell_key("fig3.1", "c", {"n": 1})
+        cache.cell_dir.mkdir(parents=True, exist_ok=True)
+        cache.cell_path(key).write_text(json.dumps({"value": {"v": 3}}))
+        assert cache.get_cell(key) == {"v": 3}
+        assert cache.stats.cell_corrupt == 0
+
+    def test_quarantined_entry_recomputes_and_reheals(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        key, path = self._warm_cell(cache)
+        path.write_text("not json at all")
+        assert cache.get_cell(key) is None  # miss: caller recomputes
+        cache.put_cell(key, {"v": 7})
+        assert cache.get_cell(key) == {"v": 7}
+
+    def test_corrupt_trace_is_quarantined_and_regenerated(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        first = cache.fetch_trace("compress", 200, 0)
+        trace_path = cache.trace_path("compress", 200, 0)
+        trace_path.write_text(trace_path.read_text()[:40] + "garbage|line\n")
+        again = cache.fetch_trace("compress", 200, 0)
+        assert cache.stats.trace_corrupt == 1
+        assert len(again) == len(first) == 200
+        assert [r.pc for r in again] == [r.pc for r in first]
+
+    def test_accounting_reports_quarantined_files(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        key, path = self._warm_cell(cache)
+        path.write_text("broken")
+        cache.get_cell(key)
+        accounting = cache.accounting()
+        assert accounting["corrupt"]["entries"] == 1
+        assert accounting["corrupt"]["bytes"] > 0
+        assert accounting["cells"]["entries"] == 0  # not double-counted
+
+    def test_prune_clears_quarantined_files_first(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        key, path = self._warm_cell(cache)
+        path.write_text("broken")
+        cache.get_cell(key)
+        report = cache.prune(1 << 20)  # generous budget: evicts nothing
+        assert report["evicted"] == 0
+        assert list(cache.cell_dir.glob("*.corrupt")) == []
+        assert cache.accounting()["corrupt"]["entries"] == 0
 
 
 class TestActiveCache:

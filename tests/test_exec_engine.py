@@ -169,6 +169,86 @@ def test_failure_does_not_poison_other_experiments(tmp_path):
     assert "fig3.3" in report.results
 
 
+# -- surviving a dead pool worker ------------------------------------------
+#
+# A cell that SIGKILLs its own worker process breaks the whole
+# ProcessPoolExecutor (every queued future raises BrokenProcessPool).
+# The engine must re-run the unfinished cells in a fresh pool — and, if
+# that pool breaks too, serially — instead of aborting the run.
+
+def _pool_killer_cell(counter: str, deaths: int, payload: int) -> dict:
+    import os as _os
+    import signal as _signal
+
+    path = Path(counter)
+    died = len(path.read_text().splitlines()) if path.exists() else 0
+    if died < deaths:
+        with open(counter, "a") as handle:
+            handle.write("die\n")
+        _os.kill(_os.getpid(), _signal.SIGKILL)
+    return {"payload": payload}
+
+
+def _killer_spec(counter: str, deaths: int) -> ExperimentSpec:
+    def cells(trace_length, seed, workloads=None):
+        grid = [
+            Cell("killer", f"good-{i}", _working_cell,
+                 {"log": counter + ".log", "payload": i})
+            for i in range(3)
+        ]
+        grid.append(Cell("killer", "killer", _pool_killer_cell,
+                         {"counter": counter, "deaths": deaths, "payload": 0}))
+        return grid
+
+    def assemble(values, trace_length, seed):
+        from repro.analysis.report import ExperimentResult
+
+        result = ExperimentResult("killer", "killer", ["cell", "payload"])
+        for cell_id in sorted(values):
+            result.rows.append([cell_id, str(values[cell_id]["payload"])])
+        return result
+
+    return ExperimentSpec("killer", cells, assemble)
+
+
+def test_broken_pool_recovers_in_a_fresh_pool(tmp_path):
+    counter = str(tmp_path / "deaths")
+    specs = {"killer": _killer_spec(counter, deaths=1)}
+    report = ExperimentEngine(jobs=2, cache=DiskCache(tmp_path / "c")).run(
+        ["killer"], 10, 0, specs=specs
+    )
+    assert report.ok
+    assert report.results["killer"].cell("killer", "payload") == "0"
+    assert len(report.recoveries) == 1
+    assert report.recoveries[0]["mode"] == "fresh_pool"
+    assert "killer" in report.recoveries[0]["unfinished_cells"]
+    # The recovery is part of the volatile observability record.
+    write_artifacts(report, tmp_path / "out")
+    metrics = read_json(tmp_path / "out" / "metrics.json")
+    assert metrics["recoveries"] == report.recoveries
+
+
+def test_twice_broken_pool_falls_back_to_serial(tmp_path):
+    counter = str(tmp_path / "deaths")
+    specs = {"killer": _killer_spec(counter, deaths=2)}
+    report = ExperimentEngine(jobs=2, cache=DiskCache(tmp_path / "c")).run(
+        ["killer"], 10, 0, specs=specs
+    )
+    assert report.ok
+    modes = [recovery["mode"] for recovery in report.recoveries]
+    assert modes == ["fresh_pool", "serial"]
+    outcome = {o.cell_id: o for o in report.outcomes}
+    assert outcome["killer"].worker == "serial"
+
+
+def test_unbroken_run_records_no_recoveries(tmp_path):
+    report = ExperimentEngine(jobs=2, cache=DiskCache(tmp_path)).run(
+        ["fig3.3"], SMALL, 0, workloads=TWO_WORKLOADS
+    )
+    assert report.ok
+    assert report.recoveries == []
+
+
 def test_no_cache_engine_recomputes(tmp_path):
     engine = ExperimentEngine(jobs=1, cache=None)
     report = engine.run(["fig3.3"], SMALL, 0, workloads=TWO_WORKLOADS)

@@ -1,0 +1,127 @@
+"""Tests for the chaos harness (repro.serve.chaos + the chaos CLI).
+
+Unit tests cover the seeded schedules and report arithmetic; one small
+integration run boots a real 2-worker cluster, kills a worker mid-load
+and asserts the zero-loss contract end to end.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.serve.chaos import (
+    ChaosConfig,
+    ChaosRun,
+    FaultEvent,
+    _percentile,
+)
+from repro.serve.cli import main as serve_main
+
+
+class TestConfigValidation:
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            ChaosConfig(workers=0)
+        with pytest.raises(ValueError):
+            ChaosConfig(duration=0)
+        with pytest.raises(ValueError):
+            ChaosConfig(rate=0)
+        with pytest.raises(ValueError):
+            ChaosConfig(kills=-1)
+
+
+class TestSchedules:
+    def test_schedules_derive_deterministically_from_the_seed(self, tmp_path):
+        config = ChaosConfig(
+            workers=3, seed=42, duration=6.0, rate=10.0,
+            kills=2, hangs=1, corruptions=1, garbles=1,
+        )
+        one = ChaosRun(config, tmp_path / "a")
+        two = ChaosRun(config, tmp_path / "b")
+        assert one._fault_schedule() == two._fault_schedule()
+        assert one._request_schedule() == two._request_schedule()
+
+    def test_different_seeds_differ(self, tmp_path):
+        base = dict(workers=3, duration=6.0, rate=10.0, kills=2, hangs=2)
+        one = ChaosRun(ChaosConfig(seed=1, **base), tmp_path)
+        two = ChaosRun(ChaosConfig(seed=2, **base), tmp_path)
+        assert one._fault_schedule() != two._fault_schedule()
+
+    def test_fault_times_sit_inside_the_load_window(self, tmp_path):
+        config = ChaosConfig(
+            workers=2, seed=0, duration=10.0, kills=3, hangs=3,
+        )
+        schedule = ChaosRun(config, tmp_path)._fault_schedule()
+        assert len(schedule) == 6
+        assert schedule == sorted(schedule, key=lambda e: e[0])
+        for at, kind, victim in schedule:
+            assert 2.0 <= at <= 8.0  # the middle 60%
+            assert kind in ("kill", "hang")
+            assert 0 <= victim < 2
+
+    def test_request_schedule_is_open_loop_at_the_configured_rate(
+        self, tmp_path
+    ):
+        config = ChaosConfig(workers=2, duration=4.0, rate=5.0)
+        arrivals = ChaosRun(config, tmp_path)._request_schedule()
+        assert len(arrivals) == 20
+        gaps = [
+            arrivals[i + 1][0] - arrivals[i][0]
+            for i in range(len(arrivals) - 1)
+        ]
+        assert all(abs(gap - 0.2) < 1e-9 for gap in gaps)
+
+
+class TestReportArithmetic:
+    def test_percentiles(self):
+        values = sorted(float(i) for i in range(1, 101))
+        assert _percentile(values, 0.50) == 51.0
+        assert _percentile(values, 0.99) == 99.0
+        assert _percentile([], 0.5) == 0.0
+        assert _percentile([3.0], 0.99) == 3.0
+
+    def test_fault_event_serialization(self):
+        event = FaultEvent(kind="kill", victim="w1", at=1.23456)
+        event.recovered = True
+        event.recovery_seconds = 0.5551
+        payload = event.as_dict()
+        assert payload == {
+            "kind": "kill",
+            "victim": "w1",
+            "at": 1.235,
+            "detail": "",
+            "recovered": True,
+            "recovery_seconds": 0.555,
+        }
+
+
+class TestChaosCluster:
+    def test_kill_mid_load_loses_nothing(self, tmp_path, capsys):
+        # The harness's central contract, driven through the CLI the
+        # way CI drives it: a worker dies under load and every request
+        # is still answered.
+        code = serve_main([
+            "chaos",
+            "--workers", "2",
+            "--duration", "4",
+            "--rate", "8",
+            "--kills", "1",
+            "--length", "500",
+            "--seed", "11",
+            "--scratch", str(tmp_path),
+            "--json",
+        ])
+        report = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert report["passed"] is True
+        assert report["requests"]["lost"] == 0
+        assert report["requests"]["ok"] == report["requests"]["total"] > 0
+        assert report["clean_drain"] is True
+        (fault,) = report["faults"]
+        assert fault["kind"] == "kill"
+        assert fault["recovered"] is True
+        assert fault["recovery_seconds"] is not None
+        assert report["worker_restarts"][fault["victim"]] == 1
+        assert report["latency"]["p99"] >= report["latency"]["p50"] > 0

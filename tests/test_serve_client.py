@@ -4,12 +4,14 @@ from __future__ import annotations
 
 import socket
 import threading
+import time
 
 import pytest
 
 from repro.serve import protocol
 from repro.serve.client import (
     BusyError,
+    DeadlineExceeded,
     ServeClient,
     ServeConnectionError,
     ServeError,
@@ -208,3 +210,86 @@ def test_client_validates_constructor_arguments():
         ServeClient("/tmp/x.sock", timeout=0)
     with pytest.raises(ValueError):
         ServeClient("/tmp/x.sock", retries=-1)
+    with pytest.raises(ValueError):
+        ServeClient("/tmp/x.sock", deadline=0)
+
+
+# -- deadlines and backoff --------------------------------------------------
+
+
+def test_deadline_cuts_the_retry_loop_short():
+    # A dead port with a generous retry budget: without a deadline the
+    # client would keep reconnecting; the deadline must win.
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    dead = probe.getsockname()
+    probe.close()
+    client = ServeClient(
+        dead, timeout=0.5, retries=100, backoff=0.05, deadline=0.25
+    )
+    start = time.monotonic()
+    with pytest.raises(DeadlineExceeded):
+        client.call("health")
+    assert time.monotonic() - start < 5.0
+
+
+def test_per_call_deadline_overrides_instance_default():
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    dead = probe.getsockname()
+    probe.close()
+    client = ServeClient(dead, timeout=0.5, retries=100, backoff=0.05)
+    with pytest.raises(DeadlineExceeded):
+        client.call("health", deadline=0.25)
+
+
+def test_deadline_exceeded_is_a_connection_error():
+    # Callers that already handle ServeConnectionError keep working.
+    assert issubclass(DeadlineExceeded, ServeConnectionError)
+
+
+def test_successful_call_within_deadline():
+    server = _ScriptedServer([])
+    try:
+        with ServeClient(server.address, timeout=2.0, deadline=5.0) as client:
+            assert client.call("health") == {"pong": True}
+    finally:
+        server.close()
+
+
+def test_busy_retry_honors_deadline():
+    # The server's retry_after hint exceeds the remaining budget: the
+    # client must raise instead of sleeping into a guaranteed miss.
+    busy = {
+        "id": 1,
+        "ok": False,
+        "error": {
+            "code": protocol.E_BUSY,
+            "message": "full",
+            "retry_after": 30.0,
+        },
+    }
+    server = _ScriptedServer([protocol.encode_message(busy)])
+    try:
+        with ServeClient(server.address, timeout=2.0, retries=2,
+                         backoff=0.01, deadline=0.5) as client:
+            start = time.monotonic()
+            with pytest.raises(DeadlineExceeded):
+                client.call("health")
+            assert time.monotonic() - start < 5.0
+        assert len(server.requests) == 1  # no pointless second attempt
+    finally:
+        server.close()
+
+
+def test_backoff_schedule_is_jittered_exponential_and_seeded():
+    a = ServeClient("/tmp/x.sock", backoff=0.1, jitter_seed=7)
+    b = ServeClient("/tmp/x.sock", backoff=0.1, jitter_seed=7)
+    schedule_a = [a._backoff_pause(n) for n in (1, 2, 3)]
+    schedule_b = [b._backoff_pause(n) for n in (1, 2, 3)]
+    assert schedule_a == schedule_b  # same seed, same schedule
+    for attempt, pause in enumerate(schedule_a, start=1):
+        span = 0.1 * (2 ** (attempt - 1))
+        assert span * 0.5 <= pause <= span
+    c = ServeClient("/tmp/x.sock", backoff=0.1, jitter_seed=8)
+    assert [c._backoff_pause(n) for n in (1, 2, 3)] != schedule_a

@@ -176,6 +176,76 @@ def test_graceful_drain_answers_inflight_then_closes(tmp_path):
     assert not os.path.exists(sock_path)  # socket file unlinked
 
 
+def test_sigterm_drain_delivers_inflight_failure(tmp_path):
+    # SIGTERM arrives while an in-flight cell is mid-failure: the drain
+    # must still deliver the error response to the waiting client (not
+    # sever the connection) and then shut down cleanly.
+    import os
+    import signal
+
+    service = ExperimentService(specs=DEMO_SPECS)
+    sock_path = str(tmp_path / "sigterm.sock")
+    daemon = ExperimentDaemon(service, unix=sock_path, drain_timeout=15.0)
+
+    # The real CLI installs the handler from the main thread; do the
+    # same here, then run the serve loop in the background so the test
+    # thread is free to raise the signal against its own process.
+    previous = signal.signal(signal.SIGTERM, daemon._on_signal)
+    run_result = []
+    runner = threading.Thread(
+        target=lambda: run_result.append(daemon.run(install_signals=False))
+    )
+    runner.start()
+    try:
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            try:
+                with ServeClient(sock_path, timeout=2.0) as probe:
+                    probe.ping()
+                break
+            except ServeError:
+                time.sleep(0.01)
+
+        _GATE.clear()
+        outcome = []
+
+        def submit():
+            try:
+                with ServeClient(sock_path, timeout=20.0) as client:
+                    outcome.append(client.run_cell("demo", "cell-boom", 100))
+            except ServeError as exc:
+                outcome.append(exc)
+
+        inflight = threading.Thread(target=submit)
+        inflight.start()
+        deadline = time.monotonic() + 10.0
+        while (
+            service.stats.snapshot()["executions"] < 1
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.01)
+
+        os.kill(os.getpid(), signal.SIGTERM)
+        # Let the drain begin (sleep also gives the handler a bytecode
+        # boundary to run at), then let the cell finish failing.
+        time.sleep(0.2)
+        _GATE.set()
+
+        inflight.join(timeout=20.0)
+        runner.join(timeout=20.0)
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+        _GATE.set()
+        daemon.stop()
+
+    assert run_result == [True]  # the signal produced a clean drain
+    (delivered,) = outcome
+    assert isinstance(delivered, ServeError)
+    assert delivered.code == protocol.E_EXECUTION
+    assert "this cell always fails" in str(delivered)
+    assert not os.path.exists(sock_path)
+
+
 def test_protocol_errors_over_the_wire(demo_daemon):
     _daemon, sock_path, _service = demo_daemon
 

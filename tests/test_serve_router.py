@@ -1,0 +1,515 @@
+"""Tests for the cluster router (repro.serve.router).
+
+The integration tests run real worker daemons (thread-pooled services
+behind ephemeral TCP ports) and a RouterService in front of them, then
+kill and revive workers to exercise failover, breakers and rejoin.
+"""
+
+from __future__ import annotations
+
+import socket
+
+import pytest
+
+from repro.analysis.report import ExperimentResult
+from repro.exec.cells import Cell, ExperimentSpec
+from repro.serve import protocol
+from repro.serve.daemon import ExperimentDaemon
+from repro.serve.router import (
+    CircuitBreaker,
+    HashRing,
+    RouterConfig,
+    RouterService,
+    parse_worker_specs,
+    shard_map,
+)
+from repro.serve.service import (
+    CellExecutionFailed,
+    ExperimentService,
+    ServiceConfig,
+    ServiceRejection,
+    UnknownCellError,
+    UnknownExperimentError,
+)
+
+# -- a deterministic multi-cell experiment ---------------------------------
+
+
+def compute_grid_cell(index, trace_length, seed):
+    return {"n": index * trace_length + seed}
+
+
+def compute_boom(trace_length, seed):
+    raise RuntimeError(f"boom at {trace_length}/{seed}")
+
+
+def grid_cells(trace_length=100, seed=0, workloads=None):
+    del workloads
+    return [
+        Cell(
+            "grid",
+            f"cell-{index}",
+            compute_grid_cell,
+            {"index": index, "trace_length": trace_length, "seed": seed},
+        )
+        for index in range(8)
+    ]
+
+
+def grid_assemble(values, trace_length=0, seed=0):
+    del trace_length, seed
+    result = ExperimentResult("grid", "grid", headers=["cell", "n"])
+    for cell_id in sorted(values):
+        result.rows.append([cell_id, str(values[cell_id]["n"])])
+    return result
+
+
+def boom_cells(trace_length=100, seed=0, workloads=None):
+    del workloads
+    return [
+        Cell(
+            "boom",
+            "cell-boom",
+            compute_boom,
+            {"trace_length": trace_length, "seed": seed},
+        )
+    ]
+
+
+SPECS = {
+    "grid": ExperimentSpec("grid", grid_cells, grid_assemble),
+    "boom": ExperimentSpec("boom", boom_cells, grid_assemble),
+}
+
+
+def start_worker(tcp=("127.0.0.1", 0)):
+    service = ExperimentService(
+        cache=None, config=ServiceConfig(workers=2), specs=SPECS
+    )
+    daemon = ExperimentDaemon(service, tcp=tcp, drain_timeout=5.0)
+    daemon.start()
+    return daemon
+
+
+def dead_address():
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    address = probe.getsockname()
+    probe.close()
+    return address
+
+
+def make_router(workers, **overrides):
+    defaults = dict(
+        probe_interval=0.0,  # tests drive probe_workers() explicitly
+        failure_threshold=1,
+        cooldown=60.0,
+        request_timeout=5.0,
+        request_deadline=30.0,
+        local_fallback=False,
+    )
+    defaults.update(overrides)
+    return RouterService(
+        workers, config=RouterConfig(**defaults), specs=SPECS
+    )
+
+
+# -- hash ring -------------------------------------------------------------
+
+
+class TestHashRing:
+    def test_lookup_is_deterministic(self):
+        ring = HashRing()
+        for node in ("a", "b", "c"):
+            ring.add(node)
+        keys = [f"key-{i}" for i in range(100)]
+        owners = [ring.lookup(k) for k in keys]
+        assert owners == [ring.lookup(k) for k in keys]
+        assert set(owners) == {"a", "b", "c"}  # all nodes carry load
+
+    def test_removal_only_remaps_the_removed_nodes_keys(self):
+        ring = HashRing()
+        for node in ("a", "b", "c"):
+            ring.add(node)
+        keys = [f"key-{i}" for i in range(200)]
+        before = {k: ring.lookup(k) for k in keys}
+        ring.remove("b")
+        for key in keys:
+            after = ring.lookup(key)
+            if before[key] != "b":
+                assert after == before[key]  # untouched shard
+            else:
+                assert after in ("a", "c")
+
+    def test_preference_walk_is_primary_first_and_complete(self):
+        ring = HashRing()
+        for node in ("a", "b", "c"):
+            ring.add(node)
+        order = ring.preference("some-key")
+        assert order[0] == ring.lookup("some-key")
+        assert sorted(order) == ["a", "b", "c"]
+
+    def test_empty_ring(self):
+        ring = HashRing()
+        assert ring.lookup("x") is None
+        assert ring.preference("x") == []
+        ring.remove("ghost")  # no-op
+
+    def test_add_is_idempotent(self):
+        ring = HashRing(replicas=8)
+        ring.add("a")
+        ring.add("a")
+        assert len(ring) == 1
+
+    def test_shard_map_partitions_keys(self):
+        ring = HashRing()
+        ring.add("a")
+        ring.add("b")
+        keys = [f"k{i}" for i in range(50)]
+        assignment = shard_map(ring, keys)
+        assert sorted(sum(assignment.values(), [])) == sorted(keys)
+
+    def test_rejects_bad_replicas(self):
+        with pytest.raises(ValueError):
+            HashRing(replicas=0)
+
+
+# -- circuit breaker -------------------------------------------------------
+
+
+class TestCircuitBreaker:
+    def make(self, threshold=2, cooldown=10.0):
+        now = [0.0]
+        breaker = CircuitBreaker(
+            threshold=threshold, cooldown=cooldown, clock=lambda: now[0]
+        )
+        return breaker, now
+
+    def test_opens_after_threshold_consecutive_failures(self):
+        breaker, _now = self.make(threshold=2)
+        assert breaker.record_failure() is False
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.record_failure() is True
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow()
+
+    def test_success_resets_the_failure_streak(self):
+        breaker, _now = self.make(threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_cooldown_admits_one_half_open_trial(self):
+        breaker, now = self.make(threshold=1, cooldown=10.0)
+        breaker.record_failure()
+        assert not breaker.allow()
+        now[0] = 10.0
+        assert breaker.allow()  # the half-open trial
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert not breaker.allow()  # only one trial at a time
+
+    def test_half_open_success_closes(self):
+        breaker, now = self.make(threshold=1, cooldown=1.0)
+        breaker.record_failure()
+        now[0] = 1.0
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow()
+
+    def test_half_open_failure_reopens(self):
+        breaker, now = self.make(threshold=1, cooldown=1.0)
+        breaker.record_failure()
+        now[0] = 1.0
+        assert breaker.allow()
+        assert breaker.record_failure() is True
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow()
+        now[0] = 2.0
+        assert breaker.allow()  # cooldown restarts from the reopen
+
+    def test_validates_arguments(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown=-1.0)
+
+
+# -- worker spec parsing ---------------------------------------------------
+
+
+class TestParseWorkerSpecs:
+    def test_unnamed_workers_get_positional_names(self):
+        workers = parse_worker_specs(["127.0.0.1:7001", "unix:/tmp/w.sock"])
+        assert workers == {
+            "w0": ("127.0.0.1", 7001),
+            "w1": "/tmp/w.sock",
+        }
+
+    def test_named_workers(self):
+        workers = parse_worker_specs(["alpha=127.0.0.1:7001"])
+        assert workers == {"alpha": ("127.0.0.1", 7001)}
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            parse_worker_specs(["a=h:1", "a=h:2"])
+
+
+# -- routing integration ---------------------------------------------------
+
+
+class TestRouting:
+    def test_requests_land_on_the_shard_owner_consistently(self):
+        workers = [start_worker(), start_worker()]
+        try:
+            addresses = {
+                f"w{i}": d.tcp_address for i, d in enumerate(workers)
+            }
+            with make_router(addresses) as router:
+                first = {}
+                for index in range(8):
+                    payload = router.run_cell("grid", f"cell-{index}", 100)
+                    assert payload["value"] == {"n": index * 100}
+                    # The worker chosen is the ring owner of the key.
+                    assert payload["routed_to"] == router.ring.lookup(
+                        payload["key"]
+                    )
+                    first[index] = payload["routed_to"]
+                for index in range(8):
+                    repeat = router.run_cell("grid", f"cell-{index}", 100)
+                    assert repeat["routed_to"] == first[index]
+                    assert repeat["source"] == "memory"  # shard stayed warm
+                counts = router.stats.snapshot()
+                assert counts["routed"] == 16
+                assert counts["rerouted"] == 0
+        finally:
+            for daemon in workers:
+                daemon.stop()
+
+    def test_dead_worker_keys_reroute_and_breaker_opens(self):
+        workers = [start_worker(), start_worker()]
+        try:
+            addresses = {
+                f"w{i}": d.tcp_address for i, d in enumerate(workers)
+            }
+            with make_router(addresses) as router:
+                owners = {
+                    index: router.run_cell(
+                        "grid", f"cell-{index}", 100
+                    )["routed_to"]
+                    for index in range(8)
+                }
+                victim = owners[0]
+                workers[int(victim[1:])].stop()
+                survivor = "w1" if victim == "w0" else "w0"
+                # Every cell, including the dead worker's shard, is
+                # still served — by the survivor.
+                for index in range(8):
+                    payload = router.run_cell("grid", f"cell-{index}", 100)
+                    assert payload["routed_to"] == survivor
+                counts = router.stats.snapshot()
+                assert counts["worker_failures"] >= 1
+                assert counts["breaker_opens"] == 1
+                assert counts["rerouted"] >= 1
+                victim_cells = [i for i, o in owners.items() if o == victim]
+                assert counts["rerouted"] >= len(victim_cells)
+                assert (
+                    router.endpoints[victim].breaker.state
+                    == CircuitBreaker.OPEN
+                )
+        finally:
+            for daemon in workers:
+                daemon.stop()
+
+    def test_restarted_worker_rejoins_via_probe(self):
+        worker = start_worker()
+        address = worker.tcp_address
+        try:
+            with make_router({"w0": address}, local_fallback=True) as router:
+                assert router.probe_workers() == {"w0": True}
+                worker.stop()
+                assert router.probe_workers() == {"w0": False}
+                assert (
+                    router.endpoints["w0"].breaker.state
+                    == CircuitBreaker.OPEN
+                )
+                # While the worker is down, requests degrade locally.
+                payload = router.run_cell("grid", "cell-1", 100)
+                assert payload["degraded"] is True
+                assert payload["routed_to"] == "local"
+                # Revive the worker on the same address; the prober
+                # re-admits it without any client traffic.
+                worker = start_worker(tcp=address)
+                assert router.probe_workers() == {"w0": True}
+                assert (
+                    router.endpoints["w0"].breaker.state
+                    == CircuitBreaker.CLOSED
+                )
+                payload = router.run_cell("grid", "cell-2", 100)
+                assert payload["routed_to"] == "w0"
+                counts = router.stats.snapshot()
+                assert counts["rejoins"] == 1
+                assert counts["degraded"] == 1
+        finally:
+            worker.stop()
+
+    def test_all_workers_down_without_fallback_is_unavailable(self):
+        with make_router({"w0": dead_address()}) as router:
+            with pytest.raises(ServiceRejection) as excinfo:
+                router.run_cell("grid", "cell-0", 100)
+            assert excinfo.value.code == protocol.E_UNAVAILABLE
+            assert excinfo.value.retry_after is not None
+            assert router.stats.snapshot()["unavailable"] == 1
+
+    def test_validation_errors_stay_local(self):
+        with make_router({"w0": dead_address()}) as router:
+            with pytest.raises(UnknownExperimentError):
+                router.run_cell("nope", "cell-0", 100)
+            with pytest.raises(UnknownCellError):
+                router.run_cell("grid", "cell-999", 100)
+            # Validation failures never consult workers.
+            assert router.stats.snapshot()["worker_failures"] == 0
+
+    def test_execution_errors_propagate_without_failover(self):
+        worker = start_worker()
+        try:
+            with make_router({"w0": worker.tcp_address}) as router:
+                with pytest.raises(CellExecutionFailed, match="boom"):
+                    router.run_cell("boom", "cell-boom", 100)
+                # A deterministic cell failure is not a worker fault.
+                assert (
+                    router.endpoints["w0"].breaker.state
+                    == CircuitBreaker.CLOSED
+                )
+                assert router.stats.snapshot()["worker_failures"] == 0
+        finally:
+            worker.stop()
+
+    def test_router_requires_workers(self):
+        with pytest.raises(ValueError):
+            RouterService({}, specs=SPECS)
+
+
+class TestExperimentScatter:
+    def test_sweep_is_scattered_and_assembled(self):
+        workers = [start_worker(), start_worker()]
+        try:
+            addresses = {
+                f"w{i}": d.tcp_address for i, d in enumerate(workers)
+            }
+            with make_router(addresses) as router:
+                payload = router.run_experiment("grid", 100)
+                direct = grid_assemble(
+                    {
+                        f"cell-{i}": {"n": i * 100}
+                        for i in range(8)
+                    }
+                )
+                assert payload["result"] == direct.to_dict()
+                assert sum(payload["sources"].values()) == 8
+                routed_to = {c["routed_to"] for c in payload["cells"]}
+                assert routed_to <= {"w0", "w1"}
+                assert "degraded" not in payload
+        finally:
+            for daemon in workers:
+                daemon.stop()
+
+    def test_sweep_survives_a_worker_dying(self):
+        workers = [start_worker(), start_worker()]
+        try:
+            addresses = {
+                f"w{i}": d.tcp_address for i, d in enumerate(workers)
+            }
+            with make_router(addresses) as router:
+                workers[0].stop()
+                payload = router.run_experiment("grid", 100)
+                direct = grid_assemble(
+                    {f"cell-{i}": {"n": i * 100} for i in range(8)}
+                )
+                assert payload["result"] == direct.to_dict()
+                assert {c["routed_to"] for c in payload["cells"]} == {"w1"}
+        finally:
+            for daemon in workers:
+                daemon.stop()
+
+
+class TestAggregation:
+    def test_health_reflects_cluster_state(self):
+        worker = start_worker()
+        try:
+            addresses = {"up": worker.tcp_address, "down": dead_address()}
+            with make_router(addresses) as router:
+                router.probe_workers()
+                health = router.health()
+                assert health["status"] == "degraded"
+                assert health["role"] == "router"
+                assert health["workers_up"] == 1
+                assert health["workers_total"] == 2
+                assert health["workers"]["down"]["breaker"] == "open"
+                assert (
+                    health["workers"]["up"]["health"]["status"] == "ok"
+                )
+                assert health["experiments"] == ["boom", "grid"]
+        finally:
+            worker.stop()
+
+    def test_stats_roll_up_worker_counters(self):
+        workers = [start_worker(), start_worker()]
+        try:
+            addresses = {
+                f"w{i}": d.tcp_address for i, d in enumerate(workers)
+            }
+            with make_router(addresses) as router:
+                for index in range(8):
+                    router.run_cell("grid", f"cell-{index}", 100)
+                snapshot = router.stats_snapshot(include_disk=False)
+                assert snapshot["router"]["routed"] == 8
+                cluster = snapshot["cluster"]
+                assert cluster["executions"] == 8
+                assert cluster["requests"] == 8
+                per_worker = [
+                    entry["stats"]["service"]["requests"]
+                    for entry in snapshot["workers"].values()
+                ]
+                assert sum(per_worker) == 8
+        finally:
+            for daemon in workers:
+                daemon.stop()
+
+    def test_drain_refuses_new_work(self):
+        with make_router({"w0": dead_address()}) as router:
+            assert router.drain(timeout=1.0) is True
+            with pytest.raises(ServiceRejection) as excinfo:
+                router.run_cell("grid", "cell-0", 100)
+            assert excinfo.value.code == protocol.E_DRAINING
+            assert router.stats.snapshot()["drain_rejections"] == 1
+
+
+class TestRouterBehindDaemon:
+    def test_router_is_hosted_by_the_same_daemon_stack(self):
+        # The whole point of the ServeService protocol: a router daemon
+        # speaks the same wire protocol as a worker daemon, so the
+        # stock client talks to the cluster unchanged.
+        from repro.serve.client import ServeClient
+
+        worker = start_worker()
+        try:
+            router = make_router({"w0": worker.tcp_address})
+            front = ExperimentDaemon(
+                router, tcp=("127.0.0.1", 0), drain_timeout=5.0
+            )
+            front.start()
+            try:
+                with ServeClient(front.tcp_address, timeout=5.0) as client:
+                    health = client.ping()
+                    assert health["role"] == "router"
+                    payload = client.run_cell("grid", "cell-3", 100)
+                    assert payload["value"] == {"n": 300}
+                    assert payload["routed_to"] == "w0"
+                    sweep = client.run_experiment("grid", 100)
+                    assert sum(sweep["sources"].values()) == 8
+            finally:
+                front.stop()
+        finally:
+            worker.stop()

@@ -429,3 +429,108 @@ class TestExperimentAndStats:
             ServiceConfig(queue_depth=-1)
         with pytest.raises(ValueError):
             ServiceConfig(pool="fiber")
+
+
+# -- surviving process-pool worker death -----------------------------------
+#
+# These cells run in *worker processes* (pool="process"), so the
+# threading gate above cannot reach them; they coordinate through
+# marker files instead.  SIGKILLing the worker from inside breaks the
+# whole ProcessPoolExecutor — the service must swap in a fresh pool and
+# retry, not wedge every later request.
+
+def compute_die_once(marker, trace_length, seed):
+    import os as _os
+    import signal as _signal
+
+    if not _os.path.exists(marker):
+        open(marker, "w").close()
+        _os.kill(_os.getpid(), _signal.SIGKILL)
+    return {"tag": "revived", "n": trace_length + seed}
+
+
+def compute_wait_then_die(gate, trace_length, seed):
+    import os as _os
+    import signal as _signal
+
+    deadline = time.monotonic() + 10.0
+    while not _os.path.exists(gate):
+        if time.monotonic() > deadline:
+            raise RuntimeError("gate file never appeared")
+        time.sleep(0.01)
+    _os.kill(_os.getpid(), _signal.SIGKILL)
+
+
+def _one_cell_spec(experiment_id, func, kwargs):
+    def cells(trace_length=100, seed=0, workloads=None):
+        del workloads
+        merged = dict(kwargs, trace_length=trace_length, seed=seed)
+        return [Cell(experiment_id, "cell-x", func, merged)]
+
+    return ExperimentSpec(experiment_id, cells, demo_assemble)
+
+
+class TestWorkerDeath:
+    def test_dead_worker_is_replaced_and_cell_retried(self, tmp_path):
+        marker = str(tmp_path / "died-once")
+        specs = {"lazarus": _one_cell_spec(
+            "lazarus", compute_die_once, {"marker": marker},
+        )}
+        config = ServiceConfig(pool="process", workers=1)
+        service = ExperimentService(cache=None, config=config, specs=specs)
+        try:
+            payload = service.run_cell("lazarus", "cell-x", 100)
+            assert payload["value"] == {"tag": "revived", "n": 100}
+            assert payload["source"] == "executed"
+            counts = service.stats.snapshot()
+            assert counts["worker_restarts"] == 1
+            assert counts["failures"] == 0
+        finally:
+            service.close()
+
+    def test_followers_survive_leader_worker_dying(self, tmp_path):
+        gate = str(tmp_path / "open-gate")
+        specs = {"doomed": _one_cell_spec(
+            "doomed", compute_wait_then_die, {"gate": gate},
+        )}
+        config = ServiceConfig(pool="process", workers=1)
+        service = ExperimentService(cache=None, config=config, specs=specs)
+        errors = []
+
+        def submit():
+            try:
+                service.run_cell("doomed", "cell-x", 100)
+            except CellExecutionFailed as exc:
+                errors.append(str(exc))
+
+        try:
+            leader = threading.Thread(target=submit)
+            leader.start()
+            # Wait for the leader to hold the in-flight slot, then pile
+            # two followers onto the same key so they coalesce onto it.
+            deadline = time.monotonic() + 5.0
+            while service.stats.snapshot()["executions"] < 1:
+                assert time.monotonic() < deadline, "leader never started"
+                time.sleep(0.01)
+            followers = [threading.Thread(target=submit) for _ in range(2)]
+            for thread in followers:
+                thread.start()
+            while service.stats.snapshot()["coalesced"] < 2:
+                assert time.monotonic() < deadline, "followers never joined"
+                time.sleep(0.01)
+            # Open the gate: the worker SIGKILLs itself, the retry in
+            # the fresh pool dies the same way, and the flattened error
+            # reaches the leader and both followers.
+            open(gate, "w").close()
+            leader.join(timeout=30)
+            for thread in followers:
+                thread.join(timeout=30)
+            assert len(errors) == 3
+            assert all("worker process died twice" in e for e in errors)
+            counts = service.stats.snapshot()
+            assert counts["executions"] == 1
+            assert counts["coalesced"] == 2
+            assert counts["worker_restarts"] >= 1
+        finally:
+            open(gate, "w").close()
+            service.close()

@@ -110,6 +110,18 @@ class TestScope:
         )
         assert findings == []
 
+    def test_chaos_harness_is_exempt(self):
+        # The chaos harness supervises daemons from outside: spawning
+        # worker subprocesses and pacing load are its purpose.
+        findings = run_rule(
+            "import subprocess, time\n"
+            "def spawn():\n"
+            "    subprocess.Popen(['repro-serve'])\n"
+            "    time.sleep(0.1)\n",
+            path="src/repro/serve/chaos.py",
+        )
+        assert findings == []
+
     def test_non_serve_paths_are_exempt(self):
         findings = run_rule(
             "import time\n"
