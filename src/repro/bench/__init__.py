@@ -1,0 +1,225 @@
+"""Backend benchmark harness (the ``repro-bench`` tool).
+
+Runs the hot experiment shapes — the Figure 3.1 ideal-machine sweep and
+the Figure 5.1 realistic-machine sweep — once per simulation backend
+(object reference loops vs the columnar struct-of-arrays passes, see
+:mod:`repro.core.backend`) over the same workload traces, and reports
+per-experiment wall-clock seconds plus the columnar speedup.
+
+Two properties the harness enforces rather than assumes:
+
+* **Parity** — every cell records its raw cycle counts and result
+  extras; the two backends must agree cell-for-cell or the run fails
+  (exit status 1 from the CLI).  The benchmark is therefore also the
+  coarsest-grained differential test, on real 200k-instruction traces
+  rather than the test suite's small ones.
+* **Honest columnar timing** — each backend gets a *fresh*
+  :class:`~repro.trace.trace.Trace` wrapper around the shared records,
+  so the columnar numbers include building the struct-of-arrays view
+  and deriving producer columns (they are lazy, and first touched
+  inside the timed region).  Trace *generation* (funcsim) is shared and
+  untimed: it is identical work for both backends.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.bpred import PerfectBranchPredictor
+from repro.core import (
+    IdealConfig,
+    RealisticConfig,
+    plan_value_predictions,
+    simulate_ideal,
+    simulate_realistic,
+)
+from repro.core._native import native_kernels
+from repro.experiments.common import get_trace
+from repro.fetch import SequentialFetchEngine
+from repro.trace.trace import Trace
+from repro.vphw import AbstractVPUnit
+from repro.vpred import make_predictor
+from repro.workloads import WORKLOAD_NAMES
+
+SCHEMA = "repro-bench/1"
+
+#: (name, trace length, ideal fetch rates, realistic taken limits)
+PROFILES: Dict[str, dict] = {
+    "full": {
+        "trace_length": 200_000,
+        "rates": (4, 8, 16, 32, 40),
+        "taken_limits": (1, 4, None),
+    },
+    "short": {
+        "trace_length": 8_000,
+        "rates": (4, 16, 40),
+        "taken_limits": (1, None),
+    },
+}
+
+
+def _bench_fig3_1(
+    trace: Trace, rates: Sequence[int], backend: str
+) -> List[dict]:
+    """The Figure 3.1 cell shape: per rate, a fresh VP plan and a
+    base/VP simulation pair on the ideal machine."""
+    cells = []
+    for rate in rates:
+        vp_plan = plan_value_predictions(
+            trace, make_predictor(), backend=backend
+        )
+        base = simulate_ideal(
+            trace, IdealConfig(fetch_rate=rate), backend=backend
+        )
+        with_vp = simulate_ideal(
+            trace, IdealConfig(fetch_rate=rate), vp_plan=vp_plan,
+            backend=backend,
+        )
+        cells.append({
+            "rate": rate,
+            "base_cycles": base.cycles,
+            "vp_cycles": with_vp.cycles,
+            "attempted": sum(vp_plan[0]),
+            "correct": sum(vp_plan[1]),
+        })
+    return cells
+
+
+def _bench_fig5_1(
+    trace: Trace, taken_limits: Sequence[Optional[int]], backend: str
+) -> List[dict]:
+    """The Figure 5.1 cell shape: per taken-branch limit, one fetch plan
+    shared by a base/VP simulation pair on the realistic machine."""
+    cells = []
+    for limit in taken_limits:
+        config = RealisticConfig()
+        engine = SequentialFetchEngine(
+            width=config.issue_width, max_taken=limit
+        )
+        bpred = PerfectBranchPredictor()
+        plan = engine.plan(trace, bpred, backend=backend)
+        base = simulate_realistic(
+            trace, engine, bpred, vp_unit=None, config=config, plan=plan,
+            backend=backend,
+        )
+        with_vp = simulate_realistic(
+            trace, engine, bpred, vp_unit=AbstractVPUnit(make_predictor()),
+            config=config, plan=plan, backend=backend,
+        )
+        cells.append({
+            "taken_limit": limit,
+            "base_cycles": base.cycles,
+            "vp_cycles": with_vp.cycles,
+            "base_extra": base.extra,
+            "vp_extra": with_vp.extra,
+        })
+    return cells
+
+
+def _run_backend(
+    backend: str,
+    records_by_workload: Dict[str, Tuple[list, str]],
+    rates: Sequence[int],
+    taken_limits: Sequence[Optional[int]],
+) -> Tuple[Dict[str, float], Dict[str, Dict[str, list]]]:
+    """All experiments under one backend: (seconds per experiment,
+    cells per experiment per workload)."""
+    seconds: Dict[str, float] = {}
+    cells: Dict[str, Dict[str, list]] = {"fig3.1": {}, "fig5.1": {}}
+    # Fresh Trace wrappers: the columnar view is built lazily inside the
+    # timed sections, so its cost lands in the columnar numbers.
+    traces = {
+        name: Trace(records, name=tag)
+        for name, (records, tag) in records_by_workload.items()
+    }
+    start = time.perf_counter()
+    for name, trace in traces.items():
+        cells["fig3.1"][name] = _bench_fig3_1(trace, rates, backend)
+    seconds["fig3.1"] = time.perf_counter() - start
+    start = time.perf_counter()
+    for name, trace in traces.items():
+        cells["fig5.1"][name] = _bench_fig5_1(trace, taken_limits, backend)
+    seconds["fig5.1"] = time.perf_counter() - start
+    return seconds, cells
+
+
+def compare_cells(
+    object_cells: Dict[str, Dict[str, list]],
+    columnar_cells: Dict[str, Dict[str, list]],
+) -> List[str]:
+    """Cell-level divergences between the two backends (empty = parity)."""
+    problems: List[str] = []
+    for experiment, per_workload in object_cells.items():
+        for workload, expected in per_workload.items():
+            actual = columnar_cells.get(experiment, {}).get(workload)
+            if actual == expected:
+                continue
+            problems.append(
+                f"{experiment}/{workload}: object != columnar\n"
+                f"  object:   {expected}\n"
+                f"  columnar: {actual}"
+            )
+    return problems
+
+
+def run_bench(
+    profile: str = "full",
+    trace_length: Optional[int] = None,
+    seed: int = 0,
+    workloads: Optional[Sequence[str]] = None,
+) -> Dict[str, Any]:
+    """Benchmark both backends and return the BENCH report payload."""
+    settings = PROFILES[profile]
+    length = trace_length or settings["trace_length"]
+    rates = settings["rates"]
+    taken_limits = settings["taken_limits"]
+    names = list(workloads) if workloads else list(WORKLOAD_NAMES)
+
+    # Generate (or load from the disk cache) once; both backends then
+    # wrap the same record lists.
+    records_by_workload = {
+        name: (get_trace(name, length, seed).records, name)
+        for name in names
+    }
+
+    backends: Dict[str, Any] = {}
+    all_cells: Dict[str, Dict[str, Dict[str, list]]] = {}
+    for backend in ("object", "columnar"):
+        seconds, cells = _run_backend(
+            backend, records_by_workload, rates, taken_limits
+        )
+        backends[backend] = {
+            "experiment_seconds": {
+                k: round(v, 4) for k, v in seconds.items()
+            },
+            "total_seconds": round(sum(seconds.values()), 4),
+        }
+        all_cells[backend] = cells
+
+    problems = compare_cells(all_cells["object"], all_cells["columnar"])
+    speedup = {
+        exp: round(
+            backends["object"]["experiment_seconds"][exp]
+            / max(backends["columnar"]["experiment_seconds"][exp], 1e-9),
+            2,
+        )
+        for exp in backends["object"]["experiment_seconds"]
+    }
+    speedup["total"] = round(
+        backends["object"]["total_seconds"]
+        / max(backends["columnar"]["total_seconds"], 1e-9),
+        2,
+    )
+    return {
+        "schema": SCHEMA,
+        "profile": profile,
+        "trace_length": length,
+        "seed": seed,
+        "workloads": names,
+        "native_kernels": native_kernels() is not None,
+        "backends": backends,
+        "speedup_vs_object": speedup,
+        "parity": "identical" if not problems else "DIVERGED",
+        "divergences": problems,
+    }

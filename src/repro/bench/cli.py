@@ -1,0 +1,104 @@
+"""``repro-bench`` — time the simulation backends against each other.
+
+Usage::
+
+    repro-bench [--profile full|short] [--length N] [--seed N]
+                [--workload NAME ...] [--output BENCH.json]
+
+Runs the benchmark harness (:mod:`repro.bench`), prints a short table,
+and writes the JSON report.  Exit status 1 when the backends diverge on
+any cell — the benchmark doubles as a differential test — so CI can run
+the short profile as a gate.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import List, Optional
+
+from repro.bench import PROFILES, run_bench
+from repro.cliutil import CleanArgumentParser, nonnegative_int, positive_int
+from repro.workloads import WORKLOAD_NAMES
+
+
+def _build_parser() -> CleanArgumentParser:
+    parser = CleanArgumentParser(
+        prog="repro-bench",
+        description="benchmark the object vs columnar simulation backends",
+    )
+    parser.add_argument(
+        "--profile", choices=sorted(PROFILES), default="full",
+        help="workload sizing: 'full' (200k instructions, the committed "
+        "BENCH artifact) or 'short' (CI-sized)",
+    )
+    parser.add_argument(
+        "--length", type=positive_int, default=None,
+        help="override the profile's trace length",
+    )
+    parser.add_argument(
+        "--seed", type=nonnegative_int, default=0,
+        help="workload generation seed (default 0)",
+    )
+    parser.add_argument(
+        "--workload", action="append", choices=list(WORKLOAD_NAMES),
+        default=None, metavar="NAME",
+        help="restrict to one workload (repeatable; default: all eight)",
+    )
+    parser.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="write the JSON report here (default: BENCH_8.json; "
+        "'-' for stdout only)",
+    )
+    return parser
+
+
+def _format_report(report: dict) -> str:
+    lines = [
+        f"repro-bench profile={report['profile']} "
+        f"length={report['trace_length']} "
+        f"native_kernels={report['native_kernels']}",
+    ]
+    for backend, payload in report["backends"].items():
+        per_exp = " ".join(
+            f"{name}={seconds:.2f}s"
+            for name, seconds in payload["experiment_seconds"].items()
+        )
+        lines.append(
+            f"  {backend:<9} {per_exp} total={payload['total_seconds']:.2f}s"
+        )
+    gains = " ".join(
+        f"{name}={value:.2f}x"
+        for name, value in report["speedup_vs_object"].items()
+    )
+    lines.append(f"  speedup   {gains}")
+    lines.append(f"  parity    {report['parity']}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    report = run_bench(
+        profile=args.profile,
+        trace_length=args.length,
+        seed=args.seed,
+        workloads=args.workload,
+    )
+    blob = json.dumps(report, sort_keys=True, indent=2) + "\n"
+    if args.output == "-":
+        sys.stdout.write(blob)
+    else:
+        path = args.output or "BENCH_8.json"
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(blob)
+        print(f"wrote {path}")
+    print(_format_report(report))
+    if report["parity"] != "identical":
+        for problem in report["divergences"]:
+            print(f"PARITY: {problem}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the entry point
+    raise SystemExit(main())

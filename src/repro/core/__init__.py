@@ -10,6 +10,7 @@
   reissue.
 """
 
+from repro.core.backend import BACKENDS, resolve_backend
 from repro.core.config import IdealConfig, RealisticConfig
 from repro.core.results import SimulationResult, speedup
 from repro.core.vp_plan import plan_value_predictions
@@ -17,6 +18,8 @@ from repro.core.ideal import simulate_ideal, pipeline_table
 from repro.core.realistic import plan_branch_accuracy, simulate_realistic
 
 __all__ = [
+    "BACKENDS",
+    "resolve_backend",
     "IdealConfig",
     "RealisticConfig",
     "SimulationResult",

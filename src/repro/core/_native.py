@@ -1,0 +1,277 @@
+"""Optional compiled kernels for the columnar backend.
+
+The columnar timing recurrences (ideal/realistic exec-done chains, the
+saturating-classifier scan, producer derivation) are inherently
+sequential, so they cannot be vectorized with numpy; the fallback is a
+tight Python loop.  When a C compiler is available the loops are
+compiled once into a small shared library and driven through ``ctypes``
+— the source below is self-contained C99 with no dependencies, keyed by
+its own SHA-256 so rebuilds only happen when the kernels change.
+
+Everything here is best-effort: no compiler, a failed compile, a failed
+``dlopen`` or ``REPRO_NATIVE=0`` all yield ``None`` from
+:func:`native_kernels` and callers use the Python loops.  The kernels
+compute the same integer recurrences statement-for-statement, so results
+are identical either way (the backend parity suite pins this).
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from typing import Optional
+
+_ENV_TOGGLE = "REPRO_NATIVE"
+_ENV_DIR = "REPRO_NATIVE_DIR"
+_DISABLED = ("0", "off", "false", "no")
+
+_SOURCE = r"""
+#include <stdlib.h>
+
+/* Last register writer per source operand, -1 when none.  Registers are
+   int16 with -1 = absent; `nregs` bounds the scratch table.  Returns 0
+   only on allocation failure. */
+int repro_producers(long long n, long long nregs,
+                    const short *dest, const short *src0, const short *src1,
+                    long long *prod0, long long *prod1)
+{
+    long long *last = (long long *)malloc((size_t)nregs * sizeof(long long));
+    long long i, r;
+    if (!last) return 0;
+    for (r = 0; r < nregs; r++) last[r] = -1;
+    for (i = 0; i < n; i++) {
+        short s = src0[i];
+        prod0[i] = (s >= 0) ? last[s] : -1;
+        s = src1[i];
+        prod1[i] = (s >= 0) ? last[s] : -1;
+        s = dest[i];
+        if (s >= 0) last[s] = i;
+    }
+    free(last);
+    return 1;
+}
+
+/* The core.ideal timing recurrence.  d0/d1/dm are producer indices
+   (-1 = no dependence), a0/a1 the value-misprediction penalties to add
+   to the producer's completion.  Fills ed (exec-done per record) and
+   returns its maximum (= total cycles). */
+long long repro_ideal(long long n, long long window, long long rate,
+                      const long long *d0, const long long *a0,
+                      const long long *d1, const long long *a1,
+                      const long long *dm, long long *ed)
+{
+    long long fetch_cycle = 0, used = 0, maxed = 0, i;
+    for (i = 0; i < n; i++) {
+        long long f = fetch_cycle, start, p, ready;
+        if (used >= rate) f += 1;
+        if (i >= window) {
+            long long slot_free = ed[i - window];
+            if (slot_free > f) f = slot_free;
+        }
+        if (f > fetch_cycle) used = 0;
+        fetch_cycle = f;
+        used += 1;
+        start = f + 2;
+        p = d0[i];
+        if (p >= 0) { ready = ed[p] + a0[i]; if (ready > start) start = ready; }
+        p = d1[i];
+        if (p >= 0) { ready = ed[p] + a1[i]; if (ready > start) start = ready; }
+        p = dm[i];
+        if (p >= 0) { ready = ed[p]; if (ready > start) start = ready; }
+        ed[i] = start + 1;
+        if (ed[i] > maxed) maxed = ed[i];
+    }
+    return maxed;
+}
+
+/* The core.realistic timing pass over precomputed fetch blocks
+   (bstart/bend/bmis, bmis = -1 when the block ends cleanly). */
+long long repro_realistic(long long nblocks, long long window,
+                          long long branch_penalty,
+                          const long long *bstart, const long long *bend,
+                          const long long *bmis,
+                          const long long *d0, const long long *a0,
+                          const long long *d1, const long long *a1,
+                          const long long *dm, long long *ed)
+{
+    long long prev_fetch = -1, redirect_ready = 0, maxed = 0, b, i;
+    for (b = 0; b < nblocks; b++) {
+        long long f = prev_fetch + 1;
+        if (redirect_ready > f) f = redirect_ready;
+        for (i = bstart[b]; i < bend[b]; i++) {
+            long long start, p, ready;
+            if (i >= window) {
+                long long slot_free = ed[i - window];
+                if (slot_free > f) f = slot_free;
+            }
+            start = f + 2;
+            p = d0[i];
+            if (p >= 0) { ready = ed[p] + a0[i]; if (ready > start) start = ready; }
+            p = d1[i];
+            if (p >= 0) { ready = ed[p] + a1[i]; if (ready > start) start = ready; }
+            p = dm[i];
+            if (p >= 0) { ready = ed[p]; if (ready > start) start = ready; }
+            ed[i] = start + 1;
+            if (ed[i] > maxed) maxed = ed[i];
+        }
+        prev_fetch = f;
+        if (bmis[b] >= 0) {
+            long long resume = ed[bmis[b]] + branch_penalty;
+            if (resume > redirect_ready) redirect_ready = resume;
+        }
+    }
+    return maxed;
+}
+
+/* Saturating-classifier scan over producers in trace order.  gid maps
+   each producer to its PC group; counters (len = n groups) must be
+   pre-filled with the initial counter value.  allowed[k] records
+   whether the counter permitted use *before* this occurrence trained
+   it; training happens only when the raw predictor offered a value
+   (has_raw). */
+void repro_satcounter(long long nprod, const long long *gid,
+                      const unsigned char *raw_ok,
+                      const unsigned char *has_raw,
+                      long long max_value, long long threshold,
+                      long long *counters, unsigned char *allowed)
+{
+    long long k;
+    for (k = 0; k < nprod; k++) {
+        long long g = gid[k];
+        long long c = counters[g];
+        allowed[k] = (unsigned char)(c >= threshold);
+        if (has_raw[k]) {
+            if (raw_ok[k]) { if (c < max_value) counters[g] = c + 1; }
+            else           { if (c > 0)         counters[g] = c - 1; }
+        }
+    }
+}
+"""
+
+_I64P = ctypes.POINTER(ctypes.c_longlong)
+_I16P = ctypes.POINTER(ctypes.c_short)
+_U8P = ctypes.POINTER(ctypes.c_ubyte)
+_I64 = ctypes.c_longlong
+
+
+def _ptr(arr, ctype):
+    return arr.ctypes.data_as(ctype)
+
+
+class NativeKernels:
+    """ctypes facade over the compiled kernel library."""
+
+    def __init__(self, lib: ctypes.CDLL):
+        self._lib = lib
+        lib.repro_producers.restype = ctypes.c_int
+        lib.repro_producers.argtypes = [
+            _I64, _I64, _I16P, _I16P, _I16P, _I64P, _I64P,
+        ]
+        lib.repro_ideal.restype = _I64
+        lib.repro_ideal.argtypes = [
+            _I64, _I64, _I64, _I64P, _I64P, _I64P, _I64P, _I64P, _I64P,
+        ]
+        lib.repro_realistic.restype = _I64
+        lib.repro_realistic.argtypes = [
+            _I64, _I64, _I64,
+            _I64P, _I64P, _I64P,
+            _I64P, _I64P, _I64P, _I64P, _I64P, _I64P,
+        ]
+        lib.repro_satcounter.restype = None
+        lib.repro_satcounter.argtypes = [
+            _I64, _I64P, _U8P, _U8P, _I64, _I64, _I64P, _U8P,
+        ]
+
+    def producers(self, n, nregs, dest, src0, src1, prod0, prod1) -> bool:
+        return bool(self._lib.repro_producers(
+            n, nregs, _ptr(dest, _I16P), _ptr(src0, _I16P),
+            _ptr(src1, _I16P), _ptr(prod0, _I64P), _ptr(prod1, _I64P),
+        ))
+
+    def ideal(self, n, window, rate, d0, a0, d1, a1, dm, ed) -> int:
+        return int(self._lib.repro_ideal(
+            n, window, rate,
+            _ptr(d0, _I64P), _ptr(a0, _I64P), _ptr(d1, _I64P),
+            _ptr(a1, _I64P), _ptr(dm, _I64P), _ptr(ed, _I64P),
+        ))
+
+    def realistic(self, nblocks, window, branch_penalty,
+                  bstart, bend, bmis, d0, a0, d1, a1, dm, ed) -> int:
+        return int(self._lib.repro_realistic(
+            nblocks, window, branch_penalty,
+            _ptr(bstart, _I64P), _ptr(bend, _I64P), _ptr(bmis, _I64P),
+            _ptr(d0, _I64P), _ptr(a0, _I64P), _ptr(d1, _I64P),
+            _ptr(a1, _I64P), _ptr(dm, _I64P), _ptr(ed, _I64P),
+        ))
+
+    def satcounter(self, nprod, gid, raw_ok, has_raw,
+                   max_value, threshold, counters, allowed) -> None:
+        self._lib.repro_satcounter(
+            nprod, _ptr(gid, _I64P), _ptr(raw_ok, _U8P),
+            _ptr(has_raw, _U8P), max_value, threshold,
+            _ptr(counters, _I64P), _ptr(allowed, _U8P),
+        )
+
+
+def _cache_dir() -> str:
+    configured = os.environ.get(_ENV_DIR)
+    if configured:
+        return configured
+    return os.path.join(
+        os.path.expanduser("~"), ".cache", "repro-native"
+    )
+
+
+def _compiler() -> Optional[str]:
+    for candidate in (os.environ.get("CC"), "cc", "gcc", "clang"):
+        if candidate and shutil.which(candidate):
+            return candidate
+    return None
+
+
+def _build() -> Optional[NativeKernels]:
+    cc = _compiler()
+    if cc is None:
+        return None
+    digest = hashlib.sha256(_SOURCE.encode()).hexdigest()[:16]
+    directory = _cache_dir()
+    lib_path = os.path.join(directory, f"repro_kernels_{digest}.so")
+    try:
+        if not os.path.exists(lib_path):
+            os.makedirs(directory, exist_ok=True)
+            with tempfile.TemporaryDirectory(dir=directory) as tmp:
+                src = os.path.join(tmp, "kernels.c")
+                out = os.path.join(tmp, "kernels.so")
+                with open(src, "w") as fh:
+                    fh.write(_SOURCE)
+                proc = subprocess.run(
+                    [cc, "-O2", "-shared", "-fPIC", "-o", out, src],
+                    capture_output=True,
+                    timeout=120,
+                )
+                if proc.returncode != 0:
+                    return None
+                # Atomic publish: concurrent builders race benignly.
+                os.replace(out, lib_path)
+        return NativeKernels(ctypes.CDLL(lib_path))
+    except (OSError, subprocess.SubprocessError):
+        return None
+
+
+# Per-process memo of the (attempted) build.  Worker processes each
+# compile-or-load independently; the kernels are pure functions of their
+# arguments, so per-process copies cannot diverge observably.
+_MEMO: dict = {}
+
+
+def native_kernels() -> Optional[NativeKernels]:
+    """The compiled kernels, or None (disabled / unavailable)."""
+    if os.environ.get(_ENV_TOGGLE, "1").strip().lower() in _DISABLED:
+        return None
+    if "lib" not in _MEMO:
+        _MEMO["lib"] = _build()  # repro-lint: disable=RPD005
+    return _MEMO["lib"]

@@ -1,0 +1,51 @@
+"""Simulation backend selection.
+
+Two interchangeable implementations exist for the hot paths (fetch
+planning, VP planning, dependence resolution / timing, trace stats):
+
+* ``object`` — the original per-instruction reference loops over
+  :class:`~repro.trace.record.DynInstr` objects.  Always available,
+  always authoritative.
+* ``columnar`` — vectorized passes over the struct-of-arrays view
+  (:mod:`repro.trace.columnar`), with optional compiled kernels
+  (:mod:`repro.core._native`).  Produces byte-identical results and
+  silently falls back to the reference implementation whenever a trace,
+  predictor or engine configuration is outside its fast paths.
+
+Selection: an explicit ``backend=`` argument wins, then the
+``REPRO_BACKEND`` environment variable (``auto`` | ``object`` |
+``columnar``); ``auto`` (the default) resolves to ``columnar``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.errors import ConfigError
+
+#: Concrete backend names (``auto`` resolves to one of these).
+BACKENDS = ("object", "columnar")
+
+_ENV_VAR = "REPRO_BACKEND"
+
+
+def resolve_backend(explicit: Optional[str] = None) -> str:
+    """Resolve the backend to use: ``"object"`` or ``"columnar"``.
+
+    ``explicit`` (a ``backend=`` keyword argument) takes precedence over
+    the ``REPRO_BACKEND`` environment variable; ``None`` or ``"auto"``
+    defers to the next level down.
+    """
+    choice = explicit
+    if choice is None or choice == "auto":
+        choice = os.environ.get(_ENV_VAR, "auto")
+    choice = choice.strip().lower()
+    if choice == "auto":
+        return "columnar"
+    if choice in BACKENDS:
+        return choice
+    raise ConfigError(
+        f"unknown simulation backend {choice!r}: "
+        f"expected 'auto', 'object' or 'columnar'"
+    )

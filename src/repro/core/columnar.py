@@ -1,0 +1,312 @@
+"""Columnar-backend implementations of the two timing cores.
+
+The per-instruction reference loops in :mod:`repro.core.ideal` and
+:mod:`repro.core.realistic` spend most of their time on attribute
+access and dict probes.  Here the trace-invariant parts (producer
+indices per source operand, store→load arcs) come precomputed from the
+:class:`~repro.trace.columnar.ColumnarTrace`, the per-run value-
+prediction gating collapses into four flat dependence arrays, and the
+remaining sequential recurrence runs in a compiled kernel
+(:mod:`repro.core._native`) or a tight Python loop over plain lists.
+
+Dependence-array encoding, identical for both cores: for record ``i``
+and source slot ``s``, ``d{s}[i]`` is the producer index the record
+must wait for (-1 = none, including correctly-predicted producers whose
+dependence is eliminated) and ``a{s}[i]`` the value-misprediction
+penalty added to that producer's completion; ``dm[i]`` is the producing
+store for loads.  This reproduces the reference loops' max() chain
+statement for statement, so cycle counts are byte-identical — the
+backend parity suite and the bench CLI both assert it.
+
+Entry points return ``None`` when the trace has no columnar view; the
+callers in ideal/realistic then run the reference implementation.  All
+other fallbacks (no numpy, no compiler, exotic predictor or VP unit)
+are internal and still produce exact results.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core._native import native_kernels
+from repro.core.results import SimulationResult
+from repro.core.vp_plan import plan_value_predictions
+from repro.vpred.columnar import vectorized_plan
+from repro.vphw.unit import AbstractVPUnit
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - list path used instead
+    np = None  # type: ignore[assignment]
+
+
+# -- dependence arrays -----------------------------------------------------
+
+def _gate_np(prod, att, cor, penalty):
+    """Apply VP gating to one producer column (numpy path)."""
+    hasp = prod >= 0
+    idx = np.where(hasp, prod, 0)
+    p_att = att[idx] & hasp
+    p_cor = cor[idx] & p_att
+    d = np.where(hasp & ~p_cor, prod, np.int64(-1))
+    a = np.where(p_att & ~p_cor, np.int64(penalty), np.int64(0))
+    return np.ascontiguousarray(d), np.ascontiguousarray(a)
+
+
+def _dep_arrays_np(cols, attempted, correct, penalty, memdeps):
+    n = cols.n
+    p0 = cols.prod0
+    p1 = cols.prod1
+    if attempted is None:
+        zeros = np.zeros(n, dtype=np.int64)
+        d0, a0, d1, a1 = p0, zeros, p1, zeros
+    else:
+        att = np.asarray(attempted, dtype=bool)
+        cor = np.asarray(correct, dtype=bool)
+        d0, a0 = _gate_np(p0, att, cor, penalty)
+        d1, a1 = _gate_np(p1, att, cor, penalty)
+    if memdeps:
+        dm = cols.memprod
+    else:
+        dm = np.full(n, -1, dtype=np.int64)
+    return d0, a0, d1, a1, dm
+
+
+def _gate_lists(prod: List[int], att, cor, penalty: int):
+    n = len(prod)
+    d = [-1] * n
+    a = [0] * n
+    for i in range(n):
+        p = prod[i]
+        if p >= 0:
+            if att[p]:
+                if cor[p]:
+                    continue
+                d[i] = p
+                a[i] = penalty
+            else:
+                d[i] = p
+    return d, a
+
+
+def _dep_lists(cols, attempted, correct, penalty, memdeps):
+    n = cols.n
+    p0, p1, pm = cols.prod_lists()
+    if attempted is None:
+        zeros = [0] * n
+        d0, a0, d1, a1 = p0, zeros, p1, zeros
+    else:
+        if np is not None and isinstance(attempted, np.ndarray):
+            attempted = attempted.tolist()
+            correct = correct.tolist()
+        d0, a0 = _gate_lists(p0, attempted, correct, penalty)
+        d1, a1 = _gate_lists(p1, attempted, correct, penalty)
+    dm = pm if memdeps else [-1] * n
+    return d0, a0, d1, a1, dm
+
+
+# -- tight-loop fallbacks of the compiled kernels --------------------------
+
+def _ideal_loop(n, window, rate, d0, a0, d1, a1, dm) -> List[int]:
+    ed = [0] * n
+    fetch_cycle = 0
+    used = 0
+    for i in range(n):
+        f = fetch_cycle
+        if used >= rate:
+            f += 1
+        if i >= window:
+            slot_free = ed[i - window]
+            if slot_free > f:
+                f = slot_free
+        if f > fetch_cycle:
+            used = 0
+        fetch_cycle = f
+        used += 1
+        start = f + 2
+        p = d0[i]
+        if p >= 0:
+            ready = ed[p] + a0[i]
+            if ready > start:
+                start = ready
+        p = d1[i]
+        if p >= 0:
+            ready = ed[p] + a1[i]
+            if ready > start:
+                start = ready
+        p = dm[i]
+        if p >= 0:
+            ready = ed[p]
+            if ready > start:
+                start = ready
+        ed[i] = start + 1
+    return ed
+
+
+def _realistic_loop(
+    n, window, branch_penalty,
+    blocks: Sequence[Tuple[int, int, int]],
+    d0, a0, d1, a1, dm,
+) -> List[int]:
+    ed = [0] * n
+    prev_fetch = -1
+    redirect_ready = 0
+    for bs, be, bm in blocks:
+        f = prev_fetch + 1
+        if redirect_ready > f:
+            f = redirect_ready
+        for i in range(bs, be):
+            if i >= window:
+                slot_free = ed[i - window]
+                if slot_free > f:
+                    f = slot_free
+            start = f + 2
+            p = d0[i]
+            if p >= 0:
+                ready = ed[p] + a0[i]
+                if ready > start:
+                    start = ready
+            p = d1[i]
+            if p >= 0:
+                ready = ed[p] + a1[i]
+                if ready > start:
+                    start = ready
+            p = dm[i]
+            if p >= 0:
+                ready = ed[p]
+                if ready > start:
+                    start = ready
+            ed[i] = start + 1
+        prev_fetch = f
+        if bm >= 0:
+            resume = ed[bm] + branch_penalty
+            if resume > redirect_ready:
+                redirect_ready = resume
+    return ed
+
+
+# -- the two cores ---------------------------------------------------------
+
+def simulate_ideal_columnar(trace, config, predictor, vp_plan) -> Optional[SimulationResult]:
+    """Columnar :func:`~repro.core.ideal.simulate_ideal`, or None."""
+    cols = trace.columns()
+    if cols is None:
+        return None
+    if predictor is not None and vp_plan is None:
+        vp_plan = plan_value_predictions(trace, predictor)
+    attempted, correct = vp_plan if vp_plan is not None else (None, None)
+    n = cols.n
+    rate = config.fetch_rate
+    if n == 0:
+        cycles = 0
+    else:
+        kernels = native_kernels() if cols.vec else None
+        if kernels is not None:
+            deps = _dep_arrays_np(
+                cols, attempted, correct,
+                config.value_penalty, config.memory_dependencies,
+            )
+            ed = np.empty(n, dtype=np.int64)
+            cycles = kernels.ideal(n, config.window, rate, *deps, ed)
+        else:
+            deps = _dep_lists(
+                cols, attempted, correct,
+                config.value_penalty, config.memory_dependencies,
+            )
+            cycles = max(_ideal_loop(n, config.window, rate, *deps))
+    return SimulationResult(
+        name=f"ideal(rate={rate}{',vp' if predictor or vp_plan else ''})",
+        n_instructions=n,
+        cycles=cycles,
+    )
+
+
+def _run_realistic(cols, config, plan, attempted, correct) -> int:
+    n = cols.n
+    if n == 0:
+        return 0
+    blocks = plan.blocks
+    kernels = native_kernels() if cols.vec else None
+    if kernels is not None:
+        deps = _dep_arrays_np(
+            cols, attempted, correct,
+            config.value_penalty, config.memory_dependencies,
+        )
+        nb = len(blocks)
+        bstart = np.fromiter((b.start for b in blocks), np.int64, nb)
+        bend = np.fromiter((b.end for b in blocks), np.int64, nb)
+        bmis = np.fromiter(
+            (-1 if b.mispredict_seq is None else b.mispredict_seq
+             for b in blocks),
+            np.int64, nb,
+        )
+        ed = np.empty(n, dtype=np.int64)
+        return kernels.realistic(
+            nb, config.window, config.branch_penalty,
+            bstart, bend, bmis, *deps, ed,
+        )
+    deps = _dep_lists(
+        cols, attempted, correct,
+        config.value_penalty, config.memory_dependencies,
+    )
+    block_tuples = [
+        (b.start, b.end, -1 if b.mispredict_seq is None else b.mispredict_seq)
+        for b in blocks
+    ]
+    return max(_realistic_loop(
+        n, config.window, config.branch_penalty, block_tuples, *deps,
+    ))
+
+
+def simulate_realistic_columnar(
+    trace, fetch_engine, bpred, vp_unit, config, plan,
+) -> Optional[SimulationResult]:
+    """Columnar :func:`~repro.core.realistic.simulate_realistic`, or None.
+
+    Must not mutate anything (predictor, bpred, VP unit) before deciding
+    to run: the only ``None`` return is the missing-columnar-view check,
+    after which every internal fallback still completes the simulation.
+    """
+    from repro.core.realistic import finish_realistic_result
+
+    cols = trace.columns()
+    if cols is None:
+        return None
+    records = trace.records
+    n = len(records)
+    plan_supplied = plan is not None
+    if plan is None:
+        plan = fetch_engine.plan(trace, bpred)
+    plan.validate(n)
+
+    attempted = correct = None
+    if vp_unit is not None:
+        fast = None
+        if type(vp_unit) is AbstractVPUnit:
+            fast = vectorized_plan(cols, vp_unit.predictor)
+        if fast is not None:
+            attempted, correct = fast
+            nprod = int(cols.writes.sum()) if cols.vec else sum(cols.writes)
+            stats = vp_unit.stats
+            stats.candidates += nprod
+            stats.requests += nprod
+            stats.predictions += int(attempted.sum())
+            stats.correct += int(correct.sum())
+        else:
+            # Reference block pass: exact for any VP unit (banked,
+            # hinted, finite-table) at reference speed.
+            att = [False] * n
+            cor = [False] * n
+            for block in plan:
+                block_records = records[block.start:block.end]
+                predictions = vp_unit.predict_block(block_records)
+                for seq, value in predictions.items():
+                    att[seq] = True
+                    cor[seq] = value == records[seq].value
+                vp_unit.train_block(block_records)
+            attempted, correct = att, cor
+
+    cycles = _run_realistic(cols, config, plan, attempted, correct)
+    return finish_realistic_result(
+        trace, plan, bpred, vp_unit, plan_supplied, n, cycles,
+    )

@@ -19,6 +19,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from dataclasses import dataclass, field
 
+from repro.core.backend import resolve_backend
 from repro.core.config import IdealConfig
 from repro.core.results import SimulationResult
 from repro.core.vp_plan import plan_value_predictions
@@ -59,6 +60,7 @@ def simulate_ideal(
     predictor: Optional[ValuePredictor] = None,
     vp_plan: Optional[Tuple[List[bool], List[bool]]] = None,
     detail: Optional["ScheduleDetail"] = None,
+    backend: Optional[str] = None,
 ) -> SimulationResult:
     """Simulate ``trace`` on the ideal machine.
 
@@ -66,11 +68,25 @@ def simulate_ideal(
     precomputed ``vp_plan`` may be passed to reuse one predictor pass
     across several fetch rates, since the plan does not depend on
     timing. Passing a :class:`ScheduleDetail` captures the per-
-    instruction schedule (used by the usefulness analysis).
+    instruction schedule (used by the usefulness analysis). ``backend``
+    overrides the backend selection (see :mod:`repro.core.backend`);
+    the columnar backend produces identical results and is skipped
+    automatically when the caller needs the per-instruction schedule or
+    an invariant hook is installed.
     """
     if config is None:
         config = IdealConfig()
     config.validate()
+    if (
+        detail is None
+        and INVARIANT_HOOK is None
+        and resolve_backend(backend) == "columnar"
+    ):
+        from repro.core.columnar import simulate_ideal_columnar
+
+        result = simulate_ideal_columnar(trace, config, predictor, vp_plan)
+        if result is not None:
+            return result
     if predictor is not None and vp_plan is None:
         vp_plan = plan_value_predictions(trace, predictor)
     attempted, correct = vp_plan if vp_plan is not None else (None, None)
@@ -167,20 +183,33 @@ def pipeline_table(
     instructions execute as soon as issued). Returns rows
     ``(cycle, fetched, decoded, executed, committed)`` with 1-based
     instruction numbers, matching the paper's presentation.
+
+    The ``window`` limit follows the :func:`simulate_ideal` slot-free
+    rule: instruction ``i`` cannot fetch before the occupant of its
+    window slot (instruction ``i - window``) completes execution, which
+    under the perfect predictor is that occupant's fetch cycle + 3; a
+    window stall restarts the per-cycle fetch count.
     """
     rows: Dict[int, Tuple[List[int], List[int], List[int], List[int]]] = {}
 
     def row(cycle: int):
         return rows.setdefault(cycle, ([], [], [], []))
 
+    fetch_of: List[int] = []
     fetch_cycle = 1
     used = 0
     for i, record in enumerate(trace_like):
         if used >= fetch_rate:
             fetch_cycle += 1
             used = 0
+        if i >= window:
+            slot_free = fetch_of[i - window] + 3
+            if slot_free > fetch_cycle:
+                fetch_cycle = slot_free
+                used = 0
         used += 1
         f = fetch_cycle
+        fetch_of.append(f)
         row(f)[0].append(i + 1)
         row(f + 1)[1].append(i + 1)
         row(f + 2)[2].append(i + 1)

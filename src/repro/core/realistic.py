@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from repro.bpred.base import BranchPredictor
+from repro.core.backend import resolve_backend
 from repro.core.config import RealisticConfig
 from repro.core.results import SimulationResult
 from repro.fetch.base import FetchEngine, FetchPlan
@@ -64,17 +65,66 @@ def plan_branch_accuracy(
 
     Every mispredicted control transfer ends exactly one fetch block
     (``mispredict_seq``), so the plan itself records the mispredictions
-    of the pass that produced it. ``bpred`` is consulted only for its
-    *policy* (which instructions look up the BTB), never predicted or
-    trained, so calling this does not perturb its statistics.
+    of the pass that produced it.  The denominator comes from the plan
+    as well (:attr:`FetchPlan.lookups`, recorded by every engine as the
+    number of predictions the pass actually made); only for plans built
+    by hand without that field is ``bpred`` consulted — and then solely
+    for its *policy* (which instructions look up the BTB), never
+    predicted or trained, so calling this does not perturb statistics.
+
+    The result is clamped to [0, 1]: a hand-made plan may mark
+    mispredictions on blocks whose ending instruction is outside the
+    policy's lookup set, and the ratio of two independently sourced
+    counts must still read as an accuracy.
     """
-    lookups = sum(1 for record in trace if bpred.needs_prediction(record))
-    if lookups == 0:
-        return 1.0
+    lookups = plan.lookups
+    if lookups is None:
+        lookups = sum(
+            1 for record in trace if bpred.needs_prediction(record)
+        )
     mispredicts = sum(
         1 for block in plan if block.mispredict_seq is not None
     )
-    return 1.0 - mispredicts / lookups
+    if lookups <= 0:
+        return 1.0 if mispredicts == 0 else 0.0
+    return min(1.0, max(0.0, 1.0 - mispredicts / lookups))
+
+
+def finish_realistic_result(
+    trace: Trace,
+    plan: FetchPlan,
+    bpred: BranchPredictor,
+    vp_unit,
+    plan_supplied: bool,
+    n: int,
+    cycles: int,
+) -> SimulationResult:
+    """Assemble the :class:`SimulationResult` both backends return.
+
+    With a caller-supplied plan the predictor was never consulted in
+    this run — its stats describe whichever pass built the plan (or
+    nothing at all for a fresh instance), and reporting them here
+    double-counts the planning pass across a VP/no-VP speedup pair.
+    Derive the accuracy from the plan itself instead.
+    """
+    if plan_supplied:
+        branch_accuracy = plan_branch_accuracy(trace, plan, bpred)
+    else:
+        branch_accuracy = bpred.stats.accuracy
+    extra = {
+        "fetch_blocks": float(len(plan)),
+        "mean_block_size": plan.mean_block_size(),
+        "branch_accuracy": branch_accuracy,
+    }
+    if vp_unit is not None:
+        extra["vp_predictions"] = float(vp_unit.stats.predictions)
+        extra["vp_accuracy"] = vp_unit.stats.accuracy
+    return SimulationResult(
+        name=f"realistic({'vp' if vp_unit is not None else 'base'})",
+        n_instructions=n,
+        cycles=cycles,
+        extra=extra,
+    )
 
 
 def simulate_realistic(
@@ -84,6 +134,7 @@ def simulate_realistic(
     vp_unit=None,
     config: Optional[RealisticConfig] = None,
     plan: Optional[FetchPlan] = None,
+    backend: Optional[str] = None,
 ) -> SimulationResult:
     """Simulate ``trace`` on the realistic machine.
 
@@ -92,10 +143,22 @@ def simulate_realistic(
     :class:`~repro.vphw.BankedVPUnit`); None disables value prediction.
     A precomputed fetch ``plan`` may be supplied to share one
     plan/predictor pass between the VP and no-VP runs of a speedup pair.
+    ``backend`` overrides the backend selection (see
+    :mod:`repro.core.backend`); the columnar backend produces identical
+    results and is skipped automatically when invariant hooks need the
+    per-instruction schedule.
     """
     if config is None:
         config = RealisticConfig()
     config.validate()
+    if INVARIANT_HOOK is None and resolve_backend(backend) == "columnar":
+        from repro.core.columnar import simulate_realistic_columnar
+
+        result = simulate_realistic_columnar(
+            trace, fetch_engine, bpred, vp_unit, config, plan,
+        )
+        if result is not None:
+            return result
     records = trace.records
     n = len(records)
     plan_supplied = plan is not None
@@ -172,28 +235,8 @@ def simulate_realistic(
                 redirect_ready = resume
 
     cycles = commit[-1] if n else 0
-    # With a caller-supplied plan the predictor was never consulted in
-    # this run — its stats describe whichever pass built the plan (or
-    # nothing at all for a fresh instance), and reporting them here
-    # double-counts the planning pass across a VP/no-VP speedup pair.
-    # Derive the accuracy from the plan itself instead.
-    if plan_supplied:
-        branch_accuracy = plan_branch_accuracy(trace, plan, bpred)
-    else:
-        branch_accuracy = bpred.stats.accuracy
-    extra = {
-        "fetch_blocks": float(len(plan)),
-        "mean_block_size": plan.mean_block_size(),
-        "branch_accuracy": branch_accuracy,
-    }
-    if vp_unit is not None:
-        extra["vp_predictions"] = float(vp_unit.stats.predictions)
-        extra["vp_accuracy"] = vp_unit.stats.accuracy
-    result = SimulationResult(
-        name=f"realistic({'vp' if vp_unit is not None else 'base'})",
-        n_instructions=n,
-        cycles=cycles,
-        extra=extra,
+    result = finish_realistic_result(
+        trace, plan, bpred, vp_unit, plan_supplied, n, cycles,
     )
     hook = INVARIANT_HOOK
     if hook is not None:

@@ -8,14 +8,15 @@ trace, so the plan is timing-independent.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
+from repro.core.backend import resolve_backend
 from repro.trace.trace import Trace
 from repro.vpred.base import ValuePredictor
 
 
 def plan_value_predictions(
-    trace: Trace, predictor: ValuePredictor
+    trace: Trace, predictor: ValuePredictor, backend: Optional[str] = None
 ) -> Tuple[List[bool], List[bool]]:
     """Run ``predictor`` along the trace.
 
@@ -23,7 +24,21 @@ def plan_value_predictions(
     means a prediction was actually offered (table hit and classifier
     confident); ``correct`` means it matched the outcome. Non-producers
     are False/False.
+
+    Under the columnar backend (see :mod:`repro.core.backend`) the pass
+    is computed in closed form per PC group for the supported predictor
+    types, leaving identical plans, statistics and predictor state; any
+    unsupported combination silently runs the reference loop below.
     """
+    if resolve_backend(backend) == "columnar":
+        cols = trace.columns()
+        if cols is not None:
+            from repro.vpred.columnar import vectorized_plan
+
+            fast = vectorized_plan(cols, predictor)
+            if fast is not None:
+                attempted_arr, correct_arr = fast
+                return attempted_arr.tolist(), correct_arr.tolist()
     n = len(trace)
     attempted = [False] * n
     correct = [False] * n

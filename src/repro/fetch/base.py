@@ -33,9 +33,17 @@ class FetchBlock:
 
 @dataclass
 class FetchPlan:
-    """The per-cycle fetch schedule for a whole trace."""
+    """The per-cycle fetch schedule for a whole trace.
+
+    ``lookups`` records how many branch-predictor predictions the
+    planning pass made (every engine fills it in); consumers deriving
+    an accuracy from the plan use it as the denominator rather than
+    re-deriving the predictor's lookup policy.  Hand-built plans may
+    leave it None.
+    """
 
     blocks: List[FetchBlock] = field(default_factory=list)
+    lookups: Optional[int] = None
 
     def __iter__(self):
         return iter(self.blocks)

@@ -20,7 +20,10 @@ instructions are buffered.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.bpred.base import BranchPredictor
+from repro.core.backend import resolve_backend
 from repro.errors import ConfigError
 from repro.fetch.base import FetchBlock, FetchEngine, FetchPlan
 from repro.trace.trace import Trace
@@ -36,8 +39,30 @@ class CollapsingBufferFetchEngine(FetchEngine):
         self.max_lines = max_lines
         self.width = width
 
-    def plan(self, trace: Trace, bpred: BranchPredictor) -> FetchPlan:
+    def plan(
+        self,
+        trace: Trace,
+        bpred: BranchPredictor,
+        backend: Optional[str] = None,
+    ) -> FetchPlan:
+        if resolve_backend(backend) == "columnar":
+            from repro.fetch.columnar import (
+                columns_for_fast_plan,
+                plan_collapsing,
+            )
+
+            cols = columns_for_fast_plan(trace)
+            if cols is not None:
+                return plan_collapsing(
+                    trace, cols, bpred,
+                    self.line_size, self.max_lines, self.width,
+                )
+        return self.plan_reference(trace, bpred)
+
+    def plan_reference(self, trace: Trace, bpred: BranchPredictor) -> FetchPlan:
+        """The per-record reference walk (also the fallback backend)."""
         plan = FetchPlan()
+        before = bpred.stats.lookups
         records = trace.records
         n = len(records)
         cursor = 0
@@ -79,4 +104,5 @@ class CollapsingBufferFetchEngine(FetchEngine):
                     source="cb",
                 )
             )
+        plan.lookups = bpred.stats.lookups - before
         return plan

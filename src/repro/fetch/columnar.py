@@ -1,0 +1,171 @@
+"""Columnar fetch-plan construction for the stateless fetch engines.
+
+In every fetch engine each trace record is consumed exactly once, in
+trace order, and the branch predictor is consulted exactly once per
+consumed control record — so the stream of predictor outcomes does not
+depend on how records fall into blocks.  That lets planning split into
+two passes:
+
+1. :func:`control_outcomes` — run the predictor over just the control
+   records (or, for :class:`PerfectBranchPredictor`, update its
+   statistics in bulk), yielding the mispredicted positions;
+2. an event-based partition: block boundaries are determined by a
+   handful of precomputed position lists (mispredictions, taken
+   redirects, cache-line crossings) instead of a per-record walk.
+
+Only the stateless engines are planned this way; the trace cache's fill
+unit carries state across blocks and keeps its reference planner.  The
+resulting plans are field-for-field identical to the reference
+planners' — same blocks, same ``mispredict_seq`` tie-breaking, same
+predictor statistics — which the backend parity suite asserts.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.bpred.base import BranchPredictor
+from repro.bpred.perfect import PerfectBranchPredictor
+from repro.fetch.base import FetchBlock, FetchEngine, FetchPlan
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - engines then use reference plans
+    np = None  # type: ignore[assignment]
+
+
+def columns_for_fast_plan(trace):
+    """The trace's columnar view when event planning is possible."""
+    if np is None:
+        return None
+    cols = trace.columns()
+    if cols is None or not cols.vec:
+        return None
+    return cols
+
+
+def control_outcomes(
+    trace, cols, bpred: BranchPredictor
+) -> Tuple[list, list, int]:
+    """Positions of control records, their prediction outcomes, and the
+    number of predictor lookups the pass performed.
+
+    The predictor is trained exactly as the reference planners train it
+    (one ``predict_and_update`` per control record in trace order);
+    the perfect predictor short-circuits to bulk statistics.
+    """
+    ctrl = np.flatnonzero(cols.is_control).tolist()
+    if type(bpred) is PerfectBranchPredictor:
+        n_cond = int(cols.is_cond_branch.sum())
+        n_ind = int(cols.is_indirect.sum())
+        stats = bpred.stats
+        stats.conditional += n_cond
+        stats.conditional_correct += n_cond
+        stats.indirect += n_ind
+        stats.indirect_correct += n_ind
+        return ctrl, [True] * len(ctrl), n_cond + n_ind
+    records = trace.records
+    before = bpred.stats.lookups
+    outcomes = [bpred.predict_and_update(records[i]) for i in ctrl]
+    return ctrl, outcomes, bpred.stats.lookups - before
+
+
+def plan_sequential(
+    trace, cols, bpred: BranchPredictor,
+    width: int, max_taken: Optional[int],
+) -> FetchPlan:
+    """Event-based :class:`SequentialFetchEngine` planning.
+
+    A block ends at the width cap, one past a mispredicted control
+    record, or one past the ``max_taken``-th taken redirect — whichever
+    comes first, with a misprediction coinciding with the block's final
+    slot still recorded as ``mispredict_seq`` (the reference walk's tie
+    semantics).
+    """
+    ctrl, outcomes, lookups = control_outcomes(trace, cols, bpred)
+    mis = [pos for pos, ok in zip(ctrl, outcomes) if not ok]
+    red = np.flatnonzero(cols.taken).tolist()
+    n = cols.n
+    nm = len(mis)
+    nr = len(red)
+    blocks = []
+    cursor = 0
+    mi = 0
+    ri = 0
+    while cursor < n:
+        end = cursor + width
+        if end > n:
+            end = n
+        while mi < nm and mis[mi] < cursor:
+            mi += 1
+        if mi < nm and mis[mi] + 1 < end:
+            end = mis[mi] + 1
+        if max_taken is not None:
+            while ri < nr and red[ri] < cursor:
+                ri += 1
+            cap = ri + max_taken - 1
+            if cap < nr and red[cap] + 1 < end:
+                end = red[cap] + 1
+        mispredict_seq = mis[mi] if mi < nm and mis[mi] + 1 == end else None
+        blocks.append(FetchBlock(
+            start=cursor, length=end - cursor,
+            mispredict_seq=mispredict_seq, source="seq",
+        ))
+        cursor = end
+    plan = FetchPlan(blocks)
+    plan.lookups = lookups
+    return plan
+
+
+def plan_collapsing(
+    trace, cols, bpred: BranchPredictor,
+    line_size: int, max_lines: int, width: int,
+) -> FetchPlan:
+    """Event-based :class:`CollapsingBufferFetchEngine` planning.
+
+    A line slot is charged at position ``i`` exactly when the reference
+    walk would consume one there: the record sits in a different cache
+    line than its predecessor, or its predecessor redirected fetch (a
+    taken transfer's target always claims a fresh slot, even within the
+    same line).  The block's first record never charges (slot one is the
+    block's own); a block ends where charging would exceed
+    ``max_lines`` — or at the width cap or a misprediction, as in the
+    sequential engine.
+    """
+    ctrl, outcomes, lookups = control_outcomes(trace, cols, bpred)
+    mis = [pos for pos, ok in zip(ctrl, outcomes) if not ok]
+    n = cols.n
+    line_id = cols.pc // (4 * line_size)
+    charge = np.empty(n, dtype=bool)
+    if n:
+        charge[0] = False
+        charge[1:] = (line_id[1:] != line_id[:-1]) | cols.taken[:-1]
+    events = np.flatnonzero(charge).tolist()
+    ne = len(events)
+    nm = len(mis)
+    blocks = []
+    cursor = 0
+    mi = 0
+    ei = 0
+    while cursor < n:
+        end = cursor + width
+        if end > n:
+            end = n
+        while mi < nm and mis[mi] < cursor:
+            mi += 1
+        if mi < nm and mis[mi] + 1 < end:
+            end = mis[mi] + 1
+        while ei < ne and events[ei] <= cursor:
+            ei += 1
+        cap = ei + max_lines - 1
+        if cap < ne and events[cap] < end:
+            end = events[cap]
+        mispredict_seq = mis[mi] if mi < nm and mis[mi] + 1 == end else None
+        blocks.append(FetchBlock(
+            start=cursor, length=end - cursor,
+            mispredict_seq=mispredict_seq, source="cb",
+        ))
+        cursor = end
+    plan = FetchPlan(blocks)
+    plan.lookups = lookups
+    return plan

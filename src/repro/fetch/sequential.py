@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.bpred.base import BranchPredictor
+from repro.core.backend import resolve_backend
 from repro.errors import ConfigError
 from repro.fetch.base import FetchBlock, FetchEngine, FetchPlan
 from repro.trace.trace import Trace
@@ -29,8 +30,29 @@ class SequentialFetchEngine(FetchEngine):
         self.width = width
         self.max_taken = max_taken
 
-    def plan(self, trace: Trace, bpred: BranchPredictor) -> FetchPlan:
+    def plan(
+        self,
+        trace: Trace,
+        bpred: BranchPredictor,
+        backend: Optional[str] = None,
+    ) -> FetchPlan:
+        if resolve_backend(backend) == "columnar":
+            from repro.fetch.columnar import (
+                columns_for_fast_plan,
+                plan_sequential,
+            )
+
+            cols = columns_for_fast_plan(trace)
+            if cols is not None:
+                return plan_sequential(
+                    trace, cols, bpred, self.width, self.max_taken
+                )
+        return self.plan_reference(trace, bpred)
+
+    def plan_reference(self, trace: Trace, bpred: BranchPredictor) -> FetchPlan:
+        """The per-record reference walk (also the fallback backend)."""
         plan = FetchPlan()
+        before = bpred.stats.lookups
         records = trace.records
         n = len(records)
         cursor = 0
@@ -58,4 +80,5 @@ class SequentialFetchEngine(FetchEngine):
                     source="seq",
                 )
             )
+        plan.lookups = bpred.stats.lookups - before
         return plan

@@ -128,6 +128,7 @@ class TraceCacheFetchEngine(FetchEngine):
         self.cache.reset()
         self.stats = TraceCacheStats()
         plan = FetchPlan()
+        before = bpred.stats.lookups
         records = trace.records
         n = len(records)
         cursor = 0
@@ -191,4 +192,5 @@ class TraceCacheFetchEngine(FetchEngine):
                 )
             )
         self.stats.fills = self.cache.fills
+        plan.lookups = bpred.stats.lookups - before
         return plan

@@ -7,6 +7,7 @@ trace-driven, exactly like the paper's Shade-based methodology.
 """
 
 from repro.trace.record import DynInstr
+from repro.trace.columnar import ColumnarTrace, ColumnarUnsupported
 from repro.trace.trace import Trace
 from repro.trace.io import read_trace, write_trace
 from repro.trace.stats import TraceStats, compute_stats
@@ -14,6 +15,8 @@ from repro.trace.synthetic import SyntheticTraceConfig, generate_synthetic_trace
 
 __all__ = [
     "DynInstr",
+    "ColumnarTrace",
+    "ColumnarUnsupported",
     "Trace",
     "read_trace",
     "write_trace",

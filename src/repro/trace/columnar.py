@@ -1,0 +1,333 @@
+"""Struct-of-arrays (columnar) view of a :class:`~repro.trace.trace.Trace`.
+
+The object form of a trace (a list of :class:`DynInstr`) is convenient
+but slow to scan: every hot pass pays a Python-level attribute lookup
+and an ``op_class`` frozenset probe per instruction.  This module builds
+the same information once into parallel arrays — pc, opcode, dest,
+srcs, value, taken, next_pc, mem_addr — plus precomputed opcode masks
+(control / conditional-branch / indirect / load / store) and lazily
+derived producer indices used for dependence resolution.
+
+The view is numpy-backed when numpy is importable and falls back to the
+stdlib ``array`` module otherwise (vectorized passes then report
+themselves unavailable via :attr:`ColumnarTrace.vec` and callers use
+the reference loops; the tight-loop timing kernels still work from the
+list views).  Traces that cannot be represented exactly — more than two
+source registers, register numbers outside int16, values outside
+``[0, 2**64)`` — raise :class:`ColumnarUnsupported` during the build;
+:meth:`Trace.columns` turns that into ``None`` and every caller falls
+back to the object backend, so the columnar form is strictly an
+accelerator, never a constraint.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.isa.opcodes import OpClass, Opcode, op_class
+from repro.trace.record import DynInstr
+
+try:  # numpy is a declared dependency, but the columnar view degrades
+    import numpy as np  # noqa: ICN001 - conventional alias
+except ImportError:  # pragma: no cover - exercised via the list views
+    np = None  # type: ignore[assignment]
+
+HAVE_NUMPY = np is not None
+
+#: Stable opcode numbering (enum definition order).
+OPCODES: Tuple[Opcode, ...] = tuple(Opcode)
+OP_CODE: Dict[Opcode, int] = {op: i for i, op in enumerate(OPCODES)}
+
+#: Per-opcode-code lookup tables (plain lists; numpy copies below).
+LUT_CLASS: Tuple[OpClass, ...] = tuple(op_class(op) for op in OPCODES)
+_LUT_CONTROL = [k in (OpClass.BRANCH, OpClass.JUMP) for k in LUT_CLASS]
+_LUT_COND = [k is OpClass.BRANCH for k in LUT_CLASS]
+_LUT_INDIRECT = [op in (Opcode.JR, Opcode.JALR) for op in OPCODES]
+_LUT_LOAD = [k is OpClass.LOAD for k in LUT_CLASS]
+_LUT_STORE = [k is OpClass.STORE for k in LUT_CLASS]
+
+if HAVE_NUMPY:
+    _NP_CONTROL = np.array(_LUT_CONTROL, dtype=bool)
+    _NP_COND = np.array(_LUT_COND, dtype=bool)
+    _NP_INDIRECT = np.array(_LUT_INDIRECT, dtype=bool)
+    _NP_LOAD = np.array(_LUT_LOAD, dtype=bool)
+    _NP_STORE = np.array(_LUT_STORE, dtype=bool)
+
+#: Registers must fit the int16 columns (sentinel -1 = absent).
+MAX_REGISTER = 32767
+
+
+class ColumnarUnsupported(Exception):
+    """The trace cannot be represented in columnar form exactly."""
+
+
+class ColumnarTrace:
+    """Parallel-array view of a dynamic trace (read-only by convention).
+
+    Integer columns use -1 as the "absent" sentinel (no dest register,
+    fewer than two sources, no producing store before a load).  With
+    numpy available all columns are ndarrays and :attr:`vec` is True;
+    otherwise they are ``array.array`` / list objects and only the
+    list-based consumers apply.
+    """
+
+    __slots__ = (
+        "n", "name", "vec",
+        "pc", "opc", "dest", "src0", "src1", "value", "taken",
+        "next_pc", "mem_addr", "has_mem",
+        "is_control", "is_cond_branch", "is_indirect", "is_load",
+        "is_store", "writes",
+        "_prod0", "_prod1", "_memprod",
+        "_prod0_list", "_prod1_list", "_memprod_list",
+        "_lists",
+    )
+
+    def __init__(self, name: str):
+        self.name = name
+        self._prod0 = None
+        self._prod1 = None
+        self._memprod = None
+        self._prod0_list: Optional[List[int]] = None
+        self._prod1_list: Optional[List[int]] = None
+        self._memprod_list: Optional[List[int]] = None
+        self._lists: Dict[str, list] = {}
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_records(
+        cls, records: Sequence[DynInstr], name: str = "trace"
+    ) -> "ColumnarTrace":
+        """Build the columnar view, or raise :class:`ColumnarUnsupported`."""
+        self = cls(name)
+        n = len(records)
+        self.n = n
+        opc: List[int] = []
+        dest: List[int] = []
+        src0: List[int] = []
+        src1: List[int] = []
+        value: List[int] = []
+        mem_addr: List[int] = []
+        has_mem: List[bool] = []
+        try:
+            pc = [r.pc for r in records]
+            next_pc = [r.next_pc for r in records]
+            taken = [bool(r.taken) for r in records]
+            for r in records:
+                opc.append(OP_CODE[r.op])
+                d = r.dest
+                if d is None:
+                    dest.append(-1)
+                else:
+                    if r.value is None:
+                        raise ColumnarUnsupported(
+                            f"record {r.seq}: dest register without a value"
+                        )
+                    dest.append(d)
+                srcs = r.srcs
+                if len(srcs) > 2:
+                    raise ColumnarUnsupported(
+                        f"record {r.seq}: more than two source registers"
+                    )
+                src0.append(srcs[0] if len(srcs) >= 1 else -1)
+                src1.append(srcs[1] if len(srcs) == 2 else -1)
+                value.append(r.value if r.value is not None else 0)
+                a = r.mem_addr
+                has_mem.append(a is not None)
+                mem_addr.append(a if a is not None else 0)
+        except KeyError as exc:  # op not in the Opcode enum
+            raise ColumnarUnsupported(f"unknown opcode {exc}") from exc
+        try:
+            self._store(pc, opc, dest, src0, src1, value, taken,
+                        next_pc, mem_addr, has_mem)
+        except (OverflowError, TypeError, ValueError) as exc:
+            # Out-of-range register/value/pc or non-integer field.
+            raise ColumnarUnsupported(str(exc)) from exc
+        return self
+
+    def _store(self, pc, opc, dest, src0, src1, value, taken,
+               next_pc, mem_addr, has_mem) -> None:
+        if HAVE_NUMPY:
+            self.vec = True
+            self.pc = np.array(pc, dtype=np.int64)
+            self.opc = np.array(opc, dtype=np.int16)
+            self.dest = np.array(dest, dtype=np.int16)
+            self.src0 = np.array(src0, dtype=np.int16)
+            self.src1 = np.array(src1, dtype=np.int16)
+            self.value = np.array(value, dtype=np.uint64)
+            self.taken = np.array(taken, dtype=bool)
+            self.next_pc = np.array(next_pc, dtype=np.int64)
+            self.mem_addr = np.array(mem_addr, dtype=np.uint64)
+            self.has_mem = np.array(has_mem, dtype=bool)
+            self.is_control = _NP_CONTROL[self.opc]
+            self.is_cond_branch = _NP_COND[self.opc]
+            self.is_indirect = _NP_INDIRECT[self.opc]
+            self.is_load = _NP_LOAD[self.opc]
+            self.is_store = _NP_STORE[self.opc]
+            self.writes = self.dest >= 0
+        else:
+            self.vec = False
+            self.pc = array("q", pc)
+            self.opc = array("h", opc)
+            self.dest = array("h", dest)
+            self.src0 = array("h", src0)
+            self.src1 = array("h", src1)
+            self.value = array("Q", value)
+            self.taken = taken
+            self.next_pc = array("q", next_pc)
+            self.mem_addr = array("Q", mem_addr)
+            self.has_mem = has_mem
+            self.is_control = [_LUT_CONTROL[c] for c in opc]
+            self.is_cond_branch = [_LUT_COND[c] for c in opc]
+            self.is_indirect = [_LUT_INDIRECT[c] for c in opc]
+            self.is_load = [_LUT_LOAD[c] for c in opc]
+            self.is_store = [_LUT_STORE[c] for c in opc]
+            self.writes = [d >= 0 for d in dest]
+        if self.max_register() > MAX_REGISTER:
+            raise ColumnarUnsupported("register number exceeds int16 range")
+
+    def max_register(self) -> int:
+        """Largest register number appearing in dest/src columns."""
+        if self.n == 0:
+            return 0
+        if self.vec:
+            return int(max(self.dest.max(), self.src0.max(),
+                           self.src1.max(), 0))
+        return max(max(self.dest, default=-1), max(self.src0, default=-1),
+                   max(self.src1, default=-1), 0)
+
+    # -- list views (cached; consumed by the tight-loop kernels) ----------
+
+    def as_list(self, column: str) -> list:
+        """A cached plain-list view of ``column``."""
+        cached = self._lists.get(column)
+        if cached is None:
+            raw = getattr(self, column)
+            if isinstance(raw, list):
+                cached = raw
+            elif HAVE_NUMPY and isinstance(raw, np.ndarray):
+                cached = raw.tolist()
+            else:
+                cached = list(raw)
+            self._lists[column] = cached
+        return cached
+
+    # -- derived producer columns -----------------------------------------
+
+    @property
+    def prod0(self):
+        """Per-record index of the last writer of ``src0`` (-1 = none)."""
+        if self._prod0 is None:
+            self._derive_producers()
+        return self._prod0
+
+    @property
+    def prod1(self):
+        """Per-record index of the last writer of ``src1`` (-1 = none)."""
+        if self._prod1 is None:
+            self._derive_producers()
+        return self._prod1
+
+    @property
+    def memprod(self):
+        """For loads with an address: index of the last store to the
+        same address before this record (-1 = none); -1 elsewhere."""
+        if self._memprod is None:
+            self._derive_memprod()
+        return self._memprod
+
+    def prod_lists(self) -> Tuple[List[int], List[int], List[int]]:
+        """(prod0, prod1, memprod) as cached plain lists."""
+        if self._prod0_list is None:
+            p0, p1, pm = self.prod0, self.prod1, self.memprod
+            if self.vec:
+                self._prod0_list = p0.tolist()
+                self._prod1_list = p1.tolist()
+                self._memprod_list = pm.tolist()
+            else:
+                self._prod0_list = p0
+                self._prod1_list = p1
+                self._memprod_list = pm
+        return self._prod0_list, self._prod1_list, self._memprod_list
+
+    def _derive_producers(self) -> None:
+        n = self.n
+        if self.vec:
+            from repro.core._native import native_kernels
+            kernels = native_kernels()
+            if kernels is not None:
+                prod0 = np.empty(n, dtype=np.int64)
+                prod1 = np.empty(n, dtype=np.int64)
+                if kernels.producers(
+                    n, self.max_register() + 1,
+                    self.dest, self.src0, self.src1, prod0, prod1,
+                ):
+                    self._prod0 = prod0
+                    self._prod1 = prod1
+                    return
+        p0, p1 = self._derive_producers_python()
+        if self.vec:
+            self._prod0 = np.array(p0, dtype=np.int64)
+            self._prod1 = np.array(p1, dtype=np.int64)
+        else:
+            self._prod0 = p0
+            self._prod1 = p1
+        self._prod0_list = p0
+        self._prod1_list = p1
+
+    def _derive_producers_python(self) -> Tuple[List[int], List[int]]:
+        n = self.n
+        src0 = self.as_list("src0")
+        src1 = self.as_list("src1")
+        dest = self.as_list("dest")
+        p0 = [-1] * n
+        p1 = [-1] * n
+        last_write: Dict[int, int] = {}
+        get = last_write.get
+        for i in range(n):
+            s = src0[i]
+            if s >= 0:
+                p0[i] = get(s, -1)
+            s = src1[i]
+            if s >= 0:
+                p1[i] = get(s, -1)
+            d = dest[i]
+            if d >= 0:
+                last_write[d] = i
+        return p0, p1
+
+    def _derive_memprod(self) -> None:
+        n = self.n
+        mp = [-1] * n
+        is_load = self.is_load
+        is_store = self.is_store
+        has_mem = self.has_mem
+        addr = self.mem_addr
+        if self.vec:
+            mem_idx = np.flatnonzero(
+                has_mem & (is_load | is_store)
+            ).tolist()
+            is_load = is_load.tolist()
+            is_store = is_store.tolist()
+            addr = addr.tolist()
+        else:
+            mem_idx = [
+                i for i in range(n)
+                if has_mem[i] and (is_load[i] or is_store[i])
+            ]
+        last_store: Dict[int, int] = {}
+        for i in mem_idx:
+            if is_store[i]:
+                last_store[addr[i]] = i
+            else:
+                mp[i] = last_store.get(addr[i], -1)
+        if self.vec:
+            self._memprod = np.array(mp, dtype=np.int64)
+        else:
+            self._memprod = mp
+        self._memprod_list = mp
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        backend = "numpy" if self.vec else "array"
+        return f"<ColumnarTrace {self.name!r} n={self.n} backend={backend}>"

@@ -3,10 +3,16 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.isa.opcodes import OpClass
+from repro.trace.columnar import LUT_CLASS, OPCODES
 from repro.trace.trace import Trace
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - reference loop used instead
+    np = None  # type: ignore[assignment]
 
 
 @dataclass
@@ -60,8 +66,64 @@ class TraceStats:
         return "\n".join(lines)
 
 
-def compute_stats(trace: Trace) -> TraceStats:
-    """Compute :class:`TraceStats` in one pass over ``trace``."""
+def _compute_stats_columnar(trace: Trace) -> Optional[TraceStats]:
+    """Vectorized :func:`compute_stats` from the columnar view, or None."""
+    if np is None:
+        return None
+    cols = trace.columns()
+    if cols is None or not cols.vec:
+        return None
+    n = cols.n
+    per_opcode = np.bincount(cols.opc, minlength=len(OPCODES))
+    class_counts: Dict[OpClass, int] = {}
+    for code, count in enumerate(per_opcode.tolist()):
+        if count:
+            klass = LUT_CLASS[code]
+            class_counts[klass] = class_counts.get(klass, 0) + count
+    mix = {k: class_counts[k] for k in OpClass if k in class_counts}
+    ctrl = np.flatnonzero(cols.is_control)
+    if ctrl.size:
+        starts = np.concatenate(([np.int64(-1)], ctrl))
+        if int(ctrl[-1]) != n - 1:
+            starts = np.concatenate((starts, [np.int64(n - 1)]))
+        block_sizes = np.diff(starts)
+        mean_block = n / block_sizes.size
+        max_block = int(block_sizes.max())
+    elif n:
+        mean_block = float(n)
+        max_block = n
+    else:
+        mean_block = 0.0
+        max_block = 0
+    return TraceStats(
+        name=trace.name,
+        length=n,
+        mix=mix,
+        taken_transfers=int(cols.taken.sum()),
+        conditional_branches=int(cols.is_cond_branch.sum()),
+        taken_conditional_branches=int(
+            (cols.is_cond_branch & cols.taken).sum()
+        ),
+        value_producers=int(cols.writes.sum()),
+        unique_pcs=int(np.unique(cols.pc).size),
+        mean_block_size=mean_block,
+        max_block_size=max_block,
+    )
+
+
+def compute_stats(trace: Trace, backend: Optional[str] = None) -> TraceStats:
+    """Compute :class:`TraceStats` in one pass over ``trace``.
+
+    Under the columnar backend (see :mod:`repro.core.backend`) the pass
+    runs as a handful of array reductions with identical results; the
+    reference loop below remains the object backend and the fallback.
+    """
+    from repro.core.backend import resolve_backend
+
+    if resolve_backend(backend) == "columnar":
+        fast = _compute_stats_columnar(trace)
+        if fast is not None:
+            return fast
     mix: Dict[OpClass, int] = {}
     taken = 0
     conditionals = 0

@@ -2,10 +2,11 @@
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Optional
+from typing import Iterable, Iterator, List, Optional, Union, overload
 
 from repro.errors import TraceError
 from repro.isa.opcodes import OpClass
+from repro.trace.columnar import ColumnarTrace, ColumnarUnsupported
 from repro.trace.record import DynInstr
 
 
@@ -25,6 +26,8 @@ class Trace:
                 raise TraceError(
                     f"trace {name!r}: record {i} has seq={record.seq}"
                 )
+        self._columns: Optional[ColumnarTrace] = None
+        self._columns_failed = False
 
     # -- sequence protocol -----------------------------------------------
 
@@ -34,9 +37,23 @@ class Trace:
     def __iter__(self) -> Iterator[DynInstr]:
         return iter(self._records)
 
-    def __getitem__(self, index):
-        if isinstance(index, slice):
-            return self._records[index]
+    @overload
+    def __getitem__(self, index: int) -> DynInstr: ...
+
+    @overload
+    def __getitem__(self, index: slice) -> List[DynInstr]: ...
+
+    def __getitem__(
+        self, index: Union[int, slice]
+    ) -> Union[DynInstr, List[DynInstr]]:
+        """Index or slice the trace.
+
+        An integer returns the :class:`DynInstr` at that position.  A
+        slice returns a plain ``list`` of records — deliberately *not* a
+        :class:`Trace`, since an interior slice would violate the
+        ``record.seq == i`` invariant this container guarantees.  Use
+        :meth:`prefix` for a leading slice revalidated as a trace.
+        """
         return self._records[index]
 
     # -- convenience -------------------------------------------------------
@@ -45,6 +62,23 @@ class Trace:
     def records(self) -> List[DynInstr]:
         """The underlying list (treated as read-only by convention)."""
         return self._records
+
+    def columns(self) -> Optional[ColumnarTrace]:
+        """The cached struct-of-arrays view, or None.
+
+        Built lazily on first use and kept alongside the object form so
+        every columnar-backend pass over this trace shares one build.
+        Returns None (and remembers the failure) when the trace cannot
+        be represented exactly — callers then use the object backend.
+        """
+        if self._columns is None and not self._columns_failed:
+            try:
+                self._columns = ColumnarTrace.from_records(
+                    self._records, self.name
+                )
+            except ColumnarUnsupported:
+                self._columns_failed = True
+        return self._columns
 
     def prefix(self, n: int, name: Optional[str] = None) -> "Trace":
         """The first ``n`` records as a new trace."""

@@ -1,0 +1,214 @@
+"""Vectorized value-prediction planning over a columnar trace.
+
+For the infinite-table predictors keyed exactly by PC (last-value,
+stride, and either wrapped in a :class:`SaturatingClassifier`), the
+whole :func:`~repro.core.vp_plan.plan_value_predictions` pass can be
+computed from the value history of each PC group:
+
+* occurrence ``k`` of a PC predicts nothing for ``k == 0``, the previous
+  value for ``k == 1`` (stride entries degenerate to last-value until a
+  stride exists), and ``v[k-1] + (v[k-1] - v[k-2])`` mod ``2**64`` for
+  ``k >= 2`` under stride prediction;
+* the classifier is a per-group saturating-counter scan over those raw
+  outcomes — sequential, so it runs in the compiled kernel
+  (:mod:`repro.core._native`) or a tight Python loop.
+
+The pass mutates the predictor exactly like the reference loop would:
+statistics are incremented by the same totals and the final table /
+counter state is reconstructed entry-for-entry (including dict insertion
+order), so a subsequent warm-state run — or a test comparing predictor
+internals — cannot tell the backends apart.  Unsupported predictor
+types, warm predictors, or a non-numpy columnar view return ``None``
+and the caller falls back to the reference loop.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.vpred.classifier import ClassifiedPredictor, SaturatingClassifier
+from repro.vpred.last_value import LastValuePredictor
+from repro.vpred.stride import StridePredictor
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - columnar view is list-backed then
+    np = None  # type: ignore[assignment]
+
+_MASK64 = (1 << 64) - 1
+
+
+def _classify(predictor) -> Optional[Tuple[str, object, Optional[SaturatingClassifier]]]:
+    """(kind, inner, classifier) for supported predictors, else None.
+
+    Exact-type checks on purpose: subclasses may override behavior the
+    closed-form history reconstruction does not model.
+    """
+    if type(predictor) is LastValuePredictor:
+        return ("last", predictor, None)
+    if type(predictor) is StridePredictor:
+        return ("stride", predictor, None)
+    if type(predictor) is ClassifiedPredictor:
+        inner = predictor.predictor
+        classifier = predictor.classifier
+        if type(classifier) is not SaturatingClassifier:
+            return None
+        if type(inner) is LastValuePredictor:
+            return ("last", inner, classifier)
+        if type(inner) is StridePredictor:
+            return ("stride", inner, classifier)
+    return None
+
+
+def _is_cold(kind: str, inner, classifier) -> bool:
+    """True when the predictor carries no table state (reconstruction
+    below assumes every group's history starts empty)."""
+    if len(inner) != 0:
+        return False
+    if classifier is not None and classifier._counters:
+        return False
+    return True
+
+
+def _satcounter_python(
+    gid: List[int], raw_ok: List[bool], has_raw: List[bool],
+    n_groups: int, max_value: int, threshold: int, initial: int,
+) -> Tuple[List[bool], List[int]]:
+    counters = [initial] * n_groups
+    allowed = [False] * len(gid)
+    for k, g in enumerate(gid):
+        c = counters[g]
+        allowed[k] = c >= threshold
+        if has_raw[k]:
+            if raw_ok[k]:
+                if c < max_value:
+                    counters[g] = c + 1
+            elif c > 0:
+                counters[g] = c - 1
+    return allowed, counters
+
+
+def vectorized_plan(cols, predictor):
+    """Run ``predictor`` over the producers of ``cols`` in closed form.
+
+    Returns ``(attempted, correct)`` as numpy bool arrays of length
+    ``cols.n`` — or ``None`` when this predictor/trace combination must
+    use the reference loop.  On success the predictor's statistics and
+    table state end up exactly as the reference loop would leave them.
+    """
+    if np is None or not getattr(cols, "vec", False):
+        return None
+    supported = _classify(predictor)
+    if supported is None:
+        return None
+    kind, inner, classifier = supported
+    if not _is_cold(kind, inner, classifier):
+        return None
+
+    n = cols.n
+    pidx = np.flatnonzero(cols.writes)
+    nprod = int(pidx.size)
+    attempted = np.zeros(n, dtype=bool)
+    correct = np.zeros(n, dtype=bool)
+    if nprod == 0:
+        return attempted, correct
+
+    pcs = cols.pc[pidx]
+    vals = cols.value[pidx]
+    uniq, gid = np.unique(pcs, return_inverse=True)
+    gid = gid.astype(np.int64, copy=False)
+    n_groups = int(uniq.size)
+
+    order = np.argsort(gid, kind="stable")
+    v_sorted = vals[order]
+    counts = np.bincount(gid, minlength=n_groups)
+    ends = np.cumsum(counts)
+    starts = ends - counts
+    occ_sorted = np.arange(nprod, dtype=np.int64) - np.repeat(starts, counts)
+
+    vprev = np.empty_like(v_sorted)
+    vprev[0] = 0
+    vprev[1:] = v_sorted[:-1]
+    has_raw_sorted = occ_sorted >= 1
+    if kind == "last":
+        raw_sorted = vprev
+    else:
+        vprev2 = np.empty_like(v_sorted)
+        vprev2[:2] = 0
+        vprev2[2:] = v_sorted[:-2]
+        # uint64 arithmetic wraps mod 2**64 — the predictors' mask.
+        stride_raw = vprev + vprev - vprev2
+        raw_sorted = np.where(occ_sorted >= 2, stride_raw, vprev)
+    raw_ok_sorted = has_raw_sorted & (raw_sorted == v_sorted)
+
+    inv = np.empty_like(order)
+    inv[order] = np.arange(nprod)
+    has_raw = has_raw_sorted[inv]
+    raw_ok = raw_ok_sorted[inv]
+    occ = occ_sorted[inv]
+    gid_trace = gid
+
+    if classifier is None:
+        att_p = has_raw
+        cor_p = raw_ok
+        final_counters = None
+    else:
+        from repro.core._native import native_kernels
+        kernels = native_kernels()
+        if kernels is not None:
+            counters = np.full(n_groups, classifier.initial, dtype=np.int64)
+            allowed = np.empty(nprod, dtype=np.uint8)
+            kernels.satcounter(
+                nprod, gid_trace,
+                np.ascontiguousarray(raw_ok, dtype=np.uint8),
+                np.ascontiguousarray(has_raw, dtype=np.uint8),
+                classifier.max_value, classifier.threshold,
+                counters, allowed,
+            )
+            allowed_arr = allowed.astype(bool)
+            final_counters = counters.tolist()
+        else:
+            allowed_l, final_counters = _satcounter_python(
+                gid_trace.tolist(), raw_ok.tolist(), has_raw.tolist(),
+                n_groups, classifier.max_value, classifier.threshold,
+                classifier.initial,
+            )
+            allowed_arr = np.array(allowed_l, dtype=bool)
+        att_p = allowed_arr & has_raw
+        cor_p = att_p & raw_ok
+
+    attempted[pidx[att_p]] = True
+    correct[pidx[cor_p]] = True
+
+    # -- statistics: same totals the per-lookup path accumulates -------
+    stats = predictor.stats
+    stats.lookups += nprod
+    stats.predictions += int(att_p.sum())
+    stats.correct += int(cor_p.sum())
+
+    # -- final table state, in reference insertion order ---------------
+    pcs_py = uniq.tolist()
+    last_py = v_sorted[ends - 1].tolist()
+    counts_py = counts.tolist()
+    first_groups = gid_trace[occ == 0].tolist()
+    if kind == "last":
+        table = inner._last
+        for g in first_groups:
+            table[pcs_py[g]] = last_py[g]
+    else:
+        prev_last = np.where(counts >= 2, v_sorted[ends - 2], 0)
+        stride_py = (v_sorted[ends - 1] - prev_last).tolist()
+        entries = inner._entries
+        for g in first_groups:
+            if counts_py[g] == 1:
+                entries[pcs_py[g]] = (last_py[g], None)
+            else:
+                entries[pcs_py[g]] = (last_py[g], stride_py[g])
+    if classifier is not None:
+        # Counters exist only for PCs whose raw predictor offered at
+        # least one value (second occurrence onward), inserted in
+        # first-training order.
+        cdict = classifier._counters
+        for g in gid_trace[occ == 1].tolist():
+            cdict[pcs_py[g]] = final_counters[g]
+    return attempted, correct

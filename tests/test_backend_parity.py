@@ -1,0 +1,239 @@
+"""Differential suite: the columnar backend must reproduce the object
+backend bit for bit.
+
+Every hot pass that grew a vectorized implementation — fetch planning,
+VP planning, trace stats, and both timing cores — is run here under
+both backends on all eight workload traces plus seeded fuzz traces
+(real funcsim executions of random programs), asserting identical
+cycles, fetch plans, statistics and predictor state.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bpred import PerfectBranchPredictor, TwoLevelBTB
+from repro.core import (
+    IdealConfig,
+    RealisticConfig,
+    plan_value_predictions,
+    resolve_backend,
+    simulate_ideal,
+    simulate_realistic,
+)
+from repro.core.ideal import ScheduleDetail
+from repro.errors import ConfigError
+from repro.fetch import (
+    CollapsingBufferFetchEngine,
+    SequentialFetchEngine,
+    TraceCacheFetchEngine,
+)
+from repro.funcsim import run_program
+from repro.trace import compute_stats
+from repro.verify.fuzz import generate_fuzz_program
+from repro.vphw import AbstractVPUnit, BankedVPUnit
+from repro.vpred import (
+    ClassifiedPredictor,
+    LastValuePredictor,
+    SaturatingClassifier,
+    StridePredictor,
+    TwoDeltaStridePredictor,
+    make_predictor,
+)
+
+FUZZ_SEEDS = (3, 11, 42)
+
+
+@pytest.fixture(scope="module")
+def parity_traces(workload_traces_small):
+    traces = dict(workload_traces_small)
+    for seed in FUZZ_SEEDS:
+        trace = run_program(generate_fuzz_program(seed))
+        traces[f"fuzz{seed}"] = trace
+    return traces
+
+
+def make_engine(kind):
+    if kind == "seq":
+        return SequentialFetchEngine(width=16, max_taken=1)
+    if kind == "seq-unlimited":
+        return SequentialFetchEngine(width=40, max_taken=None)
+    if kind == "cb":
+        return CollapsingBufferFetchEngine()
+    return TraceCacheFetchEngine()
+
+
+def make_vp_unit(kind):
+    if kind is None:
+        return None
+    if kind == "abstract":
+        return AbstractVPUnit(make_predictor())
+    return BankedVPUnit(StridePredictor())
+
+
+def assert_plans_equal(reference, fast):
+    assert len(reference) == len(fast)
+    for ref_block, fast_block in zip(reference, fast):
+        assert (ref_block.start, ref_block.length,
+                ref_block.mispredict_seq, ref_block.source) == (
+            fast_block.start, fast_block.length,
+            fast_block.mispredict_seq, fast_block.source)
+    assert reference.lookups == fast.lookups
+
+
+def bpred_state(bpred):
+    stats = bpred.stats
+    return (stats.conditional, stats.conditional_correct,
+            stats.indirect, stats.indirect_correct)
+
+
+# -- backend selection -------------------------------------------------------
+
+def test_resolve_backend_precedence(monkeypatch):
+    monkeypatch.delenv("REPRO_BACKEND", raising=False)
+    assert resolve_backend() == "columnar"
+    assert resolve_backend("object") == "object"
+    monkeypatch.setenv("REPRO_BACKEND", "object")
+    assert resolve_backend() == "object"
+    assert resolve_backend("auto") == "object"
+    assert resolve_backend("columnar") == "columnar"
+    monkeypatch.setenv("REPRO_BACKEND", "bogus")
+    with pytest.raises(ConfigError):
+        resolve_backend()
+
+
+# -- fetch planning ----------------------------------------------------------
+
+@pytest.mark.parametrize("engine_kind", ["seq", "seq-unlimited", "cb"])
+@pytest.mark.parametrize("bpred_cls", [PerfectBranchPredictor, TwoLevelBTB])
+def test_fetch_plan_parity(parity_traces, engine_kind, bpred_cls):
+    for trace in parity_traces.values():
+        ref_bpred, fast_bpred = bpred_cls(), bpred_cls()
+        reference = make_engine(engine_kind).plan_reference(trace, ref_bpred)
+        fast = make_engine(engine_kind).plan(
+            trace, fast_bpred, backend="columnar"
+        )
+        assert_plans_equal(reference, fast)
+        assert bpred_state(ref_bpred) == bpred_state(fast_bpred)
+
+
+# -- VP planning -------------------------------------------------------------
+
+@pytest.mark.parametrize("predictor_factory", [
+    LastValuePredictor,
+    StridePredictor,
+    lambda: ClassifiedPredictor(StridePredictor(), SaturatingClassifier()),
+    lambda: ClassifiedPredictor(
+        LastValuePredictor(),
+        SaturatingClassifier(bits=3, threshold=5, initial=2),
+    ),
+], ids=["last", "stride", "classified-stride", "classified-last-3bit"])
+def test_vp_plan_parity(parity_traces, predictor_factory):
+    for trace in parity_traces.values():
+        ref_pred, fast_pred = predictor_factory(), predictor_factory()
+        reference = plan_value_predictions(trace, ref_pred, backend="object")
+        fast = plan_value_predictions(trace, fast_pred, backend="columnar")
+        assert reference == fast
+        assert ref_pred.stats == fast_pred.stats
+
+
+def test_vp_plan_parity_unsupported_predictor(parity_traces):
+    """Two-delta has no closed form: the columnar path must hand the
+    exact reference loop back, not approximate."""
+    trace = parity_traces["vortex"]
+    reference = plan_value_predictions(
+        trace, TwoDeltaStridePredictor(), backend="object"
+    )
+    fast = plan_value_predictions(
+        trace, TwoDeltaStridePredictor(), backend="columnar"
+    )
+    assert reference == fast
+
+
+# -- timing cores ------------------------------------------------------------
+
+@pytest.mark.parametrize("rate", [4, 16, 40])
+def test_ideal_parity(parity_traces, rate):
+    for trace in parity_traces.values():
+        for with_vp in (False, True):
+            results = {}
+            for backend in ("object", "columnar"):
+                predictor = make_predictor() if with_vp else None
+                results[backend] = simulate_ideal(
+                    trace, IdealConfig(fetch_rate=rate), predictor,
+                    backend=backend,
+                )
+            assert results["object"].cycles == results["columnar"].cycles
+            assert results["object"].name == results["columnar"].name
+            assert results["object"].extra == results["columnar"].extra
+
+
+@pytest.mark.parametrize("engine_kind", ["seq", "cb", "tc"])
+@pytest.mark.parametrize("vp_kind", [None, "abstract", "banked"])
+def test_realistic_parity(parity_traces, engine_kind, vp_kind):
+    for trace in parity_traces.values():
+        results = {}
+        for backend in ("object", "columnar"):
+            results[backend] = simulate_realistic(
+                trace, make_engine(engine_kind), TwoLevelBTB(),
+                make_vp_unit(vp_kind), backend=backend,
+            )
+        obj, col = results["object"], results["columnar"]
+        assert obj.cycles == col.cycles
+        assert obj.extra == col.extra
+        assert obj.name == col.name
+        assert obj.n_instructions == col.n_instructions
+
+
+def test_realistic_parity_supplied_plan(parity_traces):
+    """A caller-supplied plan (the speedup-pair pattern) must give the
+    same cycles and the same plan-derived branch accuracy."""
+    for trace in parity_traces.values():
+        results = {}
+        for backend in ("object", "columnar"):
+            engine = SequentialFetchEngine(width=40, max_taken=1)
+            bpred = PerfectBranchPredictor()
+            plan = engine.plan(trace, bpred, backend=backend)
+            results[backend] = simulate_realistic(
+                trace, engine, bpred, AbstractVPUnit(make_predictor()),
+                plan=plan, backend=backend,
+            )
+        assert results["object"].cycles == results["columnar"].cycles
+        assert results["object"].extra == results["columnar"].extra
+
+
+def test_ideal_detail_forces_reference(vortex_trace):
+    """Requesting the per-instruction schedule must bypass the columnar
+    core yet agree with it on the aggregate result."""
+    detail = ScheduleDetail()
+    with_detail = simulate_ideal(
+        vortex_trace, IdealConfig(fetch_rate=8), detail=detail,
+        backend="columnar",
+    )
+    assert len(detail.exec_done) == len(vortex_trace)
+    plain = simulate_ideal(
+        vortex_trace, IdealConfig(fetch_rate=8), backend="columnar"
+    )
+    assert with_detail.cycles == plain.cycles
+
+
+# -- trace stats -------------------------------------------------------------
+
+def test_stats_parity(parity_traces):
+    for trace in parity_traces.values():
+        reference = compute_stats(trace, backend="object")
+        fast = compute_stats(trace, backend="columnar")
+        assert reference == fast
+        assert reference.format() == fast.format()
+
+
+# -- environment-variable selection -----------------------------------------
+
+def test_env_var_selects_backend(vortex_trace, monkeypatch):
+    cycles = {}
+    for env in ("object", "columnar"):
+        monkeypatch.setenv("REPRO_BACKEND", env)
+        cycles[env] = simulate_ideal(
+            vortex_trace, IdealConfig(fetch_rate=16), make_predictor()
+        ).cycles
+    assert cycles["object"] == cycles["columnar"]

@@ -1,0 +1,80 @@
+"""Tests for the repro-bench harness and CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import PROFILES, compare_cells, run_bench
+from repro.bench.cli import main
+
+
+@pytest.fixture(scope="module")
+def tiny_report():
+    return run_bench(
+        profile="short", trace_length=1_200, workloads=["compress", "li"]
+    )
+
+
+def test_profiles_declared():
+    assert set(PROFILES) == {"full", "short"}
+    assert PROFILES["full"]["trace_length"] == 200_000
+
+
+def test_report_schema(tiny_report):
+    report = tiny_report
+    assert report["schema"] == "repro-bench/1"
+    assert report["trace_length"] == 1_200
+    assert report["workloads"] == ["compress", "li"]
+    assert set(report["backends"]) == {"object", "columnar"}
+    for payload in report["backends"].values():
+        assert set(payload["experiment_seconds"]) == {"fig3.1", "fig5.1"}
+        assert payload["total_seconds"] >= 0.0
+    assert set(report["speedup_vs_object"]) == {"fig3.1", "fig5.1", "total"}
+
+
+def test_report_parity(tiny_report):
+    assert tiny_report["parity"] == "identical"
+    assert tiny_report["divergences"] == []
+
+
+def test_compare_cells_flags_divergence():
+    obj = {"fig3.1": {"li": [{"rate": 4, "base_cycles": 100}]}}
+    col = {"fig3.1": {"li": [{"rate": 4, "base_cycles": 101}]}}
+    problems = compare_cells(obj, col)
+    assert len(problems) == 1
+    assert "fig3.1/li" in problems[0]
+    assert compare_cells(obj, obj) == []
+
+
+def test_cli_writes_report(tmp_path, capsys):
+    out = tmp_path / "BENCH_test.json"
+    status = main([
+        "--profile", "short", "--length", "1200",
+        "--workload", "compress", "--output", str(out),
+    ])
+    assert status == 0
+    report = json.loads(out.read_text())
+    assert report["parity"] == "identical"
+    assert report["workloads"] == ["compress"]
+    printed = capsys.readouterr().out
+    assert "speedup" in printed
+    assert str(out) in printed
+
+
+def test_cli_stdout_mode(capsys):
+    status = main([
+        "--profile", "short", "--length", "1200",
+        "--workload", "li", "--output", "-",
+    ])
+    assert status == 0
+    printed = capsys.readouterr().out
+    payload = printed[:printed.index("\nrepro-bench") + 1]
+    assert json.loads(payload)["schema"] == "repro-bench/1"
+
+
+def test_cli_rejects_bad_args(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--profile", "gigantic"])
+    assert excinfo.value.code == 2

@@ -129,6 +129,29 @@ def test_empty_trace_ipc_raises():
 
 
 class TestPipelineTable:
+    def test_window_limits_fetch(self):
+        # Regression: the window parameter used to be accepted and
+        # ignored.  With window=4 at rate 4, each fetch group must wait
+        # for its window slot's occupant to finish executing (fetch+3
+        # under the table's perfect-VP assumption).
+        trace = independent_trace(16)
+        rows = pipeline_table(trace, fetch_rate=4, window=4)
+        fetch_cycles = [cycle for cycle, fetched, *_ in rows if fetched]
+        assert fetch_cycles == [1, 4, 7, 10]
+
+    def test_large_window_does_not_stall(self):
+        trace = independent_trace(16)
+        rows = pipeline_table(trace, fetch_rate=4, window=40)
+        fetch_cycles = [cycle for cycle, fetched, *_ in rows if fetched]
+        assert fetch_cycles == [1, 2, 3, 4]
+
+    def test_window_stall_restarts_fetch_count(self):
+        # After a window stall the stalling cycle must still fetch a
+        # full-rate group, not carry over the previous cycle's count.
+        rows = pipeline_table(independent_trace(12), fetch_rate=4, window=4)
+        by_cycle = {cycle: stages for cycle, *stages in rows}
+        assert by_cycle[4][0] == [5, 6, 7, 8]
+
     def test_matches_paper_table_3_2(self):
         rows = pipeline_table(figure_3_2_trace(), fetch_rate=4)
         by_cycle = {cycle: stages for cycle, *stages in rows}

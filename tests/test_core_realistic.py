@@ -171,6 +171,65 @@ class TestSharedPlanBranchAccuracy:
         plan = engine.plan(trace, bpred)
         assert plan_branch_accuracy(trace, plan, bpred) == 1.0
 
+    def test_engine_records_lookup_count(self):
+        trace = loop_trace(iterations=30, body=6)
+        engine = SequentialFetchEngine(width=40, max_taken=1)
+        bpred = TwoLevelBTB()
+        plan = engine.plan(trace, bpred)
+        assert plan.lookups == bpred.stats.lookups
+
+
+class TestHandBuiltPlanAccuracy:
+    """Hand-supplied plans must still yield an accuracy in [0, 1].
+
+    Regression: a hand-built plan marking mispredictions on blocks whose
+    ending instruction is outside the predictor's lookup policy used to
+    drive the derived accuracy below zero.
+    """
+
+    def alu_only_trace(self, n=8):
+        return Trace([
+            DynInstr(i, 0x1000 + 4 * i, Opcode.ADD, dest=1, value=i,
+                     next_pc=0x1000 + 4 * (i + 1))
+            for i in range(n)
+        ])
+
+    def hand_plan(self, n=8):
+        from repro.fetch.base import FetchBlock, FetchPlan
+
+        # Every single-instruction block claims a misprediction, but no
+        # instruction is in the BTB's lookup set (all plain ALU ops).
+        return FetchPlan([
+            FetchBlock(start=i, length=1, mispredict_seq=i)
+            for i in range(n)
+        ])
+
+    def test_clamped_to_zero(self):
+        trace = self.alu_only_trace()
+        accuracy = plan_branch_accuracy(trace, self.hand_plan(), TwoLevelBTB())
+        assert accuracy == 0.0
+
+    def test_plan_lookups_override_policy_count(self):
+        trace = self.alu_only_trace()
+        plan = self.hand_plan()
+        plan.lookups = 16
+        accuracy = plan_branch_accuracy(trace, plan, TwoLevelBTB())
+        assert accuracy == pytest.approx(0.5)
+
+    def test_accuracy_never_leaves_unit_interval(self):
+        trace = self.alu_only_trace()
+        for lookups in (None, 0, 1, 4, 100):
+            plan = self.hand_plan()
+            plan.lookups = lookups
+            accuracy = plan_branch_accuracy(trace, plan, TwoLevelBTB())
+            assert 0.0 <= accuracy <= 1.0
+
+    def test_derivation_does_not_train_predictor(self):
+        trace = self.alu_only_trace()
+        bpred = TwoLevelBTB()
+        plan_branch_accuracy(trace, self.hand_plan(), bpred)
+        assert bpred.stats.lookups == 0
+
 
 def test_extra_stats_populated(vortex_trace):
     result = simulate(vortex_trace, vp=True)

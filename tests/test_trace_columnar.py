@@ -1,0 +1,113 @@
+"""Unit tests for the struct-of-arrays trace view."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa.opcodes import Opcode
+from repro.trace.columnar import (
+    HAVE_NUMPY,
+    MAX_REGISTER,
+    ColumnarTrace,
+    ColumnarUnsupported,
+)
+from repro.trace.record import DynInstr
+from repro.trace.trace import Trace
+
+
+def make_records():
+    return [
+        DynInstr(0, 0x1000, Opcode.LI, dest=1, value=7, next_pc=0x1004),
+        DynInstr(1, 0x1004, Opcode.ADD, dest=2, srcs=(1, 1), value=14,
+                 next_pc=0x1008),
+        DynInstr(2, 0x1008, Opcode.ST, srcs=(2,), mem_addr=0x80,
+                 next_pc=0x100C),
+        DynInstr(3, 0x100C, Opcode.BEQ, srcs=(1, 2), taken=True,
+                 next_pc=0x1000),
+        DynInstr(4, 0x1000, Opcode.LD, dest=3, value=14, mem_addr=0x80,
+                 next_pc=0x1004),
+    ]
+
+
+def test_columns_mirror_records():
+    cols = ColumnarTrace.from_records(make_records())
+    assert cols.n == 5
+    assert list(cols.pc) == [0x1000, 0x1004, 0x1008, 0x100C, 0x1000]
+    assert list(cols.dest) == [1, 2, -1, -1, 3]
+    assert list(cols.src0) == [-1, 1, 2, 1, -1]
+    assert list(cols.src1) == [-1, 1, -1, 2, -1]
+    assert list(cols.taken) == [False, False, False, True, False]
+    assert list(cols.is_control) == [False, False, False, True, False]
+    assert list(cols.is_store) == [False, False, True, False, False]
+    assert list(cols.is_load) == [False, False, False, False, True]
+    assert list(cols.writes) == [True, True, False, False, True]
+
+
+def test_producer_columns():
+    cols = ColumnarTrace.from_records(make_records())
+    p0, p1, memprod = cols.prod_lists()
+    assert p0 == [-1, 0, 1, 0, -1]
+    assert p1 == [-1, 0, -1, 1, -1]
+    # The load at 4 reads the store at 2 (same address).
+    assert memprod == [-1, -1, -1, -1, 2]
+
+
+def test_python_producer_derivation_matches():
+    cols = ColumnarTrace.from_records(make_records())
+    assert cols._derive_producers_python() == tuple(cols.prod_lists()[:2])
+
+
+def test_trace_columns_cached():
+    trace = Trace(make_records())
+    assert trace.columns() is trace.columns()
+
+
+def test_unsupported_three_sources():
+    records = [DynInstr(0, 0, Opcode.ADD, dest=1, srcs=(1, 2, 3), value=0,
+                        next_pc=4)]
+    with pytest.raises(ColumnarUnsupported):
+        ColumnarTrace.from_records(records)
+
+
+def test_unsupported_register_range():
+    records = [DynInstr(0, 0, Opcode.ADD, dest=MAX_REGISTER + 1, value=0,
+                        next_pc=4)]
+    with pytest.raises(ColumnarUnsupported):
+        ColumnarTrace.from_records(records)
+
+
+def test_unsupported_huge_value():
+    records = [DynInstr(0, 0, Opcode.LI, dest=1, value=2**64, next_pc=4)]
+    with pytest.raises(ColumnarUnsupported):
+        ColumnarTrace.from_records(records)
+
+
+def test_trace_columns_remembers_failure():
+    records = [DynInstr(0, 0, Opcode.ADD, dest=1, srcs=(1, 2, 3), value=0,
+                        next_pc=4)]
+    trace = Trace(records)
+    assert trace.columns() is None
+    assert trace.columns() is None  # second call is the cached failure
+
+
+def test_empty_trace():
+    cols = ColumnarTrace.from_records([])
+    assert cols.n == 0
+    assert cols.prod_lists() == ([], [], [])
+
+
+def test_as_list_round_trip():
+    cols = ColumnarTrace.from_records(make_records())
+    dest = cols.as_list("dest")
+    assert dest == [1, 2, -1, -1, 3]
+    assert cols.as_list("dest") is dest
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="numpy-backed view only")
+def test_numpy_backing():
+    import numpy as np
+
+    cols = ColumnarTrace.from_records(make_records())
+    assert cols.vec
+    assert cols.value.dtype == np.uint64
+    assert cols.prod0.dtype == np.int64

@@ -34,6 +34,19 @@ def test_sequence_protocol():
     assert [r.seq for r in trace[2:5]] == [2, 3, 4]
 
 
+def test_slice_contract():
+    """Slicing returns a plain list — deliberately not a Trace, whose
+    seq==index invariant an interior slice could not satisfy."""
+    trace = Trace(make_records(10))
+    sliced = trace[2:5]
+    assert type(sliced) is list
+    assert not isinstance(sliced, Trace)
+    assert all(isinstance(r, DynInstr) for r in sliced)
+    assert isinstance(trace[7], DynInstr)
+    # The revalidated-trace alternative for leading slices:
+    assert isinstance(trace.prefix(5), Trace)
+
+
 def test_seq_numbering_validated():
     records = make_records(3)
     records[1] = DynInstr(seq=5, pc=0, op=Opcode.NOP, next_pc=4)
