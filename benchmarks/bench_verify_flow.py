@@ -1,0 +1,20 @@
+"""Tooling bench: whole-package effect analysis (repro-lint effects).
+
+Not a paper artifact — this times the analysis pass CI runs on every
+push (parse + index + call-graph + fixpoint + RPF rules over the whole
+``repro`` package), so a superlinear regression in the resolver or the
+worklist shows up as a bench delta, not as a slow CI mystery.
+"""
+
+from repro.verify.flow import analyze_package
+from repro.verify.rules.flow import lint_effects
+
+
+def test_effects_pass_whole_package(benchmark):
+    reports = benchmark.pedantic(
+        lambda: lint_effects(analyze_package()),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    assert not any(report.fails("warning") for report in reports)
+    summary = next(r for r in reports if "effect summary" in r.subject)
+    print("\n" + summary.format(), flush=True)

@@ -43,7 +43,10 @@ class RealisticConfig:
 
     window: int = 40
     issue_width: int = 40
-    n_fus: int = 40
+    # Documents the paper's 40-FU machine; validate() pins n_fus >=
+    # window, after which the window bound alone governs the timing
+    # model, so no execution path reads it.
+    n_fus: int = 40  # repro-lint: disable=RPF003
     branch_penalty: int = 3
     value_penalty: int = 1
     memory_dependencies: bool = True

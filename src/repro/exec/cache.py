@@ -11,6 +11,11 @@ Two stores under one root (default ``~/.cache/repro`` or
 * **cells/** — completed experiment cells (JSON payloads) keyed by the
   cell's full identity (experiment, cell id, parameters, versions), so
   re-runs and partial failures resume instead of recomputing.
+* **goldens/** — authoritative recorded cell outcomes for the
+  ``repro-lint diff`` differential verifier: the cell's value plus
+  auxiliary digests (funcsim architectural state, DID histograms),
+  keyed like cells. Goldens are *evidence*, not memoization — replays
+  recompute the cell on purpose and compare against them.
 
 Writes are atomic (temp file + rename) so concurrent workers sharing
 one cache directory never observe half-written artifacts.
@@ -175,6 +180,10 @@ class DiskCache:
     def cell_dir(self) -> Path:
         return self.root / "cells"
 
+    @property
+    def golden_dir(self) -> Path:
+        return self.root / "goldens"
+
     def trace_path(self, name: str, length: int, seed: int) -> Path:
         return self.trace_dir / (
             f"{name}-L{length}-S{seed}-g{GENERATOR_VERSION}.trace"
@@ -276,6 +285,54 @@ class DiskCache:
         self._atomic_write(path, lambda handle: handle.write(payload))
         return path
 
+    # -- golden store -----------------------------------------------------
+
+    def golden_path(self, key: str) -> Path:
+        return self.golden_dir / f"{key}.json"
+
+    def put_golden(self, key: str, record: Dict[str, Any]) -> Path:
+        """Store one golden record; its ``value`` gets a sha256 sibling
+        so replay comparisons can trust what they read."""
+        path = self.golden_path(key)
+        stored = dict(record)
+        stored["sha256"] = value_digest(stored.get("value"))
+        payload = json.dumps(stored, sort_keys=True)
+        self._atomic_write(path, lambda handle: handle.write(payload))
+        return path
+
+    def get_golden(self, key: str) -> Optional[Dict[str, Any]]:
+        """One golden record by key, checksum-verified; a corrupt or
+        tampered record is quarantined and answered as a miss."""
+        path = self.golden_path(key)
+        if not path.exists():
+            return None
+        try:
+            with open(path) as handle:
+                record = json.load(handle)
+            checksum = record["sha256"]
+        except (OSError, ValueError, KeyError, TypeError):
+            self._quarantine(path)
+            return None
+        if checksum != value_digest(record.get("value")):
+            self._quarantine(path)
+            return None
+        if not isinstance(record, dict):  # pragma: no cover - defensive
+            return None
+        return record
+
+    def iter_goldens(self) -> List[Dict[str, Any]]:
+        """Every healthy golden record, sorted by key (deterministic)."""
+        if not self.golden_dir.is_dir():
+            return []
+        records: List[Dict[str, Any]] = []
+        for path in sorted(self.golden_dir.iterdir()):
+            if not path.name.endswith(".json"):
+                continue
+            record = self.get_golden(path.name[: -len(".json")])
+            if record is not None:
+                records.append(record)
+        return records
+
     # -- accounting & eviction --------------------------------------------
 
     def _entries(self) -> List[Tuple[Path, float, int]]:
@@ -283,7 +340,7 @@ class DiskCache:
         first; quarantined ``*.corrupt`` files are listed separately by
         :meth:`_quarantined`."""
         entries: List[Tuple[Path, float, int]] = []
-        for store in (self.trace_dir, self.cell_dir):
+        for store in (self.trace_dir, self.cell_dir, self.golden_dir):
             if not store.is_dir():
                 continue
             for path in store.iterdir():
@@ -302,7 +359,7 @@ class DiskCache:
     def _quarantined(self) -> List[Tuple[Path, int]]:
         """Every quarantined ``*.corrupt`` file as ``(path, size)``."""
         quarantined: List[Tuple[Path, int]] = []
-        for store in (self.trace_dir, self.cell_dir):
+        for store in (self.trace_dir, self.cell_dir, self.golden_dir):
             if not store.is_dir():
                 continue
             for path in store.iterdir():
@@ -326,11 +383,16 @@ class DiskCache:
         """
         traces: Dict[str, int] = {"entries": 0, "bytes": 0}
         cells: Dict[str, int] = {"entries": 0, "bytes": 0}
+        goldens: Dict[str, int] = {"entries": 0, "bytes": 0}
         per_experiment: Dict[str, Dict[str, int]] = {}
         for path, _mtime, size in self._entries():
             if path.parent == self.trace_dir:
                 traces["entries"] += 1
                 traces["bytes"] += size
+                continue
+            if path.parent == self.golden_dir:
+                goldens["entries"] += 1
+                goldens["bytes"] += size
                 continue
             cells["entries"] += 1
             cells["bytes"] += size
@@ -357,8 +419,9 @@ class DiskCache:
             "root": str(self.root),
             "traces": traces,
             "cells": cells_payload,
+            "goldens": goldens,
             "corrupt": corrupt,
-            "total_bytes": traces["bytes"] + cells["bytes"],
+            "total_bytes": traces["bytes"] + cells["bytes"] + goldens["bytes"],
         }
 
     def prune(self, max_bytes: int) -> Dict[str, int]:

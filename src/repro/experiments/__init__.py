@@ -65,6 +65,15 @@ EXPERIMENT_SPECS.update({
     if experiment_id.startswith("abl.")
 })
 
+# The differential-fuzz grid (repro.verify.diffcells): generated ISA
+# programs as first-class cells, so the golden-diff verifier exercises
+# the same engine/cache/daemon paths as the paper figures. Imported
+# late — diffcells depends only on funcsim/core/dfg/verify, never on
+# this package, so there is no cycle.
+from repro.verify import diffcells as _diffcells  # noqa: E402
+
+EXPERIMENT_SPECS[_diffcells.EXPERIMENT_ID] = _diffcells.SPEC
+
 __all__ = [
     "ALL_EXPERIMENTS",
     "DEFAULT_TRACE_LENGTH",

@@ -15,6 +15,15 @@ Subcommands::
     repro-lint fuzz [--n N]               # absint soundness oracle: seeded
                                           # random programs vs funcsim + the
                                           # real value predictors
+    repro-lint effects [ROOT]             # interprocedural effect analysis:
+                                          # call graph + purity fixpoint over
+                                          # the whole package, RPF cache-
+                                          # safety rules
+    repro-lint diff record|replay|list    # golden-result differential
+                                          # verifier: record authoritative
+                                          # cell outcomes, replay them across
+                                          # backends / job counts / the
+                                          # serve daemon
 
 All support ``--json`` (one machine-readable artifact on stdout, the
 same envelope for every pass — see
@@ -184,6 +193,74 @@ def build_parser() -> argparse.ArgumentParser:
         help="dynamic instruction budget per program (default 200000)",
     )
     common(fuzz)
+
+    effects = sub.add_parser(
+        "effects",
+        help="interprocedural effect analysis: call graph and purity "
+        "fixpoint over the whole package, plus the RPF cache-safety rules",
+    )
+    effects.add_argument(
+        "root", nargs="?", metavar="ROOT", default=None,
+        help="package directory to analyze (default: the installed "
+        "repro package)",
+    )
+    effects.add_argument(
+        "--summary", action="store_true",
+        help="also print the per-function effect table (human mode only)",
+    )
+    common(effects)
+
+    diff = sub.add_parser(
+        "diff",
+        help="golden-result differential verifier: record authoritative "
+        "cell outcomes, replay them across execution paths",
+    )
+    diff.add_argument(
+        "action", choices=("record", "replay", "list"),
+        help="record goldens, replay them across paths, or list the store",
+    )
+    diff.add_argument(
+        "--experiment", action="append", default=None, metavar="ID",
+        dest="experiments",
+        help="experiment grid to record (repeatable); on replay, restrict "
+        "to records of this experiment",
+    )
+    diff.add_argument(
+        "--workload", action="append", default=None, metavar="NAME",
+        dest="workloads",
+        help="restrict recorded grids to this workload (repeatable)",
+    )
+    diff.add_argument(
+        "--fuzz", type=int, default=0, metavar="N",
+        help="also record N generated fuzz cells from the diff.fuzz grid",
+    )
+    diff.add_argument(
+        "--length", type=positive_int, default=2000, metavar="N",
+        help="trace length / instruction budget cells run at (default 2000)",
+    )
+    diff.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="cache root holding the golden store "
+        "(default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    diff.add_argument(
+        "--paths", default=None, metavar="P1,P2", dest="replay_paths",
+        help="comma-separated replay paths (default full matrix: "
+        "object-serial,columnar-serial,object-jobs2,columnar-jobs2,"
+        "columnar-served)",
+    )
+    diff.add_argument(
+        "--tolerance", action="append", default=None, metavar="METRIC=EPS",
+        dest="tolerances",
+        help="absolute tolerance for one metric name ('*' matches every "
+        "metric; repeatable; default exact)",
+    )
+    diff.add_argument(
+        "--expect", default=None, metavar="FILE",
+        help="JSON list of expected-failure entries "
+        "({cell, path, metric, reason} fnmatch patterns)",
+    )
+    common(diff)
     return parser
 
 
@@ -343,6 +420,156 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return _exit_code(reports, args.fail_on)
 
 
+def _cmd_effects(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.verify.flow import analyze_package, effects_label
+    from repro.verify.rules.flow import lint_effects
+
+    if args.root is None:
+        analysis = analyze_package()
+    else:
+        root = Path(args.root)
+        if not root.is_dir():
+            raise ConfigError(
+                f"effects expects a package directory, not {args.root!r}"
+            )
+        analysis = analyze_package(root=root, package=root.name)
+    reports = lint_effects(analysis)
+    if args.json:
+        _emit(reports, True, "effects", extra={"flow": analysis.summary()})
+    else:
+        for report in reports:
+            print(report.format())
+        if args.summary:
+            for qualname in sorted(analysis.functions):
+                print(f"  {qualname}: {effects_label(analysis.effects[qualname])}")
+    return _exit_code(reports, args.fail_on)
+
+
+def _parse_tolerances(specs: Optional[List[str]]) -> Optional[dict]:
+    if not specs:
+        return None
+    tolerances = {}
+    for spec in specs:
+        metric, sep, eps = spec.partition("=")
+        if not sep or not metric:
+            raise ConfigError(
+                f"--tolerance expects METRIC=EPS, got {spec!r}"
+            )
+        try:
+            tolerances[metric] = float(eps)
+        except ValueError:
+            raise ConfigError(
+                f"--tolerance {metric}: {eps!r} is not a number"
+            ) from None
+        if tolerances[metric] < 0:
+            raise ConfigError(f"--tolerance {metric}: must be >= 0")
+    return tolerances
+
+
+def _load_expectations(path: Optional[str]) -> Optional[list]:
+    if path is None:
+        return None
+    import json
+
+    from repro.verify.golden import ExpectedFailure
+
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            raw = json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise ConfigError(f"cannot read --expect {path}: {exc}") from None
+    if not isinstance(raw, list):
+        raise ConfigError(
+            f"--expect {path}: expected a JSON list of objects"
+        )
+    return [ExpectedFailure.from_dict(entry) for entry in raw]
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from repro.exec import DiskCache, default_cache_dir
+    from repro.verify import golden
+
+    if args.fuzz < 0:
+        raise ConfigError("--fuzz must be >= 0")
+    cache = DiskCache(args.cache_dir or default_cache_dir())
+
+    if args.action == "record":
+        if not args.experiments and not args.fuzz:
+            raise ConfigError(
+                "nothing to record: give --experiment and/or --fuzz N"
+            )
+        records, report = golden.record_goldens(
+            cache,
+            args.experiments or [],
+            args.length,
+            seed=args.seed,
+            workloads=args.workloads,
+            fuzz=args.fuzz,
+        )
+        reports = [report]
+        extra = {
+            "diff": {
+                "action": "record",
+                "golden_cells": len(records),
+                "cache_root": str(cache.root),
+            }
+        }
+        _emit(reports, args.json, "diff", extra=extra)
+        return _exit_code(reports, args.fail_on)
+
+    if args.action == "list":
+        records = [
+            record for record in cache.iter_goldens()
+            if not args.experiments
+            or record["experiment_id"] in args.experiments
+        ]
+        report = Report(subject="golden store")
+        for record in records:
+            report.info(
+                "golden",
+                f"{record['experiment_id']}:{record['cell_id']} "
+                f"(length {record['trace_length']}, seed {record['seed']}, "
+                f"{record['recorded_backend']} backend)",
+            )
+        report.info(
+            "golden-store",
+            f"{len(records)} golden record(s) under {cache.golden_dir}",
+        )
+        reports = [report]
+        extra = {
+            "diff": {
+                "action": "list",
+                "golden_cells": len(records),
+                "cache_root": str(cache.root),
+            }
+        }
+        _emit(reports, args.json, "diff", extra=extra)
+        return _exit_code(reports, args.fail_on)
+
+    paths = golden.DEFAULT_PATHS
+    if args.replay_paths:
+        paths = tuple(
+            golden.parse_path(spec.strip())
+            for spec in args.replay_paths.split(",")
+            if spec.strip()
+        )
+        if not paths:
+            raise ConfigError("--paths named no replay paths")
+    reports, summary = golden.replay_goldens(
+        cache,
+        paths=paths,
+        tolerances=_parse_tolerances(args.tolerances),
+        expected_failures=_load_expectations(args.expect),
+        experiments=args.experiments,
+    )
+    summary["action"] = "replay"
+    summary["cache_root"] = str(cache.root)
+    _emit(reports, args.json, "diff", extra={"diff": summary})
+    return _exit_code(reports, args.fail_on)
+
+
 def _make_engine(
     args: argparse.Namespace,
 ) -> Union[
@@ -408,6 +635,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_absint(args)
         if args.command == "fuzz":
             return _cmd_fuzz(args)
+        if args.command == "effects":
+            return _cmd_effects(args)
+        if args.command == "diff":
+            return _cmd_diff(args)
         return _cmd_run(args)
     except ConfigError as exc:
         # Usage-class failures (unresolvable workloads, unreadable

@@ -192,7 +192,11 @@ def reports_to_json(reports: List[Report]) -> str:
 
 # Version of the lint-artifact envelope below. Bump when the shape of
 # the payload (not the diagnostics inside it) changes.
-LINT_SCHEMA_VERSION = 1
+# "2": the envelope contract became normative across all subcommands
+# (program/run/static/absint/fuzz/effects/diff): every JSON artifact
+# carries schema_version/tool/command/summary/reports, and every
+# subcommand exits 0 (clean) / 1 (findings) / 2 (usage).
+LINT_SCHEMA_VERSION = 2
 
 
 def lint_artifact(
@@ -207,9 +211,10 @@ def lint_artifact(
     only on (command, subjects, code version), so CI runs of the same
     tree produce byte-identical files. The top-level ``reports`` key
     carries :meth:`Report.to_json` payloads, identical across the
-    ``program``, ``static``, ``absint`` and ``fuzz`` passes; ``extra``
-    merges pass-specific payloads (e.g. absint per-program summaries)
-    alongside it.
+    ``program``, ``run``, ``static``, ``absint``, ``fuzz``, ``effects``
+    and ``diff`` passes; ``extra`` merges pass-specific payloads (e.g.
+    absint per-program summaries, the effects call-graph summary, the
+    diff replay matrix) alongside it.
     """
     payload: Dict[str, Any] = {
         "schema_version": LINT_SCHEMA_VERSION,

@@ -1,0 +1,153 @@
+"""The ``diff.fuzz`` experiment: fuzz programs as differential cells.
+
+The golden-result verifier (:mod:`repro.verify.golden`) replays
+recorded cells across execution paths — backends, job counts, the
+serve daemon. Real workload cells cover the hot figures, but their
+programs are eight fixed kernels; this spec turns the seeded fuzz
+generator of :mod:`repro.verify.fuzz` into a first-class experiment
+grid so randomized ISA programs travel the exact same machinery
+(engine, cache, daemon reconstruction via ``GridCatalog``) as the
+paper's figures.
+
+Each cell runs one generated program end to end and returns every
+observable the differential verifier compares:
+
+* the funcsim **architectural state digest** — sha256 over the final
+  registers, pc, retired-instruction count and a sorted memory
+  snapshot;
+* the **DID histogram** of the dynamic dependence graph (bin counts
+  and total arcs);
+* ideal-machine **cycles** with and without value prediction, and
+  realistic-machine cycles — the numbers every figure is built from.
+
+Everything is integers and digests: any divergence between two
+execution paths is a real nondeterminism bug, never a tolerance
+question. The grid is ``GRID_SIZE`` cells wide (``fuzz|seed=K``), so
+any recorded subset can be reconstructed by cell id alone.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.analysis.report import ExperimentResult
+from repro.core import IdealConfig, plan_value_predictions, simulate_ideal
+from repro.dfg.did import DIDHistogram
+from repro.dfg.graph import build_dfg
+from repro.exec.cells import Cell, ExperimentSpec
+from repro.funcsim.machine import Machine
+from repro.verify.fuzz import generate_fuzz_program
+from repro.vpred import make_predictor
+
+EXPERIMENT_ID = "diff.fuzz"
+TITLE = "differential fuzz cells (state digest / DID / cycles)"
+
+#: Width of the enumerable grid: ``fuzz|seed=0 .. GRID_SIZE-1``. The
+#: verifier records any subset; the daemon's GridCatalog can rebuild
+#: every one of these ids without extra context.
+GRID_SIZE = 32
+
+#: Fallback dynamic-instruction budget; generated programs halt well
+#: under this (bounded trip products), it only guards the simulator.
+DEFAULT_BUDGET = 200_000
+
+
+def state_digest(machine: Machine) -> str:
+    """sha256 over the final architectural state of one machine run."""
+    blob = json.dumps(
+        {
+            "regs": machine.regs,
+            "pc": machine.pc,
+            "instret": machine.instret,
+            "halted": machine.halted,
+            "memory": sorted(machine.memory.snapshot().items()),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def fuzz_cell(fuzz_seed: int, max_instructions: int = DEFAULT_BUDGET) -> dict:
+    """One differential cell: run fuzz program ``fuzz_seed`` everywhere.
+
+    Deterministic by construction — the program comes from a seeded
+    generator, the machine is exact, and the simulators are
+    parity-gated across backends; the returned dict is pure integers
+    and hex digests.
+    """
+    program = generate_fuzz_program(fuzz_seed)
+    machine = Machine(program)
+    trace = machine.run(max_instructions)
+
+    graph = build_dfg(trace)
+    histogram = DIDHistogram.from_graph(graph)
+
+    vp_plan = plan_value_predictions(trace, make_predictor())
+    base = simulate_ideal(trace, IdealConfig(fetch_rate=8))
+    with_vp = simulate_ideal(trace, IdealConfig(fetch_rate=8), vp_plan=vp_plan)
+
+    return {
+        "fuzz_seed": fuzz_seed,
+        "instret": machine.instret,
+        "state_sha256": state_digest(machine),
+        "did_counts": list(histogram.counts),
+        "did_total": histogram.total,
+        "cycles_base": base.cycles,
+        "cycles_vp": with_vp.cycles,
+        "vp_attempted": sum(vp_plan[0]),
+        "vp_correct": sum(vp_plan[1]),
+    }
+
+
+def cells(
+    trace_length: int = DEFAULT_BUDGET,
+    seed: int = 0,
+    workloads: Optional[Sequence[str]] = None,
+) -> List[Cell]:
+    """The fixed grid: ``GRID_SIZE`` fuzz programs from ``seed`` up.
+
+    ``trace_length`` is the dynamic-instruction budget (the fuzz
+    analogue of a trace length); ``workloads`` does not apply and is
+    ignored."""
+    del workloads
+    return [
+        Cell(
+            EXPERIMENT_ID,
+            f"fuzz|seed={seed + i}",
+            fuzz_cell,
+            {"fuzz_seed": seed + i, "max_instructions": trace_length},
+        )
+        for i in range(GRID_SIZE)
+    ]
+
+
+def assemble(values: Dict[str, Any], trace_length: int = 0,
+             seed: int = 0) -> ExperimentResult:
+    """Fold the per-program observables into a digest table."""
+    del trace_length, seed
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        headers=["seed", "instret", "state sha256", "DID arcs",
+                 "cycles base", "cycles VP"],
+    )
+    for value in values.values():
+        result.rows.append([
+            str(value["fuzz_seed"]),
+            str(value["instret"]),
+            value["state_sha256"][:16],
+            str(value["did_total"]),
+            str(value["cycles_base"]),
+            str(value["cycles_vp"]),
+        ])
+    result.notes.append(
+        "differential cells: digests must be byte-identical across "
+        "backends, job counts and the serve path (repro-lint diff)"
+    )
+    return result
+
+
+SPEC = ExperimentSpec(EXPERIMENT_ID, cells, assemble)

@@ -1,0 +1,763 @@
+"""Whole-package call graph and interprocedural effect inference.
+
+The per-function AST heuristics of :mod:`repro.verify.rules` see one
+file at a time; this module sees the whole ``repro`` package. It parses
+every module, indexes every function (module-level defs, methods,
+nested closures, decorated functions), resolves call sites into a call
+graph, and classifies each function with an **effect lattice**::
+
+    pure  ⊑  {clock, rng, env, fs, net, module-state}
+
+A function's *intrinsic* effects come from what its own body does
+(a ``time.time()`` call, an ``os.environ`` read, a ``global`` mutation,
+an ``open()``); its *inferred* effects are the union of its intrinsic
+effects and the effects of everything it can call, propagated through
+the call graph to a fixpoint. ``pure`` is the bottom element (the empty
+effect set); the join is set union, so the fixpoint exists and is
+reached in at most ``|functions| × |EFFECTS|`` worklist steps.
+
+Call resolution is deliberately an over-approximation: a method call
+``obj.frobnicate(...)`` resolves to *every* method named ``frobnicate``
+in the package when the receiver's class is unknown. Effects may
+therefore be over-reported, never under-reported — exactly the right
+direction for the ``RPF*`` rules built on top
+(:mod:`repro.verify.rules.flow`), which must prove the *absence* of
+effectful code on cached paths.
+
+Some effects are sanctioned by design: the backend selector reads
+``REPRO_BACKEND`` (parity-gated), the content-keyed cache layer does
+filesystem and environment work that cannot change any result. Those
+functions are **quarantined** (:data:`QUARANTINE`): their own effects
+stay visible in their summaries, but they contribute nothing to their
+callers, so a new clock read *behind* the cache API still surfaces
+while the cache itself stays green.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import ConfigError
+from repro.verify.static import (
+    SourceFile,
+    discover_files,
+    import_aliases,
+    load_source,
+)
+
+# -- the effect lattice ------------------------------------------------------
+
+#: Effect labels, in display order. ``pure`` is the absence of all of them.
+CLOCK = "clock"
+RNG = "rng"
+ENV = "env"
+FS = "fs"
+NET = "net"
+STATE = "module-state"
+
+EFFECTS: Tuple[str, ...] = (CLOCK, RNG, ENV, FS, NET, STATE)
+
+Effects = FrozenSet[str]
+
+PURE: Effects = frozenset()
+
+
+def effects_label(effects: Effects) -> str:
+    """Human-readable rendering of one effect set (``pure`` when empty)."""
+    if not effects:
+        return "pure"
+    return "+".join(e for e in EFFECTS if e in effects)
+
+
+# -- intrinsic-effect tables -------------------------------------------------
+
+# Dotted names whose *call* carries an effect. Entries ending in ".*"
+# match any attribute under the prefix (``secrets.*``).
+_CALL_EFFECTS: Dict[str, str] = {
+    # clock / wall time
+    "time.time": CLOCK,
+    "time.time_ns": CLOCK,
+    "time.monotonic": CLOCK,
+    "time.monotonic_ns": CLOCK,
+    "time.perf_counter": CLOCK,
+    "time.perf_counter_ns": CLOCK,
+    "time.process_time": CLOCK,
+    "datetime.datetime.now": CLOCK,
+    "datetime.datetime.utcnow": CLOCK,
+    "datetime.date.today": CLOCK,
+    # process-global / entropy RNG (seeded random.Random instances are
+    # deliberately NOT here: drawing from an explicit generator is the
+    # deterministic idiom this codebase uses)
+    "random.random": RNG,
+    "random.randint": RNG,
+    "random.randrange": RNG,
+    "random.choice": RNG,
+    "random.choices": RNG,
+    "random.shuffle": RNG,
+    "random.sample": RNG,
+    "random.uniform": RNG,
+    "random.gauss": RNG,
+    "random.normalvariate": RNG,
+    "random.expovariate": RNG,
+    "random.getrandbits": RNG,
+    "random.seed": RNG,
+    "os.urandom": RNG,
+    "uuid.uuid1": RNG,
+    "uuid.uuid4": RNG,
+    "secrets.*": RNG,
+    "numpy.random.*": RNG,
+    # environment
+    "os.getenv": ENV,
+    "os.putenv": ENV,
+    "os.environ.get": ENV,
+    # filesystem
+    "open": FS,
+    "os.replace": FS,
+    "os.unlink": FS,
+    "os.remove": FS,
+    "os.utime": FS,
+    "os.fdopen": FS,
+    "os.mkdir": FS,
+    "os.makedirs": FS,
+    "os.rename": FS,
+    "os.stat": FS,
+    "os.listdir": FS,
+    "os.path.exists": FS,
+    "tempfile.*": FS,
+    "shutil.*": FS,
+    # network
+    "socket.socket": NET,
+    "socket.create_connection": NET,
+    "socket.create_server": NET,
+}
+
+# Method names (attribute calls on an unknown receiver) that carry an
+# effect.  Chosen to be distinctive of their receiver type: ``pathlib``
+# verbs for the filesystem, socket verbs for the network.
+_METHOD_EFFECTS: Dict[str, str] = {
+    # pathlib.Path
+    "read_text": FS,
+    "write_text": FS,
+    "read_bytes": FS,
+    "write_bytes": FS,
+    "mkdir": FS,
+    "rmdir": FS,
+    "unlink": FS,
+    "rename": FS,
+    "touch": FS,
+    "iterdir": FS,
+    "rglob": FS,
+    "hardlink_to": FS,
+    "symlink_to": FS,
+    # socket
+    "sendall": NET,
+    "recv": NET,
+    "recv_into": NET,
+    "accept": NET,
+    "connect_ex": NET,
+    "getpeername": NET,
+}
+
+#: Functions (or whole modules, ``prefix.*``) whose effects are
+#: sanctioned by design and therefore do not propagate to callers.
+#: Keeping the reasons here makes the quarantine auditable: each entry
+#: names the invariant that licenses it.
+QUARANTINE: Dict[str, str] = {
+    # Backend choice reads REPRO_BACKEND; parity between backends is
+    # enforced by tests/test_backend_parity.py and the repro-bench gate.
+    "repro.core.backend.resolve_backend": (
+        "backend selection is parity-gated (byte-identical results)"
+    ),
+    # The compiled-kernel layer reads REPRO_NATIVE and compiles into a
+    # content-keyed on-disk cache; fallback is bit-identical Python.
+    "repro.core._native.*": (
+        "native kernels are content-keyed and parity-gated"
+    ),
+    # The content-keyed artifact cache: keys capture the full identity,
+    # so where (or whether) a value is stored cannot change it.
+    "repro.exec.cache.*": (
+        "content-keyed store: reads return exactly what the key wrote"
+    ),
+    # Cell timing: perf_counter feeds only the quarantined metrics_row
+    # schema (never a figure or a cache key).
+    "repro.exec.engine.execute_cell": (
+        "perf_counter feeds only volatile metrics (quarantined in "
+        "metrics.json)"
+    ),
+    "repro.exec.engine.ExperimentEngine._execute_cells": (
+        "perf_counter feeds only volatile metrics (quarantined in "
+        "metrics.json)"
+    ),
+    # The in-memory trace layer defers to the quarantined disk store.
+    "repro.experiments.common._cached_trace": (
+        "memoization layer over the content-keyed trace store"
+    ),
+}
+
+
+def _table_lookup(table: Dict[str, str], dotted: str) -> Optional[str]:
+    if dotted in table:
+        return table[dotted]
+    parts = dotted.split(".")
+    for cut in range(len(parts) - 1, 0, -1):
+        prefix = ".".join(parts[:cut]) + ".*"
+        if prefix in table:
+            return table[prefix]
+    return None
+
+
+def is_quarantined(qualname: str) -> Optional[str]:
+    """The quarantine reason for ``qualname``, or None."""
+    if qualname in QUARANTINE:
+        return QUARANTINE[qualname]
+    parts = qualname.split(".")
+    for cut in range(len(parts) - 1, 0, -1):
+        prefix = ".".join(parts[:cut]) + ".*"
+        if prefix in QUARANTINE:
+            return QUARANTINE[prefix]
+    return None
+
+
+# -- the function index ------------------------------------------------------
+
+
+@dataclass
+class FunctionInfo:
+    """One indexed function (module-level def, method, or closure)."""
+
+    qualname: str  # "repro.exec.engine.ExperimentEngine.run"
+    module: str  # "repro.exec.engine"
+    name: str  # bare name ("run")
+    path: Path
+    line: int
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    class_name: Optional[str] = None  # enclosing class, if a method
+    is_nested: bool = False  # defined inside another function
+
+    @property
+    def display(self) -> str:
+        return f"{self.qualname} ({self.path}:{self.line})"
+
+
+@dataclass
+class FlowAnalysis:
+    """The whole-package analysis result.
+
+    ``effects`` maps every indexed function to its *inferred* effect
+    set (intrinsic ∪ callees, quarantine-filtered); ``intrinsic`` to
+    what the function's own body does.  ``edges`` is the call graph.
+    """
+
+    package: str
+    root: Path
+    files: List[SourceFile] = field(default_factory=list)
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    edges: Dict[str, Set[str]] = field(default_factory=dict)
+    intrinsic: Dict[str, Effects] = field(default_factory=dict)
+    effects: Dict[str, Effects] = field(default_factory=dict)
+    # qualname -> one representative (dotted-name, effect) explanation
+    # for each intrinsic effect, for diagnostics.
+    evidence: Dict[str, Dict[str, str]] = field(default_factory=dict)
+
+    def file_for(self, path: Path) -> Optional[SourceFile]:
+        for source in self.files:
+            if source.path == path:
+                return source
+        return None
+
+    def reachable_from(self, roots: Iterable[str]) -> Set[str]:
+        """Every function reachable from ``roots`` along call edges,
+        stopping at quarantined functions (their callees are vouched
+        for by the quarantine reason)."""
+        seen: Set[str] = set()
+        stack = [r for r in roots if r in self.functions]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            if is_quarantined(current):
+                continue
+            stack.extend(
+                callee
+                for callee in self.edges.get(current, ())
+                if callee not in seen
+            )
+        return seen
+
+    def call_path(self, root: str, target: str) -> List[str]:
+        """One shortest root → target call chain (for diagnostics)."""
+        if root == target:
+            return [root]
+        parents: Dict[str, str] = {}
+        queue: List[str] = [root]
+        seen = {root}
+        while queue:
+            current = queue.pop(0)
+            if is_quarantined(current) and current != root:
+                continue
+            for callee in sorted(self.edges.get(current, ())):
+                if callee in seen:
+                    continue
+                seen.add(callee)
+                parents[callee] = current
+                if callee == target:
+                    chain = [target]
+                    while chain[-1] != root:
+                        chain.append(parents[chain[-1]])
+                    chain.reverse()
+                    return chain
+                queue.append(callee)
+        return []
+
+    def summary(self) -> Dict[str, object]:
+        """Machine-readable whole-package summary (deterministic)."""
+        counts: Dict[str, int] = {label: 0 for label in EFFECTS}
+        pure = 0
+        for effects in self.effects.values():
+            if not effects:
+                pure += 1
+            for label in effects:
+                counts[label] += 1
+        n = len(self.functions)
+        return {
+            "package": self.package,
+            "functions": n,
+            "call_edges": sum(len(v) for v in self.edges.values()),
+            "pure": pure,
+            "pure_fraction": round(pure / n, 4) if n else 0.0,
+            "effect_counts": counts,
+            "quarantined": sorted(
+                q for q in self.functions if is_quarantined(q)
+            ),
+        }
+
+
+# -- indexing ----------------------------------------------------------------
+
+
+def _module_name_for(path: Path, root: Path, package: str) -> str:
+    relative = path.relative_to(root)
+    parts = list(relative.parts)
+    if parts[-1] == "__init__.py":
+        parts = parts[:-1]
+    else:
+        parts[-1] = parts[-1][: -len(".py")]
+    return ".".join([package] + parts)
+
+
+class _FunctionCollector(ast.NodeVisitor):
+    """Collects every function in one module with its qualified name."""
+
+    def __init__(self, module: str, path: Path) -> None:
+        self.module = module
+        self.path = path
+        self.stack: List[Tuple[str, str]] = []  # (kind, name)
+        self.found: List[FunctionInfo] = []
+
+    def _qualify(self, name: str) -> str:
+        return ".".join([self.module] + [n for _kind, n in self.stack] + [name])
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self.stack.append(("class", node.name))
+        self.generic_visit(node)
+        self.stack.pop()
+
+    def _visit_function(self, node: ast.AST, name: str, line: int) -> None:
+        class_name = None
+        for kind, stack_name in reversed(self.stack):
+            if kind == "class":
+                class_name = stack_name
+                break
+        is_nested = any(kind == "function" for kind, _ in self.stack)
+        self.found.append(
+            FunctionInfo(
+                qualname=self._qualify(name),
+                module=self.module,
+                name=name,
+                path=self.path,
+                line=line,
+                node=node,
+                class_name=class_name,
+                is_nested=is_nested,
+            )
+        )
+        self.stack.append(("function", name))
+        self.generic_visit(node)
+        self.stack.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node, node.name, node.lineno)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node, node.name, node.lineno)
+
+
+def _own_statements(func: ast.AST) -> Iterable[ast.AST]:
+    """Walk a function body *without* descending into nested defs —
+    a closure's effects are its own; they reach the enclosing function
+    through a call edge only if the closure is actually called (or
+    escapes, which the edge builder over-approximates)."""
+    assert isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef))
+    stack: List[ast.AST] = list(func.body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue  # nested def: its body is its own function
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _dotted(node: ast.AST, aliases: Dict[str, str]) -> Optional[str]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    parts.reverse()
+    parts[0] = aliases.get(parts[0], parts[0])
+    return ".".join(parts)
+
+
+def _intrinsic_effects(
+    info: FunctionInfo, aliases: Dict[str, str]
+) -> Tuple[Effects, Dict[str, str]]:
+    """Effects of one function's own body, with evidence."""
+    found: Set[str] = set()
+    evidence: Dict[str, str] = {}
+
+    def note(effect: str, why: str) -> None:
+        found.add(effect)
+        evidence.setdefault(effect, why)
+
+    globals_declared: Set[str] = set()
+    for node in _own_statements(info.node):
+        if isinstance(node, ast.Global):
+            globals_declared.update(node.names)
+        elif isinstance(node, ast.Call):
+            dotted = _dotted(node.func, aliases)
+            if dotted is not None:
+                effect = _table_lookup(_CALL_EFFECTS, dotted)
+                if effect is not None:
+                    note(effect, f"calls {dotted}()")
+                    continue
+            if isinstance(node.func, ast.Attribute):
+                effect = _METHOD_EFFECTS.get(node.func.attr)
+                if effect is not None:
+                    note(effect, f"calls .{node.func.attr}()")
+        elif isinstance(node, ast.Attribute):
+            dotted = _dotted(node, aliases)
+            if dotted is not None and dotted.startswith("os.environ"):
+                note(ENV, "reads os.environ")
+        elif isinstance(node, ast.Subscript):
+            dotted = _dotted(node.value, aliases)
+            if dotted == "os.environ":
+                note(ENV, "reads os.environ")
+
+    if globals_declared:
+        for node in _own_statements(info.node):
+            targets: List[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            for target in targets:
+                if isinstance(target, ast.Name) and target.id in globals_declared:
+                    note(STATE, f"rebinds module-level {target.id!r}")
+    return frozenset(found), evidence
+
+
+# -- call-edge resolution ----------------------------------------------------
+
+
+@dataclass
+class _ModuleScope:
+    """Name-resolution context of one module."""
+
+    module: str
+    aliases: Dict[str, str]
+    # local (unqualified) name -> qualname for module-level defs/classes
+    local_functions: Dict[str, str]
+    local_classes: Dict[str, str]
+
+
+def _build_scopes(
+    files: List[SourceFile],
+    module_names: Dict[Path, str],
+    functions: Dict[str, FunctionInfo],
+) -> Dict[str, _ModuleScope]:
+    class_index: Dict[str, str] = {}
+    for source in files:
+        module = module_names[source.path]
+        for node in source.tree.body:
+            if isinstance(node, ast.ClassDef):
+                class_index[f"{module}.{node.name}"] = node.name
+
+    scopes: Dict[str, _ModuleScope] = {}
+    for source in files:
+        module = module_names[source.path]
+        aliases = import_aliases(source.tree)
+        local_functions = {
+            info.name: q
+            for q, info in functions.items()
+            if info.module == module
+            and info.class_name is None
+            and not info.is_nested
+        }
+        local_classes = {
+            name.rsplit(".", 1)[-1]: qual
+            for qual, name in (
+                (q, q) for q in class_index if q.startswith(module + ".")
+                and "." not in q[len(module) + 1:]
+            )
+        }
+        scopes[module] = _ModuleScope(
+            module=module,
+            aliases=aliases,
+            local_functions=local_functions,
+            local_classes=local_classes,
+        )
+    return scopes
+
+
+def _build_edges(
+    files: List[SourceFile],
+    module_names: Dict[Path, str],
+    functions: Dict[str, FunctionInfo],
+) -> Dict[str, Set[str]]:
+    scopes = _build_scopes(files, module_names, functions)
+
+    # bare method name -> qualnames of methods with that name
+    method_index: Dict[str, Set[str]] = {}
+    # bare function name -> qualnames (for from-import resolution)
+    name_index: Dict[str, Set[str]] = {}
+    for qualname, info in functions.items():
+        name_index.setdefault(info.name, set()).add(qualname)
+        if info.class_name is not None:
+            method_index.setdefault(info.name, set()).add(qualname)
+
+    # class qualname -> {method name -> method qualname}
+    class_methods: Dict[str, Dict[str, str]] = {}
+    for qualname, info in functions.items():
+        if info.class_name is None:
+            continue
+        class_qual = qualname.rsplit(".", 1)[0]
+        class_methods.setdefault(class_qual, {})[info.name] = qualname
+
+    edges: Dict[str, Set[str]] = {q: set() for q in functions}
+
+    for qualname, info in functions.items():
+        scope = scopes[info.module]
+        # Names bound by defs nested directly in this function.
+        nested = {
+            f.name: q
+            for q, f in functions.items()
+            if q.startswith(qualname + ".") and q.count(".") == qualname.count(".") + 1
+        }
+        own_class = (
+            f"{info.module}.{info.class_name}" if info.class_name else None
+        )
+        for node in _own_statements(info.node):
+            callee: Optional[ast.expr] = None
+            if isinstance(node, ast.Call):
+                callee = node.func
+            elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                # A bare function reference (callback, decorator arg,
+                # Cell payload): over-approximate as a potential call.
+                callee = node
+            if callee is None:
+                continue
+            _resolve_call(
+                edges[qualname], callee, info, scope, nested,
+                functions, method_index, name_index, class_methods,
+                own_class,
+            )
+    return edges
+
+
+def _resolve_call(
+    out: Set[str],
+    callee: ast.expr,
+    info: FunctionInfo,
+    scope: _ModuleScope,
+    nested: Dict[str, str],
+    functions: Dict[str, FunctionInfo],
+    method_index: Dict[str, Set[str]],
+    name_index: Dict[str, Set[str]],
+    class_methods: Dict[str, Dict[str, str]],
+    own_class: Optional[str],
+) -> None:
+    if isinstance(callee, ast.Name):
+        name = callee.id
+        if name in nested:
+            out.add(nested[name])
+            return
+        if name in scope.local_functions:
+            out.add(scope.local_functions[name])
+            return
+        dotted = scope.aliases.get(name)
+        if dotted is not None:
+            if dotted in functions:
+                out.add(dotted)
+                return
+            # ``from repro.exec.engine import execute_cell`` gives
+            # "repro.exec.engine.execute_cell" — already covered above.
+            # A class import resolves to its __init__ if indexed.
+            init = class_methods.get(dotted, {}).get("__init__")
+            if init is not None:
+                out.add(init)
+            return
+        return
+
+    if isinstance(callee, ast.Attribute):
+        dotted = _dotted(callee, scope.aliases)
+        if dotted is not None and dotted in functions:
+            out.add(dotted)
+            return
+        method = callee.attr
+        receiver = callee.value
+        if (
+            isinstance(receiver, ast.Name)
+            and receiver.id in ("self", "cls")
+            and own_class is not None
+        ):
+            target = class_methods.get(own_class, {}).get(method)
+            if target is not None:
+                out.add(target)
+                return
+            # fall through: inherited method, match by name
+        candidates = method_index.get(method)
+        if candidates:
+            out.update(candidates)
+
+
+# -- the fixpoint ------------------------------------------------------------
+
+
+def _propagate(
+    functions: Dict[str, FunctionInfo],
+    edges: Dict[str, Set[str]],
+    intrinsic: Dict[str, Effects],
+) -> Dict[str, Effects]:
+    reverse: Dict[str, Set[str]] = {q: set() for q in functions}
+    for caller, callees in edges.items():
+        for callee in callees:
+            reverse[callee].add(caller)
+
+    effects: Dict[str, Set[str]] = {
+        q: set(intrinsic.get(q, PURE)) for q in functions
+    }
+    worklist = list(functions)
+    in_list = set(worklist)
+    while worklist:
+        current = worklist.pop()
+        in_list.discard(current)
+        merged = set(intrinsic.get(current, PURE))
+        for callee in edges.get(current, ()):
+            if is_quarantined(callee):
+                continue  # sanctioned: effects stop here
+            merged |= effects.get(callee, set())
+        if merged != effects[current]:
+            effects[current] = merged
+            for caller in reverse[current]:
+                if caller not in in_list:
+                    in_list.add(caller)
+                    worklist.append(caller)
+    return {q: frozenset(v) for q, v in effects.items()}
+
+
+# -- entry points ------------------------------------------------------------
+
+
+def package_root(package: str = "repro") -> Path:
+    """The source directory of the installed ``package``."""
+    import importlib
+
+    module = importlib.import_module(package)
+    if module.__file__ is None:  # pragma: no cover - namespace package
+        raise ConfigError(f"package {package!r} has no source directory")
+    return Path(module.__file__).parent
+
+
+def analyze_package(
+    root: Optional[Path] = None, package: str = "repro"
+) -> FlowAnalysis:
+    """Analyze every module under ``root`` (default: installed repro)."""
+    if root is None:
+        root = package_root(package)
+    root = Path(root)
+    if not root.is_dir():
+        raise ConfigError(f"no such package directory: {root}")
+    paths = discover_files([root])
+    files = [load_source(path) for path in paths]
+    return analyze_files(files, root=root, package=package)
+
+
+def analyze_files(
+    files: Sequence[SourceFile],
+    root: Path,
+    package: str = "repro",
+) -> FlowAnalysis:
+    """Analyze an explicit set of parsed sources as one package."""
+    module_names: Dict[Path, str] = {
+        source.path: _module_name_for(source.path, root, package)
+        for source in files
+    }
+    functions: Dict[str, FunctionInfo] = {}
+    for source in files:
+        collector = _FunctionCollector(module_names[source.path], source.path)
+        collector.visit(source.tree)
+        for info in collector.found:
+            # Qualname collisions (overloads, re-defined names) keep the
+            # first definition; the over-approximation elsewhere makes
+            # this safe for effect inference.
+            functions.setdefault(info.qualname, info)
+
+    intrinsic: Dict[str, Effects] = {}
+    evidence: Dict[str, Dict[str, str]] = {}
+    alias_cache: Dict[str, Dict[str, str]] = {}
+    for source in files:
+        alias_cache[module_names[source.path]] = import_aliases(source.tree)
+    for qualname, info in functions.items():
+        fx, why = _intrinsic_effects(info, alias_cache[info.module])
+        intrinsic[qualname] = fx
+        if why:
+            evidence[qualname] = why
+
+    edges = _build_edges(list(files), module_names, functions)
+    effects = _propagate(functions, edges, intrinsic)
+    return FlowAnalysis(
+        package=package,
+        root=root,
+        files=list(files),
+        functions=functions,
+        edges=edges,
+        intrinsic=intrinsic,
+        effects=effects,
+        evidence=evidence,
+    )
+
+
+__all__ = [
+    "CLOCK",
+    "EFFECTS",
+    "ENV",
+    "FS",
+    "NET",
+    "PURE",
+    "QUARANTINE",
+    "RNG",
+    "STATE",
+    "FlowAnalysis",
+    "FunctionInfo",
+    "analyze_files",
+    "analyze_package",
+    "effects_label",
+    "is_quarantined",
+    "package_root",
+]

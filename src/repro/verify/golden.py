@@ -1,0 +1,550 @@
+"""Golden-result differential verification (``repro-lint diff``).
+
+The static side of this PR proves properties about the code; this
+module proves properties about the *numbers*. It records authoritative
+cell outcomes — computed serially, in-process, on the reference object
+backend — into the cache's golden store, then replays the same cells
+across every execution path the system offers:
+
+* **object vs columnar backend** (``REPRO_BACKEND``),
+* **serial vs ``--jobs N``** (in-process vs a real process pool, the
+  engine's ``_worker_init`` and all),
+* **served** (through a real :class:`~repro.serve.daemon.ExperimentDaemon`
+  on a Unix socket, cells reconstructed from their ids by the daemon's
+  :class:`~repro.serve.service.GridCatalog` exactly as production
+  requests are).
+
+Every replay recomputes the cell on purpose (goldens are evidence, not
+memoization) and compares the value structurally against the record:
+numbers within a per-metric tolerance (default: exact), everything else
+byte-equal. A divergence is an error unless it matches an entry in the
+expected-failure list, in which case it is reported as a warning and
+the entry is consumed — an expectation that matches nothing is itself
+reported, so the list cannot rot.
+
+Cells come from two populations: real workload cells (any registered
+experiment grid, e.g. ``fig3.1``) and generated fuzz programs
+(:mod:`repro.verify.diffcells`), so a backend change is checked both on
+the paper's figures and on randomized ISA programs it never saw.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import os
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigError
+from repro.exec import cache as cache_mod
+from repro.exec.cache import DiskCache
+from repro.exec.cells import Cell
+from repro.exec.engine import _worker_init, execute_cell
+from repro.verify.diagnostics import Report
+
+#: Bump when the golden record layout changes; replay refuses records
+#: from a different schema rather than mis-comparing them.
+GOLDEN_SCHEMA_VERSION = 1
+
+#: Default per-metric tolerance: exact equality.
+EXACT = 0.0
+
+
+@dataclass(frozen=True)
+class ReplayPath:
+    """One execution path to replay goldens through."""
+
+    name: str
+    backend: str  # "object" | "columnar"
+    mode: str  # "serial" | "jobs" | "served"
+    jobs: int = 1
+
+    def validate(self) -> None:
+        if self.backend not in ("object", "columnar"):
+            raise ConfigError(f"unknown backend {self.backend!r}")
+        if self.mode not in ("serial", "jobs", "served"):
+            raise ConfigError(f"unknown replay mode {self.mode!r}")
+        if self.mode == "jobs" and self.jobs < 2:
+            raise ConfigError("jobs mode needs jobs >= 2")
+
+
+#: The default replay matrix: both backends serially, both through a
+#: real process pool, and the columnar backend through the daemon.
+DEFAULT_PATHS: Tuple[ReplayPath, ...] = (
+    ReplayPath("object-serial", "object", "serial"),
+    ReplayPath("columnar-serial", "columnar", "serial"),
+    ReplayPath("object-jobs2", "object", "jobs", jobs=2),
+    ReplayPath("columnar-jobs2", "columnar", "jobs", jobs=2),
+    ReplayPath("columnar-served", "columnar", "served"),
+)
+
+
+def parse_path(spec: str) -> ReplayPath:
+    """``"columnar-jobs2"``-style path spec -> :class:`ReplayPath`."""
+    for path in DEFAULT_PATHS:
+        if path.name == spec:
+            return path
+    parts = spec.split("-")
+    if len(parts) == 2:
+        backend, mode = parts
+        jobs = 1
+        if mode.startswith("jobs") and mode[len("jobs"):].isdigit():
+            jobs = int(mode[len("jobs"):])
+            mode = "jobs"
+        path = ReplayPath(spec, backend, mode, jobs=jobs)
+        path.validate()
+        return path
+    raise ConfigError(
+        f"unknown replay path {spec!r}; expected <backend>-<mode> like "
+        f"object-serial, columnar-jobs2 or columnar-served"
+    )
+
+
+@contextmanager
+def _forced_backend(backend: str) -> Iterator[None]:
+    """Pin ``REPRO_BACKEND`` for the scope (inherited by pool workers)."""
+    previous = os.environ.get("REPRO_BACKEND")
+    os.environ["REPRO_BACKEND"] = backend
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_BACKEND", None)
+        else:
+            os.environ["REPRO_BACKEND"] = previous
+
+
+# -- recording ---------------------------------------------------------------
+
+
+def golden_cells(
+    experiments: Sequence[str],
+    trace_length: int,
+    seed: int = 0,
+    workloads: Optional[Sequence[str]] = None,
+    fuzz: int = 0,
+) -> List[Tuple[Cell, Dict[str, Any]]]:
+    """The cells to record, each with its reconstruction identity.
+
+    The identity dict is what replay (and the daemon's grid catalog)
+    needs to rebuild the very same cell: experiment, cell id, scale,
+    seed and the workload restriction the grid was enumerated with.
+    """
+    from repro.experiments import EXPERIMENT_SPECS
+    from repro.verify import diffcells
+
+    names = list(workloads) if workloads else None
+    selected: List[Tuple[Cell, Dict[str, Any]]] = []
+
+    def identity(cell: Cell) -> Dict[str, Any]:
+        return {
+            "experiment_id": cell.experiment_id,
+            "cell_id": cell.cell_id,
+            "trace_length": trace_length,
+            "seed": seed,
+            "workloads": names,
+        }
+
+    for experiment_id in experiments:
+        if experiment_id not in EXPERIMENT_SPECS:
+            known = ", ".join(sorted(EXPERIMENT_SPECS))
+            raise ConfigError(
+                f"unknown experiment {experiment_id!r} (known: {known})"
+            )
+        spec = EXPERIMENT_SPECS[experiment_id]
+        for cell in spec.cells(trace_length, seed, names):
+            selected.append((cell, identity(cell)))
+    if fuzz:
+        if fuzz > diffcells.GRID_SIZE:
+            raise ConfigError(
+                f"--fuzz must be <= {diffcells.GRID_SIZE} "
+                f"(the enumerable diff.fuzz grid), got {fuzz}"
+            )
+        for cell in diffcells.cells(trace_length, seed)[:fuzz]:
+            # Fuzz cells ignore the workload restriction; record the
+            # identity without it so replay reconstructs identically.
+            ident = identity(cell)
+            ident["workloads"] = None
+            selected.append((cell, ident))
+    return selected
+
+
+def record_goldens(
+    cache: DiskCache,
+    experiments: Sequence[str],
+    trace_length: int,
+    seed: int = 0,
+    workloads: Optional[Sequence[str]] = None,
+    fuzz: int = 0,
+) -> Tuple[List[Dict[str, Any]], Report]:
+    """Execute cells authoritatively and store them as goldens.
+
+    Authoritative means: serial, in-process, object (reference) backend,
+    with the trace store active so replays reuse the exact same traces.
+    """
+    report = Report(subject="golden record")
+    cells = golden_cells(experiments, trace_length, seed, workloads, fuzz)
+    if not cells:
+        report.error("record", "nothing to record: no experiments or --fuzz")
+        return [], report
+
+    records: List[Dict[str, Any]] = []
+    with _forced_backend("object"), cache_mod.activated(cache):
+        for cell, identity in cells:
+            execution = execute_cell(cell.func, cell.kwargs)
+            label = f"{cell.experiment_id}:{cell.cell_id}"
+            if not execution.ok:
+                report.error("record", f"{label} failed: {execution.error}")
+                continue
+            key = cache.cell_key(
+                cell.experiment_id, cell.cell_id, cell.kwargs, cell.func
+            )
+            record = {
+                "schema_version": GOLDEN_SCHEMA_VERSION,
+                "key": key,
+                "recorded_backend": "object",
+                "value": execution.value,
+                **identity,
+            }
+            cache.put_golden(key, record)
+            records.append(record)
+    report.info(
+        "record",
+        f"recorded {len(records)} golden cell(s) into {cache.golden_dir}",
+    )
+    return records, report
+
+
+# -- comparison --------------------------------------------------------------
+
+
+def compare_values(
+    expected: Any,
+    actual: Any,
+    tolerances: Optional[Dict[str, float]] = None,
+    prefix: str = "value",
+) -> List[str]:
+    """Structural diff of one golden value against a replayed one.
+
+    Returns human-readable divergence strings (empty = identical within
+    tolerance). Numbers compare by absolute difference against the
+    tolerance for their metric name (the last path component), falling
+    back to the ``"*"`` entry, falling back to exact; every other type
+    must be equal. ``bool`` is checked before ``int`` (True != 1 here:
+    a flag flipping type is a divergence, not a rounding error).
+    """
+    tol = tolerances or {}
+    divergences: List[str] = []
+
+    def metric_tolerance(path: str) -> float:
+        leaf = path.rsplit(".", 1)[-1].split("[", 1)[0]
+        if leaf in tol:
+            return tol[leaf]
+        return tol.get("*", EXACT)
+
+    def walk(exp: Any, act: Any, path: str) -> None:
+        if isinstance(exp, bool) or isinstance(act, bool):
+            if exp is not act:
+                divergences.append(f"{path}: expected {exp!r}, got {act!r}")
+            return
+        if isinstance(exp, (int, float)) and isinstance(act, (int, float)):
+            allowed = metric_tolerance(path)
+            if abs(exp - act) > allowed:
+                divergences.append(
+                    f"{path}: expected {exp!r}, got {act!r}"
+                    + (f" (tolerance {allowed})" if allowed else "")
+                )
+            return
+        if isinstance(exp, dict) and isinstance(act, dict):
+            for key in sorted(set(exp) | set(act)):
+                if key not in exp:
+                    divergences.append(f"{path}.{key}: unexpected key in replay")
+                elif key not in act:
+                    divergences.append(f"{path}.{key}: missing from replay")
+                else:
+                    walk(exp[key], act[key], f"{path}.{key}")
+            return
+        if isinstance(exp, (list, tuple)) and isinstance(act, (list, tuple)):
+            if len(exp) != len(act):
+                divergences.append(
+                    f"{path}: length {len(exp)} expected, got {len(act)}"
+                )
+                return
+            for index, (e, a) in enumerate(zip(exp, act)):
+                walk(e, a, f"{path}[{index}]")
+            return
+        if exp != act:
+            divergences.append(f"{path}: expected {exp!r}, got {act!r}")
+
+    walk(expected, actual, prefix)
+    return divergences
+
+
+@dataclass
+class ExpectedFailure:
+    """One sanctioned divergence: patterns plus the reason it is OK."""
+
+    cell: str = "*"  # fnmatch over "experiment_id:cell_id"
+    path: str = "*"  # fnmatch over the replay path name
+    metric: str = "*"  # fnmatch over the metric path ("value.gain")
+    reason: str = ""
+    matched: int = 0
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, Any]) -> "ExpectedFailure":
+        unknown = set(raw) - {"cell", "path", "metric", "reason"}
+        if unknown:
+            raise ConfigError(
+                f"unknown expected-failure key(s): {', '.join(sorted(unknown))}"
+            )
+        return cls(
+            cell=str(raw.get("cell", "*")),
+            path=str(raw.get("path", "*")),
+            metric=str(raw.get("metric", "*")),
+            reason=str(raw.get("reason", "")),
+        )
+
+    def matches(self, cell: str, path: str, metric: str) -> bool:
+        return (
+            fnmatch.fnmatch(cell, self.cell)
+            and fnmatch.fnmatch(path, self.path)
+            and fnmatch.fnmatch(metric, self.metric)
+        )
+
+
+# -- replay ------------------------------------------------------------------
+
+
+def _reconstruct(records: List[Dict[str, Any]]) -> List[Tuple[Dict[str, Any], Cell]]:
+    """Rebuild each record's cell from its identity via the grid catalog
+    (the same resolver the daemon uses, so the replayed cell *is* the
+    production cell)."""
+    from repro.experiments import EXPERIMENT_SPECS
+    from repro.serve.service import GridCatalog
+
+    catalog = GridCatalog(EXPERIMENT_SPECS)
+    pairs: List[Tuple[Dict[str, Any], Cell]] = []
+    for record in records:
+        cell = catalog.cell(
+            record["experiment_id"],
+            record["cell_id"],
+            record["trace_length"],
+            record["seed"],
+            record.get("workloads"),
+        )
+        pairs.append((record, cell))
+    return pairs
+
+
+def _execute_serial(cells: List[Cell], cache: DiskCache) -> List[Any]:
+    values: List[Any] = []
+    with cache_mod.activated(cache):
+        for cell in cells:
+            execution = execute_cell(cell.func, cell.kwargs)
+            values.append(
+                execution.value if execution.ok
+                else {"__error__": execution.error}
+            )
+    return values
+
+
+def _execute_jobs(cells: List[Cell], cache: DiskCache, jobs: int) -> List[Any]:
+    with ProcessPoolExecutor(
+        max_workers=jobs,
+        initializer=_worker_init,
+        initargs=(str(cache.root),),
+    ) as pool:
+        futures = [
+            pool.submit(execute_cell, cell.func, cell.kwargs) for cell in cells
+        ]
+        executions = [future.result() for future in futures]
+    return [
+        execution.value if execution.ok else {"__error__": execution.error}
+        for execution in executions
+    ]
+
+
+def _execute_served(
+    cells_with_identity: List[Tuple[Dict[str, Any], Cell]], scratch: str
+) -> List[Any]:
+    """Run cells through a real daemon on a Unix socket.
+
+    The daemon gets a *fresh* scratch cache root, so every request
+    executes (nothing is memoized from the recording run) while its
+    trace store still works; cells are addressed by id and rebuilt by
+    the daemon's own grid catalog.
+    """
+    from repro.serve.client import ServeClient
+    from repro.serve.daemon import ExperimentDaemon
+    from repro.serve.service import ExperimentService, ServiceConfig
+
+    os.makedirs(scratch, exist_ok=True)
+    socket_path = os.path.join(scratch, "diff.sock")
+    service = ExperimentService(
+        cache=DiskCache(os.path.join(scratch, "cache")),
+        config=ServiceConfig(workers=2, max_experiments=4),
+    )
+    values: List[Any] = []
+    with service:
+        with ExperimentDaemon(service, unix=socket_path):
+            with ServeClient(socket_path, timeout=600.0) as client:
+                for record, _cell in cells_with_identity:
+                    try:
+                        result = client.run_cell(
+                            record["experiment_id"],
+                            record["cell_id"],
+                            record["trace_length"],
+                            seed=record["seed"],
+                            workloads=record.get("workloads"),
+                        )
+                        values.append(result["value"])
+                    except Exception as exc:
+                        values.append(
+                            {"__error__": f"{type(exc).__name__}: {exc}"}
+                        )
+    return values
+
+
+def replay_goldens(
+    cache: DiskCache,
+    paths: Sequence[ReplayPath] = DEFAULT_PATHS,
+    tolerances: Optional[Dict[str, float]] = None,
+    expected_failures: Optional[Sequence[ExpectedFailure]] = None,
+    experiments: Optional[Sequence[str]] = None,
+    scratch: Optional[str] = None,
+) -> Tuple[List[Report], Dict[str, Any]]:
+    """Replay every recorded golden across ``paths``; report divergences.
+
+    Returns ``(reports, summary)``: one report per replay path plus an
+    expectations report, and a machine-readable summary for the JSON
+    artifact.
+    """
+    import tempfile
+
+    expectations = list(expected_failures or [])
+    records = cache.iter_goldens()
+    records = [
+        r for r in records
+        if r.get("schema_version") == GOLDEN_SCHEMA_VERSION
+        and (not experiments or r["experiment_id"] in experiments)
+    ]
+    reports: List[Report] = []
+    summary: Dict[str, Any] = {
+        "golden_cells": len(records),
+        "paths": [],
+        "divergences": 0,
+        "expected_divergences": 0,
+    }
+    if not records:
+        report = Report(subject="golden replay")
+        report.error(
+            "replay",
+            "no golden records in the cache; run `repro-lint diff record` "
+            "first (or check --cache-dir)",
+        )
+        return [report], summary
+
+    pairs = _reconstruct(records)
+    cells = [cell for _record, cell in pairs]
+
+    for path in paths:
+        path.validate()
+        report = Report(subject=f"replay {path.name}")
+        with _forced_backend(path.backend):
+            if path.mode == "serial":
+                values = _execute_serial(cells, cache)
+            elif path.mode == "jobs":
+                values = _execute_jobs(cells, cache, path.jobs)
+            else:
+                own_scratch = scratch
+                if own_scratch is None:
+                    with tempfile.TemporaryDirectory(
+                        prefix="repro-diff-"
+                    ) as tmp:
+                        values = _execute_served(pairs, tmp)
+                else:
+                    values = _execute_served(pairs, own_scratch)
+        compared = 0
+        diverged = 0
+        expected_count = 0
+        for (record, _cell), actual in zip(pairs, values):
+            compared += 1
+            label = f"{record['experiment_id']}:{record['cell_id']}"
+            if isinstance(actual, dict) and "__error__" in actual:
+                report.error(
+                    "replay-error",
+                    f"{label} failed on {path.name}: {actual['__error__']}",
+                )
+                diverged += 1
+                continue
+            for divergence in compare_values(
+                record["value"], actual, tolerances
+            ):
+                metric = divergence.split(":", 1)[0]
+                sanction = next(
+                    (
+                        e for e in expectations
+                        if e.matches(label, path.name, metric)
+                    ),
+                    None,
+                )
+                if sanction is not None:
+                    sanction.matched += 1
+                    expected_count += 1
+                    report.warning(
+                        "expected-divergence",
+                        f"{label} on {path.name}: {divergence} "
+                        f"(expected: {sanction.reason or 'no reason given'})",
+                    )
+                else:
+                    diverged += 1
+                    report.error(
+                        "divergence", f"{label} on {path.name}: {divergence}"
+                    )
+        report.info(
+            "replay",
+            f"{compared} cell(s) compared on {path.name} "
+            f"({path.backend} backend, {path.mode}"
+            + (f" x{path.jobs}" if path.mode == "jobs" else "")
+            + f"): {diverged} divergence(s), {expected_count} expected",
+        )
+        summary["paths"].append({
+            "path": path.name,
+            "backend": path.backend,
+            "mode": path.mode,
+            "cells": compared,
+            "divergences": diverged,
+            "expected_divergences": expected_count,
+        })
+        summary["divergences"] += diverged
+        summary["expected_divergences"] += expected_count
+        reports.append(report)
+
+    if expectations:
+        stale = Report(subject="expected failures")
+        for expectation in expectations:
+            if expectation.matched == 0:
+                stale.info(
+                    "stale-expectation",
+                    f"expected failure (cell={expectation.cell!r}, "
+                    f"path={expectation.path!r}, "
+                    f"metric={expectation.metric!r}) matched nothing — "
+                    f"remove it or the list will rot",
+                )
+        reports.append(stale)
+    return reports, summary
+
+
+__all__ = [
+    "DEFAULT_PATHS",
+    "GOLDEN_SCHEMA_VERSION",
+    "ExpectedFailure",
+    "ReplayPath",
+    "compare_values",
+    "golden_cells",
+    "parse_path",
+    "record_goldens",
+    "replay_goldens",
+]

@@ -23,6 +23,12 @@ Code families:
   semantic findings over ISA programs — dead register writes, stores in
   value-unreachable code, statically one-sided branches — raised by the
   ``repro-lint absint`` pass of :mod:`repro.verify.absint`.
+* ``RPF*`` — interprocedural flow (:mod:`repro.verify.rules.flow`):
+  whole-package findings over the call graph and effect lattice of
+  :mod:`repro.verify.flow` — cache-key completeness proven along flows
+  into ``CellOutcome``, effectful code reachable from cached execution
+  paths, and config knobs never read on any path. Raised by the
+  ``repro-lint effects`` pass.
 
 Findings are suppressed in source with a trailing
 ``# repro-lint: disable=CODE[,CODE...]`` comment on the offending line,
@@ -51,7 +57,7 @@ class Rule:
     name: str
     severity: Severity
     summary: str
-    scope: str  # "source" (AST), "grid" (admissibility) or "program" (absint)
+    scope: str  # "source" (AST), "grid", "program" (absint) or "flow"
     checker: Optional[Checker] = None
 
 
@@ -61,7 +67,7 @@ _REGISTRY: Dict[str, Rule] = {}
 def register(rule: Rule) -> Rule:
     if rule.code in _REGISTRY:
         raise ValueError(f"duplicate rule code {rule.code}")
-    if rule.scope not in ("source", "grid", "program"):
+    if rule.scope not in ("source", "grid", "program", "flow"):
         raise ValueError(f"rule {rule.code} has unknown scope {rule.scope!r}")
     # Registration at import time is identical in every process — the
     # registry never diverges between the parent and pool workers.
@@ -91,6 +97,11 @@ def program_rule(code: str, name: str, severity: Severity, summary: str) -> Rule
     return register(Rule(code, name, severity, summary, "program"))
 
 
+def flow_rule(code: str, name: str, severity: Severity, summary: str) -> Rule:
+    """Register a whole-package flow rule (the effects pass)."""
+    return register(Rule(code, name, severity, summary, "flow"))
+
+
 def get_rule(code: str) -> Rule:
     if code not in _REGISTRY:
         raise KeyError(
@@ -115,11 +126,13 @@ from repro.verify.rules import parallel as parallel  # noqa: E402,F401
 from repro.verify.rules import grids as grids  # noqa: E402,F401
 from repro.verify.rules import serve as serve  # noqa: E402,F401
 from repro.verify.rules import absint as absint  # noqa: E402,F401
+from repro.verify.rules import flow as flow  # noqa: E402,F401
 
 __all__ = [
     "Checker",
     "Rule",
     "all_rules",
+    "flow_rule",
     "get_rule",
     "grid_rule",
     "program_rule",

@@ -1,0 +1,505 @@
+"""Interprocedural flow rules (``RPF*``), the ``repro-lint effects`` pass.
+
+These rules run over the whole-package :class:`~repro.verify.flow.FlowAnalysis`
+rather than one file at a time, so they can make claims the per-file
+``RPD*``/``RPP*`` heuristics cannot:
+
+* ``RPF001`` — flow-sensitive cache-key completeness. Every ``Cell``
+  field — declared on the dataclass *or* read on any path that reaches
+  cell execution (an ``execute_cell`` call or a ``CellOutcome``
+  construction) — must also reach the cache-key computation (an
+  argument of some ``cell_key``/``compute_cell_key`` call site). This
+  subsumes the per-call-site field-list check of ``RPP002``: a field
+  can influence an outcome without ever being spelled at the key call
+  site, and this rule still demands it be keyed.
+* ``RPF002`` — effectful code reachable from cached paths. Starting
+  from every function shipped as a ``Cell`` payload, no reachable
+  function may intrinsically read the clock, draw process-global
+  randomness or read the environment — unless it is quarantined in
+  :data:`repro.verify.flow.QUARANTINE` with an auditable reason
+  (e.g. ``execute_cell``'s ``perf_counter``, which feeds only the
+  volatile ``metrics_row`` schema).
+* ``RPF003`` — dead knobs. A field of a ``*Config`` dataclass that is
+  never read anywhere in the package (outside the class's own
+  ``__post_init__``/``validate``) steers nothing: either wire it up or
+  delete it before it misleads a sweep.
+
+Findings honor the standard suppression comments in the file they are
+anchored to (``# repro-lint: disable=RPF002`` etc.).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.verify.diagnostics import Report, Severity
+from repro.verify.flow import (
+    CLOCK,
+    ENV,
+    RNG,
+    FlowAnalysis,
+    FunctionInfo,
+    analyze_package,
+    effects_label,
+    is_quarantined,
+)
+from repro.verify.rules import flow_rule, get_rule
+from repro.verify.static import (
+    SourceFile,
+    _dataclass_fields_of,
+    import_aliases,
+)
+
+RPF001 = flow_rule(
+    "RPF001", "flow-cache-key", Severity.ERROR,
+    "Cell field reaches cell execution but not the cache key",
+)
+RPF002 = flow_rule(
+    "RPF002", "effectful-cached-path", Severity.ERROR,
+    "clock/RNG/env effect reachable from a cached cell payload",
+)
+RPF003 = flow_rule(
+    "RPF003", "dead-knob", Severity.WARNING,
+    "config dataclass field never read on any path",
+)
+
+#: Effects that must never reach a cached cell payload: anything that
+#: could make the same key yield different science on different days.
+_CACHED_PATH_EFFECTS = frozenset({CLOCK, RNG, ENV})
+
+#: Function names whose call sites constitute "reaching the cache key".
+_KEY_SINKS = ("cell_key", "compute_cell_key")
+
+
+def _suppressed(
+    analysis: FlowAnalysis, path: object, code: str, line: Optional[int]
+) -> bool:
+    source = analysis.file_for(path)  # type: ignore[arg-type]
+    return source is not None and source.suppressed(code, line)
+
+
+def _add_finding(
+    report: Report,
+    rule_code: str,
+    message: str,
+    line: Optional[int],
+) -> None:
+    rule = get_rule(rule_code)
+    report.add(rule.severity, rule.name, message, line=line, code=rule_code)
+
+
+# -- RPF001: flow-sensitive cache-key completeness ---------------------------
+
+
+def _declared_cell_fields(analysis: FlowAnalysis) -> Tuple[List[str], Optional[FunctionInfo]]:
+    """``Cell``'s declared fields, from the analyzed files."""
+    for source in analysis.files:
+        fields = _dataclass_fields_of(source.tree, "Cell")
+        if fields:
+            return fields, None
+    return [], None
+
+
+def _key_call_sites(
+    analysis: FlowAnalysis,
+) -> List[Tuple[SourceFile, ast.Call, Set[str]]]:
+    """Every ``cell_key``/``compute_cell_key`` call with the attribute
+    names read from its arguments (empty set = literal-only probe)."""
+    sites: List[Tuple[SourceFile, ast.Call, Set[str]]] = []
+    for source in analysis.files:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = None
+            if isinstance(func, ast.Attribute):
+                name = func.attr
+            elif isinstance(func, ast.Name):
+                name = func.id
+            if name not in _KEY_SINKS:
+                continue
+            reads: Set[str] = set()
+            exprs: List[ast.expr] = list(node.args)
+            exprs.extend(k.value for k in node.keywords)
+            for expr in exprs:
+                for sub in ast.walk(expr):
+                    if isinstance(sub, ast.Attribute):
+                        reads.add(sub.attr)
+            sites.append((source, node, reads))
+    return sites
+
+
+def _outcome_reaching_functions(analysis: FlowAnalysis) -> Set[str]:
+    """Functions from which cell execution is reachable: they call
+    ``execute_cell`` or construct a ``CellOutcome`` somewhere downstream."""
+    sinks = {
+        q for q, info in analysis.functions.items()
+        if info.name in ("execute_cell", "__init__")
+        and (info.name == "execute_cell" or info.class_name == "CellOutcome")
+    }
+    # Also treat direct CellOutcome(...) constructions as sink markers:
+    # the dataclass synthesizes __init__, so there may be no indexed
+    # method — detect constructor calls syntactically per function.
+    constructors: Set[str] = set()
+    for qualname, info in analysis.functions.items():
+        for node in ast.walk(info.node):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "CellOutcome"
+            ):
+                constructors.add(qualname)
+                break
+    reaching: Set[str] = set()
+    targets = sinks | constructors
+    # Walk the reverse call graph from the sinks.
+    reverse: Dict[str, Set[str]] = {}
+    for caller, callees in analysis.edges.items():
+        for callee in callees:
+            reverse.setdefault(callee, set()).add(caller)
+    stack = list(targets)
+    while stack:
+        current = stack.pop()
+        if current in reaching:
+            continue
+        reaching.add(current)
+        stack.extend(reverse.get(current, ()))
+    return reaching
+
+
+def _cell_field_reads(
+    analysis: FlowAnalysis, functions: Iterable[str], fields: Set[str]
+) -> Dict[str, Tuple[str, int]]:
+    """Cell fields attribute-read (``<recv>.<field>``) inside
+    ``functions``; maps field -> one (qualname, line) witness."""
+    witnesses: Dict[str, Tuple[str, int]] = {}
+    for qualname in functions:
+        info = analysis.functions.get(qualname)
+        if info is None:
+            continue
+        for node in ast.walk(info.node):
+            if (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.ctx, ast.Load)
+                and node.attr in fields
+            ):
+                witnesses.setdefault(node.attr, (qualname, node.lineno))
+    return witnesses
+
+
+def _cell_receiver_reads(
+    analysis: FlowAnalysis, functions: Iterable[str], exclude: Set[str]
+) -> Dict[str, Tuple[str, int]]:
+    """Plain attribute loads off a ``cell``-named receiver inside
+    ``functions`` — the flow-sensitive half of RPF001: a field read on
+    an execution path is required even if the dataclass never declared
+    it. Method *calls* (``cell.compute()``) and names in ``exclude``
+    (declared fields, Cell methods, privates) are not field reads."""
+    witnesses: Dict[str, Tuple[str, int]] = {}
+    for qualname in functions:
+        info = analysis.functions.get(qualname)
+        if info is None:
+            continue
+        call_funcs = {
+            id(node.func)
+            for node in ast.walk(info.node)
+            if isinstance(node, ast.Call)
+        }
+        for node in ast.walk(info.node):
+            if (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.ctx, ast.Load)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "cell"
+                and id(node) not in call_funcs
+                and node.attr not in exclude
+                and not node.attr.startswith("_")
+            ):
+                witnesses.setdefault(node.attr, (qualname, node.lineno))
+    return witnesses
+
+
+def check_cache_key_flow(analysis: FlowAnalysis, report: Report) -> None:
+    """RPF001: (declared ∪ outcome-reaching reads) ⊆ keyed fields."""
+    declared, _ = _declared_cell_fields(analysis)
+    if not declared:
+        return
+    sites = _key_call_sites(analysis)
+    keyed: Set[str] = set()
+    anchor: Optional[Tuple[SourceFile, int]] = None
+    for source, call, reads in sites:
+        if reads:
+            keyed |= reads
+            if anchor is None:
+                anchor = (source, call.lineno)
+    if anchor is None:
+        # No attribute-reading key call site in the analyzed files —
+        # nothing to prove against (mirrors RPP002's out-of-scope case).
+        return
+
+    reaching = _outcome_reaching_functions(analysis)
+    read_witnesses = _cell_field_reads(analysis, reaching, set(declared))
+    cell_methods = {
+        info.name
+        for info in analysis.functions.values()
+        if info.class_name == "Cell"
+    }
+    read_witnesses.update(
+        _cell_receiver_reads(
+            analysis, reaching, set(declared) | cell_methods
+        )
+    )
+
+    required = dict.fromkeys(declared)  # keep declaration order
+    for name in read_witnesses:
+        required.setdefault(name)
+    anchor_source, anchor_line = anchor
+    for field_name in required:
+        if field_name in keyed:
+            continue
+        if _suppressed(analysis, anchor_source.path, "RPF001", anchor_line):
+            continue
+        witness = read_witnesses.get(field_name)
+        if witness is not None:
+            via = f"; read on the execution path in {witness[0]} (line {witness[1]})"
+        else:
+            via = "; declared on the Cell dataclass"
+        _add_finding(
+            report, "RPF001",
+            f"Cell field {field_name!r} can reach a CellOutcome but never "
+            f"reaches the cache key{via} — a memoized value would stay "
+            f"live when it changes (silent staleness)",
+            anchor_line,
+        )
+
+
+# -- RPF002: effectful code reachable from cached paths ----------------------
+
+
+def _cell_payload_roots(analysis: FlowAnalysis) -> Set[str]:
+    """Qualnames of functions shipped as ``Cell(...)`` func payloads."""
+    roots: Set[str] = set()
+    for source in analysis.files:
+        aliases = import_aliases(source.tree)
+        module = None
+        for info in analysis.functions.values():
+            if info.path == source.path:
+                module = info.module
+                break
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = None
+            if isinstance(func, ast.Name):
+                name = func.id
+            elif isinstance(func, ast.Attribute):
+                name = func.attr
+            if name != "Cell":
+                continue
+            payload: Optional[ast.expr] = None
+            if len(node.args) > 2:
+                payload = node.args[2]
+            for keyword in node.keywords:
+                if keyword.arg == "func":
+                    payload = keyword.value
+            if payload is None:
+                continue
+            if isinstance(payload, ast.Name):
+                target = payload.id
+                if module is not None:
+                    local = f"{module}.{target}"
+                    if local in analysis.functions:
+                        roots.add(local)
+                        continue
+                dotted = aliases.get(target)
+                if dotted is not None and dotted in analysis.functions:
+                    roots.add(dotted)
+            elif isinstance(payload, ast.Attribute):
+                dotted = None
+                parts: List[str] = []
+                inner: ast.expr = payload
+                while isinstance(inner, ast.Attribute):
+                    parts.append(inner.attr)
+                    inner = inner.value
+                if isinstance(inner, ast.Name):
+                    parts.append(aliases.get(inner.id, inner.id))
+                    parts.reverse()
+                    dotted = ".".join(parts)
+                if dotted is not None and dotted in analysis.functions:
+                    roots.add(dotted)
+    return roots
+
+
+def check_effectful_cached_paths(analysis: FlowAnalysis, report: Report) -> None:
+    """RPF002: no clock/RNG/env intrinsics reachable from cell payloads."""
+    roots = _cell_payload_roots(analysis)
+    if not roots:
+        return
+    reachable = analysis.reachable_from(roots)
+    for qualname in sorted(reachable):
+        if is_quarantined(qualname):
+            continue
+        bad = analysis.intrinsic.get(qualname, frozenset()) & _CACHED_PATH_EFFECTS
+        if not bad:
+            continue
+        info = analysis.functions[qualname]
+        if _suppressed(analysis, info.path, "RPF002", info.line):
+            continue
+        path_str = ""
+        for root in sorted(roots):
+            chain = analysis.call_path(root, qualname)
+            if chain:
+                path_str = " via " + " -> ".join(chain)
+                break
+        evidence = analysis.evidence.get(qualname, {})
+        why = "; ".join(evidence[e] for e in sorted(bad) if e in evidence)
+        _add_finding(
+            report, "RPF002",
+            f"{qualname} is reachable from a cached cell payload{path_str} "
+            f"but has effect(s) {effects_label(frozenset(bad))}"
+            f"{' (' + why + ')' if why else ''} — cached results would "
+            f"depend on when/where the cell ran; make it deterministic or "
+            f"quarantine it with a reason in repro.verify.flow.QUARANTINE",
+            info.line,
+        )
+
+
+# -- RPF003: dead knobs ------------------------------------------------------
+
+
+def _config_classes(
+    analysis: FlowAnalysis,
+) -> List[Tuple[SourceFile, ast.ClassDef]]:
+    found: List[Tuple[SourceFile, ast.ClassDef]] = []
+    for source in analysis.files:
+        for node in ast.walk(source.tree):
+            if (
+                isinstance(node, ast.ClassDef)
+                and node.name.endswith("Config")
+                and any(
+                    "dataclass" in ast.dump(d) for d in node.decorator_list
+                )
+            ):
+                found.append((source, node))
+    return found
+
+
+def check_dead_knobs(analysis: FlowAnalysis, report: Report) -> None:
+    """RPF003: every ``*Config`` dataclass field must be read somewhere."""
+    configs = _config_classes(analysis)
+    if not configs:
+        return
+
+    # All attribute reads and matching string constants package-wide,
+    # minus each class's own __post_init__/validate bodies (a knob only
+    # checked by its own validator is still dead).
+    self_scopes: Dict[int, Set[str]] = {}
+    for source, node in configs:
+        own: Set[str] = set()
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if stmt.name in ("__post_init__", "validate"):
+                    for sub in ast.walk(stmt):
+                        if isinstance(sub, ast.Attribute):
+                            own.add(sub.attr)
+                        elif isinstance(sub, ast.Constant) and isinstance(
+                            sub.value, str
+                        ):
+                            own.add(sub.value)
+        self_scopes[id(node)] = own
+
+    reads: Set[str] = set()
+    excluded: Set[int] = set()
+    for _source, node in configs:
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if stmt.name in ("__post_init__", "validate"):
+                    for sub in ast.walk(stmt):
+                        excluded.add(id(sub))
+    for source in analysis.files:
+        for node in ast.walk(source.tree):
+            if id(node) in excluded:
+                continue
+            if isinstance(node, ast.Attribute) and isinstance(node.ctx, ast.Load):
+                reads.add(node.attr)
+            elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+                # getattr(cfg, "knob") / asdict round-trips / replace()
+                # keyword tables name fields as strings.
+                reads.add(node.value)
+
+    for source, node in configs:
+        for stmt in node.body:
+            if not (
+                isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)
+            ):
+                continue
+            field_name = stmt.target.id
+            if field_name.startswith("_") or field_name in reads:
+                continue
+            if source.suppressed("RPF003", stmt.lineno):
+                continue
+            _add_finding(
+                report, "RPF003",
+                f"{node.name}.{field_name} is never read on any path in "
+                f"the package — a sweep over it changes nothing; wire it "
+                f"into the simulation or delete it",
+                stmt.lineno,
+            )
+
+
+# -- the pass ----------------------------------------------------------------
+
+
+def lint_effects(analysis: Optional[FlowAnalysis] = None) -> List[Report]:
+    """Run every RPF rule over ``analysis`` (default: installed repro).
+
+    Returns one report per rule family plus a whole-package effect
+    summary report, mirroring the per-file reports of ``static``.
+    """
+    if analysis is None:
+        analysis = analyze_package()
+    checks = (
+        ("cache-key flow", check_cache_key_flow),
+        ("cached-path effects", check_effectful_cached_paths),
+        ("dead knobs", check_dead_knobs),
+    )
+    reports: List[Report] = []
+    for subject, check in checks:
+        report = Report(subject=f"{analysis.package} ({subject})")
+        check(analysis, report)
+        reports.append(report)
+
+    summary = Report(subject=f"{analysis.package} (effect summary)")
+    stats = analysis.summary()
+    summary.info(
+        "call-graph",
+        f"{stats['functions']} functions, {stats['call_edges']} call edges",
+    )
+    counts = stats["effect_counts"]
+    assert isinstance(counts, dict)
+    labelled = ", ".join(f"{k}={v}" for k, v in counts.items() if v)
+    summary.info(
+        "effects",
+        f"{stats['pure']} pure ({stats['pure_fraction']:.1%}); "
+        f"effectful: {labelled or 'none'}",
+    )
+    quarantined = stats["quarantined"]
+    assert isinstance(quarantined, list)
+    summary.info(
+        "quarantine",
+        f"{len(quarantined)} sanctioned effectful function(s): "
+        + (", ".join(quarantined) or "none"),
+    )
+    reports.append(summary)
+    return reports
+
+
+__all__ = [
+    "check_cache_key_flow",
+    "check_dead_knobs",
+    "check_effectful_cached_paths",
+    "lint_effects",
+]

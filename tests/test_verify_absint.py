@@ -7,6 +7,7 @@ import pytest
 from repro.errors import ConfigError, ProgramError
 from repro.isa.builder import ProgramBuilder
 from repro.verify import cli
+from repro.verify.diagnostics import LINT_SCHEMA_VERSION
 from repro.verify.absint import (
     AbsintConfig,
     PredClass,
@@ -334,7 +335,7 @@ def test_cli_absint_json_envelope(capsys):
     payload = json.loads(capsys.readouterr().out)
     assert payload["tool"] == "repro-lint"
     assert payload["command"] == "absint"
-    assert payload["schema_version"] == 1
+    assert payload["schema_version"] == LINT_SCHEMA_VERSION
     [report] = payload["reports"]
     assert report["subject"] == "absint 'gcc'"
     [program] = payload["programs"]

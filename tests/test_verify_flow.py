@@ -1,0 +1,564 @@
+"""Tests for the whole-package effect analysis (repro-lint effects)."""
+
+import json
+import shutil
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.verify import cli, flow
+from repro.verify.diagnostics import LINT_SCHEMA_VERSION, Report
+from repro.verify.flow import (
+    CLOCK,
+    ENV,
+    FS,
+    NET,
+    PURE,
+    RNG,
+    STATE,
+    analyze_package,
+    effects_label,
+    is_quarantined,
+)
+from repro.verify.rules.flow import (
+    check_cache_key_flow,
+    check_dead_knobs,
+    check_effectful_cached_paths,
+    lint_effects,
+)
+
+REPO_SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def analyze_snippets(tmp_path, modules):
+    """Write ``modules`` ({"name.py": code}) as package ``pkg`` and analyze."""
+    root = tmp_path / "pkg"
+    root.mkdir()
+    (root / "__init__.py").write_text("")
+    for name, code in modules.items():
+        (root / name).write_text(textwrap.dedent(code))
+    return analyze_package(root=root, package="pkg")
+
+
+def findings(check, analysis, code):
+    report = Report(subject="test")
+    check(analysis, report)
+    return [d for d in report.diagnostics if d.code == code]
+
+
+@pytest.fixture(scope="module")
+def repo_analysis():
+    return analyze_package()
+
+
+# -- the effect lattice ------------------------------------------------------
+
+
+def test_effects_label_orders_and_names_pure():
+    assert effects_label(PURE) == "pure"
+    assert effects_label(frozenset({FS, CLOCK})) == "clock+fs"
+
+
+def test_is_quarantined_exact_and_prefix():
+    assert is_quarantined("repro.core.backend.resolve_backend") is not None
+    assert is_quarantined("repro.exec.cache.DiskCache.put_trace") is not None
+    assert is_quarantined("repro.exec.engine.ExperimentEngine.run") is None
+
+
+# -- intrinsic effects -------------------------------------------------------
+
+
+def test_intrinsic_effects_per_source(tmp_path):
+    analysis = analyze_snippets(tmp_path, {"fx.py": """\
+        import os
+        import random
+        import socket
+        import time
+
+        COUNTER = 0
+
+        def clocky():
+            return time.time()
+
+        def noisy():
+            return random.random()
+
+        def enviro():
+            return os.environ.get("HOME")
+
+        def filey(path):
+            with open(path) as handle:
+                return handle.read()
+
+        def netty():
+            return socket.socket()
+
+        def stateful():
+            global COUNTER
+            COUNTER = COUNTER + 1
+
+        def seeded(seed):
+            rng = random.Random(seed)
+            return rng.random()
+        """})
+    intrinsic = analysis.intrinsic
+    assert intrinsic["pkg.fx.clocky"] == frozenset({CLOCK})
+    assert intrinsic["pkg.fx.noisy"] == frozenset({RNG})
+    assert intrinsic["pkg.fx.enviro"] == frozenset({ENV})
+    assert intrinsic["pkg.fx.filey"] == frozenset({FS})
+    assert intrinsic["pkg.fx.netty"] == frozenset({NET})
+    assert intrinsic["pkg.fx.stateful"] == frozenset({STATE})
+    # Drawing from an explicit seeded generator is the deterministic
+    # idiom; it must stay pure.
+    assert intrinsic["pkg.fx.seeded"] == PURE
+
+
+def test_nested_def_effects_stay_out_of_parent_intrinsics(tmp_path):
+    analysis = analyze_snippets(tmp_path, {"nest.py": """\
+        import time
+
+        def outer():
+            def inner():
+                return time.time()
+            return inner
+        """})
+    assert analysis.intrinsic["pkg.nest.outer"] == PURE
+    assert analysis.intrinsic["pkg.nest.outer.inner"] == frozenset({CLOCK})
+    # ...but the bare ``return inner`` reference is an over-approximated
+    # call edge, so the *inferred* effects of outer include the clock.
+    assert "pkg.nest.outer.inner" in analysis.edges["pkg.nest.outer"]
+    assert CLOCK in analysis.effects["pkg.nest.outer"]
+
+
+# -- call-graph edges --------------------------------------------------------
+
+
+def test_edges_module_local_and_cross_module(tmp_path):
+    analysis = analyze_snippets(tmp_path, {
+        "a.py": """\
+            from pkg.b import helper
+
+            def top():
+                return helper() + local()
+
+            def local():
+                return 1
+            """,
+        "b.py": """\
+            def helper():
+                return 2
+            """,
+    })
+    assert analysis.edges["pkg.a.top"] == {"pkg.b.helper", "pkg.a.local"}
+
+
+def test_edges_methods_via_self(tmp_path):
+    analysis = analyze_snippets(tmp_path, {"cls.py": """\
+        import time
+
+        class Engine:
+            def run(self):
+                return self.step()
+
+            def step(self):
+                return time.time()
+        """})
+    assert "pkg.cls.Engine.step" in analysis.edges["pkg.cls.Engine.run"]
+    assert CLOCK in analysis.effects["pkg.cls.Engine.run"]
+
+
+def test_edges_decorated_functions_and_closures(tmp_path):
+    analysis = analyze_snippets(tmp_path, {"deco.py": """\
+        import functools
+
+        def wrap(f):
+            @functools.wraps(f)
+            def inner(*args, **kwargs):
+                return f(*args, **kwargs)
+            return inner
+
+        @wrap
+        def work():
+            return leaf()
+
+        def leaf():
+            return 1
+        """})
+    # Decorated functions are indexed under their plain qualname, the
+    # closure under its nesting chain.
+    assert "pkg.deco.work" in analysis.functions
+    assert analysis.functions["pkg.deco.wrap.inner"].is_nested
+    assert "pkg.deco.leaf" in analysis.edges["pkg.deco.work"]
+    assert "pkg.deco.wrap.inner" in analysis.edges["pkg.deco.wrap"]
+
+
+def test_edges_bare_name_reference_counts_as_call(tmp_path):
+    analysis = analyze_snippets(tmp_path, {"cb.py": """\
+        import time
+
+        def stamp():
+            return time.time()
+
+        def schedule(enqueue):
+            enqueue(stamp)
+        """})
+    assert "pkg.cb.stamp" in analysis.edges["pkg.cb.schedule"]
+    assert CLOCK in analysis.effects["pkg.cb.schedule"]
+
+
+# -- the fixpoint ------------------------------------------------------------
+
+
+def test_effects_propagate_transitively(tmp_path):
+    analysis = analyze_snippets(tmp_path, {"chain.py": """\
+        import random
+
+        def a():
+            return b()
+
+        def b():
+            return c()
+
+        def c():
+            return random.random()
+        """})
+    assert analysis.intrinsic["pkg.chain.a"] == PURE
+    assert analysis.effects["pkg.chain.a"] == frozenset({RNG})
+
+
+def test_fixpoint_converges_on_cycles(tmp_path):
+    analysis = analyze_snippets(tmp_path, {"cyc.py": """\
+        import random
+
+        def ping(n):
+            return pong(n) if n else 0
+
+        def pong(n):
+            return ping(n - 1) + noise()
+
+        def noise():
+            return random.random()
+        """})
+    assert analysis.effects["pkg.cyc.ping"] == frozenset({RNG})
+    assert analysis.effects["pkg.cyc.pong"] == frozenset({RNG})
+
+
+def test_quarantine_stops_propagation_but_keeps_own_effects(
+    tmp_path, monkeypatch
+):
+    monkeypatch.setitem(flow.QUARANTINE, "pkg.cyc.noise", "test sanction")
+    analysis = analyze_snippets(tmp_path, {"cyc.py": """\
+        import random
+
+        def caller():
+            return noise()
+
+        def noise():
+            return random.random()
+        """})
+    assert analysis.effects["pkg.cyc.caller"] == PURE
+    assert analysis.effects["pkg.cyc.noise"] == frozenset({RNG})
+
+
+def test_reachable_from_stops_at_quarantine(tmp_path, monkeypatch):
+    monkeypatch.setitem(flow.QUARANTINE, "pkg.m.mid", "test sanction")
+    analysis = analyze_snippets(tmp_path, {"m.py": """\
+        def top():
+            return mid()
+
+        def mid():
+            return leaf()
+
+        def leaf():
+            return 1
+        """})
+    reached = analysis.reachable_from(["pkg.m.top"])
+    assert "pkg.m.mid" in reached  # the quarantined function itself
+    assert "pkg.m.leaf" not in reached  # but not what it vouches for
+
+
+def test_call_path_reports_shortest_chain(tmp_path):
+    analysis = analyze_snippets(tmp_path, {"p.py": """\
+        def a():
+            return b()
+
+        def b():
+            return c()
+
+        def c():
+            return 1
+        """})
+    assert analysis.call_path("pkg.p.a", "pkg.p.c") == [
+        "pkg.p.a", "pkg.p.b", "pkg.p.c"
+    ]
+    assert analysis.call_path("pkg.p.c", "pkg.p.a") == []
+
+
+# -- RPF001: flow-sensitive cache-key completeness ---------------------------
+
+CELL_DATACLASS = """\
+    from dataclasses import dataclass
+
+    @dataclass(frozen=True)
+    class Cell:
+        experiment_id: str
+        cell_id: str
+        func: object
+        kwargs: dict
+    """
+
+
+def test_rpf001_reconstructs_the_historical_func_key_bug(tmp_path):
+    # The regression this rule family exists for: the original engine
+    # keyed cells on (experiment_id, cell_id, kwargs) and silently
+    # served stale values when a cell's *code* changed.
+    analysis = analyze_snippets(tmp_path, {
+        "cells.py": CELL_DATACLASS,
+        "engine.py": """\
+            def execute_cell(func, kwargs):
+                return func(**kwargs)
+
+            def run(cache, cell):
+                key = cache.cell_key(
+                    cell.experiment_id, cell.cell_id, cell.kwargs
+                )
+                return key, execute_cell(cell.func, cell.kwargs)
+            """,
+    })
+    [finding] = findings(check_cache_key_flow, analysis, "RPF001")
+    assert "'func'" in finding.message
+
+
+def test_rpf001_complete_key_is_clean(tmp_path):
+    analysis = analyze_snippets(tmp_path, {
+        "cells.py": CELL_DATACLASS,
+        "engine.py": """\
+            def execute_cell(func, kwargs):
+                return func(**kwargs)
+
+            def run(cache, cell):
+                key = cache.cell_key(
+                    cell.experiment_id, cell.cell_id, cell.kwargs, cell.func
+                )
+                return key, execute_cell(cell.func, cell.kwargs)
+            """,
+    })
+    assert findings(check_cache_key_flow, analysis, "RPF001") == []
+
+
+def test_rpf001_flags_undeclared_field_read_on_execution_path(tmp_path):
+    # ``priority`` is not even declared on the dataclass, but it is read
+    # in a function from which cell execution is reachable — the
+    # flow-sensitive half RPP002 cannot see.
+    analysis = analyze_snippets(tmp_path, {
+        "cells.py": CELL_DATACLASS,
+        "engine.py": """\
+            def execute_cell(func, kwargs):
+                return func(**kwargs)
+
+            def run(cache, cell):
+                key = cache.cell_key(
+                    cell.experiment_id, cell.cell_id, cell.kwargs, cell.func
+                )
+                if cell.priority > 0:
+                    return execute_cell(cell.func, cell.kwargs)
+                return None
+            """,
+    })
+    [finding] = findings(check_cache_key_flow, analysis, "RPF001")
+    assert "'priority'" in finding.message
+    assert "read on the execution path" in finding.message
+
+
+def test_rpf001_injected_field_on_the_real_tree_is_flagged(tmp_path):
+    """Acceptance probe: grow Cell by one field without keying it."""
+    target = tmp_path / "repro"
+    shutil.copytree(REPO_SRC, target)
+    cells = target / "exec" / "cells.py"
+    text = cells.read_text()
+    needle = "    kwargs: Dict[str, Any] = field(default_factory=dict)"
+    assert needle in text
+    cells.write_text(
+        text.replace(needle, needle + "\n    priority: int = 0")
+    )
+    analysis = analyze_package(root=target, package="repro")
+    flagged = findings(check_cache_key_flow, analysis, "RPF001")
+    assert any("'priority'" in f.message for f in flagged)
+
+
+# -- RPF002: effectful code reachable from cached payloads -------------------
+
+PAYLOAD_GRID = """\
+    from pkg.compute import payload
+
+    class Cell:
+        def __init__(self, experiment_id, cell_id, func, kwargs):
+            self.func = func
+
+    def cells():
+        return [Cell("exp", "c0", payload, {"x": 1})]
+    """
+
+
+def test_rpf002_flags_clock_behind_a_payload(tmp_path):
+    analysis = analyze_snippets(tmp_path, {
+        "grid.py": PAYLOAD_GRID,
+        "compute.py": """\
+            import time
+
+            def payload(x):
+                return helper(x)
+
+            def helper(x):
+                return time.time() + x
+            """,
+    })
+    [finding] = findings(check_effectful_cached_paths, analysis, "RPF002")
+    assert "pkg.compute.helper" in finding.message
+    assert "pkg.compute.payload -> pkg.compute.helper" in finding.message
+    assert "clock" in finding.message
+
+
+def test_rpf002_quarantined_helper_is_sanctioned(tmp_path, monkeypatch):
+    monkeypatch.setitem(
+        flow.QUARANTINE, "pkg.compute.helper", "timing is volatile-only"
+    )
+    analysis = analyze_snippets(tmp_path, {
+        "grid.py": PAYLOAD_GRID,
+        "compute.py": """\
+            import time
+
+            def payload(x):
+                return helper(x)
+
+            def helper(x):
+                return time.time() + x
+            """,
+    })
+    assert findings(check_effectful_cached_paths, analysis, "RPF002") == []
+
+
+def test_rpf002_pure_payload_is_clean(tmp_path):
+    analysis = analyze_snippets(tmp_path, {
+        "grid.py": PAYLOAD_GRID,
+        "compute.py": """\
+            import random
+
+            def payload(x):
+                rng = random.Random(x)
+                return rng.random()
+            """,
+    })
+    assert findings(check_effectful_cached_paths, analysis, "RPF002") == []
+
+
+def test_rpf002_honors_line_suppression(tmp_path):
+    analysis = analyze_snippets(tmp_path, {
+        "grid.py": PAYLOAD_GRID,
+        "compute.py": """\
+            import time
+
+            def payload(x):
+                return helper(x)
+
+            def helper(x):  # repro-lint: disable=RPF002
+                return time.time() + x
+            """,
+    })
+    assert findings(check_effectful_cached_paths, analysis, "RPF002") == []
+
+
+# -- RPF003: dead knobs ------------------------------------------------------
+
+
+def test_rpf003_flags_knob_only_its_validator_reads(tmp_path):
+    analysis = analyze_snippets(tmp_path, {
+        "config.py": """\
+            from dataclasses import dataclass
+
+            @dataclass
+            class SimConfig:
+                width: int = 4
+                depth: int = 8
+                _scratch: int = 0
+                spare: int = 3
+
+                def validate(self):
+                    if self.spare < 0:
+                        raise ValueError("spare")
+            """,
+        "use.py": """\
+            def f(config):
+                return config.width + getattr(config, "depth")
+            """,
+    })
+    flagged = findings(check_dead_knobs, analysis, "RPF003")
+    assert [f.message.split(" is ")[0] for f in flagged] == ["SimConfig.spare"]
+
+
+def test_rpf003_honors_suppression(tmp_path):
+    analysis = analyze_snippets(tmp_path, {
+        "config.py": """\
+            from dataclasses import dataclass
+
+            @dataclass
+            class SimConfig:
+                spare: int = 3  # repro-lint: disable=RPF003
+            """,
+    })
+    assert findings(check_dead_knobs, analysis, "RPF003") == []
+
+
+# -- the shipped tree --------------------------------------------------------
+
+
+def test_shipped_tree_is_clean_at_fail_on_warning(repo_analysis):
+    reports = lint_effects(repo_analysis)
+    dirty = [r for r in reports if r.fails("warning")]
+    assert not dirty, "\n".join(r.format() for r in dirty)
+
+
+def test_repo_summary_is_consistent(repo_analysis):
+    stats = repo_analysis.summary()
+    assert stats["package"] == "repro"
+    assert stats["functions"] == len(repo_analysis.functions)
+    assert 0.0 < stats["pure_fraction"] < 1.0
+    assert stats["quarantined"], "the quarantine table should be in force"
+    # The cache layer really does filesystem work; the analysis must see it.
+    assert FS in repo_analysis.intrinsic[
+        "repro.exec.cache.DiskCache._atomic_write"
+    ]
+
+
+# -- CLI surface -------------------------------------------------------------
+
+
+def test_cli_effects_clean_at_fail_on_warning(capsys):
+    assert cli.main(["effects", "--fail-on", "warning"]) == 0
+    out = capsys.readouterr().out
+    assert "effect summary" in out
+
+
+def test_cli_effects_json_envelope(capsys):
+    assert cli.main(["effects", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["schema_version"] == LINT_SCHEMA_VERSION
+    assert payload["tool"] == "repro-lint"
+    assert payload["command"] == "effects"
+    assert payload["flow"]["package"] == "repro"
+    assert payload["flow"]["functions"] > 500
+    assert len(payload["reports"]) == 4
+
+
+def test_cli_effects_bad_root_exits_2(capsys):
+    assert cli.main(["effects", "/nonexistent/nowhere"]) == 2
+    captured = capsys.readouterr()
+    assert captured.out == ""
+    assert "package directory" in captured.err
+
+
+def test_analyze_package_rejects_missing_root():
+    with pytest.raises(ConfigError, match="no such package"):
+        analyze_package(root=Path("/nonexistent/nowhere"))

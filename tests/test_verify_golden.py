@@ -1,0 +1,374 @@
+"""Tests for the golden-result differential verifier (repro-lint diff)."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.exec.cache import DiskCache, value_digest
+from repro.verify import cli, diffcells
+from repro.verify.diagnostics import LINT_SCHEMA_VERSION
+from repro.verify.golden import (
+    DEFAULT_PATHS,
+    ExpectedFailure,
+    ReplayPath,
+    compare_values,
+    golden_cells,
+    parse_path,
+    record_goldens,
+    replay_goldens,
+)
+
+LENGTH = 2000
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return DiskCache(tmp_path / "cache")
+
+
+def serial_paths():
+    return (
+        ReplayPath("object-serial", "object", "serial"),
+        ReplayPath("columnar-serial", "columnar", "serial"),
+    )
+
+
+# -- compare_values ----------------------------------------------------------
+
+
+def test_compare_values_identical_is_empty():
+    value = {"ipc": 1.5, "counts": [1, 2, 3], "name": "compress"}
+    assert compare_values(value, dict(value)) == []
+
+
+def test_compare_values_numeric_tolerance_by_metric_name():
+    expected = {"ipc": 1.50, "cycles": 100}
+    actual = {"ipc": 1.52, "cycles": 100}
+    assert compare_values(expected, actual, {"ipc": 0.05}) == []
+    [divergence] = compare_values(expected, actual, {"ipc": 0.001})
+    assert divergence.startswith("value.ipc:")
+
+
+def test_compare_values_star_tolerance_fallback():
+    assert compare_values({"a": 1.0, "b": 2.0}, {"a": 1.1, "b": 2.1},
+                          {"*": 0.5}) == []
+    assert len(compare_values({"a": 1.0}, {"a": 1.1})) == 1  # default exact
+
+
+def test_compare_values_bool_is_not_a_number():
+    # True == 1 in Python; a flag flipping type must still diverge.
+    [divergence] = compare_values({"ok": True}, {"ok": 1}, {"*": 10.0})
+    assert "ok" in divergence
+
+
+def test_compare_values_structural_mismatches():
+    diffs = compare_values(
+        {"a": 1, "b": [1, 2], "c": "x"},
+        {"b": [1], "c": "y", "d": 9},
+    )
+    rendered = "\n".join(diffs)
+    assert "value.a: missing from replay" in rendered
+    assert "value.d: unexpected key in replay" in rendered
+    assert "value.b: length 2 expected, got 1" in rendered
+    assert "value.c: expected 'x', got 'y'" in rendered
+
+
+def test_compare_values_indexes_nested_lists():
+    [divergence] = compare_values({"counts": [1, 2, 3]}, {"counts": [1, 9, 3]})
+    assert divergence.startswith("value.counts[1]:")
+
+
+# -- replay paths ------------------------------------------------------------
+
+
+def test_parse_path_known_names_and_generic_specs():
+    assert parse_path("columnar-served").mode == "served"
+    path = parse_path("object-jobs4")
+    assert (path.backend, path.mode, path.jobs) == ("object", "jobs", 4)
+    assert parse_path("columnar-serial").backend == "columnar"
+
+
+def test_parse_path_rejects_unknown_specs():
+    with pytest.raises(ConfigError, match="unknown replay path"):
+        parse_path("quantum")
+    with pytest.raises(ConfigError, match="unknown backend"):
+        parse_path("gpu-serial")
+    with pytest.raises(ConfigError, match="jobs >= 2"):
+        parse_path("object-jobs1")
+
+
+def test_default_paths_cover_backends_modes_and_validate():
+    assert {p.backend for p in DEFAULT_PATHS} == {"object", "columnar"}
+    assert {p.mode for p in DEFAULT_PATHS} == {"serial", "jobs", "served"}
+    for path in DEFAULT_PATHS:
+        path.validate()
+
+
+# -- expected failures -------------------------------------------------------
+
+
+def test_expected_failure_from_dict_rejects_unknown_keys():
+    with pytest.raises(ConfigError, match="unknown expected-failure key"):
+        ExpectedFailure.from_dict({"cell": "*", "metrics": "*"})
+
+
+def test_expected_failure_matches_fnmatch_patterns():
+    expectation = ExpectedFailure.from_dict({
+        "cell": "fig3.1:*", "path": "columnar-*", "metric": "*cycles*",
+        "reason": "known FP drift",
+    })
+    assert expectation.matches(
+        "fig3.1:compress|rate=8", "columnar-jobs2", "value.cycles_base"
+    )
+    assert not expectation.matches(
+        "diff.fuzz:fuzz|seed=0", "columnar-jobs2", "value.cycles_base"
+    )
+
+
+# -- cell selection ----------------------------------------------------------
+
+
+def test_golden_cells_unknown_experiment_raises():
+    with pytest.raises(ConfigError, match="unknown experiment"):
+        golden_cells(["fig9.9"], LENGTH)
+
+
+def test_golden_cells_fuzz_bounded_by_grid():
+    with pytest.raises(ConfigError, match="--fuzz must be <="):
+        golden_cells([], LENGTH, fuzz=diffcells.GRID_SIZE + 1)
+
+
+def test_golden_cells_fuzz_identity_drops_workload_restriction():
+    selected = golden_cells(
+        ["fig3.1"], LENGTH, workloads=["compress"], fuzz=2
+    )
+    fig = [i for _c, i in selected if i["experiment_id"] == "fig3.1"]
+    fuzz = [i for _c, i in selected if i["experiment_id"] == "diff.fuzz"]
+    assert fig and len(fuzz) == 2
+    assert all(i["workloads"] == ["compress"] for i in fig)
+    assert all(i["workloads"] is None for i in fuzz)
+
+
+def test_diffcells_grid_is_enumerable_and_deterministic():
+    grid = diffcells.cells(LENGTH, seed=0)
+    assert len(grid) == diffcells.GRID_SIZE
+    assert len({cell.cell_id for cell in grid}) == diffcells.GRID_SIZE
+    value = diffcells.fuzz_cell(0, LENGTH)
+    again = diffcells.fuzz_cell(0, LENGTH)
+    assert value == again
+    assert len(value["state_sha256"]) == 64
+
+
+# -- record / replay round trip ----------------------------------------------
+
+
+def test_record_then_replay_serial_paths_no_divergence(cache):
+    records, report = record_goldens(cache, [], LENGTH, fuzz=3)
+    assert report.ok and len(records) == 3
+    assert len(cache.iter_goldens()) == 3
+
+    reports, summary = replay_goldens(cache, paths=serial_paths())
+    assert summary["golden_cells"] == 3
+    assert summary["divergences"] == 0
+    assert [p["cells"] for p in summary["paths"]] == [3, 3]
+    assert all(r.ok for r in reports)
+
+
+def test_record_nothing_errors(cache):
+    records, report = record_goldens(cache, [], LENGTH)
+    assert records == [] and not report.ok
+
+
+def test_replay_empty_store_errors(cache):
+    reports, summary = replay_goldens(cache, paths=serial_paths())
+    assert summary["golden_cells"] == 0
+    assert not reports[0].ok
+
+
+def test_tampered_golden_is_quarantined_not_replayed(cache):
+    records, _report = record_goldens(cache, [], LENGTH, fuzz=1)
+    [record] = records
+    path = cache.golden_path(record["key"])
+    stored = json.loads(path.read_text())
+    stored["value"]["cycles_base"] += 1  # tamper without re-signing
+    path.write_text(json.dumps(stored))
+    assert cache.get_golden(record["key"]) is None
+    assert cache.iter_goldens() == []
+
+
+def test_divergence_detected_and_downgraded_by_expectation(cache):
+    records, _report = record_goldens(cache, [], LENGTH, fuzz=1)
+    [record] = records
+    # Re-sign a tampered value: the store accepts it, replay must not.
+    path = cache.golden_path(record["key"])
+    stored = json.loads(path.read_text())
+    stored["value"]["cycles_base"] += 7
+    stored["sha256"] = value_digest(stored["value"])
+    path.write_text(json.dumps(stored))
+
+    paths = (ReplayPath("object-serial", "object", "serial"),)
+    reports, summary = replay_goldens(cache, paths=paths)
+    assert summary["divergences"] == 1
+    assert any("cycles_base" in d.message
+               for r in reports for d in r.diagnostics)
+
+    sanctioned = [ExpectedFailure(metric="*cycles_base", reason="test")]
+    reports, summary = replay_goldens(
+        cache, paths=paths, expected_failures=sanctioned
+    )
+    assert summary["divergences"] == 0
+    assert summary["expected_divergences"] == 1
+    assert all(r.ok for r in reports)
+
+
+def test_stale_expectation_is_reported(cache):
+    record_goldens(cache, [], LENGTH, fuzz=1)
+    stale = [ExpectedFailure(cell="fig9.9:*", reason="never fires")]
+    reports, summary = replay_goldens(
+        cache,
+        paths=(ReplayPath("object-serial", "object", "serial"),),
+        expected_failures=stale,
+    )
+    assert summary["divergences"] == 0
+    [expectations] = [r for r in reports if r.subject == "expected failures"]
+    assert any(
+        d.check == "stale-expectation" for d in expectations.diagnostics
+    )
+
+
+def test_replay_filters_by_experiment(cache):
+    record_goldens(cache, ["fig3.1"], LENGTH, workloads=["compress"], fuzz=2)
+    _reports, summary = replay_goldens(
+        cache,
+        paths=(ReplayPath("object-serial", "object", "serial"),),
+        experiments=["diff.fuzz"],
+    )
+    assert summary["golden_cells"] == 2
+
+
+def test_replay_jobs_path_matches_goldens(cache):
+    record_goldens(cache, [], LENGTH, fuzz=2)
+    _reports, summary = replay_goldens(
+        cache, paths=(ReplayPath("columnar-jobs2", "columnar", "jobs", 2),)
+    )
+    assert summary["divergences"] == 0
+    assert summary["paths"][0]["cells"] == 2
+
+
+def test_replay_served_path_matches_goldens(cache, tmp_path):
+    record_goldens(cache, [], LENGTH, fuzz=2)
+    _reports, summary = replay_goldens(
+        cache,
+        paths=(ReplayPath("columnar-served", "columnar", "served"),),
+        scratch=str(tmp_path / "scratch"),
+    )
+    assert summary["divergences"] == 0
+    assert summary["paths"][0]["cells"] == 2
+
+
+# -- CLI surface -------------------------------------------------------------
+
+
+def test_cli_diff_record_list_replay_round_trip(tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    assert cli.main([
+        "diff", "record", "--fuzz", "2", "--length", str(LENGTH),
+        "--cache-dir", cache_dir,
+    ]) == 0
+    assert "recorded 2 golden cell(s)" in capsys.readouterr().out
+
+    assert cli.main([
+        "diff", "list", "--cache-dir", cache_dir, "--json"
+    ]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["schema_version"] == LINT_SCHEMA_VERSION
+    assert payload["command"] == "diff"
+    assert payload["diff"]["action"] == "list"
+    assert payload["diff"]["golden_cells"] == 2
+
+    assert cli.main([
+        "diff", "replay", "--cache-dir", cache_dir,
+        "--paths", "object-serial,columnar-serial", "--json",
+    ]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["schema_version"] == LINT_SCHEMA_VERSION
+    assert payload["diff"]["action"] == "replay"
+    assert payload["diff"]["divergences"] == 0
+    assert [p["path"] for p in payload["diff"]["paths"]] == [
+        "object-serial", "columnar-serial"
+    ]
+
+
+def test_cli_diff_usage_errors_exit_2(tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+
+    def usage_error(argv, needle):
+        assert cli.main(argv) == 2
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert needle in captured.err
+
+    usage_error(["diff", "record", "--cache-dir", cache_dir],
+                "nothing to record")
+    usage_error(["diff", "record", "--fuzz", "-1", "--cache-dir", cache_dir],
+                "--fuzz must be >= 0")
+    usage_error(["diff", "replay", "--cache-dir", cache_dir,
+                 "--paths", "quantum"], "unknown replay path")
+    usage_error(["diff", "replay", "--cache-dir", cache_dir,
+                 "--tolerance", "nope"], "METRIC=EPS")
+    usage_error(["diff", "replay", "--cache-dir", cache_dir,
+                 "--tolerance", "ipc=-1"], "must be >= 0")
+    usage_error(["diff", "record", "--experiment", "fig9.9",
+                 "--cache-dir", cache_dir], "unknown experiment")
+
+    expect = tmp_path / "expect.json"
+    expect.write_text('{"not": "a list"}')
+    usage_error(["diff", "replay", "--cache-dir", cache_dir,
+                 "--expect", str(expect)], "JSON list")
+    expect.write_text('[{"metrics": "*"}]')
+    usage_error(["diff", "replay", "--cache-dir", cache_dir,
+                 "--expect", str(expect)], "unknown expected-failure key")
+    usage_error(["diff", "replay", "--cache-dir", cache_dir,
+                 "--expect", str(tmp_path / "missing.json")], "cannot read")
+
+
+def test_cli_diff_replay_empty_store_exits_1(tmp_path, capsys):
+    assert cli.main([
+        "diff", "replay", "--cache-dir", str(tmp_path / "empty"),
+        "--paths", "object-serial",
+    ]) == 1
+    assert "no golden records" in capsys.readouterr().out
+
+
+def test_cli_diff_expectation_file_downgrades_divergence(tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    assert cli.main([
+        "diff", "record", "--fuzz", "1", "--length", str(LENGTH),
+        "--cache-dir", cache_dir,
+    ]) == 0
+    capsys.readouterr()
+
+    cache = DiskCache(cache_dir)
+    [record] = cache.iter_goldens()
+    path = cache.golden_path(record["key"])
+    stored = json.loads(path.read_text())
+    stored["value"]["cycles_vp"] += 3
+    stored["sha256"] = value_digest(stored["value"])
+    path.write_text(json.dumps(stored))
+
+    assert cli.main([
+        "diff", "replay", "--cache-dir", cache_dir,
+        "--paths", "object-serial",
+    ]) == 1
+    capsys.readouterr()
+
+    expect = tmp_path / "expect.json"
+    expect.write_text(json.dumps(
+        [{"metric": "*cycles_vp", "reason": "sanctioned for this test"}]
+    ))
+    assert cli.main([
+        "diff", "replay", "--cache-dir", cache_dir,
+        "--paths", "object-serial", "--expect", str(expect),
+    ]) == 0
+    assert "expected-divergence" in capsys.readouterr().out
