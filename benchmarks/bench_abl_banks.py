@@ -1,12 +1,11 @@
 """Ablation bench: prediction-table bank count (Section 4 sizing)."""
 
-from benchmarks.conftest import run_and_print
+from benchmarks.conftest import pct, run_and_print
 from repro.experiments import ablations
 
 
 def test_abl_banks(benchmark, bench_length):
     result = run_and_print(benchmark, ablations.run_banks,
                            trace_length=bench_length)
-    def pct(cell): return float(cell.rstrip('%'))
     denials = [pct(row[2]) for row in result.rows]
     assert denials[0] > denials[-1]  # more banks, fewer denials

@@ -1,12 +1,11 @@
 """Ablation bench: saturating-counter classifier sizing."""
 
-from benchmarks.conftest import run_and_print
+from benchmarks.conftest import pct, run_and_print
 from repro.experiments import ablations
 
 
 def test_abl_classifier(benchmark, bench_length):
     result = run_and_print(benchmark, ablations.run_classifier,
                            trace_length=bench_length)
-    def pct(cell): return float(cell.rstrip('%'))
     accuracies = {row[0]: pct(row[2]) for row in result.rows}
     assert accuracies["2b/2"] > accuracies["none"]

@@ -1,14 +1,13 @@
 """Ablation bench: fetch-mechanism comparison (sequential vs collapsing
 buffer vs trace cache) — VP speedup tracks effective fetch bandwidth."""
 
-from benchmarks.conftest import run_and_print
+from benchmarks.conftest import pct, run_and_print
 from repro.experiments import ablations
 
 
 def test_abl_fetch(benchmark, bench_length):
     result = run_and_print(benchmark, ablations.run_fetch_mechanisms,
                            trace_length=bench_length)
-    def pct(cell): return float(cell.rstrip('%'))
     gain = {row[0]: pct(row[3]) for row in result.rows}
     width = {row[0]: float(row[1]) for row in result.rows}
     assert gain["seq, 4 taken/cycle"] > gain["seq, 1 taken/cycle"]

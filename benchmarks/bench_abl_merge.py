@@ -1,11 +1,10 @@
 """Ablation bench: address-router duplicate-request merging on/off."""
 
-from benchmarks.conftest import run_and_print
+from benchmarks.conftest import pct, run_and_print
 from repro.experiments import ablations
 
 
 def test_abl_merge(benchmark, bench_length):
     result = run_and_print(benchmark, ablations.run_merge,
                            trace_length=bench_length)
-    def pct(cell): return float(cell.rstrip('%'))
     assert pct(result.cell("avg", "merge on")) >= pct(result.cell("avg", "merge off")) - 0.5

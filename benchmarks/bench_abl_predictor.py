@@ -1,11 +1,10 @@
 """Ablation bench: last-value vs stride vs 2-delta vs hybrid."""
 
-from benchmarks.conftest import run_and_print
+from benchmarks.conftest import pct, run_and_print
 from repro.experiments import ablations
 
 
 def test_abl_predictor(benchmark, bench_length):
     result = run_and_print(benchmark, ablations.run_predictor,
                            trace_length=bench_length)
-    def pct(cell): return float(cell.rstrip('%'))
     assert pct(result.cell("avg", "stride")) > pct(result.cell("avg", "last")) - 0.5

@@ -1,12 +1,11 @@
 """Ablation bench: input-seed robustness of the headline result."""
 
-from benchmarks.conftest import run_and_print
+from benchmarks.conftest import pct, run_and_print
 from repro.experiments import ablations
 
 
 def test_abl_seeds(benchmark, bench_length):
     result = run_and_print(benchmark, ablations.run_seeds,
                            trace_length=bench_length)
-    def pct(cell): return float(cell.rstrip('%'))
     gains = [pct(row[1]) for row in result.rows]
     assert max(gains) - min(gains) < 15.0

@@ -1,12 +1,11 @@
 """Ablation bench: trace-length stability of the headline result."""
 
-from benchmarks.conftest import run_and_print
+from benchmarks.conftest import pct, run_and_print
 from repro.experiments import ablations
 
 
 def test_abl_stability(benchmark, bench_length):
     result = run_and_print(benchmark, ablations.run_stability,
                            trace_length=bench_length)
-    def pct(cell): return float(cell.rstrip('%'))
     gains = [pct(row[1]) for row in result.rows]
     assert max(gains) - min(gains) < 20.0  # shape, not noise

@@ -1,13 +1,12 @@
 """Ablation bench: trace-cache geometry sweep (the paper's note that
 Figure 5.3 improves with a better-tuned trace cache)."""
 
-from benchmarks.conftest import run_and_print
+from benchmarks.conftest import pct, run_and_print
 from repro.experiments import ablations
 
 
 def test_abl_tc(benchmark, bench_length):
     result = run_and_print(benchmark, ablations.run_trace_cache,
                            trace_length=bench_length)
-    def pct(cell): return float(cell.rstrip('%'))
     hit = {row[0]: pct(row[1]) for row in result.rows}
     assert hit["256 x 32/6"] >= hit["16 x 32/6"]

@@ -1,13 +1,12 @@
 """Ablation bench: correct-but-useless predictions vs fetch rate —
 the paper's core Section 3 observation, measured directly."""
 
-from benchmarks.conftest import run_and_print
+from benchmarks.conftest import pct, run_and_print
 from repro.experiments import ablations
 
 
 def test_abl_useless(benchmark, bench_length):
     result = run_and_print(benchmark, ablations.run_useless,
                            trace_length=bench_length)
-    def pct(cell): return float(cell.rstrip('%'))
     fractions = {row[0]: pct(row[1]) for row in result.rows}
     assert fractions["4"] > fractions["40"]  # wider fetch, fewer wasted

@@ -4,12 +4,11 @@ fetch rate (4/8/16/32/40), all eight workloads.
 Paper shape: near-zero at rate 4, rising steeply with the rate;
 m88ksim and vortex among the strongest reactions."""
 
-from benchmarks.conftest import run_and_print
+from benchmarks.conftest import pct, run_and_print
 from repro.experiments import fig3_1
 
 
 def test_fig3_1(benchmark, bench_length):
     result = run_and_print(benchmark, fig3_1.run, trace_length=bench_length)
-    def pct(cell): return float(cell.rstrip('%'))
     assert pct(result.cell("avg", "BW=4")) < 10.0
     assert pct(result.cell("avg", "BW=16")) > pct(result.cell("avg", "BW=4")) + 10.0

@@ -2,12 +2,11 @@
 Paper headline: m88ksim/vortex carry the largest predictable-long
 fractions; ~23% of arcs (avg) are predictable but short."""
 
-from benchmarks.conftest import run_and_print
+from benchmarks.conftest import pct, run_and_print
 from repro.experiments import fig3_5
 
 
 def test_fig3_5(benchmark, bench_length):
     result = run_and_print(benchmark, fig3_5.run, trace_length=bench_length)
-    def pct(cell): return float(cell.rstrip('%'))
     assert pct(result.cell("avg", "pred DID>=4")) > 10.0
     assert pct(result.cell("avg", "pred DID<4")) > 10.0

@@ -2,12 +2,11 @@
 with an ideal branch predictor. Paper shape: ~3% at n=1 rising to ~50%
 at n=4 (we reproduce the rise at reduced magnitude)."""
 
-from benchmarks.conftest import run_and_print
+from benchmarks.conftest import pct, run_and_print
 from repro.experiments import fig5_1
 
 
 def test_fig5_1(benchmark, bench_length):
     result = run_and_print(benchmark, fig5_1.run, trace_length=bench_length)
-    def pct(cell): return float(cell.rstrip('%'))
     assert pct(result.cell("avg", "n=1")) < 10.0
     assert pct(result.cell("avg", "n=4")) > pct(result.cell("avg", "n=1"))

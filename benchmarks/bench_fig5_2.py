@@ -2,11 +2,10 @@
 with the 2-level PAp BTB. Paper shape: rises with n but lands well
 below the ideal-BTB speedups at high n."""
 
-from benchmarks.conftest import run_and_print
+from benchmarks.conftest import pct, run_and_print
 from repro.experiments import fig5_2
 
 
 def test_fig5_2(benchmark, bench_length):
     result = run_and_print(benchmark, fig5_2.run, trace_length=bench_length)
-    def pct(cell): return float(cell.rstrip('%'))
     assert pct(result.cell("avg", "n=4")) > pct(result.cell("avg", "n=1")) - 1.0

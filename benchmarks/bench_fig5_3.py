@@ -2,12 +2,11 @@
 ideal vs 2-level branch prediction, using the Section 4 banked VP
 hardware. Paper bounds: >10% avg (2-level), <40% avg (ideal)."""
 
-from benchmarks.conftest import run_and_print
+from benchmarks.conftest import pct, run_and_print
 from repro.experiments import fig5_3
 
 
 def test_fig5_3(benchmark, bench_length):
     result = run_and_print(benchmark, fig5_3.run, trace_length=bench_length)
-    def pct(cell): return float(cell.rstrip('%'))
     assert pct(result.cell("avg", "TC+idealBTB")) < 40.0
     assert pct(result.cell("avg", "TC+2levelBTB")) > 0.0

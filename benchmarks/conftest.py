@@ -40,6 +40,15 @@ def _bench_trace_cache():
         yield cache
 
 
+def pct(cell: str) -> float:
+    """A ``'12.3%'`` table cell as its float value.
+
+    The shared assertion helper for every bench that checks shape
+    properties of a regenerated percent column.
+    """
+    return float(cell.rstrip("%"))
+
+
 _REGENERATED = []
 
 

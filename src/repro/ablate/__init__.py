@@ -1,0 +1,40 @@
+"""First-class ablation and adaptive-sweep orchestration.
+
+The source paper is itself a component-ablation study, and this package
+promotes that methodology from ad-hoc scripts to a subsystem:
+
+* :mod:`repro.ablate.machine` — the single place the "full" Section 4/5
+  machine is assembled from flat, cache-keyable knobs.
+* :mod:`repro.ablate.registry` — the switchable components (predictor
+  flavor, classifier, banks, router, hints, fetch mechanism, window)
+  and the numeric sweep knobs with their admissible lattices.
+* :mod:`repro.ablate.suite` — the component runs as ``repro.exec``
+  cells (``abl.suite`` plus one ``abl.sweep.*`` grid per knob), with
+  stable content-keyed run IDs that cache and resume like fig/table
+  cells.
+* :mod:`repro.ablate.report` — per-component importance scores from
+  metric deltas vs baseline, ranked and rendered.
+* :mod:`repro.ablate.sweep` — the deterministic coarse-to-fine
+  refinement policy for numeric knobs.
+* :mod:`repro.ablate.orchestrate` — fans runs out through the
+  :class:`~repro.exec.engine.ExperimentEngine` (``--jobs``) or scatters
+  them across a serve cluster via :class:`~repro.serve.client.ServeClient`.
+* :mod:`repro.ablate.cli` — the ``repro-ablate`` command
+  (``run`` / ``sweep`` / ``report`` / ``list``).
+"""
+
+from repro.ablate.machine import BASELINE, compute_ablation_cell, compute_rate_cell
+from repro.ablate.registry import COMPONENTS, SWEEP_KNOBS, Component, SweepKnob
+from repro.ablate.report import importance_report, render_importance
+
+__all__ = [
+    "BASELINE",
+    "COMPONENTS",
+    "Component",
+    "SWEEP_KNOBS",
+    "SweepKnob",
+    "compute_ablation_cell",
+    "compute_rate_cell",
+    "importance_report",
+    "render_importance",
+]

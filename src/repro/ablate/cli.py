@@ -1,0 +1,325 @@
+"""``repro-ablate`` — component ablations and adaptive sweeps.
+
+Usage::
+
+    repro-ablate list                                 # registry contents
+    repro-ablate run --components all --length 2000   # full ablation
+    repro-ablate run --components banks,merge --json -
+    repro-ablate sweep banks --rounds 3 --jobs 2      # coarse-to-fine
+    repro-ablate sweep fetch_rate --seeds 3 --connect 127.0.0.1:7341
+    repro-ablate report ablate.json                   # re-render a run
+
+Exit status follows the repo contract: 0 on success, 1 when any cell
+failed (or an artifact is invalid), 2 on usage errors. ``--json PATH``
+writes the machine-readable artifact (``-`` for stdout); its ``report``
+block is deterministic for a given configuration — run IDs are the
+engine's content keys — while timings and cache sources live under the
+volatile ``metrics`` block.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional
+
+from repro.cliutil import CleanArgumentParser, positive_int
+
+
+def _split_names(raw: List[str]) -> List[str]:
+    names: List[str] = []
+    for token in raw:
+        names.extend(part for part in token.split(",") if part)
+    return names
+
+
+def _split_components(raw: List[str]) -> List[str]:
+    return _split_names(raw)
+
+
+def _split_workloads(raw: Optional[List[str]],
+                     parser: argparse.ArgumentParser) -> Optional[List[str]]:
+    if raw is None:
+        return None
+    from repro.workloads import WORKLOAD_NAMES
+
+    names = _split_names(raw)
+    for name in names:
+        if name not in WORKLOAD_NAMES:
+            parser.error(
+                f"unknown workload '{name}'; "
+                f"choose from {', '.join(WORKLOAD_NAMES)}"
+            )
+    return names
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = CleanArgumentParser(
+        prog="repro-ablate",
+        description="component ablations and adaptive parameter sweeps "
+        "over the paper's machine",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--length", type=positive_int, default=2_000, metavar="N",
+            help="trace length per workload (default 2000)",
+        )
+        sub.add_argument(
+            "--seed", type=int, default=0, help="workload seed (default 0)"
+        )
+        sub.add_argument(
+            "--workloads", metavar="NAME", nargs="+", default=None,
+            help="restrict to these workloads, space or comma separated "
+            "(default: all eight)",
+        )
+        sub.add_argument(
+            "--jobs", type=positive_int, default=1,
+            help="engine worker processes / served request concurrency "
+            "(default 1)",
+        )
+        sub.add_argument(
+            "--cache-dir", metavar="DIR", default=None,
+            help="on-disk cache (default: $REPRO_CACHE_DIR or "
+            "~/.cache/repro)",
+        )
+        sub.add_argument(
+            "--no-cache", action="store_true",
+            help="recompute every cell (no memoization)",
+        )
+        sub.add_argument(
+            "--connect", metavar="ADDR", default=None,
+            help="scatter cells across a serve daemon/cluster "
+            "(unix:PATH or HOST:PORT) instead of the local engine",
+        )
+        sub.add_argument(
+            "--json", metavar="PATH", default=None,
+            help="write the JSON artifact here ('-' for stdout)",
+        )
+
+    run = commands.add_parser(
+        "run", help="baseline + leave-one-out run per component"
+    )
+    run.add_argument(
+        "--components", metavar="NAME", nargs="+", default=["all"],
+        help="components to ablate: 'all' or names (space or comma "
+        "separated; see 'repro-ablate list')",
+    )
+    add_common(run)
+
+    sweep = commands.add_parser(
+        "sweep", help="adaptive coarse-to-fine sweep of one numeric knob"
+    )
+    sweep.add_argument("knob", metavar="KNOB", help="sweep knob name")
+    sweep.add_argument(
+        "--rounds", type=positive_int, default=3,
+        help="refinement rounds (default 3; stops early on convergence)",
+    )
+    sweep.add_argument(
+        "--seeds", type=positive_int, default=1,
+        help="multi-seed restarts per value (default 1)",
+    )
+    add_common(sweep)
+
+    report = commands.add_parser(
+        "report", help="re-render the table of a saved artifact"
+    )
+    report.add_argument("artifact", metavar="PATH", help="artifact JSON file")
+
+    list_cmd = commands.add_parser(
+        "list", help="registered components and sweep knobs"
+    )
+    list_cmd.add_argument(
+        "--json", action="store_true", help="machine-readable listing"
+    )
+    return parser
+
+
+def _emit_json(artifact: Dict[str, Any], destination: Optional[str]) -> None:
+    if destination is None:
+        return
+    blob = json.dumps(artifact, indent=2, sort_keys=True) + "\n"
+    if destination == "-":
+        sys.stdout.write(blob)
+    else:
+        with open(destination, "w", encoding="utf-8") as handle:
+            handle.write(blob)
+        print(f"wrote {destination}")
+
+
+def _print_failure(artifact: Dict[str, Any]) -> None:
+    for error in artifact.get("errors", []):
+        print(f"repro-ablate: cell failed: {error}", file=sys.stderr)
+
+
+def _cmd_run(args: argparse.Namespace,
+             parser: argparse.ArgumentParser) -> int:
+    from repro.ablate.orchestrate import run_suite
+
+    try:
+        artifact = run_suite(
+            components=_split_components(args.components),
+            trace_length=args.length,
+            seed=args.seed,
+            workloads=_split_workloads(args.workloads, parser),
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            use_cache=not args.no_cache,
+            connect=args.connect,
+        )
+    except KeyError as exc:
+        parser.error(str(exc.args[0] if exc.args else exc))
+    _emit_json(artifact, args.json)
+    if not artifact["ok"]:
+        _print_failure(artifact)
+        return 1
+    if args.json != "-":
+        _print_run_summary(artifact)
+    return 0
+
+
+def _print_run_summary(artifact: Dict[str, Any]) -> None:
+    from repro.analysis.report import ExperimentResult
+
+    print(ExperimentResult.from_dict(artifact["table"]).format())
+    metrics = artifact["metrics"]
+    print(
+        f"(cells: {metrics['cells']} total, {metrics['computed']} computed, "
+        f"{metrics['cached']} cached; path: {metrics['path']})"
+    )
+
+
+def _cmd_sweep(args: argparse.Namespace,
+               parser: argparse.ArgumentParser) -> int:
+    from repro.ablate.orchestrate import run_sweep
+
+    try:
+        artifact = run_sweep(
+            args.knob,
+            rounds=args.rounds,
+            n_seeds=args.seeds,
+            trace_length=args.length,
+            seed=args.seed,
+            workloads=_split_workloads(args.workloads, parser),
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            use_cache=not args.no_cache,
+            connect=args.connect,
+        )
+    except KeyError as exc:
+        parser.error(str(exc.args[0] if exc.args else exc))
+    _emit_json(artifact, args.json)
+    if not artifact["ok"]:
+        _print_failure(artifact)
+        return 1
+    if args.json != "-":
+        _print_sweep_summary(artifact)
+    return 0
+
+
+def _print_sweep_summary(artifact: Dict[str, Any]) -> None:
+    from repro.analysis.report import ExperimentResult
+
+    report = artifact["report"]
+    print(ExperimentResult.from_dict(artifact["table"]).format())
+    for entry in report["rounds"]:
+        values = ", ".join(str(v) for v in entry["values"])
+        print(
+            f"round {entry['round']}: evaluated {values} "
+            f"(best so far: {entry['best_so_far']})"
+        )
+    lo, hi = report["region"]
+    state = "converged" if report["converged"] else "round budget exhausted"
+    print(
+        f"best {report['kwarg']}={report['best']} "
+        f"in region [{lo}, {hi}] ({state})"
+    )
+    metrics = artifact["metrics"]
+    print(
+        f"(cells: {metrics['cells']} total, {metrics['computed']} computed, "
+        f"{metrics['cached']} cached; path: {metrics['path']})"
+    )
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.ablate.orchestrate import render_artifact_table
+
+    try:
+        with open(args.artifact, "r", encoding="utf-8") as handle:
+            artifact = json.load(handle)
+    except (OSError, ValueError) as exc:
+        print(f"repro-ablate: cannot read artifact: {exc}", file=sys.stderr)
+        return 1
+    try:
+        table = render_artifact_table(artifact)
+    except ValueError as exc:
+        print(f"repro-ablate: {exc}", file=sys.stderr)
+        return 1
+    print(table.format())
+    if artifact.get("kind") == "sweep":
+        report = artifact.get("report", {})
+        if "best" in report:
+            lo, hi = report["region"]
+            print(
+                f"best {report['kwarg']}={report['best']} "
+                f"in region [{lo}, {hi}]"
+            )
+    return 0 if artifact.get("ok", True) else 1
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    from repro.ablate.machine import BASELINE
+    from repro.ablate.registry import COMPONENTS, SWEEP_KNOBS
+
+    if args.json:
+        print(json.dumps({
+            "baseline": BASELINE,
+            "components": {
+                name: {
+                    "title": component.title,
+                    "overrides": dict(component.overrides),
+                    "ablates": component.ablates,
+                }
+                for name, component in COMPONENTS.items()
+            },
+            "sweeps": {
+                name: {
+                    "experiment_id": knob.experiment_id,
+                    "kwarg": knob.kwarg,
+                    "lattice": list(knob.lattice),
+                    "title": knob.title,
+                }
+                for name, knob in SWEEP_KNOBS.items()
+            },
+        }, indent=2, sort_keys=True))
+        return 0
+    print("baseline:", " ".join(f"{k}={v}" for k, v in BASELINE.items()))
+    print("components:")
+    for name, component in COMPONENTS.items():
+        overrides = " ".join(
+            f"{k}={v}" for k, v in component.overrides.items()
+        )
+        print(f"  {name:<17} {component.title} ({overrides})")
+    print("sweep knobs:")
+    for name, knob in SWEEP_KNOBS.items():
+        lattice = ",".join(str(v) for v in knob.lattice)
+        print(f"  {name:<17} {knob.kwarg} over [{lattice}] — {knob.title}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args, parser)
+    if args.command == "sweep":
+        return _cmd_sweep(args, parser)
+    if args.command == "report":
+        return _cmd_report(args)
+    return _cmd_list(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the entry point
+    sys.exit(main())

@@ -1,0 +1,260 @@
+"""Single-source assembly of the ablatable machine.
+
+Every ablation variant is a *flat* set of JSON/pickle-friendly knobs —
+``predictor``, ``classified``, ``n_banks``, ``merge``, ``hints``,
+``fetch``, ``window`` — so a variant travels verbatim as cell kwargs:
+the content-keyed cache, the ``repro-lint`` grid rules and the serve
+protocol all see the real configuration, not an opaque blob.
+
+:func:`compute_ablation_cell` is the one cell function behind the
+``abl.suite`` grid and the realistic-machine sweeps; it builds the
+Section 5 trace-cache machine (or an ablated variant of it) and
+returns the metric bundle the importance scores are computed from.
+:func:`compute_rate_cell` is its ideal-machine sibling for the fetch
+bandwidth sweep (the paper's own independent variable).
+
+The legacy :mod:`repro.experiments.ablations` studies assemble their
+machines through the same builders, so the registry and the historical
+``abl.*`` tables cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.bpred import TwoLevelBTB
+from repro.core import (
+    IdealConfig,
+    RealisticConfig,
+    plan_value_predictions,
+    simulate_ideal,
+    simulate_realistic,
+    speedup,
+)
+from repro.errors import ConfigError
+from repro.fetch import (
+    CollapsingBufferFetchEngine,
+    SequentialFetchEngine,
+    TraceCacheFetchEngine,
+)
+from repro.trace import Trace
+from repro.vphw import AddressRouter, BankedVPUnit
+from repro.vpred import (
+    HybridPredictor,
+    SaturatingClassifier,
+    StridePredictor,
+    TwoDeltaStridePredictor,
+    ValuePredictor,
+    make_predictor,
+)
+from repro.vpred import profile_hints as _profile_hints
+
+# The full machine: Section 5's trace-cache fetch front-end feeding the
+# Section 4 banked VP assembly with a hint-steered hybrid predictor.
+# Leave-one-out variants override exactly one of these knobs (the
+# router ablation overrides the trio that makes up the distributor).
+BASELINE: Dict[str, Any] = {
+    "predictor": "hybrid",
+    "classified": True,
+    "n_banks": 16,
+    "merge": True,
+    "hints": True,
+    "fetch": "trace_cache",
+    "window": 40,
+}
+
+# Classifier sizing of the baseline (the paper's 2-bit counters with a
+# threshold of 2); ``classified=False`` keeps the counters but drops
+# the threshold to 0, which admits every prediction.
+CLASSIFIER_BITS = 2
+CLASSIFIER_THRESHOLD = 2
+
+# Predictors that expose ``entry(pc)`` and therefore fit the banked
+# Section 4 table. ``last`` has no stride field, so it is a valid
+# re-flavor only on the ideal machine (see the legacy abl.predictor).
+BANKED_PREDICTOR_KINDS: Tuple[str, ...] = ("stride", "two-delta", "hybrid")
+
+_FETCH_BUILDERS: Dict[str, Callable[[], Any]] = {
+    # The paper's 64-entry direct-mapped trace cache.
+    "trace_cache": TraceCacheFetchEngine,
+    # Branch-address cache + 2x16 collapsing buffer.
+    "collapsing": CollapsingBufferFetchEngine,
+    # Plain sequential fetch, one taken branch per cycle.
+    "sequential": lambda: SequentialFetchEngine(width=40, max_taken=1),
+}
+
+FETCH_KINDS: Tuple[str, ...] = tuple(_FETCH_BUILDERS)
+
+
+def _get_trace(workload: str, trace_length: int, seed: int) -> Trace:
+    # Imported lazily: repro.experiments imports this module (via
+    # ablations), so a top-level import would be circular.
+    from repro.experiments.common import get_trace
+
+    return get_trace(workload, trace_length, seed)
+
+
+def build_fetch_engine(fetch: str) -> Any:
+    """One fetch engine by registry name (fresh state each call)."""
+    try:
+        return _FETCH_BUILDERS[fetch]()
+    except KeyError:
+        raise ConfigError(
+            f"unknown fetch mechanism {fetch!r}; choose from {FETCH_KINDS}"
+        ) from None
+
+
+def build_banked_predictor(
+    kind: str, hint_table: Optional[Dict[int, str]] = None
+) -> ValuePredictor:
+    """A bare (unclassified) predictor for the banked Section 4 table."""
+    if kind == "stride":
+        return StridePredictor()
+    if kind == "two-delta":
+        return TwoDeltaStridePredictor()
+    if kind == "hybrid":
+        return HybridPredictor(hints=hint_table)
+    raise ConfigError(
+        f"predictor {kind!r} cannot back the banked table; "
+        f"choose from {BANKED_PREDICTOR_KINDS}"
+    )
+
+
+def build_vp_unit(
+    trace: Trace,
+    predictor: str = "hybrid",
+    classified: bool = True,
+    n_banks: int = 16,
+    merge: bool = True,
+    hints: bool = True,
+) -> BankedVPUnit:
+    """The Section 4 banked assembly for one variant of the registry."""
+    hint_table = _profile_hints(trace) if hints else None
+    return BankedVPUnit(
+        build_banked_predictor(predictor, hint_table),
+        router=AddressRouter(n_banks=n_banks),
+        classifier=SaturatingClassifier(
+            bits=CLASSIFIER_BITS,
+            threshold=CLASSIFIER_THRESHOLD if classified else 0,
+        ),
+        hints=hint_table,
+        merge_requests=merge,
+    )
+
+
+def compute_ablation_cell(
+    workload: str,
+    trace_length: int,
+    seed: int,
+    predictor: str = "hybrid",
+    classified: bool = True,
+    n_banks: int = 16,
+    merge: bool = True,
+    hints: bool = True,
+    fetch: str = "trace_cache",
+    window: int = 40,
+) -> Dict[str, Any]:
+    """One variant x workload point: the realistic machine's metrics.
+
+    Returns the flat metric bundle importance scores are computed
+    from: base/VP IPC, VP speedup, used-prediction accuracy and the
+    bank-conflict denial rate.
+    """
+    trace = _get_trace(workload, trace_length, seed)
+    engine = build_fetch_engine(fetch)
+    bpred = TwoLevelBTB()
+    config = RealisticConfig(window=window)
+    plan = engine.plan(trace, bpred)
+    base = simulate_realistic(
+        trace, engine, bpred, vp_unit=None, config=config, plan=plan
+    )
+    unit = build_vp_unit(
+        trace,
+        predictor=predictor,
+        classified=classified,
+        n_banks=n_banks,
+        merge=merge,
+        hints=hints,
+    )
+    with_vp = simulate_realistic(
+        trace, engine, bpred, vp_unit=unit, config=config, plan=plan
+    )
+    return {
+        "workload": workload,
+        "base_ipc": base.ipc,
+        "vp_ipc": with_vp.ipc,
+        "speedup": speedup(with_vp, base),
+        "accuracy": unit.stats.accuracy,
+        "denial_rate": unit.stats.denial_rate,
+    }
+
+
+def compute_rate_cell(
+    workload: str, trace_length: int, seed: int, rate: int = 4
+) -> Dict[str, Any]:
+    """One fetch-rate sweep point: the ideal machine's VP speedup.
+
+    The paper's own knob (Figure 3.1's x-axis) with the default
+    classified stride predictor; no hardware unit, so accuracy/denial
+    are not part of this bundle.
+    """
+    trace = _get_trace(workload, trace_length, seed)
+    config = IdealConfig(fetch_rate=rate)
+    base = simulate_ideal(trace, config)
+    with_vp = simulate_ideal(
+        trace,
+        config,
+        vp_plan=plan_value_predictions(trace, make_predictor()),
+    )
+    return {
+        "workload": workload,
+        "base_ipc": base.ipc,
+        "vp_ipc": with_vp.ipc,
+        "speedup": speedup(with_vp, base),
+    }
+
+
+def ideal_vp_speedup(
+    trace: Trace, predictor: ValuePredictor, config: IdealConfig
+) -> float:
+    """Speedup of ``predictor`` over no VP on one ideal-machine config
+    (the triple every ideal-machine ablation study repeats)."""
+    base = simulate_ideal(trace, config)
+    with_vp = simulate_ideal(
+        trace, config, vp_plan=plan_value_predictions(trace, predictor)
+    )
+    return speedup(with_vp, base)
+
+
+def realistic_speedup_and_denial(
+    trace: Trace, vp_unit: Any, fetch: str = "trace_cache"
+) -> Tuple[float, float]:
+    """Speedup of ``vp_unit`` on the realistic machine under ``fetch``,
+    plus its bank-conflict denial rate."""
+    engine = build_fetch_engine(fetch)
+    bpred = TwoLevelBTB()
+    config = RealisticConfig()
+    plan = engine.plan(trace, bpred)
+    base = simulate_realistic(
+        trace, engine, bpred, vp_unit=None, config=config, plan=plan
+    )
+    with_vp = simulate_realistic(
+        trace, engine, bpred, vp_unit=vp_unit, config=config, plan=plan
+    )
+    return speedup(with_vp, base), vp_unit.stats.denial_rate
+
+
+__all__ = [
+    "BANKED_PREDICTOR_KINDS",
+    "BASELINE",
+    "CLASSIFIER_BITS",
+    "CLASSIFIER_THRESHOLD",
+    "FETCH_KINDS",
+    "build_banked_predictor",
+    "build_fetch_engine",
+    "build_vp_unit",
+    "compute_ablation_cell",
+    "compute_rate_cell",
+    "ideal_vp_speedup",
+    "realistic_speedup_and_denial",
+]

@@ -1,0 +1,436 @@
+"""Run ablation suites and adaptive sweeps, locally or served.
+
+Two execution paths, one cell identity:
+
+* **Engine** — cells fan out through
+  :class:`~repro.exec.engine.ExperimentEngine` (``jobs`` processes,
+  disk-cache memoization). A subset run (``--components a,b``) passes
+  the engine a filtered spec whose cells are *identical* to the
+  registered grid's, so its results are cache-shared with full runs.
+* **Served** — cells scatter across a running daemon / router cluster
+  through :class:`~repro.serve.client.ServeClient`: the cluster
+  resolves the same cell ids from the same registered specs, so the
+  returned ``key`` equals the local content key and the cluster's
+  tiers (memory / disk / coalescing) apply unchanged.
+
+Both paths return the same artifact dict: a deterministic ``report``
+(importance ranking or sweep trajectory, plus the content-keyed run
+IDs) and a volatile ``metrics`` block (timings, cache sources) that is
+quarantined from byte-stability assertions.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.ablate.registry import COMPONENTS, SWEEP_KNOBS, SweepKnob
+from repro.ablate.report import importance_report
+from repro.ablate.suite import (
+    SPEC,
+    SUITE_ID,
+    SWEEP_SPECS,
+    render_sweep,
+    suite_cell,
+    sweep_cell,
+)
+from repro.ablate import sweep as refine
+from repro.analysis.report import ExperimentResult
+from repro.exec.cache import DiskCache, compute_cell_key, default_cache_dir
+from repro.exec.cells import Cell, ExperimentSpec
+from repro.exec.engine import ExperimentEngine
+
+ARTIFACT_SCHEMA = "repro-ablate/1"
+
+_CACHED_SOURCES = ("memory", "disk", "coalesced", "memoized")
+
+
+def resolve_components(selection: Sequence[str]) -> List[str]:
+    """Validate a component selection; ``["all"]`` means every one."""
+    if list(selection) == ["all"]:
+        return list(COMPONENTS)
+    unknown = [name for name in selection if name not in COMPONENTS]
+    if unknown:
+        raise KeyError(
+            f"unknown component(s): {', '.join(unknown)}; "
+            f"known: {', '.join(COMPONENTS)}"
+        )
+    return list(dict.fromkeys(selection))
+
+
+def run_ids_of(cells: Sequence[Cell]) -> Dict[str, str]:
+    """Content-keyed run IDs, exactly as the cache and daemon key them."""
+    return {
+        cell.cell_id: compute_cell_key(
+            cell.experiment_id, cell.cell_id, cell.kwargs, cell.func
+        )
+        for cell in cells
+    }
+
+
+def _subset_spec(spec: ExperimentSpec, cells: List[Cell]) -> ExperimentSpec:
+    """A spec serving a fixed cell subset (identity-preserving)."""
+    return ExperimentSpec(
+        spec.experiment_id, lambda *_args, **_kwargs: cells, spec.assemble
+    )
+
+
+class Runner:
+    """Executes batches of cells on one of the two paths."""
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_dir: Optional[str] = None,
+        use_cache: bool = True,
+        connect: Optional[str] = None,
+    ) -> None:
+        self.jobs = max(1, jobs)
+        self.connect = connect
+        self.cache: Optional[DiskCache] = None
+        if use_cache and connect is None:
+            self.cache = DiskCache(cache_dir or default_cache_dir())
+        self.sources: Dict[str, int] = {}
+        self.failures: List[str] = []
+        self.span_seconds = 0.0
+
+    # -- accounting --------------------------------------------------------
+
+    def _count(self, source: str) -> None:
+        self.sources[source] = self.sources.get(source, 0) + 1
+
+    def computed(self) -> int:
+        return self.sources.get("executed", 0)
+
+    def cached(self) -> int:
+        return sum(self.sources.get(source, 0) for source in _CACHED_SOURCES)
+
+    def metrics(self, cells: int) -> Dict[str, Any]:
+        return {
+            "cells": cells,
+            "computed": self.computed(),
+            "cached": self.cached(),
+            "sources": dict(sorted(self.sources.items())),
+            "span_seconds": round(self.span_seconds, 4),
+            "path": "served" if self.connect else "engine",
+        }
+
+    # -- execution ---------------------------------------------------------
+
+    def execute(
+        self,
+        spec: ExperimentSpec,
+        cells: List[Cell],
+        trace_length: int,
+        seed: int,
+        workloads: Optional[Sequence[str]],
+    ) -> Dict[str, Any]:
+        """Run one batch; returns ``{cell_id: value}`` for the cells
+        that succeeded and appends failures to :attr:`failures`."""
+        started = time.perf_counter()
+        if self.connect is not None:
+            values = self._execute_served(cells, trace_length, seed, workloads)
+        else:
+            values = self._execute_engine(
+                spec, cells, trace_length, seed, workloads
+            )
+        self.span_seconds += time.perf_counter() - started
+        return values
+
+    def _execute_engine(
+        self,
+        spec: ExperimentSpec,
+        cells: List[Cell],
+        trace_length: int,
+        seed: int,
+        workloads: Optional[Sequence[str]],
+    ) -> Dict[str, Any]:
+        engine = ExperimentEngine(jobs=self.jobs, cache=self.cache)
+        report = engine.run(
+            [spec.experiment_id],
+            trace_length,
+            seed,
+            workloads,
+            specs={spec.experiment_id: _subset_spec(spec, cells)},
+        )
+        values: Dict[str, Any] = {}
+        for outcome in report.outcomes:
+            if not outcome.ok:
+                self.failures.append(f"{outcome.cell_id}: {outcome.error}")
+                continue
+            self._count("memoized" if outcome.memoized else "executed")
+            values[outcome.cell_id] = outcome.value
+        return values
+
+    def _execute_served(
+        self,
+        cells: List[Cell],
+        trace_length: int,
+        seed: int,
+        workloads: Optional[Sequence[str]],
+    ) -> Dict[str, Any]:
+        from repro.serve.client import (
+            ServeClient,
+            ServeConnectionError,
+            ServeError,
+            parse_address,
+        )
+
+        address = parse_address(self.connect or "")
+        names = list(workloads) if workloads else None
+
+        def one(cell: Cell) -> Tuple[str, Optional[Any], Optional[str]]:
+            try:
+                with ServeClient(address, timeout=120.0) as client:
+                    payload = client.run_cell(
+                        cell.experiment_id, cell.cell_id,
+                        trace_length, int(cell.kwargs.get("seed", seed)),
+                        names,
+                    )
+            except (ServeConnectionError, ServeError, OSError) as exc:
+                return cell.cell_id, None, f"{type(exc).__name__}: {exc}"
+            self._count(str(payload.get("source", "executed")))
+            return cell.cell_id, payload.get("value"), None
+
+        with ThreadPoolExecutor(max_workers=min(8, max(1, self.jobs))) as pool:
+            results = list(pool.map(one, cells))
+        values: Dict[str, Any] = {}
+        for cell_id, value, error in results:
+            if error is not None:
+                self.failures.append(f"{cell_id}: {error}")
+            else:
+                values[cell_id] = value
+        return values
+
+
+# -- the suite -------------------------------------------------------------
+
+def run_suite(
+    components: Sequence[str] = ("all",),
+    trace_length: int = 2_000,
+    seed: int = 0,
+    workloads: Optional[Sequence[str]] = None,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    use_cache: bool = True,
+    connect: Optional[str] = None,
+) -> Dict[str, Any]:
+    """The component ablation: baseline + one run per component."""
+    selected = resolve_components(components)
+    names = list(workloads) if workloads else None
+    cells = [
+        suite_cell(variant, workload, trace_length, seed)
+        for variant in [""] + selected
+        for workload in (names or _all_workloads())
+    ]
+    runner = Runner(jobs, cache_dir, use_cache, connect)
+    values = runner.execute(SPEC, cells, trace_length, seed, names)
+    artifact: Dict[str, Any] = {
+        "schema": ARTIFACT_SCHEMA,
+        "kind": "run",
+        "config": {
+            "components": selected,
+            "trace_length": trace_length,
+            "seed": seed,
+            "workloads": names or _all_workloads(),
+            "jobs": jobs,
+            "path": "served" if connect else "engine",
+        },
+        "metrics": runner.metrics(len(cells)),
+        "ok": not runner.failures,
+        "errors": runner.failures,
+    }
+    if runner.failures:
+        return artifact
+    titles = {name: COMPONENTS[name].title for name in selected}
+    report = importance_report(values, titles)
+    report["run_ids"] = run_ids_of(cells)
+    artifact["report"] = report
+    artifact["table"] = SPEC.assemble(values, trace_length, seed).to_dict()
+    return artifact
+
+
+def _all_workloads() -> List[str]:
+    from repro.workloads import WORKLOAD_NAMES
+
+    return list(WORKLOAD_NAMES)
+
+
+# -- the adaptive sweep ----------------------------------------------------
+
+def run_sweep(
+    knob_name: str,
+    rounds: int = 3,
+    n_seeds: int = 1,
+    trace_length: int = 2_000,
+    seed: int = 0,
+    workloads: Optional[Sequence[str]] = None,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    use_cache: bool = True,
+    connect: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Coarse-to-fine refinement of one numeric knob.
+
+    Each round evaluates the planned lattice values over every workload
+    and ``n_seeds`` seed restarts (``seed .. seed+n_seeds-1``); the
+    objective of a value is its mean VP speedup over all of them. The
+    plan for a round is a pure function of the objectives so far, so
+    the trajectory is identical serially, parallel, and resumed.
+    """
+    if knob_name not in SWEEP_KNOBS:
+        raise KeyError(
+            f"unknown sweep knob {knob_name!r}; known: "
+            + ", ".join(SWEEP_KNOBS)
+        )
+    knob = SWEEP_KNOBS[knob_name]
+    spec = SWEEP_SPECS[knob.experiment_id]
+    names = list(workloads) if workloads else None
+    seeds = list(range(seed, seed + max(1, n_seeds)))
+    runner = Runner(jobs, cache_dir, use_cache, connect)
+
+    objectives: Dict[int, float] = {}
+    gains: Dict[int, List[float]] = {}
+    history: List[Dict[str, Any]] = []
+    run_ids: Dict[str, str] = {}
+    merged_values: Dict[str, Any] = {}
+    converged = False
+    for round_index in range(max(1, rounds)):
+        planned = refine.plan_rounds(knob.lattice, objectives)
+        if not planned:
+            converged = True
+            break
+        for batch_seed in seeds:
+            batch = [
+                sweep_cell(knob, value, workload, trace_length, batch_seed)
+                for value in planned
+                for workload in (names or _all_workloads())
+            ]
+            for cell_id, key in run_ids_of(batch).items():
+                run_ids[f"s{batch_seed}/{cell_id}"] = key
+            values = runner.execute(
+                spec, batch, trace_length, batch_seed, names
+            )
+            if runner.failures:
+                return _sweep_failure_artifact(
+                    knob, rounds, seeds, trace_length, names, jobs,
+                    connect, runner, history, run_ids,
+                )
+            for cell_id, bundle in values.items():
+                value = _value_of(cell_id)
+                gains.setdefault(value, []).append(float(bundle["speedup"]))
+                if batch_seed == seeds[0]:
+                    merged_values[cell_id] = bundle
+        for value in planned:
+            objectives[value] = sum(gains[value]) / len(gains[value])
+        history.append({
+            "round": round_index + 1,
+            "values": list(planned),
+            "objectives": {str(v): objectives[v] for v in planned},
+            "best_so_far": refine.best_value(objectives),
+        })
+    else:
+        converged = refine.converged(knob.lattice, objectives)
+
+    best = refine.best_value(objectives)
+    lo, hi = refine.bracket(knob.lattice, objectives)
+    table = render_sweep(knob, merged_values)
+    return {
+        "schema": ARTIFACT_SCHEMA,
+        "kind": "sweep",
+        "config": _sweep_config(
+            knob, rounds, seeds, trace_length, names, jobs, connect
+        ),
+        "report": {
+            "knob": knob.name,
+            "kwarg": knob.kwarg,
+            "experiment_id": knob.experiment_id,
+            "lattice": list(knob.lattice),
+            "rounds": history,
+            "objectives": {str(v): objectives[v] for v in sorted(objectives)},
+            "best": best,
+            "region": [lo, hi],
+            "converged": converged,
+            "run_ids": run_ids,
+        },
+        "table": table.to_dict(),
+        "metrics": runner.metrics(len(run_ids)),
+        "ok": True,
+        "errors": [],
+    }
+
+
+def _value_of(cell_id: str) -> int:
+    from repro.ablate.suite import sweep_value_of
+
+    return sweep_value_of(cell_id)
+
+
+def _sweep_config(
+    knob: SweepKnob,
+    rounds: int,
+    seeds: List[int],
+    trace_length: int,
+    names: Optional[List[str]],
+    jobs: int,
+    connect: Optional[str],
+) -> Dict[str, Any]:
+    return {
+        "knob": knob.name,
+        "rounds": rounds,
+        "seeds": seeds,
+        "trace_length": trace_length,
+        "workloads": names or _all_workloads(),
+        "jobs": jobs,
+        "path": "served" if connect else "engine",
+    }
+
+
+def _sweep_failure_artifact(
+    knob: SweepKnob,
+    rounds: int,
+    seeds: List[int],
+    trace_length: int,
+    names: Optional[List[str]],
+    jobs: int,
+    connect: Optional[str],
+    runner: Runner,
+    history: List[Dict[str, Any]],
+    run_ids: Dict[str, str],
+) -> Dict[str, Any]:
+    return {
+        "schema": ARTIFACT_SCHEMA,
+        "kind": "sweep",
+        "config": _sweep_config(
+            knob, rounds, seeds, trace_length, names, jobs, connect
+        ),
+        "report": {"knob": knob.name, "rounds": history, "run_ids": run_ids},
+        "metrics": runner.metrics(len(run_ids)),
+        "ok": False,
+        "errors": runner.failures,
+    }
+
+
+def render_artifact_table(artifact: Dict[str, Any]) -> ExperimentResult:
+    """Rebuild the printable table of a ``repro-ablate`` artifact."""
+    if artifact.get("schema") != ARTIFACT_SCHEMA:
+        raise ValueError(
+            f"not a {ARTIFACT_SCHEMA} artifact "
+            f"(schema={artifact.get('schema')!r})"
+        )
+    if "table" not in artifact:
+        raise ValueError("artifact has no table (failed run?)")
+    return ExperimentResult.from_dict(artifact["table"])
+
+
+__all__ = [
+    "ARTIFACT_SCHEMA",
+    "Runner",
+    "render_artifact_table",
+    "resolve_components",
+    "run_ids_of",
+    "run_suite",
+    "run_sweep",
+    "SUITE_ID",
+]

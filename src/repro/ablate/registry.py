@@ -1,0 +1,179 @@
+"""The ablation registry: switchable components and sweep knobs.
+
+A **component** is one switchable piece of the full machine
+(:data:`repro.ablate.machine.BASELINE`): ablating it applies a small
+kwarg override — leave-one-out for on/off hardware, a re-flavor for
+the predictor, a downgrade for the fetch mechanism. The suite runs the
+baseline plus one run per component; importance is the baseline-minus-
+ablated speedup delta (see :mod:`repro.ablate.report`).
+
+A **sweep knob** is a numeric parameter with a fixed admissible
+lattice. The adaptive sweep (:mod:`repro.ablate.sweep`) only ever
+evaluates lattice points, so the complete reachable grid is enumerable
+— and statically lintable, and servable by cell id — even though a
+given run visits only a refined subset of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Mapping, Tuple
+
+from repro.ablate.machine import (
+    BASELINE,
+    compute_ablation_cell,
+    compute_rate_cell,
+)
+
+
+@dataclass(frozen=True)
+class Component:
+    """One switchable component of the full machine."""
+
+    name: str
+    title: str
+    overrides: Mapping[str, Any]
+    ablates: str  # what the leave-one-out / re-flavor run removes
+
+
+def _component(name: str, title: str, overrides: Dict[str, Any],
+               ablates: str) -> Component:
+    unknown = set(overrides) - set(BASELINE)
+    if unknown:
+        raise ValueError(
+            f"component {name!r} overrides unknown knob(s): {sorted(unknown)}"
+        )
+    return Component(name, title, overrides, ablates)
+
+
+# Declaration order is presentation order for unranked listings; the
+# report itself ranks by measured importance.
+COMPONENTS: Dict[str, Component] = {
+    component.name: component
+    for component in (
+        _component(
+            "predictor", "hybrid predictor",
+            {"predictor": "stride"},
+            "re-flavor: the hint-steered hybrid becomes a plain stride "
+            "predictor (Section 2/4 design space)",
+        ),
+        _component(
+            "classifier", "classification unit",
+            {"classified": False},
+            "drop the saturating-counter threshold to 0 so every "
+            "prediction is admitted (Section 4's accuracy filter off)",
+        ),
+        _component(
+            "banks", "prediction-table banking",
+            {"n_banks": 1},
+            "collapse the interleaved table to a single bank "
+            "(Section 4's sizing question at its floor)",
+        ),
+        _component(
+            "router", "address router / distributor",
+            {"n_banks": 1, "merge": False, "hints": False},
+            "degenerate routing: one bank, no duplicate-request "
+            "merging, no hint filtering (the whole Section 4 "
+            "distribution fabric off)",
+        ),
+        _component(
+            "merge", "duplicate-request merging",
+            {"merge": False},
+            "the router stops merging same-PC requests, so loop copies "
+            "fetched together conflict (the Figure 4.1 problem)",
+        ),
+        _component(
+            "hints", "opcode hint bits",
+            {"hints": False},
+            "no Section 4.2 hint offload: every candidate is routed, "
+            "inflating table traffic and conflicts",
+        ),
+        _component(
+            "trace_cache", "trace cache",
+            {"fetch": "collapsing"},
+            "fetch falls back from the trace cache to the "
+            "branch-address-cache + collapsing-buffer engine",
+        ),
+        _component(
+            "collapsing_fetch", "wide fetch path",
+            {"fetch": "sequential"},
+            "fetch falls all the way back to sequential, one taken "
+            "branch per cycle (no wide-fetch mechanism at all)",
+        ),
+        _component(
+            "window", "instruction window",
+            {"window": 16},
+            "shrink the 40-entry window to 16 (the lookahead value "
+            "prediction exploits)",
+        ),
+    )
+}
+
+
+def variant_kwargs(component: str = "") -> Dict[str, Any]:
+    """The flat machine kwargs of one variant ('' = the baseline)."""
+    if not component:
+        return dict(BASELINE)
+    return {**BASELINE, **COMPONENTS[component].overrides}
+
+
+@dataclass(frozen=True)
+class SweepKnob:
+    """One numeric knob the adaptive sweep may refine."""
+
+    name: str
+    experiment_id: str
+    kwarg: str
+    lattice: Tuple[int, ...]
+    cell_func: Callable[..., Dict[str, Any]]
+    base_kwargs: Mapping[str, Any]
+    title: str
+
+    def cell_kwargs(self, value: int) -> Dict[str, Any]:
+        if value not in self.lattice:
+            raise ValueError(
+                f"{self.name}: {value} is not on the lattice {self.lattice}"
+            )
+        return {**self.base_kwargs, self.kwarg: value}
+
+
+def _without(mapping: Mapping[str, Any], key: str) -> Dict[str, Any]:
+    return {k: v for k, v in mapping.items() if k != key}
+
+
+SWEEP_KNOBS: Dict[str, SweepKnob] = {
+    knob.name: knob
+    for knob in (
+        SweepKnob(
+            name="banks",
+            experiment_id="abl.sweep.banks",
+            kwarg="n_banks",
+            # AddressRouter admits powers of two only.
+            lattice=(1, 2, 4, 8, 16, 32, 64, 128),
+            cell_func=compute_ablation_cell,
+            base_kwargs=_without(BASELINE, "n_banks"),
+            title="prediction-table bank count (realistic machine)",
+        ),
+        SweepKnob(
+            name="fetch_rate",
+            experiment_id="abl.sweep.rate",
+            kwarg="rate",
+            lattice=(1, 2, 4, 6, 8, 12, 16, 20, 24, 28, 32, 36, 40),
+            cell_func=compute_rate_cell,
+            base_kwargs={},
+            title="fetch bandwidth (ideal machine, the Fig 3.1 axis)",
+        ),
+        SweepKnob(
+            name="window",
+            experiment_id="abl.sweep.window",
+            kwarg="window",
+            lattice=(8, 12, 16, 20, 24, 28, 32, 36, 40),
+            cell_func=compute_ablation_cell,
+            base_kwargs=_without(BASELINE, "window"),
+            title="instruction window (realistic machine)",
+        ),
+    )
+}
+
+
+__all__ = ["COMPONENTS", "Component", "SWEEP_KNOBS", "SweepKnob", "variant_kwargs"]

@@ -1,0 +1,159 @@
+"""Per-component importance scores from suite cell values.
+
+**Importance** of a component is the baseline-minus-ablated VP speedup,
+averaged over workloads: how much of the speedup disappears when the
+component is removed (re-flavored / downgraded). Positive importance
+means the component earns its hardware; *negative* importance means
+removing it helps — the component is flagged **harmful**. The deltas
+of the secondary metrics (accuracy, denial rate, base IPC) travel with
+each entry so a harmful flag can be diagnosed from the report alone.
+
+Everything here is pure arithmetic over the ``abl.suite`` cell values
+(:func:`repro.ablate.machine.compute_ablation_cell` bundles), so the
+report is byte-stable for a given cell-value set — the property the
+``--jobs 1`` / ``--jobs N`` / served equivalence tests pin down.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Optional
+
+from repro.analysis.report import ExperimentResult, format_percent
+
+BASELINE_VARIANT = "baseline"
+
+# Metrics averaged per variant, in bundle order.
+_METRICS = ("speedup", "accuracy", "denial_rate", "base_ipc", "vp_ipc")
+
+# |importance| below this is measurement noise, not a verdict.
+NEUTRAL_BAND = 1e-9
+
+
+def _mean(values: List[float]) -> float:
+    return sum(values) / len(values)
+
+
+def variant_of(cell_id: str) -> str:
+    """The variant half of a ``<variant>|<workload>`` suite cell id."""
+    return cell_id.split("|", 1)[0]
+
+
+def _variant_metrics(
+    values: Mapping[str, Mapping[str, Any]],
+) -> Dict[str, Dict[str, float]]:
+    grouped: Dict[str, List[Mapping[str, Any]]] = {}
+    for cell_id, value in values.items():
+        grouped.setdefault(variant_of(cell_id), []).append(value)
+    return {
+        variant: {
+            metric: _mean([float(row[metric]) for row in rows])
+            for metric in _METRICS
+        }
+        for variant, rows in grouped.items()
+    }
+
+
+def importance_report(
+    values: Mapping[str, Mapping[str, Any]],
+    titles: Optional[Mapping[str, str]] = None,
+) -> Dict[str, Any]:
+    """Rank components by importance from ``{cell_id: bundle}`` values.
+
+    ``values`` must cover the baseline variant; each non-baseline
+    variant becomes one ranked entry. ``titles`` optionally maps
+    component names to display titles (defaults to the name).
+    """
+    named = titles or {}
+    metrics = _variant_metrics(values)
+    if BASELINE_VARIANT not in metrics:
+        raise ValueError(
+            "importance needs baseline cells; got variants: "
+            + ", ".join(sorted(metrics))
+        )
+    baseline = metrics[BASELINE_VARIANT]
+    entries: List[Dict[str, Any]] = []
+    for variant in sorted(metrics):
+        if variant == BASELINE_VARIANT:
+            continue
+        ablated = metrics[variant]
+        delta = {
+            metric: ablated[metric] - baseline[metric] for metric in _METRICS
+        }
+        importance = baseline["speedup"] - ablated["speedup"]
+        if importance > NEUTRAL_BAND:
+            verdict = "helpful"
+        elif importance < -NEUTRAL_BAND:
+            verdict = "harmful"
+        else:
+            verdict = "neutral"
+        entries.append({
+            "component": variant,
+            "title": named.get(variant, variant),
+            "importance": importance,
+            "harmful": verdict == "harmful",
+            "verdict": verdict,
+            "metrics": ablated,
+            "delta": delta,
+        })
+    # Most important first; ties resolve by name so the ranking is total.
+    entries.sort(key=lambda entry: (-entry["importance"], entry["component"]))
+    for rank, entry in enumerate(entries, start=1):
+        entry["rank"] = rank
+    return {"baseline": baseline, "components": entries}
+
+
+def render_importance(
+    report: Mapping[str, Any], experiment_id: str = "abl.suite"
+) -> ExperimentResult:
+    """The ranked importance table (one row per component)."""
+    result = ExperimentResult(
+        experiment_id=experiment_id,
+        title="Component importance vs the full machine",
+        headers=["rank", "component", "importance", "d accuracy",
+                 "d denial", "d base IPC", "verdict"],
+    )
+    for entry in report["components"]:
+        delta = entry["delta"]
+        result.rows.append([
+            str(entry["rank"]),
+            str(entry["component"]),
+            format_percent(entry["importance"]),
+            format_percent(delta["accuracy"]),
+            format_percent(delta["denial_rate"]),
+            f"{delta['base_ipc']:+.2f}",
+            str(entry["verdict"]),
+        ])
+    baseline = report["baseline"]
+    result.notes.append(
+        "baseline (full machine): "
+        f"speedup {format_percent(baseline['speedup'])}, "
+        f"accuracy {format_percent(baseline['accuracy'])}, "
+        f"denial {format_percent(baseline['denial_rate'])}, "
+        f"base IPC {baseline['base_ipc']:.2f}"
+    )
+    result.notes.append(
+        "importance = baseline speedup - ablated speedup (averaged over "
+        "workloads); negative importance flags a harmful component"
+    )
+    harmful = [e["component"] for e in report["components"] if e["harmful"]]
+    if harmful:
+        result.notes.append("harmful: " + ", ".join(harmful))
+    return result
+
+
+def harmful_components(report: Mapping[str, Any]) -> List[str]:
+    return [e["component"] for e in report["components"] if e["harmful"]]
+
+
+def ranked_components(report: Mapping[str, Any]) -> Iterable[str]:
+    return [e["component"] for e in report["components"]]
+
+
+__all__ = [
+    "BASELINE_VARIANT",
+    "harmful_components",
+    "importance_report",
+    "ranked_components",
+    "render_importance",
+    "variant_of",
+]

@@ -1,0 +1,180 @@
+"""The ablation grids as first-class experiment specs.
+
+``abl.suite`` is the component-ablation grid: (baseline + one variant
+per registered component) x workload, each point a
+:func:`repro.ablate.machine.compute_ablation_cell` cell whose kwargs
+*are* the flat variant knobs. Cell ids are ``<variant>|<workload>``;
+run IDs are the engine's content keys over (experiment id, cell id,
+kwargs, function), so ablation runs cache, resume and serve exactly
+like fig/table cells.
+
+``abl.sweep.*`` (one grid per :data:`repro.ablate.registry.SWEEP_KNOBS`
+entry) enumerates the knob's **complete** admissible lattice x
+workload. The adaptive sweep only ever runs a refined subset, but
+registering the full lattice keeps the reachable space statically
+lintable (``repro-lint static --grids``) and resolvable by cell id on
+the serve cluster. Cell ids are ``<kwarg>=<value>|<workload>``.
+
+This module must not import :mod:`repro.experiments` (it is imported
+from that package's ``__init__``, like the differential-fuzz grid).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.ablate.machine import compute_ablation_cell
+from repro.ablate.registry import COMPONENTS, SWEEP_KNOBS, SweepKnob, variant_kwargs
+from repro.ablate.report import importance_report, render_importance
+from repro.analysis.report import ExperimentResult, format_percent
+from repro.exec.cells import Cell, ExperimentSpec
+from repro.workloads import WORKLOAD_NAMES
+
+SUITE_ID = "abl.suite"
+
+
+def _workload_names(workloads: Optional[Sequence[str]]) -> List[str]:
+    return list(workloads) if workloads else list(WORKLOAD_NAMES)
+
+
+def suite_variants() -> List[str]:
+    """Grid order: the baseline first, then declaration order."""
+    return [""] + list(COMPONENTS)
+
+
+def suite_cell(
+    variant: str, workload: str, trace_length: int, seed: int
+) -> Cell:
+    """One suite grid point ('' = the baseline variant)."""
+    label = variant or "baseline"
+    return Cell(
+        SUITE_ID,
+        f"{label}|{workload}",
+        compute_ablation_cell,
+        {
+            "workload": workload,
+            "trace_length": trace_length,
+            "seed": seed,
+            **variant_kwargs(variant),
+        },
+    )
+
+
+def cells(
+    trace_length: int,
+    seed: int = 0,
+    workloads: Optional[Sequence[str]] = None,
+) -> List[Cell]:
+    return [
+        suite_cell(variant, workload, trace_length, seed)
+        for variant in suite_variants()
+        for workload in _workload_names(workloads)
+    ]
+
+
+def assemble(
+    values: Dict[str, Any], trace_length: int = 0, seed: int = 0
+) -> ExperimentResult:
+    del trace_length, seed
+    titles = {name: component.title for name, component in COMPONENTS.items()}
+    return render_importance(importance_report(values, titles), SUITE_ID)
+
+
+SPEC = ExperimentSpec(SUITE_ID, cells, assemble)
+
+
+# -- sweep grids -----------------------------------------------------------
+
+def sweep_cell(
+    knob: SweepKnob, value: int, workload: str, trace_length: int, seed: int
+) -> Cell:
+    """One sweep grid point (``value`` must sit on the knob's lattice)."""
+    return Cell(
+        knob.experiment_id,
+        f"{knob.kwarg}={value}|{workload}",
+        knob.cell_func,
+        {
+            "workload": workload,
+            "trace_length": trace_length,
+            "seed": seed,
+            **knob.cell_kwargs(value),
+        },
+    )
+
+
+def sweep_value_of(cell_id: str) -> int:
+    """The lattice value half of a ``<kwarg>=<value>|<workload>`` id."""
+    head = cell_id.split("|", 1)[0]
+    return int(head.split("=", 1)[1])
+
+
+def render_sweep(
+    knob: SweepKnob, values: Dict[str, Any]
+) -> ExperimentResult:
+    by_value: Dict[int, List[float]] = {}
+    for cell_id, bundle in values.items():
+        by_value.setdefault(sweep_value_of(cell_id), []).append(
+            float(bundle["speedup"])
+        )
+    objectives = {
+        value: sum(gains) / len(gains) for value, gains in by_value.items()
+    }
+    best = max(sorted(objectives), key=lambda value: objectives[value])
+    result = ExperimentResult(
+        experiment_id=knob.experiment_id,
+        title=f"Sweep: {knob.title}",
+        headers=[knob.kwarg, "avg VP speedup", ""],
+    )
+    for value in sorted(objectives):
+        result.rows.append([
+            str(value),
+            format_percent(objectives[value]),
+            "<-- best" if value == best else "",
+        ])
+    result.notes.append(
+        f"objective: mean VP speedup over workloads; lattice {knob.lattice}"
+    )
+    return result
+
+
+def make_sweep_spec(knob: SweepKnob) -> ExperimentSpec:
+    """The full-lattice grid spec for one sweep knob."""
+
+    def sweep_cells(
+        trace_length: int,
+        seed: int = 0,
+        workloads: Optional[Sequence[str]] = None,
+    ) -> List[Cell]:
+        return [
+            sweep_cell(knob, value, workload, trace_length, seed)
+            for value in knob.lattice
+            for workload in _workload_names(workloads)
+        ]
+
+    def sweep_assemble(
+        values: Dict[str, Any], trace_length: int = 0, seed: int = 0
+    ) -> ExperimentResult:
+        del trace_length, seed
+        return render_sweep(knob, values)
+
+    return ExperimentSpec(knob.experiment_id, sweep_cells, sweep_assemble)
+
+
+SWEEP_SPECS: Dict[str, ExperimentSpec] = {
+    knob.experiment_id: make_sweep_spec(knob) for knob in SWEEP_KNOBS.values()
+}
+
+
+__all__ = [
+    "SPEC",
+    "SUITE_ID",
+    "SWEEP_SPECS",
+    "assemble",
+    "cells",
+    "make_sweep_spec",
+    "render_sweep",
+    "suite_cell",
+    "suite_variants",
+    "sweep_cell",
+    "sweep_value_of",
+]

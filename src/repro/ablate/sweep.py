@@ -1,0 +1,114 @@
+"""Deterministic coarse-to-fine refinement over a fixed lattice.
+
+The adaptive sweep never invents parameter values: it selects
+*indices* of the knob's admissible lattice. Round one samples the
+lattice coarsely (both endpoints plus evenly spaced interior points);
+every later round looks at the best value so far, finds its nearest
+evaluated neighbours on each side, and bisects the two surrounding
+gaps. When no unevaluated lattice point remains between the
+neighbours, the sweep has converged: the bracket *is* the best region
+at lattice resolution.
+
+Everything is a pure function of the (value -> objective) map, and
+objectives are deterministic cell values — so a sweep reaches the same
+best region serially, under ``--jobs N``, and resumed after a kill.
+Ties in the objective resolve toward the smaller value (the cheaper
+hardware).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+FIRST_ROUND_POINTS = 5
+
+
+def first_round(lattice: Sequence[int],
+                points: int = FIRST_ROUND_POINTS) -> List[int]:
+    """The coarse pass: endpoints plus evenly spaced interior values."""
+    if not lattice:
+        raise ValueError("empty lattice")
+    count = min(points, len(lattice))
+    if count == 1:
+        return [lattice[0]]
+    span = len(lattice) - 1
+    indices = sorted({
+        round(position * span / (count - 1)) for position in range(count)
+    })
+    return [lattice[index] for index in indices]
+
+
+def best_value(objectives: Mapping[int, float]) -> int:
+    """Highest objective; ties go to the smaller (cheaper) value."""
+    if not objectives:
+        raise ValueError("no objectives evaluated yet")
+    return min(objectives, key=lambda value: (-objectives[value], value))
+
+
+def bracket(lattice: Sequence[int],
+            objectives: Mapping[int, float]) -> Tuple[int, int]:
+    """The evaluated neighbours surrounding the best value (the best
+    region: the optimum lies inside ``[lo, hi]`` if it is on the
+    lattice at all)."""
+    best = best_value(objectives)
+    evaluated = sorted(value for value in objectives if value in set(lattice))
+    position = evaluated.index(best)
+    lo = evaluated[position - 1] if position > 0 else best
+    hi = evaluated[position + 1] if position + 1 < len(evaluated) else best
+    return lo, hi
+
+
+def next_round(lattice: Sequence[int],
+               objectives: Mapping[int, float]) -> List[int]:
+    """Bisect the gaps around the best value; [] means converged."""
+    order = {value: index for index, value in enumerate(lattice)}
+    lo, hi = bracket(lattice, objectives)
+    best = best_value(objectives)
+    candidates = []
+    for start, stop in ((order[lo], order[best]), (order[best], order[hi])):
+        gap = [
+            index for index in range(start + 1, stop)
+            if lattice[index] not in objectives
+        ]
+        if gap:
+            candidates.append(lattice[gap[len(gap) // 2]])
+    return sorted(set(candidates))
+
+
+def plan_rounds(
+    lattice: Sequence[int],
+    evaluated: Mapping[int, float],
+) -> List[int]:
+    """The next batch of values for whatever state the sweep is in:
+    the coarse pass when nothing is evaluated, a bisection otherwise.
+    Already-evaluated values are never re-planned (that is what makes
+    a killed sweep resume instead of re-run)."""
+    if not evaluated:
+        return first_round(lattice)
+    return next_round(lattice, evaluated)
+
+
+def converged(lattice: Sequence[int],
+              objectives: Mapping[int, float]) -> bool:
+    return bool(objectives) and not next_round(lattice, objectives)
+
+
+def merge_objectives(
+    rounds: Sequence[Mapping[int, float]],
+) -> Dict[int, float]:
+    merged: Dict[int, float] = {}
+    for snapshot in rounds:
+        merged.update(snapshot)
+    return merged
+
+
+__all__ = [
+    "FIRST_ROUND_POINTS",
+    "best_value",
+    "bracket",
+    "converged",
+    "first_round",
+    "merge_objectives",
+    "next_round",
+    "plan_rounds",
+]

@@ -84,13 +84,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         seed=args.seed,
         workloads=args.workload,
     )
-    blob = json.dumps(report, sort_keys=True, indent=2) + "\n"
     if args.output == "-":
-        sys.stdout.write(blob)
+        sys.stdout.write(json.dumps(report, sort_keys=True, indent=2) + "\n")
     else:
         path = args.output or "BENCH_8.json"
+        # A committed artifact may also carry a "serve" summary written
+        # by `repro-serve bench --record`; rewriting the backend
+        # timings must not drop it.
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                existing = json.load(handle)
+            if isinstance(existing, dict) and "serve" in existing:
+                report = {**report, "serve": existing["serve"]}
+        except (OSError, ValueError):
+            pass
         with open(path, "w", encoding="utf-8") as handle:
-            handle.write(blob)
+            handle.write(json.dumps(report, sort_keys=True, indent=2) + "\n")
         print(f"wrote {path}")
     print(_format_report(report))
     if report["parity"] != "identical":

@@ -74,6 +74,18 @@ from repro.verify import diffcells as _diffcells  # noqa: E402
 
 EXPERIMENT_SPECS[_diffcells.EXPERIMENT_ID] = _diffcells.SPEC
 
+# The ablation framework's grids (repro.ablate): the component suite
+# plus one full-lattice grid per sweep knob. Imported late for the
+# same reason as diffcells — repro.ablate.suite never imports this
+# package — and registered so the engine, the grid lints and the serve
+# cluster all resolve ablation cells like fig/table cells. These are
+# driven by ``repro-ablate`` rather than the runner, so they are not
+# in ALL_EXPERIMENTS.
+from repro.ablate import suite as _ablate_suite  # noqa: E402
+
+EXPERIMENT_SPECS[_ablate_suite.SUITE_ID] = _ablate_suite.SPEC
+EXPERIMENT_SPECS.update(_ablate_suite.SWEEP_SPECS)
+
 __all__ = [
     "ALL_EXPERIMENTS",
     "DEFAULT_TRACE_LENGTH",

@@ -13,12 +13,24 @@
 * stability — trace-length sensitivity of the headline result.
 * fetch — fetch-mechanism comparison (sequential, collapsing
   buffer, trace cache) in the spirit of [18].
+
+Machine assembly is registry-backed: every study builds its fetch
+engines and VP units through :mod:`repro.ablate.machine` — the same
+builders behind the ``repro-ablate`` component registry and its
+``abl.suite`` / ``abl.sweep.*`` grids — so these historical tables and
+the framework's importance scores cannot drift apart.
 """
 
 from __future__ import annotations
 
 from typing import Optional, Sequence
 
+from repro.ablate.machine import (
+    build_fetch_engine,
+    build_vp_unit,
+    ideal_vp_speedup,
+    realistic_speedup_and_denial,
+)
 from repro.analysis.report import ExperimentResult, format_percent
 from repro.bpred import TwoLevelBTB
 from repro.core import (
@@ -31,7 +43,6 @@ from repro.core import (
 )
 from repro.experiments.common import DEFAULT_TRACE_LENGTH, mean, workload_traces
 from repro.experiments.fig5_3 import make_vp_unit
-from repro.fetch import TraceCacheFetchEngine
 from repro.vpred import (
     ClassifiedPredictor,
     SaturatingClassifier,
@@ -39,18 +50,6 @@ from repro.vpred import (
     make_predictor,
     profile_hints,
 )
-
-
-def _tc_speedup_and_denial(trace, vp_unit) -> tuple:
-    """Speedup of ``vp_unit`` on the trace-cache machine, plus its
-    bank-conflict denial rate."""
-    engine = TraceCacheFetchEngine()
-    bpred = TwoLevelBTB()
-    config = RealisticConfig()
-    plan = engine.plan(trace, bpred)
-    base = simulate_realistic(trace, engine, bpred, None, config, plan)
-    with_vp = simulate_realistic(trace, engine, bpred, vp_unit, config, plan)
-    return speedup(with_vp, base), vp_unit.stats.denial_rate
 
 
 def run_banks(
@@ -69,7 +68,9 @@ def run_banks(
     for n_banks in bank_counts:
         gains, denials = [], []
         for trace in traces.values():
-            gain, denial = _tc_speedup_and_denial(trace, make_vp_unit(n_banks))
+            gain, denial = realistic_speedup_and_denial(
+                trace, make_vp_unit(n_banks)
+            )
             gains.append(gain)
             denials.append(denial)
         result.rows.append(
@@ -95,8 +96,12 @@ def run_merge(
     )
     on_gains, off_gains = [], []
     for name, trace in traces.items():
-        gain_on, _d = _tc_speedup_and_denial(trace, make_vp_unit(merge_requests=True))
-        gain_off, _d = _tc_speedup_and_denial(trace, make_vp_unit(merge_requests=False))
+        gain_on, _d = realistic_speedup_and_denial(
+            trace, make_vp_unit(merge_requests=True)
+        )
+        gain_off, _d = realistic_speedup_and_denial(
+            trace, make_vp_unit(merge_requests=False)
+        )
         on_gains.append(gain_on)
         off_gains.append(gain_off)
         result.rows.append(
@@ -129,15 +134,11 @@ def run_predictor(
     sums = {kind: [] for kind in kinds}
     config = IdealConfig(fetch_rate=fetch_rate)
     for name, trace in traces.items():
-        base = simulate_ideal(trace, config)
         cells = [name]
         for kind in kinds:
             hints = profile_hints(trace) if kind == "hybrid" else None
             predictor = make_predictor(kind=kind, hints=hints)
-            with_vp = simulate_ideal(
-                trace, config, vp_plan=plan_value_predictions(trace, predictor)
-            )
-            gain = speedup(with_vp, base)
+            gain = ideal_vp_speedup(trace, predictor, config)
             sums[kind].append(gain)
             cells.append(format_percent(gain))
         result.rows.append(cells)
@@ -174,11 +175,7 @@ def run_classifier(
                     StridePredictor(),
                     SaturatingClassifier(bits=bits, threshold=threshold),
                 )
-            base = simulate_ideal(trace, config)
-            with_vp = simulate_ideal(
-                trace, config, vp_plan=plan_value_predictions(trace, predictor)
-            )
-            gains.append(speedup(with_vp, base))
+            gains.append(ideal_vp_speedup(trace, predictor, config))
             accuracies.append(predictor.stats.accuracy)
         result.rows.append(
             [label, format_percent(mean(gains)), format_percent(mean(accuracies))]
@@ -209,11 +206,8 @@ def run_window(
         config = IdealConfig(fetch_rate=fetch_rate, window=window)
         ipcs, gains = [], []
         for trace in traces.values():
-            vp_plan = plan_value_predictions(trace, make_predictor())
-            base = simulate_ideal(trace, config)
-            with_vp = simulate_ideal(trace, config, vp_plan=vp_plan)
-            ipcs.append(base.ipc)
-            gains.append(speedup(with_vp, base))
+            ipcs.append(simulate_ideal(trace, config).ipc)
+            gains.append(ideal_vp_speedup(trace, make_predictor(), config))
         result.rows.append(
             [str(window), f"{mean(ipcs):.2f}", format_percent(mean(gains))]
         )
@@ -274,11 +268,6 @@ def run_hints(
 ) -> ExperimentResult:
     """ABL-hints: opcode-hint offload of the address router (Section 4.2:
     hints remove non-candidates before routing, cutting conflicts)."""
-    from repro.bpred import TwoLevelBTB
-    from repro.fetch import TraceCacheFetchEngine
-    from repro.vphw import AddressRouter, BankedVPUnit
-    from repro.vpred import HybridPredictor
-
     traces = workload_traces(trace_length, seed, workloads)
     config = RealisticConfig()
     result = ExperimentResult(
@@ -291,17 +280,11 @@ def run_hints(
         cells = [name]
         stats_pair = []
         for hinted in (False, True):
-            hints = profile_hints(trace) if hinted else None
-            engine = TraceCacheFetchEngine()
+            engine = build_fetch_engine("trace_cache")
             bpred = TwoLevelBTB()
             plan = engine.plan(trace, bpred)
             base = simulate_realistic(trace, engine, bpred, None, config, plan)
-            unit = BankedVPUnit(
-                HybridPredictor(hints=hints),
-                router=AddressRouter(n_banks=4),
-                classifier=SaturatingClassifier(bits=2, threshold=2),
-                hints=hints,
-            )
+            unit = build_vp_unit(trace, n_banks=4, hints=hinted)
             with_vp = simulate_realistic(trace, engine, bpred, unit, config, plan)
             stats_pair.append((unit.stats, speedup(with_vp, base)))
         (without, gain_without), (with_, gain_with) = stats_pair
@@ -338,17 +321,12 @@ def run_stability(
         title="Headline (Fig 3.1 @ rate 16) vs trace length",
         headers=["trace length", "avg VP speedup @ BW=16"],
     )
-    from repro.vpred import make_predictor as _make
-
     for length in lengths:
         traces = workload_traces(length, seed, workloads)
-        gains = []
-        for trace in traces.values():
-            vp_plan = plan_value_predictions(trace, _make())
-            base = simulate_ideal(trace, IdealConfig(fetch_rate=16))
-            with_vp = simulate_ideal(trace, IdealConfig(fetch_rate=16),
-                                     vp_plan=vp_plan)
-            gains.append(speedup(with_vp, base))
+        gains = [
+            ideal_vp_speedup(trace, make_predictor(), IdealConfig(fetch_rate=16))
+            for trace in traces.values()
+        ]
         result.rows.append([str(length), format_percent(mean(gains))])
     result.notes.append(
         "shape stability across lengths is what licenses 30k-instruction "
@@ -369,20 +347,16 @@ def run_fetch_mechanisms(
     trace cache, all under the 2-level BTB with the same conventional
     VP unit, so differences isolate the fetch engine.
     """
-    from repro.fetch import (
-        CollapsingBufferFetchEngine,
-        SequentialFetchEngine,
-        TraceCacheFetchEngine,
-    )
+    from repro.fetch import SequentialFetchEngine
     from repro.vphw import AbstractVPUnit
 
     traces = workload_traces(trace_length, seed, workloads)
     config = RealisticConfig()
     engines = [
-        ("seq, 1 taken/cycle", lambda: SequentialFetchEngine(width=40, max_taken=1)),
+        ("seq, 1 taken/cycle", lambda: build_fetch_engine("sequential")),
         ("seq, 4 taken/cycle", lambda: SequentialFetchEngine(width=40, max_taken=4)),
-        ("collapsing buffer (2x16)", lambda: CollapsingBufferFetchEngine()),
-        ("trace cache (64x32/6)", lambda: TraceCacheFetchEngine()),
+        ("collapsing buffer (2x16)", lambda: build_fetch_engine("collapsing")),
+        ("trace cache (64x32/6)", lambda: build_fetch_engine("trace_cache")),
     ]
     result = ExperimentResult(
         experiment_id="abl.fetch",
@@ -431,13 +405,10 @@ def run_seeds(
     gains_by_seed = []
     for s in range(seed, seed + n_seeds):
         traces = workload_traces(trace_length, s, workloads)
-        gains = []
-        for trace in traces.values():
-            vp_plan = plan_value_predictions(trace, make_predictor())
-            base = simulate_ideal(trace, IdealConfig(fetch_rate=16))
-            with_vp = simulate_ideal(trace, IdealConfig(fetch_rate=16),
-                                     vp_plan=vp_plan)
-            gains.append(speedup(with_vp, base))
+        gains = [
+            ideal_vp_speedup(trace, make_predictor(), IdealConfig(fetch_rate=16))
+            for trace in traces.values()
+        ]
         gains_by_seed.append(mean(gains))
         result.rows.append([str(s), format_percent(mean(gains))])
     spread = max(gains_by_seed) - min(gains_by_seed)

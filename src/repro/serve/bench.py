@@ -1,0 +1,365 @@
+"""Pure load benchmark for the serve cluster (no fault injection).
+
+Split out of the chaos harness: where :mod:`repro.serve.chaos` proves
+the cluster *survives* faults, this module measures what it *costs* to
+serve — open-loop request latency (p50/p99/max) and throughput over a
+seeded cached/uncached request mix, against the same supervised
+topology (:class:`~repro.serve.cluster.LocalCluster`).
+
+The mix is the knob: ``cached_fraction`` of the arrivals target a
+prewarmed working set (every distinct cell is computed once before the
+clock starts, so these requests exercise the memory/disk tiers), the
+rest carry a unique trace seed per request and therefore always miss
+(cold execution under load). The whole schedule — arrival times, cell
+choice, hot/cold split — derives from one ``random.Random(seed)``, so
+a run is replayable exactly.
+
+``repro-serve bench`` drives this and
+:func:`record_serve_bench` folds the summary into the committed
+``BENCH_*.json`` artifact under a ``"serve"`` key, next to the backend
+timings.
+
+Supervisor code, like the chaos harness: exempt from repro-lint
+RPS001 (see ``repro.verify.rules.serve``).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.serve.client import (
+    ServeClient,
+    ServeConnectionError,
+    ServeError,
+)
+from repro.serve.cluster import LocalCluster, percentile
+from repro.serve.router import RouterConfig
+from repro.serve.service import GridCatalog
+
+# Uncached arrivals take trace seeds from this offset upwards so they
+# can never collide with the prewarmed working set at ``trace_seed``.
+COLD_SEED_OFFSET = 100_000
+
+
+@dataclass(frozen=True)
+class BenchConfig:
+    """One load benchmark: cluster shape, request mix, duration."""
+
+    workers: int = 2
+    seed: int = 0
+    duration: float = 5.0
+    rate: float = 50.0            # open-loop requests per second
+    concurrency: int = 8          # load generator threads
+    experiment: str = "fig3.1"
+    trace_length: int = 2_000
+    trace_seed: int = 0
+    workloads: Optional[Tuple[str, ...]] = None
+    cached_fraction: float = 0.8  # share of arrivals hitting the warm set
+    request_deadline: float = 30.0
+    worker_pool: str = "thread"
+    worker_slots: int = 2
+    startup_timeout: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.duration <= 0:
+            raise ValueError(f"duration must be > 0, got {self.duration}")
+        if self.rate <= 0:
+            raise ValueError(f"rate must be > 0, got {self.rate}")
+        if self.concurrency < 1:
+            raise ValueError(
+                f"concurrency must be >= 1, got {self.concurrency}"
+            )
+        if not 0.0 <= self.cached_fraction <= 1.0:
+            raise ValueError(
+                f"cached_fraction must be within [0, 1], got "
+                f"{self.cached_fraction}"
+            )
+
+
+@dataclass
+class BenchRecord:
+    """One benchmark request's fate."""
+
+    cell_id: str
+    ok: bool
+    latency: float
+    cached_lane: bool
+    source: str = ""
+    error: str = ""
+
+
+# One scheduled arrival: (at_seconds, cell_id, trace_seed, cached_lane).
+Arrival = Tuple[float, str, int, bool]
+
+
+def build_schedule(
+    config: BenchConfig, cell_ids: List[str]
+) -> List[Arrival]:
+    """The seeded open-loop arrival schedule.
+
+    Deterministic in ``config.seed``: arrival k lands at ``k / rate``,
+    draws its cell uniformly, and is a warm-set request with
+    probability ``cached_fraction`` — otherwise it carries a unique
+    cold trace seed (``trace_seed + COLD_SEED_OFFSET + k``) so it can
+    never be served from any tier.
+    """
+    if not cell_ids:
+        raise ValueError("no cells to schedule")
+    rng = random.Random(config.seed)
+    total = max(1, int(config.duration * config.rate))
+    schedule: List[Arrival] = []
+    for index in range(total):
+        cached = rng.random() < config.cached_fraction
+        seed = (
+            config.trace_seed
+            if cached
+            else config.trace_seed + COLD_SEED_OFFSET + index
+        )
+        schedule.append(
+            (index / config.rate, rng.choice(cell_ids), seed, cached)
+        )
+    return schedule
+
+
+class BenchRun:
+    """One full boot-prewarm-load-report cycle."""
+
+    def __init__(self, config: BenchConfig, scratch: Path) -> None:
+        self.config = config
+        self.scratch = scratch
+        self.cluster = LocalCluster(
+            config.workers,
+            scratch,
+            worker_slots=config.worker_slots,
+            worker_pool=config.worker_pool,
+            router_config=RouterConfig(
+                probe_interval=0.5,
+                request_deadline=config.request_deadline,
+            ),
+            startup_timeout=config.startup_timeout,
+        )
+        self.records: List[BenchRecord] = []
+        self._records_lock = threading.Lock()
+        self._started_at = 0.0
+
+    # -- schedule ----------------------------------------------------------
+
+    def _cell_ids(self) -> List[str]:
+        from repro.experiments import EXPERIMENT_SPECS
+
+        catalog = GridCatalog(dict(EXPERIMENT_SPECS))
+        grid = catalog.grid(
+            self.config.experiment,
+            self.config.trace_length,
+            self.config.trace_seed,
+            self.config.workloads,
+        )
+        return list(grid)
+
+    # -- load --------------------------------------------------------------
+
+    def _issue(
+        self, client: ServeClient, cell_id: str, seed: int, cached: bool
+    ) -> BenchRecord:
+        start = time.monotonic()
+        try:
+            payload = client.run_cell(
+                self.config.experiment,
+                cell_id,
+                self.config.trace_length,
+                seed,
+                list(self.config.workloads)
+                if self.config.workloads
+                else None,
+            )
+        except (ServeConnectionError, ServeError, OSError) as exc:
+            return BenchRecord(
+                cell_id=cell_id,
+                ok=False,
+                latency=time.monotonic() - start,
+                cached_lane=cached,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+        return BenchRecord(
+            cell_id=cell_id,
+            ok=True,
+            latency=time.monotonic() - start,
+            cached_lane=cached,
+            source=str(payload.get("source", "")),
+        )
+
+    def _prewarm(self, cell_ids: List[str]) -> int:
+        """Compute the warm working set once before the clock starts."""
+        warmed = 0
+        with ServeClient(
+            self.cluster.address,
+            timeout=self.config.request_deadline,
+            deadline=self.config.request_deadline,
+        ) as client:
+            for cell_id in cell_ids:
+                client.run_cell(
+                    self.config.experiment,
+                    cell_id,
+                    self.config.trace_length,
+                    self.config.trace_seed,
+                    list(self.config.workloads)
+                    if self.config.workloads
+                    else None,
+                )
+                warmed += 1
+        return warmed
+
+    def _load_thread(self, arrivals: List[Arrival]) -> None:
+        with ServeClient(
+            self.cluster.address,
+            timeout=5.0,
+            retries=4,
+            backoff=0.05,
+            deadline=self.config.request_deadline,
+            jitter_seed=self.config.seed,
+        ) as client:
+            for at, cell_id, seed, cached in arrivals:
+                now = time.monotonic() - self._started_at
+                if at > now:
+                    time.sleep(at - now)  # open-loop pacing
+                record = self._issue(client, cell_id, seed, cached)
+                with self._records_lock:
+                    self.records.append(record)
+
+    # -- the run -----------------------------------------------------------
+
+    def execute(self) -> Dict[str, Any]:
+        """Boot, prewarm, load, drain; returns the report."""
+        self.cluster.boot()
+        try:
+            cell_ids = self._cell_ids()
+            schedule = build_schedule(self.config, cell_ids)
+            warmed = self._prewarm(cell_ids)
+            # Deal arrivals round-robin to the load threads: each
+            # thread's sub-schedule is still in arrival order.
+            lanes: List[List[Arrival]] = [
+                schedule[index :: self.config.concurrency]
+                for index in range(self.config.concurrency)
+            ]
+            self._started_at = time.monotonic()
+            threads = [
+                threading.Thread(
+                    target=self._load_thread,
+                    args=(lane,),
+                    name=f"bench-load-{index}",
+                )
+                for index, lane in enumerate(lanes)
+                if lane
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            elapsed = time.monotonic() - self._started_at
+        finally:
+            drained = self.cluster.shutdown()
+        return self._report(warmed, elapsed, drained)
+
+    def _report(
+        self, warmed: int, elapsed: float, drained: bool
+    ) -> Dict[str, Any]:
+        latencies = sorted(r.latency for r in self.records)
+        cached = sorted(
+            r.latency for r in self.records if r.ok and r.cached_lane
+        )
+        uncached = sorted(
+            r.latency for r in self.records if r.ok and not r.cached_lane
+        )
+        lost = [r for r in self.records if not r.ok]
+        sources: Dict[str, int] = {}
+        for record in self.records:
+            if record.ok and record.source:
+                sources[record.source] = sources.get(record.source, 0) + 1
+        ok_count = sum(1 for r in self.records if r.ok)
+        report: Dict[str, Any] = {
+            "config": {
+                "workers": self.config.workers,
+                "seed": self.config.seed,
+                "duration": self.config.duration,
+                "rate": self.config.rate,
+                "concurrency": self.config.concurrency,
+                "experiment": self.config.experiment,
+                "trace_length": self.config.trace_length,
+                "cached_fraction": self.config.cached_fraction,
+            },
+            "requests": {
+                "total": len(self.records),
+                "ok": ok_count,
+                "lost": len(lost),
+                "prewarmed_cells": warmed,
+            },
+            "latency": {
+                "p50": round(percentile(latencies, 0.50), 4),
+                "p99": round(percentile(latencies, 0.99), 4),
+                "max": round(latencies[-1], 4) if latencies else 0.0,
+                "cached_p50": round(percentile(cached, 0.50), 4),
+                "uncached_p50": round(percentile(uncached, 0.50), 4),
+            },
+            "throughput_rps": (
+                round(ok_count / elapsed, 2) if elapsed > 0 else 0.0
+            ),
+            "sources": dict(sorted(sources.items())),
+            "clean_drain": drained,
+            "lost_errors": [r.error for r in lost][:10],
+        }
+        report["passed"] = len(lost) == 0 and drained
+        return report
+
+
+def run_serve_bench(config: BenchConfig, scratch: Path) -> Dict[str, Any]:
+    """Run one load benchmark; the module-level entry the CLI uses."""
+    return BenchRun(config, scratch).execute()
+
+
+def record_serve_bench(report: Dict[str, Any], path: Path) -> Dict[str, Any]:
+    """Fold a bench report into a ``BENCH_*.json`` artifact.
+
+    Merges the durable summary under the ``"serve"`` key (creating the
+    file as ``{"serve": ...}`` if absent), leaving every other key —
+    the backend timings ``repro-bench`` writes — untouched. Returns
+    the artifact as written.
+    """
+    artifact: Dict[str, Any] = {}
+    if path.exists():
+        with open(path, "r", encoding="utf-8") as handle:
+            loaded = json.load(handle)
+        if not isinstance(loaded, dict):
+            raise ValueError(f"{path} does not hold a JSON object")
+        artifact = loaded
+    artifact["serve"] = {
+        "config": report["config"],
+        "requests": report["requests"],
+        "latency": report["latency"],
+        "throughput_rps": report["throughput_rps"],
+        "sources": report["sources"],
+        "passed": report["passed"],
+    }
+    blob = json.dumps(artifact, indent=2, sort_keys=True) + "\n"
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(blob)
+    return artifact
+
+
+__all__ = [
+    "Arrival",
+    "BenchConfig",
+    "BenchRecord",
+    "BenchRun",
+    "COLD_SEED_OFFSET",
+    "build_schedule",
+    "record_serve_bench",
+    "run_serve_bench",
+]

@@ -40,26 +40,29 @@ here and only here within ``repro.serve``.
 from __future__ import annotations
 
 import json
-import os
 import random
-import signal
 import socket
-import subprocess
-import sys
 import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.serve.client import (
     ServeClient,
     ServeConnectionError,
     ServeError,
 )
+from repro.serve.cluster import LocalCluster, free_port, percentile
+from repro.serve.cluster import ManagedWorker as _BaseWorker
 from repro.serve.daemon import ExperimentDaemon
 from repro.serve.router import RouterConfig, RouterService
 from repro.serve.service import GridCatalog
+
+# Back-compat aliases: these lived here before the cluster plumbing
+# moved to repro.serve.cluster.
+_free_port = free_port
+_percentile = percentile
 
 FAULT_KINDS = ("kill", "hang", "corrupt", "garble")
 
@@ -152,102 +155,10 @@ class RequestRecord:
     error: str = ""
 
 
-def _free_port() -> int:
-    probe = socket.socket()
-    probe.bind(("127.0.0.1", 0))
-    port = probe.getsockname()[1]
-    probe.close()
-    return int(port)
-
-
-def _percentile(sorted_values: Sequence[float], fraction: float) -> float:
-    if not sorted_values:
-        return 0.0
-    index = min(
-        len(sorted_values) - 1, int(fraction * (len(sorted_values) - 1) + 0.5)
-    )
-    return sorted_values[index]
-
-
-class ManagedWorker:
-    """One worker daemon subprocess the harness may kill and revive."""
-
-    def __init__(
-        self, name: str, port: int, cache_dir: Path, config: ChaosConfig
-    ) -> None:
-        self.name = name
-        self.port = port
-        self.cache_dir = cache_dir
-        self.config = config
-        self.proc: Optional[subprocess.Popen[bytes]] = None
-        self.restarts = 0
-
-    @property
-    def address(self) -> Tuple[str, int]:
-        return ("127.0.0.1", self.port)
-
-    def spawn(self) -> None:
-        self.cache_dir.mkdir(parents=True, exist_ok=True)
-        command = [
-            sys.executable,
-            "-m",
-            "repro.serve.cli",
-            "serve",
-            "--tcp",
-            f"127.0.0.1:{self.port}",
-            "--workers",
-            str(self.config.worker_slots),
-            "--pool",
-            self.config.worker_pool,
-            "--cache-dir",
-            str(self.cache_dir),
-        ]
-        self.proc = subprocess.Popen(
-            command,
-            stdout=subprocess.DEVNULL,
-            stderr=subprocess.DEVNULL,
-            env=dict(os.environ),
-        )
-
-    def wait_ready(self, timeout: float) -> bool:
-        deadline = time.monotonic() + timeout
-        while time.monotonic() < deadline:
-            if self.proc is not None and self.proc.poll() is not None:
-                return False  # died during startup
-            try:
-                with ServeClient(
-                    self.address, timeout=1.0, retries=0
-                ) as client:
-                    client.ping()
-                return True
-            except (ServeConnectionError, ServeError, OSError):
-                time.sleep(0.05)
-        return False
-
-    def ping_ok(self) -> bool:
-        try:
-            with ServeClient(self.address, timeout=1.0, retries=0) as client:
-                client.ping()
-            return True
-        except (ServeConnectionError, ServeError, OSError):
-            return False
-
-    def kill(self) -> None:
-        if self.proc is not None:
-            self.proc.kill()
-            self.proc.wait(timeout=10)
-
-    def pause(self) -> None:
-        if self.proc is not None and self.proc.poll() is None:
-            os.kill(self.proc.pid, signal.SIGSTOP)
-
-    def resume(self) -> None:
-        if self.proc is not None and self.proc.poll() is None:
-            os.kill(self.proc.pid, signal.SIGCONT)
-
-    def restart(self) -> None:
-        self.restarts += 1
-        self.spawn()
+class ManagedWorker(_BaseWorker):
+    """A cluster worker enriched with the chaos-only fault surface
+    (cache corruption, protocol garbling). Lifecycle management —
+    spawn/kill/pause/restart — comes from the base class."""
 
     def corrupt_cache(self, rng: random.Random) -> int:
         """Damage cached cell entries on disk: flip a byte in half of
@@ -293,17 +204,18 @@ class ManagedWorker:
             return False
         return self.ping_ok()
 
-    def terminate(self) -> None:
-        if self.proc is None:
-            return
-        if self.proc.poll() is None:
-            self.resume()  # a SIGSTOPped child ignores SIGTERM
-            self.proc.terminate()
-            try:
-                self.proc.wait(timeout=10)
-            except subprocess.TimeoutExpired:
-                self.proc.kill()
-                self.proc.wait(timeout=10)
+
+class _ChaosCluster(LocalCluster):
+    """A local cluster whose workers carry the chaos fault surface."""
+
+    def _make_worker(self, index: int) -> ManagedWorker:
+        return ManagedWorker(
+            f"w{index}",
+            free_port(),
+            self.scratch / f"cache-w{index}",
+            worker_slots=self.worker_slots,
+            worker_pool=self.worker_pool,
+        )
 
 
 class ChaosRun:
@@ -313,6 +225,7 @@ class ChaosRun:
         self.config = config
         self.scratch = scratch
         self.rng = random.Random(config.seed)
+        self.cluster: Optional[_ChaosCluster] = None
         self.workers: List[ManagedWorker] = []
         self.router: Optional[RouterService] = None
         self.daemon: Optional[ExperimentDaemon] = None
@@ -372,26 +285,14 @@ class ChaosRun:
     # -- cluster lifecycle -------------------------------------------------
 
     def boot(self) -> None:
-        """Spawn the workers and the router daemon; blocks until every
-        worker answers health checks."""
-        for index in range(self.config.workers):
-            worker = ManagedWorker(
-                f"w{index}",
-                _free_port(),
-                self.scratch / f"cache-w{index}",
-                self.config,
-            )
-            worker.spawn()
-            self.workers.append(worker)
-        for worker in self.workers:
-            if not worker.wait_ready(self.config.startup_timeout):
-                raise RuntimeError(
-                    f"worker {worker.name} never became ready on "
-                    f"port {worker.port}"
-                )
-        self.router = RouterService(
-            {worker.name: worker.address for worker in self.workers},
-            config=RouterConfig(
+        """Boot the shared cluster topology; blocks until every worker
+        answers health checks."""
+        self.cluster = _ChaosCluster(
+            self.config.workers,
+            self.scratch,
+            worker_slots=self.config.worker_slots,
+            worker_pool=self.config.worker_pool,
+            router_config=RouterConfig(
                 probe_interval=0.2,
                 failure_threshold=2,
                 cooldown=0.5,
@@ -399,22 +300,25 @@ class ChaosRun:
                 request_deadline=self.config.request_deadline,
                 local_fallback=self.config.local_fallback,
             ),
+            startup_timeout=self.config.startup_timeout,
         )
-        self.daemon = ExperimentDaemon(
-            self.router, tcp=("127.0.0.1", _free_port()), drain_timeout=30.0
-        )
-        self.daemon.start()
+        self.cluster.boot()
+        self.workers = [
+            worker
+            for worker in self.cluster.workers
+            if isinstance(worker, ManagedWorker)
+        ]
+        self.router = self.cluster.router
+        self.daemon = self.cluster.daemon
 
     def shutdown(self) -> bool:
         """Drain the router daemon, stop every worker; True on a clean
         drain."""
-        drained = True
-        if self.daemon is not None:
-            drained = self.daemon.stop()
-            self.daemon = None
-            self.router = None  # the daemon closed it
-        for worker in self.workers:
-            worker.terminate()
+        if self.cluster is None:
+            return True
+        drained = self.cluster.shutdown()
+        self.daemon = None
+        self.router = None  # the daemon closed it
         return drained
 
     # -- load --------------------------------------------------------------

@@ -15,6 +15,8 @@ Usage::
                                                       # whole experiment
     repro-serve chaos --workers 3 --kills 1 --duration 10
                                                       # fault-injection
+    repro-serve bench --workers 2 --duration 5 --rate 50
+                                                      # pure load benchmark
 
 ``serve`` runs until SIGTERM/SIGINT, then drains: in-flight cells
 finish and are answered before sockets close (exit 0 on a clean drain,
@@ -23,7 +25,11 @@ a :class:`~repro.serve.router.RouterService` — a consistent-hash
 sharding front-end over worker daemons, with failover and degraded
 local execution. ``chaos`` boots a disposable cluster and injects
 seeded faults (see :mod:`repro.serve.chaos`); it exits 0 only when no
-request was lost and every fault recovered. The client subcommands
+request was lost and every fault recovered. ``bench`` boots the same
+topology but injects no faults at all: it measures p50/p99 latency and
+throughput over a seeded cached/uncached mix (see
+:mod:`repro.serve.bench`) and can fold the summary into a
+``BENCH_*.json`` artifact with ``--record``. The client subcommands
 read ``--connect`` (or ``$REPRO_SERVE_ADDR``) as ``unix:PATH`` or
 ``HOST:PORT``.
 """
@@ -254,6 +260,70 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="print the full JSON report"
     )
 
+    bench = commands.add_parser(
+        "bench",
+        help="boot a disposable cluster and measure serve latency "
+        "and throughput (no fault injection)",
+    )
+    bench.add_argument(
+        "--workers", type=positive_int, default=2, help="cluster size"
+    )
+    bench.add_argument("--seed", type=int, default=0, help="schedule seed")
+    bench.add_argument(
+        "--duration",
+        type=positive_float,
+        default=5.0,
+        metavar="SECONDS",
+        help="load window length (default 5)",
+    )
+    bench.add_argument(
+        "--rate",
+        type=positive_float,
+        default=50.0,
+        metavar="RPS",
+        help="open-loop request rate (default 50)",
+    )
+    bench.add_argument(
+        "--concurrency",
+        type=positive_int,
+        default=8,
+        help="load generator threads (default 8)",
+    )
+    bench.add_argument(
+        "--experiment",
+        default="fig3.1",
+        help="experiment whose cells form the request mix (default fig3.1)",
+    )
+    bench.add_argument(
+        "--length",
+        type=positive_int,
+        default=2_000,
+        metavar="N",
+        help="trace length per workload (default 2000)",
+    )
+    bench.add_argument(
+        "--cached-fraction",
+        type=float,
+        default=0.8,
+        metavar="F",
+        help="share of requests hitting the prewarmed set (default 0.8)",
+    )
+    bench.add_argument(
+        "--scratch",
+        metavar="DIR",
+        default=None,
+        help="cluster scratch directory (default: a temp directory)",
+    )
+    bench.add_argument(
+        "--record",
+        metavar="PATH",
+        default=None,
+        help="fold the summary into this BENCH_*.json under 'serve'",
+    )
+    bench.add_argument(
+        "--json", action="store_true", help="print the full JSON report"
+    )
+
     def add_client_args(sub: argparse.ArgumentParser) -> None:
         sub.add_argument(
             "--connect",
@@ -469,6 +539,63 @@ def _chaos(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
     return 0 if report["passed"] else 1
 
 
+def _bench(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    import tempfile
+
+    from repro.serve.bench import (
+        BenchConfig,
+        record_serve_bench,
+        run_serve_bench,
+    )
+
+    try:
+        config = BenchConfig(
+            workers=args.workers,
+            seed=args.seed,
+            duration=args.duration,
+            rate=args.rate,
+            concurrency=args.concurrency,
+            experiment=args.experiment,
+            trace_length=args.length,
+            cached_fraction=args.cached_fraction,
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
+    if args.scratch is not None:
+        scratch = Path(args.scratch)
+        scratch.mkdir(parents=True, exist_ok=True)
+        report = run_serve_bench(config, scratch)
+    else:
+        with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+            report = run_serve_bench(config, Path(tmp))
+    if args.record is not None:
+        record_serve_bench(report, Path(args.record))
+        print(f"recorded serve summary into {args.record}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        requests = report["requests"]
+        latency = report["latency"]
+        sources = report["sources"]
+        served = ", ".join(f"{sources[k]} {k}" for k in sorted(sources))
+        print(
+            f"requests: {requests['total']} total, {requests['ok']} ok, "
+            f"{requests['lost']} lost ({requests['prewarmed_cells']} "
+            f"cells prewarmed)"
+        )
+        print(
+            f"latency: p50={latency['p50']}s p99={latency['p99']}s "
+            f"max={latency['max']}s (cached p50={latency['cached_p50']}s, "
+            f"uncached p50={latency['uncached_p50']}s)"
+        )
+        print(f"throughput: {report['throughput_rps']} req/s ({served})")
+        print(
+            f"drain: {'clean' if report['clean_drain'] else 'timed out'}; "
+            f"verdict: {'PASS' if report['passed'] else 'FAIL'}"
+        )
+    return 0 if report["passed"] else 1
+
+
 def _print_result(payload: Dict[str, Any], as_json: bool) -> None:
     if as_json:
         print(json.dumps(payload, indent=2, sort_keys=True))
@@ -569,6 +696,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _route(args, parser)
     if args.command == "chaos":
         return _chaos(args, parser)
+    if args.command == "bench":
+        return _bench(args, parser)
     address = _client_address(parser, args.connect)
     try:
         with ServeClient(address, timeout=args.timeout) as client:

@@ -1,0 +1,236 @@
+"""Supervised local cluster: worker daemons behind a router.
+
+Shared cluster plumbing for the supervisor-side harnesses — the chaos
+harness (:mod:`repro.serve.chaos`) and the load benchmark
+(:mod:`repro.serve.bench`). Both boot the same topology: N worker
+daemons as OS subprocesses (each with its own cache directory) behind
+an in-process :class:`~repro.serve.router.RouterService` hosted by an
+:class:`~repro.serve.daemon.ExperimentDaemon` on a loopback TCP port.
+
+Like those harnesses, this module is *supervisor* code, not daemon
+handler code: it is exempt from repro-lint RPS001 (see
+``repro.verify.rules.serve``), so spawning worker subprocesses and
+polling their health are in-policy here.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.serve.client import (
+    ServeClient,
+    ServeConnectionError,
+    ServeError,
+)
+from repro.serve.daemon import ExperimentDaemon
+from repro.serve.router import RouterConfig, RouterService
+
+
+def free_port() -> int:
+    """An ephemeral loopback TCP port (the OS picks, we release)."""
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    return int(port)
+
+
+def percentile(sorted_values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample."""
+    if not sorted_values:
+        return 0.0
+    index = min(
+        len(sorted_values) - 1, int(fraction * (len(sorted_values) - 1) + 0.5)
+    )
+    return sorted_values[index]
+
+
+class ManagedWorker:
+    """One worker daemon subprocess a supervisor may kill and revive."""
+
+    def __init__(
+        self,
+        name: str,
+        port: int,
+        cache_dir: Path,
+        worker_slots: int = 2,
+        worker_pool: str = "thread",
+    ) -> None:
+        self.name = name
+        self.port = port
+        self.cache_dir = cache_dir
+        self.worker_slots = worker_slots
+        self.worker_pool = worker_pool
+        self.proc: Optional[subprocess.Popen[bytes]] = None
+        self.restarts = 0
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return ("127.0.0.1", self.port)
+
+    def spawn(self) -> None:
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        command = [
+            sys.executable,
+            "-m",
+            "repro.serve.cli",
+            "serve",
+            "--tcp",
+            f"127.0.0.1:{self.port}",
+            "--workers",
+            str(self.worker_slots),
+            "--pool",
+            self.worker_pool,
+            "--cache-dir",
+            str(self.cache_dir),
+        ]
+        self.proc = subprocess.Popen(
+            command,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+            env=dict(os.environ),
+        )
+
+    def wait_ready(self, timeout: float) -> bool:
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.proc is not None and self.proc.poll() is not None:
+                return False  # died during startup
+            if self.ping_ok():
+                return True
+            time.sleep(0.05)
+        return False
+
+    def ping_ok(self) -> bool:
+        try:
+            with ServeClient(self.address, timeout=1.0, retries=0) as client:
+                client.ping()
+            return True
+        except (ServeConnectionError, ServeError, OSError):
+            return False
+
+    def kill(self) -> None:
+        if self.proc is not None:
+            self.proc.kill()
+            self.proc.wait(timeout=10)
+
+    def pause(self) -> None:
+        if self.proc is not None and self.proc.poll() is None:
+            os.kill(self.proc.pid, signal.SIGSTOP)
+
+    def resume(self) -> None:
+        if self.proc is not None and self.proc.poll() is None:
+            os.kill(self.proc.pid, signal.SIGCONT)
+
+    def restart(self) -> None:
+        self.restarts += 1
+        self.spawn()
+
+    def terminate(self) -> None:
+        if self.proc is None:
+            return
+        if self.proc.poll() is None:
+            self.resume()  # a SIGSTOPped child ignores SIGTERM
+            self.proc.terminate()
+            try:
+                self.proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                self.proc.kill()
+                self.proc.wait(timeout=10)
+
+
+class LocalCluster:
+    """N managed workers behind a router daemon on loopback TCP."""
+
+    def __init__(
+        self,
+        n_workers: int,
+        scratch: Path,
+        worker_slots: int = 2,
+        worker_pool: str = "thread",
+        router_config: Optional[RouterConfig] = None,
+        startup_timeout: float = 30.0,
+        drain_timeout: float = 30.0,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        self.n_workers = n_workers
+        self.scratch = scratch
+        self.worker_slots = worker_slots
+        self.worker_pool = worker_pool
+        self.router_config = router_config or RouterConfig()
+        self.startup_timeout = startup_timeout
+        self.drain_timeout = drain_timeout
+        self.workers: List[ManagedWorker] = []
+        self.router: Optional[RouterService] = None
+        self.daemon: Optional[ExperimentDaemon] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The router daemon's client-facing TCP address."""
+        if self.daemon is None or self.daemon.tcp_address is None:
+            raise RuntimeError("cluster is not booted")
+        return self.daemon.tcp_address
+
+    def worker_map(self) -> Dict[str, Tuple[str, int]]:
+        return {worker.name: worker.address for worker in self.workers}
+
+    def _make_worker(self, index: int) -> ManagedWorker:
+        """Build worker ``index`` (harnesses override to enrich it)."""
+        return ManagedWorker(
+            f"w{index}",
+            free_port(),
+            self.scratch / f"cache-w{index}",
+            worker_slots=self.worker_slots,
+            worker_pool=self.worker_pool,
+        )
+
+    def boot(self) -> None:
+        """Spawn the workers and the router daemon; blocks until every
+        worker answers health checks."""
+        for index in range(self.n_workers):
+            worker = self._make_worker(index)
+            worker.spawn()
+            self.workers.append(worker)
+        for worker in self.workers:
+            if not worker.wait_ready(self.startup_timeout):
+                raise RuntimeError(
+                    f"worker {worker.name} never became ready on "
+                    f"port {worker.port}"
+                )
+        self.router = RouterService(
+            self.worker_map(), config=self.router_config
+        )
+        self.daemon = ExperimentDaemon(
+            self.router,
+            tcp=("127.0.0.1", free_port()),
+            drain_timeout=self.drain_timeout,
+        )
+        self.daemon.start()
+
+    def shutdown(self) -> bool:
+        """Drain the router daemon, stop every worker; True on a clean
+        drain."""
+        drained = True
+        if self.daemon is not None:
+            drained = self.daemon.stop()
+            self.daemon = None
+            self.router = None  # the daemon closed it
+        for worker in self.workers:
+            worker.terminate()
+        return drained
+
+
+__all__ = [
+    "LocalCluster",
+    "ManagedWorker",
+    "free_port",
+    "percentile",
+]

@@ -20,6 +20,12 @@ paper's machine invariants:
 * ``RPG005`` — payload transportability: the cell function and every
   callable kwarg must be module-addressable (picklable) and the kwargs
   must canonicalize to JSON (cacheable).
+* ``RPG006`` — ablation-machine knobs: cells computed by the ablation
+  framework (:mod:`repro.ablate`) must name a predictor flavor that
+  fits the banked Section 4 table, a registered fetch mechanism, a
+  power-of-two bank count (the address router's constraint) and
+  boolean on/off switches — so an inadmissible variant is rejected at
+  lint time, not at round three of an adaptive sweep.
 
 These rules run on *real* enumerated cells, complementing the
 source-level ``RPP*`` pass: the AST pass proves the construction
@@ -57,6 +63,10 @@ RPG004 = grid_rule(
 RPG005 = grid_rule(
     "RPG005", "grid-unpicklable-payload", Severity.ERROR,
     "grid cell payload not transportable to workers / the cache",
+)
+RPG006 = grid_rule(
+    "RPG006", "grid-ablation-knobs", Severity.ERROR,
+    "ablation grid cell configures an inadmissible machine variant",
 )
 
 # Kwarg names that denote a fetch rate/width, and ones that denote the
@@ -167,6 +177,41 @@ def _check_payload(report: Report, cell_id: str, func: Any,
              f"({exc}); the cell cannot be cache-keyed")
 
 
+def _check_ablation_knobs(report: Report, cell_id: str, func: Any,
+                          kwargs: Dict[str, Any]) -> None:
+    # Scoped to cells computed by the ablation framework: other grids
+    # legitimately use kwargs like ``predictor`` with different domains
+    # (e.g. the ideal machine admits a last-value flavor the banked
+    # table cannot hold).
+    module = getattr(func, "__module__", "") or ""
+    if not module.startswith("repro.ablate"):
+        return
+    from repro.ablate.machine import BANKED_PREDICTOR_KINDS, FETCH_KINDS
+
+    predictor = kwargs.get("predictor")
+    if predictor is not None and predictor not in BANKED_PREDICTOR_KINDS:
+        _add(report, RPG006,
+             f"cell {cell_id!r}: predictor {predictor!r} cannot back the "
+             f"banked table (choose from {', '.join(BANKED_PREDICTOR_KINDS)})")
+    fetch = kwargs.get("fetch")
+    if fetch is not None and fetch not in FETCH_KINDS:
+        _add(report, RPG006,
+             f"cell {cell_id!r}: fetch {fetch!r} is not a registered "
+             f"mechanism (choose from {', '.join(FETCH_KINDS)})")
+    n_banks = kwargs.get("n_banks")
+    if isinstance(n_banks, int) and not isinstance(n_banks, bool):
+        if n_banks < 1 or n_banks & (n_banks - 1):
+            _add(report, RPG006,
+                 f"cell {cell_id!r}: n_banks={n_banks!r} — the address "
+                 f"router requires a positive power of two")
+    for key in ("classified", "merge", "hints"):
+        value = kwargs.get(key)
+        if value is not None and not isinstance(value, bool):
+            _add(report, RPG006,
+                 f"cell {cell_id!r}: {key} must be a boolean on/off "
+                 f"switch, got {value!r}")
+
+
 def lint_grid(
     spec: "ExperimentSpec",
     trace_length: int,
@@ -205,6 +250,7 @@ def lint_grid(
         _check_ranges(report, cell.cell_id, cell.kwargs)
         _check_workload(report, cell.cell_id, cell.kwargs)
         _check_payload(report, cell.cell_id, cell.func, cell.kwargs)
+        _check_ablation_knobs(report, cell.cell_id, cell.func, cell.kwargs)
     return report
 
 

@@ -13,10 +13,11 @@ bound blocks a slot for every client:
 The rule keys off the file's location: only files under a ``serve``
 package are handler code. ``client.py`` is exempt by name — it runs in
 the *client* process, where sleeping between retries is the correct
-backoff behaviour — and so is ``chaos.py``, the fault-injection
-harness: it *supervises* daemons from outside (spawning worker
-subprocesses and pacing open-loop load are its job, not a stalled
-handler slot).
+backoff behaviour — and so are ``chaos.py``, ``bench.py`` and
+``cluster.py``, the fault-injection/load harnesses and their shared
+cluster plumbing: they *supervise* daemons from outside (spawning
+worker subprocesses and pacing open-loop load are their job, not a
+stalled handler slot).
 """
 
 from __future__ import annotations
@@ -56,9 +57,10 @@ _RECV_METHODS = ("recv", "recvfrom", "recv_into", "recvmsg", "accept")
 
 # Files under serve/ that are not handler code: the client library is
 # consumer-side (sleeping between reconnect attempts is correct there)
-# and the chaos harness is a supervisor process (spawning and pacing
-# worker daemons is its purpose).
-_NON_HANDLER_FILES = ("client.py", "chaos.py")
+# and the chaos harness, the load benchmark and the shared cluster
+# plumbing are supervisor processes (spawning and pacing worker
+# daemons is their purpose).
+_NON_HANDLER_FILES = ("client.py", "chaos.py", "bench.py", "cluster.py")
 
 
 def _is_serve_handler_file(source: SourceFile) -> bool:

@@ -1,0 +1,143 @@
+"""Exit codes and artifact contract of the repro-ablate CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.ablate.cli import main
+from repro.ablate.orchestrate import ARTIFACT_SCHEMA
+
+
+def _common(tmp_path):
+    return [
+        "--length", "500",
+        "--workloads", "compress",
+        "--cache-dir", str(tmp_path / "cache"),
+    ]
+
+
+class TestRun:
+    def test_run_writes_schema_artifact(self, tmp_path, capsys):
+        out = tmp_path / "run.json"
+        code = main([
+            "run", "--components", "banks,classifier",
+            *_common(tmp_path), "--json", str(out),
+        ])
+        assert code == 0
+        artifact = json.loads(out.read_text())
+        assert artifact["schema"] == ARTIFACT_SCHEMA
+        assert artifact["kind"] == "run"
+        assert artifact["ok"] is True
+        ranked = [e["component"] for e in artifact["report"]["components"]]
+        assert sorted(ranked) == ["banks", "classifier"]
+        assert artifact["report"]["run_ids"]
+        captured = capsys.readouterr()
+        assert "Component importance" in captured.out
+
+    def test_json_to_stdout_suppresses_table(self, tmp_path, capsys):
+        code = main([
+            "run", "--components", "banks", *_common(tmp_path), "--json", "-",
+        ])
+        assert code == 0
+        artifact = json.loads(capsys.readouterr().out)
+        assert artifact["schema"] == ARTIFACT_SCHEMA
+
+    def test_unknown_component_is_a_usage_error(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "--components", "nosuch", *_common(tmp_path)])
+        assert excinfo.value.code == 2
+
+    def test_workloads_split_on_commas(self, tmp_path):
+        out = tmp_path / "run.json"
+        code = main([
+            "run", "--components", "banks",
+            "--length", "500", "--workloads", "compress,li",
+            "--cache-dir", str(tmp_path / "cache"), "--json", str(out),
+        ])
+        assert code == 0
+        artifact = json.loads(out.read_text())
+        assert artifact["config"]["workloads"] == ["compress", "li"]
+
+    def test_unknown_workload_is_a_usage_error(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main([
+                "run", "--components", "banks", "--length", "500",
+                "--workloads", "spec2000",
+                "--cache-dir", str(tmp_path / "cache"),
+            ])
+        assert excinfo.value.code == 2
+
+    def test_components_split_on_commas_and_spaces(self, tmp_path):
+        out = tmp_path / "run.json"
+        code = main([
+            "run", "--components", "banks", "classifier,merge",
+            *_common(tmp_path), "--json", str(out),
+        ])
+        assert code == 0
+        artifact = json.loads(out.read_text())
+        assert artifact["config"]["components"] == [
+            "banks", "classifier", "merge",
+        ]
+
+
+class TestSweep:
+    def test_sweep_artifact_and_summary(self, tmp_path, capsys):
+        out = tmp_path / "sweep.json"
+        code = main([
+            "sweep", "banks", "--rounds", "2",
+            *_common(tmp_path), "--json", str(out),
+        ])
+        assert code == 0
+        artifact = json.loads(out.read_text())
+        assert artifact["kind"] == "sweep"
+        report = artifact["report"]
+        assert report["best"] in report["lattice"]
+        lo, hi = report["region"]
+        assert lo <= report["best"] <= hi
+        assert report["rounds"]
+        captured = capsys.readouterr()
+        assert "round 1:" in captured.out
+        assert "best n_banks=" in captured.out
+
+    def test_unknown_knob_is_a_usage_error(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "warp", *_common(tmp_path)])
+        assert excinfo.value.code == 2
+
+
+class TestReport:
+    def test_rerenders_a_saved_artifact(self, tmp_path, capsys):
+        out = tmp_path / "run.json"
+        main([
+            "run", "--components", "banks", *_common(tmp_path),
+            "--json", str(out),
+        ])
+        capsys.readouterr()
+        assert main(["report", str(out)]) == 0
+        assert "Component importance" in capsys.readouterr().out
+
+    def test_unreadable_artifact_exits_one(self, tmp_path, capsys):
+        missing = tmp_path / "nope.json"
+        assert main(["report", str(missing)]) == 1
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema": "something-else"}))
+        assert main(["report", str(bad)]) == 1
+        captured = capsys.readouterr()
+        assert "repro-ablate" in captured.err
+
+
+class TestList:
+    def test_plain_listing(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "baseline:" in out
+        assert "banks" in out and "fetch_rate" in out
+
+    def test_json_listing_is_machine_readable(self, capsys):
+        assert main(["list", "--json"]) == 0
+        listing = json.loads(capsys.readouterr().out)
+        assert set(listing) == {"baseline", "components", "sweeps"}
+        assert "banks" in listing["components"]
+        assert listing["sweeps"]["fetch_rate"]["kwarg"] == "rate"

@@ -1,0 +1,184 @@
+"""Run-ID stability, cache resume and served equivalence of repro-ablate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ablate.orchestrate import (
+    resolve_components,
+    run_suite,
+    run_sweep,
+)
+
+SMALL = 500
+WORKLOADS = ["compress", "li"]
+
+
+def _run(tmp_path, **kwargs):
+    defaults = dict(
+        components=["banks", "classifier"],
+        trace_length=SMALL,
+        workloads=WORKLOADS,
+        cache_dir=str(tmp_path / "cache"),
+    )
+    defaults.update(kwargs)
+    return run_suite(**defaults)
+
+
+class TestResolveComponents:
+    def test_all_expands_in_declaration_order(self):
+        from repro.ablate.registry import COMPONENTS
+
+        assert resolve_components(["all"]) == list(COMPONENTS)
+
+    def test_unknown_component_raises(self):
+        with pytest.raises(KeyError):
+            resolve_components(["banks", "flux_capacitor"])
+
+    def test_duplicates_collapse(self):
+        assert resolve_components(["banks", "banks"]) == ["banks"]
+
+
+class TestRunIdentity:
+    def test_run_ids_stable_across_invocations_and_jobs(self, tmp_path):
+        first = _run(tmp_path, jobs=1)
+        second = _run(tmp_path, jobs=2)
+        assert first["ok"] and second["ok"]
+        ids_first = first["report"]["run_ids"]
+        ids_second = second["report"]["run_ids"]
+        assert ids_first == ids_second
+        assert len(ids_first) == (1 + 2) * len(WORKLOADS)
+        # The report (scores, ranking, table) is byte-identical too —
+        # only the volatile metrics block may differ.
+        assert first["report"] == second["report"]
+        assert first["table"] == second["table"]
+
+    def test_second_invocation_fully_cached(self, tmp_path):
+        first = _run(tmp_path)
+        again = _run(tmp_path)
+        assert first["metrics"]["computed"] == first["metrics"]["cells"]
+        assert again["metrics"]["computed"] == 0
+        assert again["metrics"]["cached"] == again["metrics"]["cells"]
+        assert again["report"] == first["report"]
+
+    def test_subset_shares_cache_with_larger_run(self, tmp_path):
+        _run(tmp_path, components=["banks", "classifier"])
+        subset = _run(tmp_path, components=["banks"])
+        # baseline + banks cells were all computed by the larger run.
+        assert subset["metrics"]["computed"] == 0
+
+    def test_report_covers_every_selected_component(self, tmp_path):
+        artifact = _run(tmp_path, components=["all"], workloads=["compress"])
+        from repro.ablate.registry import COMPONENTS
+
+        ranked = [e["component"] for e in artifact["report"]["components"]]
+        assert sorted(ranked) == sorted(COMPONENTS)
+        assert all(
+            isinstance(e["importance"], float)
+            for e in artifact["report"]["components"]
+        )
+
+
+class TestSweep:
+    def test_serial_and_parallel_converge_identically(self, tmp_path):
+        serial = run_sweep(
+            "banks", rounds=3, trace_length=SMALL, workloads=["compress"],
+            cache_dir=str(tmp_path / "cache"), jobs=1,
+        )
+        parallel = run_sweep(
+            "banks", rounds=3, trace_length=SMALL, workloads=["compress"],
+            cache_dir=str(tmp_path / "cache"), jobs=2,
+        )
+        assert serial["ok"] and parallel["ok"]
+        assert serial["report"]["best"] == parallel["report"]["best"]
+        assert serial["report"]["region"] == parallel["report"]["region"]
+        assert serial["report"]["rounds"] == parallel["report"]["rounds"]
+        # The parallel run re-used every cell the serial run computed.
+        assert parallel["metrics"]["computed"] == 0
+
+    def test_killed_sweep_resumes_from_cache(self, tmp_path):
+        # A sweep stopped after round one (the kill) leaves its cells in
+        # the cache; rerunning with more rounds replays round one from
+        # cache and only computes the refinement rounds.
+        partial = run_sweep(
+            "banks", rounds=1, trace_length=SMALL, workloads=["compress"],
+            cache_dir=str(tmp_path / "cache"),
+        )
+        resumed = run_sweep(
+            "banks", rounds=3, trace_length=SMALL, workloads=["compress"],
+            cache_dir=str(tmp_path / "cache"),
+        )
+        assert partial["ok"] and resumed["ok"]
+        round_one_cells = partial["metrics"]["cells"]
+        assert resumed["metrics"]["cached"] >= round_one_cells
+        assert resumed["report"]["rounds"][0] == partial["report"]["rounds"][0]
+
+    def test_multi_seed_restarts_widen_the_objective(self, tmp_path):
+        artifact = run_sweep(
+            "banks", rounds=1, n_seeds=2, trace_length=SMALL,
+            workloads=["compress"], cache_dir=str(tmp_path / "cache"),
+        )
+        assert artifact["ok"]
+        run_ids = artifact["report"]["run_ids"]
+        assert any(key.startswith("s0/") for key in run_ids)
+        assert any(key.startswith("s1/") for key in run_ids)
+        # Seed restarts are distinct cells with distinct content keys.
+        assert len(set(run_ids.values())) == len(run_ids)
+
+    def test_unknown_knob_raises(self, tmp_path):
+        with pytest.raises(KeyError):
+            run_sweep("warp", trace_length=SMALL,
+                      cache_dir=str(tmp_path / "cache"))
+
+
+class TestServed:
+    @pytest.fixture()
+    def ablate_daemon(self, tmp_path):
+        from repro.exec.cache import DiskCache
+        from repro.experiments import EXPERIMENT_SPECS
+        from repro.serve.daemon import ExperimentDaemon
+        from repro.serve.service import ExperimentService, ServiceConfig
+
+        service = ExperimentService(
+            cache=DiskCache(tmp_path / "served-cache"),
+            config=ServiceConfig(workers=2),
+            specs=dict(EXPERIMENT_SPECS),
+        )
+        sock_path = str(tmp_path / "ablate.sock")
+        daemon = ExperimentDaemon(service, unix=sock_path, drain_timeout=10.0)
+        daemon.start()
+        yield daemon, sock_path, service
+        daemon.stop()
+
+    def test_served_run_matches_engine_run(self, ablate_daemon, tmp_path):
+        _daemon, sock_path, _service = ablate_daemon
+        served = _run(tmp_path, connect=f"unix:{sock_path}", jobs=2)
+        local = _run(tmp_path)
+        assert served["ok"] and local["ok"]
+        assert served["metrics"]["path"] == "served"
+        assert served["report"] == local["report"]
+        assert served["table"] == local["table"]
+
+    def test_served_keys_equal_local_content_keys(self, ablate_daemon,
+                                                  tmp_path):
+        from repro.serve.client import ServeClient
+
+        _daemon, sock_path, _service = ablate_daemon
+        artifact = _run(tmp_path, components=["banks"],
+                        workloads=["compress"])
+        run_ids = artifact["report"]["run_ids"]
+        with ServeClient(sock_path, timeout=30.0) as client:
+            payload = client.run_cell(
+                "abl.suite", "banks|compress", SMALL, 0, ["compress"]
+            )
+        assert payload["key"] == run_ids["banks|compress"]
+
+    def test_served_repeat_hits_the_warm_tiers(self, ablate_daemon,
+                                               tmp_path):
+        _daemon, sock_path, _service = ablate_daemon
+        first = _run(tmp_path, connect=f"unix:{sock_path}")
+        again = _run(tmp_path, connect=f"unix:{sock_path}")
+        assert first["ok"] and again["ok"]
+        assert again["metrics"]["computed"] == 0
+        warm = again["metrics"]["sources"]
+        assert set(warm) <= {"memory", "disk", "coalesced"}

@@ -1,0 +1,186 @@
+"""Registry, importance scoring and grid admissibility of repro.ablate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ablate.machine import (
+    BANKED_PREDICTOR_KINDS,
+    BASELINE,
+    FETCH_KINDS,
+)
+from repro.ablate.registry import COMPONENTS, SWEEP_KNOBS, variant_kwargs
+from repro.ablate.report import (
+    harmful_components,
+    importance_report,
+    render_importance,
+    variant_of,
+)
+from repro.ablate.suite import SPEC, SUITE_ID, SWEEP_SPECS, suite_variants
+from repro.verify.diagnostics import Severity
+from repro.verify.rules.grids import lint_grid
+
+
+def _bundle(speedup, accuracy=1.0, denial=0.0, base=2.0, vp=3.0):
+    return {
+        "speedup": speedup,
+        "accuracy": accuracy,
+        "denial_rate": denial,
+        "base_ipc": base,
+        "vp_ipc": vp,
+    }
+
+
+class TestRegistry:
+    def test_every_override_is_a_baseline_knob(self):
+        for component in COMPONENTS.values():
+            assert set(component.overrides) <= set(BASELINE)
+            # An ablation must actually change something.
+            assert any(
+                BASELINE[key] != value
+                for key, value in component.overrides.items()
+            )
+
+    def test_expected_components_present(self):
+        assert set(COMPONENTS) == {
+            "predictor", "classifier", "banks", "router", "merge",
+            "hints", "trace_cache", "collapsing_fetch", "window",
+        }
+
+    def test_variant_kwargs_cover_the_full_knob_set(self):
+        assert variant_kwargs() == BASELINE
+        for name in COMPONENTS:
+            kwargs = variant_kwargs(name)
+            assert set(kwargs) == set(BASELINE)
+            assert kwargs != BASELINE
+
+    def test_variant_values_admissible(self):
+        for name in COMPONENTS:
+            kwargs = variant_kwargs(name)
+            assert kwargs["predictor"] in BANKED_PREDICTOR_KINDS
+            assert kwargs["fetch"] in FETCH_KINDS
+            n_banks = kwargs["n_banks"]
+            assert n_banks >= 1 and n_banks & (n_banks - 1) == 0
+
+    def test_sweep_knob_lattice_membership_enforced(self):
+        knob = SWEEP_KNOBS["banks"]
+        assert knob.cell_kwargs(knob.lattice[0])[knob.kwarg] == knob.lattice[0]
+        with pytest.raises(ValueError):
+            knob.cell_kwargs(knob.lattice[-1] + 1)
+
+    def test_sweep_knob_ids_are_registered_specs(self):
+        for knob in SWEEP_KNOBS.values():
+            assert knob.experiment_id in SWEEP_SPECS
+
+
+class TestImportance:
+    def test_ranked_by_importance_with_harmful_flag(self):
+        values = {
+            "baseline|go": _bundle(0.40),
+            "baseline|li": _bundle(0.50),
+            "big|go": _bundle(0.10),
+            "big|li": _bundle(0.20),
+            "tiny|go": _bundle(0.39),
+            "tiny|li": _bundle(0.49),
+            "bad|go": _bundle(0.60),
+            "bad|li": _bundle(0.70),
+        }
+        report = importance_report(values)
+        ranked = [entry["component"] for entry in report["components"]]
+        assert ranked == ["big", "tiny", "bad"]
+        by_name = {e["component"]: e for e in report["components"]}
+        assert by_name["big"]["importance"] == pytest.approx(0.30)
+        assert by_name["bad"]["importance"] == pytest.approx(-0.20)
+        assert by_name["bad"]["verdict"] == "harmful"
+        assert by_name["tiny"]["verdict"] == "helpful"
+        assert harmful_components(report) == ["bad"]
+        assert [e["rank"] for e in report["components"]] == [1, 2, 3]
+
+    def test_requires_baseline_cells(self):
+        with pytest.raises(ValueError):
+            importance_report({"banks|go": _bundle(0.1)})
+
+    def test_variant_of(self):
+        assert variant_of("baseline|go") == "baseline"
+        assert variant_of("trace_cache|m88ksim") == "trace_cache"
+
+    def test_render_mentions_harmful(self):
+        values = {
+            "baseline|go": _bundle(0.10),
+            "bad|go": _bundle(0.30),
+        }
+        result = render_importance(importance_report(values))
+        assert result.rows[0][1] == "bad"
+        assert result.rows[0][-1] == "harmful"
+        assert any("harmful: bad" in note for note in result.notes)
+
+
+class TestGrids:
+    def test_suite_grid_shape_and_uniqueness(self):
+        cells = SPEC.cells(500, 0, ["go", "li"])
+        assert len(cells) == (1 + len(COMPONENTS)) * 2
+        ids = [cell.cell_id for cell in cells]
+        assert len(set(ids)) == len(ids)
+        assert all(cell.experiment_id == SUITE_ID for cell in cells)
+        variants = {cell.cell_id.split("|", 1)[0] for cell in cells}
+        assert variants == {"baseline", *COMPONENTS}
+
+    def test_suite_variant_order_is_stable(self):
+        assert suite_variants() == [""] + list(COMPONENTS)
+
+    def test_all_ablation_grids_lint_clean(self):
+        for spec in [SPEC, *SWEEP_SPECS.values()]:
+            report = lint_grid(spec, 2_000)
+            assert not report.diagnostics, (
+                spec.experiment_id,
+                [d.message for d in report.diagnostics],
+            )
+
+    def test_rpg006_rejects_inadmissible_variant(self):
+        from repro.ablate.machine import compute_ablation_cell
+        from repro.exec.cells import Cell, ExperimentSpec
+
+        def bad_cells(trace_length, seed=0, workloads=None):
+            return [
+                Cell("abl.bad", "bad|go", compute_ablation_cell, {
+                    "workload": "go",
+                    "trace_length": trace_length,
+                    "seed": seed,
+                    "predictor": "last",     # not banked-table capable
+                    "fetch": "warp-drive",   # not a registered engine
+                    "n_banks": 12,           # not a power of two
+                    "merge": 1,              # not a bool
+                }),
+            ]
+
+        spec = ExperimentSpec("abl.bad", bad_cells, lambda *a, **k: None)
+        report = lint_grid(spec, 500)
+        messages = [
+            d.message for d in report.diagnostics
+            if d.code == "RPG006" and d.severity is Severity.ERROR
+        ]
+        assert len(messages) == 4
+        assert any("predictor" in m for m in messages)
+        assert any("fetch" in m for m in messages)
+        assert any("n_banks" in m for m in messages)
+        assert any("merge" in m for m in messages)
+
+    def test_rpg006_scoped_to_ablate_cells(self):
+        # The same kwargs on a non-ablate cell function are none of
+        # RPG006's business (other grids use other domains).
+        from repro.exec.cells import Cell, ExperimentSpec
+        from repro.experiments.common import workload_traces
+
+        def other_cells(trace_length, seed=0, workloads=None):
+            return [
+                Cell("other", "x|go", workload_traces, {
+                    "workload": "go",
+                    "trace_length": trace_length,
+                    "seed": seed,
+                    "predictor": "last",
+                }),
+            ]
+
+        spec = ExperimentSpec("other", other_cells, lambda *a, **k: None)
+        report = lint_grid(spec, 500)
+        assert not [d for d in report.diagnostics if d.code == "RPG006"]

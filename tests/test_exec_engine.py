@@ -261,11 +261,18 @@ def test_no_cache_engine_recomputes(tmp_path):
 def test_engine_covers_every_registered_experiment():
     from repro.experiments import ALL_EXPERIMENTS
 
-    # Every runner-selectable experiment has an engine spec; the only
-    # engine-only extra is the differential-fuzz grid, which the golden
-    # verifier and the daemon drive directly (never repro-experiments).
+    # Every runner-selectable experiment has an engine spec; the
+    # engine-only extras are the differential-fuzz grid (driven by the
+    # golden verifier / daemon) and the ablation grids (driven by
+    # repro-ablate), never repro-experiments.
     assert set(ALL_EXPERIMENTS) <= set(EXPERIMENT_SPECS)
-    assert set(EXPERIMENT_SPECS) - set(ALL_EXPERIMENTS) == {"diff.fuzz"}
+    assert set(EXPERIMENT_SPECS) - set(ALL_EXPERIMENTS) == {
+        "diff.fuzz",
+        "abl.suite",
+        "abl.sweep.banks",
+        "abl.sweep.rate",
+        "abl.sweep.window",
+    }
     for experiment_id, spec in EXPERIMENT_SPECS.items():
         assert spec.experiment_id == experiment_id
         grid = spec.cells(100, 0, ("compress",))

@@ -1,0 +1,170 @@
+"""The serve load benchmark: schedule, recording, and one live run."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.serve.bench import (
+    COLD_SEED_OFFSET,
+    BenchConfig,
+    build_schedule,
+    record_serve_bench,
+    run_serve_bench,
+)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BenchConfig(workers=0)
+        with pytest.raises(ValueError):
+            BenchConfig(rate=0)
+        with pytest.raises(ValueError):
+            BenchConfig(cached_fraction=1.5)
+        with pytest.raises(ValueError):
+            BenchConfig(duration=-1)
+
+
+class TestSchedule:
+    CELLS = ["gshare/go", "gshare/li", "gshare/compress"]
+
+    def test_deterministic_in_the_seed(self):
+        config = BenchConfig(seed=7, duration=2.0, rate=25.0)
+        assert build_schedule(config, self.CELLS) == build_schedule(
+            config, self.CELLS
+        )
+        other = BenchConfig(seed=8, duration=2.0, rate=25.0)
+        assert build_schedule(config, self.CELLS) != build_schedule(
+            other, self.CELLS
+        )
+
+    def test_open_loop_arrival_times(self):
+        config = BenchConfig(duration=1.0, rate=10.0)
+        schedule = build_schedule(config, self.CELLS)
+        assert len(schedule) == 10
+        assert [at for at, *_rest in schedule] == [
+            pytest.approx(i / 10.0) for i in range(10)
+        ]
+
+    def test_cached_and_uncached_seeds(self):
+        config = BenchConfig(
+            seed=3, duration=4.0, rate=25.0, trace_seed=5,
+            cached_fraction=0.5,
+        )
+        schedule = build_schedule(config, self.CELLS)
+        cached = [entry for entry in schedule if entry[3]]
+        uncached = [entry for entry in schedule if not entry[3]]
+        assert cached and uncached
+        assert all(seed == 5 for _at, _cell, seed, _c in cached)
+        # Every cold request carries a unique, non-colliding seed.
+        cold_seeds = [seed for _at, _cell, seed, _c in uncached]
+        assert len(set(cold_seeds)) == len(cold_seeds)
+        assert all(seed >= 5 + COLD_SEED_OFFSET for seed in cold_seeds)
+
+    def test_cached_fraction_extremes(self):
+        all_hot = build_schedule(
+            BenchConfig(duration=1.0, rate=20.0, cached_fraction=1.0),
+            self.CELLS,
+        )
+        assert all(cached for *_rest, cached in all_hot)
+        all_cold = build_schedule(
+            BenchConfig(duration=1.0, rate=20.0, cached_fraction=0.0),
+            self.CELLS,
+        )
+        assert not any(cached for *_rest, cached in all_cold)
+
+    def test_empty_cells_rejected(self):
+        with pytest.raises(ValueError):
+            build_schedule(BenchConfig(), [])
+
+
+class TestRecord:
+    REPORT = {
+        "config": {"workers": 2},
+        "requests": {"total": 10, "ok": 10, "lost": 0, "prewarmed_cells": 3},
+        "latency": {"p50": 0.001, "p99": 0.01, "max": 0.02,
+                    "cached_p50": 0.001, "uncached_p50": 0.01},
+        "throughput_rps": 50.0,
+        "sources": {"memory": 8, "executed": 2},
+        "clean_drain": True,
+        "passed": True,
+    }
+
+    def test_creates_and_merges(self, tmp_path):
+        path = tmp_path / "BENCH_TEST.json"
+        artifact = record_serve_bench(self.REPORT, path)
+        assert artifact["serve"]["throughput_rps"] == 50.0
+        on_disk = json.loads(path.read_text())
+        assert on_disk == artifact
+
+    def test_preserves_existing_keys(self, tmp_path):
+        path = tmp_path / "BENCH_TEST.json"
+        path.write_text(json.dumps({"backends": {"object": 1}, "schema": 2}))
+        artifact = record_serve_bench(self.REPORT, path)
+        assert artifact["backends"] == {"object": 1}
+        assert artifact["schema"] == 2
+        assert artifact["serve"]["passed"] is True
+
+    def test_rejects_non_object_artifacts(self, tmp_path):
+        path = tmp_path / "BENCH_TEST.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ValueError):
+            record_serve_bench(self.REPORT, path)
+
+
+class TestLiveRun:
+    def test_small_bench_passes(self, tmp_path):
+        config = BenchConfig(
+            workers=1,
+            seed=0,
+            duration=1.5,
+            rate=10.0,
+            concurrency=2,
+            trace_length=400,
+            cached_fraction=0.7,
+        )
+        report = run_serve_bench(config, Path(tmp_path))
+        assert report["passed"], report["lost_errors"]
+        assert report["requests"]["lost"] == 0
+        assert report["requests"]["total"] == 15
+        assert report["requests"]["prewarmed_cells"] > 0
+        assert report["throughput_rps"] > 0
+        assert report["clean_drain"]
+        # The warm lane must actually hit the warm tiers.
+        assert report["sources"].get("memory", 0) > 0
+        assert report["latency"]["p99"] >= report["latency"]["p50"]
+
+
+class TestReproBenchPreservesServeKey:
+    def test_rewrite_keeps_serve_summary(self, tmp_path, monkeypatch,
+                                         capsys):
+        import repro.bench.cli as bench_cli
+
+        out = tmp_path / "BENCH_8.json"
+        out.write_text(json.dumps({"serve": {"throughput_rps": 42.0}}))
+
+        def fake_run_bench(**kwargs):
+            return {
+                "profile": "short",
+                "trace_length": 100,
+                "native_kernels": False,
+                "backends": {
+                    "object": {
+                        "experiment_seconds": {"fig3.1": 0.1},
+                        "total_seconds": 0.1,
+                    },
+                },
+                "speedup_vs_object": {"columnar": 1.0},
+                "parity": "identical",
+                "divergences": [],
+            }
+
+        monkeypatch.setattr(bench_cli, "run_bench", fake_run_bench)
+        code = bench_cli.main(["--profile", "short", "--output", str(out)])
+        assert code == 0
+        artifact = json.loads(out.read_text())
+        assert artifact["serve"] == {"throughput_rps": 42.0}
+        assert artifact["parity"] == "identical"
